@@ -1,0 +1,319 @@
+// Package afs is the public API of this reproduction of the Amoeba File
+// Service — Mullender & Tanenbaum, "A Distributed File Service Based on
+// Optimistic Concurrency Control" (CWI report CS-R8507, 1985).
+//
+// The service stores files as trees of pages. Every update happens in a
+// private version that initially shares its pages with the version it was
+// based on; committing validates the update against concurrent commits
+// with the paper's serialisability test and merges non-conflicting
+// updates. Large multi-file updates (super-files) are protected by the
+// paper's crash-recoverable locking scheme on top of the optimistic
+// machinery.
+//
+// Typical use:
+//
+//	cluster, _ := afs.Start(afs.Options{Servers: 3})
+//	c := cluster.NewClient()
+//	f, _ := c.CreateFile([]byte("hello"))
+//	v, _ := c.Update(f)
+//	data, _, _ := v.Read(afs.Root)
+//	_ = v.Write(afs.Root, append(data, " world"...))
+//	if err := v.Commit(); errors.Is(err, afs.ErrConflict) {
+//	    // redo the update on a fresh version
+//	}
+//
+// The package wraps the internal building blocks (block service, stable
+// storage pairs, version trees, OCC, locks, cache, GC) behind a stable
+// surface; see DESIGN.md for the mapping to the paper.
+package afs
+
+import (
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/occ"
+	"repro/internal/page"
+)
+
+// Capability names a file or version and carries the rights to use it.
+// Capabilities are unforgeable (a SHA-256 check field protects the rights
+// mask) and freely transferable between clients.
+type Capability = capability.Capability
+
+// Path names a page within a file's page tree; the root page has the
+// empty path and children are named by reference indices, e.g.
+// afs.Path{1, 0} is the first child of the second child of the root.
+type Path = page.Path
+
+// Root is the path of a file's root page.
+var Root = page.RootPath
+
+// ParsePath parses "/1/0" notation into a Path.
+func ParsePath(s string) (Path, error) { return page.ParsePath(s) }
+
+// ErrConflict reports a serialisability conflict at commit: the update
+// must be redone on a fresh version. (Matched with errors.Is.)
+var ErrConflict = occ.ErrConflict
+
+// ErrNoServers reports that no file server answered.
+var ErrNoServers = client.ErrNoServers
+
+// Options configures a cluster started with Start.
+type Options struct {
+	// Servers is the number of file server processes (default 1).
+	Servers int
+	// StableStorage stores every block on a pair of companion block
+	// servers (the paper's §4 modification of Lampson–Sturgis stable
+	// storage), surviving single-disk crashes.
+	StableStorage bool
+	// DiskBlocks and BlockSize shape the simulated disks (defaults
+	// 65536 blocks of 4 KiB).
+	DiskBlocks int
+	BlockSize  int
+	// RetainVersions is how many committed versions of each file the
+	// garbage collector keeps (default 4).
+	RetainVersions int
+	// NetworkLatency, DiskReadCost and DiskWriteCost inject service
+	// times for experiments.
+	NetworkLatency time.Duration
+	DiskReadCost   time.Duration
+	DiskWriteCost  time.Duration
+}
+
+// Cluster is a running file service: servers, storage and collector.
+type Cluster struct {
+	inner *core.Cluster
+}
+
+// Start brings up a file service.
+func Start(o Options) (*Cluster, error) {
+	c, err := core.NewCluster(core.Config{
+		Servers:    o.Servers,
+		DiskBlocks: o.DiskBlocks,
+		BlockSize:  o.BlockSize,
+		StablePair: o.StableStorage,
+		Retain:     o.RetainVersions,
+		NetLatency: o.NetworkLatency,
+		ReadCost:   o.DiskReadCost,
+		WriteCost:  o.DiskWriteCost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: c}, nil
+}
+
+// NewClient connects a client to every server of the cluster, with
+// automatic failover.
+func (c *Cluster) NewClient() *Client {
+	return &Client{inner: c.inner.Client()}
+}
+
+// CrashServer kills file server i (its in-flight versions die; files are
+// unaffected). Clients fail over to the surviving servers.
+func (c *Cluster) CrashServer(i int) { c.inner.CrashServer(i) }
+
+// AddServer starts a replacement file server and returns its index.
+func (c *Cluster) AddServer() (int, error) { return c.inner.AddServer() }
+
+// Servers returns the number of servers started so far (dead included).
+func (c *Cluster) Servers() int { return len(c.inner.Servers) }
+
+// LiveServers returns how many servers currently answer.
+func (c *Cluster) LiveServers() int { return len(c.inner.Ports()) }
+
+// Collect runs one garbage-collection cycle and reports what it did.
+// Collection also runs safely in parallel with normal operation; see
+// RunGC.
+func (c *Cluster) Collect() (gc.Report, error) { return c.inner.GC.Collect() }
+
+// RunGC runs the collector every interval until stop is closed.
+func (c *Cluster) RunGC(interval time.Duration, stop <-chan struct{}) {
+	c.inner.GC.Run(interval, stop, nil)
+}
+
+// RebuildFileTable reconstructs the file table from storage, the §4
+// recovery path after losing every server.
+func (c *Cluster) RebuildFileTable() error { return c.inner.RebuildTable() }
+
+// Internal exposes the underlying core cluster for experiments that need
+// raw access (benchmark harness, fault injection).
+func (c *Cluster) Internal() *core.Cluster { return c.inner }
+
+// Client talks to the file service, maintaining the §5.4 page cache.
+type Client struct {
+	inner *client.Client
+}
+
+// CreateFile creates a small file holding data (one page, which the
+// paper notes is often a whole file) and returns its capability.
+func (c *Client) CreateFile(data []byte) (Capability, error) {
+	return c.inner.CreateFile(data)
+}
+
+// Update opens a new version of the file: a private, consistent view
+// that can be read, modified and finally committed.
+func (c *Client) Update(f Capability) (*Version, error) {
+	return c.update(f, client.UpdateOpts{})
+}
+
+// UpdateSoft opens a version respecting the top-lock hint: the §5.3
+// soft-locking discipline for updates known to be large.
+func (c *Client) UpdateSoft(f Capability) (*Version, error) {
+	return c.update(f, client.UpdateOpts{SoftLock: true})
+}
+
+// UpdateRelaxed opens a super-file version without waiting for the top
+// lock, leaving correctness to the optimistic layer (§5.3 relaxation).
+func (c *Client) UpdateRelaxed(f Capability) (*Version, error) {
+	return c.update(f, client.UpdateOpts{RelaxSuperLock: true})
+}
+
+func (c *Client) update(f Capability, opts client.UpdateOpts) (*Version, error) {
+	v, err := c.inner.Update(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Version{inner: v}, nil
+}
+
+// History returns the committed version chain, oldest first: the Fig. 4
+// family tree's committed spine.
+func (c *Client) History(f Capability) ([]VersionID, error) {
+	hist, err := c.inner.History(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]VersionID, len(hist))
+	for i, h := range hist {
+		out[i] = VersionID(h)
+	}
+	return out, nil
+}
+
+// ReadAt reads a page from a committed (possibly historical) version.
+func (c *Client) ReadAt(f Capability, id VersionID, p Path) ([]byte, int, error) {
+	return c.inner.ReadCommitted(f, block.Num(id), p)
+}
+
+// ReadFile is a convenience that reads the whole root page of the
+// current version without opening an update.
+func (c *Client) ReadFile(f Capability) ([]byte, error) {
+	cur, err := c.inner.CurrentVersion(f)
+	if err != nil {
+		return nil, err
+	}
+	data, _, err := c.inner.ReadCommitted(f, cur, Root)
+	return data, err
+}
+
+// WriteFile is a convenience that replaces the root page in one update.
+func (c *Client) WriteFile(f Capability, data []byte) error {
+	v, err := c.Update(f)
+	if err != nil {
+		return err
+	}
+	if err := v.Write(Root, data); err != nil {
+		v.Abort()
+		return err
+	}
+	return v.Commit()
+}
+
+// Validate refreshes the client's cache entry for the file (one request;
+// a null operation when nobody else changed the file).
+func (c *Client) Validate(f Capability) error { return c.inner.Validate(f) }
+
+// Stats returns transport/caching counters.
+func (c *Client) Stats() client.Stats { return c.inner.Stats() }
+
+// CacheStats returns page-cache counters.
+func (c *Client) CacheStats() CacheStats {
+	s := c.inner.Cache.Stats()
+	return CacheStats{
+		Hits:            s.Hits,
+		Misses:          s.Misses,
+		Discards:        s.Discards,
+		Validations:     s.Validations,
+		NullValidations: s.NullValidations,
+	}
+}
+
+// CacheStats counts client cache behaviour.
+type CacheStats struct {
+	Hits            uint64
+	Misses          uint64
+	Discards        uint64
+	Validations     uint64
+	NullValidations uint64
+}
+
+// VersionID names a committed version in a file's history.
+type VersionID uint32
+
+// Version is an open update on a file.
+type Version struct {
+	inner *client.Version
+}
+
+// Read returns the data and child count of the page at p.
+func (v *Version) Read(p Path) (data []byte, children int, err error) {
+	return v.inner.Read(p)
+}
+
+// Write replaces the data of the page at p.
+func (v *Version) Write(p Path, data []byte) error { return v.inner.Write(p, data) }
+
+// Insert creates a new child page holding data at index idx of the page
+// at p.
+func (v *Version) Insert(p Path, idx int, data []byte) error {
+	return v.inner.Insert(p, idx, data)
+}
+
+// Remove deletes the child reference at index idx of the page at p; the
+// garbage collector reclaims the detached subtree.
+func (v *Version) Remove(p Path, idx int) error { return v.inner.Remove(p, idx) }
+
+// MakeHole replaces the child reference at idx with a hole, keeping the
+// table's shape.
+func (v *Version) MakeHole(p Path, idx int) error { return v.inner.MakeHole(p, idx) }
+
+// FillHole creates a page holding data in the hole at idx.
+func (v *Version) FillHole(p Path, idx int, data []byte) error {
+	return v.inner.FillHole(p, idx, data)
+}
+
+// RemoveHole deletes the hole at idx, shrinking the table.
+func (v *Version) RemoveHole(p Path, idx int) error { return v.inner.RemoveHole(p, idx) }
+
+// Split keeps the first keep bytes of the page at p and moves the rest
+// into a new child appended to its table.
+func (v *Version) Split(p Path, keep int) error { return v.inner.Split(p, keep) }
+
+// Move relocates the subtree at (src, srcIdx) into the hole at (dst,
+// dstIdx).
+func (v *Version) Move(src Path, srcIdx int, dst Path, dstIdx int) error {
+	return v.inner.Move(src, srcIdx, dst, dstIdx)
+}
+
+// CreateSubFile embeds a brand-new file at index idx of the page at p,
+// making the enclosing file a super-file; the sub-file has its own
+// capability, version chain, and concurrency control.
+func (v *Version) CreateSubFile(p Path, idx int, data []byte) (Capability, error) {
+	return v.inner.CreateSubFile(p, idx, data)
+}
+
+// Commit makes this version the file's current version, or fails with
+// ErrConflict if a concurrent committed update is not serialisable with
+// it. Concurrent updates to disjoint pages are merged, not rejected.
+func (v *Version) Commit() error { return v.inner.Commit() }
+
+// Abort abandons the update.
+func (v *Version) Abort() error { return v.inner.Abort() }
+
+// Caps returns the version's capability (for handing to another party).
+func (v *Version) Caps() Capability { return v.inner.Caps() }

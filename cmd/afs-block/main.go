@@ -1,0 +1,51 @@
+// Command afs-block runs a standalone block server (§4) on TCP: the
+// bottom of the storage hierarchy, serving fixed-size blocks with
+// per-account protection, atomic writes, the lock facility and the
+// recovery scan. An afs-server process mounts it with
+// -block PORT@ADDR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/disk"
+	"repro/internal/rpc"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+		blocks = flag.Int("blocks", 1<<16, "number of blocks")
+		bsize  = flag.Int("bsize", 4096, "block size in bytes")
+	)
+	flag.Parse()
+
+	d, err := disk.New(disk.Geometry{Blocks: *blocks, BlockSize: *bsize})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := block.NewServer(d)
+
+	tcp, err := rpc.NewTCPServer(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	port := capability.NewPort().Public()
+	tcp.Register(port, block.Serve(srv))
+
+	// The PORT@ADDR line on stdout is the mount point for afs-server.
+	fmt.Printf("%s@%s\n", port, tcp.Addr())
+	log.Printf("block server: %d x %d bytes at %s (port %s)", *blocks, *bsize, tcp.Addr(), port)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down: %d blocks in use", srv.InUse())
+	tcp.Close()
+}

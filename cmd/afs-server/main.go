@@ -1,0 +1,123 @@
+// Command afs-server runs an Amoeba File Service on TCP: any number of
+// logical file server processes sharing one file table and one block
+// store — either an in-process disk or a remote afs-block service
+// mounted with -block PORT@ADDR.
+//
+// The service line printed on stdout (comma-separated PORT@ADDR pairs,
+// one per file server, then the service capability secret is kept
+// in-process) is what the afs CLI consumes via -servers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/disk"
+	"repro/internal/file"
+	"repro/internal/gc"
+	"repro/internal/rpc"
+	"repro/internal/server"
+	"repro/internal/version"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+		servers  = flag.Int("servers", 2, "number of file server processes")
+		blocks   = flag.Int("blocks", 1<<16, "blocks of the in-process disk (ignored with -block)")
+		bsize    = flag.Int("bsize", 4096, "block size of the in-process disk (ignored with -block)")
+		mount    = flag.String("block", "", "remote block service as PORT@ADDR (from afs-block)")
+		gcEvery  = flag.Duration("gc", 5*time.Second, "garbage collection interval (0 disables)")
+		gcRetain = flag.Int("retain", 4, "committed versions retained per file")
+	)
+	flag.Parse()
+
+	var store block.Store
+	if *mount != "" {
+		port, addr, err := splitMount(*mount)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := rpc.NewResolver()
+		res.Set(port, addr)
+		remote, err := block.Dial(rpc.NewTCPClient(res), port)
+		if err != nil {
+			log.Fatalf("mount %s: %v", *mount, err)
+		}
+		store = remote
+		log.Printf("mounted remote block service %s", *mount)
+	} else {
+		d, err := disk.New(disk.Geometry{Blocks: *blocks, BlockSize: *bsize})
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = block.NewServer(d)
+	}
+
+	sh := server.NewShared(store, 1)
+	// If the store already holds a file system (remote block server
+	// that survived us), rebuild the table from it.
+	if *mount != "" {
+		st := version.NewStore(store, sh.Acct)
+		if t, err := file.Rebuild(st); err == nil && t.Len() > 0 {
+			for obj, e := range t.Entries() {
+				sh.Table.Put(obj, e)
+			}
+			log.Printf("recovered %d files from block service", t.Len())
+		}
+	}
+
+	tcp, err := rpc.NewTCPServer(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var srvs []*server.Server
+	var endpoints []string
+	for i := 0; i < *servers; i++ {
+		s := server.New(sh, nil)
+		tcp.Register(s.Port(), s.Handler())
+		srvs = append(srvs, s)
+		endpoints = append(endpoints, fmt.Sprintf("%s@%s", s.Port(), tcp.Addr()))
+	}
+	fmt.Println(strings.Join(endpoints, ","))
+	log.Printf("file service up: %d servers at %s", *servers, tcp.Addr())
+
+	stop := make(chan struct{})
+	if *gcEvery > 0 {
+		col := gc.New(version.NewStore(store, sh.Acct), sh.Table, *gcRetain, func() []block.Num {
+			var out []block.Num
+			for _, s := range srvs {
+				out = append(out, s.LiveVersions()...)
+			}
+			return out
+		})
+		go col.Run(*gcEvery, stop, nil)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	close(stop)
+	tcp.Close()
+	log.Printf("file service down: %d files", sh.Table.Len())
+}
+
+// splitMount parses PORT@ADDR.
+func splitMount(s string) (capability.Port, string, error) {
+	i := strings.IndexByte(s, '@')
+	if i < 0 {
+		return 0, "", fmt.Errorf("mount %q: want PORT@ADDR", s)
+	}
+	var p uint64
+	if _, err := fmt.Sscanf(s[:i], "%x", &p); err != nil {
+		return 0, "", fmt.Errorf("mount %q: bad port: %w", s, err)
+	}
+	return capability.Port(p), s[i+1:], nil
+}

@@ -1,0 +1,76 @@
+// Command compilertmp demonstrates the Bauer principle that shaped the
+// design (§2): "You should not have to pay for those features you do not
+// need."
+//
+// A compiler writing temporary files before calling the linking loader
+// shares them with nobody. The paper's answer (§6): "Pages of 32K bytes
+// can be written. Often, one such page is large enough to contain a whole
+// file. Writing these one-page files is efficient; no concurrency control
+// mechanisms slow it down." This example writes a batch of one-page
+// temporaries and shows, via the server's own instrumentation, that not a
+// single serialisability validation ran and every commit took the fast
+// path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/afs"
+)
+
+const objects = 32
+
+func main() {
+	cluster, err := afs.Start(afs.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := cluster.NewClient()
+
+	// "Compile": write one object file per source file, then "link":
+	// read them all back.
+	var caps []afs.Capability
+	for i := 0; i < objects; i++ {
+		f, err := c.CreateFile(objectCode(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		caps = append(caps, f)
+	}
+	// Recompile half of them (a second write to the same temp file).
+	for i := 0; i < objects/2; i++ {
+		if err := c.WriteFile(caps[i], objectCode(i+1000)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Link: read everything.
+	total := 0
+	for _, f := range caps {
+		data, err := c.ReadFile(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += len(data)
+	}
+
+	stats := cluster.Internal().Servers[0].OCCStats()
+	fmt.Printf("wrote %d temporaries (%d rewrites), linked %d bytes\n",
+		objects, objects/2, total)
+	fmt.Printf("commits: %d, fast-path commits: %d, validations: %d, conflicts: %d\n",
+		stats.Commits.Load(), stats.FastCommits.Load(),
+		stats.Validations.Load(), stats.Conflicts.Load())
+	if stats.Validations.Load() != 0 || stats.Conflicts.Load() != 0 {
+		log.Fatal("unshared one-page files paid for concurrency control")
+	}
+	fmt.Println("no concurrency-control machinery was exercised: the simple user did not pay")
+}
+
+// objectCode fabricates a one-page "object file".
+func objectCode(seed int) []byte {
+	out := make([]byte, 512)
+	for i := range out {
+		out[i] = byte(seed + i)
+	}
+	return out
+}

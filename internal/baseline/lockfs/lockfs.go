@@ -1,0 +1,555 @@
+// Package lockfs is the locking baseline the paper compares against
+// (§3): a transactional file store in the style of FELIX and XDFS.
+//
+//   - Locking is at file granularity, as in FELIX ("here it is at the
+//     file level"), with read and write locks held to the end of the
+//     transaction (strict two-phase locking).
+//   - Locks become *vulnerable* after a holder has been idle for a
+//     while, and a waiter may *prod* the holder, as in XDFS: "When a
+//     server has locked a datum for some time, a timer expires and the
+//     lock becomes vulnerable. Another server, waiting on that lock, can
+//     then prod the first, requesting it to release its lock. If it is
+//     in a state to do so, it releases its lock, otherwise it ignores
+//     the prod." Here an idle (or crashed) holder is aborted by the
+//     prod; a holder mid-commit ignores it.
+//   - Atomicity comes from XDFS-style *intentions lists*: commit writes
+//     a journal record before applying page writes in place. A crash
+//     between journal and apply is repaired by redoing the intentions —
+//     which is exactly the recovery work the Amoeba design avoids, and
+//     what experiment E9 measures.
+//
+// The store runs over the same block service as the optimistic file
+// service, so benchmark comparisons exercise identical storage costs.
+package lockfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+)
+
+// Errors of the locking baseline.
+var (
+	// ErrDeadlock reports a lock wait that timed out; the caller aborts
+	// and retries, the classical 2PL deadlock resolution.
+	ErrDeadlock = errors.New("lockfs: lock wait timeout (deadlock victim)")
+	// ErrAborted reports an operation on a transaction aborted by a
+	// prod or by the client.
+	ErrAborted = errors.New("lockfs: transaction aborted")
+	// ErrCrashed reports an operation on a crashed store.
+	ErrCrashed = errors.New("lockfs: store crashed")
+)
+
+// FileID names a file in the store.
+type FileID int
+
+// Stats counts locking behaviour for the comparison benches.
+type Stats struct {
+	Commits     uint64
+	Aborts      uint64
+	LockWaits   uint64
+	Prods       uint64
+	JournalRecs uint64
+}
+
+// fileState is one file: its page blocks and its lock.
+type fileState struct {
+	pages []block.Num
+
+	// Lock state: readers hold shared access, writer exclusive.
+	readers map[*Txn]bool
+	writer  *Txn
+	queue   *sync.Cond
+}
+
+// journalRec is one intentions-list entry pending application.
+type journalRec struct {
+	file FileID
+	page int
+	blk  block.Num // block already holding the new data
+}
+
+// Store is the locking file store.
+type Store struct {
+	blocks  block.Store
+	acct    block.Account
+	mu      sync.Mutex
+	files   map[FileID]*fileState
+	nextID  FileID
+	crashed bool
+	// journal holds intentions lists of transactions that reached
+	// commit; persisted conceptually (we model the disk write with a
+	// journal block per record).
+	journal []journalRec
+	stats   Stats
+
+	// WaitTimeout bounds lock waits (deadlock resolution).
+	WaitTimeout time.Duration
+	// VulnAge is how long a lock holder may stay idle before a waiter's
+	// prod aborts it.
+	VulnAge time.Duration
+}
+
+// New creates a locking store over blocks.
+func New(blocks block.Store, acct block.Account) *Store {
+	return &Store{
+		blocks:      blocks,
+		acct:        acct,
+		files:       make(map[FileID]*fileState),
+		WaitTimeout: 50 * time.Millisecond,
+		VulnAge:     20 * time.Millisecond,
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// CreateFile allocates a file with n zeroed pages.
+func (s *Store) CreateFile(n int) (FileID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return 0, ErrCrashed
+	}
+	fs := &fileState{readers: make(map[*Txn]bool)}
+	fs.queue = sync.NewCond(&s.mu)
+	for i := 0; i < n; i++ {
+		blk, err := s.blocks.Alloc(s.acct, nil)
+		if err != nil {
+			return 0, err
+		}
+		fs.pages = append(fs.pages, blk)
+	}
+	s.nextID++
+	s.files[s.nextID] = fs
+	return s.nextID, nil
+}
+
+// Txn is one transaction: 2PL over whole files.
+type Txn struct {
+	s       *Store
+	aborted bool
+	// exclusive transactions take the write lock on first touch,
+	// declaring write intent up front (the FELIX update-mode access);
+	// shared transactions read-lock and upgrade, which risks the
+	// classic upgrade deadlock between two readers.
+	exclusive bool
+	// read/write lock sets.
+	rlocks map[FileID]*fileState
+	wlocks map[FileID]*fileState
+	// buffered writes (applied at commit through the journal).
+	writes []pendingWrite
+	// lastOp feeds the vulnerability timer.
+	lastOp time.Time
+	// committing marks the window in which prods are ignored ("if it is
+	// in a state to do so").
+	committing bool
+}
+
+type pendingWrite struct {
+	file FileID
+	page int
+	data []byte
+}
+
+// Begin starts a read-mode transaction that upgrades its locks when it
+// writes.
+func (s *Store) Begin() (*Txn, error) { return s.begin(false) }
+
+// BeginExclusive starts a write-intent transaction: every file it
+// touches is locked exclusively at once, avoiding upgrade deadlocks at
+// the price of reader concurrency.
+func (s *Store) BeginExclusive() (*Txn, error) { return s.begin(true) }
+
+func (s *Store) begin(exclusive bool) (*Txn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil, ErrCrashed
+	}
+	return &Txn{
+		s:         s,
+		exclusive: exclusive,
+		rlocks:    make(map[FileID]*fileState),
+		wlocks:    make(map[FileID]*fileState),
+		lastOp:    time.Now(),
+	}, nil
+}
+
+// lockShared acquires the file's read lock. Caller holds s.mu.
+func (t *Txn) lockShared(id FileID, fs *fileState) error {
+	if t.wlocks[id] != nil || t.rlocks[id] != nil {
+		return nil
+	}
+	deadline := time.Now().Add(t.s.WaitTimeout)
+	for fs.writer != nil && fs.writer != t {
+		if err := t.waitOrProd(fs, deadline); err != nil {
+			return err
+		}
+	}
+	fs.readers[t] = true
+	t.rlocks[id] = fs
+	return nil
+}
+
+// lockExclusive acquires (or upgrades to) the file's write lock. Caller
+// holds s.mu.
+func (t *Txn) lockExclusive(id FileID, fs *fileState) error {
+	if t.wlocks[id] != nil {
+		return nil
+	}
+	deadline := time.Now().Add(t.s.WaitTimeout)
+	for {
+		othersReading := len(fs.readers) - boolToInt(fs.readers[t])
+		if (fs.writer == nil || fs.writer == t) && othersReading == 0 {
+			break
+		}
+		if err := t.waitOrProd(fs, deadline); err != nil {
+			return err
+		}
+	}
+	delete(fs.readers, t)
+	delete(t.rlocks, id)
+	fs.writer = t
+	t.wlocks[id] = fs
+	return nil
+}
+
+// waitOrProd waits briefly on the file's queue; when the deadline passes
+// it either prods an idle holder (aborting it) or gives up as a deadlock
+// victim. Caller holds s.mu.
+func (t *Txn) waitOrProd(fs *fileState, deadline time.Time) error {
+	if t.aborted {
+		return ErrAborted
+	}
+	t.s.stats.LockWaits++
+	now := time.Now()
+	if now.After(deadline) {
+		// Prod the holder(s): an idle holder releases (is aborted);
+		// one mid-commit ignores the prod and we become the victim.
+		t.s.stats.Prods++
+		prodded := false
+		if w := fs.writer; w != nil && w != t && !w.committing && now.Sub(w.lastOp) > t.s.VulnAge {
+			w.abortLocked()
+			prodded = true
+		}
+		for r := range fs.readers {
+			if r != t && !r.committing && now.Sub(r.lastOp) > t.s.VulnAge {
+				r.abortLocked()
+				prodded = true
+			}
+		}
+		if prodded {
+			return nil // lock state changed; retry the acquire loop
+		}
+		return ErrDeadlock
+	}
+	// Condition variables have no timed wait; poll with a short sleep,
+	// releasing the store lock so holders can progress.
+	t.s.mu.Unlock()
+	time.Sleep(200 * time.Microsecond)
+	t.s.mu.Lock()
+	if t.s.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// abortLocked releases the transaction's locks and marks it dead. Caller
+// holds s.mu.
+func (t *Txn) abortLocked() {
+	if t.aborted {
+		return
+	}
+	t.aborted = true
+	t.s.stats.Aborts++
+	for id, fs := range t.rlocks {
+		delete(fs.readers, t)
+		delete(t.rlocks, id)
+		fs.queue.Broadcast()
+	}
+	for id, fs := range t.wlocks {
+		if fs.writer == t {
+			fs.writer = nil
+		}
+		delete(t.wlocks, id)
+		fs.queue.Broadcast()
+	}
+	t.writes = nil
+}
+
+// Read returns page pg of file id under a read lock.
+func (t *Txn) Read(id FileID, pg int) ([]byte, error) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.s.crashed {
+		return nil, ErrCrashed
+	}
+	if t.aborted {
+		return nil, ErrAborted
+	}
+	t.lastOp = time.Now()
+	fs, ok := t.s.files[id]
+	if !ok {
+		return nil, fmt.Errorf("lockfs: file %d not found", id)
+	}
+	lockFn := t.lockShared
+	if t.exclusive {
+		lockFn = t.lockExclusive
+	}
+	if err := lockFn(id, fs); err != nil {
+		t.abortLocked()
+		return nil, err
+	}
+	if pg < 0 || pg >= len(fs.pages) {
+		return nil, fmt.Errorf("lockfs: page %d of %d", pg, len(fs.pages))
+	}
+	// Serve our own buffered write if present (read your writes).
+	for i := len(t.writes) - 1; i >= 0; i-- {
+		if t.writes[i].file == id && t.writes[i].page == pg {
+			return append([]byte(nil), t.writes[i].data...), nil
+		}
+	}
+	blk := fs.pages[pg]
+	t.s.mu.Unlock()
+	data, err := t.s.blocks.Read(t.s.acct, blk)
+	t.s.mu.Lock()
+	return data, err
+}
+
+// Write buffers a write to page pg of file id under a write lock.
+func (t *Txn) Write(id FileID, pg int, data []byte) error {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.s.crashed {
+		return ErrCrashed
+	}
+	if t.aborted {
+		return ErrAborted
+	}
+	t.lastOp = time.Now()
+	fs, ok := t.s.files[id]
+	if !ok {
+		return fmt.Errorf("lockfs: file %d not found", id)
+	}
+	if err := t.lockExclusive(id, fs); err != nil {
+		t.abortLocked()
+		return err
+	}
+	if pg < 0 || pg >= len(fs.pages) {
+		return fmt.Errorf("lockfs: page %d of %d", pg, len(fs.pages))
+	}
+	t.writes = append(t.writes, pendingWrite{id, pg, append([]byte(nil), data...)})
+	return nil
+}
+
+// Commit applies the intentions list and releases the locks.
+func (t *Txn) Commit() error {
+	t.s.mu.Lock()
+	if t.s.crashed {
+		t.s.mu.Unlock()
+		return ErrCrashed
+	}
+	if t.aborted {
+		t.s.mu.Unlock()
+		return ErrAborted
+	}
+	t.committing = true
+	t.lastOp = time.Now()
+	writes := t.writes
+	t.s.mu.Unlock()
+
+	// Phase 1: write the new data to fresh blocks and journal the
+	// intentions (the XDFS intentions list, durable before any page is
+	// touched in place).
+	var recs []journalRec
+	for _, w := range writes {
+		blk, err := t.s.blocks.Alloc(t.s.acct, w.data)
+		if err != nil {
+			t.Abort()
+			return err
+		}
+		recs = append(recs, journalRec{w.file, w.page, blk})
+	}
+	t.s.mu.Lock()
+	t.s.journal = append(t.s.journal, recs...)
+	t.s.stats.JournalRecs += uint64(len(recs))
+	t.s.mu.Unlock()
+	// Model the journal's durable write with one block write.
+	if len(recs) > 0 {
+		jb, err := t.s.blocks.Alloc(t.s.acct, encodeJournal(recs))
+		if err != nil {
+			t.Abort()
+			return err
+		}
+		defer t.s.blocks.Free(t.s.acct, jb)
+	}
+
+	// Phase 2: apply in place.
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.s.crashed {
+		return ErrCrashed
+	}
+	for _, r := range recs {
+		fs := t.s.files[r.file]
+		old := fs.pages[r.page]
+		fs.pages[r.page] = r.blk
+		t.s.mu.Unlock()
+		t.s.blocks.Free(t.s.acct, old)
+		t.s.mu.Lock()
+	}
+	// Clear the applied intentions.
+	t.s.journal = t.s.journal[:0]
+	t.s.stats.Commits++
+	t.committing = false
+	// Release all locks.
+	for id, fs := range t.rlocks {
+		delete(fs.readers, t)
+		delete(t.rlocks, id)
+	}
+	for id, fs := range t.wlocks {
+		if fs.writer == t {
+			fs.writer = nil
+		}
+		delete(t.wlocks, id)
+	}
+	t.writes = nil
+	t.aborted = true // transaction is over; further ops fail
+	return nil
+}
+
+// Abort releases the transaction's locks and discards its writes.
+func (t *Txn) Abort() {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.abortLocked()
+}
+
+// encodeJournal renders an intentions list for its durable write.
+func encodeJournal(recs []journalRec) []byte {
+	out := make([]byte, 0, len(recs)*12)
+	for _, r := range recs {
+		out = binary.BigEndian.AppendUint32(out, uint32(r.file))
+		out = binary.BigEndian.AppendUint32(out, uint32(r.page))
+		out = binary.BigEndian.AppendUint32(out, uint32(r.blk))
+	}
+	return out
+}
+
+// Crash freezes the store mid-flight: locks and unapplied intentions
+// remain. The E9 experiment measures what Recover must then do — the
+// work the optimistic design does not have.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = true
+}
+
+// RecoveryReport counts the repair work after a crash.
+type RecoveryReport struct {
+	IntentionsRedone int
+	LocksCleared     int
+	Duration         time.Duration
+}
+
+// Recover redoes unapplied intentions lists and clears the lock table,
+// the classical restart procedure of a locking store.
+func (s *Store) Recover() RecoveryReport {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep RecoveryReport
+	for _, r := range s.journal {
+		fs, ok := s.files[r.file]
+		if !ok || r.page >= len(fs.pages) {
+			continue
+		}
+		fs.pages[r.page] = r.blk
+		rep.IntentionsRedone++
+	}
+	s.journal = s.journal[:0]
+	for _, fs := range s.files {
+		if fs.writer != nil {
+			fs.writer = nil
+			rep.LocksCleared++
+		}
+		rep.LocksCleared += len(fs.readers)
+		for r := range fs.readers {
+			delete(fs.readers, r)
+		}
+	}
+	s.crashed = false
+	rep.Duration = time.Since(start)
+	return rep
+}
+
+// FreezeMidCommit stages n unapplied intentions on file id plus a stale
+// writer lock and crashes the store: the state a real crash between
+// journal write and apply leaves behind. Benchmarks and tests then
+// measure Recover.
+func (s *Store) FreezeMidCommit(id FileID, n int) error {
+	s.mu.Lock()
+	fs, ok := s.files[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("lockfs: file %d not found", id)
+	}
+	pages := len(fs.pages)
+	s.mu.Unlock()
+	var recs []journalRec
+	for i := 0; i < n; i++ {
+		blk, err := s.blocks.Alloc(s.acct, []byte{byte(i)})
+		if err != nil {
+			return err
+		}
+		recs = append(recs, journalRec{file: id, page: i % pages, blk: blk})
+	}
+	s.mu.Lock()
+	s.journal = append(s.journal, recs...)
+	fs.writer = &Txn{s: s}
+	s.crashed = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Reader and page count helpers for tests.
+
+// Pages returns the number of pages in file id.
+func (s *Store) Pages(id FileID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs, ok := s.files[id]
+	if !ok {
+		return 0
+	}
+	return len(fs.pages)
+}
+
+// ReadCommitted reads a page outside any transaction (test helper).
+func (s *Store) ReadCommitted(id FileID, pg int) ([]byte, error) {
+	s.mu.Lock()
+	fs, ok := s.files[id]
+	if !ok || pg < 0 || pg >= len(fs.pages) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("lockfs: bad read %d/%d", id, pg)
+	}
+	blk := fs.pages[pg]
+	s.mu.Unlock()
+	return s.blocks.Read(s.acct, blk)
+}

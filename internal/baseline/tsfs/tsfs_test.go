@@ -1,0 +1,182 @@
+package tsfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/disk"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	d := disk.MustNew(disk.Geometry{Blocks: 1 << 12, BlockSize: 512})
+	return New(block.NewServer(d), 1)
+}
+
+func TestReadWriteCommit(t *testing.T) {
+	s := newStore(t)
+	f, err := s.CreateFile(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn, _ := s.Begin()
+	if err := txn.Write(f, 0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := txn.Read(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:2], []byte("v1")) {
+		t.Fatalf("own read %q", got[:2])
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.ReadCommitted(f, 0)
+	if !bytes.Equal(got[:2], []byte("v1")) {
+		t.Fatalf("committed %q", got[:2])
+	}
+}
+
+func TestTentativeWritesInvisibleUntilCommit(t *testing.T) {
+	s := newStore(t)
+	f, _ := s.CreateFile(1)
+	t1, _ := s.Begin()
+	t1.Write(f, 0, []byte("tentative"))
+	t2, _ := s.Begin()
+	got, err := t2.Read(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("tentative write visible to other transaction")
+	}
+}
+
+func TestLateWriteAborts(t *testing.T) {
+	s := newStore(t)
+	f, _ := s.CreateFile(1)
+	early, _ := s.Begin() // ts = 1
+	late, _ := s.Begin()  // ts = 2
+	// The later transaction reads the page: readTS = 2.
+	if _, err := late.Read(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The earlier transaction's write arrives too late.
+	err := early.Write(f, 0, []byte("too late"))
+	if !errors.Is(err, ErrLateWrite) {
+		t.Fatalf("err = %v, want ErrLateWrite", err)
+	}
+	if s.Stats().LateWrites != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestLateWriteDetectedAtCommit(t *testing.T) {
+	s := newStore(t)
+	f, _ := s.CreateFile(1)
+	early, _ := s.Begin()
+	if err := early.Write(f, 0, []byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	// A later transaction reads and commits between the buffer and the
+	// publish.
+	late, _ := s.Begin()
+	if _, err := late.Read(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := late.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := early.Commit(); !errors.Is(err, ErrLateWrite) {
+		t.Fatalf("commit err = %v, want ErrLateWrite", err)
+	}
+}
+
+func TestSnapshotReads(t *testing.T) {
+	s := newStore(t)
+	f, _ := s.CreateFile(1)
+	// Commit two generations.
+	for _, v := range []string{"g1", "g2"} {
+		txn, _ := s.Begin()
+		txn.Write(f, 0, []byte(v))
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A reader that began before a third write sees g2 even after g3
+	// commits (multi-version snapshot at its pseudo-time).
+	reader, _ := s.Begin()
+	w, _ := s.Begin()
+	w.Write(f, 0, []byte("g3"))
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reader.Read(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:2], []byte("g2")) {
+		t.Fatalf("snapshot read %q, want g2", got[:2])
+	}
+}
+
+func TestDisjointWritersBothCommit(t *testing.T) {
+	s := newStore(t)
+	f, _ := s.CreateFile(2)
+	t1, _ := s.Begin()
+	t2, _ := s.Begin()
+	if err := t1.Write(f, 0, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(f, 1, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	d0, _ := s.ReadCommitted(f, 0)
+	d1, _ := s.ReadCommitted(f, 1)
+	if !bytes.Equal(d0[:3], []byte("one")) || !bytes.Equal(d1[:3], []byte("two")) {
+		t.Fatalf("%q %q", d0[:3], d1[:3])
+	}
+}
+
+func TestAbortedTxnUnusable(t *testing.T) {
+	s := newStore(t)
+	f, _ := s.CreateFile(1)
+	txn, _ := s.Begin()
+	txn.Abort()
+	if _, err := txn.Read(f, 0); !errors.Is(err, ErrAborted) {
+		t.Fatalf("read after abort: %v", err)
+	}
+	if err := txn.Commit(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("commit after abort: %v", err)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	s := newStore(t)
+	f, _ := s.CreateFile(1)
+	for i := 0; i < 5; i++ {
+		txn, _ := s.Begin()
+		txn.Write(f, 0, []byte{byte(i)})
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Prune()
+	got, err := s.ReadCommitted(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 4 {
+		t.Fatalf("latest after prune = %d", got[0])
+	}
+}

@@ -1,0 +1,362 @@
+// Package block implements the paper's block server (§4): the bottom of
+// the storage hierarchy, managing fixed-size blocks of data.
+//
+// The block service implements "as a minimum commands to allocate,
+// deallocate, read and write fixed size blocks of data", with three
+// further properties the file service depends on:
+//
+//   - Protection: a block allocated by account A cannot be touched by
+//     account B without A's permission. Accounts are identified by
+//     capability; the per-block owner is recorded at allocation.
+//   - Atomic writes: "Writing a block must be an atomic action, with an
+//     acknowledgement that is returned after the block has been stored on
+//     disk. This property is vital for the implementation of atomic
+//     update on files."
+//   - A simple locking facility: the file service realises its commit
+//     critical section by "lock and read a block, examine and modify it,
+//     then write and unlock the block again". TestAndSet-style semantics
+//     are provided through Lock/Unlock plus the composite LockRead and
+//     WriteUnlock operations.
+//
+// Block servers also support the §4 recovery operation: "given an account
+// number, returns a list of block numbers owned by that account", which a
+// file server uses with its own redundancy information to rebuild its
+// file system after a severe crash.
+package block
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/disk"
+)
+
+// Num is a block number. The paper packs block numbers into 28 bits next
+// to 4 flag bits; NumBits and MaxNum enforce that bound here so the page
+// layer's reference encoding is faithful.
+type Num uint32
+
+// NumBits is the width of a block number (the paper's 28 bits).
+const NumBits = 28
+
+// MaxNum is the largest representable block number.
+const MaxNum Num = 1<<NumBits - 1
+
+// NilNum is the reserved "no block" value. Block 0 is never allocated so
+// that nil references are unambiguous, mirroring the paper's nil base and
+// commit references.
+const NilNum Num = 0
+
+// Errors returned by the block service.
+var (
+	// ErrNoSpace reports that the underlying disk is full.
+	ErrNoSpace = errors.New("block: no space")
+	// ErrNotAllocated reports an operation on a free block.
+	ErrNotAllocated = errors.New("block: not allocated")
+	// ErrNotOwner reports an access by an account that does not own the
+	// block.
+	ErrNotOwner = errors.New("block: not owner")
+	// ErrLocked reports a Lock on an already locked block.
+	ErrLocked = errors.New("block: locked")
+	// ErrNotLocked reports an Unlock of an unlocked block.
+	ErrNotLocked = errors.New("block: not locked")
+)
+
+// Account identifies a block-server client for protection and recovery.
+// The file servers each hold one account capability.
+type Account uint32
+
+// Store is the interface the file service layers consume. Both the plain
+// Server here and the paired stable-storage servers satisfy it.
+type Store interface {
+	// BlockSize returns the fixed block payload size in bytes.
+	BlockSize() int
+	// Alloc allocates a fresh block owned by account, writes data into
+	// it atomically, and returns its number.
+	Alloc(account Account, data []byte) (Num, error)
+	// Free releases a block.
+	Free(account Account, n Num) error
+	// Read returns the contents of block n.
+	Read(account Account, n Num) ([]byte, error)
+	// Write replaces the contents of block n atomically.
+	Write(account Account, n Num, data []byte) error
+	// Lock acquires the block's mutual-exclusion bit; it fails with
+	// ErrLocked if already held. Locks are advisory and scoped to the
+	// commit critical section (§5.2).
+	Lock(account Account, n Num) error
+	// Unlock releases the lock bit.
+	Unlock(account Account, n Num) error
+	// Recover lists all block numbers owned by account, for crash
+	// recovery of a file server's tables.
+	Recover(account Account) ([]Num, error)
+}
+
+// Server is a single block server backed by one simulated disk.
+type Server struct {
+	d *disk.Disk
+
+	mu     sync.Mutex
+	owner  map[Num]Account
+	locked map[Num]bool
+	// nextHint speeds allocation scans; correctness does not depend on it.
+	nextHint Num
+
+	stats Stats
+}
+
+// Stats counts operations on a Server.
+type Stats struct {
+	Allocs, Frees, Reads, Writes, Locks, Unlocks uint64
+	LockConflicts                                uint64
+}
+
+// NewServer creates a block server on d. Block 0 is reserved as NilNum.
+func NewServer(d *disk.Disk) *Server {
+	return &Server{
+		d:        d,
+		owner:    make(map[Num]Account),
+		locked:   make(map[Num]bool),
+		nextHint: 1,
+	}
+}
+
+// BlockSize implements Store.
+func (s *Server) BlockSize() int { return s.d.Geometry().BlockSize }
+
+// Capacity returns the number of allocatable blocks (excluding NilNum).
+func (s *Server) Capacity() int { return s.d.Geometry().Blocks - 1 }
+
+// InUse returns the number of currently allocated blocks.
+func (s *Server) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.owner)
+}
+
+// Stats returns a snapshot of the operation counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Disk exposes the underlying disk for fault injection in tests and the
+// failure-mode benchmarks.
+func (s *Server) Disk() *disk.Disk { return s.d }
+
+// allocNum reserves the next free block number. Caller holds s.mu.
+func (s *Server) allocNum(account Account) (Num, error) {
+	total := Num(s.d.Geometry().Blocks)
+	if total > MaxNum {
+		total = MaxNum
+	}
+	for i := Num(0); i < total; i++ {
+		n := (s.nextHint + i) % total
+		if n == NilNum {
+			continue
+		}
+		if _, used := s.owner[n]; !used {
+			s.owner[n] = account
+			s.nextHint = n + 1
+			return n, nil
+		}
+	}
+	return NilNum, ErrNoSpace
+}
+
+// checkOwner verifies account owns n. Caller holds s.mu.
+func (s *Server) checkOwner(account Account, n Num) error {
+	own, ok := s.owner[n]
+	if !ok {
+		return fmt.Errorf("block %d: %w", n, ErrNotAllocated)
+	}
+	if own != account {
+		return fmt.Errorf("block %d owned by %d, access by %d: %w", n, own, account, ErrNotOwner)
+	}
+	return nil
+}
+
+// Alloc implements Store.
+func (s *Server) Alloc(account Account, data []byte) (Num, error) {
+	s.mu.Lock()
+	n, err := s.allocNum(account)
+	if err != nil {
+		s.mu.Unlock()
+		return NilNum, err
+	}
+	s.stats.Allocs++
+	s.mu.Unlock()
+
+	if err := s.d.Write(int(n), data); err != nil {
+		s.mu.Lock()
+		delete(s.owner, n)
+		s.mu.Unlock()
+		return NilNum, fmt.Errorf("block %d: %w", n, err)
+	}
+	return n, nil
+}
+
+// Claim allocates a *specific* block number for account, failing if it is
+// already taken. The stable-storage companion protocol uses Claim to
+// mirror its partner's allocation choice; a failed Claim is exactly the
+// paper's §4 "allocate collision".
+func (s *Server) Claim(account Account, n Num) error {
+	if n == NilNum || int(n) >= s.d.Geometry().Blocks {
+		return fmt.Errorf("block %d: %w", n, disk.ErrBadBlock)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, used := s.owner[n]; used {
+		return fmt.Errorf("block %d: already allocated", n)
+	}
+	s.owner[n] = account
+	s.stats.Allocs++
+	return nil
+}
+
+// Free implements Store.
+func (s *Server) Free(account Account, n Num) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkOwner(account, n); err != nil {
+		return err
+	}
+	delete(s.owner, n)
+	delete(s.locked, n)
+	s.stats.Frees++
+	return nil
+}
+
+// Read implements Store.
+func (s *Server) Read(account Account, n Num) ([]byte, error) {
+	s.mu.Lock()
+	if err := s.checkOwner(account, n); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.stats.Reads++
+	s.mu.Unlock()
+	return s.d.Read(int(n))
+}
+
+// Write implements Store.
+func (s *Server) Write(account Account, n Num, data []byte) error {
+	s.mu.Lock()
+	if err := s.checkOwner(account, n); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.stats.Writes++
+	s.mu.Unlock()
+	return s.d.Write(int(n), data)
+}
+
+// Lock implements Store. A failed Lock is the §5.2 signal that another
+// server is inside the commit critical section for this version page.
+func (s *Server) Lock(account Account, n Num) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkOwner(account, n); err != nil {
+		return err
+	}
+	if s.locked[n] {
+		s.stats.LockConflicts++
+		return fmt.Errorf("block %d: %w", n, ErrLocked)
+	}
+	s.locked[n] = true
+	s.stats.Locks++
+	return nil
+}
+
+// Unlock implements Store.
+func (s *Server) Unlock(account Account, n Num) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkOwner(account, n); err != nil {
+		return err
+	}
+	if !s.locked[n] {
+		return fmt.Errorf("block %d: %w", n, ErrNotLocked)
+	}
+	delete(s.locked, n)
+	s.stats.Unlocks++
+	return nil
+}
+
+// Recover implements Store: the §4 recovery scan.
+func (s *Server) Recover(account Account) ([]Num, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Num
+	for n, a := range s.owner {
+		if a == account {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// ClearLocks drops every lock bit; used when a file server restarts after
+// a crash (lock bits are volatile commit-section state, not file state).
+func (s *Server) ClearLocks() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.locked = make(map[Num]bool)
+}
+
+var _ Store = (*Server)(nil)
+
+// Restore rebuilds the allocation table from an owner map, as a block
+// server does after a crash from its companion's notes plus client
+// redundancy data. Existing state is replaced.
+func (s *Server) Restore(owner map[Num]Account) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.owner = make(map[Num]Account, len(owner))
+	for n, a := range owner {
+		s.owner[n] = a
+	}
+	s.locked = make(map[Num]bool)
+}
+
+// Owners returns a copy of the allocation table, for companion recovery.
+func (s *Server) Owners() map[Num]Account {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Num]Account, len(s.owner))
+	for n, a := range s.owner {
+		out[n] = a
+	}
+	return out
+}
+
+// WithLock runs fn while holding the lock on block n, implementing the
+// §5.2 critical section "lock and read a block, examine and modify it,
+// then write and unlock the block again" as a convenience. fn receives
+// the block contents and returns the new contents (nil to skip the
+// write-back).
+func WithLock(st Store, account Account, n Num, fn func(data []byte) ([]byte, error)) error {
+	if err := st.Lock(account, n); err != nil {
+		return err
+	}
+	defer func() {
+		// Unlock failure after a successful body means the store lost
+		// the lock table (crash); the caller's retry logic handles it.
+		_ = st.Unlock(account, n)
+	}()
+	data, err := st.Read(account, n)
+	if err != nil {
+		return err
+	}
+	out, err := fn(data)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return st.Write(account, n, out)
+}

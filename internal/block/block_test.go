@@ -1,0 +1,346 @@
+package block
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/disk"
+)
+
+func newServer(t *testing.T, blocks int) *Server {
+	t.Helper()
+	return NewServer(disk.MustNew(disk.Geometry{Blocks: blocks, BlockSize: 256}))
+}
+
+func TestAllocReadWriteFree(t *testing.T) {
+	s := newServer(t, 32)
+	const acct Account = 1
+
+	n, err := s.Alloc(acct, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == NilNum {
+		t.Fatal("allocated NilNum")
+	}
+	got, err := s.Read(acct, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:5], []byte("hello")) {
+		t.Fatalf("read %q", got[:5])
+	}
+	if err := s.Write(acct, n, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Read(acct, n)
+	if !bytes.Equal(got[:5], []byte("world")) {
+		t.Fatalf("read %q after write", got[:5])
+	}
+	if err := s.Free(acct, n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(acct, n); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("read of freed block err = %v", err)
+	}
+}
+
+func TestBlockZeroNeverAllocated(t *testing.T) {
+	s := newServer(t, 8)
+	seen := make(map[Num]bool)
+	for {
+		n, err := s.Alloc(1, nil)
+		if errors.Is(err, ErrNoSpace) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == NilNum {
+			t.Fatal("allocated the nil block")
+		}
+		if seen[n] {
+			t.Fatalf("block %d allocated twice", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("allocated %d blocks from 8-block disk, want 7", len(seen))
+	}
+}
+
+func TestProtectionBetweenAccounts(t *testing.T) {
+	s := newServer(t, 16)
+	n, err := s.Alloc(1, []byte("private"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(2, n); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("foreign read err = %v", err)
+	}
+	if err := s.Write(2, n, []byte("x")); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("foreign write err = %v", err)
+	}
+	if err := s.Free(2, n); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("foreign free err = %v", err)
+	}
+	if err := s.Lock(2, n); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("foreign lock err = %v", err)
+	}
+}
+
+func TestLockUnlock(t *testing.T) {
+	s := newServer(t, 16)
+	n, _ := s.Alloc(1, nil)
+
+	if err := s.Lock(1, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Lock(1, n); !errors.Is(err, ErrLocked) {
+		t.Fatalf("double lock err = %v", err)
+	}
+	if err := s.Unlock(1, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unlock(1, n); !errors.Is(err, ErrNotLocked) {
+		t.Fatalf("double unlock err = %v", err)
+	}
+	st := s.Stats()
+	if st.Locks != 1 || st.Unlocks != 1 || st.LockConflicts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFreeClearsLock(t *testing.T) {
+	s := newServer(t, 16)
+	n, _ := s.Alloc(1, nil)
+	s.Lock(1, n)
+	s.Free(1, n)
+	// Block reused by a new allocation must not inherit the lock.
+	var n2 Num
+	for {
+		m, err := s.Alloc(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == n {
+			n2 = m
+			break
+		}
+	}
+	if err := s.Lock(1, n2); err != nil {
+		t.Fatalf("reused block inherited lock: %v", err)
+	}
+}
+
+func TestRecoverListsOwnedBlocks(t *testing.T) {
+	s := newServer(t, 32)
+	var mine []Num
+	for i := 0; i < 5; i++ {
+		n, err := s.Alloc(7, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mine = append(mine, n)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Alloc(8, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Recover(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("recovered %d blocks, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("recover list not sorted")
+		}
+	}
+	want := make(map[Num]bool)
+	for _, n := range mine {
+		want[n] = true
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Fatalf("recovered foreign block %d", n)
+		}
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	s := newServer(t, 2) // one allocatable block (0 reserved)
+	if _, err := s.Alloc(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(1, nil); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestAllocAfterFreeReusesSpace(t *testing.T) {
+	s := newServer(t, 2)
+	n, _ := s.Alloc(1, nil)
+	s.Free(1, n)
+	m, err := s.Alloc(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Fatalf("reallocated %d, want %d", m, n)
+	}
+}
+
+func TestWithLockCriticalSection(t *testing.T) {
+	s := newServer(t, 16)
+	n, _ := s.Alloc(1, []byte{0})
+
+	// 20 goroutines increment the first byte under WithLock, retrying
+	// when the lock is held: the final count must be exact.
+	var wg sync.WaitGroup
+	for g := 0; g < 20; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				err := WithLock(s, 1, n, func(data []byte) ([]byte, error) {
+					data[0]++
+					return data, nil
+				})
+				if err == nil {
+					return
+				}
+				if !errors.Is(err, ErrLocked) {
+					t.Errorf("WithLock: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, _ := s.Read(1, n)
+	if got[0] != 20 {
+		t.Fatalf("counter = %d, want 20 (critical section violated)", got[0])
+	}
+}
+
+func TestWithLockSkipWrite(t *testing.T) {
+	s := newServer(t, 16)
+	n, _ := s.Alloc(1, []byte("orig"))
+	err := WithLock(s, 1, n, func(data []byte) ([]byte, error) {
+		return nil, nil // examine only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Read(1, n)
+	if !bytes.Equal(got[:4], []byte("orig")) {
+		t.Fatal("WithLock with nil result wrote the block")
+	}
+	// Lock must have been released.
+	if err := s.Lock(1, n); err != nil {
+		t.Fatalf("lock leaked: %v", err)
+	}
+}
+
+func TestWithLockPropagatesBodyError(t *testing.T) {
+	s := newServer(t, 16)
+	n, _ := s.Alloc(1, nil)
+	boom := errors.New("boom")
+	if err := WithLock(s, 1, n, func([]byte) ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if err := s.Lock(1, n); err != nil {
+		t.Fatalf("lock leaked after body error: %v", err)
+	}
+}
+
+func TestRestoreAndOwners(t *testing.T) {
+	s := newServer(t, 16)
+	n1, _ := s.Alloc(1, []byte("a"))
+	n2, _ := s.Alloc(2, []byte("b"))
+	owners := s.Owners()
+	if owners[n1] != 1 || owners[n2] != 2 {
+		t.Fatalf("owners = %v", owners)
+	}
+
+	s2 := NewServer(s.Disk())
+	s2.Restore(owners)
+	got, err := s2.Read(1, n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'a' {
+		t.Fatal("restored server lost data")
+	}
+	if _, err := s2.Read(1, n2); !errors.Is(err, ErrNotOwner) {
+		t.Fatal("restored server lost ownership")
+	}
+}
+
+func TestClearLocks(t *testing.T) {
+	s := newServer(t, 16)
+	n, _ := s.Alloc(1, nil)
+	s.Lock(1, n)
+	s.ClearLocks()
+	if err := s.Lock(1, n); err != nil {
+		t.Fatalf("lock after ClearLocks: %v", err)
+	}
+}
+
+func TestDiskErrorSurfacesAndReleasesBlock(t *testing.T) {
+	s := newServer(t, 16)
+	s.Disk().Crash()
+	if _, err := s.Alloc(1, []byte("x")); !errors.Is(err, disk.ErrOffline) {
+		t.Fatalf("alloc on crashed disk err = %v", err)
+	}
+	s.Disk().Repair()
+	// The failed allocation must not leak the block.
+	if s.InUse() != 0 {
+		t.Fatalf("InUse = %d after failed alloc, want 0", s.InUse())
+	}
+}
+
+func TestCapacityAndInUse(t *testing.T) {
+	s := newServer(t, 16)
+	if s.Capacity() != 15 {
+		t.Fatalf("Capacity = %d, want 15", s.Capacity())
+	}
+	s.Alloc(1, nil)
+	s.Alloc(1, nil)
+	if s.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", s.InUse())
+	}
+}
+
+func TestConcurrentAllocDistinct(t *testing.T) {
+	s := newServer(t, 256)
+	var mu sync.Mutex
+	seen := make(map[Num]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				n, err := s.Alloc(1, nil)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				mu.Lock()
+				if seen[n] {
+					t.Errorf("block %d allocated twice", n)
+				}
+				seen[n] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

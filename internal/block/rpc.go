@@ -1,0 +1,252 @@
+package block
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/capability"
+	"repro/internal/rpc"
+)
+
+// The block service wire protocol: the §4 commands (allocate, deallocate,
+// read, write), the lock facility, the Claim used by companion pairs and
+// the recovery scan. A Remote proxies the Store interface over any
+// rpc.Transactor, so a file server cannot tell a local block server from
+// one across the network — which is how cmd/afs-server mounts
+// cmd/afs-block.
+const (
+	cmdAlloc uint32 = 0x0b10c0 + iota
+	cmdFree
+	cmdRead
+	cmdWrite
+	cmdLock
+	cmdUnlock
+	cmdClaim
+	cmdRecover
+	cmdBlockSize
+)
+
+// Status codes specific to the block service.
+const (
+	statusNoSpace rpc.Status = rpc.StatusServiceBase + iota
+	statusNotAllocated
+	statusNotOwner
+	statusLocked
+	statusNotLocked
+)
+
+// Serve returns an rpc.Handler exposing s.
+func Serve(s *Server) rpc.Handler {
+	return func(req *rpc.Message) *rpc.Message {
+		acct := Account(req.Args[0])
+		n := Num(req.Args[1])
+		switch req.Command {
+		case cmdBlockSize:
+			r := req.Reply(rpc.StatusOK)
+			r.Args[0] = uint64(s.BlockSize())
+			return r
+		case cmdAlloc:
+			got, err := s.Alloc(acct, req.Data)
+			if err != nil {
+				return blockErr(req, err)
+			}
+			r := req.Reply(rpc.StatusOK)
+			r.Args[0] = uint64(got)
+			return r
+		case cmdFree:
+			if err := s.Free(acct, n); err != nil {
+				return blockErr(req, err)
+			}
+			return req.Reply(rpc.StatusOK)
+		case cmdRead:
+			data, err := s.Read(acct, n)
+			if err != nil {
+				return blockErr(req, err)
+			}
+			r := req.Reply(rpc.StatusOK)
+			r.Data = data
+			return r
+		case cmdWrite:
+			if err := s.Write(acct, n, req.Data); err != nil {
+				return blockErr(req, err)
+			}
+			return req.Reply(rpc.StatusOK)
+		case cmdLock:
+			if err := s.Lock(acct, n); err != nil {
+				return blockErr(req, err)
+			}
+			return req.Reply(rpc.StatusOK)
+		case cmdUnlock:
+			if err := s.Unlock(acct, n); err != nil {
+				return blockErr(req, err)
+			}
+			return req.Reply(rpc.StatusOK)
+		case cmdClaim:
+			if err := s.Claim(acct, n); err != nil {
+				return blockErr(req, err)
+			}
+			return req.Reply(rpc.StatusOK)
+		case cmdRecover:
+			nums, err := s.Recover(acct)
+			if err != nil {
+				return blockErr(req, err)
+			}
+			r := req.Reply(rpc.StatusOK)
+			r.Data = make([]byte, 0, 4*len(nums))
+			for _, b := range nums {
+				r.Data = append(r.Data, byte(b>>24), byte(b>>16), byte(b>>8), byte(b))
+			}
+			return r
+		default:
+			return req.Errorf(rpc.StatusBadCommand, "block: command %#x", req.Command)
+		}
+	}
+}
+
+// blockErr maps store errors to wire statuses.
+func blockErr(req *rpc.Message, err error) *rpc.Message {
+	status := rpc.StatusIO
+	switch {
+	case errors.Is(err, ErrNoSpace):
+		status = statusNoSpace
+	case errors.Is(err, ErrNotAllocated):
+		status = statusNotAllocated
+	case errors.Is(err, ErrNotOwner):
+		status = statusNotOwner
+	case errors.Is(err, ErrLocked):
+		status = statusLocked
+	case errors.Is(err, ErrNotLocked):
+		status = statusNotLocked
+	}
+	return req.Errorf(status, "%v", err)
+}
+
+// statusErr maps wire statuses back to the store's sentinel errors so
+// errors.Is works identically on both sides of the wire.
+func statusErr(resp *rpc.Message) error {
+	if resp.Status == rpc.StatusOK {
+		return nil
+	}
+	base := resp.Err()
+	switch resp.Status {
+	case statusNoSpace:
+		return fmt.Errorf("%w (%v)", ErrNoSpace, base)
+	case statusNotAllocated:
+		return fmt.Errorf("%w (%v)", ErrNotAllocated, base)
+	case statusNotOwner:
+		return fmt.Errorf("%w (%v)", ErrNotOwner, base)
+	case statusLocked:
+		return fmt.Errorf("%w (%v)", ErrLocked, base)
+	case statusNotLocked:
+		return fmt.Errorf("%w (%v)", ErrNotLocked, base)
+	default:
+		return base
+	}
+}
+
+// remoteStore is a Store proxy over a transport.
+type remoteStore struct {
+	tr   rpc.Transactor
+	port capability.Port
+	size int
+}
+
+// Dial connects to a block service on port via tr and learns its block
+// size. The returned Store is indistinguishable from a local one.
+func Dial(tr rpc.Transactor, port capability.Port) (Store, error) {
+	r := &remoteStore{tr: tr, port: port}
+	resp, err := r.call(&rpc.Message{Command: cmdBlockSize})
+	if err != nil {
+		return nil, err
+	}
+	r.size = int(resp.Args[0])
+	if r.size <= 0 {
+		return nil, fmt.Errorf("block: remote reports block size %d", r.size)
+	}
+	return r, nil
+}
+
+func (r *remoteStore) call(req *rpc.Message) (*rpc.Message, error) {
+	resp, err := r.tr.Transact(r.port, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (r *remoteStore) req(cmd uint32, acct Account, n Num, data []byte) *rpc.Message {
+	m := &rpc.Message{Command: cmd, Data: data}
+	m.Args[0] = uint64(acct)
+	m.Args[1] = uint64(n)
+	return m
+}
+
+// BlockSize implements Store.
+func (r *remoteStore) BlockSize() int { return r.size }
+
+// Alloc implements Store.
+func (r *remoteStore) Alloc(acct Account, data []byte) (Num, error) {
+	resp, err := r.call(r.req(cmdAlloc, acct, 0, data))
+	if err != nil {
+		return NilNum, err
+	}
+	return Num(resp.Args[0]), nil
+}
+
+// Free implements Store.
+func (r *remoteStore) Free(acct Account, n Num) error {
+	_, err := r.call(r.req(cmdFree, acct, n, nil))
+	return err
+}
+
+// Read implements Store.
+func (r *remoteStore) Read(acct Account, n Num) ([]byte, error) {
+	resp, err := r.call(r.req(cmdRead, acct, n, nil))
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Write implements Store.
+func (r *remoteStore) Write(acct Account, n Num, data []byte) error {
+	_, err := r.call(r.req(cmdWrite, acct, n, data))
+	return err
+}
+
+// Lock implements Store.
+func (r *remoteStore) Lock(acct Account, n Num) error {
+	_, err := r.call(r.req(cmdLock, acct, n, nil))
+	return err
+}
+
+// Unlock implements Store.
+func (r *remoteStore) Unlock(acct Account, n Num) error {
+	_, err := r.call(r.req(cmdUnlock, acct, n, nil))
+	return err
+}
+
+// Claim implements the companion-pair claim over the wire.
+func (r *remoteStore) Claim(acct Account, n Num) error {
+	_, err := r.call(r.req(cmdClaim, acct, n, nil))
+	return err
+}
+
+// Recover implements Store.
+func (r *remoteStore) Recover(acct Account) ([]Num, error) {
+	resp, err := r.call(r.req(cmdRecover, acct, 0, nil))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Num, 0, len(resp.Data)/4)
+	for i := 0; i+4 <= len(resp.Data); i += 4 {
+		out = append(out, Num(uint32(resp.Data[i])<<24|uint32(resp.Data[i+1])<<16|
+			uint32(resp.Data[i+2])<<8|uint32(resp.Data[i+3])))
+	}
+	return out, nil
+}
+
+var _ Store = (*remoteStore)(nil)

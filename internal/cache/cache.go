@@ -1,0 +1,189 @@
+// Package cache implements the client-side page cache of §5.4.
+//
+// "A version, from the moment of its creation, behaves like a private
+// copy of a file that cannot change without the owner's consent. Both
+// Amoeba File Servers and their clients can therefore maintain a cache
+// which, for the most recently used versions of a set of files, contains
+// collections of pages."
+//
+// A cache entry records the version root its pages were read from. Before
+// a new version is opened, the client asks a server to validate the entry
+// (the §5.4 serialisability test between the cached version and the
+// current version); the server returns the path names of pages to
+// discard — no page data moves, and for a file nobody else touched the
+// test is a null operation. There are no unsolicited messages: the
+// server never calls the client.
+package cache
+
+import (
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/page"
+)
+
+// Entry is one cached page.
+type Entry struct {
+	Data  []byte
+	NRefs int
+}
+
+// Stats counts cache behaviour for the E7 experiment.
+type Stats struct {
+	Hits            uint64 // reads served (validated) from the cache
+	Misses          uint64 // reads that had to fetch data
+	Discards        uint64 // entries dropped by validation
+	Validations     uint64 // validation round trips
+	NullValidations uint64 // validations that found everything valid
+}
+
+// fileCache holds one file's cached pages, all from the same version.
+type fileCache struct {
+	root  block.Num
+	pages map[string]Entry
+}
+
+// Cache is a page cache for any number of files. Safe for concurrent
+// use.
+type Cache struct {
+	mu    sync.Mutex
+	files map[uint32]*fileCache
+	stats Stats
+}
+
+// New creates an empty cache.
+func New() *Cache {
+	return &Cache{files: make(map[uint32]*fileCache)}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Root returns the version root the file's entries are valid for.
+func (c *Cache) Root(file uint32) (block.Num, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fc, ok := c.files[file]
+	if !ok {
+		return block.NilNum, false
+	}
+	return fc.root, true
+}
+
+// Get returns the cached page at path if the cache holds file's pages for
+// version root.
+func (c *Cache) Get(file uint32, root block.Num, p page.Path) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fc, ok := c.files[file]
+	if !ok || fc.root != root {
+		c.stats.Misses++
+		return Entry{}, false
+	}
+	e, ok := fc.pages[p.String()]
+	if !ok {
+		c.stats.Misses++
+		return Entry{}, false
+	}
+	c.stats.Hits++
+	return Entry{Data: append([]byte(nil), e.Data...), NRefs: e.NRefs}, true
+}
+
+// Put stores a page read from version root. If the cache holds pages of
+// an older version of the file, they are discarded first: one version per
+// file.
+func (c *Cache) Put(file uint32, root block.Num, p page.Path, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fc, ok := c.files[file]
+	if !ok || fc.root != root {
+		fc = &fileCache{root: root, pages: make(map[string]Entry)}
+		c.files[file] = fc
+	}
+	fc.pages[p.String()] = Entry{Data: append([]byte(nil), e.Data...), NRefs: e.NRefs}
+}
+
+// Len returns the number of pages cached for file.
+func (c *Cache) Len(file uint32) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fc, ok := c.files[file]
+	if !ok {
+		return 0
+	}
+	return len(fc.pages)
+}
+
+// Drop discards everything cached for file.
+func (c *Cache) Drop(file uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fc, ok := c.files[file]; ok {
+		c.stats.Discards += uint64(len(fc.pages))
+		delete(c.files, file)
+	}
+}
+
+// Invalidation mirrors the server's validation verdict.
+type Invalidation struct {
+	Exact    []page.Path
+	Prefixes []page.Path
+	All      bool
+}
+
+// Empty reports whether nothing needs discarding.
+func (iv Invalidation) Empty() bool {
+	return !iv.All && len(iv.Exact) == 0 && len(iv.Prefixes) == 0
+}
+
+// Apply prunes the file's entries per the server's verdict and re-stamps
+// the survivors as valid for version root newRoot (the current version at
+// validation time).
+func (c *Cache) Apply(file uint32, newRoot block.Num, iv Invalidation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Validations++
+	if iv.Empty() {
+		c.stats.NullValidations++
+	}
+	fc, ok := c.files[file]
+	if !ok {
+		return
+	}
+	if iv.All {
+		c.stats.Discards += uint64(len(fc.pages))
+		delete(c.files, file)
+		return
+	}
+	for key := range fc.pages {
+		p, err := page.ParsePath(key)
+		if err != nil {
+			delete(fc.pages, key)
+			continue
+		}
+		if invalidated(p, iv) {
+			delete(fc.pages, key)
+			c.stats.Discards++
+		}
+	}
+	fc.root = newRoot
+}
+
+// invalidated reports whether path p is named by the verdict.
+func invalidated(p page.Path, iv Invalidation) bool {
+	for _, e := range iv.Exact {
+		if p.Equal(e) {
+			return true
+		}
+	}
+	for _, pre := range iv.Prefixes {
+		if p.HasPrefix(pre) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/page"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := New()
+	p := page.Path{1, 2}
+	c.Put(1, 10, p, Entry{Data: []byte("x"), NRefs: 3})
+	e, ok := c.Get(1, 10, p)
+	if !ok || string(e.Data) != "x" || e.NRefs != 3 {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetMissesWrongRootOrPath(t *testing.T) {
+	c := New()
+	c.Put(1, 10, page.RootPath, Entry{Data: []byte("x")})
+	if _, ok := c.Get(1, 11, page.RootPath); ok {
+		t.Fatal("hit with wrong root")
+	}
+	if _, ok := c.Get(1, 10, page.Path{0}); ok {
+		t.Fatal("hit with wrong path")
+	}
+	if _, ok := c.Get(2, 10, page.RootPath); ok {
+		t.Fatal("hit with wrong file")
+	}
+	if st := c.Stats(); st.Misses != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutNewerRootResetsFile(t *testing.T) {
+	c := New()
+	c.Put(1, 10, page.RootPath, Entry{Data: []byte("old")})
+	c.Put(1, 20, page.Path{0}, Entry{Data: []byte("new")})
+	if _, ok := c.Get(1, 10, page.RootPath); ok {
+		t.Fatal("stale root entry survived")
+	}
+	if c.Len(1) != 1 {
+		t.Fatalf("Len = %d", c.Len(1))
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	c := New()
+	c.Put(1, 10, page.RootPath, Entry{Data: []byte("abc")})
+	e, _ := c.Get(1, 10, page.RootPath)
+	e.Data[0] = 'X'
+	e2, _ := c.Get(1, 10, page.RootPath)
+	if e2.Data[0] != 'a' {
+		t.Fatal("cache aliased caller buffer")
+	}
+}
+
+func TestApplyExactAndPrefix(t *testing.T) {
+	c := New()
+	for _, p := range []page.Path{page.RootPath, {0}, {1}, {1, 0}, {1, 1}, {2}} {
+		c.Put(1, 10, p, Entry{Data: []byte(p.String())})
+	}
+	c.Apply(1, 20, Invalidation{
+		Exact:    []page.Path{{0}},
+		Prefixes: []page.Path{{1}},
+	})
+	// {0} gone (exact), {1} and children gone (prefix); root and {2}
+	// survive, re-stamped for root 20.
+	if _, ok := c.Get(1, 20, page.Path{0}); ok {
+		t.Fatal("exact-invalidated entry survived")
+	}
+	for _, p := range []page.Path{{1}, {1, 0}, {1, 1}} {
+		if _, ok := c.Get(1, 20, p); ok {
+			t.Fatalf("prefix-invalidated entry %s survived", p)
+		}
+	}
+	for _, p := range []page.Path{page.RootPath, {2}} {
+		if _, ok := c.Get(1, 20, p); !ok {
+			t.Fatalf("valid entry %s dropped", p)
+		}
+	}
+	st := c.Stats()
+	if st.Discards != 4 || st.Validations != 1 || st.NullValidations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	c := New()
+	c.Put(1, 10, page.RootPath, Entry{})
+	c.Put(1, 10, page.Path{3}, Entry{})
+	c.Apply(1, 20, Invalidation{All: true})
+	if c.Len(1) != 0 {
+		t.Fatal("All invalidation left entries")
+	}
+}
+
+func TestApplyEmptyIsNullValidation(t *testing.T) {
+	c := New()
+	c.Put(1, 10, page.RootPath, Entry{Data: []byte("v")})
+	c.Apply(1, 10, Invalidation{})
+	if _, ok := c.Get(1, 10, page.RootPath); !ok {
+		t.Fatal("null validation dropped entries")
+	}
+	st := c.Stats()
+	if st.NullValidations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	c := New()
+	c.Put(1, 10, page.RootPath, Entry{})
+	c.Drop(1)
+	if c.Len(1) != 0 {
+		t.Fatal("Drop left entries")
+	}
+	if _, ok := c.Root(1); ok {
+		t.Fatal("Root known after Drop")
+	}
+}

@@ -1,0 +1,133 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/rpc"
+	"repro/internal/server"
+)
+
+// TestFullStackOverTCP runs the complete deployment the cmd tools wire
+// up: a block server behind one TCP listener, a file service (two
+// logical servers) behind another, mounted on the remote block store,
+// and a client talking TCP — three "machines" on loopback.
+func TestFullStackOverTCP(t *testing.T) {
+	// Machine 1: the block service.
+	blockSrv := block.NewServer(disk.MustNew(disk.Geometry{Blocks: 1 << 14, BlockSize: 1024}))
+	blockTCP, err := rpc.NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blockTCP.Close()
+	blockPort := capability.NewPort().Public()
+	blockTCP.Register(blockPort, block.Serve(blockSrv))
+
+	// Machine 2: the file service, mounting the remote block store.
+	res := rpc.NewResolver()
+	res.Set(blockPort, blockTCP.Addr())
+	mountCli := rpc.NewTCPClient(res)
+	defer mountCli.Close()
+	remote, err := block.Dial(mountCli, blockPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := server.NewShared(remote, 1)
+	fsTCP, err := rpc.NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsTCP.Close()
+	var ports []capability.Port
+	for i := 0; i < 2; i++ {
+		s := server.New(sh, nil)
+		fsTCP.Register(s.Port(), s.Handler())
+		ports = append(ports, s.Port())
+	}
+
+	// Machine 3: the client.
+	cliRes := rpc.NewResolver()
+	for _, p := range ports {
+		cliRes.Set(p, fsTCP.Addr())
+	}
+	tcpCli := rpc.NewTCPClient(cliRes)
+	defer tcpCli.Close()
+	c := New(tcpCli, ports...)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	fcap, err := c.CreateFile([]byte("over three machines"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Update(fcap, UpdateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := v.Read(page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "over three machines" {
+		t.Fatalf("read %q", data)
+	}
+	if err := v.Insert(page.RootPath, 0, []byte("child over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Write(page.RootPath, []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Conflicts cross the wire with their identity intact.
+	v1, _ := c.Update(fcap, UpdateOpts{})
+	v2, _ := c.Update(fcap, UpdateOpts{})
+	if _, _, err := v1.Read(page.Path{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.Write(page.RootPath, []byte("derived")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Write(page.Path{0}, []byte("racer")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflict over TCP = %v", err)
+	}
+
+	// History and time travel over TCP.
+	hist, err := c.History(fcap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("history %d", len(hist))
+	}
+	old, _, err := c.ReadCommitted(fcap, hist[0], page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(old) != "over three machines" {
+		t.Fatalf("time travel read %q", old)
+	}
+
+	// The block service actually holds the data: verify the §4
+	// recovery scan sees the service's blocks through the same wire.
+	nums, err := remote.Recover(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nums) < 3 {
+		t.Fatalf("block service holds %d blocks", len(nums))
+	}
+}

@@ -1,0 +1,227 @@
+// Package core assembles complete Amoeba File Service deployments: block
+// storage (optionally the §4 paired stable storage), any number of file
+// server processes on a shared transport, the garbage collector, and
+// clients with failover. It is the harness the examples, the command-line
+// tools and the crash experiments (E8/E9) drive.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/client"
+	"repro/internal/disk"
+	"repro/internal/file"
+	"repro/internal/gc"
+	"repro/internal/rpc"
+	"repro/internal/server"
+	"repro/internal/stable"
+	"repro/internal/version"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Servers is the number of file server processes (default 1).
+	Servers int
+	// DiskBlocks and BlockSize shape the simulated disks (defaults
+	// 1<<16 x 4096).
+	DiskBlocks int
+	BlockSize  int
+	// StablePair stores every block on two companion block servers (§4).
+	StablePair bool
+	// Retain is the GC's committed-version horizon per file (default 4).
+	Retain int
+	// NetLatency simulates transport delay per message leg.
+	NetLatency time.Duration
+	// ReadCost and WriteCost simulate disk service times.
+	ReadCost  time.Duration
+	WriteCost time.Duration
+	// LockPoll and LockPatience tune the §5.3 waiters (defaults suit
+	// tests; zero keeps the server defaults).
+	LockPoll     time.Duration
+	LockPatience time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Servers <= 0 {
+		c.Servers = 1
+	}
+	if c.DiskBlocks <= 0 {
+		c.DiskBlocks = 1 << 16
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4096
+	}
+	if c.Retain <= 0 {
+		c.Retain = 4
+	}
+	return c
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	Cfg     Config
+	Net     *rpc.Network
+	Shared  *server.Shared
+	Servers []*server.Server
+	GC      *gc.Collector
+
+	pair   *stable.Pair
+	nextID int
+}
+
+// netRegistry backs a server's update ports with the network, grouped
+// under the server's process group so a crash kills them.
+type netRegistry struct {
+	net   *rpc.Network
+	group string
+}
+
+func (r netRegistry) Register(p capability.Port) {
+	// The handler answers liveness probes; any reply means "alive".
+	_ = r.net.Register(r.group, p, func(req *rpc.Message) *rpc.Message {
+		return req.Reply(rpc.StatusOK)
+	})
+}
+
+func (r netRegistry) Unregister(p capability.Port) { r.net.Unregister(p) }
+func (r netRegistry) Alive(p capability.Port) bool { return r.net.Alive(p) }
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	geo := disk.Geometry{
+		Blocks:    cfg.DiskBlocks,
+		BlockSize: cfg.BlockSize,
+		ReadCost:  cfg.ReadCost,
+		WriteCost: cfg.WriteCost,
+	}
+	var store block.Store
+	var pair *stable.Pair
+	if cfg.StablePair {
+		da, err := disk.New(geo)
+		if err != nil {
+			return nil, err
+		}
+		db, err := disk.New(geo)
+		if err != nil {
+			return nil, err
+		}
+		pair = stable.NewFailoverPair(da, db)
+		store = pair
+	} else {
+		d, err := disk.New(geo)
+		if err != nil {
+			return nil, err
+		}
+		store = block.NewServer(d)
+	}
+
+	net := rpc.NewNetwork()
+	net.SetLatency(cfg.NetLatency)
+	sh := server.NewShared(store, 1)
+	c := &Cluster{Cfg: cfg, Net: net, Shared: sh, pair: pair}
+	for i := 0; i < cfg.Servers; i++ {
+		if _, err := c.AddServer(); err != nil {
+			return nil, err
+		}
+	}
+	c.GC = gc.New(version.NewStore(store, sh.Acct), sh.Table, cfg.Retain, c.LiveVersions)
+	return c, nil
+}
+
+// group names a server's process group on the network.
+func (c *Cluster) group(id int) string { return fmt.Sprintf("afs-%d", id) }
+
+// AddServer starts one more file server process and returns its index.
+// Used both for initial bring-up and to replace crashed servers.
+func (c *Cluster) AddServer() (int, error) {
+	id := c.nextID
+	c.nextID++
+	s := server.New(c.Shared, c.Net.Alive)
+	s.UsePortRegistry(netRegistry{net: c.Net, group: c.group(id)})
+	if c.Cfg.LockPoll > 0 {
+		s.LockManager().Poll = c.Cfg.LockPoll
+	}
+	if c.Cfg.LockPatience > 0 {
+		s.LockManager().Patience = c.Cfg.LockPatience
+	}
+	if err := c.Net.Register(c.group(id), s.Port(), s.Handler()); err != nil {
+		return 0, err
+	}
+	c.Servers = append(c.Servers, s)
+	return len(c.Servers) - 1, nil
+}
+
+// CrashServer kills server i: its process state and every port it serves
+// (including its updates' lock ports) die at once.
+func (c *Cluster) CrashServer(i int) {
+	if i < 0 || i >= len(c.Servers) {
+		return
+	}
+	c.Servers[i].Crash()
+	// The group index equals the server's creation id as long as
+	// servers are only appended; recompute from position.
+	c.Net.Crash(c.group(i))
+}
+
+// Ports lists the live servers' ports, preferred order.
+func (c *Cluster) Ports() []capability.Port {
+	out := make([]capability.Port, 0, len(c.Servers))
+	for _, s := range c.Servers {
+		if c.Net.Alive(s.Port()) {
+			out = append(out, s.Port())
+		}
+	}
+	return out
+}
+
+// AllPorts lists every server port regardless of liveness (clients
+// discover death by failing over).
+func (c *Cluster) AllPorts() []capability.Port {
+	out := make([]capability.Port, 0, len(c.Servers))
+	for _, s := range c.Servers {
+		out = append(out, s.Port())
+	}
+	return out
+}
+
+// Client creates a client connected to all servers.
+func (c *Cluster) Client() *client.Client {
+	return client.New(c.Net, c.AllPorts()...)
+}
+
+// LiveVersions aggregates the live version roots of every live server,
+// for GC pinning.
+func (c *Cluster) LiveVersions() []block.Num {
+	var out []block.Num
+	for _, s := range c.Servers {
+		if c.Net.Alive(s.Port()) {
+			out = append(out, s.LiveVersions()...)
+		}
+	}
+	return out
+}
+
+// Pair returns the stable-storage pair when the cluster uses one.
+func (c *Cluster) Pair() *stable.Pair { return c.pair }
+
+// RebuildTable reconstructs the file table from storage (total-crash
+// recovery, §4): the result replaces the shared table's contents.
+func (c *Cluster) RebuildTable() error {
+	st := version.NewStore(c.Shared.Store, c.Shared.Acct)
+	t, err := file.Rebuild(st)
+	if err != nil {
+		return err
+	}
+	for _, obj := range c.Shared.Table.Objects() {
+		c.Shared.Table.Remove(obj)
+	}
+	for obj, e := range t.Entries() {
+		c.Shared.Table.Put(obj, e)
+	}
+	return nil
+}

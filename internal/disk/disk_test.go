@@ -1,0 +1,272 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestDisk(t *testing.T) *Disk {
+	t.Helper()
+	d, err := New(Geometry{Blocks: 64, BlockSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	if _, err := New(Geometry{Blocks: 0, BlockSize: 8}); err == nil {
+		t.Fatal("accepted zero blocks")
+	}
+	if _, err := New(Geometry{Blocks: 8, BlockSize: 0}); err == nil {
+		t.Fatal("accepted zero block size")
+	}
+	if _, err := New(Geometry{Blocks: -1, BlockSize: -1}); err == nil {
+		t.Fatal("accepted negative geometry")
+	}
+}
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	d := newTestDisk(t)
+	b, err := d.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 128 {
+		t.Fatalf("block length %d, want 128", len(b))
+	}
+	for _, x := range b {
+		if x != 0 {
+			t.Fatal("unwritten block not zeroed")
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newTestDisk(t)
+	want := []byte("the quick brown fox")
+	if err := d.Write(3, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(want)], want) {
+		t.Fatalf("read back %q, want %q", got[:len(want)], want)
+	}
+}
+
+func TestWriteZeroFillsTail(t *testing.T) {
+	d := newTestDisk(t)
+	if err := d.Write(1, bytes.Repeat([]byte{0xff}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(1, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 || got[127] != 0 {
+		t.Fatal("short write did not zero-fill the block tail")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d := newTestDisk(t)
+	for _, n := range []int{-1, 64, 1000} {
+		if _, err := d.Read(n); !errors.Is(err, ErrBadBlock) {
+			t.Errorf("Read(%d) err = %v, want ErrBadBlock", n, err)
+		}
+		if err := d.Write(n, nil); !errors.Is(err, ErrBadBlock) {
+			t.Errorf("Write(%d) err = %v, want ErrBadBlock", n, err)
+		}
+	}
+	if err := d.Write(0, make([]byte, 129)); !errors.Is(err, ErrBadSize) {
+		t.Errorf("oversize write err = %v, want ErrBadSize", err)
+	}
+}
+
+func TestCrashPreservesAcknowledgedWrites(t *testing.T) {
+	d := newTestDisk(t)
+	if err := d.Write(2, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	if _, err := d.Read(2); !errors.Is(err, ErrOffline) {
+		t.Fatalf("read on crashed disk err = %v, want ErrOffline", err)
+	}
+	if err := d.Write(2, []byte("x")); !errors.Is(err, ErrOffline) {
+		t.Fatalf("write on crashed disk err = %v, want ErrOffline", err)
+	}
+	d.Repair()
+	got, err := d.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:7], []byte("durable")) {
+		t.Fatal("acknowledged write lost in crash")
+	}
+}
+
+func TestCrashDiscardsUnackedWrites(t *testing.T) {
+	d := newTestDisk(t)
+	if err := d.Write(4, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteUnacked(4, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	d.Repair()
+	got, err := d.Read(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:3], []byte("old")) {
+		t.Fatalf("crash did not discard unacked write: %q", got[:3])
+	}
+	if s := d.Stats(); s.SyncLoss != 1 {
+		t.Fatalf("SyncLoss = %d, want 1", s.SyncLoss)
+	}
+}
+
+func TestSyncMakesUnackedDurable(t *testing.T) {
+	d := newTestDisk(t)
+	if err := d.WriteUnacked(4, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	d.Repair()
+	got, err := d.Read(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:3], []byte("new")) {
+		t.Fatal("synced write lost in crash")
+	}
+}
+
+func TestCorruptionAndRepairByRewrite(t *testing.T) {
+	d := newTestDisk(t)
+	if err := d.Write(7, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectCorruption(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(7); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("read of corrupt block err = %v, want ErrCorrupt", err)
+	}
+	// A full rewrite repairs the block.
+	if err := d.Write(7, []byte("data2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(7); err != nil {
+		t.Fatalf("read after rewrite err = %v", err)
+	}
+	s := d.Stats()
+	if s.BadReads != 1 || s.Corrupted != 1 {
+		t.Fatalf("stats = %+v, want BadReads=1 Corrupted=1", s)
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	d := newTestDisk(t)
+	if err := d.Write(1, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.Read(1)
+	a[0] = 99
+	b, _ := d.Read(1)
+	if b[0] != 1 {
+		t.Fatal("Read exposed internal buffer")
+	}
+}
+
+func TestWriteCopiesInput(t *testing.T) {
+	d := newTestDisk(t)
+	p := []byte{1, 2, 3}
+	if err := d.Write(1, p); err != nil {
+		t.Fatal(err)
+	}
+	p[0] = 99
+	got, _ := d.Read(1)
+	if got[0] != 1 {
+		t.Fatal("Write aliased caller buffer")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	d := newTestDisk(t)
+	d.Write(0, []byte("a"))
+	d.Write(9, []byte("b"))
+	snap := d.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d blocks, want 2", len(snap))
+	}
+	if snap[0][0] != 'a' || snap[9][0] != 'b' {
+		t.Fatal("snapshot content wrong")
+	}
+	snap[0][0] = 'z'
+	got, _ := d.Read(0)
+	if got[0] != 'a' {
+		t.Fatal("snapshot aliased disk storage")
+	}
+}
+
+func TestConcurrentReadWrite(t *testing.T) {
+	d := MustNew(Geometry{Blocks: 16, BlockSize: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := (g*200 + i) % 16
+				if err := d.Write(n, []byte{byte(g)}); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if _, err := d.Read(n); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := d.Stats()
+	if s.Reads != 1600 || s.Writes != 1600 {
+		t.Fatalf("stats = %+v, want 1600 reads and writes", s)
+	}
+}
+
+func TestWriteReadProperty(t *testing.T) {
+	d := MustNew(Geometry{Blocks: 32, BlockSize: 256})
+	prop := func(n uint8, payload []byte) bool {
+		blk := int(n) % 32
+		if len(payload) > 256 {
+			payload = payload[:256]
+		}
+		if err := d.Write(blk, payload); err != nil {
+			return false
+		}
+		got, err := d.Read(blk)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got[:len(payload)], payload)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

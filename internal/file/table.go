@@ -1,0 +1,233 @@
+// Package file implements the file table: the map from file objects to
+// their version chains. The paper's robustness story (§5.4.1) rests on
+// it: "Access paths to committed versions go through the replicated file
+// table, and a chain of version pages on stable storage, hence version
+// access and file access can be guaranteed as long as one or more servers
+// are operational."
+//
+// The table is shared by all server processes of one file service (our
+// stand-in for replication on a single machine) and can be rebuilt from
+// the block service alone — every version page carries its file
+// capability in its header, and the block service's §4 recovery scan
+// lists the service's blocks — so a freshly started server needs nothing
+// but its account to recover the full file system.
+package file
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/page"
+	"repro/internal/version"
+)
+
+// ErrUnknownFile reports a lookup of a file the table does not know.
+var ErrUnknownFile = errors.New("file: unknown file")
+
+// Entry is one file's table row.
+type Entry struct {
+	// Cap is the file's owner capability.
+	Cap capability.Capability
+	// Entry is the block of a committed version page of the file; the
+	// current version is found by following commit references from it.
+	Entry block.Num
+	// Super records that the file has contained sub-files, switching
+	// version creation to the §5.3 super-file locking rules.
+	Super bool
+}
+
+// Table is a concurrency-safe file table.
+type Table struct {
+	mu      sync.RWMutex
+	entries map[uint32]Entry
+}
+
+// NewTable creates an empty table.
+func NewTable() *Table {
+	return &Table{entries: make(map[uint32]Entry)}
+}
+
+// Put inserts or replaces a file's entry.
+func (t *Table) Put(object uint32, e Entry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries[object] = e
+}
+
+// Get returns a file's entry.
+func (t *Table) Get(object uint32) (Entry, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.entries[object]
+	if !ok {
+		return Entry{}, fmt.Errorf("object %d: %w", object, ErrUnknownFile)
+	}
+	return e, nil
+}
+
+// Advance records a newer committed version as the file's entry point,
+// keeping the access path short. Racing writers are harmless: any
+// committed version reaches the current one via commit references.
+func (t *Table) Advance(object uint32, committed block.Num) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[object]; ok {
+		e.Entry = committed
+		t.entries[object] = e
+	}
+}
+
+// MarkSuper flags the file as a super-file.
+func (t *Table) MarkSuper(object uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[object]; ok {
+		e.Super = true
+		t.entries[object] = e
+	}
+}
+
+// Remove deletes a file's entry.
+func (t *Table) Remove(object uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, object)
+}
+
+// Objects lists the table's file objects in ascending order.
+func (t *Table) Objects() []uint32 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]uint32, 0, len(t.entries))
+	for o := range t.entries {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of files.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Entries returns a snapshot of the table.
+func (t *Table) Entries() map[uint32]Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[uint32]Entry, len(t.entries))
+	for o, e := range t.entries {
+		out[o] = e
+	}
+	return out
+}
+
+// Rebuild reconstructs a file table from storage after a severe crash,
+// the §4 recovery path: scan the account's blocks, decode the version
+// pages among them (each carries its file capability), and pick a
+// committed version of each file as the entry point.
+//
+// A version page is provably committed when its commit reference is set,
+// when it has no base (the birth version), or when its base's commit
+// reference points back at it; uncommitted orphans are skipped — "clients
+// must be prepared to redo the updates in a version".
+func Rebuild(st *version.Store) (*Table, error) {
+	nums, err := st.Blocks.Recover(st.Acct)
+	if err != nil {
+		return nil, fmt.Errorf("file: recovery scan: %w", err)
+	}
+	type candidate struct {
+		blk block.Num
+		vp  *page.Page
+	}
+	byFile := make(map[uint32][]candidate)
+	pages := make(map[block.Num]*page.Page, len(nums))
+	for _, n := range nums {
+		raw, err := st.Blocks.Read(st.Acct, n)
+		if err != nil {
+			// A block lost with its disk: skip; the stable layer
+			// normally repairs these from the companion.
+			continue
+		}
+		p, err := page.Decode(raw)
+		if err != nil {
+			continue // not a page (or torn); ignore
+		}
+		pages[n] = p
+		if p.IsVersion {
+			byFile[p.FileCap.Object] = append(byFile[p.FileCap.Object], candidate{n, p})
+		}
+	}
+
+	t := NewTable()
+	for obj, cands := range byFile {
+		var entry block.Num
+		var fcap capability.Capability
+		for _, c := range cands {
+			fcap = c.vp.FileCap
+			committed := c.vp.CommitRef != block.NilNum || c.vp.BaseRef == block.NilNum
+			if !committed {
+				if base, ok := pages[c.vp.BaseRef]; ok && base.CommitRef == c.blk {
+					committed = true
+				}
+			}
+			if committed && entry == block.NilNum {
+				entry = c.blk
+			}
+		}
+		if entry == block.NilNum {
+			continue // only uncommitted orphans survive: drop the file
+		}
+		super := false
+		for _, c := range cands {
+			s, err := HasSubFiles(st, c.blk)
+			if err == nil && s {
+				super = true
+				break
+			}
+		}
+		t.Put(obj, Entry{Cap: fcap, Entry: entry, Super: super})
+	}
+
+	// Sub-files appear in the scan as their own file objects too; that
+	// is correct — they are real files with their own chains,
+	// addressable by capability. The system-tree nesting itself lives
+	// in the pages.
+	return t, nil
+}
+
+// HasSubFiles reports whether the version tree rooted at root directly
+// contains sub-file version pages, i.e. whether the file is a super-file
+// in the §5.3 sense.
+func HasSubFiles(st *version.Store, root block.Num) (bool, error) {
+	vp, err := st.ReadPage(root)
+	if err != nil {
+		return false, err
+	}
+	var rec func(pg *page.Page) (bool, error)
+	rec = func(pg *page.Page) (bool, error) {
+		for _, r := range pg.Refs {
+			if r.IsNil() {
+				continue
+			}
+			child, err := st.ReadPage(r.Block)
+			if err != nil {
+				return false, err
+			}
+			if child.IsVersion {
+				return true, nil
+			}
+			if found, err := rec(child); err != nil || found {
+				return found, err
+			}
+		}
+		return false, nil
+	}
+	return rec(vp)
+}

@@ -1,0 +1,195 @@
+package file
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/version"
+)
+
+func newStore(t *testing.T) *version.Store {
+	t.Helper()
+	d := disk.MustNew(disk.Geometry{Blocks: 4096, BlockSize: 1024})
+	return version.NewStore(block.NewServer(d), 1)
+}
+
+func TestTableCRUD(t *testing.T) {
+	tb := NewTable()
+	f := capability.NewFactory(capability.NewPort().Public())
+	c := f.Register(1)
+
+	if _, err := tb.Get(1); !errors.Is(err, ErrUnknownFile) {
+		t.Fatalf("empty table Get err = %v", err)
+	}
+	tb.Put(1, Entry{Cap: c, Entry: 42})
+	e, err := tb.Get(1)
+	if err != nil || e.Entry != 42 || e.Super {
+		t.Fatalf("Get = %+v, %v", e, err)
+	}
+	tb.Advance(1, 99)
+	if e, _ := tb.Get(1); e.Entry != 99 {
+		t.Fatalf("Advance: entry = %d", e.Entry)
+	}
+	tb.MarkSuper(1)
+	if e, _ := tb.Get(1); !e.Super {
+		t.Fatal("MarkSuper lost")
+	}
+	tb.Advance(2, 7) // unknown object: no-op
+	tb.MarkSuper(2)  // unknown object: no-op
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if got := tb.Objects(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Objects = %v", got)
+	}
+	snap := tb.Entries()
+	if len(snap) != 1 || snap[1].Entry != 99 {
+		t.Fatalf("Entries = %v", snap)
+	}
+	tb.Remove(1)
+	if tb.Len() != 0 {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestRebuildFindsCommittedChains(t *testing.T) {
+	st := newStore(t)
+	f := capability.NewFactory(capability.NewPort().Public())
+
+	// File A: three committed versions.
+	fa := f.Register(10)
+	v0, err := version.CreateFile(st, fa, f.Register(11), []byte("a0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := version.CreateVersion(st, v0.Root, f.Register(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1.WritePage(page.RootPath, []byte("a1"))
+	// Commit v1 manually: set v0's commit ref.
+	vp, _ := st.ReadPage(v0.Root)
+	vp.CommitRef = v1.Root
+	if err := st.WritePage(v0.Root, vp); err != nil {
+		t.Fatal(err)
+	}
+
+	// File B: one committed version plus an uncommitted orphan.
+	fb := f.Register(20)
+	b0, err := version.CreateFile(st, fb, f.Register(21), []byte("b0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan, err := version.CreateVersion(st, b0.Root, f.Register(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan.WritePage(page.RootPath, []byte("orphan"))
+
+	tb, err := Rebuild(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("rebuilt %d files, want 2", tb.Len())
+	}
+	ea, err := tb.Get(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The entry is a committed version of A; current from it is v1.
+	got, err := st.ReadPage(ea.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FileCap != fa {
+		t.Fatal("entry belongs to wrong file")
+	}
+	eb, err := tb.Get(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb.Entry != b0.Root {
+		t.Fatalf("file B entry = %d, want committed %d (not the orphan)", eb.Entry, b0.Root)
+	}
+}
+
+func TestRebuildDetectsSuperFiles(t *testing.T) {
+	st := newStore(t)
+	f := capability.NewFactory(capability.NewPort().Public())
+
+	sub, err := version.CreateFile(st, f.Register(30), f.Register(31), []byte("sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	super, err := version.CreateFile(st, f.Register(40), f.Register(41), []byte("super"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := super.InsertSubFile(page.RootPath, 0, sub.Root); err != nil {
+		t.Fatal(err)
+	}
+
+	tb, err := Rebuild(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := tb.Get(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !es.Super {
+		t.Fatal("super-file not detected in rebuild")
+	}
+	esub, err := tb.Get(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if esub.Super {
+		t.Fatal("plain sub-file marked super")
+	}
+}
+
+func TestHasSubFilesDeep(t *testing.T) {
+	st := newStore(t)
+	f := capability.NewFactory(capability.NewPort().Public())
+	super, err := version.CreateFile(st, f.Register(1), f.Register(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bury the sub-file two levels down.
+	if err := super.InsertPage(page.RootPath, 0, []byte("l1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := super.InsertPage(page.Path{0}, 0, []byte("l2")); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := version.CreateFile(st, f.Register(3), f.Register(4), []byte("deep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := super.InsertSubFile(page.Path{0, 0}, 0, sub.Root); err != nil {
+		t.Fatal(err)
+	}
+	found, err := HasSubFiles(st, super.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("deep sub-file not found")
+	}
+
+	plain, _ := version.CreateFile(st, f.Register(5), f.Register(6), nil)
+	plain.InsertPage(page.RootPath, 0, []byte("x"))
+	found, err = HasSubFiles(st, plain.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("plain file reported sub-files")
+	}
+}

@@ -1,0 +1,310 @@
+// Package gc implements the garbage collector the paper promises in its
+// abstract: one "that runs independent of, and in parallel with, the
+// operation of the system".
+//
+// Copy-on-write versioning never frees anything inline: aborted versions
+// leave orphaned page copies, version chains grow without bound, and
+// pages copied only to initialise flags (read shadowing) duplicate their
+// base. The collector reclaims all three:
+//
+//   - Mark & sweep over the service's block account. Roots are the
+//     retained committed versions of every file (a configurable horizon)
+//     plus all live uncommitted versions reported by the servers.
+//   - Retention: committed versions older than Retain steps behind the
+//     current version are condemned; the file table entry is advanced
+//     first so access paths never dangle.
+//   - Reshare (§5.1): "The Amoeba File Service garbage collector may
+//     remove pages that were copied but not written or modified and
+//     reshare the corresponding page from the version on which it was
+//     based." After a version commits, its R/S information is no longer
+//     needed, so a copy whose whole subtree carries no W or M is
+//     replaced by a reference to the base's page and the copy freed.
+//
+// Safety against concurrent operation comes from two-cycle condemnation:
+// a block is freed only if it was unreachable in two consecutive
+// collections, giving in-flight descents and just-allocated-but-not-yet-
+// linked pages a full cycle of grace.
+package gc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/file"
+	"repro/internal/occ"
+	"repro/internal/page"
+	"repro/internal/version"
+)
+
+// Report summarises one collection cycle.
+type Report struct {
+	Scanned   int // blocks on the account
+	Marked    int // blocks reachable from roots
+	Condemned int // unreachable this cycle, not yet freed
+	Freed     int // blocks returned to the block service
+	Reshared  int // page copies replaced by their base's page
+	Retired   int // committed versions dropped past the horizon
+	LiveRoots int // root versions marked (retained + uncommitted)
+	Duration  time.Duration
+}
+
+// Collector reclaims storage for one file service.
+type Collector struct {
+	St    *version.Store
+	Table *file.Table
+	// Retain is how many committed versions (including the current one)
+	// each file keeps; minimum 1.
+	Retain int
+	// Live reports the root blocks of versions currently managed by
+	// servers (uncommitted updates); they and their pages are pinned.
+	Live func() []block.Num
+	// Reshare enables the §5.1 reshare optimisation.
+	Reshare bool
+
+	mu        sync.Mutex
+	condemned map[block.Num]bool
+}
+
+// New creates a collector with resharing enabled and a retention of
+// keep committed versions per file.
+func New(st *version.Store, table *file.Table, keep int, live func() []block.Num) *Collector {
+	if keep < 1 {
+		keep = 1
+	}
+	return &Collector{
+		St:        st,
+		Table:     table,
+		Retain:    keep,
+		Live:      live,
+		Reshare:   true,
+		condemned: make(map[block.Num]bool),
+	}
+}
+
+// Collect runs one cycle: reshare, mark, and two-cycle sweep.
+func (g *Collector) Collect() (Report, error) {
+	start := time.Now()
+	var rep Report
+
+	// Roots: retained committed versions per file, advancing the table
+	// entry to the oldest retained version.
+	var roots []block.Num
+	for _, obj := range g.Table.Objects() {
+		e, err := g.Table.Get(obj)
+		if err != nil {
+			continue
+		}
+		chain, err := occ.History(g.St, e.Entry)
+		if err != nil || len(chain) == 0 {
+			continue
+		}
+		keepFrom := len(chain) - g.Retain
+		if keepFrom < 0 {
+			keepFrom = 0
+		}
+		rep.Retired += keepFrom
+		if keepFrom > 0 {
+			g.Table.Advance(obj, chain[keepFrom])
+		}
+		retained := chain[keepFrom:]
+		if g.Reshare {
+			// Reshare every retained version against its base —
+			// skipping the oldest retained one, whose base is about
+			// to be condemned.
+			for _, root := range retained[1:] {
+				n, err := g.reshareVersion(root)
+				if err == nil {
+					rep.Reshared += n
+				}
+			}
+		}
+		roots = append(roots, retained...)
+	}
+	if g.Live != nil {
+		roots = append(roots, g.Live()...)
+	}
+	rep.LiveRoots = len(roots)
+
+	// Mark.
+	marked := make(map[block.Num]bool)
+	for _, root := range roots {
+		if err := g.mark(root, marked); err != nil {
+			return rep, fmt.Errorf("gc: mark from %d: %w", root, err)
+		}
+	}
+	rep.Marked = len(marked)
+
+	// Sweep with two-cycle condemnation.
+	all, err := g.St.Blocks.Recover(g.St.Acct)
+	if err != nil {
+		return rep, fmt.Errorf("gc: account scan: %w", err)
+	}
+	rep.Scanned = len(all)
+	g.mu.Lock()
+	prev := g.condemned
+	next := make(map[block.Num]bool)
+	for _, n := range all {
+		if marked[n] {
+			continue
+		}
+		if prev[n] {
+			// Unreachable for two consecutive cycles: free it.
+			if err := g.St.Blocks.Free(g.St.Acct, n); err == nil {
+				rep.Freed++
+			}
+			continue
+		}
+		next[n] = true
+	}
+	g.condemned = next
+	g.mu.Unlock()
+	rep.Condemned = len(next)
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+// mark adds every block reachable from root to marked, following all
+// references (including sub-file version pages and, from them, their
+// committed chains' retained parts — sub-files are files in the table,
+// so their chains are rooted independently; here we only follow the
+// tree).
+func (g *Collector) mark(root block.Num, marked map[block.Num]bool) error {
+	if root == block.NilNum || marked[root] {
+		return nil
+	}
+	marked[root] = true
+	pg, err := g.St.ReadPage(root)
+	if err != nil {
+		// A root that vanished (e.g. crashed server's version freed
+		// earlier) marks nothing further.
+		return nil
+	}
+	for _, r := range pg.Refs {
+		if r.IsNil() {
+			continue
+		}
+		if err := g.mark(r.Block, marked); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reshareVersion applies the §5.1 optimisation to one committed version:
+// copies whose whole subtree carries no W or M are replaced by the base's
+// corresponding page. Returns the number of reshared references.
+func (g *Collector) reshareVersion(root block.Num) (int, error) {
+	vp, err := g.St.ReadPage(root)
+	if err != nil {
+		return 0, err
+	}
+	if vp.BaseRef == block.NilNum {
+		return 0, nil
+	}
+	return g.resharePage(root, vp)
+}
+
+// resharePage rewrites the references of one private page, resharing
+// read-only copies, and recurses into written subtrees.
+func (g *Collector) resharePage(blk block.Num, pg *page.Page) (int, error) {
+	reshared := 0
+	dirty := false
+	for i, r := range pg.Refs {
+		if r.IsNil() || !r.Flags.Accessed() {
+			continue
+		}
+		child, err := g.St.ReadPage(r.Block)
+		if err != nil {
+			continue
+		}
+		if child.IsVersion {
+			continue // sub-file versions have their own chains
+		}
+		if r.Flags.InWriteSet() {
+			// The page itself was written/modified: keep the copy but
+			// look deeper for reshareable descendants.
+			n, err := g.resharePage(r.Block, child)
+			if err != nil {
+				return reshared, err
+			}
+			reshared += n
+			continue
+		}
+		// Copied but not written here; if nothing below is written
+		// either, the copy is equivalent to its base page.
+		below, err := g.subtreeWrites(child)
+		if err != nil {
+			return reshared, err
+		}
+		if below {
+			n, err := g.resharePage(r.Block, child)
+			if err != nil {
+				return reshared, err
+			}
+			reshared += n
+			continue
+		}
+		if child.BaseRef == block.NilNum {
+			continue // created fresh; nothing to reshare with
+		}
+		pg.Refs[i] = page.Ref{Block: child.BaseRef}
+		dirty = true
+		reshared++
+		// The orphaned copy (and its non-written descendants) become
+		// unreachable and fall to the sweep.
+	}
+	if dirty {
+		if err := g.St.WritePage(blk, pg); err != nil {
+			return reshared, err
+		}
+	}
+	return reshared, nil
+}
+
+// subtreeWrites reports whether any accessed reference below pg carries W
+// or M.
+func (g *Collector) subtreeWrites(pg *page.Page) (bool, error) {
+	for _, r := range pg.Refs {
+		if r.IsNil() || !r.Flags.Accessed() {
+			continue
+		}
+		if r.Flags.InWriteSet() {
+			return true, nil
+		}
+		child, err := g.St.ReadPage(r.Block)
+		if err != nil {
+			return false, err
+		}
+		if child.IsVersion {
+			return true, nil // play safe at sub-file boundaries
+		}
+		has, err := g.subtreeWrites(child)
+		if err != nil || has {
+			return has, err
+		}
+	}
+	return false, nil
+}
+
+// Run collects every interval until stop is closed: the paper's collector
+// running "independent of, and in parallel with, the operation of the
+// system". Errors are delivered to errs if non-nil.
+func (g *Collector) Run(interval time.Duration, stop <-chan struct{}, errs chan<- error) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if _, err := g.Collect(); err != nil && errs != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+		}
+	}
+}

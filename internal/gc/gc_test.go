@@ -1,0 +1,310 @@
+package gc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/server"
+)
+
+// fixture builds a full service (server + table) so GC runs against real
+// commit chains.
+type fixture struct {
+	srv *server.Server
+	bs  *block.Server
+	col *Collector
+}
+
+func newFixture(t *testing.T, retain int) *fixture {
+	t.Helper()
+	d := disk.MustNew(disk.Geometry{Blocks: 1 << 14, BlockSize: 1024})
+	bs := block.NewServer(d)
+	sh := server.NewShared(bs, 1)
+	srv := server.New(sh, nil)
+	col := New(srv.Store(), sh.Table, retain, nil)
+	return &fixture{srv: srv, bs: bs, col: col}
+}
+
+// collectTwice runs two cycles so two-cycle condemnation actually frees,
+// returning the aggregated report.
+func (f *fixture) collectTwice(t *testing.T) Report {
+	t.Helper()
+	r1, err := f.col.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := f.col.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Freed += r1.Freed
+	r2.Reshared += r1.Reshared
+	r2.Retired += r1.Retired
+	return r2
+}
+
+func TestAbortedVersionReclaimed(t *testing.T) {
+	f := newFixture(t, 4)
+	fcap, _ := f.srv.CreateFile([]byte("keep"))
+	inUse := f.bs.InUse()
+
+	v, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+	if err := f.srv.WritePage(v, page.RootPath, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Abort(v); err != nil {
+		t.Fatal(err)
+	}
+	if f.bs.InUse() <= inUse {
+		t.Fatal("abort should leave orphan blocks for the collector")
+	}
+	f.collectTwice(t)
+	if got := f.bs.InUse(); got != inUse {
+		t.Fatalf("after GC %d blocks in use, want %d", got, inUse)
+	}
+	// The file still reads fine.
+	v2, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+	data, _, err := f.srv.ReadPage(v2, page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "keep" {
+		t.Fatalf("file damaged by GC: %q", data)
+	}
+}
+
+func TestRetentionDropsOldVersions(t *testing.T) {
+	f := newFixture(t, 2)
+	fcap, _ := f.srv.CreateFile([]byte("g0"))
+	for i := 1; i <= 5; i++ {
+		v, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+		f.srv.WritePage(v, page.RootPath, []byte(fmt.Sprintf("g%d", i)))
+		if err := f.srv.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	histBefore, _ := f.srv.History(fcap)
+	if len(histBefore) != 6 {
+		t.Fatalf("history %d", len(histBefore))
+	}
+	rep := f.collectTwice(t)
+	if rep.Freed == 0 {
+		t.Fatal("retention freed nothing")
+	}
+	histAfter, err := f.srv.History(fcap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(histAfter) != 2 {
+		t.Fatalf("history after GC = %d, want 2", len(histAfter))
+	}
+	// Current state unharmed.
+	v, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+	data, _, err := f.srv.ReadPage(v, page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "g5" {
+		t.Fatalf("current = %q", data)
+	}
+}
+
+func TestUncommittedVersionsPinned(t *testing.T) {
+	f := newFixture(t, 1)
+	fcap, _ := f.srv.CreateFile([]byte("base"))
+	v, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+	if err := f.srv.WritePage(v, page.RootPath, []byte("in-flight")); err != nil {
+		t.Fatal(err)
+	}
+	// Wire the live-version pin to the open version's root.
+	root, err := f.srv.VersionRoot(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.col.Live = func() []block.Num { return []block.Num{root} }
+
+	f.collectTwice(t)
+	// The open version must still be usable and committable.
+	data, _, err := f.srv.ReadPage(v, page.RootPath)
+	if err != nil {
+		t.Fatalf("GC ate an open version: %v", err)
+	}
+	if string(data) != "in-flight" {
+		t.Fatalf("open version reads %q", data)
+	}
+	if err := f.srv.Commit(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReshareReclaimsReadShadows(t *testing.T) {
+	f := newFixture(t, 8)
+	fcap, _ := f.srv.CreateFile(nil)
+	setup, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+	for i := 0; i < 4; i++ {
+		f.srv.InsertPage(setup, page.RootPath, i, []byte(fmt.Sprintf("leaf%d", i)))
+	}
+	if err := f.srv.Commit(setup); err != nil {
+		t.Fatal(err)
+	}
+
+	// An update that READS three pages and writes one: the three read
+	// copies are pure shadowing and reshareable after commit.
+	v, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+	for i := 0; i < 3; i++ {
+		if _, _, err := f.srv.ReadPage(v, page.Path{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.srv.WritePage(v, page.Path{3}, []byte("written")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Commit(v); err != nil {
+		t.Fatal(err)
+	}
+	used := f.bs.InUse()
+	rep := f.collectTwice(t)
+	if rep.Reshared < 3 {
+		t.Fatalf("reshared %d pages, want >= 3", rep.Reshared)
+	}
+	f.collectTwice(t) // free the orphaned copies
+	if f.bs.InUse() >= used {
+		t.Fatalf("reshare freed nothing: %d -> %d", used, f.bs.InUse())
+	}
+	// Content intact after resharing.
+	v2, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+	for i := 0; i < 4; i++ {
+		want := fmt.Sprintf("leaf%d", i)
+		if i == 3 {
+			want = "written"
+		}
+		data, _, err := f.srv.ReadPage(v2, page.Path{i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != want {
+			t.Fatalf("page %d = %q, want %q", i, data, want)
+		}
+	}
+}
+
+func TestTwoCycleGracePeriod(t *testing.T) {
+	f := newFixture(t, 4)
+	fcap, _ := f.srv.CreateFile([]byte("x"))
+	v, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+	f.srv.WritePage(v, page.RootPath, []byte("y"))
+	f.srv.Abort(v)
+
+	used := f.bs.InUse()
+	rep1, err := f.col.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First cycle condemns but must not free.
+	if rep1.Freed != 0 {
+		t.Fatalf("first cycle freed %d blocks", rep1.Freed)
+	}
+	if rep1.Condemned == 0 {
+		t.Fatal("first cycle condemned nothing")
+	}
+	if f.bs.InUse() != used {
+		t.Fatal("blocks freed before grace period")
+	}
+	rep2, err := f.col.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Freed == 0 {
+		t.Fatal("second cycle freed nothing")
+	}
+}
+
+func TestCollectPreservesSuperFiles(t *testing.T) {
+	f := newFixture(t, 2)
+	superCap, _ := f.srv.CreateFile([]byte("super"))
+	v, _ := f.srv.CreateVersion(superCap, server.CreateVersionOpts{})
+	subCap, err := f.srv.CreateSubFile(v, page.RootPath, 0, []byte("sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srv.Commit(v); err != nil {
+		t.Fatal(err)
+	}
+	// Update the sub-file twice so it has its own chain.
+	for i := 0; i < 2; i++ {
+		sv, err := f.srv.CreateVersion(subCap, server.CreateVersionOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.srv.WritePage(sv, page.RootPath, []byte(fmt.Sprintf("sub%d", i)))
+		if err := f.srv.Commit(sv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.collectTwice(t)
+	f.collectTwice(t)
+
+	// Both files intact.
+	sv, err := f.srv.CreateVersion(subCap, server.CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := f.srv.ReadPage(sv, page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "sub1" {
+		t.Fatalf("sub after GC = %q", data)
+	}
+	// Close the small update: its top-lock hint would (correctly) make
+	// the super-file update below wait for it.
+	if err := f.srv.Abort(sv); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := f.srv.CreateVersion(superCap, server.CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.srv.ReadPage(v2, page.Path{0}); err != nil {
+		t.Fatalf("super read through boundary after GC: %v", err)
+	}
+}
+
+func TestRunBackground(t *testing.T) {
+	f := newFixture(t, 1)
+	fcap, _ := f.srv.CreateFile([]byte("live"))
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		f.col.Run(time.Millisecond, stop, nil)
+		close(done)
+	}()
+	// Work while the collector runs in parallel.
+	for i := 0; i < 20; i++ {
+		v, err := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.srv.WritePage(v, page.RootPath, []byte(fmt.Sprintf("gen%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.srv.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	close(stop)
+	<-done
+	v, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+	data, _, err := f.srv.ReadPage(v, page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "gen19" {
+		t.Fatalf("current after concurrent GC = %q", data)
+	}
+}

@@ -1,0 +1,146 @@
+package page
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Flags is the set of access-tracking bits kept in a page reference
+// (§5.1): C (copied), R (data read), W (data written), S (references
+// searched), M (references modified).
+//
+// Not all 32 combinations are legal. The paper:
+//
+//	"it is not possible to access a page without copying it, nor is it
+//	possible to modify the references without looking at them. This
+//	reduces the number of flag combinations to 13, which allows encoding
+//	the flags in four bits."
+//
+// Formally the invariants are M ⇒ S and (R ∨ W ∨ S ∨ M) ⇒ C, giving
+// 1 + 2·2·3 = 13 legal states. Code/FromCode implement the 4-bit codec
+// next to the paper's 28-bit block number.
+type Flags uint8
+
+// The individual flag bits.
+const (
+	FlagC Flags = 1 << iota // page copied, no longer shared with base
+	FlagR                   // data read
+	FlagW                   // data written
+	FlagS                   // references searched
+	FlagM                   // references modified
+)
+
+// legalFlagStates enumerates the 13 legal combinations in a fixed order;
+// the index is the 4-bit code. Order is stable forever: it is a disk
+// format.
+var legalFlagStates = buildLegalStates()
+
+// codeOf maps a legal Flags value to its 4-bit code; illegal values map
+// to -1.
+var codeOf = buildCodeTable()
+
+func buildLegalStates() []Flags {
+	var out []Flags
+	for v := Flags(0); v < 32; v++ {
+		if v.Valid() {
+			out = append(out, v)
+		}
+	}
+	if len(out) != 13 {
+		panic(fmt.Sprintf("page: %d legal flag states, the paper says 13", len(out)))
+	}
+	return out
+}
+
+func buildCodeTable() [32]int8 {
+	var t [32]int8
+	for i := range t {
+		t[i] = -1
+	}
+	for code, f := range legalFlagStates {
+		t[f] = int8(code)
+	}
+	return t
+}
+
+// Valid reports whether f satisfies the paper's two structural
+// invariants: references cannot be modified without being searched, and
+// a page cannot be accessed in any way without being copied.
+func (f Flags) Valid() bool {
+	if f&FlagM != 0 && f&FlagS == 0 {
+		return false // modified implies searched
+	}
+	if f&(FlagR|FlagW|FlagS|FlagM) != 0 && f&FlagC == 0 {
+		return false // any access implies copied
+	}
+	return f < 32
+}
+
+// Code returns the 4-bit encoding of f.
+func (f Flags) Code() (uint8, error) {
+	if f >= 32 || codeOf[f] < 0 {
+		return 0, fmt.Errorf("page: illegal flag combination %s", f)
+	}
+	return uint8(codeOf[f]), nil
+}
+
+// FromCode decodes a 4-bit flag code.
+func FromCode(code uint8) (Flags, error) {
+	if int(code) >= len(legalFlagStates) {
+		return 0, fmt.Errorf("page: flag code %d out of range (0..12)", code)
+	}
+	return legalFlagStates[code], nil
+}
+
+// Accessed reports whether the referred-to page was touched at all in
+// this version. An unaccessed reference (C clear) means the whole subtree
+// is still shared with the base version, so the serialisability test need
+// not descend it.
+func (f Flags) Accessed() bool { return f&FlagC != 0 }
+
+// InReadSet reports whether the page belongs to the update's read set for
+// the Kung–Robinson validation: its data was read or its references were
+// consulted.
+func (f Flags) InReadSet() bool { return f&(FlagR|FlagS) != 0 }
+
+// InWriteSet reports whether the page belongs to the update's write set:
+// its data was written or its references were modified.
+func (f Flags) InWriteSet() bool { return f&(FlagW|FlagM) != 0 }
+
+// Set returns f with the given bits set, forcing the implied bits so the
+// result stays legal: setting any access bit sets C, and setting M sets S.
+func (f Flags) Set(bits Flags) Flags {
+	out := f | bits
+	if out&FlagM != 0 {
+		out |= FlagS
+	}
+	if out&(FlagR|FlagW|FlagS|FlagM) != 0 {
+		out |= FlagC
+	}
+	return out
+}
+
+// String renders the flags as "CRWSM" with dashes for clear bits, e.g.
+// "C-W--" for a copied, written page.
+func (f Flags) String() string {
+	var b strings.Builder
+	for _, x := range []struct {
+		bit Flags
+		ch  byte
+	}{{FlagC, 'C'}, {FlagR, 'R'}, {FlagW, 'W'}, {FlagS, 'S'}, {FlagM, 'M'}} {
+		if f&x.bit != 0 {
+			b.WriteByte(x.ch)
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// LegalStates returns a copy of the 13 legal flag combinations in code
+// order, for tests and documentation.
+func LegalStates() []Flags {
+	out := make([]Flags, len(legalFlagStates))
+	copy(out, legalFlagStates)
+	return out
+}

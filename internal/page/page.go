@@ -1,0 +1,318 @@
+// Package page implements the Amoeba File Service page layout of Fig. 3:
+// the unit in which file trees are stored on the block service.
+//
+// A page has a header area and the page proper. The header carries, for
+// version pages only, the file capability, version capability, commit
+// reference, top lock, inner lock and parent reference; every page
+// carries a base reference, the reference count and data size. The page
+// proper holds the reference table — an array of (28-bit block number,
+// 4-bit CRWSM flag code) entries — followed by the client data.
+//
+// "The data in a page has no predefined structure. Clients are free to
+// write them as they see fit. The references in a page are for internal
+// use by the Amoeba File Service and can only be read and written by
+// servers." (§5)
+package page
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+)
+
+// MaxPageSize is the largest page the service supports: "The maximum
+// length of a page is determined by the maximum length of a message in a
+// transaction: 32K bytes."
+const MaxPageSize = 32 * 1024
+
+// Errors of the page codec.
+var (
+	// ErrPageFull reports that data + references exceed the page size.
+	ErrPageFull = errors.New("page: page full")
+	// ErrCorrupt reports an undecodable stored page.
+	ErrCorrupt = errors.New("page: corrupt encoding")
+	// ErrBadIndex reports a reference index outside the table.
+	ErrBadIndex = errors.New("page: reference index out of range")
+)
+
+// Ref is one entry of the reference table: a pointer to a page in the
+// next level of the page tree plus its CRWSM access flags. The flags in a
+// reference describe the *referred-to* page.
+type Ref struct {
+	Block block.Num
+	Flags Flags
+}
+
+// IsNil reports whether the reference points nowhere (a hole).
+func (r Ref) IsNil() bool { return r.Block == block.NilNum }
+
+// refWireSize is 4 bytes: 28-bit block number plus 4-bit flag code.
+const refWireSize = 4
+
+// encode packs the reference into the paper's 32-bit form.
+func (r Ref) encode() (uint32, error) {
+	if r.Block > block.MaxNum {
+		return 0, fmt.Errorf("page: block number %d exceeds 28 bits", r.Block)
+	}
+	code, err := r.Flags.Code()
+	if err != nil {
+		return 0, err
+	}
+	return uint32(r.Block)<<4 | uint32(code), nil
+}
+
+// decodeRef unpacks a 32-bit reference.
+func decodeRef(v uint32) (Ref, error) {
+	f, err := FromCode(uint8(v & 0xf))
+	if err != nil {
+		return Ref{}, err
+	}
+	return Ref{Block: block.Num(v >> 4), Flags: f}, nil
+}
+
+// Page is the in-memory form of one stored page (Fig. 3). The zero Page
+// is an empty non-version page.
+type Page struct {
+	// IsVersion marks version pages — the roots of version trees. Only
+	// they carry the six header fields below; on other pages those
+	// fields are absent ("or ignored").
+	IsVersion bool
+
+	// FileCap is the capability of the file whose root this page is.
+	FileCap capability.Capability
+	// VersionCap is the capability of the version whose root this page is.
+	VersionCap capability.Capability
+	// CommitRef links a committed version page to its successor; nil on
+	// the current version. Setting it is *the* commit action (§5.2).
+	CommitRef block.Num
+	// TopLock and InnerLock hold the port of an updating server during
+	// super-file updates (§5.3); nil when unlocked. "Locks are made of
+	// ports, which are used to realise an automatic warning mechanism
+	// for waiting updates."
+	TopLock   capability.Port
+	InnerLock capability.Port
+	// ParentRef names the parent version block, used "to ascend the
+	// upper part of the page tree to the root".
+	ParentRef block.Num
+	// RootFlags persists the version root's own CRWSM flags. The root
+	// has no parent reference to hold them; the managing server keeps
+	// them separately but they must be in the file for crash recovery
+	// (§5.4).
+	RootFlags Flags
+
+	// BaseRef is the block number of the page this page was based on
+	// (copied from); nil for pages created fresh.
+	BaseRef block.Num
+
+	// Refs is the reference table, one entry per child page.
+	Refs []Ref
+	// Data is the client data area.
+	Data []byte
+}
+
+// Page wire layout constants.
+const (
+	pageMagic       = 0xAF // "Amoeba File"
+	flagIsVersion   = 0x01
+	headerFixedSize = 1 /*magic*/ + 1 /*flags*/ + 4 /*baseRef*/ + 2 /*nrefs*/ + 2                       /*dsize*/
+	versionHdrSize  = 2*capability.EncodedLen + 4 /*commitRef*/ + 8 + 8 /*locks*/ + 4 /*parentRef*/ + 1 /*rootFlags*/
+)
+
+// Overhead returns the header bytes an encoded page of this shape
+// consumes, before references and data.
+func (p *Page) Overhead() int {
+	if p.IsVersion {
+		return headerFixedSize + versionHdrSize
+	}
+	return headerFixedSize
+}
+
+// EncodedSize returns the total encoded size of the page.
+func (p *Page) EncodedSize() int {
+	return p.Overhead() + len(p.Refs)*refWireSize + len(p.Data)
+}
+
+// Fits reports whether the page fits in a block of the given size.
+func (p *Page) Fits(blockSize int) bool {
+	limit := blockSize
+	if limit > MaxPageSize {
+		limit = MaxPageSize
+	}
+	return p.EncodedSize() <= limit
+}
+
+// Capacity returns how many data bytes fit in a page with nrefs
+// references in a block of blockSize.
+func Capacity(blockSize, nrefs int, isVersion bool) int {
+	p := Page{IsVersion: isVersion}
+	limit := blockSize
+	if limit > MaxPageSize {
+		limit = MaxPageSize
+	}
+	return limit - p.Overhead() - nrefs*refWireSize
+}
+
+// Encode renders the page into its on-block form, enforcing the block
+// size. The result is exactly EncodedSize bytes; the block layer
+// zero-fills the remainder of the block.
+func (p *Page) Encode(blockSize int) ([]byte, error) {
+	if !p.Fits(blockSize) {
+		return nil, fmt.Errorf("%d bytes into %d-byte block: %w", p.EncodedSize(), blockSize, ErrPageFull)
+	}
+	if len(p.Refs) > 0xffff || len(p.Data) > 0xffff {
+		return nil, fmt.Errorf("page: table sizes exceed format: %d refs %d bytes", len(p.Refs), len(p.Data))
+	}
+	out := make([]byte, 0, p.EncodedSize())
+	var hdr [2]byte
+	hdr[0] = pageMagic
+	if p.IsVersion {
+		hdr[1] |= flagIsVersion
+	}
+	out = append(out, hdr[:]...)
+	if p.IsVersion {
+		out = p.FileCap.Encode(out)
+		out = p.VersionCap.Encode(out)
+		out = binary.BigEndian.AppendUint32(out, uint32(p.CommitRef))
+		out = binary.BigEndian.AppendUint64(out, uint64(p.TopLock))
+		out = binary.BigEndian.AppendUint64(out, uint64(p.InnerLock))
+		out = binary.BigEndian.AppendUint32(out, uint32(p.ParentRef))
+		code, err := p.RootFlags.Code()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, code)
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(p.BaseRef))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(p.Refs)))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(p.Data)))
+	for _, r := range p.Refs {
+		v, err := r.encode()
+		if err != nil {
+			return nil, err
+		}
+		out = binary.BigEndian.AppendUint32(out, v)
+	}
+	out = append(out, p.Data...)
+	return out, nil
+}
+
+// Decode parses a stored page. Trailing zero fill beyond the encoded
+// length is ignored, matching what the block layer returns.
+func Decode(src []byte) (*Page, error) {
+	if len(src) < headerFixedSize {
+		return nil, fmt.Errorf("%d bytes: %w", len(src), ErrCorrupt)
+	}
+	if src[0] != pageMagic {
+		return nil, fmt.Errorf("bad magic %#x: %w", src[0], ErrCorrupt)
+	}
+	p := &Page{IsVersion: src[1]&flagIsVersion != 0}
+	rest := src[2:]
+	if p.IsVersion {
+		if len(rest) < versionHdrSize {
+			return nil, fmt.Errorf("short version header: %w", ErrCorrupt)
+		}
+		var err error
+		p.FileCap, rest, err = capability.Decode(rest)
+		if err != nil {
+			return nil, fmt.Errorf("file capability: %w", ErrCorrupt)
+		}
+		p.VersionCap, rest, err = capability.Decode(rest)
+		if err != nil {
+			return nil, fmt.Errorf("version capability: %w", ErrCorrupt)
+		}
+		p.CommitRef = block.Num(binary.BigEndian.Uint32(rest[0:4]))
+		p.TopLock = capability.Port(binary.BigEndian.Uint64(rest[4:12]))
+		p.InnerLock = capability.Port(binary.BigEndian.Uint64(rest[12:20]))
+		p.ParentRef = block.Num(binary.BigEndian.Uint32(rest[20:24]))
+		rf, err := FromCode(rest[24])
+		if err != nil {
+			return nil, fmt.Errorf("root flags: %w", ErrCorrupt)
+		}
+		p.RootFlags = rf
+		rest = rest[25:]
+	}
+	if len(rest) < 8 {
+		return nil, fmt.Errorf("short fixed header: %w", ErrCorrupt)
+	}
+	p.BaseRef = block.Num(binary.BigEndian.Uint32(rest[0:4]))
+	nrefs := int(binary.BigEndian.Uint16(rest[4:6]))
+	dsize := int(binary.BigEndian.Uint16(rest[6:8]))
+	rest = rest[8:]
+	if len(rest) < nrefs*refWireSize+dsize {
+		return nil, fmt.Errorf("nrefs=%d dsize=%d with %d bytes left: %w", nrefs, dsize, len(rest), ErrCorrupt)
+	}
+	p.Refs = make([]Ref, nrefs)
+	for i := 0; i < nrefs; i++ {
+		r, err := decodeRef(binary.BigEndian.Uint32(rest[i*refWireSize:]))
+		if err != nil {
+			return nil, fmt.Errorf("ref %d: %w", i, ErrCorrupt)
+		}
+		p.Refs[i] = r
+	}
+	rest = rest[nrefs*refWireSize:]
+	if dsize > 0 {
+		p.Data = make([]byte, dsize)
+		copy(p.Data, rest[:dsize])
+	}
+	return p, nil
+}
+
+// Clone returns a deep copy of the page, the in-memory step of the
+// copy-on-write mechanism.
+func (p *Page) Clone() *Page {
+	q := *p
+	q.Refs = append([]Ref(nil), p.Refs...)
+	q.Data = append([]byte(nil), p.Data...)
+	return &q
+}
+
+// Ref returns the i'th reference.
+func (p *Page) Ref(i int) (Ref, error) {
+	if i < 0 || i >= len(p.Refs) {
+		return Ref{}, fmt.Errorf("index %d of %d: %w", i, len(p.Refs), ErrBadIndex)
+	}
+	return p.Refs[i], nil
+}
+
+// SetRef replaces the i'th reference.
+func (p *Page) SetRef(i int, r Ref) error {
+	if i < 0 || i >= len(p.Refs) {
+		return fmt.Errorf("index %d of %d: %w", i, len(p.Refs), ErrBadIndex)
+	}
+	p.Refs[i] = r
+	return nil
+}
+
+// InsertRef inserts a reference at index i, shifting later entries. This
+// is a reference *modification* in the paper's sense (sets M on the page
+// when done through the version layer).
+func (p *Page) InsertRef(i int, r Ref) error {
+	if i < 0 || i > len(p.Refs) {
+		return fmt.Errorf("index %d of %d: %w", i, len(p.Refs), ErrBadIndex)
+	}
+	p.Refs = append(p.Refs, Ref{})
+	copy(p.Refs[i+1:], p.Refs[i:])
+	p.Refs[i] = r
+	return nil
+}
+
+// RemoveRef deletes the i'th reference, shifting later entries down.
+func (p *Page) RemoveRef(i int) error {
+	if i < 0 || i >= len(p.Refs) {
+		return fmt.Errorf("index %d of %d: %w", i, len(p.Refs), ErrBadIndex)
+	}
+	p.Refs = append(p.Refs[:i], p.Refs[i+1:]...)
+	return nil
+}
+
+// String summarises the page for logs.
+func (p *Page) String() string {
+	kind := "page"
+	if p.IsVersion {
+		kind = "version-page"
+	}
+	return fmt.Sprintf("%s{base=%d refs=%d dsize=%d}", kind, p.BaseRef, len(p.Refs), len(p.Data))
+}

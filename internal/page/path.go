@@ -1,0 +1,137 @@
+package page
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Path names a page within a version's page tree (§5):
+//
+//	"The root page has an empty pathname. The pathname of a page that is
+//	not the root, is the concatenation of the pathname of its parent page
+//	with the index of its reference in the array of references in the
+//	parent page."
+//
+// Paths are visible to clients, which gives them explicit control over
+// the shape of their files: "objects ranging from linear files to B-trees
+// can easily be represented".
+type Path []int
+
+// RootPath is the empty path naming the root (version) page.
+var RootPath = Path{}
+
+// IsRoot reports whether the path names the root page.
+func (p Path) IsRoot() bool { return len(p) == 0 }
+
+// Child extends the path with a reference index.
+func (p Path) Child(index int) Path {
+	out := make(Path, len(p)+1)
+	copy(out, p)
+	out[len(p)] = index
+	return out
+}
+
+// Parent returns the path of the parent page; the parent of the root is
+// the root.
+func (p Path) Parent() Path {
+	if len(p) == 0 {
+		return p
+	}
+	return append(Path(nil), p[:len(p)-1]...)
+}
+
+// Clone returns an independent copy of the path.
+func (p Path) Clone() Path { return append(Path(nil), p...) }
+
+// Equal reports whether two paths name the same page.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPrefix reports whether q is an ancestor of (or equal to) p.
+func (p Path) HasPrefix(q Path) bool {
+	if len(q) > len(p) {
+		return false
+	}
+	for i := range q {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the path as "/" for the root or "/i/j/k" otherwise.
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "/"
+	}
+	var b strings.Builder
+	for _, i := range p {
+		fmt.Fprintf(&b, "/%d", i)
+	}
+	return b.String()
+}
+
+// ParsePath parses the String form back into a Path.
+func ParsePath(s string) (Path, error) {
+	if s == "" || s == "/" {
+		return RootPath, nil
+	}
+	s = strings.TrimPrefix(s, "/")
+	parts := strings.Split(s, "/")
+	out := make(Path, 0, len(parts))
+	for _, part := range parts {
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("page: bad path element %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// Encode appends a compact wire form of the path (1-byte length followed
+// by 2-byte indices) to dst. Paths deeper than 255 or with indices above
+// 65535 are outside the format; the page size bound makes both
+// unreachable in practice.
+func (p Path) Encode(dst []byte) ([]byte, error) {
+	if len(p) > 255 {
+		return nil, fmt.Errorf("page: path depth %d exceeds wire format", len(p))
+	}
+	dst = append(dst, byte(len(p)))
+	for _, i := range p {
+		if i < 0 || i > 0xffff {
+			return nil, fmt.Errorf("page: path index %d exceeds wire format", i)
+		}
+		dst = append(dst, byte(i>>8), byte(i))
+	}
+	return dst, nil
+}
+
+// DecodePath parses an encoded path from the front of src, returning the
+// path and the remaining bytes.
+func DecodePath(src []byte) (Path, []byte, error) {
+	if len(src) < 1 {
+		return nil, src, fmt.Errorf("page: empty path encoding")
+	}
+	n := int(src[0])
+	src = src[1:]
+	if len(src) < 2*n {
+		return nil, src, fmt.Errorf("page: short path encoding")
+	}
+	out := make(Path, n)
+	for i := 0; i < n; i++ {
+		out[i] = int(src[2*i])<<8 | int(src[2*i+1])
+	}
+	return out, src[2*n:], nil
+}

@@ -1,0 +1,221 @@
+// Package rpc provides the Amoeba-style transaction primitive the file
+// service is built on: a client sends one request message to a service
+// port and receives one reply. There are no server-initiated messages at
+// all — the paper's §5.4 explicitly rejects XDFS-style "unsolicited
+// messages" as not fitting the client/server model — so a single
+// request/reply transaction is the complete protocol surface.
+//
+// Two transports are provided: an in-process Network for tests,
+// benchmarks and single-machine clusters, and a TCP transport
+// (tcp.go) for running real multi-process services. Both give the
+// failure semantics the paper's crash-recovery story needs: a
+// transaction to a port whose server has crashed fails with ErrDeadPort,
+// which is how waiters discover that a lock holder died (§5.3).
+//
+// The maximum data size of a message is 32 KiB; the paper derives the
+// maximum page size from exactly this limit ("The maximum length of a
+// page is determined by the maximum length of a message in a
+// transaction: 32K bytes").
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/capability"
+)
+
+// MaxData is the maximum payload of a transaction message: 32 KiB, the
+// constant the paper derives the maximum page size from.
+const MaxData = 32 * 1024
+
+// Common transaction failures.
+var (
+	// ErrDeadPort reports that no live server is listening on the port.
+	// Waiters on locks use this to detect crashed lock holders.
+	ErrDeadPort = errors.New("rpc: transaction to dead port")
+	// ErrTooLarge reports a message exceeding MaxData.
+	ErrTooLarge = errors.New("rpc: message data exceeds 32K")
+	// ErrMalformed reports an undecodable wire message.
+	ErrMalformed = errors.New("rpc: malformed message")
+)
+
+// Status is the service-level outcome carried in a reply header.
+type Status uint32
+
+// Wire statuses shared by all services built on this package. Services
+// may define their own codes above StatusServiceBase.
+const (
+	StatusOK Status = iota
+	StatusBadCommand
+	StatusBadCapability
+	StatusBadRights
+	StatusNotFound
+	StatusConflict // serialisability conflict: redo the update
+	StatusLocked
+	StatusBadArgument
+	StatusIO
+	StatusCollision // block allocate/write collision at companion pair
+
+	// StatusServiceBase is the first status code available for
+	// service-specific use.
+	StatusServiceBase Status = 64
+)
+
+// String names the shared status codes.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBadCommand:
+		return "bad command"
+	case StatusBadCapability:
+		return "bad capability"
+	case StatusBadRights:
+		return "insufficient rights"
+	case StatusNotFound:
+		return "not found"
+	case StatusConflict:
+		return "serialisability conflict"
+	case StatusLocked:
+		return "locked"
+	case StatusBadArgument:
+		return "bad argument"
+	case StatusIO:
+		return "i/o error"
+	case StatusCollision:
+		return "collision"
+	default:
+		return fmt.Sprintf("status(%d)", uint32(s))
+	}
+}
+
+// maxCaps bounds the capabilities one message can carry. Two suffice for
+// every operation in the paper (e.g. file capability + version
+// capability); four leaves headroom for service extensions.
+const maxCaps = 4
+
+// Message is one request or reply. The same shape is used in both
+// directions, as in Amoeba's trans() primitive.
+type Message struct {
+	// Command selects the operation on request; it is echoed on reply.
+	Command uint32
+	// Status is meaningful only in replies.
+	Status Status
+	// Args carries small fixed operands (block numbers, path elements,
+	// sizes) so that simple operations need no Data buffer.
+	Args [4]uint64
+	// Caps carries up to four capabilities.
+	Caps []capability.Capability
+	// Data is the bulk payload, at most MaxData bytes.
+	Data []byte
+}
+
+// Reply builds a reply to m with the given status, echoing the command.
+func (m *Message) Reply(status Status) *Message {
+	return &Message{Command: m.Command, Status: status}
+}
+
+// Errorf builds an error reply whose Data carries a diagnostic string.
+func (m *Message) Errorf(status Status, format string, args ...any) *Message {
+	r := m.Reply(status)
+	r.Data = []byte(fmt.Sprintf(format, args...))
+	return r
+}
+
+// Err converts a reply into a Go error: nil for StatusOK, otherwise an
+// error wrapping the status and any diagnostic in Data.
+func (m *Message) Err() error {
+	if m.Status == StatusOK {
+		return nil
+	}
+	if len(m.Data) > 0 {
+		return fmt.Errorf("%v: %s", m.Status, m.Data)
+	}
+	return fmt.Errorf("%v", m.Status)
+}
+
+// encodedLen computes the wire length of m.
+func (m *Message) encodedLen() int {
+	return 4 + 4 + 8*4 + 1 + len(m.Caps)*capability.EncodedLen + 4 + len(m.Data)
+}
+
+// Encode appends the wire form of m to dst.
+func (m *Message) Encode(dst []byte) ([]byte, error) {
+	if len(m.Data) > MaxData {
+		return nil, fmt.Errorf("%d bytes: %w", len(m.Data), ErrTooLarge)
+	}
+	if len(m.Caps) > maxCaps {
+		return nil, fmt.Errorf("%d capabilities: %w", len(m.Caps), ErrTooLarge)
+	}
+	var hdr [4 + 4 + 32 + 1]byte
+	binary.BigEndian.PutUint32(hdr[0:4], m.Command)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(m.Status))
+	for i, a := range m.Args {
+		binary.BigEndian.PutUint64(hdr[8+8*i:16+8*i], a)
+	}
+	hdr[40] = byte(len(m.Caps))
+	dst = append(dst, hdr[:]...)
+	for _, c := range m.Caps {
+		dst = c.Encode(dst)
+	}
+	var dl [4]byte
+	binary.BigEndian.PutUint32(dl[:], uint32(len(m.Data)))
+	dst = append(dst, dl[:]...)
+	dst = append(dst, m.Data...)
+	return dst, nil
+}
+
+// DecodeMessage parses one message from src, which must contain exactly
+// one encoded message.
+func DecodeMessage(src []byte) (*Message, error) {
+	if len(src) < 45 {
+		return nil, fmt.Errorf("%d bytes: %w", len(src), ErrMalformed)
+	}
+	m := &Message{}
+	m.Command = binary.BigEndian.Uint32(src[0:4])
+	m.Status = Status(binary.BigEndian.Uint32(src[4:8]))
+	for i := range m.Args {
+		m.Args[i] = binary.BigEndian.Uint64(src[8+8*i : 16+8*i])
+	}
+	ncaps := int(src[40])
+	if ncaps > maxCaps {
+		return nil, fmt.Errorf("%d capabilities: %w", ncaps, ErrMalformed)
+	}
+	rest := src[41:]
+	for i := 0; i < ncaps; i++ {
+		c, r, err := capability.Decode(rest)
+		if err != nil {
+			return nil, fmt.Errorf("capability %d: %w", i, ErrMalformed)
+		}
+		m.Caps = append(m.Caps, c)
+		rest = r
+	}
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("missing data length: %w", ErrMalformed)
+	}
+	dlen := int(binary.BigEndian.Uint32(rest[0:4]))
+	rest = rest[4:]
+	if dlen > MaxData || dlen != len(rest) {
+		return nil, fmt.Errorf("data length %d with %d remaining: %w", dlen, len(rest), ErrMalformed)
+	}
+	if dlen > 0 {
+		m.Data = make([]byte, dlen)
+		copy(m.Data, rest)
+	}
+	return m, nil
+}
+
+// Handler processes one request and returns the reply. Handlers must not
+// retain req or the returned message after returning.
+type Handler func(req *Message) *Message
+
+// Transactor is the client side of the transaction primitive. Both the
+// in-process Network and the TCP Client implement it.
+type Transactor interface {
+	// Transact sends req to the service at port and returns its reply.
+	// It returns ErrDeadPort (possibly wrapped) when no live service is
+	// listening there.
+	Transact(port capability.Port, req *Message) (*Message, error)
+}

@@ -1,0 +1,742 @@
+// Package server implements the Amoeba File Server process: the service
+// that manages files and versions on top of the block service, enforcing
+// protection with capabilities, concurrency control with the optimistic
+// mechanism of §5.2 and, for super-files, the locking mechanism of §5.3.
+//
+// A file service consists of any number of Server processes sharing the
+// capability factory and file table (the paper's replicated structures)
+// and a block store. Each Server has its own port: lock fields name the
+// individual server so waiters can detect its death, and clients fail
+// over to a sibling server when theirs stops answering. Uncommitted
+// versions are managed by the server that created them and die with it;
+// "clients must be prepared to redo the updates in a version" (§5.4.1).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/file"
+	"repro/internal/lock"
+	"repro/internal/occ"
+	"repro/internal/page"
+	"repro/internal/version"
+)
+
+// Errors of the file service.
+var (
+	// ErrUnknownVersion reports a version capability this server does
+	// not manage (possibly because it crashed and lost the version).
+	ErrUnknownVersion = errors.New("server: unknown version")
+	// ErrVersionClosed reports an operation on a committed or aborted
+	// version.
+	ErrVersionClosed = errors.New("server: version closed")
+)
+
+// PortRegistry tracks the liveness of update ports: every open update
+// holds its locks under a fresh port registered here, and waiters probe
+// it. The in-memory registry serves single-process clusters; the core
+// package bridges to the rpc network so that a server crash kills all of
+// its update ports at once.
+type PortRegistry interface {
+	// Register announces a live port.
+	Register(p capability.Port)
+	// Unregister removes a port; probes then report it dead.
+	Unregister(p capability.Port)
+	// Alive reports whether the port is registered.
+	Alive(p capability.Port) bool
+}
+
+// MemRegistry is the in-memory PortRegistry.
+type MemRegistry struct {
+	mu    sync.Mutex
+	ports map[capability.Port]bool
+}
+
+// NewMemRegistry creates an empty registry.
+func NewMemRegistry() *MemRegistry {
+	return &MemRegistry{ports: make(map[capability.Port]bool)}
+}
+
+// Register implements PortRegistry.
+func (r *MemRegistry) Register(p capability.Port) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ports[p] = true
+}
+
+// Unregister implements PortRegistry.
+func (r *MemRegistry) Unregister(p capability.Port) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.ports, p)
+}
+
+// Alive implements PortRegistry.
+func (r *MemRegistry) Alive(p capability.Port) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ports[p]
+}
+
+// Shared is the state common to all server processes of one file
+// service: the stand-in for the paper's replicated file table and shared
+// service identity.
+type Shared struct {
+	// Fact mints and checks capabilities; its port is the service's
+	// public identity, common to all servers.
+	Fact *capability.Factory
+	// Table is the (conceptually replicated) file table.
+	Table *file.Table
+	// Store is the block service underneath (a plain server or a
+	// stable pair).
+	Store block.Store
+	// Acct is the service's block account.
+	Acct block.Account
+	// Ports answers lock-holder liveness across all servers.
+	Ports PortRegistry
+
+	mu      sync.Mutex
+	nextObj uint32
+}
+
+// NewShared creates the shared service state.
+func NewShared(store block.Store, acct block.Account) *Shared {
+	return &Shared{
+		Fact:  capability.NewFactory(capability.NewPort().Public()),
+		Table: file.NewTable(),
+		Store: store,
+		Acct:  acct,
+		Ports: NewMemRegistry(),
+	}
+}
+
+// newObject reserves a fresh object number and mints its owner
+// capability.
+func (sh *Shared) newObject() (uint32, capability.Capability) {
+	sh.mu.Lock()
+	sh.nextObj++
+	obj := sh.nextObj
+	sh.mu.Unlock()
+	return obj, sh.Fact.Register(obj)
+}
+
+// VersionState is the lifecycle of a version record.
+type VersionState int
+
+// Version lifecycle states.
+const (
+	StateActive VersionState = iota
+	StateCommitted
+	StateAborted
+)
+
+// verRec is this server's record of one uncommitted (or just-closed)
+// version.
+type verRec struct {
+	mu      sync.Mutex
+	cap     capability.Capability
+	fileObj uint32
+	tree    *version.Tree
+	state   VersionState
+	// locks acts under this update's own lock port.
+	locks *lock.Manager
+	// super update bookkeeping: the base version page whose top lock we
+	// hold, and the current sub-file version pages we inner-locked.
+	super    bool
+	topBase  block.Num
+	crossing []block.Num
+	// closedAt stamps commit/abort for record reaping.
+	closedAt time.Time
+}
+
+// CreateVersionOpts selects the §5.3 lock discipline variants.
+type CreateVersionOpts struct {
+	// RespectTopHint makes a small-file update wait for the top-lock
+	// hint: the paper's soft-locking scheme for updates "known to
+	// affect large parts of a small file".
+	RespectTopHint bool
+	// RelaxSuperLock allows creating a super-file version even when the
+	// top lock is set: "The optimistic concurrency control which still
+	// lurks underneath this locking mechanism will see to it that no
+	// harm is done."
+	RelaxSuperLock bool
+}
+
+// Server is one Amoeba File Server process.
+type Server struct {
+	shared *Shared
+	port   capability.Port
+	st     *version.Store
+	com    *occ.Committer
+	locks  *lock.Manager
+	// ports tracks this server's update ports; by default the service's
+	// shared registry, replaced by a network-backed registry in
+	// clustered deployments so that a process crash kills the ports.
+	ports PortRegistry
+
+	mu       sync.Mutex
+	versions map[uint32]*verRec
+	crashed  bool
+}
+
+// New creates a server process with its own port. probe answers lock
+// holder liveness; pass nil to probe the service's port registry.
+func New(shared *Shared, probe lock.Prober) *Server {
+	port := capability.NewPort().Public()
+	st := version.NewStore(shared.Store, shared.Acct)
+	if probe == nil {
+		probe = shared.Ports.Alive
+	}
+	s := &Server{
+		shared:   shared,
+		port:     port,
+		st:       st,
+		com:      occ.NewCommitter(st),
+		locks:    lock.NewManager(st, port, probe),
+		ports:    shared.Ports,
+		versions: make(map[uint32]*verRec),
+	}
+	return s
+}
+
+// UsePortRegistry replaces the server's update-port registry (and should
+// be called before the server serves requests). Clustered deployments
+// back it with the network so that killing the server's process kills
+// its ports.
+func (s *Server) UsePortRegistry(reg PortRegistry) { s.ports = reg }
+
+// closedGrace is how long a closed version record lingers so that
+// follow-up queries (e.g. the commit reply's root lookup) still resolve.
+const closedGrace = time.Second
+
+// LiveVersions returns the root blocks of the open versions this server
+// manages; the garbage collector pins them. Closed records past their
+// grace period are reaped on the way.
+func (s *Server) LiveVersions() []block.Num {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]block.Num, 0, len(s.versions))
+	now := time.Now()
+	for obj, rec := range s.versions {
+		if rec.state == StateActive {
+			out = append(out, rec.tree.Root)
+			continue
+		}
+		if !rec.closedAt.IsZero() && now.Sub(rec.closedAt) > closedGrace {
+			delete(s.versions, obj)
+		}
+	}
+	return out
+}
+
+// Port returns this server's transport port (also its lock identity).
+func (s *Server) Port() capability.Port { return s.port }
+
+// Shared returns the service-wide state.
+func (s *Server) Shared() *Shared { return s.shared }
+
+// Store exposes the version store for tools (GC, benches).
+func (s *Server) Store() *version.Store { return s.st }
+
+// OCCStats exposes commit instrumentation.
+func (s *Server) OCCStats() *occ.Stats { return s.com.Stat }
+
+// LockManager exposes the lock manager (examples and tests).
+func (s *Server) LockManager() *lock.Manager { return s.locks }
+
+// Crash simulates a server-process crash: all in-memory version records
+// vanish and their update ports die, so probes by waiters fail. Locks
+// held on disk remain — exactly the §5.3 situation that waiters recover
+// from.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = true
+	for _, rec := range s.versions {
+		s.ports.Unregister(rec.locks.Port)
+	}
+	s.versions = make(map[uint32]*verRec)
+}
+
+// checkAlive refuses service after a crash.
+func (s *Server) checkAlive() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return fmt.Errorf("server %v: crashed", s.port)
+	}
+	return nil
+}
+
+// CreateFile creates a new small file whose birth version holds data,
+// committed immediately. It returns the owner file capability.
+func (s *Server) CreateFile(data []byte) (capability.Capability, error) {
+	if err := s.checkAlive(); err != nil {
+		return capability.Nil, err
+	}
+	obj, fcap := s.shared.newObject()
+	_, vcap := s.shared.newObject()
+	tr, err := version.CreateFile(s.st, fcap, vcap, data)
+	if err != nil {
+		return capability.Nil, err
+	}
+	s.shared.Table.Put(obj, file.Entry{Cap: fcap, Entry: tr.Root})
+	return fcap, nil
+}
+
+// currentOf resolves the current version root of a file.
+func (s *Server) currentOf(fileObj uint32) (block.Num, file.Entry, error) {
+	e, err := s.shared.Table.Get(fileObj)
+	if err != nil {
+		return block.NilNum, file.Entry{}, err
+	}
+	cur, err := occ.Current(s.st, e.Entry)
+	if err != nil {
+		return block.NilNum, file.Entry{}, err
+	}
+	if cur != e.Entry {
+		s.shared.Table.Advance(fileObj, cur)
+	}
+	return cur, e, nil
+}
+
+// CreateVersion opens a new version of the file for update, applying the
+// §5.3 lock step: super-files require both lock fields clear and take the
+// top lock; small files test only the inner lock but set the top lock.
+func (s *Server) CreateVersion(fcap capability.Capability, opts CreateVersionOpts) (capability.Capability, error) {
+	if err := s.checkAlive(); err != nil {
+		return capability.Nil, err
+	}
+	if err := s.shared.Fact.Verify(fcap, capability.RightCreate); err != nil {
+		return capability.Nil, err
+	}
+	cur, entry, err := s.currentOf(fcap.Object)
+	if err != nil {
+		return capability.Nil, err
+	}
+	superDiscipline := entry.Super && !opts.RelaxSuperLock
+	if opts.RespectTopHint {
+		superDiscipline = true
+	}
+	// Every update holds its locks under a fresh port whose liveness
+	// waiters can probe; the port dies with the update or its server.
+	upPort := capability.NewPort().Public()
+	s.ports.Register(upPort)
+	mgr := s.locks.As(upPort)
+	if err := mgr.AcquireTop(cur, superDiscipline); err != nil {
+		s.ports.Unregister(upPort)
+		return capability.Nil, err
+	}
+
+	obj, vcap := s.shared.newObject()
+	tr, err := version.CreateVersion(s.st, cur, vcap)
+	if err != nil {
+		mgr.Clear(cur, upPort)
+		s.ports.Unregister(upPort)
+		return capability.Nil, err
+	}
+	rec := &verRec{
+		cap:     vcap,
+		fileObj: fcap.Object,
+		tree:    tr,
+		locks:   mgr,
+		super:   entry.Super,
+		topBase: cur,
+	}
+	s.mu.Lock()
+	s.versions[obj] = rec
+	s.mu.Unlock()
+	return vcap, nil
+}
+
+// lookup resolves and checks a version capability to this server's
+// record.
+func (s *Server) lookup(vcap capability.Capability, need capability.Rights) (*verRec, error) {
+	if err := s.checkAlive(); err != nil {
+		return nil, err
+	}
+	if err := s.shared.Fact.Verify(vcap, need); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	rec, ok := s.versions[vcap.Object]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("version object %d: %w", vcap.Object, ErrUnknownVersion)
+	}
+	return rec, nil
+}
+
+// resolve walks the path from the version's root, crossing sub-file
+// boundaries per §5.3: each first crossing inner-locks the sub-file's
+// current version and creates a new version of it inside this update.
+// It returns the innermost tree and the residual path within it.
+func (s *Server) resolve(rec *verRec, p page.Path) (*version.Tree, page.Path, error) {
+	tree := rec.tree
+	rest := p
+	for {
+		boundary, subBlk, accessed, err := findBoundary(s.st, tree, rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		if boundary < 0 {
+			return tree, rest, nil
+		}
+		var subRoot block.Num
+		if accessed {
+			// Already crossed during this update: the ref points at
+			// the sub-version we created.
+			subRoot = subBlk
+		} else {
+			// First crossing: lock and fork the sub-file's current
+			// version. The sub-file may have been updated since the
+			// super-file's tree last changed, so chase to current.
+			subCur, err := occ.Current(s.st, subBlk)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := rec.locks.AcquireInner(subCur); err != nil {
+				return nil, nil, err
+			}
+			_, subVCap := s.shared.newObject()
+			subTree, err := version.CreateVersion(s.st, subCur, subVCap)
+			if err != nil {
+				rec.locks.Clear(subCur, rec.locks.Port)
+				return nil, nil, err
+			}
+			// Parent reference: ascend to the enclosing version page.
+			if err := s.setParentRef(subTree.Root, tree.Root); err != nil {
+				return nil, nil, err
+			}
+			parentPath := rest[:boundary]
+			if err := tree.LinkSubVersion(parentPath, rest[boundary], subTree.Root); err != nil {
+				return nil, nil, err
+			}
+			rec.crossing = append(rec.crossing, subCur)
+			subRoot = subTree.Root
+			s.shared.Table.MarkSuper(rec.fileObj)
+		}
+		tree = &version.Tree{St: s.st, Root: subRoot}
+		rest = rest[boundary+1:]
+	}
+}
+
+// setParentRef points a sub-version's parent reference at the enclosing
+// version page.
+func (s *Server) setParentRef(sub, parent block.Num) error {
+	vp, err := s.st.ReadPage(sub)
+	if err != nil {
+		return err
+	}
+	vp.ParentRef = parent
+	return s.st.WritePage(sub, vp)
+}
+
+// findBoundary peeks along rest in tree and returns the depth of the
+// first reference that points at a version page (a sub-file root), the
+// referenced block, and whether the reference was already accessed in
+// this version. Depth -1 means the path stays inside this file.
+func findBoundary(st *version.Store, tree *version.Tree, rest page.Path) (int, block.Num, bool, error) {
+	cur, err := st.ReadPage(tree.Root)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	for depth, idx := range rest {
+		if idx < 0 || idx >= len(cur.Refs) {
+			return 0, 0, false, fmt.Errorf("server: %s index %d of %d: %w",
+				rest, idx, len(cur.Refs), version.ErrBadPath)
+		}
+		ref := cur.Refs[idx]
+		if ref.IsNil() {
+			return 0, 0, false, fmt.Errorf("server: %s depth %d: %w", rest, depth, version.ErrHole)
+		}
+		child, err := st.ReadPage(ref.Block)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if child.IsVersion {
+			return depth, ref.Block, ref.Flags.Accessed(), nil
+		}
+		cur = child
+	}
+	return -1, 0, false, nil
+}
+
+// withVersion runs fn on an open version under its record lock.
+func (s *Server) withVersion(vcap capability.Capability, need capability.Rights, fn func(rec *verRec) error) error {
+	rec, err := s.lookup(vcap, need)
+	if err != nil {
+		return err
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.state != StateActive {
+		return fmt.Errorf("version object %d: %w", vcap.Object, ErrVersionClosed)
+	}
+	return fn(rec)
+}
+
+// ReadPage reads the page at path in the version.
+func (s *Server) ReadPage(vcap capability.Capability, p page.Path) (data []byte, nrefs int, err error) {
+	err = s.withVersion(vcap, capability.RightRead, func(rec *verRec) error {
+		tree, rest, err := s.resolve(rec, p)
+		if err != nil {
+			return err
+		}
+		data, nrefs, err = tree.ReadPage(rest)
+		return err
+	})
+	return data, nrefs, err
+}
+
+// WritePage replaces the data of the page at path in the version.
+func (s *Server) WritePage(vcap capability.Capability, p page.Path, data []byte) error {
+	return s.withVersion(vcap, capability.RightWrite, func(rec *verRec) error {
+		tree, rest, err := s.resolve(rec, p)
+		if err != nil {
+			return err
+		}
+		return tree.WritePage(rest, data)
+	})
+}
+
+// InsertPage inserts a fresh page at index idx of the page at path.
+func (s *Server) InsertPage(vcap capability.Capability, p page.Path, idx int, data []byte) error {
+	return s.withVersion(vcap, capability.RightWrite, func(rec *verRec) error {
+		tree, rest, err := s.resolve(rec, p)
+		if err != nil {
+			return err
+		}
+		return tree.InsertPage(rest, idx, data)
+	})
+}
+
+// RemovePage removes the reference at index idx of the page at path.
+func (s *Server) RemovePage(vcap capability.Capability, p page.Path, idx int) error {
+	return s.withVersion(vcap, capability.RightWrite, func(rec *verRec) error {
+		tree, rest, err := s.resolve(rec, p)
+		if err != nil {
+			return err
+		}
+		return tree.RemovePage(rest, idx)
+	})
+}
+
+// MakeHole, FillHole, RemoveHole, SplitPage and MoveSubtree expose the
+// remaining §5 shape commands.
+
+// MakeHole nils the reference at idx of the page at path.
+func (s *Server) MakeHole(vcap capability.Capability, p page.Path, idx int) error {
+	return s.withVersion(vcap, capability.RightWrite, func(rec *verRec) error {
+		tree, rest, err := s.resolve(rec, p)
+		if err != nil {
+			return err
+		}
+		return tree.MakeHole(rest, idx)
+	})
+}
+
+// FillHole creates a page in the hole at idx of the page at path.
+func (s *Server) FillHole(vcap capability.Capability, p page.Path, idx int, data []byte) error {
+	return s.withVersion(vcap, capability.RightWrite, func(rec *verRec) error {
+		tree, rest, err := s.resolve(rec, p)
+		if err != nil {
+			return err
+		}
+		return tree.FillHole(rest, idx, data)
+	})
+}
+
+// RemoveHole removes the hole at idx of the page at path.
+func (s *Server) RemoveHole(vcap capability.Capability, p page.Path, idx int) error {
+	return s.withVersion(vcap, capability.RightWrite, func(rec *verRec) error {
+		tree, rest, err := s.resolve(rec, p)
+		if err != nil {
+			return err
+		}
+		return tree.RemoveHole(rest, idx)
+	})
+}
+
+// SplitPage splits the page at path, keeping keep data bytes and moving
+// the rest into a new child.
+func (s *Server) SplitPage(vcap capability.Capability, p page.Path, keep int) error {
+	return s.withVersion(vcap, capability.RightWrite, func(rec *verRec) error {
+		tree, rest, err := s.resolve(rec, p)
+		if err != nil {
+			return err
+		}
+		return tree.SplitPage(rest, keep)
+	})
+}
+
+// MoveSubtree moves a subtree between two holes of the same version (and
+// the same file: moves across sub-file boundaries are not supported).
+func (s *Server) MoveSubtree(vcap capability.Capability, srcPath page.Path, srcIdx int, dstPath page.Path, dstIdx int) error {
+	return s.withVersion(vcap, capability.RightWrite, func(rec *verRec) error {
+		srcTree, srcRest, err := s.resolve(rec, srcPath)
+		if err != nil {
+			return err
+		}
+		dstTree, dstRest, err := s.resolve(rec, dstPath)
+		if err != nil {
+			return err
+		}
+		if srcTree.Root != dstTree.Root {
+			return fmt.Errorf("server: move crosses a sub-file boundary: %w", version.ErrSubFile)
+		}
+		return srcTree.MoveSubtree(srcRest, srcIdx, dstRest, dstIdx)
+	})
+}
+
+// CreateSubFile creates a brand-new file whose birth version page is
+// embedded at index idx of the page at path inside the open version,
+// turning the enclosing file into a super-file. It returns the sub-file's
+// owner capability.
+func (s *Server) CreateSubFile(vcap capability.Capability, p page.Path, idx int, data []byte) (capability.Capability, error) {
+	var fcap capability.Capability
+	err := s.withVersion(vcap, capability.RightWrite, func(rec *verRec) error {
+		tree, rest, err := s.resolve(rec, p)
+		if err != nil {
+			return err
+		}
+		obj, fc := s.shared.newObject()
+		_, vc := s.shared.newObject()
+		sub, err := version.CreateFile(s.st, fc, vc, data)
+		if err != nil {
+			return err
+		}
+		if err := s.setParentRef(sub.Root, tree.Root); err != nil {
+			return err
+		}
+		if err := tree.InsertSubFile(rest, idx, sub.Root); err != nil {
+			return err
+		}
+		s.shared.Table.Put(obj, file.Entry{Cap: fc, Entry: sub.Root})
+		s.shared.Table.MarkSuper(rec.fileObj)
+		fcap = fc
+		return nil
+	})
+	return fcap, err
+}
+
+// Commit makes the version current (§5.2), finishing sub-file commits and
+// clearing locks for super-file updates (§5.3). A serialisability
+// conflict aborts the version and surfaces occ.ErrConflict: the client
+// must redo the update on a fresh version.
+func (s *Server) Commit(vcap capability.Capability) error {
+	return s.withVersion(vcap, capability.RightCommit, func(rec *verRec) error {
+		err := s.com.Commit(rec.tree)
+		if errors.Is(err, occ.ErrConflict) {
+			rec.state = StateAborted
+			rec.closedAt = time.Now()
+			s.releaseLocks(rec)
+			return err
+		}
+		if err != nil {
+			return err
+		}
+		// Commit the sub-file versions created during this update and
+		// clear every lock we hold in the affected region.
+		if len(rec.crossing) > 0 || rec.super {
+			if err := rec.locks.CommitSubFiles(rec.tree.Root, rec.locks.Port); err != nil {
+				return err
+			}
+		}
+		rec.locks.Clear(rec.topBase, rec.locks.Port)
+		rec.locks.Clear(rec.tree.Root, rec.locks.Port)
+		rec.state = StateCommitted
+		rec.closedAt = time.Now()
+		s.shared.Table.Advance(rec.fileObj, rec.tree.Root)
+		s.ports.Unregister(rec.locks.Port)
+		return nil
+	})
+}
+
+// Abort abandons the version: its private pages become garbage for the
+// collector, and all locks are released.
+func (s *Server) Abort(vcap capability.Capability) error {
+	return s.withVersion(vcap, capability.RightCommit, func(rec *verRec) error {
+		rec.state = StateAborted
+		rec.closedAt = time.Now()
+		s.releaseLocks(rec)
+		return nil
+	})
+}
+
+// releaseLocks clears the top lock and any inner locks of an update, then
+// retires its lock port.
+func (s *Server) releaseLocks(rec *verRec) {
+	rec.locks.Clear(rec.topBase, rec.locks.Port)
+	for _, sub := range rec.crossing {
+		rec.locks.Clear(sub, rec.locks.Port)
+	}
+	s.ports.Unregister(rec.locks.Port)
+}
+
+// CurrentVersion returns the root block of the file's current version:
+// the entry point for history walks and cache validation.
+func (s *Server) CurrentVersion(fcap capability.Capability) (block.Num, error) {
+	if err := s.checkAlive(); err != nil {
+		return block.NilNum, err
+	}
+	if err := s.shared.Fact.Verify(fcap, capability.RightRead); err != nil {
+		return block.NilNum, err
+	}
+	cur, _, err := s.currentOf(fcap.Object)
+	return cur, err
+}
+
+// History returns the committed version chain of the file, oldest first.
+func (s *Server) History(fcap capability.Capability) ([]block.Num, error) {
+	if err := s.checkAlive(); err != nil {
+		return nil, err
+	}
+	if err := s.shared.Fact.Verify(fcap, capability.RightRead); err != nil {
+		return nil, err
+	}
+	e, err := s.shared.Table.Get(fcap.Object)
+	if err != nil {
+		return nil, err
+	}
+	return occ.History(s.st, e.Entry)
+}
+
+// ReadCommitted reads a page from a committed version root without any
+// access tracking: committed versions are immutable, so reads need no
+// concurrency control. Used by time-travel reads and the cache layer.
+func (s *Server) ReadCommitted(root block.Num, p page.Path) ([]byte, int, error) {
+	if err := s.checkAlive(); err != nil {
+		return nil, 0, err
+	}
+	tr := &version.Tree{St: s.st, Root: root}
+	pg, err := tr.PeekPage(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return append([]byte(nil), pg.Data...), len(pg.Refs), nil
+}
+
+// VersionRoot exposes an open version's root block (cache layer).
+func (s *Server) VersionRoot(vcap capability.Capability) (block.Num, error) {
+	rec, err := s.lookup(vcap, 0)
+	if err != nil {
+		return block.NilNum, err
+	}
+	return rec.tree.Root, nil
+}
+
+// VersionBase exposes the version's base root: the committed version it
+// was created from, which is what client cache entries must match.
+func (s *Server) VersionBase(vcap capability.Capability) (block.Num, error) {
+	rec, err := s.lookup(vcap, 0)
+	if err != nil {
+		return block.NilNum, err
+	}
+	return rec.topBase, nil
+}

@@ -1,0 +1,597 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/disk"
+	"repro/internal/file"
+	"repro/internal/occ"
+	"repro/internal/page"
+	"repro/internal/version"
+)
+
+func newService(t *testing.T) (*Shared, *Server) {
+	t.Helper()
+	d := disk.MustNew(disk.Geometry{Blocks: 1 << 14, BlockSize: 1024})
+	sh := NewShared(block.NewServer(d), 1)
+	s := New(sh, nil)
+	s.locks.Poll = 50 * time.Microsecond
+	s.locks.Patience = 200 * time.Millisecond
+	return sh, s
+}
+
+func TestCreateReadWriteCommitCycle(t *testing.T) {
+	_, s := newService(t)
+	fcap, err := s.CreateFile([]byte("v0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcap, err := s.CreateVersion(fcap, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, nrefs, err := s.ReadPage(vcap, page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v0" || nrefs != 0 {
+		t.Fatalf("read %q nrefs=%d", data, nrefs)
+	}
+	if err := s.WritePage(vcap, page.RootPath, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(vcap); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh version sees the committed state.
+	v2, err := s.CreateVersion(fcap, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err = s.ReadPage(v2, page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v1" {
+		t.Fatalf("second version reads %q", data)
+	}
+}
+
+func TestCapabilityEnforcement(t *testing.T) {
+	_, s := newService(t)
+	fcap, _ := s.CreateFile(nil)
+
+	forged := fcap
+	forged.Check ^= 1
+	if _, err := s.CreateVersion(forged, CreateVersionOpts{}); !errors.Is(err, capability.ErrBadCheck) {
+		t.Fatalf("forged file cap accepted: %v", err)
+	}
+
+	// A read-only version capability cannot write or commit.
+	vcap, err := s.CreateVersion(fcap, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := s.Shared().Fact.Restrict(vcap, capability.RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReadPage(ro, page.RootPath); err != nil {
+		t.Fatalf("read with read cap: %v", err)
+	}
+	if err := s.WritePage(ro, page.RootPath, []byte("x")); !errors.Is(err, capability.ErrRights) {
+		t.Fatalf("write with read cap: %v", err)
+	}
+	if err := s.Commit(ro); !errors.Is(err, capability.ErrRights) {
+		t.Fatalf("commit with read cap: %v", err)
+	}
+}
+
+func TestConflictAbortsVersion(t *testing.T) {
+	_, s := newService(t)
+	fcap, _ := s.CreateFile(nil)
+	setup, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+	s.InsertPage(setup, page.RootPath, 0, []byte("a"))
+	s.InsertPage(setup, page.RootPath, 1, []byte("b"))
+	if err := s.Commit(setup); err != nil {
+		t.Fatal(err)
+	}
+
+	v1, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+	v2, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+	// v1 reads page 0 then writes page 1; v2 writes page 0.
+	if _, _, err := s.ReadPage(v1, page.Path{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePage(v1, page.Path{1}, []byte("derived")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePage(v2, page.Path{0}, []byte("clobber")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(v1); !errors.Is(err, occ.ErrConflict) {
+		t.Fatalf("commit err = %v, want conflict", err)
+	}
+	// The aborted version is closed.
+	if err := s.WritePage(v1, page.Path{1}, []byte("again")); !errors.Is(err, ErrVersionClosed) {
+		t.Fatalf("write to aborted version: %v", err)
+	}
+	// The client redoes the update on a fresh version and succeeds.
+	v3, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+	if _, _, err := s.ReadPage(v3, page.Path{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePage(v3, page.Path{1}, []byte("redone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(v3); err != nil {
+		t.Fatalf("redo failed: %v", err)
+	}
+}
+
+func TestDoubleCommitRefused(t *testing.T) {
+	_, s := newService(t)
+	fcap, _ := s.CreateFile(nil)
+	v, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+	if err := s.Commit(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(v); !errors.Is(err, ErrVersionClosed) {
+		t.Fatalf("second commit: %v", err)
+	}
+}
+
+func TestAbortReleasesAndDiscards(t *testing.T) {
+	_, s := newService(t)
+	fcap, _ := s.CreateFile([]byte("keep"))
+	v, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+	if err := s.WritePage(v, page.RootPath, []byte("discard")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Abort(v); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+	data, _, _ := s.ReadPage(v2, page.RootPath)
+	if string(data) != "keep" {
+		t.Fatalf("aborted write visible: %q", data)
+	}
+}
+
+func TestHistoryAndTimeTravel(t *testing.T) {
+	_, s := newService(t)
+	fcap, _ := s.CreateFile([]byte("gen0"))
+	for i := 1; i <= 3; i++ {
+		v, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+		if err := s.WritePage(v, page.RootPath, []byte(fmt.Sprintf("gen%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist, err := s.History(fcap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 4 {
+		t.Fatalf("history has %d versions, want 4", len(hist))
+	}
+	// Committed versions represent past states of the file (§5).
+	for i, root := range hist {
+		data, _, err := s.ReadCommitted(root, page.RootPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != fmt.Sprintf("gen%d", i) {
+			t.Fatalf("version %d = %q", i, data)
+		}
+	}
+}
+
+func TestSmallFileConcurrentUpdatesAllowed(t *testing.T) {
+	// §5.3: "a small file can be subject to more than one update at the
+	// same time, using the optimistic method of concurrency control."
+	_, s := newService(t)
+	fcap, _ := s.CreateFile(nil)
+	setup, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+	s.InsertPage(setup, page.RootPath, 0, []byte("x"))
+	s.InsertPage(setup, page.RootPath, 1, []byte("y"))
+	if err := s.Commit(setup); err != nil {
+		t.Fatal(err)
+	}
+
+	v1, err := s.CreateVersion(fcap, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.CreateVersion(fcap, CreateVersionOpts{}) // concurrent: no waiting
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WritePage(v1, page.Path{0}, []byte("one"))
+	s.WritePage(v2, page.Path{1}, []byte("two"))
+	if err := s.Commit(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(v2); err != nil {
+		t.Fatal(err)
+	}
+	v3, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+	d0, _, _ := s.ReadPage(v3, page.Path{0})
+	d1, _, _ := s.ReadPage(v3, page.Path{1})
+	if string(d0) != "one" || string(d1) != "two" {
+		t.Fatalf("merged: %q %q", d0, d1)
+	}
+}
+
+// buildSuper creates a super-file with one sub-file and returns both
+// capabilities. Layout: super root has page 0 (plain) and the sub-file at
+// index 1; the sub-file root holds subData.
+func buildSuper(t *testing.T, s *Server, subData string) (superCap, subCap capability.Capability) {
+	t.Helper()
+	superCap, err := s.CreateFile([]byte("super-root"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.CreateVersion(superCap, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertPage(v, page.RootPath, 0, []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	subCap, err = s.CreateSubFile(v, page.RootPath, 1, []byte(subData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(v); err != nil {
+		t.Fatal(err)
+	}
+	return superCap, subCap
+}
+
+func TestSubFileCreationMarksSuper(t *testing.T) {
+	sh, s := newService(t)
+	superCap, subCap := buildSuper(t, s, "sub-data")
+	e, err := sh.Table.Get(superCap.Object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Super {
+		t.Fatal("file not marked super after sub-file creation")
+	}
+	// The sub-file is a real file: it has its own entry and chain.
+	if _, err := sh.Table.Get(subCap.Object); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuperFileUpdateCrossesBoundary(t *testing.T) {
+	_, s := newService(t)
+	superCap, subCap := buildSuper(t, s, "old-sub")
+
+	// Update the super-file, writing into the sub-file through the
+	// nested path /1 (the sub-file's root page).
+	v, err := s.CreateVersion(superCap, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := s.ReadPage(v, page.Path{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "old-sub" {
+		t.Fatalf("read through boundary: %q", data)
+	}
+	if err := s.WritePage(v, page.Path{1}, []byte("new-sub")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(v); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sub-file's own chain advanced: a small-file update of the
+	// sub-file sees the new data.
+	sv, err := s.CreateVersion(subCap, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err = s.ReadPage(sv, page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "new-sub" {
+		t.Fatalf("sub-file chain reads %q, want new-sub", data)
+	}
+	// And its history shows two committed versions.
+	hist, err := s.History(subCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("sub-file history %d, want 2", len(hist))
+	}
+}
+
+func TestSuperFileUpdateExclusive(t *testing.T) {
+	_, s := newService(t)
+	superCap, _ := buildSuper(t, s, "sub")
+
+	v1, err := s.CreateVersion(superCap, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second super-file update must wait on the top lock; with a
+	// short patience it times out while v1 is open.
+	s.locks.Patience = 10 * time.Millisecond
+	if _, err := s.CreateVersion(superCap, CreateVersionOpts{}); err == nil {
+		t.Fatal("concurrent super-file update allowed")
+	}
+	s.locks.Patience = 200 * time.Millisecond
+	if err := s.Commit(v1); err != nil {
+		t.Fatal(err)
+	}
+	// After commit the locks are clear and a new update proceeds.
+	if _, err := s.CreateVersion(superCap, CreateVersionOpts{}); err != nil {
+		t.Fatalf("update after commit: %v", err)
+	}
+}
+
+func TestRelaxedSuperLockAllowsConcurrency(t *testing.T) {
+	_, s := newService(t)
+	superCap, _ := buildSuper(t, s, "sub")
+	v1, err := s.CreateVersion(superCap, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.3 relaxation: version creation allowed despite the top lock;
+	// the OCC underneath arbitrates.
+	v2, err := s.CreateVersion(superCap, CreateVersionOpts{RelaxSuperLock: true})
+	if err != nil {
+		t.Fatalf("relaxed creation failed: %v", err)
+	}
+	if err := s.WritePage(v1, page.Path{0}, []byte("p1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePage(v2, page.RootPath, []byte("p2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(v2); err != nil {
+		t.Fatalf("relaxed disjoint update aborted: %v", err)
+	}
+}
+
+func TestSubFileSmallUpdateBlockedDuringSuperUpdate(t *testing.T) {
+	_, s := newService(t)
+	superCap, subCap := buildSuper(t, s, "sub")
+
+	v, err := s.CreateVersion(superCap, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch the sub-file so the update inner-locks it.
+	if err := s.WritePage(v, page.Path{1}, []byte("locked-write")); err != nil {
+		t.Fatal(err)
+	}
+	// A small-file update of the sub-file tests the inner lock and must
+	// wait; with short patience it times out.
+	s.locks.Patience = 10 * time.Millisecond
+	_, err = s.CreateVersion(subCap, CreateVersionOpts{})
+	if err == nil {
+		t.Fatal("sub-file update allowed during super-file update")
+	}
+	s.locks.Patience = 200 * time.Millisecond
+	if err := s.Commit(v); err != nil {
+		t.Fatal(err)
+	}
+	// After the super commit the inner lock is clear.
+	sv, err := s.CreateVersion(subCap, CreateVersionOpts{})
+	if err != nil {
+		t.Fatalf("sub-file update after super commit: %v", err)
+	}
+	data, _, _ := s.ReadPage(sv, page.RootPath)
+	if string(data) != "locked-write" {
+		t.Fatalf("sub-file reads %q", data)
+	}
+}
+
+func TestSoftLockRespectsTopHint(t *testing.T) {
+	_, s := newService(t)
+	fcap, _ := s.CreateFile([]byte("x"))
+	v1, err := s.CreateVersion(fcap, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A soft-locking client postpones its update while the hint is set.
+	s.locks.Patience = 10 * time.Millisecond
+	if _, err := s.CreateVersion(fcap, CreateVersionOpts{RespectTopHint: true}); err == nil {
+		t.Fatal("soft-lock client proceeded against top hint")
+	}
+	s.locks.Patience = 200 * time.Millisecond
+	if err := s.Commit(v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateVersion(fcap, CreateVersionOpts{RespectTopHint: true}); err != nil {
+		t.Fatalf("soft-lock client after commit: %v", err)
+	}
+}
+
+func TestServerCrashLosesVersionsButNotFiles(t *testing.T) {
+	sh, s := newService(t)
+	fcap, _ := s.CreateFile([]byte("durable"))
+	v, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+	if err := s.WritePage(v, page.RootPath, []byte("in-flight")); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Crash()
+	if _, _, err := s.ReadPage(v, page.RootPath); err == nil {
+		t.Fatal("crashed server answered")
+	}
+
+	// Another server of the same service carries on: the file is intact
+	// and the in-flight update is simply gone.
+	s2 := New(sh, nil)
+	v2, err := s2.CreateVersion(fcap, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := s2.ReadPage(v2, page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "durable" {
+		t.Fatalf("failover read %q", data)
+	}
+}
+
+func TestCrashedServersTopHintRecovered(t *testing.T) {
+	sh, s := newService(t)
+	fcap, _ := s.CreateFile([]byte("x"))
+	if _, err := s.CreateVersion(fcap, CreateVersionOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// The server dies holding the top hint on the current version.
+	s.Crash()
+
+	// A soft-locking client on another server probes the holder, finds
+	// it dead (probe always false here), recovers the lock and
+	// proceeds.
+	s2 := New(sh, func(capability.Port) bool { return false })
+	s2.locks.Poll = 50 * time.Microsecond
+	if _, err := s2.CreateVersion(fcap, CreateVersionOpts{RespectTopHint: true}); err != nil {
+		t.Fatalf("recovery of crashed holder's hint failed: %v", err)
+	}
+}
+
+func TestFileTableRebuildAfterTotalCrash(t *testing.T) {
+	sh, s := newService(t)
+	fcap, _ := s.CreateFile([]byte("gen0"))
+	for i := 1; i <= 2; i++ {
+		v, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+		s.WritePage(v, page.RootPath, []byte(fmt.Sprintf("gen%d", i)))
+		if err := s.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Leave an uncommitted orphan too.
+	orphan, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+	s.WritePage(orphan, page.RootPath, []byte("orphan"))
+
+	// Total service crash: rebuild the table from storage alone.
+	rebuilt, err := file.Rebuild(version.NewStore(sh.Store, sh.Acct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := rebuilt.Get(fcap.Object)
+	if err != nil {
+		t.Fatalf("file lost in rebuild: %v", err)
+	}
+	cur, err := occ.Current(version.NewStore(sh.Store, sh.Acct), e.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &version.Tree{St: version.NewStore(sh.Store, sh.Acct), Root: cur}
+	pg, err := tr.PeekPage(page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pg.Data) != "gen2" {
+		t.Fatalf("rebuilt current reads %q, want gen2", pg.Data)
+	}
+}
+
+func TestUnknownVersionAfterCrashTellsClientToRedo(t *testing.T) {
+	sh, s := newService(t)
+	fcap, _ := s.CreateFile(nil)
+	v, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+	s.Crash()
+	s2 := New(sh, nil)
+	// The version was managed by the crashed server; the sibling does
+	// not know it.
+	if err := s2.Commit(v); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("err = %v, want ErrUnknownVersion", err)
+	}
+}
+
+func TestDeepNestedSubFiles(t *testing.T) {
+	_, s := newService(t)
+	outer, err := s.CreateFile([]byte("outer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.CreateVersion(outer, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = s.CreateSubFile(v, page.RootPath, 0, []byte("mid")); err != nil {
+		t.Fatal(err)
+	}
+	// Create a sub-sub-file inside the mid file through the outer
+	// version (path /0 is mid's root).
+	if _, err = s.CreateSubFile(v, page.Path{0}, 0, []byte("inner")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(v); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read through two boundaries.
+	v2, err := s.CreateVersion(outer, CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := s.ReadPage(v2, page.Path{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "inner" {
+		t.Fatalf("nested read %q", data)
+	}
+	// Write through two boundaries and commit.
+	if err := s.WritePage(v2, page.Path{0, 0}, []byte("INNER")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(v2); err != nil {
+		t.Fatal(err)
+	}
+	v3, _ := s.CreateVersion(outer, CreateVersionOpts{})
+	data, _, _ = s.ReadPage(v3, page.Path{0, 0})
+	if string(data) != "INNER" {
+		t.Fatalf("nested write lost: %q", data)
+	}
+}
+
+func TestOnePageFileFastPath(t *testing.T) {
+	// The Bauer-principle path: a compiler writing a temporary file
+	// uses one version with one page write and a trivial commit.
+	_, s := newService(t)
+	fcap, err := s.CreateFile([]byte("object code"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.OCCStats().Validations.Load()
+	v, _ := s.CreateVersion(fcap, CreateVersionOpts{})
+	if err := s.WritePage(v, page.RootPath, []byte("object code v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(v); err != nil {
+		t.Fatal(err)
+	}
+	if s.OCCStats().Validations.Load() != before {
+		t.Fatal("one-page-file commit ran a validation")
+	}
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/page"
+	"repro/internal/version"
+)
+
+// Invalidation names cache entries to discard after a §5.4 cache
+// validation: pages whose data was rewritten (exact paths) and subtrees
+// whose reference structure changed (prefixes — everything below them may
+// have moved).
+type Invalidation struct {
+	// Exact lists paths whose page data changed (W).
+	Exact []page.Path
+	// Prefixes lists paths whose reference tables changed (M): every
+	// cached page at or below such a path must go.
+	Prefixes []page.Path
+	// All, when true, means the whole cache entry is stale (the cached
+	// version is no longer reachable, e.g. collected).
+	All bool
+}
+
+// Empty reports a fully valid cache: the §5.4 "null operation" for files
+// that are not shared.
+func (iv Invalidation) Empty() bool {
+	return !iv.All && len(iv.Exact) == 0 && len(iv.Prefixes) == 0
+}
+
+// ValidateCache performs the §5.4 cache check: given the version root a
+// client's cache entries came from, it returns the current version root
+// and the path names of pages to discard. The test walks the committed
+// chain from the cached version to the current one and accumulates the
+// write sets recorded in the versions' own flags, so no page data is
+// transmitted or even read — only the pages the updates actually touched
+// are visited, making the cost proportional to the amount of change, not
+// to file size.
+func (s *Server) ValidateCache(fcap capability.Capability, cachedRoot block.Num) (block.Num, Invalidation, error) {
+	if err := s.checkAlive(); err != nil {
+		return block.NilNum, Invalidation{}, err
+	}
+	if err := s.shared.Fact.Verify(fcap, capability.RightRead); err != nil {
+		return block.NilNum, Invalidation{}, err
+	}
+	cur, _, err := s.currentOf(fcap.Object)
+	if err != nil {
+		return block.NilNum, Invalidation{}, err
+	}
+	if cachedRoot == cur {
+		// The cache holds the most recent version: all pages valid.
+		return cur, Invalidation{}, nil
+	}
+
+	var iv Invalidation
+	// Walk the committed chain strictly after the cached version.
+	vp, err := s.st.ReadPage(cachedRoot)
+	if err != nil || !vp.IsVersion {
+		return cur, Invalidation{All: true}, nil
+	}
+	for next := vp.CommitRef; next != block.NilNum; {
+		nvp, err := s.st.ReadPage(next)
+		if err != nil || !nvp.IsVersion {
+			return cur, Invalidation{All: true}, nil
+		}
+		collectWriteSet(s.st, nvp, page.RootPath, nvp.RootFlags, &iv)
+		next = nvp.CommitRef
+	}
+	return cur, iv, nil
+}
+
+// collectWriteSet gathers the write set of one committed version from its
+// access flags: W on a page invalidates that path; M invalidates the
+// subtree. Only accessed (copied) references are descended — unaccessed
+// subtrees were untouched by the update.
+func collectWriteSet(st *version.Store, pg *page.Page, at page.Path, flags page.Flags, iv *Invalidation) {
+	if flags&page.FlagW != 0 {
+		iv.Exact = append(iv.Exact, at.Clone())
+	}
+	if flags&page.FlagM != 0 {
+		iv.Prefixes = append(iv.Prefixes, at.Clone())
+		// Structure below changed wholesale; no need for finer grain.
+		return
+	}
+	if flags&page.FlagS == 0 {
+		return // never descended: children untouched
+	}
+	for i, r := range pg.Refs {
+		if r.IsNil() || !r.Flags.Accessed() {
+			continue
+		}
+		child, err := st.ReadPage(r.Block)
+		if err != nil {
+			// Unreadable child: be safe, kill the subtree.
+			iv.Prefixes = append(iv.Prefixes, at.Child(i))
+			continue
+		}
+		if child.IsVersion {
+			// Sub-file boundary: the sub-update's writes are recorded
+			// inside the sub-version.
+			collectWriteSet(st, child, at.Child(i), child.RootFlags, iv)
+			continue
+		}
+		collectWriteSet(st, child, at.Child(i), r.Flags, iv)
+	}
+}

@@ -1,0 +1,550 @@
+// Package stable implements the paper's §4 proposal for highly available
+// block storage: every block is stored by *two block servers on two
+// different disk drives* — a modification of Lampson & Sturgis' stable
+// storage, which used one server and two drives.
+//
+// Protocol for allocate-and-write (and plain write), quoting §4:
+//
+//	"On request to allocate and write a block, the receiving block
+//	server, say server A allocates a block on its local disk, then sends
+//	a request to its companion block server, server B including the data
+//	and the chosen block number. B then writes the block to disk at the
+//	address indicated by A, and sends an acknowledgement back to A.
+//	Finally A writes the data in its own block, and returns an
+//	identifier for the block to the client."
+//
+// Because writes are always carried out on the companion disk first,
+// allocate collisions (both halves choose the same number for different
+// clients) and write collisions (two clients write the same block through
+// different halves) are detected before damage is done; the caller redoes
+// the operation, typically after a random wait.
+//
+// Reads may be served locally; only when the local copy is corrupt does a
+// half consult its companion (and repair its own copy from the good one).
+//
+// After a crash a server "compares notes with its companion, and restores
+// its disk before accepting any requests"; while a companion is down the
+// surviving half appends every mutation to an intentions list which is
+// replayed on recovery.
+package stable
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/disk"
+)
+
+// ErrCollision reports a simultaneous allocate or write detected at the
+// companion; the client should redo the operation after a random wait.
+var ErrCollision = errors.New("stable: collision detected")
+
+// ErrBothDown reports that neither half of the pair is serving.
+var ErrBothDown = errors.New("stable: both halves down")
+
+// intent records one mutation performed while the companion was down.
+type intent struct {
+	op      byte // 'w' write, 'f' free, 'a' alloc
+	n       block.Num
+	account block.Account
+	data    []byte
+}
+
+// Half is one of the two cooperating block servers in a pair. Its public
+// surface is block.Store, so file services cannot tell a Half from a
+// plain server — availability is transparent, as the paper intends.
+type Half struct {
+	name string
+	srv  *block.Server
+
+	mu        sync.Mutex
+	companion *Half
+	down      bool
+	// intentions lists mutations to replay on companion recovery.
+	// intentionsValid is cleared when this half itself crashes: a lost
+	// list forces the rejoining companion to restore its disk by full
+	// copy instead of replay.
+	intentions      []intent
+	intentionsValid bool
+
+	// latches serialise companion-first writes per block. This is a
+	// distinct facility from the block service's client-visible lock
+	// (used for commit critical sections): a client may legitimately
+	// write a block while holding its lock, and must not collide with
+	// itself.
+	latches map[block.Num]bool
+
+	stats HalfStats
+}
+
+// HalfStats counts pair-protocol events at one half.
+type HalfStats struct {
+	CompanionWrites  uint64 // writes forwarded to companion first
+	Collisions       uint64
+	CorruptFallbacks uint64 // reads served via companion after local corruption
+	IntentionsKept   uint64
+	Replayed         uint64
+}
+
+// NewPair creates two halves over the given disks and joins them.
+func NewPair(da, db *disk.Disk) (*Half, *Half) {
+	a := &Half{name: "A", srv: block.NewServer(da), latches: make(map[block.Num]bool)}
+	b := &Half{name: "B", srv: block.NewServer(db), latches: make(map[block.Num]bool)}
+	a.companion = b
+	b.companion = a
+	return a, b
+}
+
+// TryLatch acquires the write-collision latch for block n, reporting
+// whether it was free. Exposed for tests that stage deterministic
+// collisions.
+func (h *Half) TryLatch(n block.Num) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.latches[n] {
+		return false
+	}
+	h.latches[n] = true
+	return true
+}
+
+// Unlatch releases the write-collision latch.
+func (h *Half) Unlatch(n block.Num) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.latches, n)
+}
+
+// Name identifies the half ("A" or "B") in logs.
+func (h *Half) Name() string { return h.name }
+
+// Stats returns a snapshot of the pair-protocol counters.
+func (h *Half) Stats() HalfStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Server exposes the underlying single block server (tests only).
+func (h *Half) Server() *block.Server { return h.srv }
+
+// Crash takes this half down: clients must use the companion.
+func (h *Half) Crash() {
+	h.mu.Lock()
+	h.down = true
+	// A crash loses the volatile intentions list; the validity flag
+	// tells the rejoining companion to restore by full copy instead.
+	h.intentions = nil
+	h.intentionsValid = false
+	h.mu.Unlock()
+	h.srv.Disk().Crash()
+}
+
+// Down reports whether this half is crashed.
+func (h *Half) Down() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.down
+}
+
+// Recover brings the half back: per §4, it "compares notes with its
+// companion, and restores its disk before accepting any requests". The
+// companion replays its intentions list here and hands over the
+// allocation table.
+func (h *Half) Rejoin() error {
+	h.srv.Disk().Repair()
+
+	comp := h.companion
+	comp.mu.Lock()
+	intentions := comp.intentions
+	valid := comp.intentionsValid
+	comp.intentions = nil
+	comp.intentionsValid = false
+	compDown := comp.down
+	comp.mu.Unlock()
+
+	if !compDown {
+		// Adopt the companion's allocation table wholesale: it served
+		// alone while we were down, so it is authoritative.
+		owners := comp.srv.Owners()
+		h.srv.Restore(owners)
+		switch {
+		case valid:
+			// Fast path: replay only the mutations made during the
+			// outage.
+			for _, it := range intentions {
+				switch it.op {
+				case 'w', 'a':
+					if err := h.srv.Disk().Write(int(it.n), it.data); err != nil {
+						return fmt.Errorf("stable: replay %c block %d: %w", it.op, it.n, err)
+					}
+				case 'f':
+					// Free already reflected in the adopted table.
+				}
+				comp.mu.Lock()
+				comp.stats.Replayed++
+				comp.mu.Unlock()
+			}
+		default:
+			// The companion's intentions list did not survive (it
+			// crashed too while we were down). Restore the disk by
+			// copying every owned block — the slow but safe form of
+			// §4's "compares notes with its companion, and restores
+			// its disk before accepting any requests".
+			for n := range owners {
+				data, err := comp.srv.Disk().Read(int(n))
+				if err != nil {
+					return fmt.Errorf("stable: full-copy block %d: %w", n, err)
+				}
+				if err := h.srv.Disk().Write(int(n), data); err != nil {
+					return fmt.Errorf("stable: full-copy block %d: %w", n, err)
+				}
+			}
+		}
+	}
+
+	h.mu.Lock()
+	h.down = false
+	h.mu.Unlock()
+	return nil
+}
+
+// BlockSize implements block.Store.
+func (h *Half) BlockSize() int { return h.srv.BlockSize() }
+
+// companionUp returns the companion if it is serving.
+func (h *Half) companionUp() *Half {
+	c := h.companion
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down {
+		return nil
+	}
+	return c
+}
+
+// keepIntent records a mutation for later replay on the companion.
+func (h *Half) keepIntent(it intent) {
+	h.mu.Lock()
+	if len(h.intentions) == 0 {
+		// Starting a fresh outage record; it is complete from here on
+		// unless we ourselves crash.
+		h.intentionsValid = true
+	}
+	h.intentions = append(h.intentions, it)
+	h.stats.IntentionsKept++
+	h.mu.Unlock()
+}
+
+// Alloc implements block.Store with the companion-first write protocol.
+func (h *Half) Alloc(account block.Account, data []byte) (block.Num, error) {
+	if h.Down() {
+		return block.NilNum, fmt.Errorf("stable: half %s down", h.name)
+	}
+	// Step 1: allocate locally (chooses the block number).
+	n, err := h.srv.Alloc(account, data)
+	if err != nil {
+		return block.NilNum, err
+	}
+	// Step 2: companion writes first.
+	comp := h.companionUp()
+	if comp == nil {
+		h.keepIntent(intent{op: 'a', n: n, account: account, data: append([]byte(nil), data...)})
+		return n, nil
+	}
+	if err := comp.acceptCompanionAlloc(account, n, data); err != nil {
+		// Collision: another client allocated the same number via the
+		// companion. Undo and report; the client redoes the call.
+		_ = h.srv.Free(account, n)
+		if errors.Is(err, ErrCollision) {
+			h.mu.Lock()
+			h.stats.Collisions++
+			h.mu.Unlock()
+		}
+		return block.NilNum, err
+	}
+	h.mu.Lock()
+	h.stats.CompanionWrites++
+	h.mu.Unlock()
+	return n, nil
+}
+
+// acceptCompanionAlloc is the companion side of Alloc: claim the same
+// block number and write the data. A claim that fails because the number
+// is taken is exactly the paper's allocate collision.
+func (h *Half) acceptCompanionAlloc(account block.Account, n block.Num, data []byte) error {
+	if h.Down() {
+		return fmt.Errorf("stable: half %s down", h.name)
+	}
+	if err := h.srv.Claim(account, n); err != nil {
+		return fmt.Errorf("block %d: %w", n, ErrCollision)
+	}
+	if err := h.srv.Write(account, n, data); err != nil {
+		_ = h.srv.Free(account, n)
+		return err
+	}
+	return nil
+}
+
+// Free implements block.Store.
+func (h *Half) Free(account block.Account, n block.Num) error {
+	if h.Down() {
+		return fmt.Errorf("stable: half %s down", h.name)
+	}
+	if err := h.srv.Free(account, n); err != nil {
+		return err
+	}
+	if comp := h.companionUp(); comp != nil {
+		_ = comp.srv.Free(account, n) // best-effort; recovery reconciles
+	} else {
+		h.keepIntent(intent{op: 'f', n: n, account: account})
+	}
+	return nil
+}
+
+// Read implements block.Store. Per §4, "For reads, the block server need
+// not consult its companion server, except when the block on its disk is
+// corrupted."
+func (h *Half) Read(account block.Account, n block.Num) ([]byte, error) {
+	if h.Down() {
+		return nil, fmt.Errorf("stable: half %s down", h.name)
+	}
+	data, err := h.srv.Read(account, n)
+	if err == nil {
+		return data, nil
+	}
+	if !errors.Is(err, disk.ErrCorrupt) {
+		return nil, err
+	}
+	comp := h.companionUp()
+	if comp == nil {
+		return nil, fmt.Errorf("stable: local corrupt and companion down: %w", err)
+	}
+	data, cerr := comp.srv.Read(account, n)
+	if cerr != nil {
+		return nil, fmt.Errorf("stable: both copies bad: local %v, companion %w", err, cerr)
+	}
+	// Repair the local copy from the good one.
+	if werr := h.srv.Disk().Write(int(n), data); werr != nil {
+		return nil, fmt.Errorf("stable: repair failed: %w", werr)
+	}
+	h.mu.Lock()
+	h.stats.CorruptFallbacks++
+	h.mu.Unlock()
+	return data, nil
+}
+
+// Write implements block.Store with companion-first ordering, which makes
+// write collisions detectable before damage is done: the companion
+// serialises both clients' writes on its lock table.
+func (h *Half) Write(account block.Account, n block.Num, data []byte) error {
+	if h.Down() {
+		return fmt.Errorf("stable: half %s down", h.name)
+	}
+	comp := h.companionUp()
+	if comp == nil {
+		if err := h.srv.Write(account, n, data); err != nil {
+			return err
+		}
+		h.keepIntent(intent{op: 'w', n: n, account: account, data: append([]byte(nil), data...)})
+		return nil
+	}
+	if err := comp.acceptCompanionWrite(account, n, data); err != nil {
+		if errors.Is(err, ErrCollision) {
+			h.mu.Lock()
+			h.stats.Collisions++
+			h.mu.Unlock()
+		}
+		return err
+	}
+	h.mu.Lock()
+	h.stats.CompanionWrites++
+	h.mu.Unlock()
+	return h.srv.Write(account, n, data)
+}
+
+// acceptCompanionWrite performs the companion-first write under the
+// block's write latch so concurrent writers of the same block via
+// different halves collide here instead of interleaving.
+func (h *Half) acceptCompanionWrite(account block.Account, n block.Num, data []byte) error {
+	if h.Down() {
+		return fmt.Errorf("stable: half %s down", h.name)
+	}
+	if !h.TryLatch(n) {
+		return fmt.Errorf("block %d write: %w", n, ErrCollision)
+	}
+	defer h.Unlatch(n)
+	return h.srv.Write(account, n, data)
+}
+
+// Lock implements block.Store; the lock lives on whichever half receives
+// it plus its companion, so the commit critical section holds across the
+// pair.
+func (h *Half) Lock(account block.Account, n block.Num) error {
+	if h.Down() {
+		return fmt.Errorf("stable: half %s down", h.name)
+	}
+	if err := h.srv.Lock(account, n); err != nil {
+		return err
+	}
+	if comp := h.companionUp(); comp != nil {
+		if err := comp.srv.Lock(account, n); err != nil {
+			_ = h.srv.Unlock(account, n)
+			return err
+		}
+	}
+	return nil
+}
+
+// Unlock implements block.Store.
+func (h *Half) Unlock(account block.Account, n block.Num) error {
+	if h.Down() {
+		return fmt.Errorf("stable: half %s down", h.name)
+	}
+	if comp := h.companionUp(); comp != nil {
+		_ = comp.srv.Unlock(account, n)
+	}
+	return h.srv.Unlock(account, n)
+}
+
+// Recover implements block.Store.
+func (h *Half) Recover(account block.Account) ([]block.Num, error) {
+	if h.Down() {
+		if comp := h.companionUp(); comp != nil {
+			return comp.srv.Recover(account)
+		}
+		return nil, ErrBothDown
+	}
+	return h.srv.Recover(account)
+}
+
+var _ block.Store = (*Half)(nil)
+
+// Pair bundles both halves behind one block.Store that fails over
+// automatically: requests go to the primary half and fall back to the
+// companion, reproducing "Clients send requests to the alternative block
+// server if the primary fails to respond."
+type Pair struct {
+	a, b *Half
+	rng  *rand.Rand
+	mu   sync.Mutex
+}
+
+// NewFailoverPair builds the two halves plus the failover front.
+func NewFailoverPair(da, db *disk.Disk) *Pair {
+	a, b := NewPair(da, db)
+	return &Pair{a: a, b: b, rng: rand.New(rand.NewSource(1))}
+}
+
+// Halves returns the two halves for fault injection.
+func (p *Pair) Halves() (*Half, *Half) { return p.a, p.b }
+
+// pick returns a serving half, preferring A.
+func (p *Pair) pick() (*Half, error) {
+	if !p.a.Down() {
+		return p.a, nil
+	}
+	if !p.b.Down() {
+		return p.b, nil
+	}
+	return nil, ErrBothDown
+}
+
+// retryCollision runs fn, redoing it "after a random wait interval" when
+// a collision is detected, as §4 prescribes.
+func (p *Pair) retryCollision(fn func(h *Half) error) error {
+	for attempt := 0; ; attempt++ {
+		h, err := p.pick()
+		if err != nil {
+			return err
+		}
+		err = fn(h)
+		if err == nil || !errors.Is(err, ErrCollision) {
+			return err
+		}
+		if attempt > 16 {
+			return err
+		}
+		// Random backoff: the simulated equivalent of the paper's
+		// "redo the operation after a random wait interval". We spin
+		// on the scheduler rather than sleeping to keep tests fast.
+		p.mu.Lock()
+		spins := p.rng.Intn(1 << uint(min(attempt, 8)))
+		p.mu.Unlock()
+		for i := 0; i < spins; i++ {
+			_ = i
+		}
+	}
+}
+
+// BlockSize implements block.Store.
+func (p *Pair) BlockSize() int { return p.a.BlockSize() }
+
+// Alloc implements block.Store with failover and collision retry.
+func (p *Pair) Alloc(account block.Account, data []byte) (block.Num, error) {
+	var n block.Num
+	err := p.retryCollision(func(h *Half) error {
+		var e error
+		n, e = h.Alloc(account, data)
+		return e
+	})
+	return n, err
+}
+
+// Free implements block.Store.
+func (p *Pair) Free(account block.Account, n block.Num) error {
+	return p.retryCollision(func(h *Half) error { return h.Free(account, n) })
+}
+
+// Read implements block.Store.
+func (p *Pair) Read(account block.Account, n block.Num) ([]byte, error) {
+	h, err := p.pick()
+	if err != nil {
+		return nil, err
+	}
+	return h.Read(account, n)
+}
+
+// Write implements block.Store.
+func (p *Pair) Write(account block.Account, n block.Num, data []byte) error {
+	return p.retryCollision(func(h *Half) error { return h.Write(account, n, data) })
+}
+
+// Lock implements block.Store.
+func (p *Pair) Lock(account block.Account, n block.Num) error {
+	h, err := p.pick()
+	if err != nil {
+		return err
+	}
+	return h.Lock(account, n)
+}
+
+// Unlock implements block.Store.
+func (p *Pair) Unlock(account block.Account, n block.Num) error {
+	h, err := p.pick()
+	if err != nil {
+		return err
+	}
+	return h.Unlock(account, n)
+}
+
+// Recover implements block.Store.
+func (p *Pair) Recover(account block.Account) ([]block.Num, error) {
+	h, err := p.pick()
+	if err != nil {
+		return nil, err
+	}
+	return h.Recover(account)
+}
+
+var _ block.Store = (*Pair)(nil)
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,357 @@
+package stable
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/disk"
+)
+
+func newPair(t *testing.T) (*Half, *Half) {
+	t.Helper()
+	geo := disk.Geometry{Blocks: 64, BlockSize: 128}
+	return NewPair(disk.MustNew(geo), disk.MustNew(geo))
+}
+
+func TestAllocWritesBothDisks(t *testing.T) {
+	a, b := newPair(t)
+	n, err := a.Alloc(1, []byte("dual"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := a.Server().Disk().Read(int(n))
+	db, _ := b.Server().Disk().Read(int(n))
+	if !bytes.Equal(da[:4], []byte("dual")) || !bytes.Equal(db[:4], []byte("dual")) {
+		t.Fatal("block not stored on both disks")
+	}
+	if a.Stats().CompanionWrites != 1 {
+		t.Fatalf("stats = %+v", a.Stats())
+	}
+}
+
+func TestWriteCompanionFirstOrderSurvivesCrash(t *testing.T) {
+	a, b := newPair(t)
+	n, err := a.Alloc(1, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write via A: B's copy is written first. If A crashes right after
+	// the companion write, B already has v2 durable.
+	if err := a.Write(1, n, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	db, _ := b.Server().Disk().Read(int(n))
+	if !bytes.Equal(db[:2], []byte("v2")) {
+		t.Fatal("companion copy not updated")
+	}
+}
+
+func TestReadFallsBackOnCorruption(t *testing.T) {
+	a, b := newPair(t)
+	n, err := a.Alloc(1, []byte("precious"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Server().Disk().InjectCorruption(int(n)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Read(1, n)
+	if err != nil {
+		t.Fatalf("read with corrupt local copy: %v", err)
+	}
+	if !bytes.Equal(got[:8], []byte("precious")) {
+		t.Fatalf("read %q", got[:8])
+	}
+	if a.Stats().CorruptFallbacks != 1 {
+		t.Fatalf("stats = %+v", a.Stats())
+	}
+	// And the local copy has been repaired.
+	got2, err := a.Server().Disk().Read(int(n))
+	if err != nil {
+		t.Fatalf("local copy not repaired: %v", err)
+	}
+	if !bytes.Equal(got2[:8], []byte("precious")) {
+		t.Fatal("repair wrote wrong data")
+	}
+	_ = b
+}
+
+func TestBothCopiesCorruptFails(t *testing.T) {
+	a, b := newPair(t)
+	n, _ := a.Alloc(1, []byte("x"))
+	a.Server().Disk().InjectCorruption(int(n))
+	b.Server().Disk().InjectCorruption(int(n))
+	if _, err := a.Read(1, n); err == nil {
+		t.Fatal("read succeeded with both copies corrupt")
+	}
+}
+
+func TestAllocCollision(t *testing.T) {
+	a, b := newPair(t)
+	// Force a collision: claim block 1 on B behind A's back, then make A
+	// allocate block 1.
+	if err := b.Server().Claim(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := a.Alloc(1, []byte("z"))
+	if !errors.Is(err, ErrCollision) {
+		t.Fatalf("err = %v, want ErrCollision", err)
+	}
+	if a.Stats().Collisions != 1 {
+		t.Fatalf("stats = %+v", a.Stats())
+	}
+	// The failed alloc must not leak a block on A.
+	if a.Server().InUse() != 0 {
+		t.Fatalf("A has %d blocks in use after failed alloc", a.Server().InUse())
+	}
+	// A retry picks a different number and succeeds.
+	n, err := a.Alloc(1, []byte("z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 1 {
+		t.Fatal("retry chose the colliding number again")
+	}
+}
+
+func TestWriteCollisionDetected(t *testing.T) {
+	a, b := newPair(t)
+	n, err := a.Alloc(1, []byte("base"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a concurrent writer holding the companion-side write
+	// latch: a write via B latches block n on A first.
+	if !a.TryLatch(n) {
+		t.Fatal("latch busy")
+	}
+	err = b.Write(1, n, []byte("clash"))
+	if !errors.Is(err, ErrCollision) {
+		t.Fatalf("err = %v, want ErrCollision", err)
+	}
+	a.Unlatch(n)
+	if err := b.Write(1, n, []byte("fine!")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteWhileHoldingBlockLockNoSelfCollision(t *testing.T) {
+	// The commit critical section holds the block lock across a
+	// read-modify-write of a version page; the pair's companion-first
+	// write must not collide with the holder's own lock.
+	geo := disk.Geometry{Blocks: 64, BlockSize: 128}
+	p := NewFailoverPair(disk.MustNew(geo), disk.MustNew(geo))
+	n, err := p.Alloc(1, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Lock(1, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(1, n, []byte("v2")); err != nil {
+		t.Fatalf("write under own lock: %v", err)
+	}
+	if err := p.Unlock(1, n); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Read(1, n)
+	if string(got[:2]) != "v2" {
+		t.Fatalf("read %q", got[:2])
+	}
+}
+
+func TestIntentionsReplayOnRecovery(t *testing.T) {
+	a, b := newPair(t)
+	n, err := a.Alloc(1, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b.Crash()
+	// Mutations while B is down are kept as intentions on A.
+	if err := a.Write(1, n, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := a.Alloc(1, []byte("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().IntentionsKept != 2 {
+		t.Fatalf("stats = %+v, want 2 intentions", a.Stats())
+	}
+
+	if err := b.Rejoin(); err != nil {
+		t.Fatal(err)
+	}
+	// B must now have v2 and the new block.
+	got, err := b.Read(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:2], []byte("v2")) {
+		t.Fatalf("B has %q after recovery, want v2", got[:2])
+	}
+	got, err = b.Read(1, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:3], []byte("new")) {
+		t.Fatalf("B missing block allocated during outage")
+	}
+	if a.Stats().Replayed != 2 {
+		t.Fatalf("stats = %+v, want 2 replayed", a.Stats())
+	}
+}
+
+func TestFreeDuringOutageReconciled(t *testing.T) {
+	a, b := newPair(t)
+	n, _ := a.Alloc(1, []byte("doomed"))
+	b.Crash()
+	if err := a.Free(1, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Rejoin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(1, n); !errors.Is(err, block.ErrNotAllocated) {
+		t.Fatalf("freed block still allocated on B after recovery: %v", err)
+	}
+}
+
+func TestCrashedHalfRejectsRequests(t *testing.T) {
+	a, _ := newPair(t)
+	a.Crash()
+	if _, err := a.Alloc(1, nil); err == nil {
+		t.Fatal("crashed half accepted alloc")
+	}
+	if _, err := a.Read(1, 1); err == nil {
+		t.Fatal("crashed half accepted read")
+	}
+}
+
+func TestPairFailover(t *testing.T) {
+	geo := disk.Geometry{Blocks: 64, BlockSize: 128}
+	p := NewFailoverPair(disk.MustNew(geo), disk.MustNew(geo))
+	a, b := p.Halves()
+
+	n, err := p.Alloc(1, []byte("ha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Primary down: reads and writes continue via B.
+	a.Crash()
+	got, err := p.Read(1, n)
+	if err != nil {
+		t.Fatalf("read after primary crash: %v", err)
+	}
+	if !bytes.Equal(got[:2], []byte("ha")) {
+		t.Fatalf("read %q", got[:2])
+	}
+	if err := p.Write(1, n, []byte("hb")); err != nil {
+		t.Fatalf("write after primary crash: %v", err)
+	}
+	n2, err := p.Alloc(1, []byte("hc"))
+	if err != nil {
+		t.Fatalf("alloc after primary crash: %v", err)
+	}
+
+	// Both down: ErrBothDown.
+	b.Crash()
+	if _, err := p.Read(1, n); !errors.Is(err, ErrBothDown) {
+		t.Fatalf("err = %v, want ErrBothDown", err)
+	}
+
+	// Recover A (from B's state once B recovers first).
+	if err := b.Rejoin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Rejoin(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = p.Read(1, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:2], []byte("hc")) {
+		t.Fatalf("block allocated during outage lost: %q", got[:2])
+	}
+	got, err = a.Read(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:2], []byte("hb")) {
+		t.Fatalf("A did not pick up write made during its outage: %q", got[:2])
+	}
+}
+
+func TestPairLockSpansHalves(t *testing.T) {
+	geo := disk.Geometry{Blocks: 64, BlockSize: 128}
+	p := NewFailoverPair(disk.MustNew(geo), disk.MustNew(geo))
+	a, b := p.Halves()
+	n, _ := p.Alloc(1, nil)
+
+	if err := p.Lock(1, n); err != nil {
+		t.Fatal(err)
+	}
+	// The lock must be visible via either half.
+	if err := a.Server().Lock(1, n); !errors.Is(err, block.ErrLocked) {
+		t.Fatalf("lock not held on A: %v", err)
+	}
+	if err := b.Server().Lock(1, n); !errors.Is(err, block.ErrLocked) {
+		t.Fatalf("lock not held on B: %v", err)
+	}
+	if err := p.Unlock(1, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Lock(1, n); err != nil {
+		t.Fatalf("relock after unlock: %v", err)
+	}
+}
+
+func TestConcurrentAllocsThroughBothHalves(t *testing.T) {
+	geo := disk.Geometry{Blocks: 512, BlockSize: 64}
+	p := NewFailoverPair(disk.MustNew(geo), disk.MustNew(geo))
+	a, b := p.Halves()
+
+	var mu sync.Mutex
+	seen := make(map[block.Num]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := a
+			if g%2 == 1 {
+				h = b
+			}
+			for i := 0; i < 20; i++ {
+				var n block.Num
+				for {
+					var err error
+					n, err = h.Alloc(1, []byte{byte(g)})
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrCollision) {
+						t.Errorf("alloc: %v", err)
+						return
+					}
+				}
+				mu.Lock()
+				if seen[n] {
+					t.Errorf("block %d allocated twice", n)
+				}
+				seen[n] = true
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(seen) != 160 {
+		t.Fatalf("allocated %d distinct blocks, want 160", len(seen))
+	}
+}

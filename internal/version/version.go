@@ -1,0 +1,664 @@
+// Package version implements version page trees and the copy-on-write
+// mechanism of §5.1: the differential file representation in which a new
+// version initially shares its entire page tree with the version it was
+// based on, duplicating pages only as they are accessed.
+//
+// The central invariants, straight from the paper:
+//
+//   - "When a page is written, a new block is allocated for it, leaving
+//     the old page intact." The parent's reference is updated, which in
+//     turn requires the parent to be private — so the copy "bubbles up
+//     from the leaves of the page tree to the root page. The root
+//     page — the version page — is the only page that is written in
+//     place."
+//   - "When a page is first read, the C, R, W, S and M flags it contains
+//     for its child pages must be initialised to zero. This requires
+//     changing that page. The Amoeba File Service must therefore not only
+//     shadow pages that were written, but also pages whose descendants
+//     were read."
+//   - A page is copied at most once per version; afterwards it is written
+//     in place.
+//
+// Flags for a page live in its parent's reference; the root's own flags
+// are kept in the version-page header (RootFlags).
+//
+// A Tree is not safe for concurrent use; the server serialises operations
+// per version, matching the paper's model of a version owned by a single
+// client.
+package version
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/page"
+)
+
+// Errors of the version layer.
+var (
+	// ErrHole reports descent through a nil reference.
+	ErrHole = errors.New("version: path crosses a hole")
+	// ErrNotHole reports RemoveHole/FillHole on a non-nil reference.
+	ErrNotHole = errors.New("version: reference is not a hole")
+	// ErrBadPath reports a path that does not name a page in the tree.
+	ErrBadPath = errors.New("version: bad path")
+	// ErrSubFile reports an operation that tried to cross into an
+	// embedded sub-file version page; the server's locking layer must
+	// mediate those (§5.3).
+	ErrSubFile = errors.New("version: path crosses a sub-file boundary")
+)
+
+// Store provides typed page access over a block store for one account.
+// All file servers sharing a file system use the same account so they can
+// operate on each other's blocks (the paper's servers jointly manage one
+// file system).
+type Store struct {
+	Blocks block.Store
+	Acct   block.Account
+}
+
+// NewStore binds a block store and account.
+func NewStore(blocks block.Store, acct block.Account) *Store {
+	return &Store{Blocks: blocks, Acct: acct}
+}
+
+// ReadPage reads and decodes the page in block n.
+func (s *Store) ReadPage(n block.Num) (*page.Page, error) {
+	if n == block.NilNum {
+		return nil, fmt.Errorf("read of nil block: %w", ErrBadPath)
+	}
+	raw, err := s.Blocks.Read(s.Acct, n)
+	if err != nil {
+		return nil, fmt.Errorf("version: read block %d: %w", n, err)
+	}
+	p, err := page.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("version: block %d: %w", n, err)
+	}
+	return p, nil
+}
+
+// WritePage encodes and writes p into block n (in place; the caller must
+// own the block in this version).
+func (s *Store) WritePage(n block.Num, p *page.Page) error {
+	raw, err := p.Encode(s.Blocks.BlockSize())
+	if err != nil {
+		return fmt.Errorf("version: encode for block %d: %w", n, err)
+	}
+	if err := s.Blocks.Write(s.Acct, n, raw); err != nil {
+		return fmt.Errorf("version: write block %d: %w", n, err)
+	}
+	return nil
+}
+
+// AllocPage allocates a fresh block holding p.
+func (s *Store) AllocPage(p *page.Page) (block.Num, error) {
+	raw, err := p.Encode(s.Blocks.BlockSize())
+	if err != nil {
+		return block.NilNum, fmt.Errorf("version: encode: %w", err)
+	}
+	n, err := s.Blocks.Alloc(s.Acct, raw)
+	if err != nil {
+		return block.NilNum, fmt.Errorf("version: alloc: %w", err)
+	}
+	return n, nil
+}
+
+// Capacity returns the data capacity of a page with nrefs references.
+func (s *Store) Capacity(nrefs int, isVersion bool) int {
+	return page.Capacity(s.Blocks.BlockSize(), nrefs, isVersion)
+}
+
+// Tree is a handle on one version's page tree, rooted at a version page.
+type Tree struct {
+	St   *Store
+	Root block.Num
+}
+
+// CreateFile creates the very first version of a new file: a single
+// version page holding data, with no base. This is the paper's cheap path
+// for simple applications: "Pages of 32K bytes can be written. Often, one
+// such page is large enough to contain a whole file."
+func CreateFile(s *Store, fileCap, verCap capability.Capability, data []byte) (*Tree, error) {
+	vp := &page.Page{
+		IsVersion:  true,
+		FileCap:    fileCap,
+		VersionCap: verCap,
+		RootFlags:  page.Flags(0).Set(page.FlagW),
+		Data:       append([]byte(nil), data...),
+	}
+	root, err := s.AllocPage(vp)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{St: s, Root: root}, nil
+}
+
+// CreateVersion creates a new uncommitted version based on the committed
+// version whose version page is in block base. The new version page
+// shares the base's page tree: same reference table with all access flags
+// cleared, same data. "When a new version is created, it behaves as if it
+// were a copy of the current version."
+func CreateVersion(s *Store, base block.Num, verCap capability.Capability) (*Tree, error) {
+	bp, err := s.ReadPage(base)
+	if err != nil {
+		return nil, err
+	}
+	if !bp.IsVersion {
+		return nil, fmt.Errorf("version: block %d is not a version page: %w", base, ErrBadPath)
+	}
+	vp := &page.Page{
+		IsVersion:  true,
+		FileCap:    bp.FileCap,
+		VersionCap: verCap,
+		ParentRef:  bp.ParentRef,
+		BaseRef:    base,
+		RootFlags:  page.FlagC, // the root is always copied
+		Refs:       clearRefFlags(bp.Refs),
+		Data:       append([]byte(nil), bp.Data...),
+	}
+	root, err := s.AllocPage(vp)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{St: s, Root: root}, nil
+}
+
+// clearRefFlags copies a reference table with all access flags zeroed:
+// the new version shares every subtree with its base.
+func clearRefFlags(refs []page.Ref) []page.Ref {
+	out := make([]page.Ref, len(refs))
+	for i, r := range refs {
+		out[i] = page.Ref{Block: r.Block}
+	}
+	return out
+}
+
+// VersionPage reads the tree's root (version) page.
+func (t *Tree) VersionPage() (*page.Page, error) { return t.St.ReadPage(t.Root) }
+
+// chainEntry is one step of a root-to-target descent.
+type chainEntry struct {
+	blk block.Num
+	pg  *page.Page
+}
+
+// descend walks from the root to the page at path, copying every page on
+// the way into this version (the shadowing rule) and returning the chain
+// of private pages. On return chain[i] is the page at path[:i]; all pages
+// in the chain are private to this version and may be written in place.
+// crossSubFiles controls whether descent may pass through embedded
+// version pages; the plain file operations refuse, the server's
+// super-file update path (which holds locks) allows it.
+func (t *Tree) descend(p page.Path, crossSubFiles bool) ([]chainEntry, error) {
+	cur, err := t.St.ReadPage(t.Root)
+	if err != nil {
+		return nil, err
+	}
+	chain := make([]chainEntry, 0, len(p)+1)
+	chain = append(chain, chainEntry{t.Root, cur})
+	for depth, idx := range p {
+		if idx < 0 || idx >= len(cur.Refs) {
+			return nil, fmt.Errorf("version: %s index %d of %d at depth %d: %w",
+				p, idx, len(cur.Refs), depth, ErrBadPath)
+		}
+		ref := cur.Refs[idx]
+		if ref.IsNil() {
+			return nil, fmt.Errorf("version: %s at depth %d: %w", p, depth, ErrHole)
+		}
+		child, err := t.St.ReadPage(ref.Block)
+		if err != nil {
+			return nil, err
+		}
+		if child.IsVersion && !crossSubFiles {
+			return nil, fmt.Errorf("version: %s at depth %d: %w", p, depth, ErrSubFile)
+		}
+		if !ref.Flags.Accessed() {
+			// First access in this version: copy the page, clearing
+			// the flags it holds for its own children (flag
+			// initialisation), and point the (already private) parent
+			// at the copy.
+			cp := child.Clone()
+			cp.Refs = clearRefFlags(child.Refs)
+			cp.BaseRef = ref.Block
+			newBlk, err := t.St.AllocPage(cp)
+			if err != nil {
+				return nil, err
+			}
+			cur.Refs[idx] = page.Ref{Block: newBlk, Flags: ref.Flags.Set(page.FlagC)}
+			if err := t.St.WritePage(chain[depth].blk, cur); err != nil {
+				return nil, err
+			}
+			child = cp
+			ref = cur.Refs[idx]
+		}
+		chain = append(chain, chainEntry{ref.Block, child})
+		cur = child
+	}
+	return chain, nil
+}
+
+// setFlags records an access: every page on the path above the target is
+// marked searched (S), and the target receives finalBits. Dirty pages are
+// written back in place. chain must come from descend(p).
+func (t *Tree) setFlags(p page.Path, chain []chainEntry, finalBits page.Flags) error {
+	// dirty[i] marks chain[i] needing a write-back.
+	dirty := make([]bool, len(chain))
+
+	// setOn ORs bits into the flags of chain[i], which live in the
+	// parent's reference (or the root's header flags).
+	setOn := func(i int, bits page.Flags) {
+		if i == 0 {
+			rf := chain[0].pg.RootFlags.Set(bits)
+			if rf != chain[0].pg.RootFlags {
+				chain[0].pg.RootFlags = rf
+				dirty[0] = true
+			}
+			return
+		}
+		parent := chain[i-1].pg
+		idx := p[i-1]
+		nf := parent.Refs[idx].Flags.Set(bits)
+		if nf != parent.Refs[idx].Flags {
+			parent.Refs[idx].Flags = nf
+			dirty[i-1] = true
+		}
+	}
+
+	for i := 0; i < len(chain)-1; i++ {
+		setOn(i, page.FlagS)
+	}
+	setOn(len(chain)-1, finalBits)
+
+	for i, d := range dirty {
+		if !d {
+			continue
+		}
+		if err := t.St.WritePage(chain[i].blk, chain[i].pg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPage returns the client data and reference count of the page at
+// path, recording the access (R on the page, S on its ancestors).
+func (t *Tree) ReadPage(p page.Path) (data []byte, nrefs int, err error) {
+	chain, err := t.descend(p, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := t.setFlags(p, chain, page.FlagR); err != nil {
+		return nil, 0, err
+	}
+	last := chain[len(chain)-1].pg
+	return append([]byte(nil), last.Data...), len(last.Refs), nil
+}
+
+// PeekPage returns data and shape without recording any access and
+// without copying: a server-internal inspection (used by tools and the
+// cache layer). It must not be used for client reads — uncounted reads
+// would break validation.
+func (t *Tree) PeekPage(p page.Path) (*page.Page, error) {
+	cur, err := t.St.ReadPage(t.Root)
+	if err != nil {
+		return nil, err
+	}
+	for depth, idx := range p {
+		if idx < 0 || idx >= len(cur.Refs) {
+			return nil, fmt.Errorf("version: %s at depth %d: %w", p, depth, ErrBadPath)
+		}
+		ref := cur.Refs[idx]
+		if ref.IsNil() {
+			return nil, fmt.Errorf("version: %s at depth %d: %w", p, depth, ErrHole)
+		}
+		cur, err = t.St.ReadPage(ref.Block)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// WritePage replaces the client data of the page at path, recording the
+// access (W on the page, S on its ancestors). The page must keep fitting
+// in a block alongside its references.
+func (t *Tree) WritePage(p page.Path, data []byte) error {
+	chain, err := t.descend(p, false)
+	if err != nil {
+		return err
+	}
+	target := chain[len(chain)-1]
+	target.pg.Data = append([]byte(nil), data...)
+	if !target.pg.Fits(t.St.Blocks.BlockSize()) {
+		return fmt.Errorf("version: %s: %d bytes with %d refs: %w",
+			p, len(data), len(target.pg.Refs), page.ErrPageFull)
+	}
+	if err := t.St.WritePage(target.blk, target.pg); err != nil {
+		return err
+	}
+	return t.setFlags(p, chain, page.FlagW)
+}
+
+// InsertPage creates a fresh child page holding data and inserts a
+// reference to it at index idx of the page at path. This modifies the
+// parent's references (M, which implies S). The new page is born private
+// to this version (C|W: created and written here).
+func (t *Tree) InsertPage(p page.Path, idx int, data []byte) error {
+	chain, err := t.descend(p, false)
+	if err != nil {
+		return err
+	}
+	target := chain[len(chain)-1]
+	child := &page.Page{Data: append([]byte(nil), data...)}
+	childBlk, err := t.St.AllocPage(child)
+	if err != nil {
+		return err
+	}
+	ref := page.Ref{Block: childBlk, Flags: page.Flags(0).Set(page.FlagW)}
+	if err := target.pg.InsertRef(idx, ref); err != nil {
+		return err
+	}
+	if !target.pg.Fits(t.St.Blocks.BlockSize()) {
+		return fmt.Errorf("version: %s: reference table full: %w", p, page.ErrPageFull)
+	}
+	if err := t.St.WritePage(target.blk, target.pg); err != nil {
+		return err
+	}
+	return t.setFlags(p, chain, page.FlagM)
+}
+
+// RemovePage removes the reference at index idx of the page at path. The
+// detached subtree is not freed here: it may be shared with other
+// versions, so reclamation is the garbage collector's job (§1).
+func (t *Tree) RemovePage(p page.Path, idx int) error {
+	chain, err := t.descend(p, false)
+	if err != nil {
+		return err
+	}
+	target := chain[len(chain)-1]
+	if err := target.pg.RemoveRef(idx); err != nil {
+		return err
+	}
+	if err := t.St.WritePage(target.blk, target.pg); err != nil {
+		return err
+	}
+	return t.setFlags(p, chain, page.FlagM)
+}
+
+// MakeHole replaces the reference at index idx of the page at path with a
+// hole (nil reference), keeping the table's shape.
+func (t *Tree) MakeHole(p page.Path, idx int) error {
+	chain, err := t.descend(p, false)
+	if err != nil {
+		return err
+	}
+	target := chain[len(chain)-1]
+	if idx < 0 || idx >= len(target.pg.Refs) {
+		return fmt.Errorf("version: %s index %d: %w", p, idx, page.ErrBadIndex)
+	}
+	target.pg.Refs[idx] = page.Ref{}
+	if err := t.St.WritePage(target.blk, target.pg); err != nil {
+		return err
+	}
+	return t.setFlags(p, chain, page.FlagM)
+}
+
+// FillHole creates a fresh page holding data in the hole at index idx of
+// the page at path.
+func (t *Tree) FillHole(p page.Path, idx int, data []byte) error {
+	chain, err := t.descend(p, false)
+	if err != nil {
+		return err
+	}
+	target := chain[len(chain)-1]
+	if idx < 0 || idx >= len(target.pg.Refs) {
+		return fmt.Errorf("version: %s index %d: %w", p, idx, page.ErrBadIndex)
+	}
+	if !target.pg.Refs[idx].IsNil() {
+		return fmt.Errorf("version: %s index %d: %w", p, idx, ErrNotHole)
+	}
+	child := &page.Page{Data: append([]byte(nil), data...)}
+	childBlk, err := t.St.AllocPage(child)
+	if err != nil {
+		return err
+	}
+	target.pg.Refs[idx] = page.Ref{Block: childBlk, Flags: page.Flags(0).Set(page.FlagW)}
+	if err := t.St.WritePage(target.blk, target.pg); err != nil {
+		return err
+	}
+	return t.setFlags(p, chain, page.FlagM)
+}
+
+// RemoveHole deletes the hole at index idx of the page at path, shrinking
+// the table. It refuses to delete a live reference.
+func (t *Tree) RemoveHole(p page.Path, idx int) error {
+	chain, err := t.descend(p, false)
+	if err != nil {
+		return err
+	}
+	target := chain[len(chain)-1]
+	r, err := target.pg.Ref(idx)
+	if err != nil {
+		return err
+	}
+	if !r.IsNil() {
+		return fmt.Errorf("version: %s index %d: %w", p, idx, ErrNotHole)
+	}
+	if err := target.pg.RemoveRef(idx); err != nil {
+		return err
+	}
+	if err := t.St.WritePage(target.blk, target.pg); err != nil {
+		return err
+	}
+	return t.setFlags(p, chain, page.FlagM)
+}
+
+// MoveSubtree detaches the reference at srcIdx of the page at srcPath and
+// re-attaches it into the hole at dstIdx of the page at dstPath, within
+// the same version. This is the §5 "move subtrees to another part of the
+// tree" shape operation. Both touched pages are marked modified. Moving a
+// subtree into itself is refused.
+func (t *Tree) MoveSubtree(srcPath page.Path, srcIdx int, dstPath page.Path, dstIdx int) error {
+	full := srcPath.Child(srcIdx)
+	if dstPath.HasPrefix(full) {
+		return fmt.Errorf("version: cannot move %s under itself (%s): %w", full, dstPath, ErrBadPath)
+	}
+	// Copy both parents into the version first so the detach/attach is
+	// on private pages.
+	srcChain, err := t.descend(srcPath, false)
+	if err != nil {
+		return err
+	}
+	src := srcChain[len(srcChain)-1]
+	moved, err := src.pg.Ref(srcIdx)
+	if err != nil {
+		return err
+	}
+	if moved.IsNil() {
+		return fmt.Errorf("version: source %s index %d: %w", srcPath, srcIdx, ErrHole)
+	}
+	// Detach.
+	src.pg.Refs[srcIdx] = page.Ref{}
+	if err := t.St.WritePage(src.blk, src.pg); err != nil {
+		return err
+	}
+	if err := t.setFlags(srcPath, srcChain, page.FlagM); err != nil {
+		return err
+	}
+	// Attach: re-descend (the source write may have restructured the
+	// path to the destination's copy).
+	dstChain, err := t.descend(dstPath, false)
+	if err != nil {
+		return err
+	}
+	dst := dstChain[len(dstChain)-1]
+	if dstIdx < 0 || dstIdx >= len(dst.pg.Refs) {
+		return fmt.Errorf("version: destination %s index %d: %w", dstPath, dstIdx, page.ErrBadIndex)
+	}
+	if !dst.pg.Refs[dstIdx].IsNil() {
+		return fmt.Errorf("version: destination %s index %d: %w", dstPath, dstIdx, ErrNotHole)
+	}
+	dst.pg.Refs[dstIdx] = moved
+	if err := t.St.WritePage(dst.blk, dst.pg); err != nil {
+		return err
+	}
+	return t.setFlags(dstPath, dstChain, page.FlagM)
+}
+
+// SplitPage moves the tail of the data of the page at path into a fresh
+// child page appended to its reference table: the §5 "split pages in two"
+// shape command, used to grow a one-page file into a tree.
+func (t *Tree) SplitPage(p page.Path, keep int) error {
+	chain, err := t.descend(p, false)
+	if err != nil {
+		return err
+	}
+	target := chain[len(chain)-1]
+	if keep < 0 || keep > len(target.pg.Data) {
+		return fmt.Errorf("version: split %s at %d of %d bytes: %w",
+			p, keep, len(target.pg.Data), ErrBadPath)
+	}
+	tail := append([]byte(nil), target.pg.Data[keep:]...)
+	child := &page.Page{Data: tail}
+	childBlk, err := t.St.AllocPage(child)
+	if err != nil {
+		return err
+	}
+	target.pg.Data = target.pg.Data[:keep]
+	target.pg.Refs = append(target.pg.Refs, page.Ref{
+		Block: childBlk, Flags: page.Flags(0).Set(page.FlagW),
+	})
+	if err := t.St.WritePage(target.blk, target.pg); err != nil {
+		return err
+	}
+	// A split both rewrites the data and modifies the references.
+	return t.setFlags(p, chain, page.FlagW|page.FlagM)
+}
+
+// LinkSubVersion replaces the reference at index idx of the page at path
+// with newRoot, the root of a sub-file version created for this update,
+// and marks the boundary copied (C). The enclosing pages record only a
+// search: the sub-file's own access tracking lives inside its version.
+// The server's super-file update path (§5.3) calls this after
+// inner-locking the sub-file.
+func (t *Tree) LinkSubVersion(p page.Path, idx int, newRoot block.Num) error {
+	chain, err := t.descend(p, false)
+	if err != nil {
+		return err
+	}
+	target := chain[len(chain)-1]
+	old, err := target.pg.Ref(idx)
+	if err != nil {
+		return err
+	}
+	if err := target.pg.SetRef(idx, page.Ref{Block: newRoot, Flags: old.Flags.Set(page.FlagC)}); err != nil {
+		return err
+	}
+	if err := t.St.WritePage(target.blk, target.pg); err != nil {
+		return err
+	}
+	return t.setFlags(p, chain, page.FlagS)
+}
+
+// InsertSubFile inserts a reference to a freshly created sub-file version
+// page at index idx of the page at path, modifying the table (M). The
+// new sub-file is private to this version until commit.
+func (t *Tree) InsertSubFile(p page.Path, idx int, subRoot block.Num) error {
+	chain, err := t.descend(p, false)
+	if err != nil {
+		return err
+	}
+	target := chain[len(chain)-1]
+	ref := page.Ref{Block: subRoot, Flags: page.Flags(0).Set(page.FlagW)}
+	if err := target.pg.InsertRef(idx, ref); err != nil {
+		return err
+	}
+	if !target.pg.Fits(t.St.Blocks.BlockSize()) {
+		return fmt.Errorf("version: %s: reference table full: %w", p, page.ErrPageFull)
+	}
+	if err := t.St.WritePage(target.blk, target.pg); err != nil {
+		return err
+	}
+	return t.setFlags(p, chain, page.FlagM)
+}
+
+// Walk calls fn for every page reachable in this version's tree in
+// depth-first order, with its path and the reference that points at it
+// (a synthetic reference carrying RootFlags for the root). Holes are
+// skipped. Walk does not record accesses; it is a server-side tool used
+// by the garbage collector and the family-tree printer.
+func (t *Tree) Walk(fn func(p page.Path, ref page.Ref, pg *page.Page) error) error {
+	root, err := t.St.ReadPage(t.Root)
+	if err != nil {
+		return err
+	}
+	return t.walk(page.RootPath, page.Ref{Block: t.Root, Flags: root.RootFlags}, root, fn)
+}
+
+func (t *Tree) walk(p page.Path, ref page.Ref, pg *page.Page, fn func(page.Path, page.Ref, *page.Page) error) error {
+	if err := fn(p, ref, pg); err != nil {
+		return err
+	}
+	for i, r := range pg.Refs {
+		if r.IsNil() {
+			continue
+		}
+		child, err := t.St.ReadPage(r.Block)
+		if err != nil {
+			return err
+		}
+		if err := t.walk(p.Child(i), r, child, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Blocks returns the set of blocks reachable from this version's root,
+// including the root itself.
+func (t *Tree) Blocks() (map[block.Num]bool, error) {
+	out := make(map[block.Num]bool)
+	err := t.Walk(func(_ page.Path, ref page.Ref, _ *page.Page) error {
+		out[ref.Block] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PrivateBlocks returns the blocks this version copied or created (C set
+// on their references, or created fresh), i.e. the blocks not shared with
+// the base version. The root is always private.
+func (t *Tree) PrivateBlocks() (map[block.Num]bool, error) {
+	out := map[block.Num]bool{t.Root: true}
+	root, err := t.St.ReadPage(t.Root)
+	if err != nil {
+		return nil, err
+	}
+	var rec func(pg *page.Page) error
+	rec = func(pg *page.Page) error {
+		for _, r := range pg.Refs {
+			if r.IsNil() || !r.Flags.Accessed() {
+				continue
+			}
+			out[r.Block] = true
+			child, err := t.St.ReadPage(r.Block)
+			if err != nil {
+				return err
+			}
+			if err := rec(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

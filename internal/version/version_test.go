@@ -1,0 +1,574 @@
+package version
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/disk"
+	"repro/internal/page"
+)
+
+const testAcct block.Account = 1
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	d := disk.MustNew(disk.Geometry{Blocks: 4096, BlockSize: 1024})
+	return NewStore(block.NewServer(d), testAcct)
+}
+
+func caps(t *testing.T) (capability.Capability, capability.Capability, *capability.Factory) {
+	t.Helper()
+	f := capability.NewFactory(capability.NewPort().Public())
+	return f.Register(1), f.Register(2), f
+}
+
+// buildFile creates a file whose root has three children, the middle one
+// with two children of its own:
+//
+//	root ── 0: "child0"
+//	     ── 1: "child1" ── 0: "gc0"
+//	     │               └ 1: "gc1"
+//	     └ 2: "child2"
+func buildFile(t *testing.T, s *Store) *Tree {
+	t.Helper()
+	fc, vc, _ := caps(t)
+	tr, err := CreateFile(s, fc, vc, []byte("rootdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range []string{"child0", "child1", "child2"} {
+		if err := tr.InsertPage(page.RootPath, i, []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, d := range []string{"gc0", "gc1"} {
+		if err := tr.InsertPage(page.Path{1}, i, []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestCreateFileAndReadRoot(t *testing.T) {
+	s := newStore(t)
+	fc, vc, _ := caps(t)
+	tr, err := CreateFile(s, fc, vc, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, nrefs, err := tr.ReadPage(page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" || nrefs != 0 {
+		t.Fatalf("data=%q nrefs=%d", data, nrefs)
+	}
+	vp, err := tr.VersionPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vp.IsVersion || vp.FileCap != fc || vp.VersionCap != vc {
+		t.Fatal("version page header wrong")
+	}
+	if vp.CommitRef != block.NilNum || vp.BaseRef != block.NilNum {
+		t.Fatal("fresh file must have nil base and commit refs")
+	}
+}
+
+func TestTreeConstructionAndReads(t *testing.T) {
+	s := newStore(t)
+	tr := buildFile(t, s)
+	cases := []struct {
+		path  page.Path
+		data  string
+		nrefs int
+	}{
+		{page.RootPath, "rootdata", 3},
+		{page.Path{0}, "child0", 0},
+		{page.Path{1}, "child1", 2},
+		{page.Path{1, 0}, "gc0", 0},
+		{page.Path{1, 1}, "gc1", 0},
+		{page.Path{2}, "child2", 0},
+	}
+	for _, c := range cases {
+		data, nrefs, err := tr.ReadPage(c.path)
+		if err != nil {
+			t.Fatalf("%s: %v", c.path, err)
+		}
+		if string(data) != c.data || nrefs != c.nrefs {
+			t.Fatalf("%s: data=%q nrefs=%d, want %q %d", c.path, data, nrefs, c.data, c.nrefs)
+		}
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	s := newStore(t)
+	tr := buildFile(t, s)
+	if _, _, err := tr.ReadPage(page.Path{9}); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("out of range read err = %v", err)
+	}
+	if _, _, err := tr.ReadPage(page.Path{0, 0}); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("descent into leaf err = %v", err)
+	}
+	if err := tr.MakeHole(page.RootPath, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.ReadPage(page.Path{2}); !errors.Is(err, ErrHole) {
+		t.Fatalf("read through hole err = %v", err)
+	}
+}
+
+func TestVersionSharesTreeUntilWritten(t *testing.T) {
+	s := newStore(t)
+	base := buildFile(t, s)
+	_, vc2, _ := caps(t)
+	v2, err := CreateVersion(s, base.Root, vc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any access the new version's page tree is fully shared:
+	// only the version page itself is private.
+	priv, err := v2.PrivateBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(priv) != 1 || !priv[v2.Root] {
+		t.Fatalf("fresh version owns %d blocks, want only its version page", len(priv))
+	}
+
+	// Reads are identical to the base.
+	data, _, err := v2.ReadPage(page.Path{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "gc1" {
+		t.Fatalf("read %q", data)
+	}
+}
+
+func TestCopyOnWriteLeavesBaseIntact(t *testing.T) {
+	s := newStore(t)
+	base := buildFile(t, s)
+	_, vc2, _ := caps(t)
+	v2, err := CreateVersion(s, base.Root, vc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.WritePage(page.Path{1, 0}, []byte("GC0-NEW")); err != nil {
+		t.Fatal(err)
+	}
+	// New version sees the new data.
+	data, _, _ := v2.ReadPage(page.Path{1, 0})
+	if string(data) != "GC0-NEW" {
+		t.Fatalf("v2 reads %q", data)
+	}
+	// Base still sees the old data ("leaving the old page intact").
+	data, _, _ = base.ReadPage(page.Path{1, 0})
+	if string(data) != "gc0" {
+		t.Fatalf("base reads %q after v2 write", data)
+	}
+}
+
+func TestWriteCopiesPathOnce(t *testing.T) {
+	s := newStore(t)
+	base := buildFile(t, s)
+	_, vc2, _ := caps(t)
+	v2, _ := CreateVersion(s, base.Root, vc2)
+
+	if err := v2.WritePage(page.Path{1, 0}, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	priv1, _ := v2.PrivateBlocks()
+	// Private: version page + child1 copy + gc0 copy.
+	if len(priv1) != 3 {
+		t.Fatalf("after first write: %d private blocks, want 3", len(priv1))
+	}
+
+	// Writing the same page again must not copy anything more ("a page
+	// is only copied once; after it has been copied for writing, it can
+	// be written in place").
+	if err := v2.WritePage(page.Path{1, 0}, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	priv2, _ := v2.PrivateBlocks()
+	if len(priv2) != len(priv1) {
+		t.Fatalf("second write grew private set %d -> %d", len(priv1), len(priv2))
+	}
+	for b := range priv1 {
+		if !priv2[b] {
+			t.Fatal("private set changed between writes")
+		}
+	}
+}
+
+func TestReadShadowsPath(t *testing.T) {
+	s := newStore(t)
+	base := buildFile(t, s)
+	_, vc2, _ := caps(t)
+	v2, _ := CreateVersion(s, base.Root, vc2)
+
+	// Reading gc1 must shadow the pages on the way (flag initialisation
+	// requires changing them): child1 and gc1 become private copies.
+	if _, _, err := v2.ReadPage(page.Path{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	priv, _ := v2.PrivateBlocks()
+	if len(priv) != 3 {
+		t.Fatalf("read shadowed %d blocks, want 3 (root+child1+gc1)", len(priv))
+	}
+}
+
+func TestFlagTracking(t *testing.T) {
+	s := newStore(t)
+	base := buildFile(t, s)
+	_, vc2, _ := caps(t)
+	v2, _ := CreateVersion(s, base.Root, vc2)
+
+	if _, _, err := v2.ReadPage(page.Path{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.WritePage(page.Path{0}, []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+
+	vp, _ := v2.VersionPage()
+	// Root searched (descended twice), and copied by construction.
+	if !vp.RootFlags.Accessed() || vp.RootFlags&page.FlagS == 0 {
+		t.Fatalf("root flags = %s, want C and S", vp.RootFlags)
+	}
+	// child1: searched on the way to gc0, not read or written itself.
+	r1 := vp.Refs[1]
+	if r1.Flags&page.FlagS == 0 || r1.Flags&page.FlagR != 0 || r1.Flags&page.FlagW != 0 {
+		t.Fatalf("child1 flags = %s, want S only (plus C)", r1.Flags)
+	}
+	// child0: written, not read, not searched.
+	r0 := vp.Refs[0]
+	if r0.Flags&page.FlagW == 0 || r0.Flags&page.FlagR != 0 || r0.Flags&page.FlagS != 0 {
+		t.Fatalf("child0 flags = %s, want W only (plus C)", r0.Flags)
+	}
+	// child2: untouched, still shared.
+	if vp.Refs[2].Flags != 0 {
+		t.Fatalf("child2 flags = %s, want none", vp.Refs[2].Flags)
+	}
+	// gc0: read.
+	c1, err := s.ReadPage(r1.Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Refs[0].Flags&page.FlagR == 0 {
+		t.Fatalf("gc0 flags = %s, want R", c1.Refs[0].Flags)
+	}
+	if c1.Refs[1].Flags != 0 {
+		t.Fatalf("gc1 flags = %s, want none", c1.Refs[1].Flags)
+	}
+}
+
+func TestParentOfWrittenPageNotWritten(t *testing.T) {
+	// "the parent page of a written page is not considered written or
+	// modified, although, strictly speaking, it has changed."
+	s := newStore(t)
+	base := buildFile(t, s)
+	_, vc2, _ := caps(t)
+	v2, _ := CreateVersion(s, base.Root, vc2)
+	if err := v2.WritePage(page.Path{1, 0}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	vp, _ := v2.VersionPage()
+	r1 := vp.Refs[1]
+	if r1.Flags&(page.FlagW|page.FlagM) != 0 {
+		t.Fatalf("child1 flags = %s: parent of written page must not be W or M", r1.Flags)
+	}
+	if r1.Flags&page.FlagS == 0 {
+		t.Fatalf("child1 flags = %s: descent must set S", r1.Flags)
+	}
+}
+
+func TestInsertRemoveSetsM(t *testing.T) {
+	s := newStore(t)
+	base := buildFile(t, s)
+	_, vc2, _ := caps(t)
+	v2, _ := CreateVersion(s, base.Root, vc2)
+
+	if err := v2.InsertPage(page.Path{1}, 0, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	vp, _ := v2.VersionPage()
+	r1 := vp.Refs[1]
+	if r1.Flags&page.FlagM == 0 || r1.Flags&page.FlagS == 0 {
+		t.Fatalf("child1 flags = %s, want M (implying S)", r1.Flags)
+	}
+	// Table shifted: old gc0 now at index 1.
+	data, _, err := v2.ReadPage(page.Path{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "gc0" {
+		t.Fatalf("after insert, {1,1} = %q, want gc0", data)
+	}
+	data, _, _ = v2.ReadPage(page.Path{1, 0})
+	if string(data) != "new" {
+		t.Fatalf("after insert, {1,0} = %q", data)
+	}
+
+	if err := v2.RemovePage(page.Path{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ = v2.ReadPage(page.Path{1, 0})
+	if string(data) != "gc0" {
+		t.Fatalf("after remove, {1,0} = %q, want gc0", data)
+	}
+	// Base unaffected by the new version's structural changes.
+	data, _, _ = base.ReadPage(page.Path{1, 0})
+	if string(data) != "gc0" {
+		t.Fatalf("base {1,0} = %q", data)
+	}
+}
+
+func TestHoleLifecycle(t *testing.T) {
+	s := newStore(t)
+	tr := buildFile(t, s)
+
+	if err := tr.MakeHole(page.RootPath, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.ReadPage(page.Path{1}); !errors.Is(err, ErrHole) {
+		t.Fatal("hole readable")
+	}
+	if err := tr.FillHole(page.RootPath, 0, nil); !errors.Is(err, ErrNotHole) {
+		t.Fatal("FillHole on live ref accepted")
+	}
+	if err := tr.FillHole(page.RootPath, 1, []byte("refill")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := tr.ReadPage(page.Path{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "refill" {
+		t.Fatalf("refilled = %q", data)
+	}
+	if err := tr.RemoveHole(page.RootPath, 1); !errors.Is(err, ErrNotHole) {
+		t.Fatal("RemoveHole removed a live ref")
+	}
+	if err := tr.MakeHole(page.RootPath, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RemoveHole(page.RootPath, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Table shrunk: index 1 is now the old child2.
+	data, _, _ = tr.ReadPage(page.Path{1})
+	if string(data) != "child2" {
+		t.Fatalf("after hole removal, {1} = %q", data)
+	}
+}
+
+func TestMoveSubtree(t *testing.T) {
+	s := newStore(t)
+	tr := buildFile(t, s)
+
+	// Make room: a hole at root index 2 (dropping child2), then move
+	// child1's subtree there.
+	if err := tr.MakeHole(page.RootPath, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MoveSubtree(page.RootPath, 1, page.RootPath, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Old location is a hole.
+	if _, _, err := tr.ReadPage(page.Path{1}); !errors.Is(err, ErrHole) {
+		t.Fatal("source not detached")
+	}
+	// Subtree intact at the new location.
+	data, _, err := tr.ReadPage(page.Path{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "gc0" {
+		t.Fatalf("moved subtree {2,0} = %q", data)
+	}
+}
+
+func TestMoveSubtreeUnderItselfRefused(t *testing.T) {
+	s := newStore(t)
+	tr := buildFile(t, s)
+	if err := tr.MoveSubtree(page.RootPath, 1, page.Path{1, 0}, 0); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("err = %v, want ErrBadPath", err)
+	}
+}
+
+func TestSplitPage(t *testing.T) {
+	s := newStore(t)
+	fc, vc, _ := caps(t)
+	tr, err := CreateFile(s, fc, vc, []byte("headtail"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SplitPage(page.RootPath, 4); err != nil {
+		t.Fatal(err)
+	}
+	data, nrefs, err := tr.ReadPage(page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "head" || nrefs != 1 {
+		t.Fatalf("root after split: %q nrefs=%d", data, nrefs)
+	}
+	data, _, err = tr.ReadPage(page.Path{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "tail" {
+		t.Fatalf("tail page: %q", data)
+	}
+	if err := tr.SplitPage(page.RootPath, 99); !errors.Is(err, ErrBadPath) {
+		t.Fatal("split past end accepted")
+	}
+}
+
+func TestWritePageTooLarge(t *testing.T) {
+	s := newStore(t)
+	tr := buildFile(t, s)
+	big := bytes.Repeat([]byte{1}, 2000) // block size is 1024
+	if err := tr.WritePage(page.Path{0}, big); !errors.Is(err, page.ErrPageFull) {
+		t.Fatalf("err = %v, want ErrPageFull", err)
+	}
+}
+
+func TestPeekDoesNotShadowOrFlag(t *testing.T) {
+	s := newStore(t)
+	base := buildFile(t, s)
+	_, vc2, _ := caps(t)
+	v2, _ := CreateVersion(s, base.Root, vc2)
+	pg, err := v2.PeekPage(page.Path{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pg.Data) != "gc1" {
+		t.Fatalf("peek read %q", pg.Data)
+	}
+	priv, _ := v2.PrivateBlocks()
+	if len(priv) != 1 {
+		t.Fatalf("peek shadowed %d blocks", len(priv)-1)
+	}
+	vp, _ := v2.VersionPage()
+	if vp.RootFlags&page.FlagS != 0 {
+		t.Fatal("peek set flags")
+	}
+}
+
+func TestWalkVisitsAllPages(t *testing.T) {
+	s := newStore(t)
+	tr := buildFile(t, s)
+	var paths []string
+	err := tr.Walk(func(p page.Path, _ page.Ref, _ *page.Page) error {
+		paths = append(paths, p.String())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/", "/0", "/1", "/1/0", "/1/1", "/2"}
+	if len(paths) != len(want) {
+		t.Fatalf("walk visited %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", paths, want)
+		}
+	}
+}
+
+func TestWalkPropagatesError(t *testing.T) {
+	s := newStore(t)
+	tr := buildFile(t, s)
+	boom := fmt.Errorf("boom")
+	if err := tr.Walk(func(page.Path, page.Ref, *page.Page) error { return boom }); !errors.Is(err, boom) {
+		t.Fatal("walk swallowed error")
+	}
+}
+
+func TestBlocksSetDiffersBetweenVersions(t *testing.T) {
+	s := newStore(t)
+	base := buildFile(t, s)
+	_, vc2, _ := caps(t)
+	v2, _ := CreateVersion(s, base.Root, vc2)
+	v2.WritePage(page.Path{0}, []byte("x"))
+
+	bb, err := base.Blocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := v2.Blocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := 0
+	for b := range vb {
+		if bb[b] {
+			shared++
+		}
+	}
+	// v2 shares child1 (+its grandchildren) and child2 with base:
+	// 4 shared blocks; root and child0 are private.
+	if shared != 4 {
+		t.Fatalf("%d shared blocks, want 4", shared)
+	}
+}
+
+func TestCreateVersionRequiresVersionPage(t *testing.T) {
+	s := newStore(t)
+	tr := buildFile(t, s)
+	vp, _ := tr.VersionPage()
+	childBlk := vp.Refs[0].Block
+	_, vc, _ := caps(t)
+	if _, err := CreateVersion(s, childBlk, vc); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("err = %v, want ErrBadPath", err)
+	}
+}
+
+func TestDeepTree(t *testing.T) {
+	s := newStore(t)
+	fc, vc, _ := caps(t)
+	tr, err := CreateFile(s, fc, vc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a 10-deep chain and write at the bottom.
+	p := page.RootPath
+	for depth := 0; depth < 10; depth++ {
+		if err := tr.InsertPage(p, 0, []byte(fmt.Sprintf("d%d", depth))); err != nil {
+			t.Fatal(err)
+		}
+		p = p.Child(0)
+	}
+	if err := tr.WritePage(p, []byte("bottom")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := tr.ReadPage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "bottom" {
+		t.Fatalf("deep read %q", data)
+	}
+
+	// A version of the deep file copies exactly the path on write.
+	_, vc2, _ := caps(t)
+	v2, err := CreateVersion(s, tr.Root, vc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.WritePage(p, []byte("BOTTOM")); err != nil {
+		t.Fatal(err)
+	}
+	priv, _ := v2.PrivateBlocks()
+	if len(priv) != 11 { // version page + 10 path pages
+		t.Fatalf("deep write copied %d blocks, want 11", len(priv))
+	}
+}

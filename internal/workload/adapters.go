@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/baseline/lockfs"
+	"repro/internal/baseline/tsfs"
+	"repro/internal/capability"
+	"repro/internal/occ"
+	"repro/internal/page"
+	"repro/internal/server"
+)
+
+// OCCSystem adapts the Amoeba File Service (driven through the server
+// API directly, so all three systems pay the same transport cost: none).
+type OCCSystem struct {
+	Srv  *server.Server
+	Opts server.CreateVersionOpts
+
+	mu    sync.Mutex
+	files []capability.Capability
+}
+
+// NewOCC wraps a file server.
+func NewOCC(srv *server.Server) *OCCSystem { return &OCCSystem{Srv: srv} }
+
+// Name implements System.
+func (s *OCCSystem) Name() string { return "occ" }
+
+// CreateFile implements System: a flat file is a root with n child pages.
+func (s *OCCSystem) CreateFile(n int) (int, error) {
+	fcap, err := s.Srv.CreateFile(nil)
+	if err != nil {
+		return 0, err
+	}
+	vcap, err := s.Srv.CreateVersion(fcap, server.CreateVersionOpts{})
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Srv.InsertPage(vcap, page.RootPath, i, nil); err != nil {
+			return 0, err
+		}
+	}
+	if err := s.Srv.Commit(vcap); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files = append(s.files, fcap)
+	return len(s.files) - 1, nil
+}
+
+// Begin implements System.
+func (s *OCCSystem) Begin(f int) (Txn, error) {
+	s.mu.Lock()
+	fcap := s.files[f]
+	s.mu.Unlock()
+	vcap, err := s.Srv.CreateVersion(fcap, s.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return &occTxn{srv: s.Srv, vcap: vcap}, nil
+}
+
+// Retryable implements System.
+func (s *OCCSystem) Retryable(err error) bool {
+	return errors.Is(err, occ.ErrConflict)
+}
+
+type occTxn struct {
+	srv  *server.Server
+	vcap capability.Capability
+}
+
+func (t *occTxn) Read(pg int) ([]byte, error) {
+	data, _, err := t.srv.ReadPage(t.vcap, page.Path{pg})
+	return data, err
+}
+
+func (t *occTxn) Write(pg int, data []byte) error {
+	return t.srv.WritePage(t.vcap, page.Path{pg}, data)
+}
+
+func (t *occTxn) Commit() error { return t.srv.Commit(t.vcap) }
+func (t *occTxn) Abort() error  { return t.srv.Abort(t.vcap) }
+
+// LockSystem adapts the FELIX/XDFS-style locking baseline.
+type LockSystem struct {
+	St *lockfs.Store
+
+	mu    sync.Mutex
+	files []lockfs.FileID
+}
+
+// NewLock wraps a locking store.
+func NewLock(st *lockfs.Store) *LockSystem { return &LockSystem{St: st} }
+
+// Name implements System.
+func (s *LockSystem) Name() string { return "locking" }
+
+// CreateFile implements System.
+func (s *LockSystem) CreateFile(n int) (int, error) {
+	id, err := s.St.CreateFile(n)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files = append(s.files, id)
+	return len(s.files) - 1, nil
+}
+
+// Begin implements System. Workload transactions write, so they declare
+// write intent up front (exclusive file locks): the discipline FELIX
+// update modes prescribe, which avoids upgrade deadlocks.
+func (s *LockSystem) Begin(f int) (Txn, error) {
+	s.mu.Lock()
+	id := s.files[f]
+	s.mu.Unlock()
+	t, err := s.St.BeginExclusive()
+	if err != nil {
+		return nil, err
+	}
+	return &lockTxn{t: t, file: id}, nil
+}
+
+// Retryable implements System.
+func (s *LockSystem) Retryable(err error) bool {
+	return errors.Is(err, lockfs.ErrDeadlock) || errors.Is(err, lockfs.ErrAborted)
+}
+
+type lockTxn struct {
+	t    *lockfs.Txn
+	file lockfs.FileID
+}
+
+func (t *lockTxn) Read(pg int) ([]byte, error)     { return t.t.Read(t.file, pg) }
+func (t *lockTxn) Write(pg int, data []byte) error { return t.t.Write(t.file, pg, data) }
+func (t *lockTxn) Commit() error                   { return t.t.Commit() }
+func (t *lockTxn) Abort() error                    { t.t.Abort(); return nil }
+
+// TSSystem adapts the SWALLOW-style timestamp baseline.
+type TSSystem struct {
+	St *tsfs.Store
+
+	mu    sync.Mutex
+	files []tsfs.FileID
+}
+
+// NewTS wraps a timestamp store.
+func NewTS(st *tsfs.Store) *TSSystem { return &TSSystem{St: st} }
+
+// Name implements System.
+func (s *TSSystem) Name() string { return "timestamp" }
+
+// CreateFile implements System.
+func (s *TSSystem) CreateFile(n int) (int, error) {
+	id, err := s.St.CreateFile(n)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files = append(s.files, id)
+	return len(s.files) - 1, nil
+}
+
+// Begin implements System.
+func (s *TSSystem) Begin(f int) (Txn, error) {
+	s.mu.Lock()
+	id := s.files[f]
+	s.mu.Unlock()
+	t, err := s.St.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &tsTxn{t: t, file: id}, nil
+}
+
+// Retryable implements System.
+func (s *TSSystem) Retryable(err error) bool {
+	return errors.Is(err, tsfs.ErrLateWrite) || errors.Is(err, tsfs.ErrAborted)
+}
+
+type tsTxn struct {
+	t    *tsfs.Txn
+	file tsfs.FileID
+}
+
+func (t *tsTxn) Read(pg int) ([]byte, error)     { return t.t.Read(t.file, pg) }
+func (t *tsTxn) Write(pg int, data []byte) error { return t.t.Write(t.file, pg, data) }
+func (t *tsTxn) Commit() error                   { return t.t.Commit() }
+func (t *tsTxn) Abort() error                    { t.t.Abort(); return nil }
+
+// NewOCCService builds a complete optimistic service over a fresh block
+// store sized for the workload (helper for benches and tests).
+func NewOCCService(blocks int, blockSize int) (*OCCSystem, *server.Server, error) {
+	srv, err := NewService(blocks, blockSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewOCC(srv), srv, nil
+}
+
+// NewService builds a standalone file server over a fresh disk.
+func NewService(blocks int, blockSize int) (*server.Server, error) {
+	if blocks <= 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("workload: bad geometry %d x %d", blocks, blockSize)
+	}
+	return newService(blocks, blockSize)
+}

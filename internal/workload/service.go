@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/baseline/lockfs"
+	"repro/internal/baseline/tsfs"
+	"repro/internal/block"
+	"repro/internal/disk"
+	"repro/internal/server"
+)
+
+// newLockStore and newTSStore bind the baselines to a block server on d.
+func newLockStore(d *disk.Disk) *lockfs.Store { return lockfs.New(block.NewServer(d), 1) }
+func newTSStore(d *disk.Disk) *tsfs.Store     { return tsfs.New(block.NewServer(d), 1) }
+
+// newService wires a single-process file service over a simulated disk.
+func newService(blocks, blockSize int) (*server.Server, error) {
+	d, err := disk.New(disk.Geometry{Blocks: blocks, BlockSize: blockSize})
+	if err != nil {
+		return nil, err
+	}
+	sh := server.NewShared(block.NewServer(d), 1)
+	return server.New(sh, nil), nil
+}
+
+// NewLockStore builds the locking baseline over a fresh disk of the same
+// geometry. The wait timeout must comfortably exceed transaction hold
+// times so that blocked transactions wait for the holder instead of
+// becoming deadlock victims; with exclusive-first transactions genuine
+// deadlocks are rare, so a generous timeout costs nothing.
+func NewLockStore(blocks, blockSize int) (*LockSystem, error) {
+	d, err := disk.New(disk.Geometry{Blocks: blocks, BlockSize: blockSize})
+	if err != nil {
+		return nil, err
+	}
+	st := newLockStore(d)
+	st.WaitTimeout = 100 * time.Millisecond
+	st.VulnAge = 50 * time.Millisecond
+	return NewLock(st), nil
+}
+
+// NewTSStore builds the timestamp baseline over a fresh disk of the same
+// geometry.
+func NewTSStore(blocks, blockSize int) (*TSSystem, error) {
+	d, err := disk.New(disk.Geometry{Blocks: blocks, BlockSize: blockSize})
+	if err != nil {
+		return nil, err
+	}
+	return NewTS(newTSStore(d)), nil
+}

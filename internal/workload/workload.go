@@ -1,0 +1,224 @@
+// Package workload drives comparable transaction mixes against the
+// optimistic file service and the two baselines (locking, timestamps),
+// producing the series for the E4 concurrency experiments.
+//
+// A workload is a population of client goroutines, each performing
+// transactions of R page reads and W page writes against a set of flat
+// files. Contention is tuned two ways: the number of files over which
+// clients spread (fewer files = more sharing) and a hot-spot fraction
+// (the probability that a transaction's pages are drawn from a small hot
+// region of the file, modelling the paper's airline-reservation example
+// where most updates touch disjoint records but some collide on popular
+// flights).
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Txn is one transaction against a system under test.
+type Txn interface {
+	// Read returns the content of page index pg.
+	Read(pg int) ([]byte, error)
+	// Write replaces page index pg.
+	Write(pg int, data []byte) error
+	// Commit finishes the transaction; a concurrency-control rejection
+	// is reported as an error matching IsRetryable.
+	Commit() error
+	// Abort abandons the transaction.
+	Abort() error
+}
+
+// System is a file store under test.
+type System interface {
+	// Name labels result rows.
+	Name() string
+	// CreateFile makes a flat file of n pages and returns its index.
+	CreateFile(n int) (int, error)
+	// Begin opens a transaction on file f.
+	Begin(f int) (Txn, error)
+	// Retryable reports whether the commit/operation error is a
+	// concurrency-control rejection (retry) rather than a hard fault.
+	Retryable(err error) bool
+}
+
+// Config describes one run.
+type Config struct {
+	Files        int     // number of shared files
+	PagesPerFile int     // pages per file
+	PageSize     int     // bytes written per page write
+	Clients      int     // concurrent client goroutines
+	TxnsPerCli   int     // transactions each client must commit
+	ReadsPerTxn  int     // page reads per transaction
+	WritesPerTxn int     // page writes per transaction
+	HotFrac      float64 // probability a page pick lands in the hot set
+	HotPages     int     // size of the hot set (default 1)
+	MaxRetries   int     // retries before a transaction counts as failed
+	// ThinkTime inserts a pause between a transaction's operations,
+	// modelling client-side computation and network latency; without it
+	// transactions on a single CPU rarely overlap at all.
+	ThinkTime time.Duration
+	Seed      int64
+}
+
+// Result summarises one run.
+type Result struct {
+	System     string
+	Committed  uint64
+	Failed     uint64 // gave up after MaxRetries
+	Retries    uint64 // concurrency-control rejections retried
+	Elapsed    time.Duration
+	Throughput float64 // committed transactions per second
+	AbortRate  float64 // retries / (committed + retries)
+	MeanTxn    time.Duration
+}
+
+// String renders the result as one table row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-10s committed=%-6d retries=%-6d failed=%-4d thpt=%8.0f txn/s abort=%5.1f%% mean=%8s",
+		r.System, r.Committed, r.Retries, r.Failed, r.Throughput, 100*r.AbortRate, r.MeanTxn)
+}
+
+// ErrGaveUp reports a transaction that exceeded MaxRetries.
+var ErrGaveUp = errors.New("workload: transaction gave up after retries")
+
+// Run executes the workload and returns its result.
+func Run(sys System, cfg Config) (Result, error) {
+	if cfg.Files <= 0 || cfg.Clients <= 0 || cfg.TxnsPerCli <= 0 {
+		return Result{}, fmt.Errorf("workload: bad config %+v", cfg)
+	}
+	if cfg.HotPages <= 0 {
+		cfg.HotPages = 1
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 100
+	}
+	files := make([]int, cfg.Files)
+	for i := range files {
+		f, err := sys.CreateFile(cfg.PagesPerFile)
+		if err != nil {
+			return Result{}, fmt.Errorf("workload: create file: %w", err)
+		}
+		files[i] = f
+	}
+
+	var (
+		committed, failed, retries uint64
+		totalTxnTime               int64
+		mu                         sync.Mutex
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Clients)
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919))
+			payload := make([]byte, cfg.PageSize)
+			rng.Read(payload)
+			for n := 0; n < cfg.TxnsPerCli; n++ {
+				t0 := time.Now()
+				var lastErr error
+				ok := false
+				for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+					err := runOne(sys, files, cfg, rng, payload)
+					if err == nil {
+						ok = true
+						break
+					}
+					if !sys.Retryable(err) {
+						errs[ci] = err
+						return
+					}
+					lastErr = err
+					mu.Lock()
+					retries++
+					mu.Unlock()
+					// Jittered backoff so colliding clients do not
+					// meet again immediately (the §4 "random wait").
+					if cfg.ThinkTime > 0 {
+						time.Sleep(time.Duration(rng.Int63n(int64(2*cfg.ThinkTime) + 1)))
+					}
+				}
+				mu.Lock()
+				totalTxnTime += int64(time.Since(t0))
+				if ok {
+					committed++
+				} else {
+					failed++
+					_ = lastErr
+				}
+				mu.Unlock()
+			}
+		}(ci)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	res := Result{
+		System:    sys.Name(),
+		Committed: committed,
+		Failed:    failed,
+		Retries:   retries,
+		Elapsed:   elapsed,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(committed) / elapsed.Seconds()
+	}
+	if committed+retries > 0 {
+		res.AbortRate = float64(retries) / float64(committed+retries)
+	}
+	if committed+failed > 0 {
+		res.MeanTxn = time.Duration(totalTxnTime / int64(committed+failed))
+	}
+	return res, nil
+}
+
+// runOne performs a single transaction attempt.
+func runOne(sys System, files []int, cfg Config, rng *rand.Rand, payload []byte) error {
+	f := files[rng.Intn(len(files))]
+	txn, err := sys.Begin(f)
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_ = txn.Abort()
+		return err
+	}
+	think := func() {
+		if cfg.ThinkTime > 0 {
+			time.Sleep(cfg.ThinkTime)
+		}
+	}
+	for i := 0; i < cfg.ReadsPerTxn; i++ {
+		if _, err := txn.Read(pick(cfg, rng)); err != nil {
+			return abort(err)
+		}
+		think()
+	}
+	for i := 0; i < cfg.WritesPerTxn; i++ {
+		if err := txn.Write(pick(cfg, rng), payload); err != nil {
+			return abort(err)
+		}
+		think()
+	}
+	return txn.Commit()
+}
+
+// pick draws a page index: hot-set with probability HotFrac, else
+// uniform over the whole file.
+func pick(cfg Config, rng *rand.Rand) int {
+	if cfg.HotFrac > 0 && rng.Float64() < cfg.HotFrac {
+		return rng.Intn(cfg.HotPages)
+	}
+	return rng.Intn(cfg.PagesPerFile)
+}

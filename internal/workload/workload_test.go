@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func cfgSmall() Config {
+	return Config{
+		Files:        2,
+		PagesPerFile: 16,
+		PageSize:     64,
+		Clients:      4,
+		TxnsPerCli:   10,
+		ReadsPerTxn:  2,
+		WritesPerTxn: 1,
+		Seed:         42,
+	}
+}
+
+func TestRunOCC(t *testing.T) {
+	sys, _, err := NewOCCService(1<<15, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, cfgSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 40 {
+		t.Fatalf("committed %d, want 40", res.Committed)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failed %d", res.Failed)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+	if res.System != "occ" {
+		t.Fatalf("system %q", res.System)
+	}
+}
+
+func TestRunLocking(t *testing.T) {
+	sys, err := NewLockStore(1<<15, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, cfgSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 40 {
+		t.Fatalf("committed %d, want 40 (failed=%d retries=%d)", res.Committed, res.Failed, res.Retries)
+	}
+}
+
+func TestRunTimestamp(t *testing.T) {
+	sys, err := NewTSStore(1<<15, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, cfgSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 40 {
+		t.Fatalf("committed %d, want 40 (failed=%d)", res.Committed, res.Failed)
+	}
+}
+
+func TestHighContentionStillCompletes(t *testing.T) {
+	cfg := cfgSmall()
+	cfg.Files = 1
+	cfg.HotFrac = 1.0 // every access hits the single hot page
+	cfg.HotPages = 1
+	cfg.MaxRetries = 1000
+	cfg.ThinkTime = 200 * time.Microsecond // force real overlap on 1 CPU
+
+	sys, _, err := NewOCCService(1<<16, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 40 {
+		t.Fatalf("committed %d under contention (failed=%d)", res.Committed, res.Failed)
+	}
+	// With everything hitting one page, conflicts must appear.
+	if res.Retries == 0 {
+		t.Fatal("no conflicts under full contention")
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	sys, _, err := NewOCCService(1<<12, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sys, Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestDeterministicSeedSameWorkShape(t *testing.T) {
+	// Two runs with the same seed on fresh systems commit the same
+	// number of transactions (the schedule interleaving may differ, but
+	// totals are fixed by construction).
+	for run := 0; run < 2; run++ {
+		sys, _, err := NewOCCService(1<<15, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(sys, cfgSmall())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Committed != 40 {
+			t.Fatalf("run %d committed %d", run, res.Committed)
+		}
+	}
+}
