@@ -28,6 +28,7 @@
 package afs
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/block"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/gc"
 	"repro/internal/occ"
 	"repro/internal/page"
+	"repro/internal/segstore"
 )
 
 // Capability names a file or version and carries the rights to use it.
@@ -66,9 +68,20 @@ var ErrNoServers = client.ErrNoServers
 type Options struct {
 	// Servers is the number of file server processes (default 1).
 	Servers int
+	// Dir, when set, backs the service with the durable segment-log
+	// block store (internal/segstore) in this directory instead of a
+	// simulated in-memory disk: files survive process restarts. Start
+	// on a directory that already holds a file system recovers it —
+	// RecoverFiles returns the recovered files' capabilities. Close
+	// the cluster when done.
+	Dir string
+	// SyncMode tunes the durable store's fsync policy: "group"
+	// (default: batched group commit), "each" (one fsync per write) or
+	// "none" (benchmarks only). Ignored without Dir.
+	SyncMode string
 	// StableStorage stores every block on a pair of companion block
 	// servers (the paper's §4 modification of Lampson–Sturgis stable
-	// storage), surviving single-disk crashes.
+	// storage), surviving single-disk crashes. Ignored with Dir.
 	StableStorage bool
 	// DiskBlocks and BlockSize shape the simulated disks (defaults
 	// 65536 blocks of 4 KiB).
@@ -87,11 +100,12 @@ type Options struct {
 // Cluster is a running file service: servers, storage and collector.
 type Cluster struct {
 	inner *core.Cluster
+	store *segstore.Store // non-nil when backed by Options.Dir
 }
 
 // Start brings up a file service.
 func Start(o Options) (*Cluster, error) {
-	c, err := core.NewCluster(core.Config{
+	cfg := core.Config{
 		Servers:    o.Servers,
 		DiskBlocks: o.DiskBlocks,
 		BlockSize:  o.BlockSize,
@@ -100,11 +114,75 @@ func Start(o Options) (*Cluster, error) {
 		NetLatency: o.NetworkLatency,
 		ReadCost:   o.DiskReadCost,
 		WriteCost:  o.DiskWriteCost,
-	})
+	}
+	var st *segstore.Store
+	if o.Dir != "" {
+		mode := segstore.SyncGroup
+		if o.SyncMode != "" {
+			var err error
+			if mode, err = segstore.ParseSyncMode(o.SyncMode); err != nil {
+				return nil, err
+			}
+		}
+		var err error
+		st, err = segstore.Open(o.Dir, segstore.Options{
+			BlockSize: o.BlockSize,
+			Capacity:  o.DiskBlocks,
+			Sync:      mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = st
+	}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		if st != nil {
+			st.Close()
+		}
+		return nil, err
+	}
+	return &Cluster{inner: c, store: st}, nil
+}
+
+// RecoverFiles rebuilds the file table from the block store — the §4
+// recovery scan a restarted service runs over a durable or surviving
+// backend — and returns fresh owner capabilities for the recovered
+// files. Call it after Start on a Dir that already holds a file system.
+func (c *Cluster) RecoverFiles() ([]Capability, error) {
+	byObj, err := c.inner.RecoverTable()
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{inner: c}, nil
+	out := make([]Capability, 0, len(byObj))
+	for _, cp := range byObj {
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object < out[j].Object })
+	return out, nil
+}
+
+// Close shuts down the cluster's durable store, if any: pending group
+// commits finish, segment files are synced and closed. A cluster that
+// is simply abandoned (or killed) loses nothing either — acknowledged
+// writes are already on disk — which is what the crash-recovery
+// example demonstrates.
+func (c *Cluster) Close() error {
+	if c.store != nil {
+		return c.store.Close()
+	}
+	return nil
+}
+
+// Abandon simulates a process crash for tests and demos that restart a
+// durable cluster within one process: the store's file handles (and
+// its single-writer directory lock) are dropped with no flush or
+// shutdown, so a fresh Start on the same Dir sees exactly what a
+// restarted process would. A genuinely killed process needs no call.
+func (c *Cluster) Abandon() {
+	if c.store != nil {
+		c.store.Abandon()
+	}
 }
 
 // NewClient connects a client to every server of the cluster, with

@@ -180,15 +180,33 @@ func runE3() error {
 func runE4() error {
 	type variant struct {
 		name string
-		mk   func() (workload.System, error)
+		mk   func() (workload.System, func(), error)
 	}
+	nop := func() {}
 	variants := []variant{
-		{"occ", func() (workload.System, error) {
+		{"occ", func() (workload.System, func(), error) {
 			sys, _, err := workload.NewOCCService(1<<20, 4096)
-			return sys, err
+			return sys, nop, err
 		}},
-		{"locking", func() (workload.System, error) { return workload.NewLockStore(1<<20, 4096) }},
-		{"timestamp", func() (workload.System, error) { return workload.NewTSStore(1<<20, 4096) }},
+		// The same optimistic service over the durable segment-log
+		// store: every block write is group-committed to the real
+		// filesystem, so this row is the durable-path cost of the
+		// central experiment.
+		{"occ-seg", func() (workload.System, func(), error) {
+			st, cleanup, err := newSegStore()
+			if err != nil {
+				return nil, nil, err
+			}
+			return workload.NewOCC(workload.NewServiceOn(st)), cleanup, nil
+		}},
+		{"locking", func() (workload.System, func(), error) {
+			sys, err := workload.NewLockStore(1<<20, 4096)
+			return sys, nop, err
+		}},
+		{"timestamp", func() (workload.System, func(), error) {
+			sys, err := workload.NewTSStore(1<<20, 4096)
+			return sys, nop, err
+		}},
 	}
 
 	base := workload.Config{
@@ -209,13 +227,14 @@ func runE4() error {
 	header("hot-frac", "system", "thpt txn/s", "abort %", "mean txn µs", "failed")
 	for _, hot := range []float64{0, 0.3, 0.7} {
 		for _, v := range variants {
-			sys, err := v.mk()
+			sys, cleanup, err := v.mk()
 			if err != nil {
 				return err
 			}
 			cfg := base
 			cfg.HotFrac = hot
 			res, err := workload.Run(sys, cfg)
+			cleanup()
 			if err != nil {
 				return err
 			}
@@ -229,7 +248,7 @@ func runE4() error {
 	fmt.Println("    where locking 'is more suitable': redone work dominates.")
 	header("system", "thpt txn/s", "abort %", "mean txn ms", "failed")
 	for _, v := range variants {
-		sys, err := v.mk()
+		sys, cleanup, err := v.mk()
 		if err != nil {
 			return err
 		}
@@ -242,6 +261,7 @@ func runE4() error {
 		cfg.TxnsPerCli = 20
 		cfg.ThinkTime = 500 * time.Microsecond
 		res, err := workload.Run(sys, cfg)
+		cleanup()
 		if err != nil {
 			return err
 		}

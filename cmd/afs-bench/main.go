@@ -34,12 +34,13 @@ var experiments = []experiment{
 	{"e7", "E7 (§5.4): cache validation without unsolicited messages", runE7},
 	{"e8", "E8 (§4): paired block servers (stable storage)", runE8},
 	{"e9", "E9 (§3.1, §5.4.1): crash recovery work", runE9},
+	{"e10", "E10 (§4): durable block store — group commit vs RAM disk", runE10},
 	{"fig2", "Fig. 2: the file system is a tree of trees", runFig2},
 	{"fig4", "Fig. 4: the family tree of a file", runFig4},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e9, fig2, fig4, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e10, fig2, fig4, all)")
 	flag.Parse()
 
 	want := strings.ToLower(*exp)

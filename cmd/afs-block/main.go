@@ -3,6 +3,14 @@
 // per-account protection, atomic writes, the lock facility and the
 // recovery scan. An afs-server process mounts it with
 // -block PORT@ADDR.
+//
+// Two backends:
+//
+//	-store=mem          simulated RAM disk (default; contents die with
+//	                    the process)
+//	-store=seg -dir=D   durable segment-log store in directory D
+//	                    (internal/segstore): contents survive restarts,
+//	                    writes are group-committed to disk
 package main
 
 import (
@@ -11,41 +19,86 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/capability"
 	"repro/internal/disk"
 	"repro/internal/rpc"
+	"repro/internal/segstore"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
-		blocks = flag.Int("blocks", 1<<16, "number of blocks")
-		bsize  = flag.Int("bsize", 4096, "block size in bytes")
+		listen  = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+		backend = flag.String("store", "mem", "block store backend: mem or seg")
+		dir     = flag.String("dir", "", "store directory (required with -store=seg)")
+		blocks  = flag.Int("blocks", 1<<16, "number of blocks")
+		bsize   = flag.Int("bsize", 4096, "block size in bytes")
+		sync    = flag.String("sync", "group", "seg durability: group, each or none")
+		compact = flag.Duration("compact", time.Minute, "seg compaction interval (0 disables)")
 	)
 	flag.Parse()
 
-	d, err := disk.New(disk.Geometry{Blocks: *blocks, BlockSize: *bsize})
+	store, closeStore, err := openStore(*backend, *dir, *blocks, *bsize, *sync, *compact)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := block.NewServer(d)
 
 	tcp, err := rpc.NewTCPServer(*listen)
 	if err != nil {
 		log.Fatal(err)
 	}
 	port := capability.NewPort().Public()
-	tcp.Register(port, block.Serve(srv))
+	tcp.Register(port, block.Serve(store))
 
 	// The PORT@ADDR line on stdout is the mount point for afs-server.
 	fmt.Printf("%s@%s\n", port, tcp.Addr())
-	log.Printf("block server: %d x %d bytes at %s (port %s)", *blocks, *bsize, tcp.Addr(), port)
+	log.Printf("block server (%s): %d x %d bytes at %s (port %s)", *backend, *blocks, *bsize, tcp.Addr(), port)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	log.Printf("shutting down: %d blocks in use", srv.InUse())
 	tcp.Close()
+	closeStore()
+}
+
+// openStore builds the chosen backend.
+func openStore(backend, dir string, blocks, bsize int, sync string, compact time.Duration) (block.Store, func(), error) {
+	switch backend {
+	case "mem":
+		d, err := disk.New(disk.Geometry{Blocks: blocks, BlockSize: bsize})
+		if err != nil {
+			return nil, nil, err
+		}
+		srv := block.NewServer(d)
+		return srv, func() { log.Printf("shutting down: %d blocks in use", srv.InUse()) }, nil
+	case "seg":
+		if dir == "" {
+			return nil, nil, fmt.Errorf("-store=seg needs -dir")
+		}
+		mode, err := segstore.ParseSyncMode(sync)
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := segstore.Open(dir, segstore.Options{
+			BlockSize:    bsize,
+			Capacity:     blocks,
+			Sync:         mode,
+			CompactEvery: compact,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		log.Printf("segstore %s: recovered %d blocks from %d segments (truncated %d torn bytes)",
+			dir, st.InUse(), st.Segments(), st.Stats().TruncatedBytes)
+		return st, func() {
+			log.Printf("shutting down: %d blocks in use", st.InUse())
+			if err := st.Close(); err != nil {
+				log.Printf("close: %v", err)
+			}
+		}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown -store %q (want mem or seg)", backend)
+	}
 }

@@ -1,7 +1,13 @@
 // Command afs-server runs an Amoeba File Service on TCP: any number of
 // logical file server processes sharing one file table and one block
-// store — either an in-process disk or a remote afs-block service
-// mounted with -block PORT@ADDR.
+// store — an in-process simulated disk (-store=mem), a durable
+// segment-log store on the local filesystem (-store=seg -dir=D), or a
+// remote afs-block service mounted with -block PORT@ADDR.
+//
+// With a durable or remote store the server recovers on startup: it
+// scans its account's blocks (§4), rebuilds the file table from the
+// version pages found, and mints fresh capabilities for the recovered
+// files. Files written before a crash are served again after it.
 //
 // The service line printed on stdout (comma-separated PORT@ADDR pairs,
 // one per file server, then the service capability secret is kept
@@ -23,6 +29,7 @@ import (
 	"repro/internal/file"
 	"repro/internal/gc"
 	"repro/internal/rpc"
+	"repro/internal/segstore"
 	"repro/internal/server"
 	"repro/internal/version"
 )
@@ -31,8 +38,12 @@ func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
 		servers  = flag.Int("servers", 2, "number of file server processes")
-		blocks   = flag.Int("blocks", 1<<16, "blocks of the in-process disk (ignored with -block)")
-		bsize    = flag.Int("bsize", 4096, "block size of the in-process disk (ignored with -block)")
+		backend  = flag.String("store", "mem", "block store backend: mem or seg (ignored with -block)")
+		dir      = flag.String("dir", "", "store directory (required with -store=seg)")
+		blocks   = flag.Int("blocks", 1<<16, "blocks of the in-process store (ignored with -block)")
+		bsize    = flag.Int("bsize", 4096, "block size of the in-process store (ignored with -block)")
+		sync     = flag.String("sync", "group", "seg durability: group, each or none")
+		compact  = flag.Duration("compact", time.Minute, "seg compaction interval (0 disables)")
 		mount    = flag.String("block", "", "remote block service as PORT@ADDR (from afs-block)")
 		gcEvery  = flag.Duration("gc", 5*time.Second, "garbage collection interval (0 disables)")
 		gcRetain = flag.Int("retain", 4, "committed versions retained per file")
@@ -40,7 +51,10 @@ func main() {
 	flag.Parse()
 
 	var store block.Store
-	if *mount != "" {
+	var closeStore func()
+	durable := false // the store may hold a file system from a past life
+	switch {
+	case *mount != "":
 		port, addr, err := splitMount(*mount)
 		if err != nil {
 			log.Fatal(err)
@@ -52,25 +66,63 @@ func main() {
 			log.Fatalf("mount %s: %v", *mount, err)
 		}
 		store = remote
+		durable = true
 		log.Printf("mounted remote block service %s", *mount)
-	} else {
+	case *backend == "seg":
+		if *dir == "" {
+			log.Fatal("-store=seg needs -dir")
+		}
+		mode, err := segstore.ParseSyncMode(*sync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := segstore.Open(*dir, segstore.Options{
+			BlockSize:    *bsize,
+			Capacity:     *blocks,
+			Sync:         mode,
+			CompactEvery: *compact,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = st
+		durable = true
+		closeStore = func() {
+			if err := st.Close(); err != nil {
+				log.Printf("close store: %v", err)
+			}
+		}
+		log.Printf("segstore %s: %d blocks in %d segments", *dir, st.InUse(), st.Segments())
+	case *backend == "mem":
 		d, err := disk.New(disk.Geometry{Blocks: *blocks, BlockSize: *bsize})
 		if err != nil {
 			log.Fatal(err)
 		}
 		store = block.NewServer(d)
+	default:
+		log.Fatalf("unknown -store %q (want mem or seg)", *backend)
 	}
 
 	sh := server.NewShared(store, 1)
-	// If the store already holds a file system (remote block server
-	// that survived us), rebuild the table from it.
-	if *mount != "" {
+	// If the store already holds a file system (a durable directory or
+	// a remote block server that survived us), rebuild the file table
+	// from the §4 recovery scan and mint fresh capabilities for the
+	// recovered files.
+	if durable {
 		st := version.NewStore(store, sh.Acct)
-		if t, err := file.Rebuild(st); err == nil && t.Len() > 0 {
-			for obj, e := range t.Entries() {
-				sh.Table.Put(obj, e)
+		t, err := file.Rebuild(st)
+		if err != nil {
+			// Starting empty over a store we cannot read would leave
+			// the old files allocated but unreachable.
+			log.Fatalf("recover file table: %v", err)
+		}
+		if t.Len() > 0 {
+			caps := sh.AdoptTable(t)
+			log.Printf("recovered %d files from block store", len(caps))
+			for obj, c := range caps {
+				// The text form is what the afs CLI accepts.
+				log.Printf("  file %d: %s", obj, c.Text())
 			}
-			log.Printf("recovered %d files from block service", t.Len())
 		}
 	}
 
@@ -106,6 +158,9 @@ func main() {
 	<-sig
 	close(stop)
 	tcp.Close()
+	if closeStore != nil {
+		closeStore()
+	}
 	log.Printf("file service down: %d files", sh.Table.Len())
 }
 

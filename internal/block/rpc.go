@@ -35,8 +35,17 @@ const (
 	statusNotLocked
 )
 
-// Serve returns an rpc.Handler exposing s.
-func Serve(s *Server) rpc.Handler {
+// Claimer is the optional companion-pair operation: backends that can
+// allocate a caller-chosen block number (block.Server, segstore.Store)
+// expose it; Serve answers cmdClaim only for stores that have it.
+type Claimer interface {
+	Claim(account Account, n Num) error
+}
+
+// Serve returns an rpc.Handler exposing s. Any Store implementation can
+// be served: the in-memory Server, a stable pair, or the durable
+// segstore backend.
+func Serve(s Store) rpc.Handler {
 	return func(req *rpc.Message) *rpc.Message {
 		acct := Account(req.Args[0])
 		n := Num(req.Args[1])
@@ -82,7 +91,11 @@ func Serve(s *Server) rpc.Handler {
 			}
 			return req.Reply(rpc.StatusOK)
 		case cmdClaim:
-			if err := s.Claim(acct, n); err != nil {
+			cl, ok := s.(Claimer)
+			if !ok {
+				return req.Errorf(rpc.StatusBadCommand, "block: store does not support claim")
+			}
+			if err := cl.Claim(acct, n); err != nil {
 				return blockErr(req, err)
 			}
 			return req.Reply(rpc.StatusOK)

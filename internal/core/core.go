@@ -25,6 +25,12 @@ import (
 type Config struct {
 	// Servers is the number of file server processes (default 1).
 	Servers int
+	// Store, when set, is a pre-built block store backend (e.g. a
+	// durable segstore.Store) used instead of a fresh simulated disk;
+	// DiskBlocks, BlockSize, StablePair and the disk cost fields are
+	// ignored. The caller keeps ownership: closing it after the cluster
+	// is done is the caller's job.
+	Store block.Store
 	// DiskBlocks and BlockSize shape the simulated disks (defaults
 	// 1<<16 x 4096).
 	DiskBlocks int
@@ -101,7 +107,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	var store block.Store
 	var pair *stable.Pair
-	if cfg.StablePair {
+	if cfg.Store != nil {
+		store = cfg.Store
+	} else if cfg.StablePair {
 		da, err := disk.New(geo)
 		if err != nil {
 			return nil, err
@@ -208,6 +216,20 @@ func (c *Cluster) LiveVersions() []block.Num {
 
 // Pair returns the stable-storage pair when the cluster uses one.
 func (c *Cluster) Pair() *stable.Pair { return c.pair }
+
+// RecoverTable is the process-restart recovery path: rebuild the file
+// table from storage (§4 recovery scan) and adopt it into this
+// cluster's fresh service identity, minting new owner capabilities for
+// the recovered files (the old secrets died with the old process). It
+// returns the new capabilities by object number.
+func (c *Cluster) RecoverTable() (map[uint32]capability.Capability, error) {
+	st := version.NewStore(c.Shared.Store, c.Shared.Acct)
+	t, err := file.Rebuild(st)
+	if err != nil {
+		return nil, err
+	}
+	return c.Shared.AdoptTable(t), nil
+}
 
 // RebuildTable reconstructs the file table from storage (total-crash
 // recovery, §4): the result replaces the shared table's contents.

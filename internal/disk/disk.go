@@ -1,5 +1,12 @@
 // Package disk simulates the raw disks underneath the block servers.
 //
+// This is the *simulated* backend: blocks live in RAM and vanish with
+// the process, which is what makes the crash/corruption/latency faults
+// below cheap to inject and deterministic to test against. The durable
+// backend — a persistent segment-log block store on the real OS
+// filesystem — is internal/segstore; it implements the same block.Store
+// interface, so every layer above runs on either.
+//
 // The paper's block service (§4) assumes disks whose writes are atomic and
 // acknowledged only once the data is on the platter, which "do not usually
 // lose their information in a crash, but it does happen occasionally" and

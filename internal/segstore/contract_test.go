@@ -1,0 +1,211 @@
+package segstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/disk"
+)
+
+// The contract tests drive the in-memory block.Server and segstore
+// through identical operation sequences and require identical outcomes:
+// same success/failure classification (by sentinel error), same data,
+// same allocation results, same recovery scans. Whatever the file
+// service layers can observe through block.Store must not distinguish
+// the backends.
+
+// contractOp is one step of a scripted sequence.
+type contractOp struct {
+	op    string // alloc, write, read, free, lock, unlock, recover
+	acct  block.Account
+	n     int    // index into previously allocated blocks (-1: bogus block)
+	data  string // payload for alloc/write
+	check func(t *testing.T, err error)
+}
+
+// classify reduces an error to the contract-visible sentinel.
+func classify(err error) error {
+	for _, s := range []error{block.ErrNoSpace, block.ErrNotAllocated, block.ErrNotOwner,
+		block.ErrLocked, block.ErrNotLocked} {
+		if errors.Is(err, s) {
+			return s
+		}
+	}
+	if err != nil {
+		return errors.New("other")
+	}
+	return nil
+}
+
+// newPair builds both backends with the same capacity and block size.
+func newPair(t *testing.T, capacity, blockSize int) (*block.Server, *Store) {
+	t.Helper()
+	mem := block.NewServer(disk.MustNew(disk.Geometry{Blocks: capacity + 1, BlockSize: blockSize}))
+	seg, err := Open(t.TempDir(), Options{BlockSize: blockSize, Capacity: capacity, SegmentRecords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { seg.Close() })
+	return mem, seg
+}
+
+// runScript applies ops to both stores in lockstep, comparing outcomes.
+func runScript(t *testing.T, mem *block.Server, seg *Store, ops []contractOp) {
+	t.Helper()
+	var memBlocks, segBlocks []block.Num
+	pick := func(blocks []block.Num, i int) block.Num {
+		if i < 0 || i >= len(blocks) {
+			return block.Num(4000) // never allocated
+		}
+		return blocks[i]
+	}
+	for i, op := range ops {
+		var memErr, segErr error
+		var memData, segData []byte
+		switch op.op {
+		case "alloc":
+			var mn, sn block.Num
+			mn, memErr = mem.Alloc(op.acct, []byte(op.data))
+			sn, segErr = seg.Alloc(op.acct, []byte(op.data))
+			if (memErr == nil) != (segErr == nil) {
+				t.Fatalf("op %d alloc: mem err %v, seg err %v", i, memErr, segErr)
+			}
+			if memErr == nil {
+				memBlocks = append(memBlocks, mn)
+				segBlocks = append(segBlocks, sn)
+			}
+		case "write":
+			memErr = mem.Write(op.acct, pick(memBlocks, op.n), []byte(op.data))
+			segErr = seg.Write(op.acct, pick(segBlocks, op.n), []byte(op.data))
+		case "read":
+			memData, memErr = mem.Read(op.acct, pick(memBlocks, op.n))
+			segData, segErr = seg.Read(op.acct, pick(segBlocks, op.n))
+		case "free":
+			memErr = mem.Free(op.acct, pick(memBlocks, op.n))
+			segErr = seg.Free(op.acct, pick(segBlocks, op.n))
+		case "lock":
+			memErr = mem.Lock(op.acct, pick(memBlocks, op.n))
+			segErr = seg.Lock(op.acct, pick(segBlocks, op.n))
+		case "unlock":
+			memErr = mem.Unlock(op.acct, pick(memBlocks, op.n))
+			segErr = seg.Unlock(op.acct, pick(segBlocks, op.n))
+		case "recover":
+			var mr, sr []block.Num
+			mr, memErr = mem.Recover(op.acct)
+			sr, segErr = seg.Recover(op.acct)
+			if len(mr) != len(sr) {
+				t.Fatalf("op %d recover(%d): mem %d blocks, seg %d blocks", i, op.acct, len(mr), len(sr))
+			}
+		default:
+			t.Fatalf("op %d: unknown op %q", i, op.op)
+		}
+		if mc, sc := classify(memErr), classify(segErr); !errors.Is(mc, sc) && (mc != nil || sc != nil) {
+			t.Fatalf("op %d %s: mem %v, seg %v", i, op.op, memErr, segErr)
+		}
+		if op.op == "read" && memErr == nil && !bytes.Equal(memData, segData) {
+			t.Fatalf("op %d read: backends disagree on contents (%q vs %q)", i, memData[:8], segData[:8])
+		}
+		if op.check != nil {
+			op.check(t, segErr)
+		}
+	}
+}
+
+func TestContractTable(t *testing.T) {
+	wantErr := func(sentinel error) func(*testing.T, error) {
+		return func(t *testing.T, err error) {
+			t.Helper()
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("err = %v, want %v", err, sentinel)
+			}
+		}
+	}
+	mem, seg := newPair(t, 64, 128)
+	runScript(t, mem, seg, []contractOp{
+		{op: "alloc", acct: 1, data: "alpha"},
+		{op: "alloc", acct: 1, data: "beta"},
+		{op: "alloc", acct: 2, data: "gamma"},
+		{op: "read", acct: 1, n: 0},
+		{op: "read", acct: 2, n: 0, check: wantErr(block.ErrNotOwner)},
+		{op: "read", acct: 1, n: -1, check: wantErr(block.ErrNotAllocated)},
+		{op: "write", acct: 1, n: 0, data: "alpha-2"},
+		{op: "read", acct: 1, n: 0},
+		{op: "lock", acct: 1, n: 1},
+		{op: "lock", acct: 1, n: 1, check: wantErr(block.ErrLocked)},
+		{op: "lock", acct: 2, n: 1, check: wantErr(block.ErrNotOwner)},
+		{op: "unlock", acct: 1, n: 1},
+		{op: "unlock", acct: 1, n: 1, check: wantErr(block.ErrNotLocked)},
+		{op: "free", acct: 2, n: 1, check: wantErr(block.ErrNotOwner)},
+		{op: "free", acct: 1, n: 1},
+		{op: "read", acct: 1, n: 1, check: wantErr(block.ErrNotAllocated)},
+		{op: "write", acct: 1, n: 1, data: "x", check: wantErr(block.ErrNotAllocated)},
+		{op: "recover", acct: 1},
+		{op: "recover", acct: 2},
+		{op: "recover", acct: 3},
+		{op: "alloc", acct: 3, data: "delta"},
+		{op: "recover", acct: 3},
+	})
+}
+
+func TestContractExhaustion(t *testing.T) {
+	mem, seg := newPair(t, 4, 64)
+	var ops []contractOp
+	for i := 0; i < 4; i++ {
+		ops = append(ops, contractOp{op: "alloc", acct: 1, data: fmt.Sprint(i)})
+	}
+	ops = append(ops,
+		contractOp{op: "alloc", acct: 1, data: "over", check: func(t *testing.T, err error) {
+			t.Helper()
+			if !errors.Is(err, block.ErrNoSpace) {
+				t.Fatalf("err = %v, want ErrNoSpace", err)
+			}
+		}},
+		contractOp{op: "free", acct: 1, n: 2},
+		contractOp{op: "alloc", acct: 1, data: "reuse"},
+		contractOp{op: "recover", acct: 1},
+	)
+	runScript(t, mem, seg, ops)
+}
+
+// FuzzContract feeds random operation scripts to both backends. The
+// seed corpus runs under plain `go test`; `go test -fuzz=FuzzContract`
+// explores further.
+func FuzzContract(f *testing.F) {
+	f.Add([]byte{0x00, 0x10, 0x21, 0x32, 0x43, 0x04, 0x15})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x50, 0x50, 0x30, 0x30, 0x60})
+	f.Add([]byte{0x00, 0x41, 0x41, 0x11, 0x21, 0x31, 0x01, 0x51, 0x11})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		mem, seg := newPair(t, 16, 64)
+		var ops []contractOp
+		for i, b := range script {
+			// Low nibble: operation. High nibble: block index (alloc:
+			// payload seed; the account alternates with the index so
+			// ownership violations get exercised too).
+			idx := int(b >> 4)
+			acct := block.Account(1 + idx%2)
+			switch b & 0x0F {
+			case 0, 1:
+				ops = append(ops, contractOp{op: "alloc", acct: acct, data: fmt.Sprintf("p%d-%d", i, idx)})
+			case 2:
+				ops = append(ops, contractOp{op: "write", acct: acct, n: idx, data: fmt.Sprintf("w%d", i)})
+			case 3:
+				ops = append(ops, contractOp{op: "read", acct: acct, n: idx})
+			case 4:
+				ops = append(ops, contractOp{op: "free", acct: acct, n: idx})
+			case 5:
+				ops = append(ops, contractOp{op: "lock", acct: acct, n: idx})
+			case 6:
+				ops = append(ops, contractOp{op: "unlock", acct: acct, n: idx})
+			default:
+				ops = append(ops, contractOp{op: "recover", acct: acct})
+			}
+		}
+		runScript(t, mem, seg, ops)
+	})
+}

@@ -1,0 +1,147 @@
+package segstore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/block"
+)
+
+// loc names a record's position: which segment, and the byte offset of
+// the record within it. The zero loc means "no durable record yet" (a
+// reservation made by an in-flight Alloc or Claim).
+type loc struct {
+	seg uint64
+	off int64
+}
+
+// entry is one allocated block's index row. Lock bits are volatile
+// commit-section state (§5.2) and are deliberately NOT persisted: a
+// restart clears them, exactly like block.Server.ClearLocks after a
+// crash.
+type entry struct {
+	loc    loc
+	owner  block.Account
+	locked bool
+}
+
+// index is the in-memory map from block number to record location and
+// owner. It is rebuilt from the segment scan on open — the store keeps
+// no separate metadata about which blocks exist, so the §4 "list blocks
+// by account" recovery scan is just a walk of this map. All access is
+// under the store's mutex.
+type index struct {
+	entries map[block.Num]entry
+	// live counts the index-referenced (i.e. not yet superseded)
+	// records per segment; records-minus-live is a segment's garbage,
+	// which drives compaction victim choice.
+	live map[uint64]int
+	// nextHint speeds allocation scans; correctness does not depend on it.
+	nextHint block.Num
+}
+
+func newIndex() *index {
+	return &index{
+		entries:  make(map[block.Num]entry),
+		live:     make(map[uint64]int),
+		nextHint: 1,
+	}
+}
+
+// allocNum reserves the lowest free block number at or after the hint
+// for account, with no durable record yet.
+func (x *index) allocNum(account block.Account, capacity int) (block.Num, error) {
+	total := block.Num(capacity) + 1 // block numbers run 1..capacity
+	for i := block.Num(0); i < total; i++ {
+		n := (x.nextHint + i) % total
+		if n == block.NilNum {
+			continue
+		}
+		if _, used := x.entries[n]; !used {
+			x.entries[n] = entry{owner: account}
+			x.nextHint = n + 1
+			return n, nil
+		}
+	}
+	return block.NilNum, block.ErrNoSpace
+}
+
+// reserve claims a specific free number with no durable record yet.
+func (x *index) reserve(account block.Account, n block.Num) error {
+	if _, used := x.entries[n]; used {
+		return fmt.Errorf("block %d: already allocated", n)
+	}
+	x.entries[n] = entry{owner: account}
+	return nil
+}
+
+// checkOwner verifies account owns n.
+func (x *index) checkOwner(account block.Account, n block.Num) error {
+	e, ok := x.entries[n]
+	if !ok {
+		return fmt.Errorf("block %d: %w", n, block.ErrNotAllocated)
+	}
+	if e.owner != account {
+		return fmt.Errorf("block %d owned by %d, access by %d: %w", n, e.owner, account, block.ErrNotOwner)
+	}
+	return nil
+}
+
+// place points n's index row at a new durable record, preserving the
+// lock bit and maintaining per-segment live counts. It creates the row
+// if needed (replay, or a write racing a free), so replaying the log in
+// append order through place/drop reproduces exactly the in-memory
+// state the live store had.
+func (x *index) place(n block.Num, account block.Account, at loc) {
+	e := x.entries[n]
+	if e.loc != (loc{}) {
+		x.live[e.loc.seg]--
+	}
+	e.owner = account
+	e.loc = at
+	x.entries[n] = e
+	x.live[at.seg]++
+}
+
+// drop removes n's row (a durable free).
+func (x *index) drop(n block.Num) {
+	e, ok := x.entries[n]
+	if !ok {
+		return
+	}
+	if e.loc != (loc{}) {
+		x.live[e.loc.seg]--
+	}
+	delete(x.entries, n)
+}
+
+// recover lists account's blocks, sorted: the §4 recovery scan.
+func (x *index) recover(account block.Account) []block.Num {
+	var out []block.Num
+	for n, e := range x.entries {
+		if e.owner == account {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// owners copies the allocation table, for companion-style recovery.
+func (x *index) owners() map[block.Num]block.Account {
+	out := make(map[block.Num]block.Account, len(x.entries))
+	for n, e := range x.entries {
+		out[n] = e.owner
+	}
+	return out
+}
+
+// clearLocks drops every lock bit.
+func (x *index) clearLocks() {
+	for n, e := range x.entries {
+		if e.locked {
+			e.locked = false
+			x.entries[n] = e
+		}
+	}
+}

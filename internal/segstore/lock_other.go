@@ -1,0 +1,9 @@
+//go:build !unix
+
+package segstore
+
+import "os"
+
+// lockDir is a no-op where flock is unavailable; single-process use is
+// then the operator's responsibility.
+func lockDir(dirf *os.File) error { return nil }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package segstore
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on the store directory so
+// only one process appends to the log. The lock is released by the
+// kernel when the descriptor closes — including on a crash.
+func lockDir(dirf *os.File) error {
+	err := syscall.Flock(int(dirf.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return errors.New("store is locked by another process")
+	}
+	return err
+}

@@ -1,0 +1,335 @@
+package segstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/file"
+	"repro/internal/page"
+	"repro/internal/server"
+	"repro/internal/version"
+)
+
+// Crash-without-close is simulated with Abandon: file handles (and the
+// single-writer directory lock) are dropped with no flush, and the
+// same directory is opened afresh. Every acknowledged write is already
+// fsynced, so the new store sees exactly the state a restarted process
+// would.
+
+func TestReopenPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{BlockSize: 64, SegmentRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[block.Num][]byte{}
+	owner := map[block.Num]block.Account{}
+	for i := 0; i < 30; i++ {
+		acct := block.Account(1 + i%3)
+		n, err := s.Alloc(acct, []byte(fmt.Sprintf("block %d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[n] = []byte(fmt.Sprintf("block %d", i))
+		owner[n] = acct
+	}
+	// Rewrite some, free some, lock one (locks must NOT survive).
+	for n := range want {
+		switch n % 3 {
+		case 0:
+			want[n] = []byte(fmt.Sprintf("rewritten %d", n))
+			if err := s.Write(owner[n], n, want[n]); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if err := s.Free(owner[n], n); err != nil {
+				t.Fatal(err)
+			}
+			delete(want, n)
+			delete(owner, n)
+		}
+	}
+	var lockedOne block.Num
+	for n := range want {
+		if err := s.Lock(owner[n], n); err != nil {
+			t.Fatal(err)
+		}
+		lockedOne = n
+		break
+	}
+
+	// Crash: no Close. Reopen the directory.
+	s.Abandon()
+	s2, err := Open(dir, Options{BlockSize: 64, SegmentRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.InUse(); got != len(want) {
+		t.Fatalf("in use after reopen = %d, want %d", got, len(want))
+	}
+	for n, data := range want {
+		got, err := s2.Read(owner[n], n)
+		if err != nil {
+			t.Fatalf("block %d: %v", n, err)
+		}
+		if !bytes.Equal(got[:len(data)], data) {
+			t.Fatalf("block %d reads %q, want %q", n, got[:len(data)], data)
+		}
+	}
+	// Ownership survived; lock bits did not.
+	for n, acct := range owner {
+		if _, err := s2.Read(acct+10, n); !errors.Is(err, block.ErrNotOwner) {
+			t.Fatalf("foreign read of %d after reopen: %v", n, err)
+		}
+	}
+	if err := s2.Lock(owner[lockedOne], lockedOne); err != nil {
+		t.Fatalf("lock bit survived restart: %v", err)
+	}
+	// The §4 account scan matches the survivors.
+	for acct := block.Account(1); acct <= 3; acct++ {
+		var wantNums []block.Num
+		for n, a := range owner {
+			if a == acct {
+				wantNums = append(wantNums, n)
+			}
+		}
+		got, err := s2.Recover(acct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(wantNums) {
+			t.Fatalf("recover(%d) = %d blocks, want %d", acct, len(got), len(wantNums))
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{BlockSize: 32, SegmentRecords: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := s.Alloc(1, []byte("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := s.Alloc(1, []byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the log tail: damage the last record and append half of
+	// another, as a crash mid-write would.
+	path := segPath(dir, 1)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSize := int64(recordSize(32))
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xDE, 0xAD}, info.Size()-recSize+headerSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, recSize/2), info.Size()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, Options{BlockSize: 32, SegmentRecords: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// The torn record's write was never acknowledged: the block it
+	// described is gone, like the disk package's lost unacked writes.
+	if _, err := s2.Read(1, n2); !errors.Is(err, block.ErrNotAllocated) {
+		t.Fatalf("torn block read err = %v, want ErrNotAllocated", err)
+	}
+	data, err := s2.Read(1, n1)
+	if err != nil {
+		t.Fatalf("intact block: %v", err)
+	}
+	if string(data[:7]) != "durable" {
+		t.Fatalf("intact block reads %q", data[:7])
+	}
+	if st := s2.Stats(); st.TruncatedBytes != uint64(recSize+recSize/2) {
+		t.Fatalf("truncated %d bytes, want %d", st.TruncatedBytes, recSize+recSize/2)
+	}
+	// The file shrank to the good prefix, and appends continue cleanly.
+	if info, err := os.Stat(path); err != nil || info.Size() != recSize {
+		t.Fatalf("tail file size %d, want %d", info.Size(), recSize)
+	}
+	if _, err := s2.Alloc(1, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMidLogCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{BlockSize: 32, SegmentRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ { // two full segments
+		if _, err := s.Alloc(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Damage a record in the FIRST segment: not a torn tail, and not
+	// silently truncatable — open must refuse.
+	f, err := os.OpenFile(segPath(dir, 1), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, headerSize); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(dir, Options{BlockSize: 32, SegmentRecords: 4}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over mid-log corruption err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReopenAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{BlockSize: 32, SegmentRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Alloc(1, []byte{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		if err := s.Write(1, n, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		ok, err := s.CompactOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	segs := s.Segments()
+	// Crash (no close) and reopen: compacted state must replay cleanly.
+	s.Abandon()
+	s2, err := Open(dir, Options{BlockSize: 32, SegmentRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Segments(); got != segs {
+		t.Fatalf("segments after reopen = %d, want %d", got, segs)
+	}
+	data, err := s2.Read(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 50 {
+		t.Fatalf("block reads %d after reopen, want 50", data[0])
+	}
+	if got := s2.InUse(); got != 1 {
+		t.Fatalf("in use = %d, want 1", got)
+	}
+}
+
+// TestFileServiceRestart is the whole point of the subsystem: a file
+// written through the file service on top of segstore survives a
+// process restart. A fresh service instance rebuilds its file table
+// with nothing but the store directory and its account — the §4
+// recovery scan — and serves the old contents.
+func TestFileServiceRestart(t *testing.T) {
+	dir := t.TempDir()
+	const acct block.Account = 1
+
+	st, err := Open(dir, Options{BlockSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := server.NewShared(st, acct)
+	srv := server.New(sh, nil)
+	fcap, err := srv.CreateFile([]byte("written before the crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := srv.CreateVersion(fcap, server.CreateVersionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.InsertPage(v, page.RootPath, 0, []byte("chapter one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Commit(v); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: the process dies here. No Close, no shutdown.
+	st.Abandon()
+
+	// Restart: open the directory, rebuild the file table from the
+	// recovery scan, adopt it into a fresh service.
+	st2, err := Open(dir, Options{BlockSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	sh2 := server.NewShared(st2, acct)
+	rebuilt, err := file.Rebuild(version.NewStore(st2, acct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := sh2.AdoptTable(rebuilt)
+	if len(caps) != 1 {
+		t.Fatalf("recovered %d files, want 1", len(caps))
+	}
+	srv2 := server.New(sh2, nil)
+	for _, fcap2 := range caps {
+		v2, err := srv2.CreateVersion(fcap2, server.CreateVersionOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, _, err := srv2.ReadPage(v2, page.RootPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(root) != "written before the crash" {
+			t.Fatalf("root after restart = %q", root)
+		}
+		child, _, err := srv2.ReadPage(v2, page.Path{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(child) != "chapter one" {
+			t.Fatalf("page /0 after restart = %q", child)
+		}
+		if err := srv2.Abort(v2); err != nil {
+			t.Fatal(err)
+		}
+		// And the recovered file accepts new committed updates.
+		v3, err := srv2.CreateVersion(fcap2, server.CreateVersionOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv2.WritePage(v3, page.RootPath, []byte("written after recovery")); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv2.Commit(v3); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package segstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record framing. Every mutation of the store — allocate-and-write,
+// write, claim, free, compactor relocation — is one fixed-size record
+// appended to the current segment file:
+//
+//	offset  size  field
+//	0       4     magic "SEG1"
+//	4       1     kind (recData | recFree)
+//	5       3     reserved (zero)
+//	8       4     block number
+//	12      4     owning account
+//	16      8     sequence number (append order, monotonic across segments)
+//	24      4     payload length (≤ block size; rest of payload is zero)
+//	28      4     CRC32 (IEEE) of the whole record with this field zeroed
+//	32      B     payload, zero-padded to the store's block size
+//
+// Fixed-size records make every offset computable from a record index,
+// so the on-open scan needs no length-prefix walking and a torn tail is
+// exactly a trailing region that fails to decode.
+const (
+	recMagic   uint32 = 0x31474553 // "SEG1" little-endian
+	headerSize        = 32
+
+	recData byte = 1 // block contents (alloc, write, claim, relocation)
+	recFree byte = 2 // block deallocation
+)
+
+// Decode failures. A decode error at the tail of the last segment is a
+// torn write and is truncated away on open; anywhere else it is real
+// corruption and aborts the open.
+var (
+	errBadMagic = errors.New("segstore: bad record magic")
+	errBadCRC   = errors.New("segstore: record CRC mismatch")
+	errBadFrame = errors.New("segstore: malformed record header")
+)
+
+// record is one decoded log record.
+type record struct {
+	kind    byte
+	num     uint32
+	account uint32
+	seq     uint64
+	dataLen uint32
+	// data is the zero-padded payload (blockSize bytes) aliasing the
+	// decode buffer; callers copy if they keep it.
+	data []byte
+}
+
+// encodeRecord writes r into buf, which must be recordSize(blockSize)
+// bytes. r.data may be shorter than blockSize; the rest is zero.
+func encodeRecord(buf []byte, blockSize int, r record) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint32(buf[0:], recMagic)
+	buf[4] = r.kind
+	binary.LittleEndian.PutUint32(buf[8:], r.num)
+	binary.LittleEndian.PutUint32(buf[12:], r.account)
+	binary.LittleEndian.PutUint64(buf[16:], r.seq)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(r.data)))
+	copy(buf[headerSize:], r.data)
+	binary.LittleEndian.PutUint32(buf[28:], crc32.ChecksumIEEE(buf))
+}
+
+// decodeRecord parses and verifies one record from buf.
+func decodeRecord(buf []byte, blockSize int) (record, error) {
+	if len(buf) != recordSize(blockSize) {
+		return record{}, errBadFrame
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != recMagic {
+		return record{}, errBadMagic
+	}
+	want := binary.LittleEndian.Uint32(buf[28:])
+	binary.LittleEndian.PutUint32(buf[28:], 0)
+	got := crc32.ChecksumIEEE(buf)
+	binary.LittleEndian.PutUint32(buf[28:], want)
+	if got != want {
+		return record{}, errBadCRC
+	}
+	r := record{
+		kind:    buf[4],
+		num:     binary.LittleEndian.Uint32(buf[8:]),
+		account: binary.LittleEndian.Uint32(buf[12:]),
+		seq:     binary.LittleEndian.Uint64(buf[16:]),
+		dataLen: binary.LittleEndian.Uint32(buf[24:]),
+		data:    buf[headerSize:],
+	}
+	if r.kind != recData && r.kind != recFree {
+		return record{}, errBadFrame
+	}
+	if int(r.dataLen) > blockSize {
+		return record{}, errBadFrame
+	}
+	return r, nil
+}
+
+// recordSize is the on-disk size of one record for a given block size.
+func recordSize(blockSize int) int { return headerSize + blockSize }
+
+// segment is one open segment file. Sealed segments are read-only in
+// practice; only the active (highest-numbered) segment is appended to,
+// and only by the store's writer goroutine.
+type segment struct {
+	id      uint64
+	f       *os.File
+	records int // valid records in the file
+}
+
+// tail is the append offset of the segment.
+func (g *segment) tail(recSize int) int64 { return int64(g.records) * int64(recSize) }
+
+// segName is the file name of segment id.
+func segName(id uint64) string { return fmt.Sprintf("seg-%08d.log", id) }
+
+// segPath is the full path of segment id under dir.
+func segPath(dir string, id uint64) string { return filepath.Join(dir, segName(id)) }
+
+// parseSegName extracts the id from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".log"), 10, 64)
+	if err != nil || id == 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+// listSegments returns the ids of all segment files in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []uint64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := parseSegName(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}

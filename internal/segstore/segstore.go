@@ -1,0 +1,1088 @@
+// Package segstore is the durable block-store backend: a persistent,
+// log-structured implementation of block.Store on the real OS
+// filesystem, in the style of Plan 9's venti and other append-only
+// checksummed block logs.
+//
+// Layout: a store directory holds numbered segment files
+// (seg-00000001.log, ...) of fixed-size records, each framed with the
+// block number, owning account, an append sequence number, the payload
+// and a CRC32 (see segment.go). Every mutation — allocate-and-write,
+// write, claim, free — appends one record; nothing is ever updated in
+// place, so a block write is exactly the paper's §4 "atomic action,
+// with an acknowledgement that is returned after the block has been
+// stored on disk": the acknowledgement is returned after fsync.
+//
+// Open rebuilds the whole in-memory index (block → segment/offset,
+// owner) by scanning the segments in append order; there is no separate
+// metadata file to lose or to keep consistent, and the §4 "list blocks
+// owned by an account" recovery scan falls out of the same pass. A
+// record at the tail of the last segment that fails its CRC is a torn
+// write from a crash and is truncated away — the write was never
+// acknowledged, so discarding it mirrors the simulated disk's
+// lost-unacked-write semantics (disk.Crash).
+//
+// Durability is group-committed: concurrent writers' records are
+// batched by a single writer goroutine and made durable with one fsync
+// per batch, so the per-write fsync cost is amortised across however
+// many writers are in flight (the AsyncFS observation: make the sync
+// path batch-friendly and the hot path stays fast). SyncEach gives
+// strict one-fsync-per-record semantics instead, and SyncNone none at
+// all, for benchmarks.
+//
+// Garbage from superseded records is reclaimed by a compactor that
+// copies a segment's few live records to the log tail and deletes the
+// segment file, running — like the paper's §5.4 garbage collector —
+// "independent of, and in parallel with" normal operation.
+package segstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+)
+
+// Store errors, in addition to the block package's sentinel errors
+// (block.ErrNotAllocated etc.), which this backend returns for the same
+// conditions so errors.Is works identically against either backend.
+var (
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("segstore: closed")
+	// ErrCorrupt reports a record that failed its CRC outside the
+	// truncatable log tail: real media corruption.
+	ErrCorrupt = errors.New("segstore: corrupt")
+	// ErrGeometry reports Open options that contradict the geometry the
+	// store directory was created with.
+	ErrGeometry = errors.New("segstore: geometry mismatch")
+)
+
+// SyncMode selects how write acknowledgements relate to fsync.
+type SyncMode int
+
+const (
+	// SyncGroup (the default) batches concurrent writes into one fsync:
+	// every acknowledged write is durable, and the fsync cost is shared
+	// by the whole batch.
+	SyncGroup SyncMode = iota
+	// SyncEach fsyncs after every single record: the strictest reading
+	// of §4, at one fsync per write.
+	SyncEach
+	// SyncNone never fsyncs (the OS flushes when it pleases); a crash
+	// may lose acknowledged writes. For benchmarks and tests only.
+	SyncNone
+)
+
+// String implements flag.Value-style printing.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncGroup:
+		return "group"
+	case SyncEach:
+		return "each"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncMode(%d)", int(m))
+}
+
+// ParseSyncMode parses "group", "each" or "none".
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "group":
+		return SyncGroup, nil
+	case "each":
+		return SyncEach, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("segstore: unknown sync mode %q (want group, each or none)", s)
+}
+
+// Options configures Open. The zero value is usable.
+type Options struct {
+	// BlockSize is the payload size in bytes (default 4096). Pinned in
+	// the store's meta file at creation; reopening with a different
+	// value fails with ErrGeometry.
+	BlockSize int
+	// SegmentRecords is how many records fill a segment before the log
+	// rolls to a new file (default 1024). Also pinned at creation.
+	SegmentRecords int
+	// Capacity is the number of allocatable block numbers (default
+	// 1<<20). A runtime policy, not persisted: it may grow between
+	// opens.
+	Capacity int
+	// Sync is the durability mode (default SyncGroup).
+	Sync SyncMode
+	// CompactEvery runs the background compactor at this interval; zero
+	// disables it (CompactOnce still works on demand).
+	CompactEvery time.Duration
+	// CompactMinGarbage is the fraction of a sealed segment's records
+	// that must be dead before it is an eligible compaction victim
+	// (default 0.5).
+	CompactMinGarbage float64
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4096
+	}
+	if o.SegmentRecords <= 0 {
+		o.SegmentRecords = 1024
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 1 << 20
+	}
+	if o.CompactMinGarbage <= 0 {
+		o.CompactMinGarbage = 0.5
+	}
+	return o
+}
+
+// Stats counts operations on a Store.
+type Stats struct {
+	// The block.Store operation counters, matching block.Stats.
+	Allocs, Frees, Reads, Writes, Locks, Unlocks uint64
+	LockConflicts                                uint64
+
+	// Group-commit counters: Batches fsync-batches written, holding
+	// BatchRecords records in total, with Syncs actual fsyncs issued.
+	Batches, BatchRecords, Syncs uint64
+
+	// Compaction counters.
+	Compactions, Relocations, SegmentsReclaimed uint64
+
+	// TruncatedBytes is how much torn tail the last Open cut off.
+	TruncatedBytes uint64
+}
+
+// writeReq is one mutation queued to the writer goroutine.
+type writeReq struct {
+	kind    byte // recData or recFree
+	alloc   bool // writer picks the block number
+	onlyIf  *loc // relocation: append only if the index still points here
+	num     block.Num
+	account block.Account
+	data    []byte
+
+	err     error
+	skipped bool // relocation guard failed; not an error
+	done    chan struct{}
+}
+
+// pendState tracks records that are admitted to the log but not yet
+// applied to the index (they sit in the appender→syncer pipeline).
+// Admission decisions consult it so that in-flight, unapplied mutations
+// behave as if already serialised: a write after an in-flight free
+// fails, and a compactor relocation never runs ahead of an in-flight
+// write to the same block.
+type pendState struct {
+	count int  // in-flight records for this block
+	free  bool // one of them is a free
+}
+
+// placement pairs an admitted request with the log position its record
+// was appended at.
+type placement struct {
+	req *writeReq
+	at  loc
+}
+
+// sealedBatch travels from the appender to the syncer: records already
+// written (but not yet fsynced) to the segments in syncSegs. A barrier
+// batch carries no records; the syncer just signals that everything
+// before it has been processed.
+type sealedBatch struct {
+	placed   []placement
+	syncSegs []*segment
+	barrier  chan struct{}
+}
+
+// Store is a durable block store rooted in one directory. It implements
+// block.Store; all methods are safe for concurrent use.
+type Store struct {
+	dir     string
+	opt     Options
+	recSize int
+
+	// mu guards the index, the pending table, the segment table, stats,
+	// and failure state.
+	mu     sync.Mutex
+	idx    *index
+	pend   map[block.Num]pendState
+	segs   map[uint64]*segment
+	active *segment
+	dirf   *os.File // for fsyncing directory entries
+	stats  Stats
+	failed error // sticky first append-path I/O error
+	closed bool
+
+	// seq is the next record sequence number; touched only by Open and
+	// the appender goroutine.
+	seq uint64
+	// lastBatch remembers the previous batch size (appender-only): a
+	// recent multi-writer batch is the signal to hold the next commit
+	// open briefly for stragglers.
+	lastBatch int
+	// pendingBuf is the reused batch encode buffer (appender-only).
+	pendingBuf []byte
+
+	// sendMu guards sends against channel close. Mutations flow
+	// reqs → appender → sealed → syncer; the syncer's exit closes
+	// syncerDone.
+	sendMu     sync.RWMutex
+	reqs       chan *writeReq
+	sealed     chan sealedBatch
+	syncerDone chan struct{}
+
+	stopCompact chan struct{}
+	compactWG   sync.WaitGroup
+	closeOnce   sync.Once
+}
+
+// maxBatch bounds how many queued requests one fsync batch absorbs.
+const maxBatch = 128
+
+// groupWindow is how long a group commit stays open for stragglers
+// once concurrency has been observed. An fsync costs ~100-500µs, so a
+// sub-fsync wait that doubles the batch size is a clear win; a lone
+// sequential writer never pays it (no concurrency signal).
+const groupWindow = 200 * time.Microsecond
+
+// Open opens (creating if necessary) the store in dir and rebuilds the
+// index from the segment files.
+func Open(dir string, opt Options) (*Store, error) {
+	opt = opt.withDefaults()
+	if opt.Capacity > int(block.MaxNum) {
+		return nil, fmt.Errorf("segstore: capacity %d exceeds max block number %d", opt.Capacity, block.MaxNum)
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	dirf, err := os.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	// One process per store: two appenders computing tail offsets
+	// independently would shred the log. The flock dies with the
+	// process, so a crashed owner never wedges the store.
+	if err := lockDir(dirf); err != nil {
+		dirf.Close()
+		return nil, fmt.Errorf("segstore: %s: %w", dir, err)
+	}
+	if err := loadMeta(dir, &opt); err != nil {
+		dirf.Close()
+		return nil, err
+	}
+	s := &Store{
+		dir:        dir,
+		opt:        opt,
+		recSize:    recordSize(opt.BlockSize),
+		idx:        newIndex(),
+		pend:       make(map[block.Num]pendState),
+		segs:       make(map[uint64]*segment),
+		dirf:       dirf,
+		seq:        1,
+		reqs:       make(chan *writeReq, 4*maxBatch),
+		sealed:     make(chan sealedBatch, 4),
+		syncerDone: make(chan struct{}),
+	}
+	if err := s.load(); err != nil {
+		s.closeFiles(false)
+		return nil, err
+	}
+	go s.runAppender()
+	go s.runSyncer()
+	if opt.CompactEvery > 0 {
+		s.stopCompact = make(chan struct{})
+		s.compactWG.Add(1)
+		go s.compactLoop()
+	}
+	return s, nil
+}
+
+// metaName is the geometry pin file: one line of sizes written at store
+// creation. It is not needed for recovery — the index is rebuilt purely
+// from the segments — it only guards against reopening with the wrong
+// record geometry, which would misparse every offset.
+const metaName = "meta"
+
+// loadMeta validates opt against an existing store's meta file, or
+// writes one for a fresh store.
+func loadMeta(dir string, opt *Options) error {
+	raw, err := os.ReadFile(filepath.Join(dir, metaName))
+	if errors.Is(err, os.ErrNotExist) {
+		ids, err := listSegments(dir)
+		if err != nil {
+			return err
+		}
+		if len(ids) > 0 {
+			return fmt.Errorf("segstore: %s has segments but no %s file: %w", dir, metaName, ErrCorrupt)
+		}
+		line := fmt.Sprintf("segstore 1 blocksize %d segrecords %d\n", opt.BlockSize, opt.SegmentRecords)
+		// Fsync the meta content: losing it to a power cut would leave
+		// the store's intact, acknowledged segments unopenable.
+		f, err := os.OpenFile(filepath.Join(dir, metaName), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteString(line); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err != nil {
+		return err
+	}
+	var version, bsize, srecs int
+	if _, err := fmt.Sscanf(string(raw), "segstore %d blocksize %d segrecords %d", &version, &bsize, &srecs); err != nil {
+		return fmt.Errorf("segstore: bad %s file: %w", metaName, err)
+	}
+	if version != 1 {
+		return fmt.Errorf("segstore: %s version %d not supported", metaName, version)
+	}
+	if bsize != opt.BlockSize || srecs != opt.SegmentRecords {
+		return fmt.Errorf("store has blocksize %d segrecords %d, opened with %d and %d: %w",
+			bsize, srecs, opt.BlockSize, opt.SegmentRecords, ErrGeometry)
+	}
+	return nil
+}
+
+// load scans every segment in append order, rebuilding the index, and
+// truncates a torn tail. Only the last segment may legitimately be
+// partial or torn: the writer never appends to segment n+1 before
+// segment n is full and (outside SyncNone) synced.
+func (s *Store) load() error {
+	ids, err := listSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return s.createSegment(1)
+	}
+	for i, id := range ids {
+		f, err := os.OpenFile(segPath(s.dir, id), os.O_RDWR, 0o666)
+		if err != nil {
+			return err
+		}
+		seg := &segment{id: id, f: f}
+		s.segs[id] = seg
+		if err := s.scanSegment(seg, i == len(ids)-1); err != nil {
+			return err
+		}
+	}
+	s.active = s.segs[ids[len(ids)-1]]
+	return nil
+}
+
+// scanSegment replays one segment into the index. isTail marks the last
+// (highest-numbered) segment, where a decode failure is a torn write to
+// truncate rather than corruption.
+func (s *Store) scanSegment(seg *segment, isTail bool) error {
+	info, err := seg.f.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	buf := make([]byte, s.recSize)
+	var off int64
+	for off = 0; off+int64(s.recSize) <= size; off += int64(s.recSize) {
+		if _, err := seg.f.ReadAt(buf, off); err != nil {
+			return fmt.Errorf("segment %d offset %d: %w", seg.id, off, err)
+		}
+		rec, err := decodeRecord(buf, s.opt.BlockSize)
+		if err != nil {
+			if isTail {
+				break
+			}
+			return fmt.Errorf("segment %d offset %d: %v: %w", seg.id, off, err, ErrCorrupt)
+		}
+		switch rec.kind {
+		case recData:
+			s.idx.place(block.Num(rec.num), block.Account(rec.account), loc{seg: seg.id, off: off})
+		case recFree:
+			s.idx.drop(block.Num(rec.num))
+		}
+		if rec.seq >= s.seq {
+			s.seq = rec.seq + 1
+		}
+		seg.records++
+	}
+	if torn := size - off; torn > 0 {
+		if !isTail {
+			return fmt.Errorf("segment %d: %d trailing bytes mid-log: %w", seg.id, torn, ErrCorrupt)
+		}
+		// Everything from the first bad record to EOF is dropped, even
+		// if later slots would decode: the appender writes batch n+1
+		// while batch n is still being fsynced, and a crash can
+		// persist the later batch's pages but not the earlier one's —
+		// so a valid record after a torn one is expected, and nothing
+		// past the tear was ever acknowledged. (The residual risk is
+		// media rot inside the newest segment masquerading as a tear
+		// and silently shortening it; rot in any sealed segment is
+		// caught above.)
+		if err := seg.f.Truncate(off); err != nil {
+			return err
+		}
+		s.stats.TruncatedBytes += uint64(torn)
+	}
+	return nil
+}
+
+// createSegment makes segment id the active segment.
+func (s *Store) createSegment(id uint64) error {
+	f, err := os.OpenFile(segPath(s.dir, id), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return err
+	}
+	if s.opt.Sync != SyncNone {
+		if err := s.dirf.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	seg := &segment{id: id, f: f}
+	s.mu.Lock()
+	s.segs[id] = seg
+	s.active = seg
+	s.mu.Unlock()
+	return nil
+}
+
+// --- the write pipeline ---
+//
+// Mutations flow through two goroutines so the fsync of one batch
+// overlaps the collection and encoding of the next:
+//
+//	clients → reqs → appender (admit, encode, write) → sealed →
+//	syncer (fsync, apply to index, acknowledge)
+//
+// The appender is the sole admission point and the sole log writer, so
+// checks and appends are atomic in log order; the syncer applies
+// batches to the index in that same order, so the in-memory state
+// always equals what a replay of the durable log would rebuild, and a
+// request is acknowledged only after its record is fsynced.
+
+// runAppender collects requests into group-commit batches and appends
+// their records to the log.
+func (s *Store) runAppender() {
+	defer close(s.sealed)
+	for {
+		r, ok := <-s.reqs
+		if !ok {
+			return
+		}
+		batch := []*writeReq{r}
+	fill:
+		for len(batch) < maxBatch {
+			select {
+			case r, ok := <-s.reqs:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, r)
+			default:
+				break fill
+			}
+		}
+		// Group-commit window: if the last batch was bigger than what
+		// the drain caught, some of those writers are still waking
+		// from their acknowledgement — hold the commit open while
+		// their requests are still arriving, so they make this fsync
+		// instead of forcing their own. The wait is arrival-driven: a
+		// yield lets waking writers run and enqueue; once a few
+		// consecutive yields bring nothing new, everyone still out
+		// there is genuinely idle and the batch commits immediately.
+		// (A timer would put a fixed floor under every commit, and
+		// runtime timers are about a millisecond coarse — several
+		// times the fsync this window is trying to amortise.)
+		if s.opt.Sync == SyncGroup && len(batch) < s.lastBatch && len(batch) < maxBatch {
+			deadline := time.Now().Add(groupWindow)
+			idle, spins := 0, 0
+		window:
+			for len(batch) < maxBatch && idle < 32 {
+				select {
+				case r, ok := <-s.reqs:
+					if !ok {
+						break window
+					}
+					batch = append(batch, r)
+					idle = 0
+				default:
+					idle++
+					// The deadline caps the wait when the scheduler
+					// is busy with long-running goroutines; probe the
+					// clock sparsely so the spin does not burn the
+					// CPU the waking writers need.
+					spins++
+					if spins%16 == 0 && !time.Now().Before(deadline) {
+						break window
+					}
+					runtime.Gosched()
+				}
+			}
+		}
+		s.lastBatch = len(batch)
+		s.appendBatch(batch)
+	}
+}
+
+// finish completes one request.
+func finish(r *writeReq, err error) {
+	r.err = err
+	close(r.done)
+}
+
+// pendDone retires one in-flight record. Caller holds s.mu.
+func (s *Store) pendDone(r *writeReq) {
+	p := s.pend[r.num]
+	p.count--
+	if r.kind == recFree {
+		p.free = false
+	}
+	if p.count <= 0 {
+		delete(s.pend, r.num)
+	} else {
+		s.pend[r.num] = p
+	}
+}
+
+// admit decides one request under s.mu, as if all in-flight records had
+// already been applied (the pending table stands in for them). It
+// reports whether the request proceeds to the log; rejected requests
+// are finished here.
+func (s *Store) admit(r *writeReq) bool {
+	switch {
+	case r.alloc:
+		n, err := s.idx.allocNum(r.account, s.opt.Capacity)
+		if err != nil {
+			finish(r, err)
+			return false
+		}
+		r.num = n
+	case r.onlyIf != nil:
+		// Relocation: only while the index still points at the guarded
+		// record AND nothing newer is in flight for the block.
+		e, ok := s.idx.entries[r.num]
+		if s.pend[r.num].count > 0 || !ok || e.loc != *r.onlyIf {
+			r.skipped = true
+			finish(r, nil)
+			return false
+		}
+		r.account = e.owner
+	default:
+		if s.pend[r.num].free {
+			finish(r, fmt.Errorf("block %d: %w", r.num, block.ErrNotAllocated))
+			return false
+		}
+		if err := s.idx.checkOwner(r.account, r.num); err != nil {
+			finish(r, err)
+			return false
+		}
+	}
+	p := s.pend[r.num]
+	p.count++
+	if r.kind == recFree {
+		p.free = true
+	}
+	s.pend[r.num] = p
+	return true
+}
+
+// appendBatch admits one batch and appends its records, sealing them to
+// the syncer. In SyncEach mode every record seals (and so fsyncs)
+// individually; otherwise the whole batch seals at once.
+func (s *Store) appendBatch(batch []*writeReq) {
+	s.mu.Lock()
+	if err := s.failed; err != nil {
+		s.mu.Unlock()
+		for _, r := range batch {
+			finish(r, err)
+		}
+		return
+	}
+	admitted := batch[:0]
+	for _, r := range batch {
+		if s.admit(r) {
+			admitted = append(admitted, r)
+		}
+	}
+	s.mu.Unlock()
+	if len(admitted) == 0 {
+		return
+	}
+
+	if s.pendingBuf == nil {
+		s.pendingBuf = make([]byte, 0, maxBatch*s.recSize)
+	}
+	pending := s.pendingBuf[:0]
+	var placed []placement
+	sealUpTo := 0 // records handed to the syncer so far
+	// fail rolls back and finishes everything not yet sealed; sealed
+	// records are the syncer's to finish.
+	fail := func(err error) {
+		s.mu.Lock()
+		if s.failed == nil {
+			s.failed = err
+		}
+		for _, p := range placed[sealUpTo:] {
+			s.pendDone(p.req)
+			if p.req.alloc {
+				s.idx.drop(p.req.num)
+			}
+		}
+		rest := admitted[len(placed):]
+		for _, r := range rest {
+			s.pendDone(r)
+			if r.alloc {
+				s.idx.drop(r.num)
+			}
+		}
+		s.mu.Unlock()
+		for _, p := range placed[sealUpTo:] {
+			finish(p.req, err)
+		}
+		for _, r := range rest {
+			finish(r, err)
+		}
+	}
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if _, err := s.active.f.WriteAt(pending, s.active.tail(s.recSize)); err != nil {
+			return err
+		}
+		s.active.records += len(pending) / s.recSize
+		pending = pending[:0]
+		return nil
+	}
+	seal := func() {
+		if len(placed) == sealUpTo {
+			return
+		}
+		s.sealed <- sealedBatch{
+			placed:   placed[sealUpTo:len(placed):len(placed)],
+			syncSegs: []*segment{s.active},
+		}
+		sealUpTo = len(placed)
+	}
+	for _, r := range admitted {
+		if s.active.records+len(pending)/s.recSize >= s.opt.SegmentRecords {
+			// Rotate. The invariant load() depends on — segment n+1
+			// has no records unless segment n is full and durable —
+			// requires draining the pipeline and syncing the old
+			// segment before the new one takes its first record.
+			if err := flush(); err != nil {
+				fail(err)
+				return
+			}
+			seal()
+			barrier := make(chan struct{})
+			s.sealed <- sealedBatch{barrier: barrier}
+			<-barrier
+			if s.opt.Sync != SyncNone {
+				if err := s.active.f.Sync(); err != nil {
+					fail(err)
+					return
+				}
+				s.mu.Lock()
+				s.stats.Syncs++
+				s.mu.Unlock()
+			}
+			if err := s.createSegment(s.active.id + 1); err != nil {
+				fail(err)
+				return
+			}
+		}
+		at := loc{seg: s.active.id, off: s.active.tail(s.recSize) + int64(len(pending))}
+		rec := record{kind: r.kind, num: uint32(r.num), account: uint32(r.account), seq: s.seq, data: r.data}
+		s.seq++
+		start := len(pending)
+		pending = pending[:start+s.recSize]
+		encodeRecord(pending[start:], s.opt.BlockSize, rec)
+		placed = append(placed, placement{req: r, at: at})
+		if s.opt.Sync == SyncEach {
+			if err := flush(); err != nil {
+				fail(err)
+				return
+			}
+			seal()
+		}
+	}
+	if err := flush(); err != nil {
+		fail(err)
+		return
+	}
+	seal()
+}
+
+// runSyncer makes sealed batches durable, applies them to the index in
+// log order, and acknowledges their requests.
+func (s *Store) runSyncer() {
+	defer close(s.syncerDone)
+	for sb := range s.sealed {
+		if sb.barrier != nil {
+			close(sb.barrier)
+			continue
+		}
+		s.mu.Lock()
+		err := s.failed
+		s.mu.Unlock()
+		if err == nil && s.opt.Sync != SyncNone {
+			for _, seg := range sb.syncSegs {
+				if serr := seg.f.Sync(); serr != nil {
+					err = serr
+					break
+				}
+			}
+		}
+		if err != nil {
+			s.mu.Lock()
+			if s.failed == nil {
+				s.failed = err
+			}
+			for _, p := range sb.placed {
+				s.pendDone(p.req)
+				if p.req.alloc {
+					s.idx.drop(p.req.num)
+				}
+			}
+			s.mu.Unlock()
+			for _, p := range sb.placed {
+				finish(p.req, err)
+			}
+			continue
+		}
+		s.mu.Lock()
+		for _, p := range sb.placed {
+			switch {
+			case p.req.kind == recFree:
+				s.idx.drop(p.req.num)
+				s.stats.Frees++
+			case p.req.alloc:
+				s.idx.place(p.req.num, p.req.account, p.at)
+				s.stats.Allocs++
+			case p.req.onlyIf != nil:
+				s.idx.place(p.req.num, p.req.account, p.at)
+				s.stats.Relocations++
+			default:
+				s.idx.place(p.req.num, p.req.account, p.at)
+				s.stats.Writes++
+			}
+			s.pendDone(p.req)
+		}
+		s.stats.Batches++
+		s.stats.BatchRecords += uint64(len(sb.placed))
+		if s.opt.Sync != SyncNone {
+			s.stats.Syncs += uint64(len(sb.syncSegs))
+		}
+		s.mu.Unlock()
+		for _, p := range sb.placed {
+			finish(p.req, nil)
+		}
+	}
+}
+
+// send queues r to the writer; wait for r.done before reading r.err.
+func (s *Store) send(r *writeReq) error {
+	s.sendMu.RLock()
+	defer s.sendMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.reqs <- r
+	return nil
+}
+
+// submit queues r and waits for its outcome.
+func (s *Store) submit(r *writeReq) error {
+	r.done = make(chan struct{})
+	if err := s.send(r); err != nil {
+		return err
+	}
+	<-r.done
+	return r.err
+}
+
+// --- block.Store ---
+
+// BlockSize implements block.Store.
+func (s *Store) BlockSize() int { return s.opt.BlockSize }
+
+// checkData validates a payload size.
+func (s *Store) checkData(data []byte) error {
+	if len(data) > s.opt.BlockSize {
+		return fmt.Errorf("segstore: %d bytes into %d-byte block", len(data), s.opt.BlockSize)
+	}
+	return nil
+}
+
+// Alloc implements block.Store: it allocates a fresh block, appends its
+// first record, and acknowledges once the record is durable.
+func (s *Store) Alloc(account block.Account, data []byte) (block.Num, error) {
+	if err := s.checkData(data); err != nil {
+		return block.NilNum, err
+	}
+	r := &writeReq{kind: recData, alloc: true, account: account, data: data}
+	if err := s.submit(r); err != nil {
+		return block.NilNum, err
+	}
+	return r.num, nil
+}
+
+// Claim allocates a specific block number, failing if it is taken — the
+// same companion-pair operation block.Server has. Durable: a claim
+// appends an empty data record.
+func (s *Store) Claim(account block.Account, n block.Num) error {
+	if n == block.NilNum || int(n) > s.opt.Capacity {
+		return fmt.Errorf("segstore: block %d out of range 1..%d", n, s.opt.Capacity)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if err := s.idx.reserve(account, n); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Unlock()
+	if err := s.submit(&writeReq{kind: recData, num: n, account: account}); err != nil {
+		s.mu.Lock()
+		if e, ok := s.idx.entries[n]; ok && e.loc == (loc{}) {
+			s.idx.drop(n)
+		}
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Free implements block.Store: durable once the free record is synced.
+func (s *Store) Free(account block.Account, n block.Num) error {
+	return s.submit(&writeReq{kind: recFree, num: n, account: account})
+}
+
+// Read implements block.Store. The payload is CRC-checked on every
+// read, so media corruption surfaces as ErrCorrupt rather than as
+// silently wrong data.
+func (s *Store) Read(account block.Account, n block.Num) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if err := s.idx.checkOwner(account, n); err != nil {
+		return nil, err
+	}
+	s.stats.Reads++
+	e := s.idx.entries[n]
+	if e.loc == (loc{}) {
+		// Reserved by a Claim (or an Alloc still in flight): no record
+		// yet, so the block reads as zeroes like a never-written disk
+		// block.
+		return make([]byte, s.opt.BlockSize), nil
+	}
+	return s.readRecord(n, e.loc)
+}
+
+// readRecord loads and verifies the record at l; caller holds s.mu.
+func (s *Store) readRecord(n block.Num, l loc) ([]byte, error) {
+	seg, ok := s.segs[l.seg]
+	if !ok {
+		return nil, fmt.Errorf("block %d: segment %d missing: %w", n, l.seg, ErrCorrupt)
+	}
+	buf := make([]byte, s.recSize)
+	if _, err := seg.f.ReadAt(buf, l.off); err != nil {
+		return nil, fmt.Errorf("block %d: %w", n, err)
+	}
+	rec, err := decodeRecord(buf, s.opt.BlockSize)
+	if err != nil {
+		return nil, fmt.Errorf("block %d (segment %d offset %d): %v: %w", n, l.seg, l.off, err, ErrCorrupt)
+	}
+	if block.Num(rec.num) != n || rec.kind != recData {
+		return nil, fmt.Errorf("block %d (segment %d offset %d): record names block %d: %w", n, l.seg, l.off, rec.num, ErrCorrupt)
+	}
+	return rec.data, nil
+}
+
+// Write implements block.Store: acknowledged only once the record is
+// durable (per the store's SyncMode).
+func (s *Store) Write(account block.Account, n block.Num, data []byte) error {
+	if err := s.checkData(data); err != nil {
+		return err
+	}
+	return s.submit(&writeReq{kind: recData, num: n, account: account, data: data})
+}
+
+// Lock implements block.Store. Lock bits are volatile (§5.2 commit
+// critical-section state): a restart clears them, as block servers do
+// after a crash.
+func (s *Store) Lock(account block.Account, n block.Num) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.idx.checkOwner(account, n); err != nil {
+		return err
+	}
+	e := s.idx.entries[n]
+	if e.locked {
+		s.stats.LockConflicts++
+		return fmt.Errorf("block %d: %w", n, block.ErrLocked)
+	}
+	e.locked = true
+	s.idx.entries[n] = e
+	s.stats.Locks++
+	return nil
+}
+
+// Unlock implements block.Store.
+func (s *Store) Unlock(account block.Account, n block.Num) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.idx.checkOwner(account, n); err != nil {
+		return err
+	}
+	e := s.idx.entries[n]
+	if !e.locked {
+		return fmt.Errorf("block %d: %w", n, block.ErrNotLocked)
+	}
+	e.locked = false
+	s.idx.entries[n] = e
+	s.stats.Unlocks++
+	return nil
+}
+
+// Recover implements block.Store: the §4 recovery scan, straight off
+// the rebuilt index.
+func (s *Store) Recover(account block.Account) ([]block.Num, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.recover(account), nil
+}
+
+var _ block.Store = (*Store)(nil)
+
+// --- management ---
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Capacity returns the number of allocatable blocks.
+func (s *Store) Capacity() int { return s.opt.Capacity }
+
+// InUse returns the number of currently allocated blocks.
+func (s *Store) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx.entries)
+}
+
+// Segments returns the number of live segment files.
+func (s *Store) Segments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segs)
+}
+
+// Stats returns a snapshot of the operation counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Owners returns a copy of the allocation table, for companion-style
+// recovery (parity with block.Server).
+func (s *Store) Owners() map[block.Num]block.Account {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.owners()
+}
+
+// ClearLocks drops every lock bit (parity with block.Server; Open
+// already starts with all locks clear).
+func (s *Store) ClearLocks() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.clearLocks()
+}
+
+// Close stops the compactor and the writer, syncs and closes every
+// segment file. Acknowledged writes are already durable (outside
+// SyncNone), so Close after a crash is unnecessary — that is the point
+// of the store.
+func (s *Store) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		if s.stopCompact != nil {
+			close(s.stopCompact)
+			s.compactWG.Wait()
+		}
+		s.markClosed()
+		<-s.syncerDone
+		err = s.closeFiles(true)
+	})
+	return err
+}
+
+// Abandon simulates a process crash, for tests and demos that reopen
+// the directory in the same process: every file handle is closed
+// immediately — releasing the directory lock — with no flush, no
+// drain, no goodbye. In-flight unacknowledged operations fail as they
+// would in a real crash; acknowledged writes are already on disk. (A
+// genuinely killed process needs no call at all.)
+func (s *Store) Abandon() {
+	s.closeOnce.Do(func() {
+		if s.stopCompact != nil {
+			close(s.stopCompact) // do not wait: a crash waits for nothing
+		}
+		s.markClosed()
+		s.closeFiles(false)
+	})
+}
+
+// markClosed rejects new work and stops the pipeline. closed is read
+// under sendMu by send and under mu by everything else, so the write
+// holds both.
+func (s *Store) markClosed() {
+	s.sendMu.Lock()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	close(s.reqs)
+	s.sendMu.Unlock()
+}
+
+// closeFiles closes all file handles, syncing first if asked.
+func (s *Store) closeFiles(sync bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, seg := range s.segs {
+		if sync {
+			if err := seg.f.Sync(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.dirf != nil {
+		if err := s.dirf.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

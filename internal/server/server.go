@@ -115,6 +115,30 @@ func NewShared(store block.Store, acct block.Account) *Shared {
 	}
 }
 
+// AdoptTable installs a rebuilt file table (file.Rebuild) into a fresh
+// service instance after a process restart. The old capability secrets
+// died with the crashed process, so each recovered file gets a fresh
+// owner capability minted under this service's factory; the object
+// counter advances past the recovered objects so new files cannot
+// collide. The returned map hands the new owner capabilities to whoever
+// drives the recovery (in Amoeba the secrets would live in the
+// replicated file table itself and capabilities would survive).
+func (sh *Shared) AdoptTable(t *file.Table) map[uint32]capability.Capability {
+	out := make(map[uint32]capability.Capability)
+	for obj, e := range t.Entries() {
+		c := sh.Fact.Register(obj)
+		e.Cap = c
+		sh.Table.Put(obj, e)
+		out[obj] = c
+		sh.mu.Lock()
+		if obj > sh.nextObj {
+			sh.nextObj = obj
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // newObject reserves a fresh object number and mints its owner
 // capability.
 func (sh *Shared) newObject() (uint32, capability.Capability) {

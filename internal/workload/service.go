@@ -24,6 +24,13 @@ func newService(blocks, blockSize int) (*server.Server, error) {
 	return server.New(sh, nil), nil
 }
 
+// NewServiceOn wires a single-process file service over an existing
+// block store — how benches and tests run the service on a durable
+// backend (segstore) instead of the simulated disk.
+func NewServiceOn(st block.Store) *server.Server {
+	return server.New(server.NewShared(st, 1), nil)
+}
+
 // NewLockStore builds the locking baseline over a fresh disk of the same
 // geometry. The wait timeout must comfortably exceed transaction hold
 // times so that blocked transactions wait for the holder instead of
