@@ -338,10 +338,16 @@ type Version struct {
 	inner *client.Version
 }
 
-// Read returns the data and child count of the page at p.
+// Read returns the data and child count of the page at p. The returned
+// slice may be shared with the client cache; treat it as read-only.
 func (v *Version) Read(p Path) (data []byte, children int, err error) {
 	return v.inner.Read(p)
 }
+
+// Prefetch warms the client cache with the page at p and its subtree in
+// one round trip; subsequent Reads of those pages move flags only, no
+// data. Returns the number of pages cached.
+func (v *Version) Prefetch(p Path) (int, error) { return v.inner.Prefetch(p) }
 
 // Write replaces the data of the page at p.
 func (v *Version) Write(p Path, data []byte) error { return v.inner.Write(p, data) }

@@ -104,6 +104,7 @@ func runE10() error {
 				perSync = fmt.Sprintf("%.1f", float64(writers*writesPerWriter)/float64(fsyncs))
 			}
 			row(b.name, writers, thpt, perWrite, fsyncs, perSync)
+			record("e10", fmt.Sprintf("%s_writes_per_sec_%dw", b.name, writers), thpt)
 			switch b.name {
 			case "mem":
 				memBase[writers] = thpt
@@ -161,6 +162,7 @@ func runE10() error {
 		}
 		elapsed := time.Since(start)
 		row(blocks, segs, float64(elapsed.Microseconds())/1000, st2.InUse())
+		record("e10", fmt.Sprintf("reopen_ms_%drecords", blocks), float64(elapsed.Microseconds())/1000)
 		st2.Close()
 		os.RemoveAll(dir)
 	}

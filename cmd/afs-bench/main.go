@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -35,12 +36,28 @@ var experiments = []experiment{
 	{"e8", "E8 (§4): paired block servers (stable storage)", runE8},
 	{"e9", "E9 (§3.1, §5.4.1): crash recovery work", runE9},
 	{"e10", "E10 (§4): durable block store — group commit vs RAM disk", runE10},
+	{"e11", "E11: batched block I/O — round trips, fsyncs and throughput", runE11},
 	{"fig2", "Fig. 2: the file system is a tree of trees", runFig2},
 	{"fig4", "Fig. 4: the family tree of a file", runFig4},
 }
 
+// metrics collects machine-readable per-experiment numbers; -json dumps
+// them to BENCH.json so the perf trajectory is trackable across PRs.
+var metrics = map[string]map[string]float64{}
+
+// record stores one number for experiment exp.
+func record(exp, key string, v float64) {
+	m, ok := metrics[exp]
+	if !ok {
+		m = map[string]float64{}
+		metrics[exp] = m
+	}
+	m[key] = v
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e10, fig2, fig4, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e11, fig2, fig4, all)")
+	jsonOut := flag.Bool("json", false, "write recorded per-experiment numbers to BENCH.json")
 	flag.Parse()
 
 	want := strings.ToLower(*exp)
@@ -63,6 +80,26 @@ func main() {
 		sort.Strings(names)
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; have %s, all\n", *exp, strings.Join(names, ", "))
 		os.Exit(2)
+	}
+	if *jsonOut {
+		// Merge over an existing BENCH.json so partial runs (-exp e11)
+		// refresh only their own numbers.
+		merged := map[string]map[string]float64{}
+		if old, err := os.ReadFile("BENCH.json"); err == nil {
+			_ = json.Unmarshal(old, &merged)
+		}
+		for exp, m := range metrics {
+			merged[exp] = m
+		}
+		blob, err := json.MarshalIndent(merged, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal BENCH.json: %v", err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile("BENCH.json", blob, 0o666); err != nil {
+			log.Fatalf("write BENCH.json: %v", err)
+		}
+		fmt.Printf("\nwrote BENCH.json (%d experiments recorded this run)\n", len(metrics))
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/disk"
 )
@@ -93,17 +94,37 @@ type Store interface {
 	Recover(account Account) ([]Num, error)
 }
 
-// Server is a single block server backed by one simulated disk.
-type Server struct {
-	d *disk.Disk
+// numShards is the lock-stripe count. Block state is sharded by number
+// so multi-block operations and concurrent single operations on
+// different blocks never serialise on one mutex; 64 stripes keeps the
+// per-stripe footprint trivial while making collisions rare even at
+// high fan-in. Must be a power of two.
+const numShards = 64
 
+// shard holds the allocation and lock state for the block numbers that
+// hash to it.
+type shard struct {
 	mu     sync.Mutex
 	owner  map[Num]Account
 	locked map[Num]bool
+}
+
+// Server is a single block server backed by one simulated disk. Block
+// state (owner, lock bit) is striped across numShards independently
+// locked shards; allocation scans serialise only on allocMu, never on
+// readers or writers of existing blocks.
+type Server struct {
+	d *disk.Disk
+
+	shards [numShards]shard
+
+	// allocMu serialises allocation scans and the hint; the scan still
+	// takes each probed shard's lock to claim the number.
+	allocMu sync.Mutex
 	// nextHint speeds allocation scans; correctness does not depend on it.
 	nextHint Num
 
-	stats Stats
+	stats counters
 }
 
 // Stats counts operations on a Server.
@@ -112,14 +133,25 @@ type Stats struct {
 	LockConflicts                                uint64
 }
 
+// counters is the lock-free internal form of Stats.
+type counters struct {
+	allocs, frees, reads, writes, locks, unlocks atomic.Uint64
+	lockConflicts                                atomic.Uint64
+}
+
+// shardOf returns the shard owning block n.
+func (s *Server) shardOf(n Num) *shard {
+	return &s.shards[n&(numShards-1)]
+}
+
 // NewServer creates a block server on d. Block 0 is reserved as NilNum.
 func NewServer(d *disk.Disk) *Server {
-	return &Server{
-		d:        d,
-		owner:    make(map[Num]Account),
-		locked:   make(map[Num]bool),
-		nextHint: 1,
+	s := &Server{d: d, nextHint: 1}
+	for i := range s.shards {
+		s.shards[i].owner = make(map[Num]Account)
+		s.shards[i].locked = make(map[Num]bool)
 	}
+	return s
 }
 
 // BlockSize implements Store.
@@ -130,23 +162,35 @@ func (s *Server) Capacity() int { return s.d.Geometry().Blocks - 1 }
 
 // InUse returns the number of currently allocated blocks.
 func (s *Server) InUse() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.owner)
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += len(sh.owner)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // Stats returns a snapshot of the operation counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Allocs:        s.stats.allocs.Load(),
+		Frees:         s.stats.frees.Load(),
+		Reads:         s.stats.reads.Load(),
+		Writes:        s.stats.writes.Load(),
+		Locks:         s.stats.locks.Load(),
+		Unlocks:       s.stats.unlocks.Load(),
+		LockConflicts: s.stats.lockConflicts.Load(),
+	}
 }
 
 // Disk exposes the underlying disk for fault injection in tests and the
 // failure-mode benchmarks.
 func (s *Server) Disk() *disk.Disk { return s.d }
 
-// allocNum reserves the next free block number. Caller holds s.mu.
+// allocNum reserves the next free block number, claiming it in its
+// shard. Caller holds s.allocMu.
 func (s *Server) allocNum(account Account) (Num, error) {
 	total := Num(s.d.Geometry().Blocks)
 	if total > MaxNum {
@@ -157,8 +201,14 @@ func (s *Server) allocNum(account Account) (Num, error) {
 		if n == NilNum {
 			continue
 		}
-		if _, used := s.owner[n]; !used {
-			s.owner[n] = account
+		sh := s.shardOf(n)
+		sh.mu.Lock()
+		_, used := sh.owner[n]
+		if !used {
+			sh.owner[n] = account
+		}
+		sh.mu.Unlock()
+		if !used {
 			s.nextHint = n + 1
 			return n, nil
 		}
@@ -166,9 +216,9 @@ func (s *Server) allocNum(account Account) (Num, error) {
 	return NilNum, ErrNoSpace
 }
 
-// checkOwner verifies account owns n. Caller holds s.mu.
-func (s *Server) checkOwner(account Account, n Num) error {
-	own, ok := s.owner[n]
+// checkOwner verifies account owns n in sh. Caller holds sh.mu.
+func (sh *shard) checkOwner(account Account, n Num) error {
+	own, ok := sh.owner[n]
 	if !ok {
 		return fmt.Errorf("block %d: %w", n, ErrNotAllocated)
 	}
@@ -178,21 +228,27 @@ func (s *Server) checkOwner(account Account, n Num) error {
 	return nil
 }
 
+// unclaim releases a number reserved by allocNum whose data write
+// failed.
+func (s *Server) unclaim(n Num) {
+	sh := s.shardOf(n)
+	sh.mu.Lock()
+	delete(sh.owner, n)
+	sh.mu.Unlock()
+}
+
 // Alloc implements Store.
 func (s *Server) Alloc(account Account, data []byte) (Num, error) {
-	s.mu.Lock()
+	s.allocMu.Lock()
 	n, err := s.allocNum(account)
+	s.allocMu.Unlock()
 	if err != nil {
-		s.mu.Unlock()
 		return NilNum, err
 	}
-	s.stats.Allocs++
-	s.mu.Unlock()
+	s.stats.allocs.Add(1)
 
 	if err := s.d.Write(int(n), data); err != nil {
-		s.mu.Lock()
-		delete(s.owner, n)
-		s.mu.Unlock()
+		s.unclaim(n)
 		return NilNum, fmt.Errorf("block %d: %w", n, err)
 	}
 	return n, nil
@@ -206,94 +262,103 @@ func (s *Server) Claim(account Account, n Num) error {
 	if n == NilNum || int(n) >= s.d.Geometry().Blocks {
 		return fmt.Errorf("block %d: %w", n, disk.ErrBadBlock)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, used := s.owner[n]; used {
+	sh := s.shardOf(n)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, used := sh.owner[n]; used {
 		return fmt.Errorf("block %d: already allocated", n)
 	}
-	s.owner[n] = account
-	s.stats.Allocs++
+	sh.owner[n] = account
+	s.stats.allocs.Add(1)
 	return nil
 }
 
 // Free implements Store.
 func (s *Server) Free(account Account, n Num) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.checkOwner(account, n); err != nil {
+	sh := s.shardOf(n)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.checkOwner(account, n); err != nil {
 		return err
 	}
-	delete(s.owner, n)
-	delete(s.locked, n)
-	s.stats.Frees++
+	delete(sh.owner, n)
+	delete(sh.locked, n)
+	s.stats.frees.Add(1)
 	return nil
 }
 
 // Read implements Store.
 func (s *Server) Read(account Account, n Num) ([]byte, error) {
-	s.mu.Lock()
-	if err := s.checkOwner(account, n); err != nil {
-		s.mu.Unlock()
+	sh := s.shardOf(n)
+	sh.mu.Lock()
+	err := sh.checkOwner(account, n)
+	sh.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
-	s.stats.Reads++
-	s.mu.Unlock()
+	s.stats.reads.Add(1)
 	return s.d.Read(int(n))
 }
 
 // Write implements Store.
 func (s *Server) Write(account Account, n Num, data []byte) error {
-	s.mu.Lock()
-	if err := s.checkOwner(account, n); err != nil {
-		s.mu.Unlock()
+	sh := s.shardOf(n)
+	sh.mu.Lock()
+	err := sh.checkOwner(account, n)
+	sh.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	s.stats.Writes++
-	s.mu.Unlock()
+	s.stats.writes.Add(1)
 	return s.d.Write(int(n), data)
 }
 
 // Lock implements Store. A failed Lock is the §5.2 signal that another
 // server is inside the commit critical section for this version page.
 func (s *Server) Lock(account Account, n Num) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.checkOwner(account, n); err != nil {
+	sh := s.shardOf(n)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.checkOwner(account, n); err != nil {
 		return err
 	}
-	if s.locked[n] {
-		s.stats.LockConflicts++
+	if sh.locked[n] {
+		s.stats.lockConflicts.Add(1)
 		return fmt.Errorf("block %d: %w", n, ErrLocked)
 	}
-	s.locked[n] = true
-	s.stats.Locks++
+	sh.locked[n] = true
+	s.stats.locks.Add(1)
 	return nil
 }
 
 // Unlock implements Store.
 func (s *Server) Unlock(account Account, n Num) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.checkOwner(account, n); err != nil {
+	sh := s.shardOf(n)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.checkOwner(account, n); err != nil {
 		return err
 	}
-	if !s.locked[n] {
+	if !sh.locked[n] {
 		return fmt.Errorf("block %d: %w", n, ErrNotLocked)
 	}
-	delete(s.locked, n)
-	s.stats.Unlocks++
+	delete(sh.locked, n)
+	s.stats.unlocks.Add(1)
 	return nil
 }
 
 // Recover implements Store: the §4 recovery scan.
 func (s *Server) Recover(account Account) ([]Num, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []Num
-	for n, a := range s.owner {
-		if a == account {
-			out = append(out, n)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for n, a := range sh.owner {
+			if a == account {
+				out = append(out, n)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
@@ -302,33 +367,133 @@ func (s *Server) Recover(account Account) ([]Num, error) {
 // ClearLocks drops every lock bit; used when a file server restarts after
 // a crash (lock bits are volatile commit-section state, not file state).
 func (s *Server) ClearLocks() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.locked = make(map[Num]bool)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.locked = make(map[Num]bool)
+		sh.mu.Unlock()
+	}
 }
 
 var _ Store = (*Server)(nil)
+var _ MultiStore = (*Server)(nil)
+
+// ReadMulti implements MultiStore (all-or-nothing, see the contract).
+func (s *Server) ReadMulti(account Account, ns []Num) ([][]byte, error) {
+	out := make([][]byte, len(ns))
+	for i, n := range ns {
+		sh := s.shardOf(n)
+		sh.mu.Lock()
+		err := sh.checkOwner(account, n)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("multi read %d/%d: %w", i, len(ns), err)
+		}
+		data, err := s.d.Read(int(n))
+		if err != nil {
+			return nil, fmt.Errorf("multi read %d/%d: %w", i, len(ns), err)
+		}
+		out[i] = data
+	}
+	s.stats.reads.Add(uint64(len(ns)))
+	return out, nil
+}
+
+// WriteMulti implements MultiStore (per-block independence, first error
+// returned).
+func (s *Server) WriteMulti(account Account, ns []Num, data [][]byte) error {
+	if len(ns) != len(data) {
+		return errMultiShape
+	}
+	var first error
+	for i, n := range ns {
+		sh := s.shardOf(n)
+		sh.mu.Lock()
+		err := sh.checkOwner(account, n)
+		sh.mu.Unlock()
+		if err == nil {
+			s.stats.writes.Add(1)
+			err = s.d.Write(int(n), data[i])
+		}
+		if err != nil && first == nil {
+			first = fmt.Errorf("multi write %d/%d: %w", i, len(ns), err)
+		}
+	}
+	return first
+}
+
+// AllocMulti implements MultiStore (all-or-nothing: a failure frees the
+// blocks allocated so far).
+func (s *Server) AllocMulti(account Account, data [][]byte) ([]Num, error) {
+	// One trip through the allocator for all numbers, then the data
+	// writes outside any lock.
+	out := make([]Num, 0, len(data))
+	s.allocMu.Lock()
+	for range data {
+		n, err := s.allocNum(account)
+		if err != nil {
+			s.allocMu.Unlock()
+			for _, got := range out {
+				s.unclaim(got)
+			}
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	s.allocMu.Unlock()
+	for i, n := range out {
+		if err := s.d.Write(int(n), data[i]); err != nil {
+			for _, got := range out {
+				s.unclaim(got)
+			}
+			return nil, fmt.Errorf("multi alloc %d/%d (block %d): %w", i, len(data), n, err)
+		}
+	}
+	s.stats.allocs.Add(uint64(len(out)))
+	return out, nil
+}
+
+// FreeMulti implements MultiStore (per-block independence, first error
+// returned).
+func (s *Server) FreeMulti(account Account, ns []Num) error {
+	var first error
+	for i, n := range ns {
+		if err := s.Free(account, n); err != nil && first == nil {
+			first = fmt.Errorf("multi free %d/%d: %w", i, len(ns), err)
+		}
+	}
+	return first
+}
 
 // Restore rebuilds the allocation table from an owner map, as a block
 // server does after a crash from its companion's notes plus client
 // redundancy data. Existing state is replaced.
 func (s *Server) Restore(owner map[Num]Account) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.owner = make(map[Num]Account, len(owner))
-	for n, a := range owner {
-		s.owner[n] = a
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.owner = make(map[Num]Account)
+		sh.locked = make(map[Num]bool)
+		sh.mu.Unlock()
 	}
-	s.locked = make(map[Num]bool)
+	for n, a := range owner {
+		sh := s.shardOf(n)
+		sh.mu.Lock()
+		sh.owner[n] = a
+		sh.mu.Unlock()
+	}
 }
 
 // Owners returns a copy of the allocation table, for companion recovery.
 func (s *Server) Owners() map[Num]Account {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[Num]Account, len(s.owner))
-	for n, a := range s.owner {
-		out[n] = a
+	out := make(map[Num]Account)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for n, a := range sh.owner {
+			out[n] = a
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }

@@ -1,0 +1,130 @@
+package block
+
+import "fmt"
+
+// Multi-block operations. Every page touch in the file service is one
+// block operation, and over a network transport one operation is one
+// framed round trip; a copy-on-write flush of an N-page subtree costs
+// O(N) trips. MultiStore collapses that to O(1) operations (chunked by
+// the transport's frame limit where one applies).
+//
+// MultiStore is optional: backends that can batch natively (the
+// in-memory Server, segstore, the RPC proxy) implement it; everything
+// else (the stable-storage pairs, test doubles) is covered by the
+// package-level adapter functions, which fall back to a per-block loop
+// with identical semantics. Consumers therefore never type-assert —
+// they call block.ReadMulti(st, ...) and friends on any Store.
+//
+// The partial-failure contract, which native implementations and the
+// loop adapters must agree on (the mem-vs-seg contract tests enforce
+// it):
+//
+//   - ReadMulti is all-or-nothing: it returns the contents of every
+//     listed block, or (nil, err) for the first (lowest-index) failure.
+//     Reads modify no per-block state either way.
+//   - WriteMulti attempts every block in order; each block's write
+//     succeeds or fails independently, exactly as a lone Write would.
+//     The returned error is the first failure (identifying its block);
+//     blocks whose write succeeded hold their new contents even when
+//     the operation overall reports an error.
+//   - AllocMulti is all-or-nothing: either every payload is stored in a
+//     fresh block (numbers returned in payload order) or no new blocks
+//     remain allocated — allocations made before the failure are freed
+//     (best effort) before the error returns.
+//   - FreeMulti is like WriteMulti: every block is attempted in order,
+//     the first error is returned, and the other listed blocks are
+//     still freed.
+type MultiStore interface {
+	Store
+	// ReadMulti returns the contents of the listed blocks, in order.
+	ReadMulti(account Account, ns []Num) ([][]byte, error)
+	// WriteMulti replaces the contents of the listed blocks, in order.
+	WriteMulti(account Account, ns []Num, data [][]byte) error
+	// AllocMulti allocates one fresh block per payload, in order.
+	AllocMulti(account Account, data [][]byte) ([]Num, error)
+	// FreeMulti releases the listed blocks, in order.
+	FreeMulti(account Account, ns []Num) error
+}
+
+// ErrMultiShape reports mismatched argument slices.
+var errMultiShape = fmt.Errorf("block: multi op with mismatched slice lengths")
+
+// ReadMulti reads the listed blocks from st, using the native multi
+// operation when st has one and a per-block loop otherwise.
+func ReadMulti(st Store, account Account, ns []Num) ([][]byte, error) {
+	if len(ns) == 0 {
+		return nil, nil
+	}
+	if ms, ok := st.(MultiStore); ok {
+		return ms.ReadMulti(account, ns)
+	}
+	out := make([][]byte, len(ns))
+	for i, n := range ns {
+		data, err := st.Read(account, n)
+		if err != nil {
+			return nil, fmt.Errorf("multi read %d/%d: %w", i, len(ns), err)
+		}
+		out[i] = data
+	}
+	return out, nil
+}
+
+// WriteMulti writes the listed blocks on st per the MultiStore contract.
+func WriteMulti(st Store, account Account, ns []Num, data [][]byte) error {
+	if len(ns) != len(data) {
+		return errMultiShape
+	}
+	if len(ns) == 0 {
+		return nil
+	}
+	if ms, ok := st.(MultiStore); ok {
+		return ms.WriteMulti(account, ns, data)
+	}
+	var first error
+	for i, n := range ns {
+		if err := st.Write(account, n, data[i]); err != nil && first == nil {
+			first = fmt.Errorf("multi write %d/%d: %w", i, len(ns), err)
+		}
+	}
+	return first
+}
+
+// AllocMulti allocates one block per payload on st per the MultiStore
+// contract (all-or-nothing).
+func AllocMulti(st Store, account Account, data [][]byte) ([]Num, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	if ms, ok := st.(MultiStore); ok {
+		return ms.AllocMulti(account, data)
+	}
+	out := make([]Num, 0, len(data))
+	for i, d := range data {
+		n, err := st.Alloc(account, d)
+		if err != nil {
+			for _, got := range out {
+				_ = st.Free(account, got) // best-effort rollback
+			}
+			return nil, fmt.Errorf("multi alloc %d/%d: %w", i, len(data), err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// FreeMulti frees the listed blocks on st per the MultiStore contract.
+func FreeMulti(st Store, account Account, ns []Num) error {
+	if len(ns) == 0 {
+		return nil
+	}
+	if ms, ok := st.(MultiStore); ok {
+		return ms.FreeMulti(account, ns)
+	}
+	var first error
+	for i, n := range ns {
+		if err := st.Free(account, n); err != nil && first == nil {
+			first = fmt.Errorf("multi free %d/%d: %w", i, len(ns), err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,302 @@
+package block
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/capability"
+	"repro/internal/disk"
+	"repro/internal/rpc"
+)
+
+// opaque hides a Store's native multi operations: its method set is
+// exactly Store, so the package-level helpers must take the loop
+// fallback. The MultiStore contract requires the fallback and any
+// native implementation to be indistinguishable.
+type opaque struct{ Store }
+
+func newMulti(t *testing.T, blocks, blockSize int) *Server {
+	t.Helper()
+	return NewServer(disk.MustNew(disk.Geometry{Blocks: blocks, BlockSize: blockSize}))
+}
+
+// eachWay runs fn against a native MultiStore and against the same
+// backend wrapped so only the adapter path is available.
+func eachWay(t *testing.T, fn func(t *testing.T, st Store)) {
+	t.Helper()
+	t.Run("native", func(t *testing.T) {
+		srv := newMulti(t, 128, 256)
+		if _, ok := Store(srv).(MultiStore); !ok {
+			t.Fatal("Server should be a native MultiStore")
+		}
+		fn(t, srv)
+	})
+	t.Run("adapter", func(t *testing.T) {
+		srv := newMulti(t, 128, 256)
+		st := opaque{srv}
+		if _, ok := Store(st).(MultiStore); ok {
+			t.Fatal("opaque wrapper must not expose MultiStore")
+		}
+		fn(t, st)
+	})
+}
+
+func TestMultiRoundTrip(t *testing.T) {
+	eachWay(t, func(t *testing.T, st Store) {
+		payloads := make([][]byte, 9)
+		for i := range payloads {
+			payloads[i] = []byte(fmt.Sprintf("page-%d", i))
+		}
+		ns, err := AllocMulti(st, 1, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ns) != len(payloads) {
+			t.Fatalf("allocated %d blocks", len(ns))
+		}
+		got, err := ReadMulti(st, 1, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range payloads {
+			if !bytes.Equal(got[i][:len(payloads[i])], payloads[i]) {
+				t.Fatalf("block %d = %q", i, got[i][:len(payloads[i])])
+			}
+		}
+		next := make([][]byte, len(ns))
+		for i := range next {
+			next[i] = []byte(fmt.Sprintf("rewrite-%d", i))
+		}
+		if err := WriteMulti(st, 1, ns, next); err != nil {
+			t.Fatal(err)
+		}
+		got, _ = ReadMulti(st, 1, ns)
+		for i := range next {
+			if !bytes.Equal(got[i][:len(next[i])], next[i]) {
+				t.Fatalf("block %d after rewrite = %q", i, got[i][:len(next[i])])
+			}
+		}
+		if err := FreeMulti(st, 1, ns); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadMulti(st, 1, ns[:1]); !errors.Is(err, ErrNotAllocated) {
+			t.Fatalf("read after free: %v", err)
+		}
+	})
+}
+
+func TestMultiPartialFailureContract(t *testing.T) {
+	eachWay(t, func(t *testing.T, st Store) {
+		mine, err := AllocMulti(st, 1, [][]byte{[]byte("a"), []byte("b"), []byte("c")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		theirs, err := st.Alloc(2, []byte("foreign"))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// WriteMulti: the foreign block in the middle fails, its
+		// neighbours are written anyway, and the first error surfaces.
+		ns := []Num{mine[0], theirs, mine[2]}
+		data := [][]byte{[]byte("new-0"), []byte("nope"), []byte("new-2")}
+		if err := WriteMulti(st, 1, ns, data); !errors.Is(err, ErrNotOwner) {
+			t.Fatalf("write err = %v, want ErrNotOwner", err)
+		}
+		for _, i := range []int{0, 2} {
+			got, err := st.Read(1, mine[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got[:5], data[func() int {
+				if i == 0 {
+					return 0
+				}
+				return 2
+			}()][:5]) {
+				t.Fatalf("block %d not written through partial failure", i)
+			}
+		}
+		if got, _ := st.Read(2, theirs); !bytes.Equal(got[:7], []byte("foreign")) {
+			t.Fatal("foreign block modified")
+		}
+
+		// ReadMulti: all-or-nothing.
+		if _, err := ReadMulti(st, 1, []Num{mine[0], theirs}); !errors.Is(err, ErrNotOwner) {
+			t.Fatalf("read err = %v, want ErrNotOwner", err)
+		}
+
+		// FreeMulti: the bad block reports, the rest are freed.
+		if err := FreeMulti(st, 1, []Num{mine[0], theirs, mine[2]}); !errors.Is(err, ErrNotOwner) {
+			t.Fatalf("free err = %v, want ErrNotOwner", err)
+		}
+		if _, err := st.Read(1, mine[0]); !errors.Is(err, ErrNotAllocated) {
+			t.Fatalf("mine[0] survived FreeMulti: %v", err)
+		}
+		if _, err := st.Read(1, mine[2]); !errors.Is(err, ErrNotAllocated) {
+			t.Fatalf("mine[2] survived FreeMulti: %v", err)
+		}
+		if _, err := st.Read(2, theirs); err != nil {
+			t.Fatalf("foreign block freed by account 1: %v", err)
+		}
+	})
+}
+
+func TestAllocMultiRollsBackOnFailure(t *testing.T) {
+	eachWay(t, func(t *testing.T, st Store) {
+		// 127 allocatable blocks (block 0 reserved); asking for more
+		// must fail AND leave nothing allocated.
+		before := 0
+		if srv, ok := st.(*Server); ok {
+			before = srv.InUse()
+		}
+		payloads := make([][]byte, 200)
+		for i := range payloads {
+			payloads[i] = []byte{byte(i)}
+		}
+		if _, err := AllocMulti(st, 1, payloads); !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("err = %v, want ErrNoSpace", err)
+		}
+		var after int
+		switch v := st.(type) {
+		case *Server:
+			after = v.InUse()
+		case opaque:
+			after = v.Store.(*Server).InUse()
+		}
+		if after != before {
+			t.Fatalf("InUse %d after failed AllocMulti, want %d (rollback)", after, before)
+		}
+	})
+}
+
+// countingTransactor counts round trips through an underlying
+// transactor.
+type countingTransactor struct {
+	inner rpc.Transactor
+	n     atomic.Int64
+}
+
+func (c *countingTransactor) Transact(port capability.Port, req *rpc.Message) (*rpc.Message, error) {
+	c.n.Add(1)
+	return c.inner.Transact(port, req)
+}
+
+// TestRemoteMultiRoundTripsPinned pins the headline number of the
+// batching work: a 64-page commit-style flush (allocate 64 shadow
+// blocks, write 64 pages of 4 KiB) over a TCP-mounted block store must
+// cost at least 5× fewer round trips batched than unbatched.
+func TestRemoteMultiRoundTripsPinned(t *testing.T) {
+	srv, err := rpc.NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	backing := NewServer(disk.MustNew(disk.Geometry{Blocks: 1024, BlockSize: 4096}))
+	port := capability.NewPort().Public()
+	srv.Register(port, Serve(backing))
+	res := rpc.NewResolver()
+	res.Set(port, srv.Addr())
+	tcp := rpc.NewTCPClient(res)
+	defer tcp.Close()
+	ct := &countingTransactor{inner: tcp}
+	remote, err := Dial(ct, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const pages = 64
+	payload := bytes.Repeat([]byte{0xA5}, 4096)
+
+	// Unbatched: one Alloc and one Write per page.
+	start := ct.n.Load()
+	var unbatchedNums []Num
+	for i := 0; i < pages; i++ {
+		n, err := remote.Alloc(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unbatchedNums = append(unbatchedNums, n)
+	}
+	for _, n := range unbatchedNums {
+		if err := remote.Write(1, n, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	unbatched := ct.n.Load() - start
+
+	// Batched: one AllocMulti plus a chunked WriteMulti.
+	start = ct.n.Load()
+	nums, err := AllocMulti(remote, 1, make([][]byte, pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := make([][]byte, pages)
+	for i := range writes {
+		writes[i] = payload
+	}
+	if err := WriteMulti(remote, 1, nums, writes); err != nil {
+		t.Fatal(err)
+	}
+	batched := ct.n.Load() - start
+
+	t.Logf("64-page flush round trips: unbatched=%d batched=%d (%.1fx)",
+		unbatched, batched, float64(unbatched)/float64(batched))
+	if unbatched < 5*batched {
+		t.Fatalf("round trips: unbatched %d vs batched %d — want ≥5× reduction", unbatched, batched)
+	}
+
+	// And the data must actually be there.
+	got, err := ReadMulti(remote, 1, nums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], payload) {
+			t.Fatalf("page %d corrupt after batched flush", i)
+		}
+	}
+}
+
+func TestRemoteMultiErrorsKeepIdentity(t *testing.T) {
+	remote, _ := dialTest(t)
+	ms, ok := remote.(MultiStore)
+	if !ok {
+		t.Fatal("remote store should implement MultiStore")
+	}
+	mine, err := ms.AllocMulti(1, [][]byte{[]byte("x"), []byte("y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theirs, _ := remote.Alloc(2, []byte("z"))
+	if _, err := ms.ReadMulti(1, []Num{mine[0], theirs}); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("read err = %v", err)
+	}
+	if err := ms.WriteMulti(1, []Num{theirs}, [][]byte{[]byte("w")}); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("write err = %v", err)
+	}
+	if err := ms.FreeMulti(1, []Num{mine[0], theirs, mine[1]}); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("free err = %v", err)
+	}
+	if _, err := remote.Read(1, mine[1]); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("mine[1] survived: %v", err)
+	}
+}
+
+func TestServeRejectsHostileMultiCounts(t *testing.T) {
+	// The multi-op counts come off the wire; a huge count with a tiny
+	// body must produce a clean error reply, never an allocation panic.
+	h := Serve(newMulti(t, 64, 256))
+	for _, cmd := range []uint32{cmdReadMulti, cmdWriteMulti, cmdAllocMulti, cmdFreeMulti} {
+		req := &rpc.Message{Command: cmd, Data: []byte{1, 2, 3}}
+		req.Args[0] = 1
+		req.Args[1] = 1 << 61
+		resp := h(req)
+		if resp.Status != rpc.StatusBadArgument {
+			t.Fatalf("cmd %#x with hostile count: status %v, want bad argument", cmd, resp.Status)
+		}
+	}
+}

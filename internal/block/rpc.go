@@ -24,6 +24,14 @@ const (
 	cmdClaim
 	cmdRecover
 	cmdBlockSize
+	// The multi-block commands carry many blocks per frame so an N-page
+	// operation costs O(N / blocks-per-frame) round trips instead of
+	// O(N). Frames are still bounded by rpc.MaxData, so the client packs
+	// greedily and chunks; see remoteStore below for the wire layouts.
+	cmdReadMulti
+	cmdWriteMulti
+	cmdAllocMulti
+	cmdFreeMulti
 )
 
 // Status codes specific to the block service.
@@ -105,11 +113,62 @@ func Serve(s Store) rpc.Handler {
 				return blockErr(req, err)
 			}
 			r := req.Reply(rpc.StatusOK)
-			r.Data = make([]byte, 0, 4*len(nums))
-			for _, b := range nums {
-				r.Data = append(r.Data, byte(b>>24), byte(b>>16), byte(b>>8), byte(b))
-			}
+			r.Data = appendNums(make([]byte, 0, 4*len(nums)), nums)
 			return r
+		case cmdReadMulti:
+			ns, err := decodeNums(req.Data, int(req.Args[1]))
+			if err != nil {
+				return req.Errorf(rpc.StatusBadArgument, "block: %v", err)
+			}
+			datas, err := ReadMulti(s, acct, ns)
+			if err != nil {
+				return blockErr(req, err)
+			}
+			// Serve as many leading entries as fit in one frame; the
+			// client re-issues the remainder. (Clients chunk requests by
+			// worst-case size, so a partial serve is a rare safety net.)
+			r := req.Reply(rpc.StatusOK)
+			served := 0
+			for _, d := range datas {
+				if len(r.Data)+4+len(d) > rpc.MaxData {
+					break
+				}
+				r.Data = append(r.Data, byte(len(d)>>24), byte(len(d)>>16), byte(len(d)>>8), byte(len(d)))
+				r.Data = append(r.Data, d...)
+				served++
+			}
+			r.Args[1] = uint64(served)
+			return r
+		case cmdWriteMulti:
+			ns, datas, err := decodeNumPayloads(req.Data, int(req.Args[1]))
+			if err != nil {
+				return req.Errorf(rpc.StatusBadArgument, "block: %v", err)
+			}
+			if err := WriteMulti(s, acct, ns, datas); err != nil {
+				return blockErr(req, err)
+			}
+			return req.Reply(rpc.StatusOK)
+		case cmdAllocMulti:
+			datas, err := decodePayloads(req.Data, int(req.Args[1]))
+			if err != nil {
+				return req.Errorf(rpc.StatusBadArgument, "block: %v", err)
+			}
+			nums, err := AllocMulti(s, acct, datas)
+			if err != nil {
+				return blockErr(req, err)
+			}
+			r := req.Reply(rpc.StatusOK)
+			r.Data = appendNums(make([]byte, 0, 4*len(nums)), nums)
+			return r
+		case cmdFreeMulti:
+			ns, err := decodeNums(req.Data, int(req.Args[1]))
+			if err != nil {
+				return req.Errorf(rpc.StatusBadArgument, "block: %v", err)
+			}
+			if err := FreeMulti(s, acct, ns); err != nil {
+				return blockErr(req, err)
+			}
+			return req.Reply(rpc.StatusOK)
 		default:
 			return req.Errorf(rpc.StatusBadCommand, "block: command %#x", req.Command)
 		}
@@ -254,12 +313,259 @@ func (r *remoteStore) Recover(acct Account) ([]Num, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Num, 0, len(resp.Data)/4)
-	for i := 0; i+4 <= len(resp.Data); i += 4 {
-		out = append(out, Num(uint32(resp.Data[i])<<24|uint32(resp.Data[i+1])<<16|
-			uint32(resp.Data[i+2])<<8|uint32(resp.Data[i+3])))
+	return decodeNums(resp.Data, len(resp.Data)/4)
+}
+
+// --- the multi-block wire operations ---
+//
+// Wire layouts (all big endian, counts in Args[1], account in Args[0]):
+//
+//	cmdReadMulti  req:  count × num(4)
+//	              rep:  served in Args[1]; served × (dlen(4) || payload),
+//	                    for the first `served` requested blocks in order
+//	cmdWriteMulti req:  count × (num(4) || dlen(4) || payload)
+//	cmdAllocMulti req:  count × (dlen(4) || payload)
+//	              rep:  count × num(4)
+//	cmdFreeMulti  req:  count × num(4)
+//
+// The client packs greedily up to rpc.MaxData per frame and issues as
+// many frames as the batch needs; a payload too large to share a frame
+// with its 8-byte entry header falls back to the single-block command.
+
+// appendNums appends count block numbers.
+func appendNums(dst []byte, ns []Num) []byte {
+	for _, n := range ns {
+		dst = append(dst, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	}
+	return dst
+}
+
+// decodeNums parses count block numbers from the front of data. The
+// count comes off the wire, so it is bounded against the actual data
+// length (division, not multiplication: no overflow) before any
+// allocation sized from it.
+func decodeNums(data []byte, count int) ([]Num, error) {
+	if count < 0 || count > len(data)/4 {
+		return nil, fmt.Errorf("%d numbers in %d bytes: %w", count, len(data), rpc.ErrMalformed)
+	}
+	out := make([]Num, count)
+	for i := range out {
+		out[i] = Num(uint32(data[4*i])<<24 | uint32(data[4*i+1])<<16 |
+			uint32(data[4*i+2])<<8 | uint32(data[4*i+3]))
 	}
 	return out, nil
 }
 
+// decodePayloads parses count (dlen || payload) entries. Every entry
+// costs at least 4 bytes, which bounds the wire-supplied count before
+// it sizes an allocation.
+func decodePayloads(data []byte, count int) ([][]byte, error) {
+	if count < 0 || count > len(data)/4 {
+		return nil, fmt.Errorf("%d payloads in %d bytes: %w", count, len(data), rpc.ErrMalformed)
+	}
+	out := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("payload %d/%d truncated: %w", i, count, rpc.ErrMalformed)
+		}
+		dlen := int(uint32(data[0])<<24 | uint32(data[1])<<16 | uint32(data[2])<<8 | uint32(data[3]))
+		data = data[4:]
+		if dlen < 0 || len(data) < dlen {
+			return nil, fmt.Errorf("payload %d/%d length %d: %w", i, count, dlen, rpc.ErrMalformed)
+		}
+		out = append(out, data[:dlen:dlen])
+		data = data[dlen:]
+	}
+	return out, nil
+}
+
+// decodeNumPayloads parses count (num || dlen || payload) entries.
+// Every entry costs at least 8 bytes, which bounds the wire-supplied
+// count before it sizes an allocation.
+func decodeNumPayloads(data []byte, count int) ([]Num, [][]byte, error) {
+	if count < 0 || count > len(data)/8 {
+		return nil, nil, fmt.Errorf("%d entries in %d bytes: %w", count, len(data), rpc.ErrMalformed)
+	}
+	ns := make([]Num, 0, count)
+	datas := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		if len(data) < 8 {
+			return nil, nil, fmt.Errorf("entry %d/%d truncated: %w", i, count, rpc.ErrMalformed)
+		}
+		n := Num(uint32(data[0])<<24 | uint32(data[1])<<16 | uint32(data[2])<<8 | uint32(data[3]))
+		dlen := int(uint32(data[4])<<24 | uint32(data[5])<<16 | uint32(data[6])<<8 | uint32(data[7]))
+		data = data[8:]
+		if dlen < 0 || len(data) < dlen {
+			return nil, nil, fmt.Errorf("entry %d/%d length %d: %w", i, count, dlen, rpc.ErrMalformed)
+		}
+		ns = append(ns, n)
+		datas = append(datas, data[:dlen:dlen])
+		data = data[dlen:]
+	}
+	return ns, datas, nil
+}
+
+// ReadMulti implements MultiStore over the wire. Requests are chunked
+// so the worst-case reply (every block full) fits one frame.
+func (r *remoteStore) ReadMulti(acct Account, ns []Num) ([][]byte, error) {
+	perChunk := rpc.MaxData / (4 + r.size)
+	if perChunk < 1 {
+		// Blocks too large to share a frame with the entry header: the
+		// single-block command carries the payload bare.
+		out := make([][]byte, len(ns))
+		for i, n := range ns {
+			d, err := r.Read(acct, n)
+			if err != nil {
+				return nil, fmt.Errorf("multi read %d/%d: %w", i, len(ns), err)
+			}
+			out[i] = d
+		}
+		return out, nil
+	}
+	out := make([][]byte, 0, len(ns))
+	for start := 0; start < len(ns); {
+		end := start + perChunk
+		if end > len(ns) {
+			end = len(ns)
+		}
+		chunk := ns[start:end]
+		req := &rpc.Message{Command: cmdReadMulti, Data: appendNums(make([]byte, 0, 4*len(chunk)), chunk)}
+		req.Args[0] = uint64(acct)
+		req.Args[1] = uint64(len(chunk))
+		resp, err := r.call(req)
+		if err != nil {
+			return nil, err
+		}
+		served := int(resp.Args[1])
+		if served > len(chunk) {
+			return nil, fmt.Errorf("block: multi read served %d of %d: %w", served, len(chunk), rpc.ErrMalformed)
+		}
+		if served == 0 {
+			// Entry would not fit the reply frame (safety net): take the
+			// block through the single-block command.
+			d, err := r.Read(acct, chunk[0])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, d)
+			start++
+			continue
+		}
+		datas, err := decodePayloads(resp.Data, served)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, datas...)
+		start += served
+	}
+	return out, nil
+}
+
+// WriteMulti implements MultiStore over the wire with greedy packing;
+// per the contract each block's write stands alone, so chunk errors are
+// collected and the first one returned.
+func (r *remoteStore) WriteMulti(acct Account, ns []Num, data [][]byte) error {
+	if len(ns) != len(data) {
+		return fmt.Errorf("block: multi write with %d blocks, %d payloads", len(ns), len(data))
+	}
+	var first error
+	note := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	i := 0
+	for i < len(ns) {
+		if 8+len(data[i]) > rpc.MaxData {
+			note(r.Write(acct, ns[i], data[i]))
+			i++
+			continue
+		}
+		buf := make([]byte, 0, rpc.MaxData)
+		count := 0
+		for i < len(ns) && 8+len(data[i]) <= rpc.MaxData-len(buf) {
+			d := data[i]
+			buf = appendNums(buf, ns[i:i+1])
+			buf = append(buf, byte(len(d)>>24), byte(len(d)>>16), byte(len(d)>>8), byte(len(d)))
+			buf = append(buf, d...)
+			count++
+			i++
+		}
+		req := &rpc.Message{Command: cmdWriteMulti, Data: buf}
+		req.Args[0] = uint64(acct)
+		req.Args[1] = uint64(count)
+		_, err := r.call(req)
+		note(err)
+	}
+	return first
+}
+
+// AllocMulti implements MultiStore over the wire. All-or-nothing across
+// chunks: a failed chunk (already rolled back server-side) triggers a
+// FreeMulti of the chunks that did allocate.
+func (r *remoteStore) AllocMulti(acct Account, data [][]byte) ([]Num, error) {
+	out := make([]Num, 0, len(data))
+	fail := func(err error) ([]Num, error) {
+		if len(out) > 0 {
+			_ = r.FreeMulti(acct, out) // best-effort rollback
+		}
+		return nil, err
+	}
+	i := 0
+	for i < len(data) {
+		if 4+len(data[i]) > rpc.MaxData {
+			n, err := r.Alloc(acct, data[i])
+			if err != nil {
+				return fail(err)
+			}
+			out = append(out, n)
+			i++
+			continue
+		}
+		buf := make([]byte, 0, rpc.MaxData)
+		count := 0
+		for i < len(data) && 4+len(data[i]) <= rpc.MaxData-len(buf) {
+			d := data[i]
+			buf = append(buf, byte(len(d)>>24), byte(len(d)>>16), byte(len(d)>>8), byte(len(d)))
+			buf = append(buf, d...)
+			count++
+			i++
+		}
+		req := &rpc.Message{Command: cmdAllocMulti, Data: buf}
+		req.Args[0] = uint64(acct)
+		req.Args[1] = uint64(count)
+		resp, err := r.call(req)
+		if err != nil {
+			return fail(err)
+		}
+		nums, err := decodeNums(resp.Data, count)
+		if err != nil {
+			return fail(err)
+		}
+		out = append(out, nums...)
+	}
+	return out, nil
+}
+
+// FreeMulti implements MultiStore over the wire.
+func (r *remoteStore) FreeMulti(acct Account, ns []Num) error {
+	perChunk := rpc.MaxData / 4
+	var first error
+	for start := 0; start < len(ns); start += perChunk {
+		end := start + perChunk
+		if end > len(ns) {
+			end = len(ns)
+		}
+		chunk := ns[start:end]
+		req := &rpc.Message{Command: cmdFreeMulti, Data: appendNums(make([]byte, 0, 4*len(chunk)), chunk)}
+		req.Args[0] = uint64(acct)
+		req.Args[1] = uint64(len(chunk))
+		if _, err := r.call(req); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 var _ Store = (*remoteStore)(nil)
+var _ MultiStore = (*remoteStore)(nil)

@@ -22,7 +22,13 @@ import (
 	"repro/internal/page"
 )
 
-// Entry is one cached page.
+// Entry is one cached page. Entries are immutable: Put takes ownership
+// of Data and Get returns the stored slice without copying, so neither
+// the caller of Put nor any caller of Get may modify the bytes. This is
+// the §5.4 model made literal — cached pages come from committed
+// versions, which never change — and it removes a full page copy from
+// both sides of every cache access; the only copies left are at real
+// mutation boundaries (a client writing new data).
 type Entry struct {
 	Data  []byte
 	NRefs int
@@ -74,8 +80,9 @@ func (c *Cache) Root(file uint32) (block.Num, bool) {
 	return fc.root, true
 }
 
-// Get returns the cached page at path if the cache holds file's pages for
-// version root.
+// Get returns the cached page at path if the cache holds file's pages
+// for version root. The returned Entry shares the cached bytes; callers
+// must treat them as read-only.
 func (c *Cache) Get(file uint32, root block.Num, p page.Path) (Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -90,12 +97,13 @@ func (c *Cache) Get(file uint32, root block.Num, p page.Path) (Entry, bool) {
 		return Entry{}, false
 	}
 	c.stats.Hits++
-	return Entry{Data: append([]byte(nil), e.Data...), NRefs: e.NRefs}, true
+	return e, true
 }
 
-// Put stores a page read from version root. If the cache holds pages of
-// an older version of the file, they are discarded first: one version per
-// file.
+// Put stores a page read from version root, taking ownership of
+// e.Data (the caller must not modify it afterwards). If the cache holds
+// pages of an older version of the file, they are discarded first: one
+// version per file.
 func (c *Cache) Put(file uint32, root block.Num, p page.Path, e Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -104,7 +112,7 @@ func (c *Cache) Put(file uint32, root block.Num, p page.Path, e Entry) {
 		fc = &fileCache{root: root, pages: make(map[string]Entry)}
 		c.files[file] = fc
 	}
-	fc.pages[p.String()] = Entry{Data: append([]byte(nil), e.Data...), NRefs: e.NRefs}
+	fc.pages[p.String()] = e
 }
 
 // Len returns the number of pages cached for file.

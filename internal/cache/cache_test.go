@@ -48,14 +48,23 @@ func TestPutNewerRootResetsFile(t *testing.T) {
 	}
 }
 
-func TestGetReturnsCopy(t *testing.T) {
+func TestEntriesAreSharedNotCopied(t *testing.T) {
+	// Entries are immutable and zero-copy: Put takes ownership of the
+	// slice and Get hands the very same backing array back. (Before the
+	// batched-I/O rework both directions copied the page data.)
 	c := New()
-	c.Put(1, 10, page.RootPath, Entry{Data: []byte("abc")})
-	e, _ := c.Get(1, 10, page.RootPath)
-	e.Data[0] = 'X'
+	buf := []byte("abc")
+	c.Put(1, 10, page.RootPath, Entry{Data: buf})
+	e, ok := c.Get(1, 10, page.RootPath)
+	if !ok {
+		t.Fatal("miss")
+	}
+	if &e.Data[0] != &buf[0] {
+		t.Fatal("Get copied the entry data; entries should be shared")
+	}
 	e2, _ := c.Get(1, 10, page.RootPath)
-	if e2.Data[0] != 'a' {
-		t.Fatal("cache aliased caller buffer")
+	if &e2.Data[0] != &buf[0] {
+		t.Fatal("second Get copied the entry data")
 	}
 }
 

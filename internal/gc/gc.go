@@ -145,21 +145,36 @@ func (g *Collector) Collect() (Report, error) {
 	g.mu.Lock()
 	prev := g.condemned
 	next := make(map[block.Num]bool)
+	var dead []block.Num
 	for _, n := range all {
 		if marked[n] {
 			continue
 		}
 		if prev[n] {
 			// Unreachable for two consecutive cycles: free it.
-			if err := g.St.Blocks.Free(g.St.Acct, n); err == nil {
-				rep.Freed++
-			}
+			dead = append(dead, n)
 			continue
 		}
 		next[n] = true
 	}
 	g.condemned = next
 	g.mu.Unlock()
+	// One multi-block free for the whole condemned set instead of a
+	// round trip per dead page.
+	if len(dead) > 0 {
+		if err := block.FreeMulti(g.St.Blocks, g.St.Acct, dead); err == nil {
+			rep.Freed += len(dead)
+		} else {
+			// Rare (e.g. a block freed concurrently): retry singly for
+			// an accurate count; blocks the multi op already freed now
+			// fail and stay uncounted, so the report may undercount.
+			for _, n := range dead {
+				if g.St.Blocks.Free(g.St.Acct, n) == nil {
+					rep.Freed++
+				}
+			}
+		}
+	}
 	rep.Condemned = len(next)
 	rep.Duration = time.Since(start)
 	return rep, nil
@@ -169,27 +184,55 @@ func (g *Collector) Collect() (Report, error) {
 // references (including sub-file version pages and, from them, their
 // committed chains' retained parts — sub-files are files in the table,
 // so their chains are rooted independently; here we only follow the
-// tree).
+// tree). The traversal is breadth-first so each level is fetched with
+// one multi-block read instead of a round trip per page.
 func (g *Collector) mark(root block.Num, marked map[block.Num]bool) error {
-	if root == block.NilNum || marked[root] {
-		return nil
-	}
-	marked[root] = true
-	pg, err := g.St.ReadPage(root)
-	if err != nil {
-		// A root that vanished (e.g. crashed server's version freed
-		// earlier) marks nothing further.
-		return nil
-	}
-	for _, r := range pg.Refs {
-		if r.IsNil() {
-			continue
+	frontier := []block.Num{root}
+	for len(frontier) > 0 {
+		var batch []block.Num
+		for _, n := range frontier {
+			if n == block.NilNum || marked[n] {
+				continue
+			}
+			marked[n] = true
+			batch = append(batch, n)
 		}
-		if err := g.mark(r.Block, marked); err != nil {
-			return err
+		if len(batch) == 0 {
+			return nil
+		}
+		frontier = frontier[:0]
+		for _, pg := range g.readTolerant(batch) {
+			if pg == nil {
+				// A page that vanished (e.g. a crashed server's version
+				// freed earlier) marks nothing further.
+				continue
+			}
+			for _, r := range pg.Refs {
+				if !r.IsNil() {
+					frontier = append(frontier, r.Block)
+				}
+			}
 		}
 	}
 	return nil
+}
+
+// readTolerant reads a batch of pages, nil for any that cannot be read:
+// the mark phase must survive pages vanishing under it.
+func (g *Collector) readTolerant(ns []block.Num) []*page.Page {
+	pgs, err := g.St.ReadPages(ns)
+	if err == nil {
+		return pgs
+	}
+	// The batched read is all-or-nothing; on failure fall back to
+	// per-page reads so one vanished block doesn't hide its siblings.
+	out := make([]*page.Page, len(ns))
+	for i, n := range ns {
+		if pg, err := g.St.ReadPage(n); err == nil {
+			out[i] = pg
+		}
+	}
+	return out
 }
 
 // reshareVersion applies the §5.1 optimisation to one committed version:

@@ -57,6 +57,11 @@ const (
 	StatusBadArgument
 	StatusIO
 	StatusCollision // block allocate/write collision at companion pair
+	// StatusDeadPort is a transport-level reply meaning no service is
+	// registered on the addressed port. Transports translate it to
+	// ErrDeadPort on the client side, so waiters discover crashed lock
+	// holders identically over TCP and in-proc.
+	StatusDeadPort
 
 	// StatusServiceBase is the first status code available for
 	// service-specific use.
@@ -86,6 +91,8 @@ func (s Status) String() string {
 		return "i/o error"
 	case StatusCollision:
 		return "collision"
+	case StatusDeadPort:
+		return "dead port"
 	default:
 		return fmt.Sprintf("status(%d)", uint32(s))
 	}

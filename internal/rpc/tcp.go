@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/capability"
 )
@@ -50,12 +51,13 @@ func (r *Resolver) Lookup(port capability.Port) (string, bool) {
 
 // TCPServer serves transactions for a set of ports on one listener.
 type TCPServer struct {
-	mu       sync.RWMutex
-	handlers map[capability.Port]Handler
-	conns    map[net.Conn]struct{}
-	ln       net.Listener
-	closed   chan struct{}
-	wg       sync.WaitGroup
+	mu        sync.RWMutex
+	handlers  map[capability.Port]Handler
+	conns     map[net.Conn]struct{}
+	ln        net.Listener
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 // NewTCPServer starts a server listening on addr (e.g. "127.0.0.1:0").
@@ -86,16 +88,19 @@ func (s *TCPServer) Register(port capability.Port, h Handler) {
 }
 
 // Close stops the listener, drops open connections and waits for the
-// connection goroutines to exit.
+// connection goroutines to exit. Closing twice is safe.
 func (s *TCPServer) Close() error {
-	close(s.closed)
-	err := s.ln.Close()
-	s.mu.Lock()
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err = s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
 	return err
 }
 
@@ -140,9 +145,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.RUnlock()
 		var resp *Message
 		if !ok {
-			resp = req.Errorf(StatusNotFound, "dead port %v", port)
+			resp = req.Errorf(StatusDeadPort, "no handler for port %v", port)
 		} else {
-			resp = h(req)
+			resp = safeHandle(h, req)
 			if resp == nil {
 				resp = req.Reply(StatusBadCommand)
 			}
@@ -154,6 +159,18 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// safeHandle runs a handler, converting a panic into an error reply:
+// one malformed or hostile request must not take down a server process
+// hosting every service port.
+func safeHandle(h Handler, req *Message) (resp *Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = req.Errorf(StatusIO, "rpc: handler panic: %v", r)
+		}
+	}()
+	return h(req)
 }
 
 func writeFrame(w io.Writer, port capability.Port, m *Message) error {
@@ -189,12 +206,50 @@ func readFrame(r io.Reader) (capability.Port, *Message, error) {
 	return port, m, err
 }
 
+// RetryPolicy controls how a TCPClient handles connection-level
+// failures: a failed dial, or a pooled connection that breaks during
+// the exchange (the server restarted, the network blipped). Attempts
+// counts total tries; the first retry redials immediately (the common
+// case is just a stale pooled connection to a restarted server), and
+// further retries back off exponentially from Backoff up to MaxBackoff.
+//
+// A retry after a broken exchange may re-deliver a request the server
+// already executed; like Amoeba's trans(), the service protocols are
+// built to tolerate re-sent requests (e.g. the commit path treats "my
+// successor is already installed" as success).
+type RetryPolicy struct {
+	Attempts   int
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy is the policy NewTCPClient installs: enough
+// attempts to ride out a quick server restart, cheap enough to fail
+// fast when the server is really gone.
+var DefaultRetryPolicy = RetryPolicy{Attempts: 4, Backoff: 2 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+
+// withDefaults fills unset fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetryPolicy.Attempts
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = DefaultRetryPolicy.Backoff
+	}
+	if p.MaxBackoff < p.Backoff {
+		p.MaxBackoff = p.Backoff
+	}
+	return p
+}
+
 // TCPClient is a Transactor over TCP. It keeps one pooled connection per
-// server address.
+// server address; one pooled connection may carry transactions from any
+// number of goroutines (they serialise on the exchange).
 type TCPClient struct {
 	resolver *Resolver
 
 	mu    sync.Mutex
+	retry RetryPolicy
 	conns map[string]*clientConn
 }
 
@@ -205,9 +260,17 @@ type clientConn struct {
 	w    *bufio.Writer
 }
 
-// NewTCPClient creates a client resolving ports through resolver.
+// NewTCPClient creates a client resolving ports through resolver, with
+// DefaultRetryPolicy.
 func NewTCPClient(resolver *Resolver) *TCPClient {
-	return &TCPClient{resolver: resolver, conns: make(map[string]*clientConn)}
+	return &TCPClient{resolver: resolver, retry: DefaultRetryPolicy, conns: make(map[string]*clientConn)}
+}
+
+// SetRetryPolicy replaces the connection-failure retry policy.
+func (c *TCPClient) SetRetryPolicy(p RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retry = p.withDefaults()
 }
 
 // Close drops all pooled connections.
@@ -244,16 +307,30 @@ func (c *TCPClient) dropConn(addr string, cc *clientConn) {
 	}
 }
 
-// Transact implements Transactor. A connection failure is retried once on
-// a fresh connection; an unreachable or unresolvable service maps to
-// ErrDeadPort so lock recovery behaves identically over TCP and in-proc.
+// Transact implements Transactor. Connection-level failures are retried
+// per the client's RetryPolicy (immediate redial first — the stale
+// pooled connection to a restarted server — then exponential backoff);
+// an unreachable or unresolvable service maps to ErrDeadPort so lock
+// recovery behaves identically over TCP and in-proc. A live server
+// answering for an unregistered port replies StatusDeadPort, which is
+// final (no retry): the process is up, the service is not.
 func (c *TCPClient) Transact(port capability.Port, req *Message) (*Message, error) {
 	addr, ok := c.resolver.Lookup(port)
 	if !ok {
 		return nil, fmt.Errorf("port %v unresolved: %w", port, ErrDeadPort)
 	}
+	c.mu.Lock()
+	pol := c.retry.withDefaults()
+	c.mu.Unlock()
+	backoff := pol.Backoff
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+		}
 		cc, err := c.getConn(addr)
 		if err != nil {
 			lastErr = err
@@ -265,8 +342,7 @@ func (c *TCPClient) Transact(port capability.Port, req *Message) (*Message, erro
 			lastErr = err
 			continue
 		}
-		if resp.Status == StatusNotFound && resp.Command == req.Command &&
-			len(resp.Data) > 10 && string(resp.Data[:9]) == "dead port" {
+		if resp.Status == StatusDeadPort && resp.Command == req.Command {
 			return nil, fmt.Errorf("port %v: %w", port, ErrDeadPort)
 		}
 		return resp, nil
@@ -274,7 +350,7 @@ func (c *TCPClient) Transact(port capability.Port, req *Message) (*Message, erro
 	if lastErr == nil {
 		lastErr = errors.New("rpc: exchange failed")
 	}
-	return nil, fmt.Errorf("port %v: %w (%v)", port, ErrDeadPort, lastErr)
+	return nil, fmt.Errorf("port %v after %d attempts: %w (%v)", port, pol.Attempts, ErrDeadPort, lastErr)
 }
 
 func (c *TCPClient) exchange(cc *clientConn, port capability.Port, req *Message) (*Message, error) {

@@ -1,0 +1,222 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/capability"
+)
+
+// echoHandler replies OK, echoing Args[2] and the payload, so tests can
+// detect cross-wired replies.
+func echoHandler(req *Message) *Message {
+	r := req.Reply(StatusOK)
+	r.Args[2] = req.Args[2]
+	r.Data = append([]byte(nil), req.Data...)
+	return r
+}
+
+func newEchoServer(t *testing.T, port capability.Port) (*TCPServer, *Resolver) {
+	t.Helper()
+	srv, err := NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srv.Register(port, echoHandler)
+	res := NewResolver()
+	res.Set(port, srv.Addr())
+	return srv, res
+}
+
+func TestTCPDeadPortIsTyped(t *testing.T) {
+	// A live server answering for an unregistered port must surface
+	// ErrDeadPort through a dedicated status, not by sniffing the
+	// diagnostic text.
+	port := capability.NewPort().Public()
+	_, res := newEchoServer(t, port)
+	cli := NewTCPClient(res)
+	defer cli.Close()
+
+	ghost := capability.NewPort().Public()
+	res.Set(ghost, res.mustLookup(t, port))
+	_, err := cli.Transact(ghost, &Message{Command: 9})
+	if !errors.Is(err, ErrDeadPort) {
+		t.Fatalf("unregistered port err = %v, want ErrDeadPort", err)
+	}
+	// A handler whose own diagnostic happens to start with the old
+	// sniffed prefix must NOT be mistaken for a dead port.
+	srv2, err := NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	tricky := capability.NewPort().Public()
+	srv2.Register(tricky, func(req *Message) *Message {
+		return req.Errorf(StatusNotFound, "dead port impersonation attempt")
+	})
+	res.Set(tricky, srv2.Addr())
+	resp, err := cli.Transact(tricky, &Message{Command: 9})
+	if err != nil {
+		t.Fatalf("transact: %v", err)
+	}
+	if resp.Status != StatusNotFound {
+		t.Fatalf("status = %v, want StatusNotFound passthrough", resp.Status)
+	}
+}
+
+// mustLookup is a tiny helper keeping the test terse.
+func (r *Resolver) mustLookup(t *testing.T, port capability.Port) string {
+	t.Helper()
+	addr, ok := r.Lookup(port)
+	if !ok {
+		t.Fatalf("port %v unresolved", port)
+	}
+	return addr
+}
+
+func TestTCPClientConcurrentOverOneConnection(t *testing.T) {
+	// Many goroutines share one pooled connection; every reply must
+	// reach the goroutine that sent its request.
+	port := capability.NewPort().Public()
+	_, res := newEchoServer(t, port)
+	cli := NewTCPClient(res)
+	defer cli.Close()
+
+	const goroutines, each = 8, 64
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tag := uint64(g)<<32 | uint64(i)
+				req := &Message{Command: 7, Data: []byte(fmt.Sprintf("g%d-i%d", g, i))}
+				req.Args[2] = tag
+				resp, err := cli.Transact(port, req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Args[2] != tag || string(resp.Data) != fmt.Sprintf("g%d-i%d", g, i) {
+					errs <- fmt.Errorf("goroutine %d got foreign reply %d %q", g, resp.Args[2], resp.Data)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestTCPRetryAfterServerRestart(t *testing.T) {
+	// A restarted server invalidates the pooled connection; in-flight
+	// callers must redial and succeed without surfacing an error.
+	port := capability.NewPort().Public()
+	srv1, res := newEchoServer(t, port)
+	cli := NewTCPClient(res)
+	defer cli.Close()
+	if _, err := cli.Transact(port, &Message{Command: 1}); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+
+	srv1.Close()
+	srv2, err := NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	srv2.Register(port, echoHandler)
+	res.Set(port, srv2.Addr())
+
+	req := &Message{Command: 2, Data: []byte("after restart")}
+	resp, err := cli.Transact(port, req)
+	if err != nil {
+		t.Fatalf("transact after restart: %v", err)
+	}
+	if string(resp.Data) != "after restart" {
+		t.Fatalf("reply %q", resp.Data)
+	}
+}
+
+func TestTCPRetryRidesOutTransientFailures(t *testing.T) {
+	// A proxy that kills the first connections simulates a flaky path /
+	// a server mid-restart: the retry policy should absorb it.
+	port := capability.NewPort().Public()
+	srv, _ := newEchoServer(t, port)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var dials atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if dials.Add(1) <= 2 {
+				conn.Close() // transient failure
+				continue
+			}
+			backend, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			go func() { io.Copy(backend, conn); backend.Close() }()
+			go func() { io.Copy(conn, backend); conn.Close() }()
+		}
+	}()
+
+	res := NewResolver()
+	res.Set(port, ln.Addr().String())
+	cli := NewTCPClient(res)
+	defer cli.Close()
+	cli.SetRetryPolicy(RetryPolicy{Attempts: 5, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+
+	resp, err := cli.Transact(port, &Message{Command: 3, Data: []byte("flaky")})
+	if err != nil {
+		t.Fatalf("transact through flaky path: %v", err)
+	}
+	if string(resp.Data) != "flaky" {
+		t.Fatalf("reply %q", resp.Data)
+	}
+	if got := dials.Load(); got < 3 {
+		t.Fatalf("proxy saw %d dials, want ≥ 3 (retries exercised)", got)
+	}
+}
+
+func TestTCPRetryExhaustionMapsToDeadPort(t *testing.T) {
+	// Nothing listening at all: after Attempts tries the failure maps
+	// to ErrDeadPort, the signal lock recovery keys on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	port := capability.NewPort().Public()
+	res := NewResolver()
+	res.Set(port, addr)
+	cli := NewTCPClient(res)
+	defer cli.Close()
+	cli.SetRetryPolicy(RetryPolicy{Attempts: 2, Backoff: time.Millisecond, MaxBackoff: time.Millisecond})
+	if _, err := cli.Transact(port, &Message{Command: 4}); !errors.Is(err, ErrDeadPort) {
+		t.Fatalf("err = %v, want ErrDeadPort", err)
+	}
+}

@@ -86,29 +86,15 @@ func (s *Store) CompactOnce() (bool, error) {
 	}
 	s.mu.Unlock()
 
-	// Relocate through the writer (guarded), all in flight at once so
-	// group commit folds them into few fsyncs.
+	// Relocate through the writer (guarded), as batched request groups
+	// so group commit folds them into few fsyncs.
 	reqs := make([]*writeReq, len(lives))
 	for i, lr := range lives {
 		at := lr.at
-		reqs[i] = &writeReq{kind: recData, num: block.Num(lr.num), onlyIf: &at, data: lr.data, done: make(chan struct{})}
-		if err := s.send(reqs[i]); err != nil {
-			reqs = reqs[:i]
-			break
-		}
+		reqs[i] = &writeReq{kind: recData, num: block.Num(lr.num), onlyIf: &at, data: lr.data}
 	}
-	var firstErr error
-	for _, r := range reqs {
-		<-r.done
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
-		}
-	}
-	if firstErr != nil {
-		return false, firstErr
-	}
-	if len(reqs) != len(lives) {
-		return false, ErrClosed
+	if err := s.submitMany(reqs); err != nil {
+		return false, err
 	}
 
 	s.mu.Lock()

@@ -99,6 +99,46 @@ func runScript(t *testing.T, mem *block.Server, seg *Store, ops []contractOp) {
 			if len(mr) != len(sr) {
 				t.Fatalf("op %d recover(%d): mem %d blocks, seg %d blocks", i, op.acct, len(mr), len(sr))
 			}
+		case "readmulti", "writemulti", "freemulti":
+			// Three consecutive indices (some possibly bogus) exercise
+			// the partial-failure contract on both backends at once.
+			var memNs, segNs []block.Num
+			for k := 0; k < 3; k++ {
+				memNs = append(memNs, pick(memBlocks, op.n+k))
+				segNs = append(segNs, pick(segBlocks, op.n+k))
+			}
+			switch op.op {
+			case "readmulti":
+				var md, sd [][]byte
+				md, memErr = mem.ReadMulti(op.acct, memNs)
+				sd, segErr = seg.ReadMulti(op.acct, segNs)
+				if memErr == nil && segErr == nil {
+					for k := range md {
+						if !bytes.Equal(md[k], sd[k]) {
+							t.Fatalf("op %d readmulti: entry %d disagrees", i, k)
+						}
+					}
+				}
+			case "writemulti":
+				payloads := [][]byte{[]byte(op.data + "-0"), []byte(op.data + "-1"), []byte(op.data + "-2")}
+				memErr = mem.WriteMulti(op.acct, memNs, payloads)
+				segErr = seg.WriteMulti(op.acct, segNs, payloads)
+			case "freemulti":
+				memErr = mem.FreeMulti(op.acct, memNs)
+				segErr = seg.FreeMulti(op.acct, segNs)
+			}
+		case "allocmulti":
+			payloads := [][]byte{[]byte(op.data + "-a"), []byte(op.data + "-b")}
+			var mn, sn []block.Num
+			mn, memErr = mem.AllocMulti(op.acct, payloads)
+			sn, segErr = seg.AllocMulti(op.acct, payloads)
+			if (memErr == nil) != (segErr == nil) {
+				t.Fatalf("op %d allocmulti: mem err %v, seg err %v", i, memErr, segErr)
+			}
+			if memErr == nil {
+				memBlocks = append(memBlocks, mn...)
+				segBlocks = append(segBlocks, sn...)
+			}
 		default:
 			t.Fatalf("op %d: unknown op %q", i, op.op)
 		}
@@ -170,6 +210,113 @@ func TestContractExhaustion(t *testing.T) {
 	runScript(t, mem, seg, ops)
 }
 
+// TestContractMultiOps drives the four multi-block operations through
+// both backends in lockstep, including the partial-failure semantics of
+// the MultiStore contract: WriteMulti/FreeMulti apply per-block and
+// report the first error, ReadMulti is all-or-nothing, AllocMulti rolls
+// back on failure.
+func TestContractMultiOps(t *testing.T) {
+	mem, seg := newPair(t, 16, 64)
+	both := []struct {
+		name string
+		st   block.MultiStore
+	}{{"mem", mem}, {"seg", seg}}
+
+	type state struct {
+		mine   []block.Num
+		theirs block.Num
+	}
+	states := make(map[string]*state)
+
+	for _, b := range both {
+		st := b.st
+		s := &state{}
+		states[b.name] = s
+		var err error
+		s.mine, err = st.AllocMulti(1, [][]byte{[]byte("a0"), []byte("a1"), []byte("a2"), []byte("a3")})
+		if err != nil {
+			t.Fatalf("%s: alloc: %v", b.name, err)
+		}
+		s.theirs, err = st.Alloc(2, []byte("theirs"))
+		if err != nil {
+			t.Fatalf("%s: foreign alloc: %v", b.name, err)
+		}
+
+		// ReadMulti round trip, then all-or-nothing on a foreign block.
+		got, err := st.ReadMulti(1, s.mine)
+		if err != nil {
+			t.Fatalf("%s: read multi: %v", b.name, err)
+		}
+		for i := range got {
+			want := fmt.Sprintf("a%d", i)
+			if string(got[i][:2]) != want {
+				t.Fatalf("%s: block %d = %q", b.name, i, got[i][:2])
+			}
+		}
+		if _, err := st.ReadMulti(1, []block.Num{s.mine[0], s.theirs}); !errors.Is(err, block.ErrNotOwner) {
+			t.Fatalf("%s: foreign read err = %v", b.name, err)
+		}
+
+		// WriteMulti with a foreign block in the middle: first error is
+		// ErrNotOwner, the other two blocks are written regardless.
+		err = st.WriteMulti(1,
+			[]block.Num{s.mine[0], s.theirs, s.mine[2]},
+			[][]byte{[]byte("w0"), []byte("xx"), []byte("w2")})
+		if !errors.Is(err, block.ErrNotOwner) {
+			t.Fatalf("%s: partial write err = %v", b.name, err)
+		}
+		for _, c := range []struct {
+			n    block.Num
+			want string
+		}{{s.mine[0], "w0"}, {s.mine[1], "a1"}, {s.mine[2], "w2"}} {
+			got, err := st.Read(1, c.n)
+			if err != nil {
+				t.Fatalf("%s: %v", b.name, err)
+			}
+			if string(got[:2]) != c.want {
+				t.Fatalf("%s: block %d = %q, want %q", b.name, c.n, got[:2], c.want)
+			}
+		}
+		if got, _ := st.Read(2, s.theirs); string(got[:6]) != "theirs" {
+			t.Fatalf("%s: foreign block clobbered", b.name)
+		}
+
+		// AllocMulti beyond capacity: all-or-nothing rollback.
+		over := make([][]byte, 16)
+		for i := range over {
+			over[i] = []byte{byte(i)}
+		}
+		if _, err := st.AllocMulti(1, over); !errors.Is(err, block.ErrNoSpace) {
+			t.Fatalf("%s: overflow err = %v", b.name, err)
+		}
+
+		// FreeMulti with a foreign block: first error reported, the
+		// caller's blocks still freed.
+		err = st.FreeMulti(1, []block.Num{s.mine[0], s.theirs, s.mine[1]})
+		if !errors.Is(err, block.ErrNotOwner) {
+			t.Fatalf("%s: partial free err = %v", b.name, err)
+		}
+		if _, err := st.Read(1, s.mine[0]); !errors.Is(err, block.ErrNotAllocated) {
+			t.Fatalf("%s: mine[0] survived: %v", b.name, err)
+		}
+		if _, err := st.Read(1, s.mine[1]); !errors.Is(err, block.ErrNotAllocated) {
+			t.Fatalf("%s: mine[1] survived: %v", b.name, err)
+		}
+		if _, err := st.Read(2, s.theirs); err != nil {
+			t.Fatalf("%s: foreign block freed: %v", b.name, err)
+		}
+	}
+
+	// The recovery scans of the two backends must agree exactly.
+	for _, acct := range []block.Account{1, 2} {
+		mr, _ := mem.Recover(acct)
+		sr, _ := seg.Recover(acct)
+		if len(mr) != len(sr) {
+			t.Fatalf("recover(%d): mem %d blocks, seg %d blocks", acct, len(mr), len(sr))
+		}
+	}
+}
+
 // FuzzContract feeds random operation scripts to both backends. The
 // seed corpus runs under plain `go test`; `go test -fuzz=FuzzContract`
 // explores further.
@@ -202,6 +349,14 @@ func FuzzContract(f *testing.F) {
 				ops = append(ops, contractOp{op: "lock", acct: acct, n: idx})
 			case 6:
 				ops = append(ops, contractOp{op: "unlock", acct: acct, n: idx})
+			case 7:
+				ops = append(ops, contractOp{op: "readmulti", acct: acct, n: idx})
+			case 8:
+				ops = append(ops, contractOp{op: "writemulti", acct: acct, n: idx, data: fmt.Sprintf("m%d", i)})
+			case 9:
+				ops = append(ops, contractOp{op: "freemulti", acct: acct, n: idx})
+			case 10:
+				ops = append(ops, contractOp{op: "allocmulti", acct: acct, data: fmt.Sprintf("b%d-%d", i, idx)})
 			default:
 				ops = append(ops, contractOp{op: "recover", acct: acct})
 			}

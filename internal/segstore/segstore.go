@@ -234,9 +234,12 @@ type Store struct {
 
 	// sendMu guards sends against channel close. Mutations flow
 	// reqs → appender → sealed → syncer; the syncer's exit closes
-	// syncerDone.
+	// syncerDone. The channel carries request groups: a multi-block
+	// operation's records travel as one group and therefore land in one
+	// group-commit batch (one fsync), instead of making N independent
+	// trips through the pipeline.
 	sendMu     sync.RWMutex
-	reqs       chan *writeReq
+	reqs       chan []*writeReq
 	sealed     chan sealedBatch
 	syncerDone chan struct{}
 
@@ -288,7 +291,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		segs:       make(map[uint64]*segment),
 		dirf:       dirf,
 		seq:        1,
-		reqs:       make(chan *writeReq, 4*maxBatch),
+		reqs:       make(chan []*writeReq, 16),
 		sealed:     make(chan sealedBatch, 4),
 		syncerDone: make(chan struct{}),
 	}
@@ -473,24 +476,25 @@ func (s *Store) createSegment(id uint64) error {
 // always equals what a replay of the durable log would rebuild, and a
 // request is acknowledged only after its record is fsynced.
 
-// runAppender collects requests into group-commit batches and appends
-// their records to the log.
+// runAppender collects request groups into group-commit batches and
+// appends their records to the log.
 func (s *Store) runAppender() {
 	defer close(s.sealed)
+	var batch []*writeReq
 	for {
-		r, ok := <-s.reqs
+		group, ok := <-s.reqs
 		if !ok {
 			return
 		}
-		batch := []*writeReq{r}
+		batch = append(batch[:0], group...)
 	fill:
 		for len(batch) < maxBatch {
 			select {
-			case r, ok := <-s.reqs:
+			case group, ok := <-s.reqs:
 				if !ok {
 					break fill
 				}
-				batch = append(batch, r)
+				batch = append(batch, group...)
 			default:
 				break fill
 			}
@@ -512,11 +516,11 @@ func (s *Store) runAppender() {
 		window:
 			for len(batch) < maxBatch && idle < 32 {
 				select {
-				case r, ok := <-s.reqs:
+				case group, ok := <-s.reqs:
 					if !ok {
 						break window
 					}
-					batch = append(batch, r)
+					batch = append(batch, group...)
 					idle = 0
 				default:
 					idle++
@@ -590,6 +594,15 @@ func (s *Store) admit(r *writeReq) bool {
 			return false
 		}
 	}
+	if len(r.data) > s.opt.BlockSize {
+		// Multi-op requests reach admission without the entry-point size
+		// check, so each oversized payload fails individually here.
+		if r.alloc {
+			s.idx.drop(r.num)
+		}
+		finish(r, fmt.Errorf("segstore: %d bytes into %d-byte block", len(r.data), s.opt.BlockSize))
+		return false
+	}
 	p := s.pend[r.num]
 	p.count++
 	if r.kind == recFree {
@@ -622,8 +635,10 @@ func (s *Store) appendBatch(batch []*writeReq) {
 		return
 	}
 
-	if s.pendingBuf == nil {
-		s.pendingBuf = make([]byte, 0, maxBatch*s.recSize)
+	// A batch can exceed maxBatch when whole request groups straddle the
+	// drain limit; size the encode buffer for the real batch.
+	if need := len(admitted) * s.recSize; cap(s.pendingBuf) < need {
+		s.pendingBuf = make([]byte, 0, need)
 	}
 	pending := s.pendingBuf[:0]
 	var placed []placement
@@ -794,14 +809,17 @@ func (s *Store) runSyncer() {
 	}
 }
 
-// send queues r to the writer; wait for r.done before reading r.err.
-func (s *Store) send(r *writeReq) error {
+// send queues one request group to the writer; wait for each request's
+// done before reading its err. A group always lands in a single
+// appender batch (and so at most one fsync), which is what makes the
+// multi-block operations one trip through the pipeline.
+func (s *Store) send(group ...*writeReq) error {
 	s.sendMu.RLock()
 	defer s.sendMu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
-	s.reqs <- r
+	s.reqs <- group
 	return nil
 }
 
@@ -813,6 +831,43 @@ func (s *Store) submit(r *writeReq) error {
 	}
 	<-r.done
 	return r.err
+}
+
+// submitMany queues a multi-block operation's requests in maxBatch-sized
+// groups and waits for all of them, returning the first (lowest-index)
+// error. Each request's own outcome stays readable in r.err/r.skipped.
+func (s *Store) submitMany(reqs []*writeReq) error {
+	for _, r := range reqs {
+		r.done = make(chan struct{})
+	}
+	sent := 0
+	var sendErr error
+	for sent < len(reqs) {
+		end := sent + maxBatch
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		if err := s.send(reqs[sent:end]...); err != nil {
+			sendErr = err
+			break
+		}
+		sent = end
+	}
+	var first error
+	for _, r := range reqs[:sent] {
+		<-r.done
+		if r.err != nil && first == nil {
+			first = r.err
+		}
+	}
+	if first == nil {
+		first = sendErr
+	}
+	// Requests never enqueued (store closed mid-loop) fail uniformly.
+	for _, r := range reqs[sent:] {
+		r.err = ErrClosed
+	}
+	return first
 }
 
 // --- block.Store ---
@@ -972,6 +1027,98 @@ func (s *Store) Recover(account block.Account) ([]block.Num, error) {
 }
 
 var _ block.Store = (*Store)(nil)
+var _ block.MultiStore = (*Store)(nil)
+
+// --- block.MultiStore ---
+//
+// The multi-block operations follow the contract documented on
+// block.MultiStore. Their records travel as one request group through
+// the appender, so an N-block batch rides one group-commit window —
+// one fsync — instead of N independent trips through the pipeline.
+
+// ReadMulti implements block.MultiStore: one index-lock acquisition for
+// the whole batch (all-or-nothing; reads modify nothing).
+func (s *Store) ReadMulti(account block.Account, ns []block.Num) ([][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	out := make([][]byte, len(ns))
+	for i, n := range ns {
+		if err := s.idx.checkOwner(account, n); err != nil {
+			return nil, fmt.Errorf("multi read %d/%d: %w", i, len(ns), err)
+		}
+		e := s.idx.entries[n]
+		if e.loc == (loc{}) {
+			out[i] = make([]byte, s.opt.BlockSize)
+			continue
+		}
+		data, err := s.readRecord(n, e.loc)
+		if err != nil {
+			return nil, fmt.Errorf("multi read %d/%d: %w", i, len(ns), err)
+		}
+		out[i] = data
+	}
+	s.stats.Reads += uint64(len(ns))
+	return out, nil
+}
+
+// WriteMulti implements block.MultiStore: per-block independence, all
+// records in one group (one fsync), first error returned.
+func (s *Store) WriteMulti(account block.Account, ns []block.Num, data [][]byte) error {
+	if len(ns) != len(data) {
+		return fmt.Errorf("segstore: multi write with %d blocks, %d payloads", len(ns), len(data))
+	}
+	reqs := make([]*writeReq, len(ns))
+	for i := range ns {
+		reqs[i] = &writeReq{kind: recData, num: ns[i], account: account, data: data[i]}
+	}
+	if err := s.submitMany(reqs); err != nil {
+		return fmt.Errorf("multi write: %w", err)
+	}
+	return nil
+}
+
+// AllocMulti implements block.MultiStore: all-or-nothing — on any
+// failure the blocks that were allocated are freed again before the
+// error returns.
+func (s *Store) AllocMulti(account block.Account, data [][]byte) ([]block.Num, error) {
+	reqs := make([]*writeReq, len(data))
+	for i := range data {
+		reqs[i] = &writeReq{kind: recData, alloc: true, account: account, data: data[i]}
+	}
+	if err := s.submitMany(reqs); err != nil {
+		var got []block.Num
+		for _, r := range reqs {
+			if r.err == nil {
+				got = append(got, r.num)
+			}
+		}
+		if len(got) > 0 {
+			_ = s.FreeMulti(account, got) // best-effort rollback
+		}
+		return nil, fmt.Errorf("multi alloc: %w", err)
+	}
+	out := make([]block.Num, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.num
+	}
+	return out, nil
+}
+
+// FreeMulti implements block.MultiStore: per-block independence, all
+// free records in one group, first error returned.
+func (s *Store) FreeMulti(account block.Account, ns []block.Num) error {
+	reqs := make([]*writeReq, len(ns))
+	for i, n := range ns {
+		reqs[i] = &writeReq{kind: recFree, num: n, account: account}
+	}
+	if err := s.submitMany(reqs); err != nil {
+		return fmt.Errorf("multi free: %w", err)
+	}
+	return nil
+}
 
 // --- management ---
 

@@ -488,3 +488,61 @@ func TestSingleWriterLock(t *testing.T) {
 	}
 	s3.Close()
 }
+
+func TestMultiOpsRideOneGroupCommit(t *testing.T) {
+	// The point of the batch append: an N-block multi operation makes
+	// one trip through the appender→syncer pipeline — one fsync — where
+	// N sequential single writes pay one fsync each.
+	st, err := Open(t.TempDir(), Options{BlockSize: 512, Capacity: 4096, SegmentRecords: 4096, Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const blocks = 64
+	s0 := st.Stats().Syncs
+	nums, err := st.AllocMulti(1, make([][]byte, blocks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocSyncs := st.Stats().Syncs - s0; allocSyncs > 2 {
+		t.Fatalf("AllocMulti of %d blocks used %d fsyncs", blocks, allocSyncs)
+	}
+
+	payload := []byte("batched payload")
+	s0 = st.Stats().Syncs
+	for _, n := range nums {
+		if err := st.Write(1, n, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	individual := st.Stats().Syncs - s0
+
+	payloads := make([][]byte, blocks)
+	for i := range payloads {
+		payloads[i] = payload
+	}
+	s0 = st.Stats().Syncs
+	b0 := st.Stats().Batches
+	if err := st.WriteMulti(1, nums, payloads); err != nil {
+		t.Fatal(err)
+	}
+	batched := st.Stats().Syncs - s0
+	if st.Stats().Batches-b0 > 2 {
+		t.Fatalf("WriteMulti of %d blocks split into %d batches", blocks, st.Stats().Batches-b0)
+	}
+	if batched > 2 {
+		t.Fatalf("WriteMulti of %d blocks used %d fsyncs", blocks, batched)
+	}
+	if individual < uint64(blocks)/2 {
+		t.Fatalf("sequential singles used only %d fsyncs for %d writes; baseline broken", individual, blocks)
+	}
+
+	s0 = st.Stats().Syncs
+	if err := st.FreeMulti(1, nums); err != nil {
+		t.Fatal(err)
+	}
+	if freeSyncs := st.Stats().Syncs - s0; freeSyncs > 2 {
+		t.Fatalf("FreeMulti of %d blocks used %d fsyncs", blocks, freeSyncs)
+	}
+}

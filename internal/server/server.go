@@ -746,6 +746,76 @@ func (s *Server) ReadCommitted(root block.Num, p page.Path) ([]byte, int, error)
 	return append([]byte(nil), pg.Data...), len(pg.Refs), nil
 }
 
+// PrefetchEntry is one page returned by Prefetch.
+type PrefetchEntry struct {
+	Path  page.Path
+	NRefs int
+	Data  []byte
+}
+
+// Prefetch reads the page at path in the committed version rooted at
+// root together with as much of its subtree (breadth-first, fetched
+// with multi-block reads) as fits in budget bytes of reply entries.
+// Like ReadCommitted it records no accesses — committed versions are
+// immutable — so a client can warm its cache for a whole subtree in one
+// round trip without inflating any update's read set. Sub-file
+// boundaries are not crossed. A partial result (the budget ran out, or
+// a page vanished under a concurrent collector) is not an error.
+func (s *Server) Prefetch(root block.Num, p page.Path, budget int) ([]PrefetchEntry, error) {
+	if err := s.checkAlive(); err != nil {
+		return nil, err
+	}
+	tree := &version.Tree{St: s.st, Root: root}
+	start, err := tree.PeekPage(p)
+	if err != nil {
+		return nil, err
+	}
+	type node struct {
+		path page.Path
+		pg   *page.Page
+	}
+	frontier := []node{{p, start}}
+	var out []PrefetchEntry
+	used := 0
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		enc, err := n.path.Encode(nil)
+		if err != nil {
+			return nil, err
+		}
+		cost := len(enc) + 8 + len(n.pg.Data)
+		if used+cost > budget {
+			break
+		}
+		out = append(out, PrefetchEntry{Path: n.path, NRefs: len(n.pg.Refs), Data: n.pg.Data})
+		used += cost
+		var idxs []int
+		var ns []block.Num
+		for i, r := range n.pg.Refs {
+			if r.IsNil() {
+				continue
+			}
+			idxs = append(idxs, i)
+			ns = append(ns, r.Block)
+		}
+		if len(ns) == 0 {
+			continue
+		}
+		children, err := s.st.ReadPages(ns)
+		if err != nil {
+			break // partial prefetch is still useful
+		}
+		for k, c := range children {
+			if c.IsVersion {
+				continue // do not cross into sub-files
+			}
+			frontier = append(frontier, node{n.path.Child(idxs[k]), c})
+		}
+	}
+	return out, nil
+}
+
 // VersionRoot exposes an open version's root block (cache layer).
 func (s *Server) VersionRoot(vcap capability.Capability) (block.Num, error) {
 	rec, err := s.lookup(vcap, 0)

@@ -106,6 +106,48 @@ func (s *Store) AllocPage(p *page.Page) (block.Num, error) {
 	return n, nil
 }
 
+// ReadPages reads and decodes many pages in one multi-block operation.
+func (s *Store) ReadPages(ns []block.Num) ([]*page.Page, error) {
+	for _, n := range ns {
+		if n == block.NilNum {
+			return nil, fmt.Errorf("read of nil block: %w", ErrBadPath)
+		}
+	}
+	raws, err := block.ReadMulti(s.Blocks, s.Acct, ns)
+	if err != nil {
+		return nil, fmt.Errorf("version: read %d blocks: %w", len(ns), err)
+	}
+	out := make([]*page.Page, len(raws))
+	for i, raw := range raws {
+		p, err := page.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("version: block %d: %w", ns[i], err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// WritePages encodes and writes many pages in place (the caller must
+// own every listed block in this version) in one multi-block operation.
+func (s *Store) WritePages(ns []block.Num, pgs []*page.Page) error {
+	if len(ns) != len(pgs) {
+		return fmt.Errorf("version: write %d blocks with %d pages: %w", len(ns), len(pgs), ErrBadPath)
+	}
+	raws := make([][]byte, len(pgs))
+	for i, p := range pgs {
+		raw, err := p.Encode(s.Blocks.BlockSize())
+		if err != nil {
+			return fmt.Errorf("version: encode for block %d: %w", ns[i], err)
+		}
+		raws[i] = raw
+	}
+	if err := block.WriteMulti(s.Blocks, s.Acct, ns, raws); err != nil {
+		return fmt.Errorf("version: write %d blocks: %w", len(ns), err)
+	}
+	return nil
+}
+
 // Capacity returns the data capacity of a page with nrefs references.
 func (s *Store) Capacity(nrefs int, isVersion bool) int {
 	return page.Capacity(s.Blocks.BlockSize(), nrefs, isVersion)
@@ -192,6 +234,13 @@ type chainEntry struct {
 // crossSubFiles controls whether descent may pass through embedded
 // version pages; the plain file operations refuse, the server's
 // super-file update path (which holds locks) allows it.
+//
+// The copy-on-write write-out is batched: the walk only reads, noting
+// which pages are first accessed in this version; the shadow copies are
+// then allocated with a single multi-block alloc and flushed — final
+// contents, patched parent references — with a single multi-block
+// write, so a depth-D shadowing costs two block operations instead of
+// 2D.
 func (t *Tree) descend(p page.Path, crossSubFiles bool) ([]chainEntry, error) {
 	cur, err := t.St.ReadPage(t.Root)
 	if err != nil {
@@ -199,6 +248,8 @@ func (t *Tree) descend(p page.Path, crossSubFiles bool) ([]chainEntry, error) {
 	}
 	chain := make([]chainEntry, 0, len(p)+1)
 	chain = append(chain, chainEntry{t.Root, cur})
+	var toCopy []int // chain indices of pages first accessed in this version
+	copying := false // everything below a first access is also a first access
 	for depth, idx := range p {
 		if idx < 0 || idx >= len(cur.Refs) {
 			return nil, fmt.Errorf("version: %s index %d of %d at depth %d: %w",
@@ -215,27 +266,67 @@ func (t *Tree) descend(p page.Path, crossSubFiles bool) ([]chainEntry, error) {
 		if child.IsVersion && !crossSubFiles {
 			return nil, fmt.Errorf("version: %s at depth %d: %w", p, depth, ErrSubFile)
 		}
-		if !ref.Flags.Accessed() {
-			// First access in this version: copy the page, clearing
-			// the flags it holds for its own children (flag
-			// initialisation), and point the (already private) parent
-			// at the copy.
-			cp := child.Clone()
-			cp.Refs = clearRefFlags(child.Refs)
-			cp.BaseRef = ref.Block
-			newBlk, err := t.St.AllocPage(cp)
-			if err != nil {
-				return nil, err
-			}
-			cur.Refs[idx] = page.Ref{Block: newBlk, Flags: ref.Flags.Set(page.FlagC)}
-			if err := t.St.WritePage(chain[depth].blk, cur); err != nil {
-				return nil, err
-			}
-			child = cp
-			ref = cur.Refs[idx]
+		// Below a page copied in this pass the base's flags are
+		// meaningless (a fresh copy starts with a cleared table), so
+		// every deeper page is a first access too.
+		if copying || !ref.Flags.Accessed() {
+			copying = true
+			toCopy = append(toCopy, depth+1)
 		}
 		chain = append(chain, chainEntry{ref.Block, child})
 		cur = child
+	}
+	if len(toCopy) == 0 {
+		return chain, nil
+	}
+	// Build every shadow copy first — the page cloned with its child
+	// flags cleared (flag initialisation) and its base recorded — and
+	// allocate them all, full contents, in one multi-block alloc
+	// (all-or-nothing). A shadow's own references still point at the
+	// base's children until a deeper shadow patches it below, so every
+	// allocated block is a valid page at every instant: no failure in
+	// the flush can leave a reference to a block that was never
+	// written. Shadows orphaned by a mid-flush failure fall to the
+	// garbage collector, the same fate as an aborted version's pages.
+	clones := make([]*page.Page, len(toCopy))
+	raws := make([][]byte, len(toCopy))
+	for k, ci := range toCopy {
+		orig := chain[ci]
+		cp := orig.pg.Clone()
+		cp.Refs = clearRefFlags(orig.pg.Refs)
+		cp.BaseRef = orig.blk
+		clones[k] = cp
+		raw, err := cp.Encode(t.St.Blocks.BlockSize())
+		if err != nil {
+			return nil, fmt.Errorf("version: encode shadow of block %d: %w", orig.blk, err)
+		}
+		raws[k] = raw
+	}
+	newBlks, err := block.AllocMulti(t.St.Blocks, t.St.Acct, raws)
+	if err != nil {
+		return nil, fmt.Errorf("version: alloc %d shadow pages: %w", len(toCopy), err)
+	}
+	// Point each (private: root, already-copied, or shadowed just
+	// above) parent at its copy; only the patched parents need the
+	// flush, the shadows' own contents are already durable.
+	dirty := make([]bool, len(chain))
+	for k, ci := range toCopy {
+		chain[ci] = chainEntry{newBlks[k], clones[k]}
+		parent := chain[ci-1].pg
+		idx := p[ci-1]
+		parent.Refs[idx] = page.Ref{Block: newBlks[k], Flags: parent.Refs[idx].Flags.Set(page.FlagC)}
+		dirty[ci-1] = true
+	}
+	var ns []block.Num
+	var pgs []*page.Page
+	for i, d := range dirty {
+		if d {
+			ns = append(ns, chain[i].blk)
+			pgs = append(pgs, chain[i].pg)
+		}
+	}
+	if err := t.St.WritePages(ns, pgs); err != nil {
+		return nil, err
 	}
 	return chain, nil
 }
@@ -272,15 +363,20 @@ func (t *Tree) setFlags(p page.Path, chain []chainEntry, finalBits page.Flags) e
 	}
 	setOn(len(chain)-1, finalBits)
 
+	// One multi-block write for every dirtied page of the chain.
+	var ns []block.Num
+	var pgs []*page.Page
 	for i, d := range dirty {
 		if !d {
 			continue
 		}
-		if err := t.St.WritePage(chain[i].blk, chain[i].pg); err != nil {
-			return err
-		}
+		ns = append(ns, chain[i].blk)
+		pgs = append(pgs, chain[i].pg)
 	}
-	return nil
+	if len(ns) == 0 {
+		return nil
+	}
+	return t.St.WritePages(ns, pgs)
 }
 
 // ReadPage returns the client data and reference count of the page at
@@ -602,15 +698,27 @@ func (t *Tree) walk(p page.Path, ref page.Ref, pg *page.Page, fn func(page.Path,
 	if err := fn(p, ref, pg); err != nil {
 		return err
 	}
+	// Read all children of this page in one multi-block operation: the
+	// walk is depth-first but fetches breadth-batched.
+	var idxs []int
+	var ns []block.Num
 	for i, r := range pg.Refs {
 		if r.IsNil() {
 			continue
 		}
-		child, err := t.St.ReadPage(r.Block)
-		if err != nil {
-			return err
-		}
-		if err := t.walk(p.Child(i), r, child, fn); err != nil {
+		idxs = append(idxs, i)
+		ns = append(ns, r.Block)
+	}
+	if len(ns) == 0 {
+		return nil
+	}
+	children, err := t.St.ReadPages(ns)
+	if err != nil {
+		return err
+	}
+	for k, child := range children {
+		i := idxs[k]
+		if err := t.walk(p.Child(i), pg.Refs[i], child, fn); err != nil {
 			return err
 		}
 	}
@@ -642,15 +750,22 @@ func (t *Tree) PrivateBlocks() (map[block.Num]bool, error) {
 	}
 	var rec func(pg *page.Page) error
 	rec = func(pg *page.Page) error {
+		var ns []block.Num
 		for _, r := range pg.Refs {
 			if r.IsNil() || !r.Flags.Accessed() {
 				continue
 			}
 			out[r.Block] = true
-			child, err := t.St.ReadPage(r.Block)
-			if err != nil {
-				return err
-			}
+			ns = append(ns, r.Block)
+		}
+		if len(ns) == 0 {
+			return nil
+		}
+		children, err := t.St.ReadPages(ns)
+		if err != nil {
+			return err
+		}
+		for _, child := range children {
 			if err := rec(child); err != nil {
 				return err
 			}
