@@ -1,7 +1,7 @@
-// Command afs-bench regenerates the experiment tables E1–E9 described in
-// EXPERIMENTS.md: the paper has no measured tables of its own, so every
-// experiment here is keyed to a figure or a quantitative claim in the
-// text (see DESIGN.md §4 for the index).
+// Command afs-bench regenerates the experiment tables: the paper has no
+// measured tables of its own, so every experiment here is keyed to a
+// figure or a quantitative claim in the text, or prices one of this
+// repo's own additions (E10 durability, E11 batching, E12 sharding).
 //
 //	afs-bench -exp all        # everything
 //	afs-bench -exp e4         # one experiment
@@ -37,6 +37,7 @@ var experiments = []experiment{
 	{"e9", "E9 (§3.1, §5.4.1): crash recovery work", runE9},
 	{"e10", "E10 (§4): durable block store — group commit vs RAM disk", runE10},
 	{"e11", "E11: batched block I/O — round trips, fsyncs and throughput", runE11},
+	{"e12", "E12: sharded block service — aggregate bandwidth vs shard count", runE12},
 	{"fig2", "Fig. 2: the file system is a tree of trees", runFig2},
 	{"fig4", "Fig. 4: the family tree of a file", runFig4},
 }
@@ -56,7 +57,7 @@ func record(exp, key string, v float64) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e11, fig2, fig4, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e12, fig2, fig4, all)")
 	jsonOut := flag.Bool("json", false, "write recorded per-experiment numbers to BENCH.json")
 	flag.Parse()
 

@@ -1,8 +1,8 @@
-// Command afs-block runs a standalone block server (§4) on TCP: the
+// Command afs-block runs standalone block servers (§4) on TCP: the
 // bottom of the storage hierarchy, serving fixed-size blocks with
 // per-account protection, atomic writes, the lock facility and the
-// recovery scan. An afs-server process mounts it with
-// -block PORT@ADDR.
+// recovery scan. An afs-server process mounts the printed endpoints
+// with -blocks PORT@ADDR[,PORT@ADDR...].
 //
 // Two backends:
 //
@@ -11,6 +11,15 @@
 //	-store=seg -dir=D   durable segment-log store in directory D
 //	                    (internal/segstore): contents survive restarts,
 //	                    writes are group-committed to disk
+//
+// With -shards N the process serves N independent block stores, each
+// on its own service port (with -store=seg each in its own
+// subdirectory D/shard-XX), and prints the comma-separated endpoint
+// list an afs-server -blocks flag consumes directly. That is the
+// single-machine stand-in for N block-server machines; a real
+// deployment runs one afs-block per machine and joins the printed
+// endpoints by hand. The endpoint order is the shard placement order —
+// keep it stable across restarts (see internal/shard).
 package main
 
 import (
@@ -19,6 +28,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/block"
@@ -33,37 +44,58 @@ func main() {
 		listen  = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
 		backend = flag.String("store", "mem", "block store backend: mem or seg")
 		dir     = flag.String("dir", "", "store directory (required with -store=seg)")
-		blocks  = flag.Int("blocks", 1<<16, "number of blocks")
+		// Named -nblocks (not -blocks) to match afs-server, where
+		// -blocks is the remote mount list this binary's output feeds.
+		blocks  = flag.Int("nblocks", 1<<16, "number of blocks (per shard)")
 		bsize   = flag.Int("bsize", 4096, "block size in bytes")
 		sync    = flag.String("sync", "group", "seg durability: group, each or none")
 		compact = flag.Duration("compact", time.Minute, "seg compaction interval (0 disables)")
+		shards  = flag.Int("shards", 1, "independent block stores to serve, one port each")
 	)
 	flag.Parse()
 
-	store, closeStore, err := openStore(*backend, *dir, *blocks, *bsize, *sync, *compact)
-	if err != nil {
-		log.Fatal(err)
+	if *shards < 1 {
+		log.Fatalf("-shards %d: need at least 1", *shards)
 	}
 
 	tcp, err := rpc.NewTCPServer(*listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	port := capability.NewPort().Public()
-	tcp.Register(port, block.Serve(store))
 
-	// The PORT@ADDR line on stdout is the mount point for afs-server.
-	fmt.Printf("%s@%s\n", port, tcp.Addr())
-	log.Printf("block server (%s): %d x %d bytes at %s (port %s)", *backend, *blocks, *bsize, tcp.Addr(), port)
+	var endpoints []string
+	var closers []func()
+	for i := 0; i < *shards; i++ {
+		shardDir := *dir
+		if *shards > 1 && shardDir != "" {
+			shardDir = filepath.Join(shardDir, fmt.Sprintf("shard-%02d", i))
+		}
+		store, closeStore, err := openStore(*backend, shardDir, *blocks, *bsize, *sync, *compact)
+		if err != nil {
+			log.Fatal(err)
+		}
+		closers = append(closers, closeStore)
+		port := capability.NewPort().Public()
+		tcp.Register(port, block.Serve(store))
+		endpoints = append(endpoints, fmt.Sprintf("%s@%s", port, tcp.Addr()))
+	}
+
+	// The endpoint line on stdout is the mount list for afs-server
+	// (-blocks); with one shard it is the familiar single PORT@ADDR.
+	fmt.Println(strings.Join(endpoints, ","))
+	log.Printf("block server (%s): %d shard(s) x %d x %d bytes at %s",
+		*backend, *shards, *blocks, *bsize, tcp.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	tcp.Close()
-	closeStore()
+	for _, c := range closers {
+		c()
+	}
 }
 
-// openStore builds the chosen backend.
+// openStore builds one backend instance.
 func openStore(backend, dir string, blocks, bsize int, sync string, compact time.Duration) (block.Store, func(), error) {
 	switch backend {
 	case "mem":

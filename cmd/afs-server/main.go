@@ -1,16 +1,26 @@
 // Command afs-server runs an Amoeba File Service on TCP: any number of
 // logical file server processes sharing one file table and one block
 // store — an in-process simulated disk (-store=mem), a durable
-// segment-log store on the local filesystem (-store=seg -dir=D), or a
-// remote afs-block service mounted with -block PORT@ADDR.
+// segment-log store on the local filesystem (-store=seg -dir=D), or
+// one or more remote afs-block services mounted with
+// -blocks PORT@ADDR[,PORT@ADDR...].
+//
+// With more than one mount the block services are composed behind the
+// sharded facade (internal/shard): block numbers are partitioned across
+// them by the fixed placement function, batched operations fan out one
+// RPC stream per shard, and storage bandwidth scales with the number of
+// block servers. The mount order is the placement order — reopening a
+// deployment with the same stores in a different order is a different
+// (wrong) layout.
 //
 // With a durable or remote store the server recovers on startup: it
-// scans its account's blocks (§4), rebuilds the file table from the
-// version pages found, and mints fresh capabilities for the recovered
-// files. Files written before a crash are served again after it.
+// scans its account's blocks (§4; with shards, one concurrent scan per
+// block server), rebuilds the file table from the version pages found,
+// and mints fresh capabilities for the recovered files. Files written
+// before a crash are served again after it.
 //
 // The service line printed on stdout (comma-separated PORT@ADDR pairs,
-// one per file server, then the service capability secret is kept
+// one per file server; the service capability secret is kept
 // in-process) is what the afs CLI consumes via -servers.
 package main
 
@@ -31,6 +41,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/segstore"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/version"
 )
 
@@ -38,36 +49,49 @@ func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
 		servers  = flag.Int("servers", 2, "number of file server processes")
-		backend  = flag.String("store", "mem", "block store backend: mem or seg (ignored with -block)")
+		backend  = flag.String("store", "mem", "block store backend: mem or seg (ignored with -blocks)")
 		dir      = flag.String("dir", "", "store directory (required with -store=seg)")
-		blocks   = flag.Int("blocks", 1<<16, "blocks of the in-process store (ignored with -block)")
-		bsize    = flag.Int("bsize", 4096, "block size of the in-process store (ignored with -block)")
+		nblocks  = flag.Int("nblocks", 1<<16, "blocks of the in-process store (ignored with -blocks)")
+		bsize    = flag.Int("bsize", 4096, "block size of the in-process store (ignored with -blocks)")
 		sync     = flag.String("sync", "group", "seg durability: group, each or none")
 		compact  = flag.Duration("compact", time.Minute, "seg compaction interval (0 disables)")
-		mount    = flag.String("block", "", "remote block service as PORT@ADDR (from afs-block)")
+		mounts   = flag.String("blocks", "", "remote block services as PORT@ADDR[,PORT@ADDR...] (from afs-block); two or more are sharded")
+		mount    = flag.String("block", "", "single remote block service as PORT@ADDR (alias for -blocks)")
 		gcEvery  = flag.Duration("gc", 5*time.Second, "garbage collection interval (0 disables)")
 		gcRetain = flag.Int("retain", 4, "committed versions retained per file")
 	)
 	flag.Parse()
 
+	mountList := *mounts
+	if mountList == "" {
+		mountList = *mount
+	}
+
 	var store block.Store
+	var sharded *shard.Store
 	var closeStore func()
 	durable := false // the store may hold a file system from a past life
 	switch {
-	case *mount != "":
-		port, addr, err := splitMount(*mount)
+	case mountList != "":
+		remotes, err := dialMounts(mountList)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := rpc.NewResolver()
-		res.Set(port, addr)
-		remote, err := block.Dial(rpc.NewTCPClient(res), port)
-		if err != nil {
-			log.Fatalf("mount %s: %v", *mount, err)
+		if len(remotes) == 1 {
+			store = remotes[0]
+			log.Printf("mounted remote block service %s", mountList)
+		} else {
+			sharded, err = shard.New(remotes...)
+			if err != nil {
+				log.Fatalf("shard %s: %v", mountList, err)
+			}
+			store = sharded
+			for _, st := range sharded.ShardStats() {
+				log.Printf("  shard %d: %d/%d blocks in use", st.Shard, st.Usage.InUse, st.Usage.Capacity)
+			}
+			log.Printf("mounted %d block services behind the sharded facade", len(remotes))
 		}
-		store = remote
 		durable = true
-		log.Printf("mounted remote block service %s", *mount)
 	case *backend == "seg":
 		if *dir == "" {
 			log.Fatal("-store=seg needs -dir")
@@ -78,7 +102,7 @@ func main() {
 		}
 		st, err := segstore.Open(*dir, segstore.Options{
 			BlockSize:    *bsize,
-			Capacity:     *blocks,
+			Capacity:     *nblocks,
 			Sync:         mode,
 			CompactEvery: *compact,
 		})
@@ -94,7 +118,7 @@ func main() {
 		}
 		log.Printf("segstore %s: %d blocks in %d segments", *dir, st.InUse(), st.Segments())
 	case *backend == "mem":
-		d, err := disk.New(disk.Geometry{Blocks: *blocks, BlockSize: *bsize})
+		d, err := disk.New(disk.Geometry{Blocks: *nblocks, BlockSize: *bsize})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -161,7 +185,40 @@ func main() {
 	if closeStore != nil {
 		closeStore()
 	}
+	if sharded != nil {
+		for _, st := range sharded.ShardStats() {
+			log.Printf("shard %d: %d reads, %d writes, %d allocs, %d frees, %d fsyncs",
+				st.Shard, st.Stats.Reads, st.Stats.Writes, st.Stats.Allocs, st.Stats.Frees, st.Stats.Syncs)
+		}
+	}
 	log.Printf("file service down: %d files", sh.Table.Len())
+}
+
+// dialMounts parses a comma-separated PORT@ADDR list and dials each
+// endpoint, in order (the order is the shard placement order).
+func dialMounts(list string) ([]block.Store, error) {
+	var out []block.Store
+	for _, m := range strings.Split(list, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		port, addr, err := splitMount(m)
+		if err != nil {
+			return nil, err
+		}
+		res := rpc.NewResolver()
+		res.Set(port, addr)
+		remote, err := block.Dial(rpc.NewTCPClient(res), port)
+		if err != nil {
+			return nil, fmt.Errorf("mount %s: %w", m, err)
+		}
+		out = append(out, remote)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mount list %q names no endpoints", list)
+	}
+	return out, nil
 }
 
 // splitMount parses PORT@ADDR.

@@ -22,6 +22,32 @@
 // number, returns a list of block numbers owned by that account", which a
 // file server uses with its own redundancy information to rebuild its
 // file system after a severe crash.
+//
+// # Contract
+//
+// Store is the narrow waist of the storage hierarchy: everything above
+// (version trees, OCC, the file servers) consumes it, and every backend
+// — the in-memory Server here, the durable segstore log, the stable
+// companion pairs, the RPC proxy and the sharded facade — provides it
+// with identical observable semantics, enforced by the cross-backend
+// contract tests (internal/blocktest):
+//
+//   - Errors are classified by the sentinel errors above (ErrNoSpace,
+//     ErrNotAllocated, ErrNotOwner, ErrLocked, ErrNotLocked), reachable
+//     through errors.Is on any backend, local or remote.
+//   - A Write acknowledged is a write applied (and, on durable
+//     backends, on disk); there are no deferred or buffered-but-acked
+//     mutations.
+//   - Lock bits are volatile commit-section state, never file state: a
+//     backend restart clears them.
+//
+// The batched MultiStore operations (multi.go) extend the contract with
+// documented partial-failure semantics; their first failure is reported
+// as a MultiError carrying the failing position, so batching layers can
+// attribute errors without parsing text. Backends may additionally
+// report allocation headroom (UsageReporter) and operation counters
+// (StatsReporter); the sharded facade (internal/shard) uses both to
+// place allocations and to expose per-shard statistics.
 package block
 
 import (
@@ -127,10 +153,49 @@ type Server struct {
 	stats counters
 }
 
-// Stats counts operations on a Server.
+// Stats counts operations on a Server. The same shape is the common
+// counter snapshot every backend can report through StatsReporter.
 type Stats struct {
 	Allocs, Frees, Reads, Writes, Locks, Unlocks uint64
 	LockConflicts                                uint64
+	// Syncs counts fsyncs issued by durable backends; zero on the
+	// RAM-backed server.
+	Syncs uint64
+}
+
+// Add accumulates o into s, for aggregating per-shard snapshots.
+func (s *Stats) Add(o Stats) {
+	s.Allocs += o.Allocs
+	s.Frees += o.Frees
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Locks += o.Locks
+	s.Unlocks += o.Unlocks
+	s.LockConflicts += o.LockConflicts
+	s.Syncs += o.Syncs
+}
+
+// Usage reports a store's allocation headroom.
+type Usage struct {
+	// Capacity is the number of allocatable blocks.
+	Capacity int
+	// InUse is the number of currently allocated blocks.
+	InUse int
+}
+
+// UsageReporter is the optional interface for backends that can report
+// allocation headroom. The sharded facade seeds its placement heuristic
+// from it; the wire protocol proxies it with cmdUsage.
+type UsageReporter interface {
+	Usage() (Usage, error)
+}
+
+// StatsReporter is the optional interface for backends that expose
+// operation counters in the common Stats shape. The wire protocol
+// proxies it with cmdStats, so per-shard fsync and operation counts are
+// observable across the network.
+type StatsReporter interface {
+	BlockStats() (Stats, error)
 }
 
 // counters is the lock-free internal form of Stats.
@@ -184,6 +249,14 @@ func (s *Server) Stats() Stats {
 		LockConflicts: s.stats.lockConflicts.Load(),
 	}
 }
+
+// Usage implements UsageReporter.
+func (s *Server) Usage() (Usage, error) {
+	return Usage{Capacity: s.Capacity(), InUse: s.InUse()}, nil
+}
+
+// BlockStats implements StatsReporter.
+func (s *Server) BlockStats() (Stats, error) { return s.Stats(), nil }
 
 // Disk exposes the underlying disk for fault injection in tests and the
 // failure-mode benchmarks.
@@ -387,11 +460,11 @@ func (s *Server) ReadMulti(account Account, ns []Num) ([][]byte, error) {
 		err := sh.checkOwner(account, n)
 		sh.mu.Unlock()
 		if err != nil {
-			return nil, fmt.Errorf("multi read %d/%d: %w", i, len(ns), err)
+			return nil, multiErr("read", i, len(ns), err)
 		}
 		data, err := s.d.Read(int(n))
 		if err != nil {
-			return nil, fmt.Errorf("multi read %d/%d: %w", i, len(ns), err)
+			return nil, multiErr("read", i, len(ns), err)
 		}
 		out[i] = data
 	}
@@ -416,7 +489,7 @@ func (s *Server) WriteMulti(account Account, ns []Num, data [][]byte) error {
 			err = s.d.Write(int(n), data[i])
 		}
 		if err != nil && first == nil {
-			first = fmt.Errorf("multi write %d/%d: %w", i, len(ns), err)
+			first = multiErr("write", i, len(ns), err)
 		}
 	}
 	return first
@@ -436,7 +509,7 @@ func (s *Server) AllocMulti(account Account, data [][]byte) ([]Num, error) {
 			for _, got := range out {
 				s.unclaim(got)
 			}
-			return nil, err
+			return nil, multiErr("alloc", len(out), len(data), err)
 		}
 		out = append(out, n)
 	}
@@ -446,7 +519,7 @@ func (s *Server) AllocMulti(account Account, data [][]byte) ([]Num, error) {
 			for _, got := range out {
 				s.unclaim(got)
 			}
-			return nil, fmt.Errorf("multi alloc %d/%d (block %d): %w", i, len(data), n, err)
+			return nil, multiErr("alloc", i, len(data), fmt.Errorf("block %d: %w", n, err))
 		}
 	}
 	s.stats.allocs.Add(uint64(len(out)))
@@ -459,7 +532,7 @@ func (s *Server) FreeMulti(account Account, ns []Num) error {
 	var first error
 	for i, n := range ns {
 		if err := s.Free(account, n); err != nil && first == nil {
-			first = fmt.Errorf("multi free %d/%d: %w", i, len(ns), err)
+			first = multiErr("free", i, len(ns), err)
 		}
 	}
 	return first

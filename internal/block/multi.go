@@ -1,6 +1,9 @@
 package block
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Multi-block operations. Every page touch in the file service is one
 // block operation, and over a network transport one operation is one
@@ -49,6 +52,48 @@ type MultiStore interface {
 // ErrMultiShape reports mismatched argument slices.
 var errMultiShape = fmt.Errorf("block: multi op with mismatched slice lengths")
 
+// MultiError reports the first failure of a multi-block operation: the
+// position in the caller's argument order that failed, and why. Every
+// native MultiStore implementation and the loop adapters return their
+// first failure as (or wrapped around) a MultiError, so callers — most
+// importantly the sharded facade, which must merge failures from
+// concurrent per-shard sub-operations back into the caller's index
+// space — can attribute a failure to a block without parsing error
+// text. errors.Is still reaches the sentinel underneath via Unwrap.
+type MultiError struct {
+	// Op names the operation: "read", "write", "alloc" or "free".
+	Op string
+	// Index is the failing position in the caller's argument slices.
+	Index int
+	// N is the length of the caller's argument slices.
+	N int
+	// Err is the underlying per-block error.
+	Err error
+}
+
+// Error implements error.
+func (e *MultiError) Error() string {
+	return fmt.Sprintf("multi %s %d/%d: %v", e.Op, e.Index, e.N, e.Err)
+}
+
+// Unwrap exposes the per-block error to errors.Is/As.
+func (e *MultiError) Unwrap() error { return e.Err }
+
+// multiErr builds the standard first-failure error of a multi op.
+func multiErr(op string, index, n int, err error) error {
+	return &MultiError{Op: op, Index: index, N: n, Err: err}
+}
+
+// MultiIndex extracts the failing caller-order index from a multi-op
+// error, or fallback when err carries no index.
+func MultiIndex(err error, fallback int) int {
+	var me *MultiError
+	if errors.As(err, &me) {
+		return me.Index
+	}
+	return fallback
+}
+
 // ReadMulti reads the listed blocks from st, using the native multi
 // operation when st has one and a per-block loop otherwise.
 func ReadMulti(st Store, account Account, ns []Num) ([][]byte, error) {
@@ -62,7 +107,7 @@ func ReadMulti(st Store, account Account, ns []Num) ([][]byte, error) {
 	for i, n := range ns {
 		data, err := st.Read(account, n)
 		if err != nil {
-			return nil, fmt.Errorf("multi read %d/%d: %w", i, len(ns), err)
+			return nil, multiErr("read", i, len(ns), err)
 		}
 		out[i] = data
 	}
@@ -83,7 +128,7 @@ func WriteMulti(st Store, account Account, ns []Num, data [][]byte) error {
 	var first error
 	for i, n := range ns {
 		if err := st.Write(account, n, data[i]); err != nil && first == nil {
-			first = fmt.Errorf("multi write %d/%d: %w", i, len(ns), err)
+			first = multiErr("write", i, len(ns), err)
 		}
 	}
 	return first
@@ -105,7 +150,7 @@ func AllocMulti(st Store, account Account, data [][]byte) ([]Num, error) {
 			for _, got := range out {
 				_ = st.Free(account, got) // best-effort rollback
 			}
-			return nil, fmt.Errorf("multi alloc %d/%d: %w", i, len(data), err)
+			return nil, multiErr("alloc", i, len(data), err)
 		}
 		out = append(out, n)
 	}
@@ -123,7 +168,7 @@ func FreeMulti(st Store, account Account, ns []Num) error {
 	var first error
 	for i, n := range ns {
 		if err := st.Free(account, n); err != nil && first == nil {
-			first = fmt.Errorf("multi free %d/%d: %w", i, len(ns), err)
+			first = multiErr("free", i, len(ns), err)
 		}
 	}
 	return first

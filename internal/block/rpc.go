@@ -1,6 +1,7 @@
 package block
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -32,6 +33,12 @@ const (
 	cmdWriteMulti
 	cmdAllocMulti
 	cmdFreeMulti
+	// cmdUsage and cmdStats proxy the optional UsageReporter and
+	// StatsReporter interfaces, so the sharded facade can read a remote
+	// shard's allocation headroom and per-shard counters (fsyncs,
+	// operation counts) over the wire.
+	cmdUsage
+	cmdStats
 )
 
 // Status codes specific to the block service.
@@ -115,6 +122,31 @@ func Serve(s Store) rpc.Handler {
 			r := req.Reply(rpc.StatusOK)
 			r.Data = appendNums(make([]byte, 0, 4*len(nums)), nums)
 			return r
+		case cmdUsage:
+			ur, ok := s.(UsageReporter)
+			if !ok {
+				return req.Errorf(rpc.StatusBadCommand, "block: store does not report usage")
+			}
+			u, err := ur.Usage()
+			if err != nil {
+				return blockErr(req, err)
+			}
+			r := req.Reply(rpc.StatusOK)
+			r.Args[0] = uint64(u.Capacity)
+			r.Args[1] = uint64(u.InUse)
+			return r
+		case cmdStats:
+			sr, ok := s.(StatsReporter)
+			if !ok {
+				return req.Errorf(rpc.StatusBadCommand, "block: store does not report stats")
+			}
+			st, err := sr.BlockStats()
+			if err != nil {
+				return blockErr(req, err)
+			}
+			r := req.Reply(rpc.StatusOK)
+			r.Data = encodeStats(st)
+			return r
 		case cmdReadMulti:
 			ns, err := decodeNums(req.Data, int(req.Args[1]))
 			if err != nil {
@@ -122,7 +154,7 @@ func Serve(s Store) rpc.Handler {
 			}
 			datas, err := ReadMulti(s, acct, ns)
 			if err != nil {
-				return blockErr(req, err)
+				return multiBlockErr(req, err)
 			}
 			// Serve as many leading entries as fit in one frame; the
 			// client re-issues the remainder. (Clients chunk requests by
@@ -145,7 +177,7 @@ func Serve(s Store) rpc.Handler {
 				return req.Errorf(rpc.StatusBadArgument, "block: %v", err)
 			}
 			if err := WriteMulti(s, acct, ns, datas); err != nil {
-				return blockErr(req, err)
+				return multiBlockErr(req, err)
 			}
 			return req.Reply(rpc.StatusOK)
 		case cmdAllocMulti:
@@ -155,7 +187,7 @@ func Serve(s Store) rpc.Handler {
 			}
 			nums, err := AllocMulti(s, acct, datas)
 			if err != nil {
-				return blockErr(req, err)
+				return multiBlockErr(req, err)
 			}
 			r := req.Reply(rpc.StatusOK)
 			r.Data = appendNums(make([]byte, 0, 4*len(nums)), nums)
@@ -166,13 +198,25 @@ func Serve(s Store) rpc.Handler {
 				return req.Errorf(rpc.StatusBadArgument, "block: %v", err)
 			}
 			if err := FreeMulti(s, acct, ns); err != nil {
-				return blockErr(req, err)
+				return multiBlockErr(req, err)
 			}
 			return req.Reply(rpc.StatusOK)
 		default:
 			return req.Errorf(rpc.StatusBadCommand, "block: command %#x", req.Command)
 		}
 	}
+}
+
+// multiBlockErr maps a multi-op error to a wire reply; the failing
+// caller-order index (if known) rides in Args[2] as index+1, so the
+// remote proxy can rebuild an exact MultiError on the client side.
+func multiBlockErr(req *rpc.Message, err error) *rpc.Message {
+	r := blockErr(req, err)
+	var me *MultiError
+	if errors.As(err, &me) {
+		r.Args[2] = uint64(me.Index) + 1
+	}
+	return r
 }
 
 // blockErr maps store errors to wire statuses.
@@ -316,6 +360,50 @@ func (r *remoteStore) Recover(acct Account) ([]Num, error) {
 	return decodeNums(resp.Data, len(resp.Data)/4)
 }
 
+// Usage implements UsageReporter over the wire. A server whose store
+// does not report usage answers StatusBadCommand, which surfaces here
+// as an error.
+func (r *remoteStore) Usage() (Usage, error) {
+	resp, err := r.call(r.req(cmdUsage, 0, 0, nil))
+	if err != nil {
+		return Usage{}, err
+	}
+	return Usage{Capacity: int(resp.Args[0]), InUse: int(resp.Args[1])}, nil
+}
+
+// BlockStats implements StatsReporter over the wire.
+func (r *remoteStore) BlockStats() (Stats, error) {
+	resp, err := r.call(r.req(cmdStats, 0, 0, nil))
+	if err != nil {
+		return Stats{}, err
+	}
+	return decodeStats(resp.Data)
+}
+
+// encodeStats packs the common counters as eight big-endian uint64s.
+func encodeStats(st Stats) []byte {
+	vals := [...]uint64{st.Allocs, st.Frees, st.Reads, st.Writes,
+		st.Locks, st.Unlocks, st.LockConflicts, st.Syncs}
+	out := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		out = binary.BigEndian.AppendUint64(out, v)
+	}
+	return out
+}
+
+// decodeStats unpacks encodeStats's layout.
+func decodeStats(data []byte) (Stats, error) {
+	if len(data) != 8*8 {
+		return Stats{}, fmt.Errorf("stats reply of %d bytes: %w", len(data), rpc.ErrMalformed)
+	}
+	var vals [8]uint64
+	for i := range vals {
+		vals[i] = binary.BigEndian.Uint64(data[8*i:])
+	}
+	return Stats{Allocs: vals[0], Frees: vals[1], Reads: vals[2], Writes: vals[3],
+		Locks: vals[4], Unlocks: vals[5], LockConflicts: vals[6], Syncs: vals[7]}, nil
+}
+
 // --- the multi-block wire operations ---
 //
 // Wire layouts (all big endian, counts in Args[1], account in Args[0]):
@@ -405,6 +493,26 @@ func decodeNumPayloads(data []byte, count int) ([]Num, [][]byte, error) {
 	return ns, datas, nil
 }
 
+// multiCall runs one multi-op chunk and maps any failure into the
+// caller's index space as a MultiError: the server reports the failing
+// in-chunk index in reply Args[2] (1-based; 0 = unknown), which is
+// offset by chunkStart here. A transport-level failure (server
+// unreachable) is attributed to the chunk's first block.
+func (r *remoteStore) multiCall(op string, req *rpc.Message, chunkStart, chunkLen, total int) (*rpc.Message, error) {
+	resp, err := r.tr.Transact(r.port, req)
+	if err != nil {
+		return nil, multiErr(op, chunkStart, total, err)
+	}
+	if serr := statusErr(resp); serr != nil {
+		idx := chunkStart
+		if k := int(resp.Args[2]); k > 0 && k <= chunkLen {
+			idx = chunkStart + k - 1
+		}
+		return nil, multiErr(op, idx, total, serr)
+	}
+	return resp, nil
+}
+
 // ReadMulti implements MultiStore over the wire. Requests are chunked
 // so the worst-case reply (every block full) fits one frame.
 func (r *remoteStore) ReadMulti(acct Account, ns []Num) ([][]byte, error) {
@@ -416,7 +524,7 @@ func (r *remoteStore) ReadMulti(acct Account, ns []Num) ([][]byte, error) {
 		for i, n := range ns {
 			d, err := r.Read(acct, n)
 			if err != nil {
-				return nil, fmt.Errorf("multi read %d/%d: %w", i, len(ns), err)
+				return nil, multiErr("read", i, len(ns), err)
 			}
 			out[i] = d
 		}
@@ -432,7 +540,7 @@ func (r *remoteStore) ReadMulti(acct Account, ns []Num) ([][]byte, error) {
 		req := &rpc.Message{Command: cmdReadMulti, Data: appendNums(make([]byte, 0, 4*len(chunk)), chunk)}
 		req.Args[0] = uint64(acct)
 		req.Args[1] = uint64(len(chunk))
-		resp, err := r.call(req)
+		resp, err := r.multiCall("read", req, start, len(chunk), len(ns))
 		if err != nil {
 			return nil, err
 		}
@@ -445,7 +553,7 @@ func (r *remoteStore) ReadMulti(acct Account, ns []Num) ([][]byte, error) {
 			// block through the single-block command.
 			d, err := r.Read(acct, chunk[0])
 			if err != nil {
-				return nil, err
+				return nil, multiErr("read", start, len(ns), err)
 			}
 			out = append(out, d)
 			start++
@@ -477,10 +585,13 @@ func (r *remoteStore) WriteMulti(acct Account, ns []Num, data [][]byte) error {
 	i := 0
 	for i < len(ns) {
 		if 8+len(data[i]) > rpc.MaxData {
-			note(r.Write(acct, ns[i], data[i]))
+			if err := r.Write(acct, ns[i], data[i]); err != nil {
+				note(multiErr("write", i, len(ns), err))
+			}
 			i++
 			continue
 		}
+		chunkStart := i
 		buf := make([]byte, 0, rpc.MaxData)
 		count := 0
 		for i < len(ns) && 8+len(data[i]) <= rpc.MaxData-len(buf) {
@@ -494,7 +605,7 @@ func (r *remoteStore) WriteMulti(acct Account, ns []Num, data [][]byte) error {
 		req := &rpc.Message{Command: cmdWriteMulti, Data: buf}
 		req.Args[0] = uint64(acct)
 		req.Args[1] = uint64(count)
-		_, err := r.call(req)
+		_, err := r.multiCall("write", req, chunkStart, count, len(ns))
 		note(err)
 	}
 	return first
@@ -516,12 +627,13 @@ func (r *remoteStore) AllocMulti(acct Account, data [][]byte) ([]Num, error) {
 		if 4+len(data[i]) > rpc.MaxData {
 			n, err := r.Alloc(acct, data[i])
 			if err != nil {
-				return fail(err)
+				return fail(multiErr("alloc", i, len(data), err))
 			}
 			out = append(out, n)
 			i++
 			continue
 		}
+		chunkStart := i
 		buf := make([]byte, 0, rpc.MaxData)
 		count := 0
 		for i < len(data) && 4+len(data[i]) <= rpc.MaxData-len(buf) {
@@ -534,7 +646,7 @@ func (r *remoteStore) AllocMulti(acct Account, data [][]byte) ([]Num, error) {
 		req := &rpc.Message{Command: cmdAllocMulti, Data: buf}
 		req.Args[0] = uint64(acct)
 		req.Args[1] = uint64(count)
-		resp, err := r.call(req)
+		resp, err := r.multiCall("alloc", req, chunkStart, count, len(data))
 		if err != nil {
 			return fail(err)
 		}
@@ -560,7 +672,7 @@ func (r *remoteStore) FreeMulti(acct Account, ns []Num) error {
 		req := &rpc.Message{Command: cmdFreeMulti, Data: appendNums(make([]byte, 0, 4*len(chunk)), chunk)}
 		req.Args[0] = uint64(acct)
 		req.Args[1] = uint64(len(chunk))
-		if _, err := r.call(req); err != nil && first == nil {
+		if _, err := r.multiCall("free", req, start, len(chunk), len(ns)); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -569,3 +681,5 @@ func (r *remoteStore) FreeMulti(acct Account, ns []Num) error {
 
 var _ Store = (*remoteStore)(nil)
 var _ MultiStore = (*remoteStore)(nil)
+var _ UsageReporter = (*remoteStore)(nil)
+var _ StatsReporter = (*remoteStore)(nil)

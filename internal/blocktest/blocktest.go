@@ -1,0 +1,295 @@
+// Package blocktest is the backend-agnostic contract harness for
+// block.Store / block.MultiStore implementations. It drives a reference
+// store and a store under test through identical operation sequences in
+// lockstep and requires identical outcomes: same success/failure
+// classification (by sentinel error), same data, same allocation
+// success, same recovery-scan sizes. Whatever the file service layers
+// can observe through block.Store must not distinguish the backends.
+//
+// The canonical reference is the in-memory block.Server; segstore and
+// the sharded facade each run the same scripts (and fuzz corpus)
+// against it from their own contract tests.
+package blocktest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/block"
+)
+
+// Op is one step of a scripted sequence.
+type Op struct {
+	Op    string // alloc, write, read, free, lock, unlock, recover, *multi
+	Acct  block.Account
+	N     int    // index into previously allocated blocks (out of range: bogus block)
+	Data  string // payload for alloc/write
+	Check func(t *testing.T, err error)
+}
+
+// Classify reduces an error to the contract-visible sentinel.
+func Classify(err error) error {
+	for _, s := range []error{block.ErrNoSpace, block.ErrNotAllocated, block.ErrNotOwner,
+		block.ErrLocked, block.ErrNotLocked} {
+		if errors.Is(err, s) {
+			return s
+		}
+	}
+	if err != nil {
+		return errors.New("other")
+	}
+	return nil
+}
+
+// bogusNum is a block number the scripts never allocate, used for
+// out-of-range indices so ownership and allocation violations get
+// exercised on both stores.
+const bogusNum = block.Num(4000)
+
+// RunScript applies ops to both stores in lockstep, comparing outcomes.
+// ref is the reference implementation, dut the store under test.
+func RunScript(t *testing.T, ref, dut block.MultiStore, ops []Op) {
+	t.Helper()
+	var refBlocks, dutBlocks []block.Num
+	pick := func(blocks []block.Num, i int) block.Num {
+		if i < 0 || i >= len(blocks) {
+			return bogusNum
+		}
+		return blocks[i]
+	}
+	for i, op := range ops {
+		var refErr, dutErr error
+		var refData, dutData []byte
+		switch op.Op {
+		case "alloc":
+			var rn, dn block.Num
+			rn, refErr = ref.Alloc(op.Acct, []byte(op.Data))
+			dn, dutErr = dut.Alloc(op.Acct, []byte(op.Data))
+			if (refErr == nil) != (dutErr == nil) {
+				t.Fatalf("op %d alloc: ref err %v, dut err %v", i, refErr, dutErr)
+			}
+			if refErr == nil {
+				refBlocks = append(refBlocks, rn)
+				dutBlocks = append(dutBlocks, dn)
+			}
+		case "write":
+			refErr = ref.Write(op.Acct, pick(refBlocks, op.N), []byte(op.Data))
+			dutErr = dut.Write(op.Acct, pick(dutBlocks, op.N), []byte(op.Data))
+		case "read":
+			refData, refErr = ref.Read(op.Acct, pick(refBlocks, op.N))
+			dutData, dutErr = dut.Read(op.Acct, pick(dutBlocks, op.N))
+		case "free":
+			refErr = ref.Free(op.Acct, pick(refBlocks, op.N))
+			dutErr = dut.Free(op.Acct, pick(dutBlocks, op.N))
+		case "lock":
+			refErr = ref.Lock(op.Acct, pick(refBlocks, op.N))
+			dutErr = dut.Lock(op.Acct, pick(dutBlocks, op.N))
+		case "unlock":
+			refErr = ref.Unlock(op.Acct, pick(refBlocks, op.N))
+			dutErr = dut.Unlock(op.Acct, pick(dutBlocks, op.N))
+		case "recover":
+			var rr, dr []block.Num
+			rr, refErr = ref.Recover(op.Acct)
+			dr, dutErr = dut.Recover(op.Acct)
+			if len(rr) != len(dr) {
+				t.Fatalf("op %d recover(%d): ref %d blocks, dut %d blocks", i, op.Acct, len(rr), len(dr))
+			}
+		case "readmulti", "writemulti", "freemulti":
+			// Three consecutive indices (some possibly bogus) exercise
+			// the partial-failure contract on both stores at once.
+			var refNs, dutNs []block.Num
+			for k := 0; k < 3; k++ {
+				refNs = append(refNs, pick(refBlocks, op.N+k))
+				dutNs = append(dutNs, pick(dutBlocks, op.N+k))
+			}
+			switch op.Op {
+			case "readmulti":
+				var rd, dd [][]byte
+				rd, refErr = ref.ReadMulti(op.Acct, refNs)
+				dd, dutErr = dut.ReadMulti(op.Acct, dutNs)
+				if refErr == nil && dutErr == nil {
+					for k := range rd {
+						if !bytes.Equal(rd[k], dd[k]) {
+							t.Fatalf("op %d readmulti: entry %d disagrees", i, k)
+						}
+					}
+				}
+			case "writemulti":
+				payloads := [][]byte{[]byte(op.Data + "-0"), []byte(op.Data + "-1"), []byte(op.Data + "-2")}
+				refErr = ref.WriteMulti(op.Acct, refNs, payloads)
+				dutErr = dut.WriteMulti(op.Acct, dutNs, payloads)
+			case "freemulti":
+				refErr = ref.FreeMulti(op.Acct, refNs)
+				dutErr = dut.FreeMulti(op.Acct, dutNs)
+			}
+		case "allocmulti":
+			payloads := [][]byte{[]byte(op.Data + "-a"), []byte(op.Data + "-b")}
+			var rn, dn []block.Num
+			rn, refErr = ref.AllocMulti(op.Acct, payloads)
+			dn, dutErr = dut.AllocMulti(op.Acct, payloads)
+			if (refErr == nil) != (dutErr == nil) {
+				t.Fatalf("op %d allocmulti: ref err %v, dut err %v", i, refErr, dutErr)
+			}
+			if refErr == nil {
+				refBlocks = append(refBlocks, rn...)
+				dutBlocks = append(dutBlocks, dn...)
+			}
+		default:
+			t.Fatalf("op %d: unknown op %q", i, op.Op)
+		}
+		if rc, dc := Classify(refErr), Classify(dutErr); !errors.Is(rc, dc) && (rc != nil || dc != nil) {
+			t.Fatalf("op %d %s: ref %v, dut %v", i, op.Op, refErr, dutErr)
+		}
+		if op.Op == "read" && refErr == nil && !bytes.Equal(refData, dutData) {
+			t.Fatalf("op %d read: backends disagree on contents (%q vs %q)", i, refData[:8], dutData[:8])
+		}
+		if op.Check != nil {
+			op.Check(t, dutErr)
+		}
+	}
+}
+
+// ScriptOps decodes a fuzz input into an operation script: low nibble
+// selects the operation, high nibble the block index (for alloc: the
+// payload seed; the account alternates with the index so ownership
+// violations get exercised too).
+func ScriptOps(script []byte) []Op {
+	if len(script) > 256 {
+		script = script[:256]
+	}
+	var ops []Op
+	for i, b := range script {
+		idx := int(b >> 4)
+		acct := block.Account(1 + idx%2)
+		switch b & 0x0F {
+		case 0, 1:
+			ops = append(ops, Op{Op: "alloc", Acct: acct, Data: fmt.Sprintf("p%d-%d", i, idx)})
+		case 2:
+			ops = append(ops, Op{Op: "write", Acct: acct, N: idx, Data: fmt.Sprintf("w%d", i)})
+		case 3:
+			ops = append(ops, Op{Op: "read", Acct: acct, N: idx})
+		case 4:
+			ops = append(ops, Op{Op: "free", Acct: acct, N: idx})
+		case 5:
+			ops = append(ops, Op{Op: "lock", Acct: acct, N: idx})
+		case 6:
+			ops = append(ops, Op{Op: "unlock", Acct: acct, N: idx})
+		case 7:
+			ops = append(ops, Op{Op: "readmulti", Acct: acct, N: idx})
+		case 8:
+			ops = append(ops, Op{Op: "writemulti", Acct: acct, N: idx, Data: fmt.Sprintf("m%d", i)})
+		case 9:
+			ops = append(ops, Op{Op: "freemulti", Acct: acct, N: idx})
+		case 10:
+			ops = append(ops, Op{Op: "allocmulti", Acct: acct, Data: fmt.Sprintf("b%d-%d", i, idx)})
+		default:
+			ops = append(ops, Op{Op: "recover", Acct: acct})
+		}
+	}
+	return ops
+}
+
+// FuzzSeeds returns the shared seed corpus for contract fuzzing.
+func FuzzSeeds() [][]byte {
+	return [][]byte{
+		{0x00, 0x10, 0x21, 0x32, 0x43, 0x04, 0x15},
+		{0x00, 0x00, 0x00, 0x50, 0x50, 0x30, 0x30, 0x60},
+		{0x00, 0x41, 0x41, 0x11, 0x21, 0x31, 0x01, 0x51, 0x11},
+		{0x0a, 0x1a, 0x37, 0x48, 0x59, 0x2a, 0x07, 0x19, 0x3a},
+	}
+}
+
+// MultiOpSuite drives the four multi-block operations through st,
+// checking the partial-failure semantics of the MultiStore contract:
+// WriteMulti/FreeMulti apply per-block and report the first error,
+// ReadMulti is all-or-nothing, AllocMulti rolls back on failure.
+// capacity is st's total allocatable block count (used to force an
+// exhaustion failure).
+func MultiOpSuite(t *testing.T, name string, st block.MultiStore, capacity int) {
+	t.Helper()
+	mine, err := st.AllocMulti(1, [][]byte{[]byte("a0"), []byte("a1"), []byte("a2"), []byte("a3")})
+	if err != nil {
+		t.Fatalf("%s: alloc: %v", name, err)
+	}
+	theirs, err := st.Alloc(2, []byte("theirs"))
+	if err != nil {
+		t.Fatalf("%s: foreign alloc: %v", name, err)
+	}
+
+	// ReadMulti round trip, then all-or-nothing on a foreign block.
+	got, err := st.ReadMulti(1, mine)
+	if err != nil {
+		t.Fatalf("%s: read multi: %v", name, err)
+	}
+	for i := range got {
+		want := fmt.Sprintf("a%d", i)
+		if string(got[i][:2]) != want {
+			t.Fatalf("%s: block %d = %q", name, i, got[i][:2])
+		}
+	}
+	if _, err := st.ReadMulti(1, []block.Num{mine[0], theirs}); !errors.Is(err, block.ErrNotOwner) {
+		t.Fatalf("%s: foreign read err = %v", name, err)
+	}
+
+	// WriteMulti with a foreign block in the middle: first error is
+	// ErrNotOwner, the other two blocks are written regardless.
+	err = st.WriteMulti(1,
+		[]block.Num{mine[0], theirs, mine[2]},
+		[][]byte{[]byte("w0"), []byte("xx"), []byte("w2")})
+	if !errors.Is(err, block.ErrNotOwner) {
+		t.Fatalf("%s: partial write err = %v", name, err)
+	}
+	if idx := block.MultiIndex(err, -1); idx != 1 {
+		t.Fatalf("%s: partial write failing index = %d, want 1", name, idx)
+	}
+	for _, c := range []struct {
+		n    block.Num
+		want string
+	}{{mine[0], "w0"}, {mine[1], "a1"}, {mine[2], "w2"}} {
+		got, err := st.Read(1, c.n)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if string(got[:2]) != c.want {
+			t.Fatalf("%s: block %d = %q, want %q", name, c.n, got[:2], c.want)
+		}
+	}
+	if got, _ := st.Read(2, theirs); string(got[:6]) != "theirs" {
+		t.Fatalf("%s: foreign block clobbered", name)
+	}
+
+	// AllocMulti beyond capacity: all-or-nothing rollback.
+	over := make([][]byte, capacity)
+	for i := range over {
+		over[i] = []byte{byte(i)}
+	}
+	if _, err := st.AllocMulti(1, over); !errors.Is(err, block.ErrNoSpace) {
+		t.Fatalf("%s: overflow err = %v", name, err)
+	}
+	before, _ := st.Recover(1)
+
+	// FreeMulti with a foreign block: first error reported, the
+	// caller's blocks still freed.
+	err = st.FreeMulti(1, []block.Num{mine[0], theirs, mine[1]})
+	if !errors.Is(err, block.ErrNotOwner) {
+		t.Fatalf("%s: partial free err = %v", name, err)
+	}
+	if idx := block.MultiIndex(err, -1); idx != 1 {
+		t.Fatalf("%s: partial free failing index = %d, want 1", name, idx)
+	}
+	if _, err := st.Read(1, mine[0]); !errors.Is(err, block.ErrNotAllocated) {
+		t.Fatalf("%s: mine[0] survived: %v", name, err)
+	}
+	if _, err := st.Read(1, mine[1]); !errors.Is(err, block.ErrNotAllocated) {
+		t.Fatalf("%s: mine[1] survived: %v", name, err)
+	}
+	if _, err := st.Read(2, theirs); err != nil {
+		t.Fatalf("%s: foreign block freed: %v", name, err)
+	}
+	after, _ := st.Recover(1)
+	if len(after) != len(before)-2 {
+		t.Fatalf("%s: recover(1) %d blocks after freeing 2 of %d", name, len(after), len(before))
+	}
+}

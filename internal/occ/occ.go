@@ -18,6 +18,26 @@
 // (2) and prepares the new current version by "replacing unaccessed parts
 // in V.b's page tree by corresponding written parts in V.c's page tree",
 // all in one pass that skips subtrees neither update accessed.
+//
+// # Contract
+//
+// The read and write sets come from the page flags (package page, the
+// paper's Fig. 3): R/S mark data read and references searched, W/M mark
+// data written and references modified, and the version layer maintains
+// them as pages are shadowed — so validation needs no separate logs,
+// and its cost is proportional to the intersection of the accessed
+// sets, not the file size. Anything that fills caches without setting
+// flags (the client's Prefetch) is invisible to validation by
+// construction and can never cause a spurious conflict.
+//
+// The whole commit path has exactly one critical section:
+// TestAndSetCommitRef locks, reads, tests, sets and writes one version
+// page under the block service's lock facility. It therefore touches
+// exactly one block — and under the sharded facade, exactly one block
+// server — no matter how large the update; coordination stays off the
+// data path. ErrConflict means the update must be redone on a fresh
+// version; block.ErrLocked means another server is in the critical
+// section and the request is simply re-sent.
 package occ
 
 import (

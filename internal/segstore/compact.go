@@ -93,7 +93,7 @@ func (s *Store) CompactOnce() (bool, error) {
 		at := lr.at
 		reqs[i] = &writeReq{kind: recData, num: block.Num(lr.num), onlyIf: &at, data: lr.data}
 	}
-	if err := s.submitMany(reqs); err != nil {
+	if _, err := s.submitMany(reqs); err != nil {
 		return false, err
 	}
 

@@ -1,44 +1,20 @@
 package segstore
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"testing"
 
 	"repro/internal/block"
+	"repro/internal/blocktest"
 	"repro/internal/disk"
 )
 
 // The contract tests drive the in-memory block.Server and segstore
-// through identical operation sequences and require identical outcomes:
-// same success/failure classification (by sentinel error), same data,
-// same allocation results, same recovery scans. Whatever the file
-// service layers can observe through block.Store must not distinguish
-// the backends.
-
-// contractOp is one step of a scripted sequence.
-type contractOp struct {
-	op    string // alloc, write, read, free, lock, unlock, recover
-	acct  block.Account
-	n     int    // index into previously allocated blocks (-1: bogus block)
-	data  string // payload for alloc/write
-	check func(t *testing.T, err error)
-}
-
-// classify reduces an error to the contract-visible sentinel.
-func classify(err error) error {
-	for _, s := range []error{block.ErrNoSpace, block.ErrNotAllocated, block.ErrNotOwner,
-		block.ErrLocked, block.ErrNotLocked} {
-		if errors.Is(err, s) {
-			return s
-		}
-	}
-	if err != nil {
-		return errors.New("other")
-	}
-	return nil
-}
+// through identical operation sequences via the shared harness
+// (internal/blocktest) and require identical outcomes. Whatever the
+// file service layers can observe through block.Store must not
+// distinguish the backends.
 
 // newPair builds both backends with the same capacity and block size.
 func newPair(t *testing.T, capacity, blockSize int) (*block.Server, *Store) {
@@ -52,108 +28,6 @@ func newPair(t *testing.T, capacity, blockSize int) (*block.Server, *Store) {
 	return mem, seg
 }
 
-// runScript applies ops to both stores in lockstep, comparing outcomes.
-func runScript(t *testing.T, mem *block.Server, seg *Store, ops []contractOp) {
-	t.Helper()
-	var memBlocks, segBlocks []block.Num
-	pick := func(blocks []block.Num, i int) block.Num {
-		if i < 0 || i >= len(blocks) {
-			return block.Num(4000) // never allocated
-		}
-		return blocks[i]
-	}
-	for i, op := range ops {
-		var memErr, segErr error
-		var memData, segData []byte
-		switch op.op {
-		case "alloc":
-			var mn, sn block.Num
-			mn, memErr = mem.Alloc(op.acct, []byte(op.data))
-			sn, segErr = seg.Alloc(op.acct, []byte(op.data))
-			if (memErr == nil) != (segErr == nil) {
-				t.Fatalf("op %d alloc: mem err %v, seg err %v", i, memErr, segErr)
-			}
-			if memErr == nil {
-				memBlocks = append(memBlocks, mn)
-				segBlocks = append(segBlocks, sn)
-			}
-		case "write":
-			memErr = mem.Write(op.acct, pick(memBlocks, op.n), []byte(op.data))
-			segErr = seg.Write(op.acct, pick(segBlocks, op.n), []byte(op.data))
-		case "read":
-			memData, memErr = mem.Read(op.acct, pick(memBlocks, op.n))
-			segData, segErr = seg.Read(op.acct, pick(segBlocks, op.n))
-		case "free":
-			memErr = mem.Free(op.acct, pick(memBlocks, op.n))
-			segErr = seg.Free(op.acct, pick(segBlocks, op.n))
-		case "lock":
-			memErr = mem.Lock(op.acct, pick(memBlocks, op.n))
-			segErr = seg.Lock(op.acct, pick(segBlocks, op.n))
-		case "unlock":
-			memErr = mem.Unlock(op.acct, pick(memBlocks, op.n))
-			segErr = seg.Unlock(op.acct, pick(segBlocks, op.n))
-		case "recover":
-			var mr, sr []block.Num
-			mr, memErr = mem.Recover(op.acct)
-			sr, segErr = seg.Recover(op.acct)
-			if len(mr) != len(sr) {
-				t.Fatalf("op %d recover(%d): mem %d blocks, seg %d blocks", i, op.acct, len(mr), len(sr))
-			}
-		case "readmulti", "writemulti", "freemulti":
-			// Three consecutive indices (some possibly bogus) exercise
-			// the partial-failure contract on both backends at once.
-			var memNs, segNs []block.Num
-			for k := 0; k < 3; k++ {
-				memNs = append(memNs, pick(memBlocks, op.n+k))
-				segNs = append(segNs, pick(segBlocks, op.n+k))
-			}
-			switch op.op {
-			case "readmulti":
-				var md, sd [][]byte
-				md, memErr = mem.ReadMulti(op.acct, memNs)
-				sd, segErr = seg.ReadMulti(op.acct, segNs)
-				if memErr == nil && segErr == nil {
-					for k := range md {
-						if !bytes.Equal(md[k], sd[k]) {
-							t.Fatalf("op %d readmulti: entry %d disagrees", i, k)
-						}
-					}
-				}
-			case "writemulti":
-				payloads := [][]byte{[]byte(op.data + "-0"), []byte(op.data + "-1"), []byte(op.data + "-2")}
-				memErr = mem.WriteMulti(op.acct, memNs, payloads)
-				segErr = seg.WriteMulti(op.acct, segNs, payloads)
-			case "freemulti":
-				memErr = mem.FreeMulti(op.acct, memNs)
-				segErr = seg.FreeMulti(op.acct, segNs)
-			}
-		case "allocmulti":
-			payloads := [][]byte{[]byte(op.data + "-a"), []byte(op.data + "-b")}
-			var mn, sn []block.Num
-			mn, memErr = mem.AllocMulti(op.acct, payloads)
-			sn, segErr = seg.AllocMulti(op.acct, payloads)
-			if (memErr == nil) != (segErr == nil) {
-				t.Fatalf("op %d allocmulti: mem err %v, seg err %v", i, memErr, segErr)
-			}
-			if memErr == nil {
-				memBlocks = append(memBlocks, mn...)
-				segBlocks = append(segBlocks, sn...)
-			}
-		default:
-			t.Fatalf("op %d: unknown op %q", i, op.op)
-		}
-		if mc, sc := classify(memErr), classify(segErr); !errors.Is(mc, sc) && (mc != nil || sc != nil) {
-			t.Fatalf("op %d %s: mem %v, seg %v", i, op.op, memErr, segErr)
-		}
-		if op.op == "read" && memErr == nil && !bytes.Equal(memData, segData) {
-			t.Fatalf("op %d read: backends disagree on contents (%q vs %q)", i, memData[:8], segData[:8])
-		}
-		if op.check != nil {
-			op.check(t, segErr)
-		}
-	}
-}
-
 func TestContractTable(t *testing.T) {
 	wantErr := func(sentinel error) func(*testing.T, error) {
 		return func(t *testing.T, err error) {
@@ -164,148 +38,59 @@ func TestContractTable(t *testing.T) {
 		}
 	}
 	mem, seg := newPair(t, 64, 128)
-	runScript(t, mem, seg, []contractOp{
-		{op: "alloc", acct: 1, data: "alpha"},
-		{op: "alloc", acct: 1, data: "beta"},
-		{op: "alloc", acct: 2, data: "gamma"},
-		{op: "read", acct: 1, n: 0},
-		{op: "read", acct: 2, n: 0, check: wantErr(block.ErrNotOwner)},
-		{op: "read", acct: 1, n: -1, check: wantErr(block.ErrNotAllocated)},
-		{op: "write", acct: 1, n: 0, data: "alpha-2"},
-		{op: "read", acct: 1, n: 0},
-		{op: "lock", acct: 1, n: 1},
-		{op: "lock", acct: 1, n: 1, check: wantErr(block.ErrLocked)},
-		{op: "lock", acct: 2, n: 1, check: wantErr(block.ErrNotOwner)},
-		{op: "unlock", acct: 1, n: 1},
-		{op: "unlock", acct: 1, n: 1, check: wantErr(block.ErrNotLocked)},
-		{op: "free", acct: 2, n: 1, check: wantErr(block.ErrNotOwner)},
-		{op: "free", acct: 1, n: 1},
-		{op: "read", acct: 1, n: 1, check: wantErr(block.ErrNotAllocated)},
-		{op: "write", acct: 1, n: 1, data: "x", check: wantErr(block.ErrNotAllocated)},
-		{op: "recover", acct: 1},
-		{op: "recover", acct: 2},
-		{op: "recover", acct: 3},
-		{op: "alloc", acct: 3, data: "delta"},
-		{op: "recover", acct: 3},
+	blocktest.RunScript(t, mem, seg, []blocktest.Op{
+		{Op: "alloc", Acct: 1, Data: "alpha"},
+		{Op: "alloc", Acct: 1, Data: "beta"},
+		{Op: "alloc", Acct: 2, Data: "gamma"},
+		{Op: "read", Acct: 1, N: 0},
+		{Op: "read", Acct: 2, N: 0, Check: wantErr(block.ErrNotOwner)},
+		{Op: "read", Acct: 1, N: -1, Check: wantErr(block.ErrNotAllocated)},
+		{Op: "write", Acct: 1, N: 0, Data: "alpha-2"},
+		{Op: "read", Acct: 1, N: 0},
+		{Op: "lock", Acct: 1, N: 1},
+		{Op: "lock", Acct: 1, N: 1, Check: wantErr(block.ErrLocked)},
+		{Op: "lock", Acct: 2, N: 1, Check: wantErr(block.ErrNotOwner)},
+		{Op: "unlock", Acct: 1, N: 1},
+		{Op: "unlock", Acct: 1, N: 1, Check: wantErr(block.ErrNotLocked)},
+		{Op: "free", Acct: 2, N: 1, Check: wantErr(block.ErrNotOwner)},
+		{Op: "free", Acct: 1, N: 1},
+		{Op: "read", Acct: 1, N: 1, Check: wantErr(block.ErrNotAllocated)},
+		{Op: "write", Acct: 1, N: 1, Data: "x", Check: wantErr(block.ErrNotAllocated)},
+		{Op: "recover", Acct: 1},
+		{Op: "recover", Acct: 2},
+		{Op: "recover", Acct: 3},
+		{Op: "alloc", Acct: 3, Data: "delta"},
+		{Op: "recover", Acct: 3},
 	})
 }
 
 func TestContractExhaustion(t *testing.T) {
 	mem, seg := newPair(t, 4, 64)
-	var ops []contractOp
+	var ops []blocktest.Op
 	for i := 0; i < 4; i++ {
-		ops = append(ops, contractOp{op: "alloc", acct: 1, data: fmt.Sprint(i)})
+		ops = append(ops, blocktest.Op{Op: "alloc", Acct: 1, Data: fmt.Sprint(i)})
 	}
 	ops = append(ops,
-		contractOp{op: "alloc", acct: 1, data: "over", check: func(t *testing.T, err error) {
+		blocktest.Op{Op: "alloc", Acct: 1, Data: "over", Check: func(t *testing.T, err error) {
 			t.Helper()
 			if !errors.Is(err, block.ErrNoSpace) {
 				t.Fatalf("err = %v, want ErrNoSpace", err)
 			}
 		}},
-		contractOp{op: "free", acct: 1, n: 2},
-		contractOp{op: "alloc", acct: 1, data: "reuse"},
-		contractOp{op: "recover", acct: 1},
+		blocktest.Op{Op: "free", Acct: 1, N: 2},
+		blocktest.Op{Op: "alloc", Acct: 1, Data: "reuse"},
+		blocktest.Op{Op: "recover", Acct: 1},
 	)
-	runScript(t, mem, seg, ops)
+	blocktest.RunScript(t, mem, seg, ops)
 }
 
 // TestContractMultiOps drives the four multi-block operations through
-// both backends in lockstep, including the partial-failure semantics of
-// the MultiStore contract: WriteMulti/FreeMulti apply per-block and
-// report the first error, ReadMulti is all-or-nothing, AllocMulti rolls
-// back on failure.
+// both backends, including the partial-failure semantics of the
+// MultiStore contract.
 func TestContractMultiOps(t *testing.T) {
 	mem, seg := newPair(t, 16, 64)
-	both := []struct {
-		name string
-		st   block.MultiStore
-	}{{"mem", mem}, {"seg", seg}}
-
-	type state struct {
-		mine   []block.Num
-		theirs block.Num
-	}
-	states := make(map[string]*state)
-
-	for _, b := range both {
-		st := b.st
-		s := &state{}
-		states[b.name] = s
-		var err error
-		s.mine, err = st.AllocMulti(1, [][]byte{[]byte("a0"), []byte("a1"), []byte("a2"), []byte("a3")})
-		if err != nil {
-			t.Fatalf("%s: alloc: %v", b.name, err)
-		}
-		s.theirs, err = st.Alloc(2, []byte("theirs"))
-		if err != nil {
-			t.Fatalf("%s: foreign alloc: %v", b.name, err)
-		}
-
-		// ReadMulti round trip, then all-or-nothing on a foreign block.
-		got, err := st.ReadMulti(1, s.mine)
-		if err != nil {
-			t.Fatalf("%s: read multi: %v", b.name, err)
-		}
-		for i := range got {
-			want := fmt.Sprintf("a%d", i)
-			if string(got[i][:2]) != want {
-				t.Fatalf("%s: block %d = %q", b.name, i, got[i][:2])
-			}
-		}
-		if _, err := st.ReadMulti(1, []block.Num{s.mine[0], s.theirs}); !errors.Is(err, block.ErrNotOwner) {
-			t.Fatalf("%s: foreign read err = %v", b.name, err)
-		}
-
-		// WriteMulti with a foreign block in the middle: first error is
-		// ErrNotOwner, the other two blocks are written regardless.
-		err = st.WriteMulti(1,
-			[]block.Num{s.mine[0], s.theirs, s.mine[2]},
-			[][]byte{[]byte("w0"), []byte("xx"), []byte("w2")})
-		if !errors.Is(err, block.ErrNotOwner) {
-			t.Fatalf("%s: partial write err = %v", b.name, err)
-		}
-		for _, c := range []struct {
-			n    block.Num
-			want string
-		}{{s.mine[0], "w0"}, {s.mine[1], "a1"}, {s.mine[2], "w2"}} {
-			got, err := st.Read(1, c.n)
-			if err != nil {
-				t.Fatalf("%s: %v", b.name, err)
-			}
-			if string(got[:2]) != c.want {
-				t.Fatalf("%s: block %d = %q, want %q", b.name, c.n, got[:2], c.want)
-			}
-		}
-		if got, _ := st.Read(2, s.theirs); string(got[:6]) != "theirs" {
-			t.Fatalf("%s: foreign block clobbered", b.name)
-		}
-
-		// AllocMulti beyond capacity: all-or-nothing rollback.
-		over := make([][]byte, 16)
-		for i := range over {
-			over[i] = []byte{byte(i)}
-		}
-		if _, err := st.AllocMulti(1, over); !errors.Is(err, block.ErrNoSpace) {
-			t.Fatalf("%s: overflow err = %v", b.name, err)
-		}
-
-		// FreeMulti with a foreign block: first error reported, the
-		// caller's blocks still freed.
-		err = st.FreeMulti(1, []block.Num{s.mine[0], s.theirs, s.mine[1]})
-		if !errors.Is(err, block.ErrNotOwner) {
-			t.Fatalf("%s: partial free err = %v", b.name, err)
-		}
-		if _, err := st.Read(1, s.mine[0]); !errors.Is(err, block.ErrNotAllocated) {
-			t.Fatalf("%s: mine[0] survived: %v", b.name, err)
-		}
-		if _, err := st.Read(1, s.mine[1]); !errors.Is(err, block.ErrNotAllocated) {
-			t.Fatalf("%s: mine[1] survived: %v", b.name, err)
-		}
-		if _, err := st.Read(2, s.theirs); err != nil {
-			t.Fatalf("%s: foreign block freed: %v", b.name, err)
-		}
-	}
+	blocktest.MultiOpSuite(t, "mem", mem, 16)
+	blocktest.MultiOpSuite(t, "seg", seg, 16)
 
 	// The recovery scans of the two backends must agree exactly.
 	for _, acct := range []block.Account{1, 2} {
@@ -321,46 +106,11 @@ func TestContractMultiOps(t *testing.T) {
 // seed corpus runs under plain `go test`; `go test -fuzz=FuzzContract`
 // explores further.
 func FuzzContract(f *testing.F) {
-	f.Add([]byte{0x00, 0x10, 0x21, 0x32, 0x43, 0x04, 0x15})
-	f.Add([]byte{0x00, 0x00, 0x00, 0x50, 0x50, 0x30, 0x30, 0x60})
-	f.Add([]byte{0x00, 0x41, 0x41, 0x11, 0x21, 0x31, 0x01, 0x51, 0x11})
+	for _, seed := range blocktest.FuzzSeeds() {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, script []byte) {
-		if len(script) > 256 {
-			script = script[:256]
-		}
 		mem, seg := newPair(t, 16, 64)
-		var ops []contractOp
-		for i, b := range script {
-			// Low nibble: operation. High nibble: block index (alloc:
-			// payload seed; the account alternates with the index so
-			// ownership violations get exercised too).
-			idx := int(b >> 4)
-			acct := block.Account(1 + idx%2)
-			switch b & 0x0F {
-			case 0, 1:
-				ops = append(ops, contractOp{op: "alloc", acct: acct, data: fmt.Sprintf("p%d-%d", i, idx)})
-			case 2:
-				ops = append(ops, contractOp{op: "write", acct: acct, n: idx, data: fmt.Sprintf("w%d", i)})
-			case 3:
-				ops = append(ops, contractOp{op: "read", acct: acct, n: idx})
-			case 4:
-				ops = append(ops, contractOp{op: "free", acct: acct, n: idx})
-			case 5:
-				ops = append(ops, contractOp{op: "lock", acct: acct, n: idx})
-			case 6:
-				ops = append(ops, contractOp{op: "unlock", acct: acct, n: idx})
-			case 7:
-				ops = append(ops, contractOp{op: "readmulti", acct: acct, n: idx})
-			case 8:
-				ops = append(ops, contractOp{op: "writemulti", acct: acct, n: idx, data: fmt.Sprintf("m%d", i)})
-			case 9:
-				ops = append(ops, contractOp{op: "freemulti", acct: acct, n: idx})
-			case 10:
-				ops = append(ops, contractOp{op: "allocmulti", acct: acct, data: fmt.Sprintf("b%d-%d", i, idx)})
-			default:
-				ops = append(ops, contractOp{op: "recover", acct: acct})
-			}
-		}
-		runScript(t, mem, seg, ops)
+		blocktest.RunScript(t, mem, seg, blocktest.ScriptOps(script))
 	})
 }

@@ -835,8 +835,9 @@ func (s *Store) submit(r *writeReq) error {
 
 // submitMany queues a multi-block operation's requests in maxBatch-sized
 // groups and waits for all of them, returning the first (lowest-index)
-// error. Each request's own outcome stays readable in r.err/r.skipped.
-func (s *Store) submitMany(reqs []*writeReq) error {
+// error and its index. Each request's own outcome stays readable in
+// r.err/r.skipped.
+func (s *Store) submitMany(reqs []*writeReq) (int, error) {
 	for _, r := range reqs {
 		r.done = make(chan struct{})
 	}
@@ -853,21 +854,22 @@ func (s *Store) submitMany(reqs []*writeReq) error {
 		}
 		sent = end
 	}
+	firstIdx := -1
 	var first error
-	for _, r := range reqs[:sent] {
+	for i, r := range reqs[:sent] {
 		<-r.done
 		if r.err != nil && first == nil {
-			first = r.err
+			firstIdx, first = i, r.err
 		}
 	}
-	if first == nil {
-		first = sendErr
+	if first == nil && sendErr != nil {
+		firstIdx, first = sent, sendErr
 	}
 	// Requests never enqueued (store closed mid-loop) fail uniformly.
 	for _, r := range reqs[sent:] {
 		r.err = ErrClosed
 	}
-	return first
+	return firstIdx, first
 }
 
 // --- block.Store ---
@@ -1047,7 +1049,7 @@ func (s *Store) ReadMulti(account block.Account, ns []block.Num) ([][]byte, erro
 	out := make([][]byte, len(ns))
 	for i, n := range ns {
 		if err := s.idx.checkOwner(account, n); err != nil {
-			return nil, fmt.Errorf("multi read %d/%d: %w", i, len(ns), err)
+			return nil, &block.MultiError{Op: "read", Index: i, N: len(ns), Err: err}
 		}
 		e := s.idx.entries[n]
 		if e.loc == (loc{}) {
@@ -1056,7 +1058,7 @@ func (s *Store) ReadMulti(account block.Account, ns []block.Num) ([][]byte, erro
 		}
 		data, err := s.readRecord(n, e.loc)
 		if err != nil {
-			return nil, fmt.Errorf("multi read %d/%d: %w", i, len(ns), err)
+			return nil, &block.MultiError{Op: "read", Index: i, N: len(ns), Err: err}
 		}
 		out[i] = data
 	}
@@ -1074,8 +1076,8 @@ func (s *Store) WriteMulti(account block.Account, ns []block.Num, data [][]byte)
 	for i := range ns {
 		reqs[i] = &writeReq{kind: recData, num: ns[i], account: account, data: data[i]}
 	}
-	if err := s.submitMany(reqs); err != nil {
-		return fmt.Errorf("multi write: %w", err)
+	if idx, err := s.submitMany(reqs); err != nil {
+		return &block.MultiError{Op: "write", Index: idx, N: len(ns), Err: err}
 	}
 	return nil
 }
@@ -1088,7 +1090,7 @@ func (s *Store) AllocMulti(account block.Account, data [][]byte) ([]block.Num, e
 	for i := range data {
 		reqs[i] = &writeReq{kind: recData, alloc: true, account: account, data: data[i]}
 	}
-	if err := s.submitMany(reqs); err != nil {
+	if idx, err := s.submitMany(reqs); err != nil {
 		var got []block.Num
 		for _, r := range reqs {
 			if r.err == nil {
@@ -1098,7 +1100,7 @@ func (s *Store) AllocMulti(account block.Account, data [][]byte) ([]block.Num, e
 		if len(got) > 0 {
 			_ = s.FreeMulti(account, got) // best-effort rollback
 		}
-		return nil, fmt.Errorf("multi alloc: %w", err)
+		return nil, &block.MultiError{Op: "alloc", Index: idx, N: len(data), Err: err}
 	}
 	out := make([]block.Num, len(reqs))
 	for i, r := range reqs {
@@ -1114,8 +1116,8 @@ func (s *Store) FreeMulti(account block.Account, ns []block.Num) error {
 	for i, n := range ns {
 		reqs[i] = &writeReq{kind: recFree, num: n, account: account}
 	}
-	if err := s.submitMany(reqs); err != nil {
-		return fmt.Errorf("multi free: %w", err)
+	if idx, err := s.submitMany(reqs); err != nil {
+		return &block.MultiError{Op: "free", Index: idx, N: len(ns), Err: err}
 	}
 	return nil
 }
@@ -1147,6 +1149,23 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// Usage implements block.UsageReporter, so a sharding facade (or a
+// remote mount) can read this store's allocation headroom.
+func (s *Store) Usage() (block.Usage, error) {
+	return block.Usage{Capacity: s.Capacity(), InUse: s.InUse()}, nil
+}
+
+// BlockStats implements block.StatsReporter: the common counter subset,
+// including the fsync count, in the shape the wire protocol carries.
+func (s *Store) BlockStats() (block.Stats, error) {
+	st := s.Stats()
+	return block.Stats{
+		Allocs: st.Allocs, Frees: st.Frees, Reads: st.Reads, Writes: st.Writes,
+		Locks: st.Locks, Unlocks: st.Unlocks, LockConflicts: st.LockConflicts,
+		Syncs: st.Syncs,
+	}, nil
 }
 
 // Owners returns a copy of the allocation table, for companion-style

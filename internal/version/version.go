@@ -22,9 +22,18 @@
 // Flags for a page live in its parent's reference; the root's own flags
 // are kept in the version-page header (RootFlags).
 //
-// A Tree is not safe for concurrent use; the server serialises operations
-// per version, matching the paper's model of a version owned by a single
-// client.
+// # Contract
+//
+// The flags this layer maintains are the OCC read/write sets (package
+// occ consumes them at commit): R/S record what the update read, W/M
+// what it wrote, and the shadow-copy discipline guarantees the flags of
+// an uncommitted version live only in that version's private pages —
+// committed pages are immutable. Page I/O batches through
+// block.MultiStore: a COW descend allocates its whole shadow chain with
+// one AllocMulti and flushes it with one WriteMulti, which the sharded
+// facade stripes across block servers. A Tree is not safe for
+// concurrent use; the server serialises operations per version,
+// matching the paper's model of a version owned by a single client.
 package version
 
 import (

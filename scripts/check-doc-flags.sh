@@ -1,0 +1,39 @@
+#!/bin/sh
+# Doc-drift check: every command-line flag the docs attribute to one of
+# the cmd/* binaries must actually be defined by that binary. A doc line
+# "contributes" flags when it names afs-server, afs-block or afs-bench;
+# each `-flag` token on such a line (preceded by a space, "(" or a
+# backtick, so prose hyphens don't match) is then required to appear as
+# a flag definition ("flagname") somewhere in cmd/<binary>/*.go.
+#
+# Run from the repo root: scripts/check-doc-flags.sh
+set -eu
+
+status=0
+for doc in README.md docs/ARCHITECTURE.md; do
+    if [ ! -f "$doc" ]; then
+        echo "check-doc-flags: missing $doc" >&2
+        exit 1
+    fi
+    # Emit "cmd flag" pairs, one per line.
+    pairs=$(grep -E 'afs-(server|block|bench)' "$doc" | while IFS= read -r line; do
+        cmd=$(printf '%s\n' "$line" | grep -oE 'afs-(server|block|bench)' | head -1)
+        printf '%s\n' "$line" | grep -oE '[ (`]-[a-z]+' | sed 's/^.//;s/^-//' | while IFS= read -r f; do
+            printf '%s %s\n' "$cmd" "$f"
+        done
+    done | sort -u)
+    [ -n "$pairs" ] || continue
+    while IFS=' ' read -r cmd f; do
+        [ -n "$cmd" ] || continue
+        if ! grep -qE "\"$f\"" "cmd/$cmd"/*.go; then
+            echo "$doc names flag -$f for $cmd, but cmd/$cmd does not define it" >&2
+            status=1
+        fi
+    done <<EOF
+$pairs
+EOF
+done
+if [ "$status" -eq 0 ]; then
+    echo "check-doc-flags: all documented flags exist"
+fi
+exit "$status"
