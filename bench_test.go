@@ -1,7 +1,7 @@
-// Benchmarks E1–E9: one per experiment in EXPERIMENTS.md, each keyed to a
-// figure or quantitative claim of the paper (see DESIGN.md §4). The
-// cmd/afs-bench tool runs the corresponding parameter sweeps and prints
-// the full tables.
+// Benchmarks E1–E9 (plus E13): one per experiment in EXPERIMENTS.md,
+// each keyed to a figure or quantitative claim of the paper (see
+// DESIGN.md §4). The cmd/afs-bench tool runs the corresponding
+// parameter sweeps and prints the full tables.
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/occ"
 	"repro/internal/page"
+	"repro/internal/segstore"
 	"repro/internal/server"
 	"repro/internal/stable"
 	"repro/internal/version"
@@ -397,7 +398,7 @@ func BenchmarkE8StableStorage(b *testing.B) {
 		}
 	})
 	b.Run("pair/write", func(b *testing.B) {
-		p := stable.NewFailoverPair(disk.MustNew(geo), disk.MustNew(geo))
+		p := stable.NewFailoverPair(block.NewServer(disk.MustNew(geo)), block.NewServer(disk.MustNew(geo)))
 		n, _ := p.Alloc(1, payload)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -407,11 +408,79 @@ func BenchmarkE8StableStorage(b *testing.B) {
 		}
 	})
 	b.Run("pair/read", func(b *testing.B) {
-		p := stable.NewFailoverPair(disk.MustNew(geo), disk.MustNew(geo))
+		p := stable.NewFailoverPair(block.NewServer(disk.MustNew(geo)), block.NewServer(disk.MustNew(geo)))
 		n, _ := p.Alloc(1, payload)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := p.Read(1, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE13Mirror measures the generalised mirroring layer over the
+// durable backend plus its failure paths: the mirrored-write penalty on
+// segstore pairs, the corrupt-read fallback-and-repair, and the
+// intentions-replay rejoin. (afs-bench -exp e13 runs the full sweep.)
+func BenchmarkE13Mirror(b *testing.B) {
+	geo := disk.Geometry{Blocks: 1 << 12, BlockSize: 4096}
+	payload := make([]byte, 4096)
+	newSeg := func(b *testing.B) *segstore.Store {
+		st, err := segstore.Open(b.TempDir(), segstore.Options{BlockSize: 4096, Capacity: 1 << 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { st.Close() })
+		return st
+	}
+	b.Run("seg-pair/write", func(b *testing.B) {
+		p := stable.NewFailoverPair(newSeg(b), newSeg(b))
+		n, err := p.Alloc(1, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.Write(1, n, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mem-pair/corrupt-fallback-read", func(b *testing.B) {
+		da := disk.MustNew(geo)
+		p := stable.NewFailoverPair(block.NewServer(da), block.NewServer(disk.MustNew(geo)))
+		n, err := p.Alloc(1, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := da.InjectCorruption(int(n)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Read(1, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mem-pair/rejoin-replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := stable.NewFailoverPair(block.NewServer(disk.MustNew(geo)), block.NewServer(disk.MustNew(geo)))
+			a, half := p.Halves()
+			n, err := p.Alloc(1, payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			half.Crash()
+			for w := 0; w < 32; w++ {
+				if err := a.Write(1, n, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			if err := half.Rejoin(); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -348,7 +348,7 @@ func runE8() error {
 		row("single", float64(w.Microseconds())/rounds, float64(r.Microseconds())/rounds)
 	}
 	{
-		p := stable.NewFailoverPair(disk.MustNew(geo), disk.MustNew(geo))
+		p := stable.NewFailoverPair(block.NewServer(disk.MustNew(geo)), block.NewServer(disk.MustNew(geo)))
 		n, _ := p.Alloc(1, payload)
 		t0 := time.Now()
 		for i := 0; i < rounds; i++ {
@@ -366,7 +366,7 @@ func runE8() error {
 	fmt.Println("\n(b) Crash of one half, mutations during the outage, then rejoin:")
 	header("outage writes", "recovery", "replayed", "rejoin µs")
 	for _, writes := range []int{10, 100, 1000} {
-		p := stable.NewFailoverPair(disk.MustNew(geo), disk.MustNew(geo))
+		p := stable.NewFailoverPair(block.NewServer(disk.MustNew(geo)), block.NewServer(disk.MustNew(geo)))
 		a, b := p.Halves()
 		n, err := p.Alloc(1, payload)
 		if err != nil {
@@ -386,7 +386,7 @@ func runE8() error {
 	}
 	// Full-copy path: both halves crash, intentions lost.
 	{
-		p := stable.NewFailoverPair(disk.MustNew(geo), disk.MustNew(geo))
+		p := stable.NewFailoverPair(block.NewServer(disk.MustNew(geo)), block.NewServer(disk.MustNew(geo)))
 		a, b := p.Halves()
 		for i := 0; i < 500; i++ {
 			if _, err := p.Alloc(1, payload); err != nil {

@@ -20,6 +20,15 @@
 // deployment runs one afs-block per machine and joins the printed
 // endpoints by hand. The endpoint order is the shard placement order —
 // keep it stable across restarts (see internal/shard).
+//
+// With -pair each served store is a pre-joined §4 companion pair
+// (internal/stable) over two backends (with -store=seg in
+// subdirectories half-a and half-b of the store directory): every
+// block is written to both, reads repair from the good copy on
+// corruption, and the mirroring is invisible to the mounting
+// afs-server — it sees one ordinary block service per endpoint. Use
+// afs-server -mirror instead when the two halves must live on
+// different machines.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,6 +47,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/rpc"
 	"repro/internal/segstore"
+	"repro/internal/stable"
 )
 
 func main() {
@@ -51,11 +62,20 @@ func main() {
 		sync    = flag.String("sync", "group", "seg durability: group, each or none")
 		compact = flag.Duration("compact", time.Minute, "seg compaction interval (0 disables)")
 		shards  = flag.Int("shards", 1, "independent block stores to serve, one port each")
+		pair    = flag.Bool("pair", false, "serve each store as a pre-joined §4 companion pair over two backends")
+		// A pinned service port (with a pinned -listen address) lets a
+		// rebooted block machine come back at the endpoint its mounters
+		// already hold — which is what afs-server's mirror heal loop
+		// probes. Without it every restart mints a fresh random port.
+		portFlag = flag.String("port", "", "fixed service port (16 hex digits); empty mints a random one; needs -shards=1")
 	)
 	flag.Parse()
 
 	if *shards < 1 {
 		log.Fatalf("-shards %d: need at least 1", *shards)
+	}
+	if *portFlag != "" && *shards != 1 {
+		log.Fatal("-port needs -shards=1 (each shard needs its own port)")
 	}
 
 	tcp, err := rpc.NewTCPServer(*listen)
@@ -70,12 +90,24 @@ func main() {
 		if *shards > 1 && shardDir != "" {
 			shardDir = filepath.Join(shardDir, fmt.Sprintf("shard-%02d", i))
 		}
-		store, closeStore, err := openStore(*backend, shardDir, *blocks, *bsize, *sync, *compact)
+		store, closeStore, err := openServed(*backend, shardDir, *blocks, *bsize, *sync, *compact, *pair)
 		if err != nil {
 			log.Fatal(err)
 		}
 		closers = append(closers, closeStore)
-		port := capability.NewPort().Public()
+		var port capability.Port
+		if *portFlag != "" {
+			// Strict parse: a typo that Sscanf would silently truncate
+			// must not register a different port than the one the
+			// mounters hold.
+			p, err := strconv.ParseUint(*portFlag, 16, 64)
+			if err != nil {
+				log.Fatalf("-port %q: %v", *portFlag, err)
+			}
+			port = capability.Port(p)
+		} else {
+			port = capability.NewPort().Public()
+		}
 		tcp.Register(port, block.Serve(store))
 		endpoints = append(endpoints, fmt.Sprintf("%s@%s", port, tcp.Addr()))
 	}
@@ -83,8 +115,12 @@ func main() {
 	// The endpoint line on stdout is the mount list for afs-server
 	// (-blocks); with one shard it is the familiar single PORT@ADDR.
 	fmt.Println(strings.Join(endpoints, ","))
+	kind := *backend
+	if *pair {
+		kind += " mirrored pair"
+	}
 	log.Printf("block server (%s): %d shard(s) x %d x %d bytes at %s",
-		*backend, *shards, *blocks, *bsize, tcp.Addr())
+		kind, *shards, *blocks, *bsize, tcp.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -93,6 +129,46 @@ func main() {
 	for _, c := range closers {
 		c()
 	}
+}
+
+// openServed builds one served store: a single backend, or a pre-joined
+// companion pair of two of them (mem: two simulated disks; seg: the
+// half-a and half-b subdirectories).
+func openServed(backend, dir string, blocks, bsize int, sync string, compact time.Duration, pair bool) (block.Store, func(), error) {
+	if !pair {
+		return openStore(backend, dir, blocks, bsize, sync, compact)
+	}
+	var halves [2]block.PairStore
+	var closers [2]func()
+	for i, sub := range []string{"half-a", "half-b"} {
+		halfDir := dir
+		if halfDir != "" {
+			halfDir = filepath.Join(dir, sub)
+		}
+		st, closeStore, err := openStore(backend, halfDir, blocks, bsize, sync, compact)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				closers[j]()
+			}
+			return nil, nil, err
+		}
+		ps, ok := st.(block.PairStore)
+		if !ok {
+			return nil, nil, fmt.Errorf("backend %q cannot serve as a pair half", backend)
+		}
+		halves[i], closers[i] = ps, closeStore
+	}
+	p := stable.NewFailoverPair(halves[0], halves[1])
+	return p, func() {
+		a, b := p.Halves()
+		for _, h := range []*stable.Half{a, b} {
+			s := h.Stats()
+			log.Printf("half %s: %d companion writes, %d collisions, %d corrupt fallbacks",
+				h.Name(), s.CompanionWrites, s.Collisions, s.CorruptFallbacks)
+		}
+		closers[0]()
+		closers[1]()
+	}, nil
 }
 
 // openStore builds one backend instance.

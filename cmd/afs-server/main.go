@@ -13,11 +13,26 @@
 // deployment with the same stores in a different order is a different
 // (wrong) layout.
 //
+// With -mirror PORT@ADDR+PORT@ADDR[,...] every element names TWO block
+// services joined as a §4 companion pair (internal/stable): each block
+// lives on both, reads fall back to (and repair from) the companion on
+// corruption, and either half can be killed without interrupting the
+// file service — mutations made during the outage are replayed when the
+// half comes back (the server probes and rejoins down halves
+// automatically on the -heal interval). Several mirrored pairs compose
+// behind the sharded facade exactly like -blocks mounts do: mirrored
+// shards, the RAID-10 topology.
+//
 // With a durable or remote store the server recovers on startup: it
 // scans its account's blocks (§4; with shards, one concurrent scan per
 // block server), rebuilds the file table from the version pages found,
 // and mints fresh capabilities for the recovered files. Files written
 // before a crash are served again after it.
+//
+// With -debug-addr the server exposes every layer's counters over HTTP
+// expvar (GET /debug/vars): block-store operation and fsync counts,
+// per-shard and per-mirror-half snapshots, segstore group-commit and
+// compaction counters, and the OCC commit/validation counters.
 //
 // The service line printed on stdout (comma-separated PORT@ADDR pairs,
 // one per file server; the service capability secret is kept
@@ -25,9 +40,11 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -42,23 +59,28 @@ import (
 	"repro/internal/segstore"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/stable"
 	"repro/internal/version"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
-		servers  = flag.Int("servers", 2, "number of file server processes")
-		backend  = flag.String("store", "mem", "block store backend: mem or seg (ignored with -blocks)")
-		dir      = flag.String("dir", "", "store directory (required with -store=seg)")
-		nblocks  = flag.Int("nblocks", 1<<16, "blocks of the in-process store (ignored with -blocks)")
-		bsize    = flag.Int("bsize", 4096, "block size of the in-process store (ignored with -blocks)")
-		sync     = flag.String("sync", "group", "seg durability: group, each or none")
-		compact  = flag.Duration("compact", time.Minute, "seg compaction interval (0 disables)")
-		mounts   = flag.String("blocks", "", "remote block services as PORT@ADDR[,PORT@ADDR...] (from afs-block); two or more are sharded")
-		mount    = flag.String("block", "", "single remote block service as PORT@ADDR (alias for -blocks)")
-		gcEvery  = flag.Duration("gc", 5*time.Second, "garbage collection interval (0 disables)")
-		gcRetain = flag.Int("retain", 4, "committed versions retained per file")
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+		servers   = flag.Int("servers", 2, "number of file server processes")
+		backend   = flag.String("store", "mem", "block store backend: mem or seg (ignored with -blocks)")
+		dir       = flag.String("dir", "", "store directory (required with -store=seg)")
+		nblocks   = flag.Int("nblocks", 1<<16, "blocks of the in-process store (ignored with -blocks)")
+		bsize     = flag.Int("bsize", 4096, "block size of the in-process store (ignored with -blocks)")
+		sync      = flag.String("sync", "group", "seg durability: group, each or none")
+		compact   = flag.Duration("compact", time.Minute, "seg compaction interval (0 disables)")
+		mounts    = flag.String("blocks", "", "remote block services as PORT@ADDR[,PORT@ADDR...] (from afs-block); two or more are sharded")
+		mount     = flag.String("block", "", "single remote block service as PORT@ADDR (alias for -blocks)")
+		mirrors   = flag.String("mirror", "", "mirrored block services as PORT@ADDR+PORT@ADDR[,PORT@ADDR+PORT@ADDR...]: each element is a §4 companion pair; several pairs are sharded")
+		heal      = flag.Duration("heal", 2*time.Second, "probe interval for rejoining down mirror halves (0 disables)")
+		stale     = flag.String("stale", "", "mirror halves known to have missed writes, as PAIR:a|b[,PAIR:a|b...] (e.g. 0:b): mounted down and restored by full copy")
+		debugAddr = flag.String("debug-addr", "", "HTTP address serving expvar counters on /debug/vars (empty disables)")
+		gcEvery   = flag.Duration("gc", 5*time.Second, "garbage collection interval (0 disables)")
+		gcRetain  = flag.Int("retain", 4, "committed versions retained per file")
 	)
 	flag.Parse()
 
@@ -66,12 +88,46 @@ func main() {
 	if mountList == "" {
 		mountList = *mount
 	}
+	if *mirrors != "" && mountList != "" {
+		log.Fatal("-mirror and -blocks are mutually exclusive (a -mirror element is itself a mount)")
+	}
 
 	var store block.Store
 	var sharded *shard.Store
+	var pairs []*stable.Pair
+	var segStore *segstore.Store
 	var closeStore func()
 	durable := false // the store may hold a file system from a past life
 	switch {
+	case *mirrors != "":
+		var err error
+		pairs, err = dialMirrors(*mirrors)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Halves the operator knows diverged (the pair ran degraded
+		// under a previous server process, so no intentions record
+		// exists anymore) are mounted stale: the heal loop restores
+		// them by full copy before they serve anything.
+		if err := markStale(pairs, *stale); err != nil {
+			log.Fatal(err)
+		}
+		if len(pairs) == 1 {
+			store = pairs[0]
+			log.Printf("mounted mirrored pair %s", *mirrors)
+		} else {
+			backends := make([]block.Store, len(pairs))
+			for i, p := range pairs {
+				backends[i] = p
+			}
+			sharded, err = shard.New(backends...)
+			if err != nil {
+				log.Fatalf("shard %s: %v", *mirrors, err)
+			}
+			store = sharded
+			log.Printf("mounted %d mirrored pairs behind the sharded facade", len(pairs))
+		}
+		durable = true
 	case mountList != "":
 		remotes, err := dialMounts(mountList)
 		if err != nil {
@@ -110,6 +166,7 @@ func main() {
 			log.Fatal(err)
 		}
 		store = st
+		segStore = st
 		durable = true
 		closeStore = func() {
 			if err := st.Close(); err != nil {
@@ -165,7 +222,42 @@ func main() {
 	fmt.Println(strings.Join(endpoints, ","))
 	log.Printf("file service up: %d servers at %s", *servers, tcp.Addr())
 
+	if *debugAddr != "" {
+		publishDebugVars(store, sharded, pairs, segStore, srvs, sh)
+		go func() {
+			// expvar self-registers on the default mux: GET /debug/vars.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		log.Printf("expvar counters at http://%s/debug/vars", *debugAddr)
+	}
+
 	stop := make(chan struct{})
+	if len(pairs) > 0 && *heal > 0 {
+		// Probe down mirror halves and rejoin them (§4 "compares notes
+		// ... and restores its disk") as soon as their backend answers.
+		go func() {
+			t := time.NewTicker(*heal)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					for i, p := range pairs {
+						n, err := p.Heal()
+						if n > 0 {
+							log.Printf("mirror %d: %d half(s) rejoined", i, n)
+						}
+						if err != nil {
+							log.Printf("mirror %d: rejoin failed (will retry): %v", i, err)
+						}
+					}
+				}
+			}
+		}()
+	}
 	if *gcEvery > 0 {
 		col := gc.New(version.NewStore(store, sh.Acct), sh.Table, *gcRetain, func() []block.Num {
 			var out []block.Num
@@ -191,7 +283,222 @@ func main() {
 				st.Shard, st.Stats.Reads, st.Stats.Writes, st.Stats.Allocs, st.Stats.Frees, st.Stats.Syncs)
 		}
 	}
+	for i, p := range pairs {
+		a, b := p.Halves()
+		for _, h := range []*stable.Half{a, b} {
+			s := h.Stats()
+			log.Printf("mirror %d half %s: %d companion writes, %d collisions, %d corrupt fallbacks, %d intents, %d replayed, %d full-copied",
+				i, h.Name(), s.CompanionWrites, s.Collisions, s.CorruptFallbacks, s.IntentionsKept, s.Replayed, s.FullCopied)
+		}
+	}
 	log.Printf("file service down: %d files", sh.Table.Len())
+}
+
+// dialMirrors parses PORT@ADDR+PORT@ADDR[,...] and joins each element's
+// two endpoints as a stable companion pair. The element order is the
+// shard placement order, exactly as with -blocks. One unreachable half
+// does not block the mount — that is the situation the mirror exists
+// for: the pair comes up degraded with that half down, and the heal
+// loop rejoins it when its machine answers again. Only a pair with
+// BOTH halves unreachable is fatal.
+func dialMirrors(list string) ([]*stable.Pair, error) {
+	var out []*stable.Pair
+	for _, m := range strings.Split(list, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		halves := strings.Split(m, "+")
+		if len(halves) != 2 {
+			return nil, fmt.Errorf("mirror %q: want PORT@ADDR+PORT@ADDR", m)
+		}
+		var stores [2]block.PairStore
+		var errs [2]error
+		for i, hm := range halves {
+			stores[i], errs[i] = dialPairStore(strings.TrimSpace(hm))
+		}
+		if errs[0] != nil && errs[1] != nil {
+			return nil, fmt.Errorf("mirror %q: both halves unreachable: %v; %v", m, errs[0], errs[1])
+		}
+		for i := range stores {
+			if errs[i] == nil {
+				continue
+			}
+			other := stores[1-i]
+			lazy, err := lazyPairStore(strings.TrimSpace(halves[i]), other.BlockSize())
+			if err != nil {
+				return nil, fmt.Errorf("mirror %q: %w", m, err)
+			}
+			stores[i] = lazy
+		}
+		if stores[0].BlockSize() != stores[1].BlockSize() {
+			return nil, fmt.Errorf("mirror %q: halves disagree on block size (%d vs %d)",
+				m, stores[0].BlockSize(), stores[1].BlockSize())
+		}
+		p := stable.NewFailoverPair(stores[0], stores[1])
+		a, b := p.Halves()
+		for i, h := range []*stable.Half{a, b} {
+			if errs[i] != nil {
+				// Stale, not merely crashed: this process never saw the
+				// outage begin, so the heal rejoin must restore the
+				// half by full copy, never by intentions replay.
+				h.MarkStale()
+				log.Printf("mirror half %s (%s) unreachable; mounted degraded (block size assumed from companion), heal loop will rejoin it by full copy: %v",
+					h.Name(), strings.TrimSpace(halves[i]), errs[i])
+			}
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mirror list %q names no pairs", list)
+	}
+	return out, nil
+}
+
+// markStale parses PAIR:a|b[,...] and marks those halves stale: down
+// until the heal loop restores them by full copy. The operator uses it
+// after a service restart when one half is reachable but known to have
+// missed writes — the fresh pair itself cannot tell (see ROADMAP on
+// boot-time divergence detection).
+func markStale(pairs []*stable.Pair, list string) error {
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		var idx int
+		var half string
+		if _, err := fmt.Sscanf(entry, "%d:%s", &idx, &half); err != nil || (half != "a" && half != "b") {
+			return fmt.Errorf("-stale entry %q: want PAIR:a or PAIR:b", entry)
+		}
+		if idx < 0 || idx >= len(pairs) {
+			return fmt.Errorf("-stale entry %q: pair index out of range (have %d pairs)", entry, len(pairs))
+		}
+		a, b := pairs[idx].Halves()
+		h := a
+		if half == "b" {
+			h = b
+		}
+		h.MarkStale()
+		log.Printf("mirror %d half %s marked stale; heal loop will restore it by full copy", idx, h.Name())
+	}
+	return nil
+}
+
+// dialPairStore dials one endpoint and requires the full companion-pair
+// surface (Claim/ClearLocks), which every afs-block store serves. The
+// retry policy fails fast so a dead half flips to outage mode promptly
+// instead of stalling every write on transport retries.
+func dialPairStore(m string) (block.PairStore, error) {
+	port, _, err := splitMount(m)
+	if err != nil {
+		return nil, err
+	}
+	cli, err := mirrorClient(m)
+	if err != nil {
+		return nil, err
+	}
+	remote, err := block.Dial(cli, port)
+	if err != nil {
+		return nil, fmt.Errorf("mount %s: %w", m, err)
+	}
+	ps, ok := remote.(block.PairStore)
+	if !ok {
+		return nil, fmt.Errorf("mount %s: store does not serve the pair operations", m)
+	}
+	return ps, nil
+}
+
+// lazyPairStore mounts an endpoint that is currently unreachable,
+// assuming the companion's block size; the pair holds it down until
+// the heal probe succeeds.
+func lazyPairStore(m string, blockSize int) (block.PairStore, error) {
+	port, _, err := splitMount(m)
+	if err != nil {
+		return nil, err
+	}
+	cli, err := mirrorClient(m)
+	if err != nil {
+		return nil, err
+	}
+	return block.Remote(cli, port, blockSize).(block.PairStore), nil
+}
+
+// mirrorClient builds the fail-fast TCP client a mirror half uses.
+func mirrorClient(m string) (*rpc.TCPClient, error) {
+	port, addr, err := splitMount(m)
+	if err != nil {
+		return nil, err
+	}
+	res := rpc.NewResolver()
+	res.Set(port, addr)
+	cli := rpc.NewTCPClient(res)
+	cli.SetRetryPolicy(rpc.RetryPolicy{Attempts: 2})
+	return cli, nil
+}
+
+// publishDebugVars exposes every layer's counters through expvar: the
+// slim first cut of uniform observability. Each variable is computed on
+// read, so GET /debug/vars always reflects live state.
+func publishDebugVars(store block.Store, sharded *shard.Store, pairs []*stable.Pair, seg *segstore.Store, srvs []*server.Server, sh *server.Shared) {
+	expvar.Publish("afs.block", expvar.Func(func() any {
+		if sr, ok := store.(block.StatsReporter); ok {
+			if st, err := sr.BlockStats(); err == nil {
+				return st
+			}
+		}
+		return nil
+	}))
+	expvar.Publish("afs.usage", expvar.Func(func() any {
+		if ur, ok := store.(block.UsageReporter); ok {
+			if u, err := ur.Usage(); err == nil {
+				return u
+			}
+		}
+		return nil
+	}))
+	expvar.Publish("afs.files", expvar.Func(func() any { return sh.Table.Len() }))
+	expvar.Publish("afs.occ", expvar.Func(func() any {
+		var sum struct {
+			Commits, FastCommits, Validations, Conflicts uint64
+			PagesCompared, Merged, ChainRetries          uint64
+		}
+		for _, s := range srvs {
+			st := s.OCCStats()
+			sum.Commits += st.Commits.Load()
+			sum.FastCommits += st.FastCommits.Load()
+			sum.Validations += st.Validations.Load()
+			sum.Conflicts += st.Conflicts.Load()
+			sum.PagesCompared += st.PagesCompared.Load()
+			sum.Merged += st.Merged.Load()
+			sum.ChainRetries += st.ChainRetries.Load()
+		}
+		return sum
+	}))
+	if sharded != nil {
+		expvar.Publish("afs.shards", expvar.Func(func() any { return sharded.ShardStats() }))
+	}
+	if seg != nil {
+		expvar.Publish("afs.segstore", expvar.Func(func() any { return seg.Stats() }))
+	}
+	if len(pairs) > 0 {
+		expvar.Publish("afs.mirror", expvar.Func(func() any {
+			type halfVar struct {
+				Pair  int
+				Half  string
+				Down  bool
+				Stats stable.HalfStats
+			}
+			var out []halfVar
+			for i, p := range pairs {
+				a, b := p.Halves()
+				for _, h := range []*stable.Half{a, b} {
+					out = append(out, halfVar{Pair: i, Half: h.Name(), Down: h.Down(), Stats: h.Stats()})
+				}
+			}
+			return out
+		}))
+	}
 }
 
 // dialMounts parses a comma-separated PORT@ADDR list and dials each

@@ -1,31 +1,142 @@
-// Command failover demonstrates the paper's crash story (§3.1, §5.4.1):
+// Command failover demonstrates the paper's two availability stories on
+// real storage: the §3.1/§5.4.1 crash story for file servers and the §4
+// companion-pair story for block storage — here over two DURABLE
+// segment-log stores served across TCP, the "two block servers on two
+// different disk drives" of §4 with actual disks under them.
 //
 //	"Server crashes have no serious consequences: the file system is
 //	always in a consistent state, so there is no rollback, clients need
-//	only redo the update that remained unfinished because of the crash.
-//	Clients do not have to wait until the server is restored, because
-//	they can use another server."
+//	only redo the update that remained unfinished because of the crash."
 //
-// A server is killed in the middle of a client's update. The file system
-// needs no recovery at all: the client simply redoes the update through a
-// surviving server. The locks the dead server held are recovered by the
-// §5.3 rules when the next update encounters them.
+// The walkthrough:
+//
+//  1. A file server is killed mid-update; the client redoes the update
+//     through a surviving server. No recovery work at all.
+//  2. Media corruption: block machine A's segment log rots on disk.
+//     Reads fall back to companion B over the wire (block.ErrCorrupt
+//     crosses it) and repair A's copies in place.
+//  3. Machine B is killed. The transport failure marks it down
+//     automatically; writes continue on A alone, each recorded on the
+//     §4 intentions list. B reboots at the same endpoint and the pair
+//     heals: the outage is REPLAYED onto B's store.
+//  4. Total loss: B dies again (missing an update), and then the file
+//     service machine itself goes down, taking the intentions list with
+//     it. A fresh service recovers its file table from the mirrored
+//     store, and B — now stale with no list to replay — "compares notes
+//     with its companion and restores its disk" by FULL COPY. Killing A
+//     afterwards proves B's restored copy carries the whole file system.
+//
+// Run it with:
+//
+//	go run ./examples/failover
+//
+// Real deployments get the same topology from the cmd tools: one
+// `afs-block -store=seg -dir=D -listen=H:P -port=HEX` per machine, then
+// `afs-server -mirror=PORTA@ADDRA+PORTB@ADDRB`.
 package main
 
 import (
 	"errors"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
-	"repro/afs"
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/page"
+	"repro/internal/rpc"
+	"repro/internal/segstore"
+	"repro/internal/stable"
 )
 
+const blockSize = 1024
+
+// machine is one block-server box: a durable segstore behind a TCP
+// listener, with a service port that survives reboots (only the TCP
+// address changes).
+type machine struct {
+	name  string
+	dir   string
+	port  capability.Port
+	store *segstore.Store
+	tcp   *rpc.TCPServer
+}
+
+func (m *machine) start() error {
+	st, err := segstore.Open(m.dir, segstore.Options{BlockSize: blockSize, Capacity: 1 << 12, SegmentRecords: 64})
+	if err != nil {
+		return err
+	}
+	tcp, err := rpc.NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		return err
+	}
+	tcp.Register(m.port, block.Serve(st))
+	m.store, m.tcp = st, tcp
+	return nil
+}
+
+// crash kills the box: listener gone, store handles dropped with no
+// flush (acknowledged writes are already on its disk).
+func (m *machine) crash() {
+	m.tcp.Close()
+	m.store.Abandon()
+}
+
+// dial mounts the machine as a companion-pair half through res.
+func (m *machine) dial(res *rpc.Resolver) (block.PairStore, error) {
+	res.Set(m.port, m.tcp.Addr())
+	cli := rpc.NewTCPClient(res)
+	cli.SetRetryPolicy(rpc.RetryPolicy{Attempts: 2}) // fail fast onto the intentions list
+	remote, err := block.Dial(cli, m.port)
+	if err != nil {
+		return nil, err
+	}
+	ps, ok := remote.(block.PairStore)
+	if !ok {
+		return nil, fmt.Errorf("%s does not serve the pair operations", m.name)
+	}
+	return ps, nil
+}
+
 func main() {
-	cluster, err := afs.Start(afs.Options{Servers: 3, StableStorage: true})
+	base, err := os.MkdirTemp("", "afs-failover-")
 	if err != nil {
 		log.Fatal(err)
 	}
-	c := cluster.NewClient()
+	defer os.RemoveAll(base)
+
+	ma := &machine{name: "A", dir: filepath.Join(base, "a"), port: capability.NewPort().Public()}
+	mb := &machine{name: "B", dir: filepath.Join(base, "b"), port: capability.NewPort().Public()}
+	res := rpc.NewResolver()
+	for _, m := range []*machine{ma, mb} {
+		if err := m.start(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ra, err := ma.dial(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rb, err := mb.dial(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluster, err := core.NewCluster(core.Config{
+		Servers:      3,
+		MirrorStores: []block.PairStore{ra, rb},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hA, hB := cluster.Pair().Halves()
+	c := cluster.Client()
+	fmt.Printf("file service up: 3 servers over a mirrored pair of segstores (under %s)\n", base)
 
 	f, err := c.CreateFile([]byte("balance: 100"))
 	if err != nil {
@@ -33,92 +144,164 @@ func main() {
 	}
 	fmt.Println("file created:", "balance: 100")
 
-	// An update is in flight when its managing server dies.
-	v, err := c.Update(f)
+	// --- act 1: a file server dies mid-update ---
+	v, err := c.Update(f, client.UpdateOpts{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := v.Write(afs.Root, []byte("balance: 150")); err != nil {
+	if err := v.Write(page.RootPath, []byte("balance: 150")); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("update in flight: balance -> 150 (uncommitted)")
-
+	fmt.Println("\nupdate in flight: balance -> 150 (uncommitted)")
 	cluster.CrashServer(0)
-	fmt.Printf("server 0 crashed; %d servers remain\n", cluster.LiveServers())
-
-	// The uncommitted version died with its server.
+	fmt.Printf("file server 0 CRASHES; %d servers remain\n", len(cluster.Ports()))
 	if err := v.Commit(); err == nil {
 		log.Fatal("commit of a version lost in the crash succeeded")
 	} else {
-		fmt.Printf("commit of the lost version fails as expected: %v\n", shorten(err))
+		fmt.Printf("commit of the lost version fails as expected: %.60s...\n", err)
 	}
+	if got := readFile(c, f); got != "balance: 100" {
+		log.Fatalf("file inconsistent after crash: %q", got)
+	}
+	fmt.Println("file state with zero recovery work: \"balance: 100\"")
+	writeFile(c, f, "balance: 150")
+	fmt.Printf("redone through a surviving server: %q\n", readFile(c, f))
 
-	// No rollback, no lock clearing, no intentions lists: the file is
-	// still consistent, immediately.
-	got, err := c.ReadFile(f)
+	// --- act 2: media corruption on machine A ---
+	rotSegments(ma.dir)
+	fmt.Println("\nmachine A's segment log ROTS on disk (every record's CRC now fails)")
+	if got := readFile(c, f); got != "balance: 150" {
+		log.Fatalf("read over corrupt medium: %q", got)
+	}
+	sA := hA.Stats()
+	fmt.Printf("read still serves %q — %d corrupt reads fell back to B over the wire, %d copies repaired\n",
+		readFile(c, f), sA.CorruptFallbacks, sA.Repairs)
+
+	// --- act 3: machine B dies; writes continue; reboot + heal ---
+	mb.crash()
+	fmt.Println("\nmachine B is KILLED (no fault-injection call: the pair notices the dead transport)")
+	writeFile(c, f, "balance: 175")
+	fmt.Printf("write lands on A alone: %q (B down=%v, auto-markdowns=%d, intents kept=%d)\n",
+		readFile(c, f), hB.Down(), hB.Stats().AutoMarkdowns, hA.Stats().IntentionsKept)
+	if err := mb.start(); err != nil {
+		log.Fatal(err)
+	}
+	res.Set(mb.port, mb.tcp.Addr()) // same service port, new TCP address
+	if healed, err := cluster.Pair().Heal(); healed != 1 {
+		log.Fatalf("heal rejoined %d halves, want 1 (err=%v)", healed, err)
+	}
+	fmt.Printf("machine B REBOOTS and the pair heals: %d mutations replayed from the intentions list\n",
+		hA.Stats().Replayed)
+
+	// --- act 4: total loss and full-copy rejoin ---
+	mb.crash()
+	writeFile(c, f, "balance: 200")
+	fmt.Println("\nmachine B dies AGAIN and misses an update (balance -> 200);")
+	fmt.Println("then the file-service machine goes down too — the intentions list dies with it")
+
+	// A fresh service process: new mounts, new pair, no memory.
+	if err := mb.start(); err != nil {
+		log.Fatal(err)
+	}
+	res2 := rpc.NewResolver()
+	ra2, err := ma.dial(res2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("file state after crash, with zero recovery work: %q\n", got)
-	if string(got) != "balance: 100" {
-		log.Fatal("file inconsistent after crash")
-	}
-
-	// The client redoes the update on a surviving server.
-	redo, err := c.Update(f)
+	rb2, err := mb.dial(res2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := redo.Write(afs.Root, []byte("balance: 150")); err != nil {
-		log.Fatal(err)
-	}
-	if err := redo.Commit(); err != nil {
-		log.Fatal(err)
-	}
-	got, _ = c.ReadFile(f)
-	fmt.Printf("redone through a surviving server: %q\n", got)
-
-	// Storage-level failure: half of the stable pair dies too.
-	a, _ := cluster.Internal().Pair().Halves()
-	a.Crash()
-	fmt.Println("block server A crashed (stable pair)")
-	if err := c.WriteFile(f, []byte("balance: 175")); err != nil {
-		log.Fatal(err)
-	}
-	got, _ = c.ReadFile(f)
-	fmt.Printf("writes continue on the surviving half: %q\n", got)
-
-	// The half rejoins and catches up from its companion's intentions.
-	if err := a.Rejoin(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("block server A rejoined and restored its disk from its companion")
-
-	// Total service loss: rebuild the file table from storage alone.
-	cluster.CrashServer(1)
-	cluster.CrashServer(2)
-	if _, err := c.Update(f); !errors.Is(err, afs.ErrNoServers) {
-		log.Fatal("expected no servers")
-	}
-	if _, err := cluster.AddServer(); err != nil {
-		log.Fatal(err)
-	}
-	if err := cluster.RebuildFileTable(); err != nil {
-		log.Fatal(err)
-	}
-	c2 := cluster.NewClient()
-	got, err = c2.ReadFile(f)
+	cluster2, err := core.NewCluster(core.Config{Servers: 2, MirrorStores: []block.PairStore{ra2, rb2}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("after total service loss + table rebuild from disk: %q\n", got)
+	caps, err := cluster2.RecoverTable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fresh service recovers %d file(s) from the mirrored store\n", len(caps))
+	var f2 capability.Capability
+	for _, cp := range caps {
+		f2 = cp
+	}
+	_, hB2 := cluster2.Pair().Halves()
+	// The operator knows B was stale when everything went down: rejoin
+	// it. With no intentions list anywhere, §4's "compares notes with
+	// its companion" runs as a full copy of every block A holds.
+	if err := hB2.Rejoin(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("half B restored by FULL COPY: %d blocks copied from A\n", hB2.Stats().FullCopied)
+
+	c2 := cluster2.Client()
+	if got := readFile(c2, f2); got != "balance: 200" {
+		log.Fatalf("after recovery: %q", got)
+	}
+	ma.crash()
+	fmt.Printf("machine A killed after the copy; B alone serves %q — the mirror is whole again\n",
+		readFile(c2, f2))
+
+	mb.crash()
 }
 
-// shorten trims long error chains for display.
-func shorten(err error) string {
-	s := err.Error()
-	if len(s) > 60 {
-		return s[:60] + "..."
+// readFile reads the root page of the file's current version.
+func readFile(c *client.Client, f capability.Capability) string {
+	cur, err := c.CurrentVersion(f)
+	if err != nil {
+		log.Fatal(err)
 	}
-	return s
+	data, _, err := c.ReadCommitted(f, cur, page.RootPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(data)
+}
+
+// writeFile replaces the root page in one update, redoing on conflict
+// or a crashed server exactly as the paper's clients do.
+func writeFile(c *client.Client, f capability.Capability, content string) {
+	for {
+		v, err := c.Update(f, client.UpdateOpts{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := v.Write(page.RootPath, []byte(content)); err != nil {
+			log.Fatal(err)
+		}
+		err = v.Commit()
+		if err == nil {
+			return
+		}
+		if errors.Is(err, stable.ErrBothDown) {
+			log.Fatal(err)
+		}
+	}
+}
+
+// rotSegments flips a payload byte in every record of every segment
+// file under dir, behind the running store's back: media decay. Record
+// layout per segstore/segment.go: 32-byte header + blockSize payload.
+func rotSegments(dir string) {
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(matches) == 0 {
+		log.Fatalf("no segments under %s: %v", dir, err)
+	}
+	for _, path := range matches {
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			log.Fatal(err)
+		}
+		const recSize = 32 + blockSize
+		for off := int64(32); off < info.Size(); off += recSize {
+			if _, err := f.WriteAt([]byte{0xDE, 0xAD}, off); err != nil {
+				log.Fatal(err)
+			}
+		}
+		f.Close()
+	}
 }

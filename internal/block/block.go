@@ -89,7 +89,36 @@ var (
 	ErrLocked = errors.New("block: locked")
 	// ErrNotLocked reports an Unlock of an unlocked block.
 	ErrNotLocked = errors.New("block: not locked")
+	// ErrCorrupt reports stored data that failed its integrity check —
+	// media decay on the simulated disk, a bad CRC in the segment log.
+	// Every backend maps its native corruption error onto this sentinel
+	// (local or over the wire), which is what lets the stable-storage
+	// layer fall back to the companion copy identically over any medium.
+	ErrCorrupt = errors.New("block: corrupt")
+	// ErrCollision reports a §4 companion-pair collision: two clients
+	// allocated the same number or wrote the same block through
+	// different halves simultaneously. The caller redoes the operation,
+	// typically after a random wait.
+	ErrCollision = errors.New("block: companion collision")
 )
+
+// corruptError brands a backend's native corruption error with the
+// shared ErrCorrupt sentinel while keeping the original chain intact.
+type corruptError struct{ err error }
+
+func (e *corruptError) Error() string   { return e.err.Error() }
+func (e *corruptError) Unwrap() []error { return []error{ErrCorrupt, e.err} }
+
+// MarkCorrupt returns err branded so errors.Is(·, ErrCorrupt) holds,
+// without disturbing err's own chain. Backends use it to map their
+// native corruption errors (disk.ErrCorrupt, segstore's bad CRC) onto
+// the shared sentinel.
+func MarkCorrupt(err error) error {
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	return &corruptError{err}
+}
 
 // Account identifies a block-server client for protection and recovery.
 // The file servers each hold one account capability.
@@ -118,6 +147,25 @@ type Store interface {
 	// Recover lists all block numbers owned by account, for crash
 	// recovery of a file server's tables.
 	Recover(account Account) ([]Num, error)
+}
+
+// PairStore is the backend surface a §4 companion-pair half builds on:
+// a Store that can additionally mirror its partner's allocation choice
+// (Claim) and drop volatile lock state wholesale (ClearLocks). Every
+// backend in this repo qualifies — the in-memory Server, the durable
+// segstore, the RPC proxy (cmdClaim/cmdClearLocks carry both operations
+// over the wire) and the sharded facade — so a mirrored pair can wrap
+// any of them, and a pair of pairs or a shard of pairs composes freely.
+type PairStore interface {
+	Store
+	// Claim allocates the specific block number n for account, failing
+	// if it is already taken. A failed Claim at the companion is
+	// exactly the paper's §4 "allocate collision".
+	Claim(account Account, n Num) error
+	// ClearLocks drops every lock bit: lock bits are volatile commit
+	// critical-section state (§5.2), never file state, so a restarted
+	// file server clears them wholesale.
+	ClearLocks()
 }
 
 // numShards is the lock-stripe count. Block state is sharded by number
@@ -370,7 +418,17 @@ func (s *Server) Read(account Account, n Num) ([]byte, error) {
 		return nil, err
 	}
 	s.stats.reads.Add(1)
-	return s.d.Read(int(n))
+	data, err := s.d.Read(int(n))
+	return data, diskErr(err)
+}
+
+// diskErr maps the simulated disk's corruption error onto the shared
+// block.ErrCorrupt sentinel; other disk errors pass through.
+func diskErr(err error) error {
+	if err != nil && errors.Is(err, disk.ErrCorrupt) {
+		return MarkCorrupt(err)
+	}
+	return err
 }
 
 // Write implements Store.
@@ -450,6 +508,7 @@ func (s *Server) ClearLocks() {
 
 var _ Store = (*Server)(nil)
 var _ MultiStore = (*Server)(nil)
+var _ PairStore = (*Server)(nil)
 
 // ReadMulti implements MultiStore (all-or-nothing, see the contract).
 func (s *Server) ReadMulti(account Account, ns []Num) ([][]byte, error) {
@@ -464,7 +523,7 @@ func (s *Server) ReadMulti(account Account, ns []Num) ([][]byte, error) {
 		}
 		data, err := s.d.Read(int(n))
 		if err != nil {
-			return nil, multiErr("read", i, len(ns), err)
+			return nil, multiErr("read", i, len(ns), diskErr(err))
 		}
 		out[i] = data
 	}

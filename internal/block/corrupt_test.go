@@ -1,0 +1,144 @@
+package block_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/disk"
+	"repro/internal/rpc"
+	"repro/internal/segstore"
+)
+
+// TestCorruptUnification is the corruption-error contract: whatever the
+// medium — simulated-disk decay, a bad CRC in the segment log — and
+// whether the store is local or behind the wire, a read of damaged data
+// classifies as block.ErrCorrupt through errors.Is. The stable-storage
+// companion fallback depends on exactly this.
+func TestCorruptUnification(t *testing.T) {
+	// serve exposes a store over the in-process transport and returns
+	// the remote proxy for it.
+	serve := func(t *testing.T, st block.Store) block.Store {
+		t.Helper()
+		net := rpc.NewNetwork()
+		port := capability.NewPort().Public()
+		if err := net.Register("blk", port, block.Serve(st)); err != nil {
+			t.Fatal(err)
+		}
+		remote, err := block.Dial(net, port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return remote
+	}
+
+	newMem := func(t *testing.T) (block.Store, func(n block.Num)) {
+		d := disk.MustNew(disk.Geometry{Blocks: 16, BlockSize: 64})
+		return block.NewServer(d), func(n block.Num) {
+			if err := d.InjectCorruption(int(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	newSeg := func(t *testing.T) (block.Store, func(n block.Num)) {
+		dir := t.TempDir()
+		st, err := segstore.Open(dir, segstore.Options{BlockSize: 64, Capacity: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		return st, func(block.Num) {
+			// The store holds exactly one record (the alloc below), at
+			// the head of the first segment; flipping a payload byte
+			// behind the store's back is media rot that fails the CRC.
+			f, err := os.OpenFile(filepath.Join(dir, "seg-00000001.log"), os.O_RDWR, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.WriteAt([]byte{0xDE, 0xAD}, 40); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	cases := []struct {
+		name   string
+		build  func(t *testing.T) (block.Store, func(block.Num))
+		remote bool
+	}{
+		{"disk-decay", newMem, false},
+		{"segstore-bad-crc", newSeg, false},
+		{"disk-decay-over-wire", newMem, true},
+		{"segstore-bad-crc-over-wire", newSeg, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, corrupt := tc.build(t)
+			view := st
+			if tc.remote {
+				view = serve(t, st)
+			}
+			n, err := view.Alloc(1, []byte("payload"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := view.Read(1, n); err != nil {
+				t.Fatalf("clean read: %v", err)
+			}
+			corrupt(n)
+			_, err = view.Read(1, n)
+			if !errors.Is(err, block.ErrCorrupt) {
+				t.Fatalf("read of damaged block: err = %v, want errors.Is block.ErrCorrupt", err)
+			}
+			// The batched read classifies identically.
+			_, err = block.ReadMulti(view, 1, []block.Num{n})
+			if !errors.Is(err, block.ErrCorrupt) {
+				t.Fatalf("readmulti of damaged block: err = %v, want errors.Is block.ErrCorrupt", err)
+			}
+			// Corruption is never confused with the other sentinels.
+			for _, s := range []error{block.ErrNotAllocated, block.ErrNotOwner, block.ErrNoSpace} {
+				if errors.Is(err, s) {
+					t.Fatalf("corrupt read also classifies as %v", s)
+				}
+			}
+		})
+	}
+}
+
+// TestCollisionOverWire checks the companion-collision sentinel crosses
+// the wire: a pair served remotely reports ErrCollision such that
+// errors.Is still classifies it on the client side.
+func TestCollisionOverWire(t *testing.T) {
+	// A minimal colliding store: Claim always refuses with ErrCollision.
+	st := collideStore{Server: block.NewServer(disk.MustNew(disk.Geometry{Blocks: 16, BlockSize: 64}))}
+	net := rpc.NewNetwork()
+	port := capability.NewPort().Public()
+	if err := net.Register("blk", port, block.Serve(st)); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := block.Dial(net, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, ok := remote.(block.Claimer)
+	if !ok {
+		t.Fatal("remote store does not proxy Claim")
+	}
+	if err := cl.Claim(1, 3); !errors.Is(err, block.ErrCollision) {
+		t.Fatalf("claim err = %v, want errors.Is block.ErrCollision", err)
+	}
+}
+
+// collideStore wraps the in-memory server with a Claim that always
+// reports a companion collision.
+type collideStore struct {
+	*block.Server
+}
+
+func (c collideStore) Claim(account block.Account, n block.Num) error {
+	return block.ErrCollision
+}

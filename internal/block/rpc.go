@@ -39,6 +39,11 @@ const (
 	// operation counts) over the wire.
 	cmdUsage
 	cmdStats
+	// cmdClearLocks completes the PairStore surface over the wire: a
+	// remote store can serve as one half of a §4 companion pair
+	// (cmdClaim mirrors allocation choices, cmdClearLocks drops
+	// volatile lock state on rejoin).
+	cmdClearLocks
 )
 
 // Status codes specific to the block service.
@@ -48,6 +53,9 @@ const (
 	statusNotOwner
 	statusLocked
 	statusNotLocked
+	// statusCorrupt carries ErrCorrupt across the wire, so a mirrored
+	// half mounted remotely still triggers the companion read fallback.
+	statusCorrupt
 )
 
 // Claimer is the optional companion-pair operation: backends that can
@@ -135,6 +143,13 @@ func Serve(s Store) rpc.Handler {
 			r.Args[0] = uint64(u.Capacity)
 			r.Args[1] = uint64(u.InUse)
 			return r
+		case cmdClearLocks:
+			cl, ok := s.(interface{ ClearLocks() })
+			if !ok {
+				return req.Errorf(rpc.StatusBadCommand, "block: store does not support clearing locks")
+			}
+			cl.ClearLocks()
+			return req.Reply(rpc.StatusOK)
 		case cmdStats:
 			sr, ok := s.(StatsReporter)
 			if !ok {
@@ -233,6 +248,10 @@ func blockErr(req *rpc.Message, err error) *rpc.Message {
 		status = statusLocked
 	case errors.Is(err, ErrNotLocked):
 		status = statusNotLocked
+	case errors.Is(err, ErrCorrupt):
+		status = statusCorrupt
+	case errors.Is(err, ErrCollision):
+		status = rpc.StatusCollision
 	}
 	return req.Errorf(status, "%v", err)
 }
@@ -255,6 +274,10 @@ func statusErr(resp *rpc.Message) error {
 		return fmt.Errorf("%w (%v)", ErrLocked, base)
 	case statusNotLocked:
 		return fmt.Errorf("%w (%v)", ErrNotLocked, base)
+	case statusCorrupt:
+		return fmt.Errorf("%w (%v)", ErrCorrupt, base)
+	case rpc.StatusCollision:
+		return fmt.Errorf("%w (%v)", ErrCollision, base)
 	default:
 		return base
 	}
@@ -280,6 +303,15 @@ func Dial(tr rpc.Transactor, port capability.Port) (Store, error) {
 		return nil, fmt.Errorf("block: remote reports block size %d", r.size)
 	}
 	return r, nil
+}
+
+// Remote returns a Store proxy for a block service already known to
+// use the given block size, without contacting it. A mirror mount uses
+// it to mount a currently-unreachable half: the pair starts that half
+// in the down state and the heal loop brings it back, so one dead
+// machine never blocks bringing the service up.
+func Remote(tr rpc.Transactor, port capability.Port, blockSize int) Store {
+	return &remoteStore{tr: tr, port: port, size: blockSize}
 }
 
 func (r *remoteStore) call(req *rpc.Message) (*rpc.Message, error) {
@@ -349,6 +381,13 @@ func (r *remoteStore) Unlock(acct Account, n Num) error {
 func (r *remoteStore) Claim(acct Account, n Num) error {
 	_, err := r.call(r.req(cmdClaim, acct, n, nil))
 	return err
+}
+
+// ClearLocks completes PairStore over the wire. Lock bits are advisory
+// volatile state, so a failure (server briefly unreachable) is ignored:
+// a restarted server already starts with all locks clear.
+func (r *remoteStore) ClearLocks() {
+	_, _ = r.call(r.req(cmdClearLocks, 0, 0, nil))
 }
 
 // Recover implements Store.
@@ -681,5 +720,6 @@ func (r *remoteStore) FreeMulti(acct Account, ns []Num) error {
 
 var _ Store = (*remoteStore)(nil)
 var _ MultiStore = (*remoteStore)(nil)
+var _ PairStore = (*remoteStore)(nil)
 var _ UsageReporter = (*remoteStore)(nil)
 var _ StatsReporter = (*remoteStore)(nil)

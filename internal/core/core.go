@@ -31,6 +31,15 @@ type Config struct {
 	// ignored. The caller keeps ownership: closing it after the cluster
 	// is done is the caller's job.
 	Store block.Store
+	// MirrorStores, when it names exactly two backends, joins them as a
+	// §4 companion pair and serves the file system from the pair: every
+	// block lives on both backends, reads fall back (and repair) on
+	// corruption, and either backend can die without data loss. Any
+	// block.PairStore works — two durable segstores on different disks,
+	// two remote afs-block mounts, a mix. Overrides Store; StablePair
+	// is the simulated-disk special case of this. Ownership stays with
+	// the caller, as with Store.
+	MirrorStores []block.PairStore
 	// DiskBlocks and BlockSize shape the simulated disks (defaults
 	// 1<<16 x 4096).
 	DiskBlocks int
@@ -107,7 +116,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	var store block.Store
 	var pair *stable.Pair
-	if cfg.Store != nil {
+	if len(cfg.MirrorStores) > 0 {
+		if len(cfg.MirrorStores) != 2 {
+			return nil, fmt.Errorf("core: MirrorStores needs exactly 2 backends, got %d", len(cfg.MirrorStores))
+		}
+		pair = stable.NewFailoverPair(cfg.MirrorStores[0], cfg.MirrorStores[1])
+		store = pair
+	} else if cfg.Store != nil {
 		store = cfg.Store
 	} else if cfg.StablePair {
 		da, err := disk.New(geo)
@@ -118,7 +133,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		pair = stable.NewFailoverPair(da, db)
+		pair = stable.NewFailoverPair(block.NewServer(da), block.NewServer(db))
 		store = pair
 	} else {
 		d, err := disk.New(geo)

@@ -54,8 +54,12 @@ var (
 	// ErrClosed reports an operation on a closed store.
 	ErrClosed = errors.New("segstore: closed")
 	// ErrCorrupt reports a record that failed its CRC outside the
-	// truncatable log tail: real media corruption.
-	ErrCorrupt = errors.New("segstore: corrupt")
+	// truncatable log tail: real media corruption. It is branded with
+	// the shared block.ErrCorrupt sentinel, so layers above (the
+	// stable-storage companion fallback in particular) classify
+	// corruption identically over the simulated disk and the segment
+	// log, locally or across the wire.
+	ErrCorrupt = block.MarkCorrupt(errors.New("segstore: corrupt"))
 	// ErrGeometry reports Open options that contradict the geometry the
 	// store directory was created with.
 	ErrGeometry = errors.New("segstore: geometry mismatch")

@@ -338,6 +338,7 @@ func (s *Store) ClearLocks() {
 var _ block.Store = (*Store)(nil)
 var _ block.MultiStore = (*Store)(nil)
 var _ block.Claimer = (*Store)(nil)
+var _ block.PairStore = (*Store)(nil)
 var _ block.UsageReporter = (*Store)(nil)
 var _ block.StatsReporter = (*Store)(nil)
 

@@ -26,6 +26,30 @@
 // its disk before accepting any requests"; while a companion is down the
 // surviving half appends every mutation to an intentions list which is
 // replayed on recovery.
+//
+// # Mirroring as a layer
+//
+// A Half wraps any block.PairStore — the in-memory server, the durable
+// segment log, an afs-block process across the network, or a whole
+// sharded facade — so the same companion protocol provides crash *and*
+// media-loss tolerance over any backend, the way Echo layered
+// replication under an ordinary file-system interface. The pair is
+// itself a block.Store/block.MultiStore (and a block.PairStore), so it
+// composes the other way too: mirrored pairs can sit under the sharded
+// facade (mirrored shards ≈ RAID-10), and availability stays transparent
+// to the file service, as the paper intends.
+//
+// Corruption is classified by the shared block.ErrCorrupt sentinel,
+// which every backend maps its native corruption error onto (and the
+// wire protocol carries), so read-fallback-and-repair behaves
+// identically whether the bad medium is a simulated disk, a segment log
+// with a failed CRC, or either of those behind a TCP mount.
+//
+// A companion reached over a transport can die mid-operation; such
+// failures surface as rpc.ErrDeadPort and flip the companion to "down"
+// automatically, switching the surviving half to the §4 intentions list
+// with no operator action. Pair.Heal probes down halves and replays the
+// outage when their backend answers again.
 package stable
 
 import (
@@ -35,40 +59,84 @@ import (
 	"sync"
 
 	"repro/internal/block"
-	"repro/internal/disk"
+	"repro/internal/rpc"
 )
 
 // ErrCollision reports a simultaneous allocate or write detected at the
 // companion; the client should redo the operation after a random wait.
-var ErrCollision = errors.New("stable: collision detected")
+// It is the shared block.ErrCollision sentinel, so collisions classify
+// identically when a pair is served over the wire.
+var ErrCollision = block.ErrCollision
 
 // ErrBothDown reports that neither half of the pair is serving.
 var ErrBothDown = errors.New("stable: both halves down")
 
+// errHalfDown reports an operation arriving at a half that is down. The
+// initiating half classifies it (like a transport failure) as "companion
+// unavailable" and falls back to the intentions list.
+var errHalfDown = errors.New("stable: half down")
+
+// unreachable reports whether err means the companion's process or
+// transport is gone, rather than a live store refusing the operation.
+// Both transports (in-proc and TCP) surface exhausted connection
+// failures as rpc.ErrDeadPort; a nested pair (a pair of pairs) reports
+// total loss of one inner pair as ErrBothDown, which is equally "this
+// backend is not serving".
+func unreachable(err error) bool {
+	return errors.Is(err, rpc.ErrDeadPort) || errors.Is(err, errHalfDown) ||
+		errors.Is(err, ErrBothDown)
+}
+
 // intent records one mutation performed while the companion was down.
 type intent struct {
-	op      byte // 'w' write, 'f' free, 'a' alloc
+	op      byte // 'w' write, 'f' free, 'a' alloc/claim
 	n       block.Num
 	account block.Account
 	data    []byte
 }
 
 // Half is one of the two cooperating block servers in a pair. Its public
-// surface is block.Store, so file services cannot tell a Half from a
-// plain server — availability is transparent, as the paper intends.
+// surface is block.Store (and block.MultiStore/block.PairStore), so file
+// services cannot tell a Half from a plain server — availability is
+// transparent, as the paper intends.
 type Half struct {
 	name string
-	srv  *block.Server
+	st   block.PairStore
+
+	// idx is this half's fixed position in the pair (A=0, B=1): the
+	// pair-wide lock order for taking both halves' mutexes at once.
+	idx int
+	// rejoinMu is shared by both halves: it serializes Rejoin across
+	// the pair.
+	rejoinMu *sync.Mutex
 
 	mu        sync.Mutex
 	companion *Half
 	down      bool
 	// intentions lists mutations to replay on companion recovery.
-	// intentionsValid is cleared when this half itself crashes: a lost
-	// list forces the rejoining companion to restore its disk by full
-	// copy instead of replay.
+	// intentionsValid is cleared when this half's machine crashes
+	// (Crash): a lost list forces the rejoining companion to restore
+	// its disk by full copy instead of replay. An automatic mark-down
+	// (transport failure to a remote backend) keeps the list — the
+	// wrapper lives with the pair, not with the dead backend — so a
+	// rejoin after a double backend outage can still replay.
 	intentions      []intent
 	intentionsValid bool
+	// needsFullCopy forces the next Rejoin onto the full-copy path: the
+	// outage began before this pair existed (a degraded mount of an
+	// already-dead half), so no intentions record in this process can
+	// be complete.
+	needsFullCopy bool
+
+	// accounts is every account that has passed through this half. The
+	// full-copy rejoin path reconciles per account via the §4 recovery
+	// scan; a generic block.Store has no "list all owners" operation,
+	// so the pair layer tracks the account set itself. Known limit: an
+	// account that has not been seen since this pair was constructed
+	// is not reconciled (the file service's single account is always
+	// noted by its boot-time recovery scan; see ROADMAP on persisting
+	// membership metadata).
+	accounts map[block.Account]bool
 
 	// latches serialise companion-first writes per block. This is a
 	// distinct facility from the block service's client-visible lock
@@ -85,17 +153,34 @@ type HalfStats struct {
 	CompanionWrites  uint64 // writes forwarded to companion first
 	Collisions       uint64
 	CorruptFallbacks uint64 // reads served via companion after local corruption
+	Repairs          uint64 // local copies rewritten from the companion's
 	IntentionsKept   uint64
 	Replayed         uint64
+	FullCopied       uint64 // blocks restored by full copy on rejoin
+	AutoMarkdowns    uint64 // companion outages detected from transport failures
 }
 
-// NewPair creates two halves over the given disks and joins them.
-func NewPair(da, db *disk.Disk) (*Half, *Half) {
-	a := &Half{name: "A", srv: block.NewServer(da), latches: make(map[block.Num]bool)}
-	b := &Half{name: "B", srv: block.NewServer(db), latches: make(map[block.Num]bool)}
-	a.companion = b
-	b.companion = a
-	return a, b
+// NewPair joins two halves over the given backends. Any block.PairStore
+// works: in-memory servers, durable segstores, remote block services, or
+// a mix of them.
+func NewPair(a, b block.PairStore) (*Half, *Half) {
+	ha := newHalf("A", a)
+	hb := newHalf("B", b)
+	hb.idx = 1
+	ha.companion = hb
+	hb.companion = ha
+	rm := &sync.Mutex{}
+	ha.rejoinMu, hb.rejoinMu = rm, rm
+	return ha, hb
+}
+
+func newHalf(name string, st block.PairStore) *Half {
+	return &Half{
+		name:     name,
+		st:       st,
+		latches:  make(map[block.Num]bool),
+		accounts: make(map[block.Account]bool),
+	}
 }
 
 // TryLatch acquires the write-collision latch for block n, reporting
@@ -118,6 +203,42 @@ func (h *Half) Unlatch(n block.Num) {
 	delete(h.latches, n)
 }
 
+// latchAll acquires the latches of every distinct block in ns, or none:
+// a busy latch releases the ones already taken and reports the caller
+// order index that collided.
+func (h *Half) latchAll(ns []block.Num) (release func(), collidedAt int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	taken := make([]block.Num, 0, len(ns))
+	for i, n := range ns {
+		if h.latches[n] {
+			already := false
+			for _, t := range taken {
+				if t == n {
+					already = true // duplicate within this batch; ours
+					break
+				}
+			}
+			if already {
+				continue
+			}
+			for _, t := range taken {
+				delete(h.latches, t)
+			}
+			return nil, i
+		}
+		h.latches[n] = true
+		taken = append(taken, n)
+	}
+	return func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		for _, t := range taken {
+			delete(h.latches, t)
+		}
+	}, -1
+}
+
 // Name identifies the half ("A" or "B") in logs.
 func (h *Half) Name() string { return h.name }
 
@@ -128,19 +249,74 @@ func (h *Half) Stats() HalfStats {
 	return h.stats
 }
 
-// Server exposes the underlying single block server (tests only).
-func (h *Half) Server() *block.Server { return h.srv }
+// note records that account has used this half, for full-copy rejoin.
+func (h *Half) note(account block.Account) {
+	h.mu.Lock()
+	h.accounts[account] = true
+	h.mu.Unlock()
+}
 
-// Crash takes this half down: clients must use the companion.
+// Crash takes this half down as if its machine died: volatile state —
+// the intentions list in particular — is lost, so a companion that was
+// down during this crash must later restore by full copy. For a remote
+// backend whose process dies on its own, the automatic mark-down path
+// (markDown) applies instead and keeps the wrapper's volatile state.
 func (h *Half) Crash() {
 	h.mu.Lock()
 	h.down = true
-	// A crash loses the volatile intentions list; the validity flag
-	// tells the rejoining companion to restore by full copy instead.
 	h.intentions = nil
 	h.intentionsValid = false
 	h.mu.Unlock()
-	h.srv.Disk().Crash()
+}
+
+// MarkStale takes the half down like Crash and additionally records
+// that its outage began before this pair existed — a degraded mount of
+// an endpoint that was already dead. Any intentions recorded from here
+// on cover only part of the outage, so the next Rejoin must restore by
+// full copy regardless of the companion's list.
+func (h *Half) MarkStale() {
+	h.mu.Lock()
+	h.down = true
+	h.needsFullCopy = true
+	h.intentions = nil
+	h.intentionsValid = false
+	h.mu.Unlock()
+}
+
+// markDown records a companion outage detected from a transport
+// failure: the backend is gone but this wrapper (and its intentions
+// list) lives on with the pair.
+func (h *Half) markDown() {
+	h.mu.Lock()
+	if !h.down {
+		h.down = true
+		h.stats.AutoMarkdowns++
+	}
+	h.mu.Unlock()
+}
+
+// companionLost classifies a companion operation failure: a transport
+// or process failure marks the companion down and reports true (the
+// caller switches to the intentions list); a live refusal reports
+// false (the caller propagates the error).
+func (h *Half) companionLost(comp *Half, err error) bool {
+	if !unreachable(err) {
+		return false
+	}
+	comp.markDown()
+	return true
+}
+
+// selfCheck classifies a failure of this half's OWN backend: a
+// transport or process failure marks this half down, so the pair front
+// fails the operation over to the companion — §4's "clients send
+// requests to the alternative block server if the primary fails to
+// respond". The error passes through either way.
+func (h *Half) selfCheck(err error) error {
+	if unreachable(err) {
+		h.markDown()
+	}
+	return err
 }
 
 // Down reports whether this half is crashed.
@@ -150,70 +326,300 @@ func (h *Half) Down() bool {
 	return h.down
 }
 
-// Recover brings the half back: per §4, it "compares notes with its
+func (h *Half) downErr() error {
+	return fmt.Errorf("half %s: %w", h.name, errHalfDown)
+}
+
+// Rejoin brings the half back: per §4, it "compares notes with its
 // companion, and restores its disk before accepting any requests". The
-// companion replays its intentions list here and hands over the
-// allocation table.
+// caller is responsible for the backend itself being serviceable again
+// (a rebooted process, a repaired disk); Rejoin reconciles the *state*.
+// The companion replays its intentions list here — batched, one
+// WriteMulti/FreeMulti run per chronological stretch — or, when the
+// list did not survive, the half restores by full copy: per tracked
+// account, the companion's §4 recovery scan decides which blocks exist
+// and a batched read/write pass copies their contents.
+//
+// A valid list is replayed even when the companion's backend is itself
+// down: the list (and its payloads) lives with the pair, not with the
+// backend, so a double backend outage still recovers by replay — the
+// first half to rejoin absorbs the survivor's record, and the second
+// restores from the first. Only the full-copy path needs the
+// companion's backend serving.
+//
+// Rejoin is safe against concurrent traffic: mutations that land while
+// the replay runs are recorded on the companion's (fresh) intentions
+// list, and the final drain below consumes them before this half is
+// marked up — atomically with the outage paths' append check, so no
+// intent can slip through unreplayed.
 func (h *Half) Rejoin() error {
-	h.srv.Disk().Repair()
+	h.rejoinMu.Lock()
+	defer h.rejoinMu.Unlock()
+
+	h.mu.Lock()
+	stale := h.needsFullCopy
+	h.mu.Unlock()
 
 	comp := h.companion
 	comp.mu.Lock()
 	intentions := comp.intentions
 	valid := comp.intentionsValid
-	comp.intentions = nil
-	comp.intentionsValid = false
 	compDown := comp.down
+	accounts := make([]block.Account, 0, len(comp.accounts))
+	for a := range comp.accounts {
+		accounts = append(accounts, a)
+	}
+	if valid || stale {
+		// Consume the list: it is about to be replayed, or (stale) it
+		// covers only part of the outage and the full copy below
+		// supersedes it. An invalid list on a non-stale rejoin is left
+		// untouched — a later rejoin may still need what state there
+		// is.
+		comp.intentions = nil
+		comp.intentionsValid = false
+	}
 	comp.mu.Unlock()
 
-	if !compDown {
-		// Adopt the companion's allocation table wholesale: it served
-		// alone while we were down, so it is authoritative.
-		owners := comp.srv.Owners()
-		h.srv.Restore(owners)
-		switch {
-		case valid:
-			// Fast path: replay only the mutations made during the
-			// outage.
-			for _, it := range intentions {
-				switch it.op {
-				case 'w', 'a':
-					if err := h.srv.Disk().Write(int(it.n), it.data); err != nil {
-						return fmt.Errorf("stable: replay %c block %d: %w", it.op, it.n, err)
-					}
-				case 'f':
-					// Free already reflected in the adopted table.
-				}
-				comp.mu.Lock()
-				comp.stats.Replayed++
-				comp.mu.Unlock()
+	switch {
+	case stale:
+		// This half was already dead when the pair was mounted: no
+		// record in this process covers the whole outage, so only a
+		// full copy restores it — and that needs the companion's
+		// backend serving.
+		if compDown {
+			return fmt.Errorf("stable: half %s is stale and its companion is down; full copy needs a serving companion", h.name)
+		}
+		if err := h.fullCopy(comp, accounts); err != nil {
+			return err
+		}
+	case valid:
+		if err := h.replay(comp, intentions); err != nil {
+			// Put the record back: nothing was marked up, and replay
+			// is idempotent, so a later Rejoin retries it in full.
+			comp.mu.Lock()
+			comp.intentions = append(intentions, comp.intentions...)
+			comp.intentionsValid = true
+			comp.mu.Unlock()
+			return err
+		}
+	case !compDown:
+		// No intentions list survived (the companion's machine crashed
+		// too while we were down). Restore by copying every block the
+		// companion holds — the slow but safe form of §4's "compares
+		// notes with its companion, and restores its disk before
+		// accepting any requests".
+		if err := h.fullCopy(comp, accounts); err != nil {
+			return err
+		}
+	default:
+		// Both the companion's backend and its record are gone: there
+		// is nothing to reconcile against. Come up as-is (the first
+		// half back from a total loss is authoritative); the companion
+		// will restore from us when it rejoins.
+	}
+	// Lock bits are volatile commit-section state; whatever this
+	// half's backend still holds from before the outage is stale.
+	h.st.ClearLocks()
+
+	// Drain stragglers recorded while the replay above ran, then mark
+	// this half up atomically with the emptiness check (both halves'
+	// mutexes, in lockBoth's fixed order — the same order
+	// keepIntentsFor uses), so an outage-path append either lands
+	// before the check (and is replayed here) or observes this half up
+	// (and mirrors directly).
+	for {
+		unlock := h.lockBoth()
+		if len(comp.intentions) == 0 {
+			h.down = false
+			h.needsFullCopy = false
+			comp.intentionsValid = false
+			unlock()
+			return nil
+		}
+		more := comp.intentions
+		comp.intentions = nil
+		unlock()
+		if err := h.replay(comp, more); err != nil {
+			comp.mu.Lock()
+			comp.intentions = append(more, comp.intentions...)
+			comp.intentionsValid = true
+			comp.mu.Unlock()
+			return err
+		}
+	}
+}
+
+// replay applies the companion's outage intentions to this half's
+// backend in chronological order, batching adjacent writes and frees of
+// the same account into single multi-block calls. Per-block semantic
+// refusals are tolerated — an intent can have been applied on this half
+// already (the transport died after the companion call landed), or
+// record an operation that failed per-block on the survivor too — while
+// I/O failures abort the rejoin.
+func (h *Half) replay(comp *Half, intentions []intent) error {
+	var wNs []block.Num
+	var wData [][]byte
+	var fNs []block.Num
+	var acct block.Account
+	haveAcct := false
+
+	flushWrites := func() error {
+		if len(wNs) == 0 {
+			return nil
+		}
+		if err := block.WriteMulti(h.st, acct, wNs, wData); err != nil && !isPerBlock(err) {
+			return fmt.Errorf("stable: replay write: %w", err)
+		}
+		comp.mu.Lock()
+		comp.stats.Replayed += uint64(len(wNs))
+		comp.mu.Unlock()
+		wNs, wData = wNs[:0], wData[:0]
+		return nil
+	}
+	flushFrees := func() error {
+		if len(fNs) == 0 {
+			return nil
+		}
+		if err := block.FreeMulti(h.st, acct, fNs); err != nil && !isPerBlock(err) {
+			return fmt.Errorf("stable: replay free: %w", err)
+		}
+		comp.mu.Lock()
+		comp.stats.Replayed += uint64(len(fNs))
+		comp.mu.Unlock()
+		fNs = fNs[:0]
+		return nil
+	}
+	flush := func() error {
+		if err := flushWrites(); err != nil {
+			return err
+		}
+		return flushFrees()
+	}
+
+	for _, it := range intentions {
+		if haveAcct && it.account != acct {
+			if err := flush(); err != nil {
+				return err
 			}
-		default:
-			// The companion's intentions list did not survive (it
-			// crashed too while we were down). Restore the disk by
-			// copying every owned block — the slow but safe form of
-			// §4's "compares notes with its companion, and restores
-			// its disk before accepting any requests".
-			for n := range owners {
-				data, err := comp.srv.Disk().Read(int(n))
-				if err != nil {
-					return fmt.Errorf("stable: full-copy block %d: %w", n, err)
+		}
+		acct, haveAcct = it.account, true
+		switch it.op {
+		case 'a':
+			// An allocation made during the outage: mirror the number
+			// choice, then the data rides the next write batch.
+			if err := flushFrees(); err != nil {
+				return err
+			}
+			if err := h.st.Claim(it.account, it.n); err != nil {
+				// Already claimed here? Then the outage hit after this
+				// half had applied the companion call; the write below
+				// re-converges the contents. Anything else is fatal.
+				if _, rerr := h.st.Read(it.account, it.n); rerr != nil {
+					return fmt.Errorf("stable: replay claim block %d: %w", it.n, err)
 				}
-				if err := h.srv.Disk().Write(int(n), data); err != nil {
-					return fmt.Errorf("stable: full-copy block %d: %w", n, err)
+			}
+			wNs = append(wNs, it.n)
+			wData = append(wData, it.data)
+		case 'w':
+			if err := flushFrees(); err != nil {
+				return err
+			}
+			wNs = append(wNs, it.n)
+			wData = append(wData, it.data)
+		case 'f':
+			if err := flushWrites(); err != nil {
+				return err
+			}
+			fNs = append(fNs, it.n)
+		}
+	}
+	return flush()
+}
+
+// fullCopy restores this half's backend from the companion wholesale:
+// for every tracked account, blocks the companion lacks are freed,
+// blocks it alone holds are claimed, and every companion block's
+// contents are copied over in batched reads and writes.
+func (h *Half) fullCopy(comp *Half, accounts []block.Account) error {
+	for _, acct := range accounts {
+		// The companion keeps serving while the copy runs, so the
+		// snapshot can go stale under concurrent frees (the GC loop):
+		// a per-block refusal means re-scan and retry, not abort.
+		var err error
+		for attempt := 0; attempt < 5; attempt++ {
+			if err = h.copyAccount(comp, acct); err == nil || !isPerBlock(err) {
+				break
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyAccount reconciles one account's blocks from the companion: one
+// recovery scan each side, stale blocks freed, missing blocks claimed,
+// contents copied in batched reads and writes. A per-block refusal
+// (concurrent churn invalidated the snapshot) is returned for the
+// caller to retry with a fresh scan.
+func (h *Half) copyAccount(comp *Half, acct block.Account) error {
+	theirs, err := comp.st.Recover(acct)
+	if err != nil {
+		return fmt.Errorf("stable: full-copy scan: %w", err)
+	}
+	mine, err := h.st.Recover(acct)
+	if err != nil {
+		return fmt.Errorf("stable: full-copy local scan: %w", err)
+	}
+	have := make(map[block.Num]bool, len(theirs))
+	for _, n := range theirs {
+		have[n] = true
+	}
+	var stale []block.Num
+	ours := make(map[block.Num]bool, len(mine))
+	for _, n := range mine {
+		ours[n] = true
+		if !have[n] {
+			stale = append(stale, n)
+		}
+	}
+	if err := block.FreeMulti(h.st, acct, stale); err != nil && !isPerBlock(err) {
+		return fmt.Errorf("stable: full-copy free: %w", err)
+	}
+	for _, n := range theirs {
+		if !ours[n] {
+			if err := h.st.Claim(acct, n); err != nil {
+				// Tolerate a claim already applied (an earlier attempt
+				// got this far before retrying).
+				if _, rerr := h.st.Read(acct, n); rerr != nil {
+					return fmt.Errorf("stable: full-copy claim block %d: %w", n, err)
 				}
 			}
 		}
 	}
-
-	h.mu.Lock()
-	h.down = false
-	h.mu.Unlock()
+	// Copy in bounded batches so a large store never materializes
+	// whole in memory (the wire layer re-chunks to frames underneath).
+	const copyBatch = 512
+	for start := 0; start < len(theirs); start += copyBatch {
+		end := min(start+copyBatch, len(theirs))
+		chunk := theirs[start:end]
+		datas, err := block.ReadMulti(comp.st, acct, chunk)
+		if err != nil {
+			return fmt.Errorf("stable: full-copy read: %w", err)
+		}
+		if err := block.WriteMulti(h.st, acct, chunk, datas); err != nil && !isPerBlock(err) {
+			return fmt.Errorf("stable: full-copy write: %w", err)
+		}
+		h.mu.Lock()
+		h.stats.FullCopied += uint64(len(chunk))
+		h.mu.Unlock()
+	}
 	return nil
 }
 
 // BlockSize implements block.Store.
-func (h *Half) BlockSize() int { return h.srv.BlockSize() }
+func (h *Half) BlockSize() int { return h.st.BlockSize() }
 
 // companionUp returns the companion if it is serving.
 func (h *Half) companionUp() *Half {
@@ -226,50 +632,98 @@ func (h *Half) companionUp() *Half {
 	return c
 }
 
-// keepIntent records a mutation for later replay on the companion.
-func (h *Half) keepIntent(it intent) {
-	h.mu.Lock()
-	if len(h.intentions) == 0 {
-		// Starting a fresh outage record; it is complete from here on
-		// unless we ourselves crash.
-		h.intentionsValid = true
+// lockBoth acquires both halves' mutexes in the fixed pair-wide order
+// (half A's first, whichever half calls), so intent appends and
+// Rejoin's final drain check can hold both without a lock-order
+// inversion — a role-based order (survivor first) would deadlock when
+// in-flight operations on opposite halves each see the other down.
+func (h *Half) lockBoth() (unlock func()) {
+	first, second := h, h.companion
+	if second.idx < first.idx {
+		first, second = second, first
 	}
-	h.intentions = append(h.intentions, it)
-	h.stats.IntentionsKept++
-	h.mu.Unlock()
+	first.mu.Lock()
+	second.mu.Lock()
+	return func() {
+		second.mu.Unlock()
+		first.mu.Unlock()
+	}
+}
+
+// keepIntentsFor records mutations for later replay onto comp,
+// atomically with a re-check that comp is still down: it holds both
+// halves' mutexes — as Rejoin's final drain check does — so an append
+// either lands before the drain's emptiness check (and is replayed) or
+// observes the companion up and reports false, in which case the
+// caller mirrors the mutation companion-first after all. Without the
+// re-check, an intent recorded just as the companion finished
+// rejoining would never be replayed.
+func (h *Half) keepIntentsFor(comp *Half, its ...intent) bool {
+	unlock := h.lockBoth()
+	defer unlock()
+	stillDown := comp.down
+	if stillDown {
+		if len(h.intentions) == 0 {
+			// Starting a fresh outage record; it is complete from here
+			// on unless this half's own machine crashes.
+			h.intentionsValid = true
+		}
+		h.intentions = append(h.intentions, its...)
+		h.stats.IntentionsKept += uint64(len(its))
+	}
+	return stillDown
+}
+
+func copyData(data []byte) []byte {
+	if data == nil {
+		return nil
+	}
+	return append([]byte(nil), data...)
 }
 
 // Alloc implements block.Store with the companion-first write protocol.
 func (h *Half) Alloc(account block.Account, data []byte) (block.Num, error) {
 	if h.Down() {
-		return block.NilNum, fmt.Errorf("stable: half %s down", h.name)
+		return block.NilNum, h.downErr()
 	}
+	h.note(account)
 	// Step 1: allocate locally (chooses the block number).
-	n, err := h.srv.Alloc(account, data)
+	n, err := h.st.Alloc(account, data)
 	if err != nil {
-		return block.NilNum, err
+		return block.NilNum, h.selfCheck(err)
 	}
-	// Step 2: companion writes first.
-	comp := h.companionUp()
-	if comp == nil {
-		h.keepIntent(intent{op: 'a', n: n, account: account, data: append([]byte(nil), data...)})
+	// Step 2: the companion mirrors the choice and writes. The loop
+	// covers the races around outage transitions: a companion dying
+	// mid-call falls back to the intentions list, and a companion that
+	// rejoined between the check and the append mirrors directly.
+	for {
+		comp := h.companionUp()
+		if comp == nil {
+			if h.keepIntentsFor(h.companion, intent{op: 'a', n: n, account: account, data: copyData(data)}) {
+				return n, nil
+			}
+			continue
+		}
+		if err := comp.acceptCompanionAlloc(account, n, data); err != nil {
+			if h.companionLost(comp, err) {
+				continue
+			}
+			// Collision: another client allocated the same number via
+			// the companion. Undo and report; the client redoes the
+			// call.
+			_ = h.st.Free(account, n)
+			if errors.Is(err, ErrCollision) {
+				h.mu.Lock()
+				h.stats.Collisions++
+				h.mu.Unlock()
+			}
+			return block.NilNum, err
+		}
+		h.mu.Lock()
+		h.stats.CompanionWrites++
+		h.mu.Unlock()
 		return n, nil
 	}
-	if err := comp.acceptCompanionAlloc(account, n, data); err != nil {
-		// Collision: another client allocated the same number via the
-		// companion. Undo and report; the client redoes the call.
-		_ = h.srv.Free(account, n)
-		if errors.Is(err, ErrCollision) {
-			h.mu.Lock()
-			h.stats.Collisions++
-			h.mu.Unlock()
-		}
-		return block.NilNum, err
-	}
-	h.mu.Lock()
-	h.stats.CompanionWrites++
-	h.mu.Unlock()
-	return n, nil
 }
 
 // acceptCompanionAlloc is the companion side of Alloc: claim the same
@@ -277,14 +731,70 @@ func (h *Half) Alloc(account block.Account, data []byte) (block.Num, error) {
 // is taken is exactly the paper's allocate collision.
 func (h *Half) acceptCompanionAlloc(account block.Account, n block.Num, data []byte) error {
 	if h.Down() {
-		return fmt.Errorf("stable: half %s down", h.name)
+		return h.downErr()
 	}
-	if err := h.srv.Claim(account, n); err != nil {
-		return fmt.Errorf("block %d: %w", n, ErrCollision)
+	h.note(account)
+	if err := h.st.Claim(account, n); err != nil {
+		if unreachable(err) {
+			return err
+		}
+		return fmt.Errorf("block %d: %v: %w", n, err, ErrCollision)
 	}
-	if err := h.srv.Write(account, n, data); err != nil {
-		_ = h.srv.Free(account, n)
+	if err := h.st.Write(account, n, data); err != nil {
+		if !unreachable(err) {
+			_ = h.st.Free(account, n)
+		}
 		return err
+	}
+	return nil
+}
+
+// Claim implements block.PairStore: the caller-chosen number is claimed
+// on both halves, so a pair can itself serve as one half of a larger
+// pair or mirror a sharded facade's choices.
+func (h *Half) Claim(account block.Account, n block.Num) error {
+	if h.Down() {
+		return h.downErr()
+	}
+	h.note(account)
+	if err := h.st.Claim(account, n); err != nil {
+		return h.selfCheck(err)
+	}
+	for {
+		comp := h.companionUp()
+		if comp == nil {
+			if h.keepIntentsFor(h.companion, intent{op: 'a', n: n, account: account}) {
+				return nil
+			}
+			continue
+		}
+		if err := comp.acceptCompanionClaim(account, n); err != nil {
+			if h.companionLost(comp, err) {
+				continue
+			}
+			_ = h.st.Free(account, n)
+			if errors.Is(err, ErrCollision) {
+				h.mu.Lock()
+				h.stats.Collisions++
+				h.mu.Unlock()
+			}
+			return err
+		}
+		return nil
+	}
+}
+
+// acceptCompanionClaim mirrors a claim on the companion side.
+func (h *Half) acceptCompanionClaim(account block.Account, n block.Num) error {
+	if h.Down() {
+		return h.downErr()
+	}
+	h.note(account)
+	if err := h.st.Claim(account, n); err != nil {
+		if unreachable(err) {
+			return err
+		}
+		return fmt.Errorf("block %d: %v: %w", n, err, ErrCollision)
 	}
 	return nil
 }
@@ -292,78 +802,114 @@ func (h *Half) acceptCompanionAlloc(account block.Account, n block.Num, data []b
 // Free implements block.Store.
 func (h *Half) Free(account block.Account, n block.Num) error {
 	if h.Down() {
-		return fmt.Errorf("stable: half %s down", h.name)
+		return h.downErr()
 	}
-	if err := h.srv.Free(account, n); err != nil {
-		return err
+	h.note(account)
+	if err := h.st.Free(account, n); err != nil {
+		return h.selfCheck(err)
 	}
-	if comp := h.companionUp(); comp != nil {
-		_ = comp.srv.Free(account, n) // best-effort; recovery reconciles
-	} else {
-		h.keepIntent(intent{op: 'f', n: n, account: account})
+	for {
+		comp := h.companionUp()
+		if comp == nil {
+			if h.keepIntentsFor(h.companion, intent{op: 'f', n: n, account: account}) {
+				return nil
+			}
+			continue
+		}
+		if err := comp.acceptCompanionFree(account, n); err != nil && h.companionLost(comp, err) {
+			continue
+		}
+		// Semantic companion failures are best-effort; recovery
+		// reconciles.
+		return nil
 	}
-	return nil
+}
+
+// acceptCompanionFree mirrors a free on the companion side.
+func (h *Half) acceptCompanionFree(account block.Account, n block.Num) error {
+	if h.Down() {
+		return h.downErr()
+	}
+	h.note(account)
+	return h.st.Free(account, n)
 }
 
 // Read implements block.Store. Per §4, "For reads, the block server need
 // not consult its companion server, except when the block on its disk is
-// corrupted."
+// corrupted." The corrupt local copy is repaired from the good one.
 func (h *Half) Read(account block.Account, n block.Num) ([]byte, error) {
 	if h.Down() {
-		return nil, fmt.Errorf("stable: half %s down", h.name)
+		return nil, h.downErr()
 	}
-	data, err := h.srv.Read(account, n)
+	data, err := h.st.Read(account, n)
 	if err == nil {
 		return data, nil
 	}
-	if !errors.Is(err, disk.ErrCorrupt) {
-		return nil, err
+	if !errors.Is(err, block.ErrCorrupt) {
+		return nil, h.selfCheck(err)
 	}
 	comp := h.companionUp()
 	if comp == nil {
 		return nil, fmt.Errorf("stable: local corrupt and companion down: %w", err)
 	}
-	data, cerr := comp.srv.Read(account, n)
+	data, cerr := comp.st.Read(account, n)
 	if cerr != nil {
+		if h.companionLost(comp, cerr) {
+			return nil, fmt.Errorf("stable: local corrupt and companion down: %w", err)
+		}
 		return nil, fmt.Errorf("stable: both copies bad: local %v, companion %w", err, cerr)
 	}
-	// Repair the local copy from the good one.
-	if werr := h.srv.Disk().Write(int(n), data); werr != nil {
-		return nil, fmt.Errorf("stable: repair failed: %w", werr)
+	// Repair the local copy from the good one. A backend dying under
+	// the repair write routes through selfCheck like every other local
+	// leg, so the pair front retries on the companion that just served
+	// the good copy.
+	if werr := h.st.Write(account, n, data); werr != nil {
+		return nil, h.selfCheck(fmt.Errorf("stable: repair failed: %w", werr))
 	}
 	h.mu.Lock()
 	h.stats.CorruptFallbacks++
+	h.stats.Repairs++
 	h.mu.Unlock()
 	return data, nil
 }
 
 // Write implements block.Store with companion-first ordering, which makes
 // write collisions detectable before damage is done: the companion
-// serialises both clients' writes on its lock table.
+// serialises both clients' writes on its latch table.
 func (h *Half) Write(account block.Account, n block.Num, data []byte) error {
 	if h.Down() {
-		return fmt.Errorf("stable: half %s down", h.name)
+		return h.downErr()
 	}
-	comp := h.companionUp()
-	if comp == nil {
-		if err := h.srv.Write(account, n, data); err != nil {
+	h.note(account)
+	for {
+		comp := h.companionUp()
+		if comp == nil {
+			// Outage path: record the intent BEFORE the local write,
+			// atomically with a companion-still-down check. A write
+			// that then fails returns its error unacknowledged; the
+			// stray intent replays the same unacked bytes at worst —
+			// equivalent to a torn mirror write.
+			if !h.keepIntentsFor(h.companion, intent{op: 'w', n: n, account: account, data: copyData(data)}) {
+				continue
+			}
+			return h.selfCheck(h.st.Write(account, n, data))
+		}
+		if err := comp.acceptCompanionWrite(account, n, data); err != nil {
+			if h.companionLost(comp, err) {
+				continue
+			}
+			if errors.Is(err, ErrCollision) {
+				h.mu.Lock()
+				h.stats.Collisions++
+				h.mu.Unlock()
+			}
 			return err
 		}
-		h.keepIntent(intent{op: 'w', n: n, account: account, data: append([]byte(nil), data...)})
-		return nil
+		h.mu.Lock()
+		h.stats.CompanionWrites++
+		h.mu.Unlock()
+		return h.selfCheck(h.st.Write(account, n, data))
 	}
-	if err := comp.acceptCompanionWrite(account, n, data); err != nil {
-		if errors.Is(err, ErrCollision) {
-			h.mu.Lock()
-			h.stats.Collisions++
-			h.mu.Unlock()
-		}
-		return err
-	}
-	h.mu.Lock()
-	h.stats.CompanionWrites++
-	h.mu.Unlock()
-	return h.srv.Write(account, n, data)
 }
 
 // acceptCompanionWrite performs the companion-first write under the
@@ -371,13 +917,14 @@ func (h *Half) Write(account block.Account, n block.Num, data []byte) error {
 // different halves collide here instead of interleaving.
 func (h *Half) acceptCompanionWrite(account block.Account, n block.Num, data []byte) error {
 	if h.Down() {
-		return fmt.Errorf("stable: half %s down", h.name)
+		return h.downErr()
 	}
+	h.note(account)
 	if !h.TryLatch(n) {
 		return fmt.Errorf("block %d write: %w", n, ErrCollision)
 	}
 	defer h.Unlatch(n)
-	return h.srv.Write(account, n, data)
+	return h.st.Write(account, n, data)
 }
 
 // Lock implements block.Store; the lock lives on whichever half receives
@@ -385,43 +932,318 @@ func (h *Half) acceptCompanionWrite(account block.Account, n block.Num, data []b
 // pair.
 func (h *Half) Lock(account block.Account, n block.Num) error {
 	if h.Down() {
-		return fmt.Errorf("stable: half %s down", h.name)
+		return h.downErr()
 	}
-	if err := h.srv.Lock(account, n); err != nil {
-		return err
+	h.note(account)
+	if err := h.st.Lock(account, n); err != nil {
+		return h.selfCheck(err)
 	}
 	if comp := h.companionUp(); comp != nil {
-		if err := comp.srv.Lock(account, n); err != nil {
-			_ = h.srv.Unlock(account, n)
+		if err := comp.acceptCompanionLock(account, n); err != nil && !h.companionLost(comp, err) {
+			_ = h.st.Unlock(account, n)
 			return err
 		}
 	}
 	return nil
 }
 
+func (h *Half) acceptCompanionLock(account block.Account, n block.Num) error {
+	if h.Down() {
+		return h.downErr()
+	}
+	return h.st.Lock(account, n)
+}
+
 // Unlock implements block.Store.
 func (h *Half) Unlock(account block.Account, n block.Num) error {
 	if h.Down() {
-		return fmt.Errorf("stable: half %s down", h.name)
+		return h.downErr()
 	}
 	if comp := h.companionUp(); comp != nil {
-		_ = comp.srv.Unlock(account, n)
+		if err := comp.acceptCompanionUnlock(account, n); err != nil {
+			_ = h.companionLost(comp, err) // best-effort; locks are volatile
+		}
 	}
-	return h.srv.Unlock(account, n)
+	return h.selfCheck(h.st.Unlock(account, n))
+}
+
+func (h *Half) acceptCompanionUnlock(account block.Account, n block.Num) error {
+	if h.Down() {
+		return h.downErr()
+	}
+	return h.st.Unlock(account, n)
 }
 
 // Recover implements block.Store.
 func (h *Half) Recover(account block.Account) ([]block.Num, error) {
 	if h.Down() {
 		if comp := h.companionUp(); comp != nil {
-			return comp.srv.Recover(account)
+			return comp.st.Recover(account)
 		}
 		return nil, ErrBothDown
 	}
-	return h.srv.Recover(account)
+	h.note(account)
+	ns, err := h.st.Recover(account)
+	return ns, h.selfCheck(err)
+}
+
+// ClearLocks implements block.PairStore on this half's own backend.
+func (h *Half) ClearLocks() {
+	if h.Down() {
+		return
+	}
+	h.st.ClearLocks()
 }
 
 var _ block.Store = (*Half)(nil)
+var _ block.MultiStore = (*Half)(nil)
+var _ block.PairStore = (*Half)(nil)
+
+// --- the multi-block operations ---
+//
+// The pair protocol batches exactly like its backends do: the
+// companion-first leg of an N-block write is one batched call on the
+// companion's store (over a TCP mount: one batched RPC stream), the
+// local leg another, and an outage records N intents which are replayed
+// batched on rejoin. The block.MultiStore partial-failure contract is
+// preserved; a collision anywhere in the batch is detected before any
+// damage and reported as ErrCollision for the pair front to retry.
+
+// ReadMulti implements block.MultiStore: the local batched read serves
+// the whole batch; only when it reports corruption does the half fall
+// back to the per-block path, which repairs from the companion.
+func (h *Half) ReadMulti(account block.Account, ns []block.Num) ([][]byte, error) {
+	if h.Down() {
+		return nil, h.downErr()
+	}
+	h.note(account)
+	out, err := block.ReadMulti(h.st, account, ns)
+	if err == nil || !errors.Is(err, block.ErrCorrupt) {
+		return out, h.selfCheck(err)
+	}
+	// A corrupt block in the batch: take the slow path so each bad
+	// block is fetched from (and repaired from) the companion.
+	out = make([][]byte, len(ns))
+	for i, n := range ns {
+		data, rerr := h.Read(account, n)
+		if rerr != nil {
+			return nil, &block.MultiError{Op: "read", Index: i, N: len(ns), Err: rerr}
+		}
+		out[i] = data
+	}
+	return out, nil
+}
+
+// WriteMulti implements block.MultiStore with companion-first ordering:
+// every distinct block in the batch is latched on the companion, the
+// companion applies the whole batch with one call, then the local
+// backend does the same. Per-block independence holds on both halves;
+// the first semantic failure is returned after both legs have applied
+// what they individually could, exactly as N lone Writes would have.
+func (h *Half) WriteMulti(account block.Account, ns []block.Num, data [][]byte) error {
+	if len(ns) != len(data) {
+		return fmt.Errorf("stable: multi write with %d blocks, %d payloads", len(ns), len(data))
+	}
+	if h.Down() {
+		return h.downErr()
+	}
+	h.note(account)
+	for {
+		comp := h.companionUp()
+		if comp == nil {
+			// Outage path: the whole batch is recorded before the
+			// local write (per-block refusals replay tolerantly on
+			// rejoin; see Write for why intent-before-write is safe).
+			its := make([]intent, len(ns))
+			for i := range ns {
+				its[i] = intent{op: 'w', n: ns[i], account: account, data: copyData(data[i])}
+			}
+			if !h.keepIntentsFor(h.companion, its...) {
+				continue
+			}
+			err := block.WriteMulti(h.st, account, ns, data)
+			if err != nil && !isPerBlock(err) {
+				return h.selfCheck(err)
+			}
+			return err
+		}
+		if err := comp.acceptCompanionWriteMulti(account, ns, data); err != nil {
+			switch {
+			case h.companionLost(comp, err):
+				continue
+			case errors.Is(err, ErrCollision):
+				h.mu.Lock()
+				h.stats.Collisions++
+				h.mu.Unlock()
+				return err
+			default:
+				// The companion refused some entry per-block, and only
+				// the first refusal is reported — a blanket local write
+				// could apply an entry the companion skipped and
+				// silently diverge the mirrors. Take each block through
+				// the single-write protocol instead, which skips the
+				// local leg exactly where the companion refuses.
+				var first error
+				for i := range ns {
+					if werr := h.Write(account, ns[i], data[i]); werr != nil && first == nil {
+						first = &block.MultiError{Op: "write", Index: i, N: len(ns), Err: werr}
+					}
+				}
+				return first
+			}
+		}
+		h.mu.Lock()
+		h.stats.CompanionWrites += uint64(len(ns))
+		h.mu.Unlock()
+		return h.selfCheck(block.WriteMulti(h.st, account, ns, data))
+	}
+}
+
+// acceptCompanionWriteMulti is the companion leg of WriteMulti: all
+// latches or none (a busy latch is a write collision, detected before
+// any damage), then one batched write.
+func (h *Half) acceptCompanionWriteMulti(account block.Account, ns []block.Num, data [][]byte) error {
+	if h.Down() {
+		return h.downErr()
+	}
+	h.note(account)
+	release, collidedAt := h.latchAll(ns)
+	if release == nil {
+		return &block.MultiError{Op: "write", Index: collidedAt, N: len(ns),
+			Err: fmt.Errorf("block %d write: %w", ns[collidedAt], ErrCollision)}
+	}
+	defer release()
+	return block.WriteMulti(h.st, account, ns, data)
+}
+
+// AllocMulti implements block.MultiStore: the local backend chooses all
+// numbers with one batched allocation, the companion mirrors them
+// (claims, then one batched write). All-or-nothing per the contract; a
+// claim refused at the companion rolls everything back and reports
+// ErrCollision for the pair front to retry.
+func (h *Half) AllocMulti(account block.Account, data [][]byte) ([]block.Num, error) {
+	if h.Down() {
+		return nil, h.downErr()
+	}
+	h.note(account)
+	ns, err := block.AllocMulti(h.st, account, data)
+	if err != nil {
+		return nil, h.selfCheck(err)
+	}
+	for {
+		comp := h.companionUp()
+		if comp == nil {
+			if h.keepIntentsFor(h.companion, allocIntents(ns, account, data)...) {
+				return ns, nil
+			}
+			continue
+		}
+		if err := comp.acceptCompanionAllocMulti(account, ns, data); err != nil {
+			if h.companionLost(comp, err) {
+				continue
+			}
+			_ = block.FreeMulti(h.st, account, ns)
+			if errors.Is(err, ErrCollision) {
+				h.mu.Lock()
+				h.stats.Collisions++
+				h.mu.Unlock()
+			}
+			return nil, err
+		}
+		h.mu.Lock()
+		h.stats.CompanionWrites += uint64(len(ns))
+		h.mu.Unlock()
+		return ns, nil
+	}
+}
+
+// allocIntents builds one alloc intent per freshly chosen number.
+func allocIntents(ns []block.Num, account block.Account, data [][]byte) []intent {
+	its := make([]intent, len(ns))
+	for i := range ns {
+		its[i] = intent{op: 'a', n: ns[i], account: account, data: copyData(data[i])}
+	}
+	return its
+}
+
+// acceptCompanionAllocMulti mirrors a batch of allocations: claim every
+// number (all or nothing), then write the payloads with one call.
+func (h *Half) acceptCompanionAllocMulti(account block.Account, ns []block.Num, data [][]byte) error {
+	if h.Down() {
+		return h.downErr()
+	}
+	h.note(account)
+	for i, n := range ns {
+		if err := h.st.Claim(account, n); err != nil {
+			if unreachable(err) {
+				return err
+			}
+			_ = block.FreeMulti(h.st, account, ns[:i])
+			return &block.MultiError{Op: "alloc", Index: i, N: len(ns),
+				Err: fmt.Errorf("block %d: %v: %w", n, err, ErrCollision)}
+		}
+	}
+	if err := block.WriteMulti(h.st, account, ns, data); err != nil {
+		if !unreachable(err) {
+			_ = block.FreeMulti(h.st, account, ns)
+		}
+		return err
+	}
+	return nil
+}
+
+// FreeMulti implements block.MultiStore: one batched free per half,
+// per-block independence as the contract requires.
+func (h *Half) FreeMulti(account block.Account, ns []block.Num) error {
+	if h.Down() {
+		return h.downErr()
+	}
+	h.note(account)
+	err := block.FreeMulti(h.st, account, ns)
+	if err != nil && !isPerBlock(err) {
+		return h.selfCheck(err)
+	}
+	for {
+		comp := h.companionUp()
+		if comp == nil {
+			if h.keepIntentsFor(h.companion, freeIntents(ns, account)...) {
+				return err
+			}
+			continue
+		}
+		if cerr := comp.acceptCompanionFreeMulti(account, ns); cerr != nil && h.companionLost(comp, cerr) {
+			continue
+		}
+		return err
+	}
+}
+
+// freeIntents builds one free intent per listed number.
+func freeIntents(ns []block.Num, account block.Account) []intent {
+	its := make([]intent, len(ns))
+	for i, n := range ns {
+		its[i] = intent{op: 'f', n: n, account: account}
+	}
+	return its
+}
+
+func (h *Half) acceptCompanionFreeMulti(account block.Account, ns []block.Num) error {
+	if h.Down() {
+		return h.downErr()
+	}
+	h.note(account)
+	return block.FreeMulti(h.st, account, ns)
+}
+
+// isPerBlock reports whether a multi-op error is a per-block semantic
+// failure (the rest of the batch was still attempted) rather than a
+// whole-batch failure.
+func isPerBlock(err error) bool {
+	return errors.Is(err, block.ErrNotAllocated) || errors.Is(err, block.ErrNotOwner) ||
+		errors.Is(err, block.ErrLocked) || errors.Is(err, block.ErrNotLocked)
+}
+
+// --- the failover front ---
 
 // Pair bundles both halves behind one block.Store that fails over
 // automatically: requests go to the primary half and fall back to the
@@ -433,14 +1255,54 @@ type Pair struct {
 	mu   sync.Mutex
 }
 
-// NewFailoverPair builds the two halves plus the failover front.
-func NewFailoverPair(da, db *disk.Disk) *Pair {
-	a, b := NewPair(da, db)
-	return &Pair{a: a, b: b, rng: rand.New(rand.NewSource(1))}
+// NewFailoverPair builds the two halves plus the failover front over any
+// two block.PairStore backends, with the default backoff seed.
+func NewFailoverPair(a, b block.PairStore) *Pair {
+	return NewFailoverPairSeed(a, b, 1)
+}
+
+// NewFailoverPairSeed is NewFailoverPair with the collision-backoff
+// randomness seeded explicitly. Each pair owns its seeded source (no
+// global math/rand state), so concurrent pairs are race-clean and a
+// test's backoff schedule is reproducible from its seed.
+func NewFailoverPairSeed(a, b block.PairStore, seed int64) *Pair {
+	ha, hb := NewPair(a, b)
+	return &Pair{a: ha, b: hb, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Halves returns the two halves for fault injection.
 func (p *Pair) Halves() (*Half, *Half) { return p.a, p.b }
+
+// Heal probes every down half and rejoins those whose backend answers
+// again, returning how many rejoined plus the first rejoin failure (a
+// probe that cannot reach the backend is not a failure — the machine
+// is simply still down). Mirror deployments (afs-server -mirror) call
+// this periodically, so a rebooted block machine rejoins — replaying
+// the outage or full-copying — without operator action, and a rejoin
+// that keeps failing (e.g. a half rebooted with the wrong block size)
+// surfaces instead of silently retrying forever.
+func (p *Pair) Heal() (int, error) {
+	healed := 0
+	var first error
+	for _, h := range []*Half{p.a, p.b} {
+		if !h.Down() {
+			continue
+		}
+		// A cheap probe that touches the backend but mutates nothing:
+		// the recovery scan of the unused nil account.
+		if _, err := h.st.Recover(0); err != nil {
+			continue
+		}
+		if err := h.Rejoin(); err != nil {
+			if first == nil {
+				first = fmt.Errorf("half %s: %w", h.name, err)
+			}
+			continue
+		}
+		healed++
+	}
+	return healed, first
+}
 
 // pick returns a serving half, preferring A.
 func (p *Pair) pick() (*Half, error) {
@@ -453,8 +1315,11 @@ func (p *Pair) pick() (*Half, error) {
 	return nil, ErrBothDown
 }
 
-// retryCollision runs fn, redoing it "after a random wait interval" when
-// a collision is detected, as §4 prescribes.
+// retryCollision runs fn on a serving half, redoing it "after a random
+// wait interval" when a collision is detected, as §4 prescribes — and
+// redoing it immediately on the companion when the serving half's own
+// backend proves unreachable mid-operation ("clients send requests to
+// the alternative block server if the primary fails to respond").
 func (p *Pair) retryCollision(fn func(h *Half) error) error {
 	for attempt := 0; ; attempt++ {
 		h, err := p.pick()
@@ -462,7 +1327,16 @@ func (p *Pair) retryCollision(fn func(h *Half) error) error {
 			return err
 		}
 		err = fn(h)
-		if err == nil || !errors.Is(err, ErrCollision) {
+		if err == nil {
+			return nil
+		}
+		if unreachable(err) && h.Down() {
+			// The serving half's backend died under the operation and
+			// marked itself down; the next pick fails over (or reports
+			// ErrBothDown).
+			continue
+		}
+		if !errors.Is(err, ErrCollision) {
 			return err
 		}
 		if attempt > 16 {
@@ -501,11 +1375,13 @@ func (p *Pair) Free(account block.Account, n block.Num) error {
 
 // Read implements block.Store.
 func (p *Pair) Read(account block.Account, n block.Num) ([]byte, error) {
-	h, err := p.pick()
-	if err != nil {
-		return nil, err
-	}
-	return h.Read(account, n)
+	var data []byte
+	err := p.retryCollision(func(h *Half) error {
+		var e error
+		data, e = h.Read(account, n)
+		return e
+	})
+	return data, err
 }
 
 // Write implements block.Store.
@@ -515,36 +1391,105 @@ func (p *Pair) Write(account block.Account, n block.Num, data []byte) error {
 
 // Lock implements block.Store.
 func (p *Pair) Lock(account block.Account, n block.Num) error {
-	h, err := p.pick()
-	if err != nil {
-		return err
-	}
-	return h.Lock(account, n)
+	return p.retryCollision(func(h *Half) error { return h.Lock(account, n) })
 }
 
 // Unlock implements block.Store.
 func (p *Pair) Unlock(account block.Account, n block.Num) error {
-	h, err := p.pick()
-	if err != nil {
-		return err
-	}
-	return h.Unlock(account, n)
+	return p.retryCollision(func(h *Half) error { return h.Unlock(account, n) })
 }
 
 // Recover implements block.Store.
 func (p *Pair) Recover(account block.Account) ([]block.Num, error) {
-	h, err := p.pick()
+	var ns []block.Num
+	err := p.retryCollision(func(h *Half) error {
+		var e error
+		ns, e = h.Recover(account)
+		return e
+	})
+	return ns, err
+}
+
+// Claim implements block.PairStore, so a pair can mirror an outer
+// layer's allocation choices (a pair of pairs, or a sharded facade of
+// pairs).
+func (p *Pair) Claim(account block.Account, n block.Num) error {
+	return p.retryCollision(func(h *Half) error { return h.Claim(account, n) })
+}
+
+// ClearLocks implements block.PairStore on every serving half.
+func (p *Pair) ClearLocks() {
+	p.a.ClearLocks()
+	p.b.ClearLocks()
+}
+
+// ReadMulti implements block.MultiStore.
+func (p *Pair) ReadMulti(account block.Account, ns []block.Num) ([][]byte, error) {
+	var out [][]byte
+	err := p.retryCollision(func(h *Half) error {
+		var e error
+		out, e = h.ReadMulti(account, ns)
+		return e
+	})
 	if err != nil {
 		return nil, err
 	}
-	return h.Recover(account)
+	return out, nil
+}
+
+// WriteMulti implements block.MultiStore with failover and collision
+// retry (a colliding batch has modified nothing and is safe to redo).
+func (p *Pair) WriteMulti(account block.Account, ns []block.Num, data [][]byte) error {
+	return p.retryCollision(func(h *Half) error { return h.WriteMulti(account, ns, data) })
+}
+
+// AllocMulti implements block.MultiStore with failover and collision
+// retry (a colliding batch has been rolled back and is safe to redo).
+func (p *Pair) AllocMulti(account block.Account, data [][]byte) ([]block.Num, error) {
+	var ns []block.Num
+	err := p.retryCollision(func(h *Half) error {
+		var e error
+		ns, e = h.AllocMulti(account, data)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ns, nil
+}
+
+// FreeMulti implements block.MultiStore.
+func (p *Pair) FreeMulti(account block.Account, ns []block.Num) error {
+	return p.retryCollision(func(h *Half) error { return h.FreeMulti(account, ns) })
+}
+
+// Usage implements block.UsageReporter when the serving half's backend
+// does: a mirrored pair's headroom is its primary's (both halves hold
+// the same blocks by construction).
+func (p *Pair) Usage() (block.Usage, error) {
+	h, err := p.pick()
+	if err != nil {
+		return block.Usage{}, err
+	}
+	if ur, ok := h.st.(block.UsageReporter); ok {
+		return ur.Usage()
+	}
+	return block.Usage{}, fmt.Errorf("stable: backend does not report usage")
+}
+
+// BlockStats implements block.StatsReporter when the serving half's
+// backend does.
+func (p *Pair) BlockStats() (block.Stats, error) {
+	h, err := p.pick()
+	if err != nil {
+		return block.Stats{}, err
+	}
+	if sr, ok := h.st.(block.StatsReporter); ok {
+		return sr.BlockStats()
+	}
+	return block.Stats{}, fmt.Errorf("stable: backend does not report stats")
 }
 
 var _ block.Store = (*Pair)(nil)
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
+var _ block.MultiStore = (*Pair)(nil)
+var _ block.PairStore = (*Pair)(nil)

@@ -1,0 +1,251 @@
+package stable_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/rpc"
+	"repro/internal/segstore"
+	"repro/internal/stable"
+)
+
+// tcpHalf is one block-server "machine": a durable segstore behind a
+// TCP listener, with a fixed service port that survives reboots.
+type tcpHalf struct {
+	dir   string
+	port  capability.Port
+	store *segstore.Store
+	tcp   *rpc.TCPServer
+}
+
+func (h *tcpHalf) start(t *testing.T) {
+	t.Helper()
+	st, err := segstore.Open(h.dir, segstore.Options{BlockSize: 256, Capacity: 1 << 10, SegmentRecords: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := rpc.NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	tcp.Register(h.port, block.Serve(st))
+	h.store, h.tcp = st, tcp
+}
+
+// crash kills the machine: listener gone, store handles dropped with no
+// flush (acknowledged writes are already durable).
+func (h *tcpHalf) crash() {
+	h.tcp.Close()
+	h.store.Abandon()
+}
+
+// TestRemotePairOverTCP drives the whole -mirror machinery: a pair over
+// two segstore-backed TCP machines, one machine killed mid-service
+// (detected from the transport failure, no fault-injection call),
+// mutations riding the intentions list, then reboot + Heal replaying
+// the outage.
+func TestRemotePairOverTCP(t *testing.T) {
+	base := t.TempDir()
+	res := rpc.NewResolver()
+	machines := [2]*tcpHalf{
+		{dir: filepath.Join(base, "a"), port: capability.NewPort().Public()},
+		{dir: filepath.Join(base, "b"), port: capability.NewPort().Public()},
+	}
+	var remotes [2]block.PairStore
+	for i, m := range machines {
+		m.start(t)
+		res.Set(m.port, m.tcp.Addr())
+		cli := rpc.NewTCPClient(res)
+		cli.SetRetryPolicy(rpc.RetryPolicy{Attempts: 2}) // fail fast, as afs-server -mirror does
+		remote, err := block.Dial(cli, m.port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, ok := remote.(block.PairStore)
+		if !ok {
+			t.Fatal("remote store does not serve the pair operations")
+		}
+		remotes[i] = ps
+	}
+	pair := stable.NewFailoverPair(remotes[0], remotes[1])
+	a, b := pair.Halves()
+
+	n, err := pair.Alloc(1, []byte("both"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirrored on both machines' durable stores.
+	for i, m := range machines {
+		got, err := m.store.Read(1, n)
+		if err != nil || !bytes.Equal(got[:4], []byte("both")) {
+			t.Fatalf("machine %d copy: %q, %v", i, got, err)
+		}
+	}
+
+	// Machine B dies. The next write's companion leg fails over the
+	// transport, marks B down automatically, and proceeds on A with an
+	// intent — the client sees nothing but success.
+	machines[1].crash()
+	if err := pair.Write(1, n, []byte("solo")); err != nil {
+		t.Fatalf("write with dead companion: %v", err)
+	}
+	n2, err := pair.Alloc(1, []byte("more"))
+	if err != nil {
+		t.Fatalf("alloc with dead companion: %v", err)
+	}
+	if !b.Down() {
+		t.Fatal("dead machine not auto-detected")
+	}
+	if s := b.Stats(); s.AutoMarkdowns != 1 {
+		t.Fatalf("AutoMarkdowns = %d, want 1", s.AutoMarkdowns)
+	}
+	if a.Stats().IntentionsKept == 0 {
+		t.Fatal("no intents kept during outage")
+	}
+
+	// Nothing to heal while the machine is still dead.
+	if healed, _ := pair.Heal(); healed != 0 {
+		t.Fatalf("healed %d halves with the machine still down", healed)
+	}
+
+	// Reboot machine B on the same directory (same service port, new
+	// TCP address) and heal: the outage replays onto B's store.
+	machines[1].start(t)
+	res.Set(machines[1].port, machines[1].tcp.Addr())
+	if healed, err := pair.Heal(); healed != 1 {
+		t.Fatalf("healed %d halves, want 1 (err=%v)", healed, err)
+	}
+	if b.Down() {
+		t.Fatal("half still down after heal")
+	}
+	for _, c := range []struct {
+		n    block.Num
+		want string
+	}{{n, "solo"}, {n2, "more"}} {
+		got, err := machines[1].store.Read(1, c.n)
+		if err != nil {
+			t.Fatalf("block %d on rebooted machine: %v", c.n, err)
+		}
+		if !bytes.Equal(got[:len(c.want)], []byte(c.want)) {
+			t.Fatalf("block %d = %q after replay, want %q", c.n, got[:len(c.want)], c.want)
+		}
+	}
+
+	// Corruption on machine A's medium: flip a payload byte in every
+	// record of its first segment behind the store's back (record size
+	// is the 32-byte header plus the 256-byte payload; see segment.go).
+	// The pair read must fall back to B over the wire (block.ErrCorrupt
+	// crosses it) and repair A's copy.
+	f, err := os.OpenFile(filepath.Join(machines[0].dir, "seg-00000001.log"), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const recSize = 32 + 256
+	for off := int64(32); off < info.Size(); off += recSize {
+		if _, err := f.WriteAt([]byte{0xDE, 0xAD}, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	got, err := pair.Read(1, n)
+	if err != nil {
+		t.Fatalf("read with corrupt primary medium: %v", err)
+	}
+	if !bytes.Equal(got[:4], []byte("solo")) {
+		t.Fatalf("read %q, want the good copy", got[:4])
+	}
+	if s := a.Stats(); s.CorruptFallbacks != 1 {
+		t.Fatalf("CorruptFallbacks = %d, want 1", s.CorruptFallbacks)
+	}
+	if _, err := machines[0].store.Read(1, n); err != nil {
+		t.Fatalf("primary copy not repaired: %v", err)
+	}
+
+	machines[0].crash()
+	machines[1].crash()
+}
+
+// TestDoubleBackendOutageReplays is the double-outage regression: half
+// A's backend dies, B survives and records intents, then B's backend
+// dies too. The list lives with the pair (not the dead backends), so
+// healing both machines must replay it — no acknowledged write may be
+// lost, whichever half rejoins first.
+func TestDoubleBackendOutageReplays(t *testing.T) {
+	base := t.TempDir()
+	res := rpc.NewResolver()
+	machines := [2]*tcpHalf{
+		{dir: filepath.Join(base, "a"), port: capability.NewPort().Public()},
+		{dir: filepath.Join(base, "b"), port: capability.NewPort().Public()},
+	}
+	var remotes [2]block.PairStore
+	for i, m := range machines {
+		m.start(t)
+		res.Set(m.port, m.tcp.Addr())
+		cli := rpc.NewTCPClient(res)
+		cli.SetRetryPolicy(rpc.RetryPolicy{Attempts: 2})
+		remote, err := block.Dial(cli, m.port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remotes[i] = remote.(block.PairStore)
+	}
+	pair := stable.NewFailoverPair(remotes[0], remotes[1])
+	a, b := pair.Halves()
+
+	n, err := pair.Alloc(1, []byte("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A's backend dies; the write fails over to B and rides the list.
+	machines[0].crash()
+	if err := pair.Write(1, n, []byte("survivor-only")); err != nil {
+		t.Fatalf("write after A died: %v", err)
+	}
+	if !a.Down() {
+		t.Fatal("dead primary not auto-detected")
+	}
+	if b.Stats().IntentionsKept == 0 {
+		t.Fatal("survivor kept no intents")
+	}
+
+	// Now B's backend dies too (the write is already durable in B's
+	// segstore; the intent record is safe in this process).
+	machines[1].crash()
+	if _, err := pair.Read(1, n); !errors.Is(err, stable.ErrBothDown) {
+		t.Fatalf("err = %v, want ErrBothDown", err)
+	}
+
+	// Both machines reboot; heal must replay B's record into A (the
+	// list survives a backend death — only this process dying loses
+	// it) and then restore B from A, losing nothing.
+	for _, m := range machines {
+		m.start(t)
+		res.Set(m.port, m.tcp.Addr())
+	}
+	if healed, err := pair.Heal(); healed != 2 {
+		t.Fatalf("healed %d halves, want 2 (err=%v)", healed, err)
+	}
+	for i, m := range machines {
+		got, err := m.store.Read(1, n)
+		if err != nil {
+			t.Fatalf("machine %d: %v", i, err)
+		}
+		if !bytes.Equal(got[:13], []byte("survivor-only")) {
+			t.Fatalf("machine %d lost the outage write: %q", i, got[:13])
+		}
+	}
+
+	machines[0].crash()
+	machines[1].crash()
+}

@@ -18,7 +18,7 @@ for doc in README.md docs/ARCHITECTURE.md; do
     # Emit "cmd flag" pairs, one per line.
     pairs=$(grep -E 'afs-(server|block|bench)' "$doc" | while IFS= read -r line; do
         cmd=$(printf '%s\n' "$line" | grep -oE 'afs-(server|block|bench)' | head -1)
-        printf '%s\n' "$line" | grep -oE '[ (`]-[a-z]+' | sed 's/^.//;s/^-//' | while IFS= read -r f; do
+        printf '%s\n' "$line" | grep -oE '[ (`]-[a-z]+(-[a-z]+)*' | sed 's/^.//;s/^-//' | while IFS= read -r f; do
             printf '%s %s\n' "$cmd" "$f"
         done
     done | sort -u)
