@@ -1,0 +1,333 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/client"
+	"repro/internal/disk"
+	"repro/internal/file"
+	"repro/internal/ftab"
+	"repro/internal/occ"
+	"repro/internal/page"
+	"repro/internal/rpc"
+	"repro/internal/server"
+	"repro/internal/version"
+)
+
+// runE14 prices the replicated file table (internal/ftab): commit
+// throughput as front-tier servers are added over TCP (every commit's
+// table CAS is pushed synchronously to each peer), the CAS-conflict
+// rate when all clients hammer one file through different servers, and
+// the catch-up time of a rebooted server pulling the table from a peer.
+// No figure in the paper — this prices its §5.4.1 claim that the file
+// table is "replicated" without saying what replication costs.
+func runE14() error {
+	commitsPerWorker := 200
+	files := 400
+	if *quick {
+		commitsPerWorker = 10
+		files = 40
+	}
+
+	fmt.Printf("\ncommit throughput vs front-tier servers (one shared RAM block store\n")
+	fmt.Printf("over TCP; every commit CAS is pushed to every peer synchronously):\n\n")
+	header("servers", "commits/s", "vs 1 server", "push/commit")
+	var base float64
+	for _, n := range []int{1, 2, 3} {
+		rate, pushes, commits, err := e14Throughput(n, commitsPerWorker)
+		if err != nil {
+			return err
+		}
+		if n == 1 {
+			base = rate
+		}
+		row(n, rate, fmt.Sprintf("%.2fx", rate/base), fmt.Sprintf("%.2f", pushes/commits))
+		record("e14", fmt.Sprintf("commits_per_sec_%dsrv", n), rate)
+	}
+
+	fmt.Printf("\ncontention: every client updates ONE file through its own server\n")
+	fmt.Printf("(conflicts resolved by the storage CAS; the table converges by chase):\n\n")
+	header("servers", "commits", "conflicts", "conflict rate", "storage resolves")
+	for _, n := range []int{2, 3} {
+		commits, conflicts, resolved, err := e14Contention(n, commitsPerWorker)
+		if err != nil {
+			return err
+		}
+		rate := float64(conflicts) / float64(commits+conflicts)
+		row(n, commits, conflicts, fmt.Sprintf("%.2f", rate), resolved)
+		record("e14", fmt.Sprintf("conflict_rate_%dsrv", n), rate)
+	}
+
+	ms, perFile, err := e14Rejoin(files)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nrejoin catch-up: a rebooted server pulls %d files from its peer\n", files)
+	fmt.Printf("in %.2f ms (%.1f µs/file) — snapshot pages over TCP, byte-equal after\n", ms, perFile)
+	record("e14", "rejoin_catchup_ms", ms)
+	record("e14", "rejoin_us_per_file", perFile)
+	return nil
+}
+
+// e14Machine is one front-tier server process for the experiment.
+type e14Machine struct {
+	sh  *server.Shared
+	rep *ftab.Replicated
+	srv *server.Server
+	tcp *rpc.TCPServer
+}
+
+// e14Mesh builds n file-service machines over one shared TCP block
+// store, tables replicated.
+func e14Mesh(n int) ([]*e14Machine, *rpc.Resolver, func(), error) {
+	var closers []func()
+	closeAll := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+
+	// The shared block machine.
+	blockSrv := block.NewServer(disk.MustNew(disk.Geometry{Blocks: 1 << 16, BlockSize: 1024}))
+	blockTCP, err := rpc.NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	closers = append(closers, func() { blockTCP.Close() })
+	blockPort := capability.NewPort().Public()
+	blockTCP.Register(blockPort, block.Serve(blockSrv))
+
+	res := rpc.NewResolver() // resolves ftab ports and server ports
+	var machines []*e14Machine
+	for i := 0; i < n; i++ {
+		bres := rpc.NewResolver()
+		bres.Set(blockPort, blockTCP.Addr())
+		bcli := rpc.NewTCPClient(bres)
+		closers = append(closers, bcli.Close)
+		store, err := block.Dial(bcli, blockPort)
+		if err != nil {
+			closeAll()
+			return nil, nil, nil, err
+		}
+		sh := server.NewShared(store, 1)
+		sh.SetID(uint32(i))
+		tcp, err := rpc.NewTCPServer("127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, nil, nil, err
+		}
+		closers = append(closers, func() { tcp.Close() })
+		rep := ftab.NewReplicated(ftab.Options{
+			ID:    uint32(i),
+			Local: sh.Table.(*file.Table),
+			Store: version.NewStore(store, sh.Acct),
+			Ident: sh.Fact,
+		})
+		sh.Table = rep
+		res.Set(ftab.PortFor(uint32(i)), tcp.Addr())
+		tcp.Register(ftab.PortFor(uint32(i)), rep.Handler())
+		srv := server.New(sh, nil)
+		tcp.Register(srv.Port(), srv.Handler())
+		res.Set(srv.Port(), tcp.Addr())
+		machines = append(machines, &e14Machine{sh: sh, rep: rep, srv: srv, tcp: tcp})
+	}
+	for i, m := range machines {
+		for j := range machines {
+			if j != i {
+				cli := rpc.NewTCPClient(res)
+				closers = append(closers, cli.Close)
+				m.rep.AddPeer(uint32(j), cli)
+			}
+		}
+	}
+	for _, m := range machines {
+		m.rep.Bootstrap()
+	}
+	return machines, res, closeAll, nil
+}
+
+// e14Client builds a client preferring machine i.
+func e14Client(machines []*e14Machine, res *rpc.Resolver, i int) *client.Client {
+	cli := rpc.NewTCPClient(res)
+	ports := make([]capability.Port, 0, len(machines))
+	ports = append(ports, machines[i].srv.Port())
+	for j, m := range machines {
+		if j != i {
+			ports = append(ports, m.srv.Port())
+		}
+	}
+	return client.New(cli, ports...)
+}
+
+// e14Throughput: 2 workers per server, each committing to its own file
+// through its own server.
+func e14Throughput(n, commits int) (rate, pushes, totalCommits float64, err error) {
+	machines, res, closeAll, err := e14Mesh(n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer closeAll()
+
+	workers := 2 * n
+	caps := make([]capability.Capability, workers)
+	clients := make([]*client.Client, workers)
+	for w := 0; w < workers; w++ {
+		clients[w] = e14Client(machines, res, w%n)
+		caps[w], err = clients[w].CreateFile([]byte("bench"))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < commits; k++ {
+				v, err := clients[w].Update(caps[w], client.UpdateOpts{})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := v.Write(page.RootPath, []byte(fmt.Sprintf("commit %d", k))); err != nil {
+					errCh <- err
+					return
+				}
+				if err := v.Commit(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return 0, 0, 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+	total := float64(workers * commits)
+	var pushed float64
+	for _, m := range machines {
+		pushed += float64(m.rep.StatsSnapshot().Pushes)
+	}
+	return total / elapsed, pushed, total, nil
+}
+
+// e14Contention: one shared file, every worker updating its root page
+// through a different server; conflicts are redone.
+func e14Contention(n, commits int) (okCommits, conflicts int, resolved uint64, err error) {
+	machines, res, closeAll, err := e14Mesh(n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer closeAll()
+
+	c0 := e14Client(machines, res, 0)
+	fcap, err := c0.CreateFile([]byte("contended"))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := e14Client(machines, res, w)
+			for k := 0; k < commits; k++ {
+				for {
+					v, err := c.Update(fcap, client.UpdateOpts{})
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if _, _, err := v.Read(page.RootPath); err != nil {
+						v.Abort()
+						errCh <- err
+						return
+					}
+					if err := v.Write(page.RootPath, []byte(fmt.Sprintf("w%d k%d", w, k))); err != nil {
+						v.Abort()
+						errCh <- err
+						return
+					}
+					err = v.Commit()
+					if err == nil {
+						mu.Lock()
+						okCommits++
+						mu.Unlock()
+						break
+					}
+					if errors.Is(err, occ.ErrConflict) {
+						mu.Lock()
+						conflicts++
+						mu.Unlock()
+						continue
+					}
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return 0, 0, 0, err
+	}
+	for _, m := range machines {
+		resolved += m.rep.StatsSnapshot().Resolved
+	}
+	return okCommits, conflicts, resolved, nil
+}
+
+// e14Rejoin: fill the table through machine 0, then time a cold
+// replica's Bootstrap (snapshot pull + merge) and verify byte equality.
+func e14Rejoin(files int) (ms, usPerFile float64, err error) {
+	machines, res, closeAll, err := e14Mesh(2)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer closeAll()
+
+	c := e14Client(machines, res, 0)
+	for i := 0; i < files; i++ {
+		if _, err := c.CreateFile([]byte(fmt.Sprintf("file %d", i))); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// A cold replica (fresh table, fresh identity) joins the mesh and
+	// pulls everything — the rebooted-server catch-up path, minus the
+	// storage scan both paths share.
+	m1 := machines[1]
+	cold := server.NewShared(m1.sh.Store, 1)
+	cold.SetID(1)
+	rep := ftab.NewReplicated(ftab.Options{
+		ID:    1,
+		Local: cold.Table.(*file.Table),
+		Store: version.NewStore(m1.sh.Store, cold.Acct),
+		Ident: cold.Fact,
+	})
+	cli := rpc.NewTCPClient(res)
+	defer cli.Close()
+	rep.AddPeer(0, cli)
+	start := time.Now()
+	if n := rep.Bootstrap(); n == 0 {
+		return 0, 0, fmt.Errorf("cold replica found no live peer")
+	}
+	elapsed := time.Since(start)
+	if a, b := ftab.Fingerprint(rep), ftab.Fingerprint(machines[0].sh.Table); a != b {
+		return 0, 0, fmt.Errorf("cold replica not byte-equal after catch-up: %s vs %s", a, b)
+	}
+	return float64(elapsed.Microseconds()) / 1000, float64(elapsed.Microseconds()) / float64(files), nil
+}

@@ -85,16 +85,20 @@ func main() {
 
 	var endpoints []string
 	var closers []func()
+	var pairs []*stable.Pair
 	for i := 0; i < *shards; i++ {
 		shardDir := *dir
 		if *shards > 1 && shardDir != "" {
 			shardDir = filepath.Join(shardDir, fmt.Sprintf("shard-%02d", i))
 		}
-		store, closeStore, err := openServed(*backend, shardDir, *blocks, *bsize, *sync, *compact, *pair)
+		store, served, closeStore, err := openServed(*backend, shardDir, *blocks, *bsize, *sync, *compact, *pair)
 		if err != nil {
 			log.Fatal(err)
 		}
 		closers = append(closers, closeStore)
+		if served != nil {
+			pairs = append(pairs, served)
+		}
 		var port capability.Port
 		if *portFlag != "" {
 			// Strict parse: a typo that Sscanf would silently truncate
@@ -122,9 +126,38 @@ func main() {
 	log.Printf("block server (%s): %d shard(s) x %d x %d bytes at %s",
 		kind, *shards, *blocks, *bsize, tcp.Addr())
 
+	stop := make(chan struct{})
+	if len(pairs) > 0 {
+		// Rejoin down halves (a boot-time stale mark, or an I/O outage)
+		// as soon as a restore is possible: the full copy needs the
+		// mounting file server's recovery scan to have announced its
+		// account, so the loop simply retries until it has.
+		go func() {
+			t := time.NewTicker(2 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					for i, p := range pairs {
+						n, err := p.Heal()
+						if n > 0 {
+							log.Printf("pair %d: %d half(s) restored", i, n)
+						}
+						if err != nil {
+							log.Printf("pair %d: restore pending: %v", i, err)
+						}
+					}
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	close(stop)
 	tcp.Close()
 	for _, c := range closers {
 		c()
@@ -134,9 +167,10 @@ func main() {
 // openServed builds one served store: a single backend, or a pre-joined
 // companion pair of two of them (mem: two simulated disks; seg: the
 // half-a and half-b subdirectories).
-func openServed(backend, dir string, blocks, bsize int, sync string, compact time.Duration, pair bool) (block.Store, func(), error) {
+func openServed(backend, dir string, blocks, bsize int, sync string, compact time.Duration, pair bool) (block.Store, *stable.Pair, func(), error) {
 	if !pair {
-		return openStore(backend, dir, blocks, bsize, sync, compact)
+		st, closer, err := openStore(backend, dir, blocks, bsize, sync, compact)
+		return st, nil, closer, err
 	}
 	var halves [2]block.PairStore
 	var closers [2]func()
@@ -150,16 +184,22 @@ func openServed(backend, dir string, blocks, bsize int, sync string, compact tim
 			for j := 0; j < i; j++ {
 				closers[j]()
 			}
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		ps, ok := st.(block.PairStore)
 		if !ok {
-			return nil, nil, fmt.Errorf("backend %q cannot serve as a pair half", backend)
+			return nil, nil, nil, fmt.Errorf("backend %q cannot serve as a pair half", backend)
 		}
 		halves[i], closers[i] = ps, closeStore
 	}
 	p := stable.NewFailoverPair(halves[0], halves[1])
-	return p, func() {
+	// Boot-time divergence check: if one half's epoch lags (it missed
+	// writes while no pair process was alive), it is marked stale and
+	// the pair comes up degraded until the stale half is restored.
+	if name, err := p.DetectStale(); err == nil && name != "" {
+		log.Printf("pair %s: half %s has a lower epoch (missed writes); marked stale, restore by full copy before it serves", dir, name)
+	}
+	return p, p, func() {
 		a, b := p.Halves()
 		for _, h := range []*stable.Half{a, b} {
 			s := h.Stats()

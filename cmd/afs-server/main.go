@@ -43,18 +43,24 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/block"
 	"repro/internal/capability"
 	"repro/internal/disk"
 	"repro/internal/file"
+	"repro/internal/ftab"
 	"repro/internal/gc"
+	"repro/internal/metrics"
 	"repro/internal/rpc"
 	"repro/internal/segstore"
 	"repro/internal/server"
@@ -77,12 +83,17 @@ func main() {
 		mount     = flag.String("block", "", "single remote block service as PORT@ADDR (alias for -blocks)")
 		mirrors   = flag.String("mirror", "", "mirrored block services as PORT@ADDR+PORT@ADDR[,PORT@ADDR+PORT@ADDR...]: each element is a §4 companion pair; several pairs are sharded")
 		heal      = flag.Duration("heal", 2*time.Second, "probe interval for rejoining down mirror halves (0 disables)")
-		stale     = flag.String("stale", "", "mirror halves known to have missed writes, as PAIR:a|b[,PAIR:a|b...] (e.g. 0:b): mounted down and restored by full copy")
-		debugAddr = flag.String("debug-addr", "", "HTTP address serving expvar counters on /debug/vars (empty disables)")
-		gcEvery   = flag.Duration("gc", 5*time.Second, "garbage collection interval (0 disables)")
+		stale     = flag.String("stale", "", "mirror halves known to have missed writes, as PAIR:a|b[,PAIR:a|b...] (e.g. 0:b): mounted down and restored by full copy (usually unnecessary: epochs detect this)")
+		debugAddr = flag.String("debug-addr", "", "HTTP address serving expvar counters on /debug/vars and Prometheus text on /metrics (empty disables)")
+		gcEvery   = flag.Duration("gc", 5*time.Second, "garbage collection interval (0 disables; run the collector on ONE server of a -peers mesh)")
 		gcRetain  = flag.Int("retain", 4, "committed versions retained per file")
+		serverID  = flag.Uint("id", 0, "replica ID of this process, 0..63: bands its object numbers and names its file-table replication port (must be unique across a -peers mesh)")
+		peers     = flag.String("peers", "", "sibling afs-server processes as ID@ADDR[,ID@ADDR...]: replicates the file table (and capability secrets) so all of them serve one file system over one shared block store")
 	)
 	flag.Parse()
+	if *serverID > ftab.MaxID {
+		log.Fatalf("-id %d: replica IDs are 0..%d", *serverID, ftab.MaxID)
+	}
 
 	mountList := *mounts
 	if mountList == "" {
@@ -111,6 +122,16 @@ func main() {
 		// them by full copy before they serve anything.
 		if err := markStale(pairs, *stale); err != nil {
 			log.Fatal(err)
+		}
+		// And the halves the pair can tell diverged by itself: the §4
+		// survivor bumps its persisted epoch at every companion
+		// markdown, so a half that missed writes boots with a lower
+		// epoch and is auto-routed onto the full-copy path — no -stale
+		// flag needed when both backends track epochs.
+		for i, p := range pairs {
+			if name, err := p.DetectStale(); err == nil && name != "" {
+				log.Printf("mirror %d: half %s has a lower epoch (missed writes while no pair was alive); marked stale, heal loop will restore it by full copy", i, name)
+			}
 		}
 		if len(pairs) == 1 {
 			store = pairs[0]
@@ -185,10 +206,41 @@ func main() {
 	}
 
 	sh := server.NewShared(store, 1)
+	sh.SetID(uint32(*serverID))
+
+	tcp, err := rpc.NewTCPServer(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replicated file table (-peers): register this replica's
+	// well-known table port before anything else, join the mesh, and
+	// only then recover — a peer booting during our recovery pulls what
+	// we have and receives the rest as adoption pushes.
+	var rep *ftab.Replicated
+	var liveSrvs atomic.Value // holds []*server.Server for the ftab handler
+	if *peers != "" {
+		rep = buildFtab(sh, store, uint32(*serverID), *peers, &liveSrvs)
+		sh.Table = rep
+		tcp.Register(ftab.PortFor(uint32(*serverID)), rep.Handler())
+		if n := rep.Bootstrap(); n > 0 {
+			log.Printf("ftab: joined mesh as replica %d: %d peer snapshot(s) pulled, %d files, service identity %s",
+				*serverID, n, sh.Table.Len(), sh.Fact.Port())
+		} else {
+			log.Printf("ftab: replica %d: no peer answered; establishing service identity %s (peers join via heal)",
+				*serverID, sh.Fact.Port())
+		}
+		if *gcEvery > 0 {
+			log.Printf("ftab: collector enabled on this replica; run it on exactly ONE server of the mesh (-gc=0 on the others)")
+		}
+	}
+
 	// If the store already holds a file system (a durable directory or
 	// a remote block server that survived us), rebuild the file table
 	// from the §4 recovery scan and mint fresh capabilities for the
-	// recovered files.
+	// recovered files. Adoption is guarded: files the mesh already
+	// replicated to us keep their existing capabilities and are not in
+	// the returned map.
 	if durable {
 		st := version.NewStore(store, sh.Acct)
 		t, err := file.Rebuild(st)
@@ -199,7 +251,7 @@ func main() {
 		}
 		if t.Len() > 0 {
 			caps := sh.AdoptTable(t)
-			log.Printf("recovered %d files from block store", len(caps))
+			log.Printf("recovered %d files from block store (%d already live via peers)", len(caps), t.Len()-len(caps))
 			for obj, c := range caps {
 				// The text form is what the afs CLI accepts.
 				log.Printf("  file %d: %s", obj, c.Text())
@@ -207,36 +259,45 @@ func main() {
 		}
 	}
 
-	tcp, err := rpc.NewTCPServer(*listen)
-	if err != nil {
-		log.Fatal(err)
-	}
 	var srvs []*server.Server
 	var endpoints []string
 	for i := 0; i < *servers; i++ {
-		s := server.New(sh, nil)
+		s := server.New(sh, proberFor(sh, rep))
 		tcp.Register(s.Port(), s.Handler())
 		srvs = append(srvs, s)
 		endpoints = append(endpoints, fmt.Sprintf("%s@%s", s.Port(), tcp.Addr()))
 	}
+	liveSrvs.Store(srvs)
 	fmt.Println(strings.Join(endpoints, ","))
 	log.Printf("file service up: %d servers at %s", *servers, tcp.Addr())
 
 	if *debugAddr != "" {
-		publishDebugVars(store, sharded, pairs, segStore, srvs, sh)
+		publishDebugVars(store, sharded, pairs, segStore, srvs, sh, rep)
+		// expvar self-registers on the default mux (GET /debug/vars);
+		// /metrics renders the same counters (plus the commit latency
+		// histogram) in Prometheus text exposition format, and /ftab
+		// dumps the replicated file table for convergence checks.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			writeProm(w, store, sharded, pairs, segStore, srvs, sh, rep)
+		})
+		http.HandleFunc("/ftab", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain")
+			writeTableDump(w, sh)
+		})
 		go func() {
-			// expvar self-registers on the default mux: GET /debug/vars.
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				log.Printf("debug listener: %v", err)
 			}
 		}()
-		log.Printf("expvar counters at http://%s/debug/vars", *debugAddr)
+		log.Printf("expvar at http://%s/debug/vars, Prometheus at /metrics, table dump at /ftab", *debugAddr)
 	}
 
 	stop := make(chan struct{})
-	if len(pairs) > 0 && *heal > 0 {
+	if (len(pairs) > 0 || rep != nil) && *heal > 0 {
 		// Probe down mirror halves and rejoin them (§4 "compares notes
-		// ... and restores its disk") as soon as their backend answers.
+		// ... and restores its disk") as soon as their backend answers;
+		// the same loop resyncs down file-table peers.
 		go func() {
 			t := time.NewTicker(*heal)
 			defer t.Stop()
@@ -254,18 +315,46 @@ func main() {
 							log.Printf("mirror %d: rejoin failed (will retry): %v", i, err)
 						}
 					}
+					if rep != nil {
+						n, err := rep.Heal()
+						if n > 0 {
+							log.Printf("ftab: %d peer(s) resynced", n)
+						}
+						if err != nil {
+							log.Printf("ftab: resync failed (will retry): %v", err)
+						}
+					}
 				}
 			}
 		}()
 	}
 	if *gcEvery > 0 {
+		// Peer pins are gathered by the gate below (fail closed) and
+		// consumed by the live callback within the same cycle.
+		var peerPins atomic.Value
 		col := gc.New(version.NewStore(store, sh.Acct), sh.Table, *gcRetain, func() []block.Num {
 			var out []block.Num
 			for _, s := range srvs {
 				out = append(out, s.LiveVersions()...)
 			}
+			if pins, _ := peerPins.Load().([]block.Num); pins != nil {
+				// The peers' open versions: their uncommitted pages
+				// live in the same shared store.
+				out = append(out, pins...)
+			}
 			return out
 		})
+		if rep != nil {
+			col.Gate = func() bool {
+				pins, ok := rep.PeerLive()
+				if !ok {
+					log.Printf("gc: cycle skipped: a file-table peer is unreachable and its open versions cannot be pinned")
+					return false
+				}
+				peerPins.Store(pins)
+				return true
+			}
+		}
 		go col.Run(*gcEvery, stop, nil)
 	}
 
@@ -291,7 +380,94 @@ func main() {
 				i, h.Name(), s.CompanionWrites, s.Collisions, s.CorruptFallbacks, s.IntentionsKept, s.Replayed, s.FullCopied)
 		}
 	}
+	if rep != nil {
+		s := rep.StatsSnapshot()
+		log.Printf("ftab: %d pushes (%d failed), %d applied (%d fast), %d resolved from storage, %d tie-breaks, %d resyncs, peers %d up / %d down",
+			s.Pushes, s.PushFailures, s.Applied, s.FastApplied, s.Resolved, s.TieBreaks, s.Resyncs, s.PeersUp, s.PeersDown)
+	}
 	log.Printf("file service down: %d files", sh.Table.Len())
+}
+
+// buildFtab assembles the replicated file table for a -peers mesh: the
+// in-process table becomes the local replica, the capability factory
+// rides along (secrets travel with entries), and each ID@ADDR peer is
+// dialled lazily with a fail-fast retry policy so a dead sibling never
+// stalls the commit path.
+func buildFtab(sh *server.Shared, store block.Store, id uint32, peerList string, liveSrvs *atomic.Value) *ftab.Replicated {
+	local, ok := sh.Table.(*file.Table)
+	if !ok {
+		log.Fatal("ftab: shared table already replaced")
+	}
+	rep := ftab.NewReplicated(ftab.Options{
+		ID:        id,
+		Local:     local,
+		Store:     version.NewStore(store, sh.Acct),
+		Ident:     sh.Fact,
+		PortAlive: sh.Ports.Alive,
+		Live: func() []block.Num {
+			srvs, _ := liveSrvs.Load().([]*server.Server)
+			var out []block.Num
+			for _, s := range srvs {
+				out = append(out, s.LiveVersions()...)
+			}
+			return out
+		},
+	})
+	seen := map[uint64]bool{uint64(id): true}
+	for _, ep := range strings.Split(peerList, ",") {
+		ep = strings.TrimSpace(ep)
+		if ep == "" {
+			continue
+		}
+		i := strings.IndexByte(ep, '@')
+		if i < 0 {
+			log.Fatalf("peer %q: want ID@ADDR", ep)
+		}
+		pid, err := strconv.ParseUint(ep[:i], 10, 32)
+		if err != nil || pid > ftab.MaxID {
+			log.Fatalf("peer %q: replica ID must be 0..%d", ep, ftab.MaxID)
+		}
+		if seen[pid] {
+			log.Fatalf("peer %q: replica ID %d repeated (our own is %d)", ep, pid, id)
+		}
+		seen[pid] = true
+		res := rpc.NewResolver()
+		res.Set(ftab.PortFor(uint32(pid)), ep[i+1:])
+		cli := rpc.NewTCPClient(res)
+		cli.SetRetryPolicy(rpc.RetryPolicy{Attempts: 2})
+		rep.AddPeer(uint32(pid), cli)
+	}
+	return rep
+}
+
+// proberFor builds the lock-holder liveness probe: the local update-port
+// registry, extended across the mesh — an update owned by a sibling
+// server holds its locks under a port only that sibling can vouch for.
+func proberFor(sh *server.Shared, rep *ftab.Replicated) func(capability.Port) bool {
+	if rep == nil {
+		return nil // the server defaults to the local registry
+	}
+	return func(p capability.Port) bool {
+		return sh.Ports.Alive(p) || rep.PortAlive(p)
+	}
+}
+
+// writeTableDump renders the file table deterministically (object
+// order) for GET /ftab: comparing two servers' dumps byte for byte is
+// the operator's convergence check.
+func writeTableDump(w io.Writer, sh *server.Shared) {
+	fmt.Fprintf(w, "identity %s\n", sh.Fact.Port())
+	fmt.Fprintf(w, "fingerprint %s\n", ftab.Fingerprint(sh.Table))
+	entries := sh.Table.Entries()
+	objs := make([]uint32, 0, len(entries))
+	for o := range entries {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	for _, o := range objs {
+		e := entries[o]
+		fmt.Fprintf(w, "file %d root %d super %v cap %s\n", o, e.Entry, e.Super, e.Cap.Text())
+	}
 }
 
 // dialMirrors parses PORT@ADDR+PORT@ADDR[,...] and joins each element's
@@ -440,7 +616,10 @@ func mirrorClient(m string) (*rpc.TCPClient, error) {
 // publishDebugVars exposes every layer's counters through expvar: the
 // slim first cut of uniform observability. Each variable is computed on
 // read, so GET /debug/vars always reflects live state.
-func publishDebugVars(store block.Store, sharded *shard.Store, pairs []*stable.Pair, seg *segstore.Store, srvs []*server.Server, sh *server.Shared) {
+func publishDebugVars(store block.Store, sharded *shard.Store, pairs []*stable.Pair, seg *segstore.Store, srvs []*server.Server, sh *server.Shared, rep *ftab.Replicated) {
+	if rep != nil {
+		expvar.Publish("afs.ftab", expvar.Func(func() any { return rep.StatsSnapshot() }))
+	}
 	expvar.Publish("afs.block", expvar.Func(func() any {
 		if sr, ok := store.(block.StatsReporter); ok {
 			if st, err := sr.BlockStats(); err == nil {
@@ -539,4 +718,137 @@ func splitMount(s string) (capability.Port, string, error) {
 		return 0, "", fmt.Errorf("mount %q: bad port: %w", s, err)
 	}
 	return capability.Port(p), s[i+1:], nil
+}
+
+// writeProm renders every layer's counters in Prometheus text
+// exposition format (GET /metrics): the same live sources as the expvar
+// endpoint, plus the commit-path latency histogram aggregated across
+// this process's file servers.
+func writeProm(w io.Writer, store block.Store, sharded *shard.Store, pairs []*stable.Pair, seg *segstore.Store, srvs []*server.Server, sh *server.Shared, rep *ftab.Replicated) {
+	metrics.WriteHelp(w, "afs_files", "gauge", "Files in the table.")
+	metrics.WriteSample(w, "afs_files", nil, float64(sh.Table.Len()))
+
+	if sr, ok := store.(block.StatsReporter); ok {
+		if st, err := sr.BlockStats(); err == nil {
+			metrics.WriteHelp(w, "afs_block_ops_total", "counter", "Block store operations by kind.")
+			for kind, v := range map[string]uint64{
+				"alloc": st.Allocs, "free": st.Frees, "read": st.Reads, "write": st.Writes,
+				"lock": st.Locks, "unlock": st.Unlocks, "lock_conflict": st.LockConflicts, "fsync": st.Syncs,
+			} {
+				metrics.WriteSample(w, "afs_block_ops_total", map[string]string{"op": kind}, float64(v))
+			}
+		}
+	}
+	if ur, ok := store.(block.UsageReporter); ok {
+		if u, err := ur.Usage(); err == nil {
+			metrics.WriteHelp(w, "afs_blocks_capacity", "gauge", "Allocatable blocks.")
+			metrics.WriteSample(w, "afs_blocks_capacity", nil, float64(u.Capacity))
+			metrics.WriteHelp(w, "afs_blocks_in_use", "gauge", "Allocated blocks.")
+			metrics.WriteSample(w, "afs_blocks_in_use", nil, float64(u.InUse))
+		}
+	}
+	if sharded != nil {
+		metrics.WriteHelp(w, "afs_shard_ops_total", "counter", "Per-shard operations by kind.")
+		metrics.WriteHelp(w, "afs_shard_blocks_in_use", "gauge", "Per-shard allocated blocks.")
+		for _, st := range sharded.ShardStats() {
+			l := func(extra string) map[string]string {
+				return map[string]string{"shard": fmt.Sprint(st.Shard), "op": extra}
+			}
+			metrics.WriteSample(w, "afs_shard_ops_total", l("read"), float64(st.Stats.Reads))
+			metrics.WriteSample(w, "afs_shard_ops_total", l("write"), float64(st.Stats.Writes))
+			metrics.WriteSample(w, "afs_shard_ops_total", l("alloc"), float64(st.Stats.Allocs))
+			metrics.WriteSample(w, "afs_shard_ops_total", l("free"), float64(st.Stats.Frees))
+			metrics.WriteSample(w, "afs_shard_ops_total", l("fsync"), float64(st.Stats.Syncs))
+			metrics.WriteSample(w, "afs_shard_blocks_in_use",
+				map[string]string{"shard": fmt.Sprint(st.Shard)}, float64(st.Usage.InUse))
+		}
+	}
+	if seg != nil {
+		st := seg.Stats()
+		metrics.WriteHelp(w, "afs_segstore_total", "counter", "Segment-log events by kind.")
+		for kind, v := range map[string]uint64{
+			"batches": st.Batches, "batch_records": st.BatchRecords, "fsyncs": st.Syncs,
+			"compactions": st.Compactions, "relocations": st.Relocations, "segments_reclaimed": st.SegmentsReclaimed,
+		} {
+			metrics.WriteSample(w, "afs_segstore_total", map[string]string{"event": kind}, float64(v))
+		}
+	}
+	if len(pairs) > 0 {
+		metrics.WriteHelp(w, "afs_mirror_half_down", "gauge", "1 when the half is down.")
+		metrics.WriteHelp(w, "afs_mirror_half_events_total", "counter", "Pair-protocol events by kind.")
+		for i, p := range pairs {
+			a, b := p.Halves()
+			for _, h := range []*stable.Half{a, b} {
+				base := map[string]string{"pair": fmt.Sprint(i), "half": h.Name()}
+				down := 0.0
+				if h.Down() {
+					down = 1
+				}
+				metrics.WriteSample(w, "afs_mirror_half_down", base, down)
+				st := h.Stats()
+				for kind, v := range map[string]uint64{
+					"companion_write": st.CompanionWrites, "collision": st.Collisions,
+					"corrupt_fallback": st.CorruptFallbacks, "repair": st.Repairs,
+					"intent": st.IntentionsKept, "replayed": st.Replayed,
+					"full_copied": st.FullCopied, "auto_markdown": st.AutoMarkdowns,
+				} {
+					l := map[string]string{"pair": base["pair"], "half": base["half"], "event": kind}
+					metrics.WriteSample(w, "afs_mirror_half_events_total", l, float64(v))
+				}
+			}
+		}
+	}
+
+	// OCC counters plus the commit-path latency histogram, aggregated
+	// across this process's file servers (identical bucket bounds, so
+	// summing the snapshots is exact).
+	var occSum struct {
+		commits, fast, validations, conflicts, compared, merged, retries uint64
+	}
+	var lat metrics.HistogramSnapshot
+	for i, s := range srvs {
+		st := s.OCCStats()
+		occSum.commits += st.Commits.Load()
+		occSum.fast += st.FastCommits.Load()
+		occSum.validations += st.Validations.Load()
+		occSum.conflicts += st.Conflicts.Load()
+		occSum.compared += st.PagesCompared.Load()
+		occSum.merged += st.Merged.Load()
+		occSum.retries += st.ChainRetries.Load()
+		snap := st.Latency.Snapshot()
+		if i == 0 {
+			lat = snap
+			continue
+		}
+		lat.Count += snap.Count
+		lat.SumSeconds += snap.SumSeconds
+		for j := range lat.Buckets {
+			lat.Buckets[j].Count += snap.Buckets[j].Count
+		}
+	}
+	metrics.WriteHelp(w, "afs_occ_total", "counter", "OCC commit-path events by kind.")
+	for kind, v := range map[string]uint64{
+		"commits": occSum.commits, "fast_commits": occSum.fast, "validations": occSum.validations,
+		"conflicts": occSum.conflicts, "pages_compared": occSum.compared, "merged_refs": occSum.merged,
+		"chain_retries": occSum.retries,
+	} {
+		metrics.WriteSample(w, "afs_occ_total", map[string]string{"event": kind}, float64(v))
+	}
+	metrics.WriteHelp(w, "afs_commit_seconds", "histogram", "Commit operation latency (validation, critical section, locks, table CAS).")
+	lat.Write(w, "afs_commit_seconds", nil)
+
+	if rep != nil {
+		s := rep.StatsSnapshot()
+		metrics.WriteHelp(w, "afs_ftab_total", "counter", "Replicated file-table events by kind.")
+		for kind, v := range map[string]uint64{
+			"pushes": s.Pushes, "push_failures": s.PushFailures, "applied": s.Applied,
+			"fast_applied": s.FastApplied, "resolved": s.Resolved, "tie_breaks": s.TieBreaks,
+			"resyncs": s.Resyncs,
+		} {
+			metrics.WriteSample(w, "afs_ftab_total", map[string]string{"event": kind}, float64(v))
+		}
+		metrics.WriteHelp(w, "afs_ftab_peers", "gauge", "File-table peers by state.")
+		metrics.WriteSample(w, "afs_ftab_peers", map[string]string{"state": "up"}, float64(s.PeersUp))
+		metrics.WriteSample(w, "afs_ftab_peers", map[string]string{"state": "down"}, float64(s.PeersDown))
+	}
 }

@@ -192,6 +192,10 @@ type Server struct {
 
 	shards [numShards]shard
 
+	// epoch backs EpochStore for the process lifetime (the RAM server
+	// has no persistence to tie it to).
+	epoch atomic.Uint64
+
 	// allocMu serialises allocation scans and the hint; the scan still
 	// takes each probed shard's lock to claim the number.
 	allocMu sync.Mutex
@@ -244,6 +248,24 @@ type UsageReporter interface {
 // observable across the network.
 type StatsReporter interface {
 	BlockStats() (Stats, error)
+}
+
+// EpochStore is the optional interface for backends that keep a
+// monotonic epoch number alongside their data. The stable-storage layer
+// uses it to detect boot-time divergence of a §4 companion pair: the
+// surviving half bumps its epoch the moment its companion goes down, so
+// a half that missed writes is exactly the half with the lower epoch —
+// detectable by a freshly started pair with no memory of the outage
+// (stable.Pair.DetectStale). Durable backends persist the epoch with
+// the data (segstore writes an epoch file); the in-memory server keeps
+// it for the process lifetime; the wire protocol proxies both
+// operations, so remote halves participate.
+type EpochStore interface {
+	// Epoch returns the stored epoch (zero for a fresh store).
+	Epoch() (uint64, error)
+	// SetEpoch stores e; durable backends must persist it before
+	// acknowledging.
+	SetEpoch(e uint64) error
 }
 
 // counters is the lock-free internal form of Stats.
@@ -305,6 +327,15 @@ func (s *Server) Usage() (Usage, error) {
 
 // BlockStats implements StatsReporter.
 func (s *Server) BlockStats() (Stats, error) { return s.Stats(), nil }
+
+// Epoch implements EpochStore.
+func (s *Server) Epoch() (uint64, error) { return s.epoch.Load(), nil }
+
+// SetEpoch implements EpochStore.
+func (s *Server) SetEpoch(e uint64) error {
+	s.epoch.Store(e)
+	return nil
+}
 
 // Disk exposes the underlying disk for fault injection in tests and the
 // failure-mode benchmarks.
@@ -509,6 +540,7 @@ func (s *Server) ClearLocks() {
 var _ Store = (*Server)(nil)
 var _ MultiStore = (*Server)(nil)
 var _ PairStore = (*Server)(nil)
+var _ EpochStore = (*Server)(nil)
 
 // ReadMulti implements MultiStore (all-or-nothing, see the contract).
 func (s *Server) ReadMulti(account Account, ns []Num) ([][]byte, error) {

@@ -44,6 +44,11 @@ const (
 	// (cmdClaim mirrors allocation choices, cmdClearLocks drops
 	// volatile lock state on rejoin).
 	cmdClearLocks
+	// cmdEpoch and cmdSetEpoch proxy the optional EpochStore interface:
+	// the stable layer's boot-time divergence detection works on remote
+	// halves too.
+	cmdEpoch
+	cmdSetEpoch
 )
 
 // Status codes specific to the block service.
@@ -149,6 +154,27 @@ func Serve(s Store) rpc.Handler {
 				return req.Errorf(rpc.StatusBadCommand, "block: store does not support clearing locks")
 			}
 			cl.ClearLocks()
+			return req.Reply(rpc.StatusOK)
+		case cmdEpoch:
+			es, ok := s.(EpochStore)
+			if !ok {
+				return req.Errorf(rpc.StatusBadCommand, "block: store does not track epochs")
+			}
+			e, err := es.Epoch()
+			if err != nil {
+				return blockErr(req, err)
+			}
+			r := req.Reply(rpc.StatusOK)
+			r.Args[0] = e
+			return r
+		case cmdSetEpoch:
+			es, ok := s.(EpochStore)
+			if !ok {
+				return req.Errorf(rpc.StatusBadCommand, "block: store does not track epochs")
+			}
+			if err := es.SetEpoch(req.Args[2]); err != nil {
+				return blockErr(req, err)
+			}
 			return req.Reply(rpc.StatusOK)
 		case cmdStats:
 			sr, ok := s.(StatsReporter)
@@ -388,6 +414,25 @@ func (r *remoteStore) Claim(acct Account, n Num) error {
 // a restarted server already starts with all locks clear.
 func (r *remoteStore) ClearLocks() {
 	_, _ = r.call(r.req(cmdClearLocks, 0, 0, nil))
+}
+
+// Epoch implements EpochStore over the wire. A server whose store does
+// not track epochs answers StatusBadCommand, which surfaces as an error
+// and makes the pair layer skip divergence detection.
+func (r *remoteStore) Epoch() (uint64, error) {
+	resp, err := r.call(r.req(cmdEpoch, 0, 0, nil))
+	if err != nil {
+		return 0, err
+	}
+	return resp.Args[0], nil
+}
+
+// SetEpoch implements EpochStore over the wire.
+func (r *remoteStore) SetEpoch(e uint64) error {
+	m := r.req(cmdSetEpoch, 0, 0, nil)
+	m.Args[2] = e
+	_, err := r.call(m)
+	return err
 }
 
 // Recover implements Store.
@@ -723,3 +768,4 @@ var _ MultiStore = (*remoteStore)(nil)
 var _ PairStore = (*remoteStore)(nil)
 var _ UsageReporter = (*remoteStore)(nil)
 var _ StatsReporter = (*remoteStore)(nil)
+var _ EpochStore = (*remoteStore)(nil)

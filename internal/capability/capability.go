@@ -22,6 +22,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Port identifies a service mailbox. Ports are 48-bit values in Amoeba;
@@ -219,10 +220,18 @@ var ErrRights = errors.New("capability: insufficient rights")
 
 // Factory mints and verifies capabilities for one service. It holds the
 // per-object secrets ("random numbers" in Amoeba terms) that make check
-// fields unforgeable. A Factory is safe for concurrent use only with
-// external synchronisation of Register/Forget; Mint and Verify on
-// registered objects are read-only.
+// fields unforgeable. A Factory is safe for concurrent use: servers
+// verify while new objects register, and in a multi-server service the
+// replicated file table adopts peer secrets at runtime.
+//
+// In the paper's multi-server picture the secrets live in the replicated
+// file table itself, so any server of the service can verify any
+// capability. Secret, Adopt and Reseat expose exactly that surface: the
+// replication layer (internal/ftab) ships secrets between the servers'
+// factories alongside the table entries, and a server joining an
+// established service reseats its factory onto the service's port.
 type Factory struct {
+	mu      sync.RWMutex
 	port    Port
 	secrets map[uint32]uint64
 }
@@ -233,7 +242,11 @@ func NewFactory(port Port) *Factory {
 }
 
 // Port returns the service port capabilities minted here will carry.
-func (f *Factory) Port() Port { return f.port }
+func (f *Factory) Port() Port {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.port
+}
 
 // Register assigns a fresh secret to object and returns an owner
 // capability carrying all rights.
@@ -243,13 +256,62 @@ func (f *Factory) Register(object uint32) Capability {
 		panic(fmt.Sprintf("capability: entropy source failed: %v", err))
 	}
 	secret := binary.BigEndian.Uint64(b[:])
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.secrets[object] = secret
 	return f.mint(object, RightsAll, secret)
 }
 
+// Secret returns the object's secret for replication to a sibling
+// server's factory.
+func (f *Factory) Secret(object uint32) (uint64, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s, ok := f.secrets[object]
+	return s, ok
+}
+
+// Adopt installs a secret received from a sibling server (replacing any
+// local one) and returns the object's owner capability, which is
+// identical to the one the sibling minted: same port, same secret, same
+// check field.
+func (f *Factory) Adopt(object uint32, secret uint64) Capability {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.secrets[object] = secret
+	return f.mint(object, RightsAll, secret)
+}
+
+// Reseat moves the factory onto a new service port, keeping every
+// secret. Outstanding capabilities minted under the old port stop
+// verifying (the check field binds the port); the caller re-mints the
+// ones it needs with Owner. A server joining an established service
+// mesh reseats onto the incumbent identity.
+func (f *Factory) Reseat(port Port) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.port = port
+}
+
+// Owner re-mints the owner capability of a registered object under the
+// factory's current port.
+func (f *Factory) Owner(object uint32) (Capability, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	secret, ok := f.secrets[object]
+	if !ok {
+		return Nil, false
+	}
+	return f.mint(object, RightsAll, secret), true
+}
+
 // Forget removes an object's secret, invalidating all outstanding
 // capabilities for it.
-func (f *Factory) Forget(object uint32) { delete(f.secrets, object) }
+func (f *Factory) Forget(object uint32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.secrets, object)
+}
 
 // Restrict returns a copy of c with rights narrowed to keep. The check
 // field is recomputed so the narrowed capability is valid and the original
@@ -258,6 +320,8 @@ func (f *Factory) Restrict(c Capability, keep Rights) (Capability, error) {
 	if err := f.Verify(c, 0); err != nil {
 		return Nil, err
 	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	secret, ok := f.secrets[c.Object]
 	if !ok {
 		return Nil, ErrBadCheck
@@ -267,11 +331,17 @@ func (f *Factory) Restrict(c Capability, keep Rights) (Capability, error) {
 
 // Verify checks c's check field and that it conveys the rights in need.
 func (f *Factory) Verify(c Capability, need Rights) error {
+	f.mu.RLock()
 	secret, ok := f.secrets[c.Object]
+	var want Capability
+	if ok {
+		want = f.mint(c.Object, c.Rights, secret)
+	}
+	f.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("object %d: %w", c.Object, ErrBadCheck)
 	}
-	if want := f.mint(c.Object, c.Rights, secret); want.Check != c.Check {
+	if want.Check != c.Check {
 		return fmt.Errorf("object %d: %w", c.Object, ErrBadCheck)
 	}
 	if !c.Rights.Has(need) {

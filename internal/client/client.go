@@ -29,6 +29,14 @@ var ErrNoServers = errors.New("client: no live servers")
 // sentinels match.
 var ErrConflict = fmt.Errorf("client: %w", occ.ErrConflict)
 
+// ErrVersionLost reports that an open version's server died and the
+// operation failed over to a sibling server, which cannot know the
+// version: uncommitted versions are managed by the server that created
+// them and die with it — "clients must be prepared to redo the updates
+// in a version" (§5.4.1). It wraps occ.ErrConflict, so every redo loop
+// written for conflicts handles server loss identically.
+var ErrVersionLost = fmt.Errorf("client: version lost with its server, redo the update: %w", occ.ErrConflict)
+
 // Stats counts client-side behaviour.
 type Stats struct {
 	Transactions uint64
@@ -143,6 +151,46 @@ type Version struct {
 	// write without a round trip.
 	written map[string][]byte
 	closed  bool
+	// home is the port of the server that created (and exclusively
+	// manages) this version. A version-scoped request refused by a
+	// DIFFERENT server means the home server died and the failover
+	// machinery rerouted the request: the version is lost. A refusal
+	// from the home server itself stays a genuine error.
+	home capability.Port
+}
+
+// call sends a version-scoped request. A version is private to the
+// server that created it, so when that server dies the failover
+// machinery lands the request at a sibling that (correctly) refuses the
+// capability; that refusal is translated to ErrVersionLost so the
+// caller redoes the update, exactly as it would after a conflict.
+func (v *Version) call(req *rpc.Message) (*rpc.Message, error) {
+	resp, err := v.c.call(req)
+	if err == nil {
+		return resp, nil
+	}
+	var se *rpc.StatusError
+	if errors.As(err, &se) && (se.Status == rpc.StatusNotFound || se.Status == rpc.StatusBadCapability) {
+		// transact records the answering server as preferred, so
+		// comparing it against the version's home tells whether this
+		// refusal came from a sibling after a failover.
+		if v.c.preferredPort() != v.home {
+			v.closed = true
+			return nil, fmt.Errorf("%v: %w", se, ErrVersionLost)
+		}
+	}
+	return nil, err
+}
+
+// preferredPort returns the port of the server that answered the last
+// transaction.
+func (c *Client) preferredPort() capability.Port {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.ports) == 0 {
+		return capability.NilPort
+	}
+	return c.ports[c.preferred]
 }
 
 // Update opens a new version of the file. The client first validates its
@@ -176,6 +224,7 @@ func (c *Client) Update(fcap capability.Capability, opts UpdateOpts) (*Version, 
 		vcap:    resp.Caps[0],
 		base:    block.Num(resp.Args[0]),
 		written: make(map[string][]byte),
+		home:    c.preferredPort(),
 	}, nil
 }
 
@@ -262,7 +311,7 @@ func (v *Version) Read(p page.Path) ([]byte, int, error) {
 			return nil, 0, err
 		}
 		req.Args[0] = 1
-		resp, err := v.c.call(req)
+		resp, err := v.call(req)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -277,7 +326,7 @@ func (v *Version) Read(p page.Path) ([]byte, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	resp, err := v.c.call(req)
+	resp, err := v.call(req)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -344,7 +393,7 @@ func (v *Version) Write(p page.Path, data []byte) error {
 	if err != nil {
 		return err
 	}
-	if _, err := v.c.call(req); err != nil {
+	if _, err := v.call(req); err != nil {
 		return err
 	}
 	v.written[p.String()] = append([]byte(nil), data...)
@@ -361,7 +410,7 @@ func (v *Version) indexed(cmd uint32, p page.Path, idx int, payload []byte) erro
 		return err
 	}
 	req.Args[0] = uint64(idx)
-	_, err = v.c.call(req)
+	_, err = v.call(req)
 	return err
 }
 
@@ -412,7 +461,7 @@ func (v *Version) Move(srcPath page.Path, srcIdx int, dstPath page.Path, dstIdx 
 	req := &rpc.Message{Command: server.CmdMoveSubtree, Caps: []capability.Capability{v.vcap}, Data: data}
 	req.Args[0] = uint64(srcIdx)
 	req.Args[1] = uint64(dstIdx)
-	_, err = v.c.call(req)
+	_, err = v.call(req)
 	return err
 }
 
@@ -427,7 +476,7 @@ func (v *Version) CreateSubFile(p page.Path, idx int, data []byte) (capability.C
 		return capability.Nil, err
 	}
 	req.Args[0] = uint64(idx)
-	resp, err := v.c.call(req)
+	resp, err := v.call(req)
 	if err != nil {
 		return capability.Nil, err
 	}
@@ -447,7 +496,7 @@ func (v *Version) Commit() error {
 		return errors.New("client: version closed")
 	}
 	req := &rpc.Message{Command: server.CmdCommit, Caps: []capability.Capability{v.vcap}}
-	resp, err := v.c.call(req)
+	resp, err := v.call(req)
 	if err != nil {
 		if errors.Is(err, ErrConflict) {
 			v.closed = true
@@ -477,7 +526,7 @@ func (v *Version) Abort() error {
 	}
 	v.closed = true
 	req := &rpc.Message{Command: server.CmdAbort, Caps: []capability.Capability{v.vcap}}
-	_, err := v.c.call(req)
+	_, err := v.call(req)
 	return err
 }
 

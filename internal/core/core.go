@@ -14,6 +14,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/disk"
 	"repro/internal/file"
+	"repro/internal/ftab"
 	"repro/internal/gc"
 	"repro/internal/rpc"
 	"repro/internal/server"
@@ -25,6 +26,15 @@ import (
 type Config struct {
 	// Servers is the number of file server processes (default 1).
 	Servers int
+	// Peers, when > 1, splits the cluster into that many independent
+	// service instances ("machines"): each instance has its own Shared
+	// state — file table, capability factory, object band — and the
+	// tables are kept convergent through the replicated file table
+	// (internal/ftab) over the in-proc network, exactly as
+	// `afs-server -peers` does over TCP. Server i serves instance
+	// i % Peers. Default 1: one Shared for all servers, the
+	// single-machine special case.
+	Peers int
 	// Store, when set, is a pre-built block store backend (e.g. a
 	// durable segstore.Store) used instead of a fresh simulated disk;
 	// DiskBlocks, BlockSize, StablePair and the disk cost fields are
@@ -64,6 +74,12 @@ func (c Config) withDefaults() Config {
 	if c.Servers <= 0 {
 		c.Servers = 1
 	}
+	if c.Peers <= 0 {
+		c.Peers = 1
+	}
+	if c.Servers < c.Peers {
+		c.Servers = c.Peers
+	}
 	if c.DiskBlocks <= 0 {
 		c.DiskBlocks = 1 << 16
 	}
@@ -78,14 +94,22 @@ func (c Config) withDefaults() Config {
 
 // Cluster is a running deployment.
 type Cluster struct {
-	Cfg     Config
-	Net     *rpc.Network
+	Cfg Config
+	Net *rpc.Network
+	// Shared is the first (or only) service instance's shared state;
+	// Shareds lists every instance when Cfg.Peers > 1.
 	Shared  *server.Shared
+	Shareds []*server.Shared
+	// Tables lists the replicated file tables, one per instance, when
+	// Cfg.Peers > 1 (nil otherwise: the single instance uses the plain
+	// in-process table).
+	Tables  []*ftab.Replicated
 	Servers []*server.Server
 	GC      *gc.Collector
 
 	pair   *stable.Pair
 	nextID int
+	instOf []int // service instance of each server, parallel to Servers
 }
 
 // netRegistry backs a server's update ports with the network, grouped
@@ -145,26 +169,73 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 	net := rpc.NewNetwork()
 	net.SetLatency(cfg.NetLatency)
-	sh := server.NewShared(store, 1)
-	c := &Cluster{Cfg: cfg, Net: net, Shared: sh, pair: pair}
+	c := &Cluster{Cfg: cfg, Net: net, pair: pair}
+	for i := 0; i < cfg.Peers; i++ {
+		c.Shareds = append(c.Shareds, server.NewShared(store, 1))
+	}
+	c.Shared = c.Shareds[0]
+	if cfg.Peers > 1 {
+		// Several service instances over one store, as between real
+		// machines: each instance gets its own object-number band and a
+		// replica of the file table on its well-known ftab port.
+		for i, sh := range c.Shareds {
+			sh.SetID(uint32(i))
+			inst := i
+			rep := ftab.NewReplicated(ftab.Options{
+				ID:        uint32(i),
+				Local:     sh.Table.(*file.Table),
+				Store:     version.NewStore(store, sh.Acct),
+				Ident:     sh.Fact,
+				PortAlive: net.Alive,
+				Live:      func() []block.Num { return c.instanceLive(inst) },
+			})
+			sh.Table = rep
+			c.Tables = append(c.Tables, rep)
+		}
+		for i, rep := range c.Tables {
+			for j := range c.Tables {
+				if j != i {
+					rep.AddPeer(uint32(j), net)
+				}
+			}
+			if err := net.Register(c.tableGroup(i), ftab.PortFor(uint32(i)), rep.Handler()); err != nil {
+				return nil, err
+			}
+		}
+		for _, rep := range c.Tables {
+			rep.Bootstrap()
+		}
+	}
 	for i := 0; i < cfg.Servers; i++ {
-		if _, err := c.AddServer(); err != nil {
+		if _, err := c.AddServerOn(i % cfg.Peers); err != nil {
 			return nil, err
 		}
 	}
-	c.GC = gc.New(version.NewStore(store, sh.Acct), sh.Table, cfg.Retain, c.LiveVersions)
+	c.GC = gc.New(version.NewStore(store, c.Shared.Acct), c.Shared.Table, cfg.Retain, c.LiveVersions)
 	return c, nil
 }
 
 // group names a server's process group on the network.
 func (c *Cluster) group(id int) string { return fmt.Sprintf("afs-%d", id) }
 
-// AddServer starts one more file server process and returns its index.
-// Used both for initial bring-up and to replace crashed servers.
-func (c *Cluster) AddServer() (int, error) {
+// tableGroup names an instance's table-replica process group.
+func (c *Cluster) tableGroup(inst int) string { return fmt.Sprintf("ftab-%d", inst) }
+
+// AddServer starts one more file server process on the first service
+// instance and returns its index. Used both for initial bring-up and to
+// replace crashed servers; multi-instance clusters place servers with
+// AddServerOn.
+func (c *Cluster) AddServer() (int, error) { return c.AddServerOn(0) }
+
+// AddServerOn starts one more file server process on service instance
+// inst and returns the server's index.
+func (c *Cluster) AddServerOn(inst int) (int, error) {
+	if inst < 0 || inst >= len(c.Shareds) {
+		return 0, fmt.Errorf("core: no service instance %d (have %d)", inst, len(c.Shareds))
+	}
 	id := c.nextID
 	c.nextID++
-	s := server.New(c.Shared, c.Net.Alive)
+	s := server.New(c.Shareds[inst], c.Net.Alive)
 	s.UsePortRegistry(netRegistry{net: c.Net, group: c.group(id)})
 	if c.Cfg.LockPoll > 0 {
 		s.LockManager().Poll = c.Cfg.LockPoll
@@ -176,7 +247,23 @@ func (c *Cluster) AddServer() (int, error) {
 		return 0, err
 	}
 	c.Servers = append(c.Servers, s)
+	c.instOf = append(c.instOf, inst)
 	return len(c.Servers) - 1, nil
+}
+
+// instanceLive reports the live version roots of instance inst's own
+// servers: what its table replica serves to peers' collectors.
+func (c *Cluster) instanceLive(inst int) []block.Num {
+	var out []block.Num
+	for i, s := range c.Servers {
+		if c.instOf[i] != inst {
+			continue
+		}
+		if c.Net.Alive(s.Port()) {
+			out = append(out, s.LiveVersions()...)
+		}
+	}
+	return out
 }
 
 // CrashServer kills server i: its process state and every port it serves
@@ -236,14 +323,25 @@ func (c *Cluster) Pair() *stable.Pair { return c.pair }
 // table from storage (§4 recovery scan) and adopt it into this
 // cluster's fresh service identity, minting new owner capabilities for
 // the recovered files (the old secrets died with the old process). It
-// returns the new capabilities by object number.
+// returns the new capabilities by object number. Adoption is guarded
+// and idempotent (server.Shared.AdoptTable): instances racing the same
+// recovery converge on one set of capabilities.
 func (c *Cluster) RecoverTable() (map[uint32]capability.Capability, error) {
-	st := version.NewStore(c.Shared.Store, c.Shared.Acct)
+	return c.RecoverTableOn(0)
+}
+
+// RecoverTableOn runs the recovery adoption for service instance inst.
+func (c *Cluster) RecoverTableOn(inst int) (map[uint32]capability.Capability, error) {
+	if inst < 0 || inst >= len(c.Shareds) {
+		return nil, fmt.Errorf("core: no service instance %d (have %d)", inst, len(c.Shareds))
+	}
+	sh := c.Shareds[inst]
+	st := version.NewStore(sh.Store, sh.Acct)
 	t, err := file.Rebuild(st)
 	if err != nil {
 		return nil, err
 	}
-	return c.Shared.AdoptTable(t), nil
+	return sh.AdoptTable(t), nil
 }
 
 // RebuildTable reconstructs the file table from storage (total-crash

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/ftab"
+	"repro/internal/occ"
+	"repro/internal/page"
+)
+
+// TestPeersClusterEndToEnd drives the multi-instance cluster: two
+// service instances ("machines") over one store with replicated file
+// tables. A file created through instance 0 must be updatable through
+// instance 1 — same capability, different machine — and commits from
+// either side must land on one storage chain and one converged table.
+func TestPeersClusterEndToEnd(t *testing.T) {
+	c, err := NewCluster(Config{Peers: 2, Servers: 2, DiskBlocks: 1 << 14, BlockSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Shareds) != 2 || len(c.Tables) != 2 {
+		t.Fatalf("want 2 instances, got %d shareds / %d tables", len(c.Shareds), len(c.Tables))
+	}
+	// The instances agreed on one service identity at bootstrap.
+	if a, b := c.Shareds[0].Fact.Port(), c.Shareds[1].Fact.Port(); a != b {
+		t.Fatalf("service identities differ: %v vs %v", a, b)
+	}
+
+	ports := c.AllPorts()
+	cli0 := client.New(c.Net, ports[0], ports[1]) // prefers instance 0's server
+	cli1 := client.New(c.Net, ports[1], ports[0]) // prefers instance 1's server
+
+	fcap, err := cli0.CreateFile([]byte("created on machine 0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Update through the OTHER machine: the replicated secret makes the
+	// capability verify there, and the replicated entry finds the file.
+	v, err := cli1.Update(fcap, client.UpdateOpts{})
+	if err != nil {
+		t.Fatalf("update via instance 1: %v", err)
+	}
+	got, _, err := v.Read(page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "created on machine 0" {
+		t.Fatalf("read %q via instance 1", got)
+	}
+	if err := v.Write(page.RootPath, []byte("updated on machine 1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// And back: machine 0 serves the committed data.
+	v0, err := cli0.Update(fcap, client.UpdateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = v0.Read(page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0.Abort()
+	if string(got) != "updated on machine 1" {
+		t.Fatalf("instance 0 read %q", got)
+	}
+	if a, b := ftab.Fingerprint(c.Shareds[0].Table), ftab.Fingerprint(c.Shareds[1].Table); a != b {
+		t.Fatalf("tables diverged: %s vs %s", a, b)
+	}
+}
+
+// TestPeersVersionLostRedo: an update opened on a server that dies is
+// redone against the surviving instance, signalled by ErrVersionLost
+// (which wraps occ.ErrConflict so existing redo loops just work).
+func TestPeersVersionLostRedo(t *testing.T) {
+	c, err := NewCluster(Config{Peers: 2, Servers: 2, DiskBlocks: 1 << 14, BlockSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := c.Client()
+	fcap, err := cli.CreateFile([]byte("v0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cli.Update(fcap, client.UpdateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Write(page.RootPath, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	// The serving server (instance 0) dies before the commit.
+	c.CrashServer(0)
+	err = v.Commit()
+	if !errors.Is(err, client.ErrVersionLost) {
+		t.Fatalf("want ErrVersionLost, got %v", err)
+	}
+	if !errors.Is(err, occ.ErrConflict) {
+		t.Fatalf("ErrVersionLost must classify as a conflict for redo loops, got %v", err)
+	}
+	// Redo on the survivor: same capability, the peer instance.
+	v2, err := cli.Update(fcap, client.UpdateOpts{})
+	if err != nil {
+		t.Fatalf("redo update after failover: %v", err)
+	}
+	if err := v2.Write(page.RootPath, []byte("redone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v3, err := cli.Update(fcap, client.UpdateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := v3.Read(page.RootPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3.Abort()
+	if string(got) != "redone" {
+		t.Fatalf("read %q after redo", got)
+	}
+}
+
+// TestAdoptTableIdempotent: two service instances racing the recovery
+// scan over the same store adopt once — the satellite fix: adoption is
+// guarded, so the second adopter keeps what replication already gave it
+// instead of double-minting capabilities.
+func TestAdoptTableIdempotent(t *testing.T) {
+	// A store with one file from a previous life.
+	seedCluster, err := NewCluster(Config{Servers: 1, DiskBlocks: 1 << 14, BlockSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCli := seedCluster.Client()
+	if _, err := seedCli.CreateFile([]byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	store := seedCluster.Shared.Store
+
+	// A fresh two-instance service over the same store.
+	c, err := NewCluster(Config{Peers: 2, Servers: 2, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps0, err := c.RecoverTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps0) != 1 {
+		t.Fatalf("first adopter recovered %d files, want 1", len(caps0))
+	}
+	// The second instance runs the same recovery; replication already
+	// delivered the entry, so it must adopt nothing new.
+	caps1, err := c.RecoverTableOn(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps1) != 0 {
+		t.Fatalf("second adopter minted %d capabilities, want 0 (idempotent adoption)", len(caps1))
+	}
+	if a, b := ftab.Fingerprint(c.Shareds[0].Table), ftab.Fingerprint(c.Shareds[1].Table); a != b {
+		t.Fatalf("tables diverged after racing adoption: %s vs %s", a, b)
+	}
+	// Repeating the first adoption is also a no-op.
+	caps2, err := c.RecoverTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps2) != 0 {
+		t.Fatalf("repeated adoption minted %d capabilities, want 0", len(caps2))
+	}
+}

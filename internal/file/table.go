@@ -81,6 +81,28 @@ func (t *Table) Advance(object uint32, committed block.Num) {
 	}
 }
 
+// CommitCAS records a commit as a compare-and-swap on the file's entry
+// point: the table update the paper's replicated file table performs on
+// every commit. On the in-process table the swap always applies (commits
+// are already serialised by the storage-level commit reference, and any
+// committed version reaches the current one by following commit
+// references), but the (expect, observed) pair is what the replication
+// layer ships to peer tables, whose apply rule falls back to chasing the
+// storage chain when the expectation does not hold. It returns the
+// entry's new value, or NilNum when the file is unknown.
+func (t *Table) CommitCAS(object uint32, expect, next block.Num) block.Num {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[object]
+	if !ok {
+		return block.NilNum
+	}
+	_ = expect // see above: the local table trusts the storage-serialised caller
+	e.Entry = next
+	t.entries[object] = e
+	return next
+}
+
 // MarkSuper flags the file as a super-file.
 func (t *Table) MarkSuper(object uint32) {
 	t.mu.Lock()

@@ -1,0 +1,197 @@
+// Package ftab implements the replicated file table: the piece of the
+// paper's §5.4.1 availability story that lets any number of file-server
+// processes — on different machines — serve one file system over one
+// (shared, sharded or mirrored) block store. "Access paths to committed
+// versions go through the replicated file table, and a chain of version
+// pages on stable storage, hence version access and file access can be
+// guaranteed as long as one or more servers are operational."
+//
+// # The table as a CAS stream
+//
+// The file table maps a file object to its entry point: a committed
+// version page plus the owner capability and the super-file flag.
+// Optimistic concurrency control makes replicating it almost trivial,
+// because every table mutation a commit performs is exactly a
+// compare-and-swap on one entry — (file, expectRoot → newRoot) — and the
+// authoritative order of those swaps is already serialised elsewhere: by
+// the storage-level commit reference, set inside the one critical
+// section of the commit path (occ.TestAndSetCommitRef). A replica that
+// receives table updates late, out of order, or not at all can therefore
+// always repair itself from storage: chasing commit references from any
+// committed version it knows reaches the true current version.
+//
+// The apply rule at every replica is:
+//
+//	CAS(file, expect → next):
+//	    cur == next          already applied; done
+//	    cur == expect        swap to next (the fast path: no storage I/O)
+//	    otherwise            re-derive: follow commit references from cur
+//	                         (occ.Current) and adopt the head found
+//
+// so replicas converge to the storage head regardless of delivery order,
+// and a replica that was down converges by pulling a snapshot and letting
+// the chase rule absorb whatever it missed.
+//
+// # Capabilities travel with the table
+//
+// In Amoeba the per-object secrets that make check fields unforgeable
+// would live in the replicated file table itself, so that any server of
+// the service can verify any capability. Create updates and snapshots
+// therefore carry the object's secret alongside the entry, and each
+// replica adopts it into its own capability factory: a capability minted
+// by server A verifies, bit for bit, at server B.
+//
+// Service identity (the factory port baked into every check field) is
+// agreed the same way: a booting server that finds a live peer adopts
+// the incumbent identity wholesale. Two servers that both establish
+// fresh identities over the same store (the racing-recovery case) detect
+// it when they first exchange snapshots and converge deterministically:
+// the identity established by the lower server ID wins, and per-object
+// double mints are resolved the same way (lower minting ID wins the
+// secret). The loser re-mints its capabilities under the winning
+// identity; capabilities it issued before convergence stop verifying,
+// which is the same cost today's single-adopter recovery already pays.
+//
+// # What is replicated, what is derived
+//
+// Only the table (entries, secrets, identity) replicates. Uncommitted
+// versions stay private to the server that created them and die with it
+// — "clients must be prepared to redo the updates in a version" — so
+// the client library turns a failed-over version operation into a redo
+// signal rather than asking a peer about state it cannot have.
+//
+// Known limit: entry deletion replicates as a best-effort tombstone; a
+// replica that was down across a Remove and never resyncs against a
+// replica that saw it can resurrect the entry from its own snapshot.
+// File deletion is not part of the paper's service surface, so this
+// trade keeps the protocol small.
+package ftab
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/file"
+)
+
+// Table is the file-table surface the file servers consume, extracted
+// from what used to be a bare *file.Table in server.Shared. The local
+// in-process map (*file.Table) is the single-server implementation;
+// Replicated wraps it with the peer protocol. Method names follow the
+// local map (Get = lookup, Put = create, Remove = delete, Entries =
+// snapshot).
+type Table interface {
+	// Get returns a file's entry (file.ErrUnknownFile when absent).
+	Get(object uint32) (file.Entry, error)
+	// Put creates (or explicitly replaces) a file's entry.
+	Put(object uint32, e file.Entry)
+	// Advance records a newer committed version as the entry point: the
+	// lazy chase a read performs when it finds the entry behind the
+	// storage head.
+	Advance(object uint32, committed block.Num)
+	// CommitCAS records a commit as a compare-and-swap on the entry:
+	// the caller observed expect and committed next after it. It
+	// returns the entry's new value (NilNum when the file is unknown).
+	CommitCAS(object uint32, expect, next block.Num) block.Num
+	// MarkSuper flags the file as a super-file.
+	MarkSuper(object uint32)
+	// Remove deletes a file's entry.
+	Remove(object uint32)
+	// Objects lists the file objects in ascending order.
+	Objects() []uint32
+	// Len returns the number of files.
+	Len() int
+	// Entries returns a point-in-time snapshot of the table.
+	Entries() map[uint32]file.Entry
+}
+
+// *file.Table is the local implementation.
+var _ Table = (*file.Table)(nil)
+
+// Identity is the capability-factory surface the replicated table keeps
+// in sync across servers: per-object secrets plus the service port.
+// *capability.Factory implements it.
+type Identity interface {
+	Port() capability.Port
+	Secret(object uint32) (uint64, bool)
+	Adopt(object uint32, secret uint64) capability.Capability
+	Owner(object uint32) (capability.Capability, bool)
+	Forget(object uint32)
+	Reseat(port capability.Port)
+}
+
+var _ Identity = (*capability.Factory)(nil)
+
+// MaxID bounds replica IDs: the ID is banded into the high bits of the
+// 24-bit object-number space (server.Shared) and into the well-known
+// replication port.
+const MaxID = 63
+
+// PortFor returns the well-known replication port of replica id. Unlike
+// service ports, replication ports are deterministic — peers must
+// address each other before any process has printed anything — so the
+// mesh is configured as ID@ADDR pairs. The replication protocol is
+// server-to-server and assumes a trusted network, exactly like the
+// block-store mounts.
+func PortFor(id uint32) capability.Port {
+	return capability.Port(0xf7ab<<32 | uint64(id&MaxID))
+}
+
+// Stats counts replication work.
+type Stats struct {
+	// Pushes counts update messages sent to peers; PushFailures counts
+	// sends that found the peer dead (it is then marked down until a
+	// resync).
+	Pushes, PushFailures atomic.Uint64
+	// Applied counts remote updates applied; FastApplied the subset
+	// that matched their expectation and needed no storage I/O.
+	Applied, FastApplied atomic.Uint64
+	// Resolved counts entries re-derived from storage (the chase rule);
+	// TieBreaks counts double-mint resolutions by server ID.
+	Resolved, TieBreaks atomic.Uint64
+	// Resyncs counts snapshot exchanges (bootstrap pulls and heals).
+	Resyncs atomic.Uint64
+}
+
+// StatsSnapshot is the plain-value form of Stats, for expvar.
+type StatsSnapshot struct {
+	Pushes, PushFailures uint64
+	Applied, FastApplied uint64
+	Resolved, TieBreaks  uint64
+	Resyncs              uint64
+	PeersUp, PeersDown   int
+}
+
+// Fingerprint hashes a table snapshot deterministically: object, entry
+// root, super flag and the full owner capability of every file, in
+// object order. Two replicas in sync — including identical capability
+// secrets and service identity — produce equal fingerprints; the
+// multiserver example and the convergence tests compare them.
+func Fingerprint(t Table) string {
+	entries := t.Entries()
+	objs := make([]uint32, 0, len(entries))
+	for o := range entries {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	h := sha256.New()
+	var buf [16]byte
+	for _, o := range objs {
+		e := entries[o]
+		binary.BigEndian.PutUint32(buf[0:4], o)
+		binary.BigEndian.PutUint32(buf[4:8], uint32(e.Entry))
+		if e.Super {
+			buf[8] = 1
+		} else {
+			buf[8] = 0
+		}
+		h.Write(buf[:9])
+		h.Write(e.Cap.Encode(nil))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -1,0 +1,671 @@
+package ftab
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/file"
+	"repro/internal/occ"
+	"repro/internal/rpc"
+	"repro/internal/version"
+)
+
+// Options configures a Replicated table.
+type Options struct {
+	// ID is this replica's server ID (0..MaxID). It bands the object
+	// number space, names this replica's well-known port (PortFor) and
+	// tie-breaks double mints.
+	ID uint32
+	// Local is the in-process table the replica serves from.
+	Local *file.Table
+	// Store reads the shared block store: the ground truth divergent
+	// entries are re-derived from.
+	Store *version.Store
+	// Ident is the capability factory kept in sync with the table.
+	Ident Identity
+	// PortAlive, when set, answers peers' lock-port liveness probes
+	// (cmdPortAlive) from this process's update-port registry.
+	PortAlive func(capability.Port) bool
+	// Live, when set, reports this process's open version roots to
+	// peers (cmdLive), so a peer's garbage collector can pin them.
+	Live func() []block.Num
+}
+
+// peer is one sibling server in the mesh.
+type peer struct {
+	id   uint32
+	port capability.Port
+	tr   rpc.Transactor
+
+	// mu orders pushes to this peer (so one origin's updates arrive in
+	// issue order) and guards down.
+	mu   sync.Mutex
+	down bool
+}
+
+// Replicated is a Table whose mutations are pushed to every peer as OCC
+// CAS updates, with snapshot exchange for catch-up. All methods are safe
+// for concurrent use; AddPeer must finish before the table serves.
+type Replicated struct {
+	id        uint32
+	local     *file.Table
+	st        *version.Store
+	ident     Identity
+	portAlive func(capability.Port) bool
+	live      func() []block.Num
+
+	// mu serialises applies and guards the replication metadata; it is
+	// ordered before the local table's own lock and is never held
+	// across a peer RPC (it may be held across block-store reads while
+	// an entry is re-derived — storage never calls back into ftab).
+	mu     sync.Mutex
+	estID  uint32            // ID of the server that established the identity
+	origin map[uint32]uint32 // object -> ID of the minting server
+	dead   map[uint32]bool   // tombstones for removed objects
+
+	peers []*peer
+
+	// Stat counts replication work.
+	Stat Stats
+}
+
+// NewReplicated builds the replica. The local table may already hold
+// entries (a recovery scan can run before or after Bootstrap; adoption
+// is idempotent either way).
+func NewReplicated(o Options) *Replicated {
+	return &Replicated{
+		id:        o.ID & MaxID,
+		local:     o.Local,
+		st:        o.Store,
+		ident:     o.Ident,
+		portAlive: o.PortAlive,
+		live:      o.Live,
+		estID:     o.ID & MaxID,
+		origin:    make(map[uint32]uint32),
+		dead:      make(map[uint32]bool),
+	}
+}
+
+// ID returns this replica's server ID.
+func (r *Replicated) ID() uint32 { return r.id }
+
+// AddPeer registers a sibling server reachable through tr at PortFor(id).
+// Peers start down: Bootstrap and Heal bring them up, and so does the
+// peer itself when it pulls from us.
+func (r *Replicated) AddPeer(id uint32, tr rpc.Transactor) {
+	r.peers = append(r.peers, &peer{id: id & MaxID, port: PortFor(id), tr: tr, down: true})
+}
+
+// StatsSnapshot returns plain-value counters plus peer liveness.
+func (r *Replicated) StatsSnapshot() StatsSnapshot {
+	s := StatsSnapshot{
+		Pushes:       r.Stat.Pushes.Load(),
+		PushFailures: r.Stat.PushFailures.Load(),
+		Applied:      r.Stat.Applied.Load(),
+		FastApplied:  r.Stat.FastApplied.Load(),
+		Resolved:     r.Stat.Resolved.Load(),
+		TieBreaks:    r.Stat.TieBreaks.Load(),
+		Resyncs:      r.Stat.Resyncs.Load(),
+	}
+	for _, p := range r.peers {
+		p.mu.Lock()
+		if p.down {
+			s.PeersDown++
+		} else {
+			s.PeersUp++
+		}
+		p.mu.Unlock()
+	}
+	return s
+}
+
+// --- Table implementation (origin side) ---
+
+// Get implements Table.
+func (r *Replicated) Get(object uint32) (file.Entry, error) { return r.local.Get(object) }
+
+// Objects implements Table.
+func (r *Replicated) Objects() []uint32 { return r.local.Objects() }
+
+// Len implements Table.
+func (r *Replicated) Len() int { return r.local.Len() }
+
+// Entries implements Table.
+func (r *Replicated) Entries() map[uint32]file.Entry { return r.local.Entries() }
+
+// Put implements Table: install locally, then push the entry (with its
+// capability secret) to every live peer. Local mutations happen under
+// r.mu so they cannot interleave with a remote apply's check-then-set.
+func (r *Replicated) Put(object uint32, e file.Entry) {
+	r.mu.Lock()
+	r.origin[object] = r.id
+	delete(r.dead, object)
+	r.local.Put(object, e)
+	r.mu.Unlock()
+	secret, _ := r.ident.Secret(object)
+	r.push(updateMsg(r.id, opCreate, object, block.NilNum, e.Entry,
+		encodeCreate(e.Entry, e.Super, r.id, secret)))
+}
+
+// Advance implements Table: the lazy entry-point chase, replicated as a
+// CAS with no expectation (peers chase storage on mismatch).
+func (r *Replicated) Advance(object uint32, committed block.Num) {
+	r.mu.Lock()
+	r.local.Advance(object, committed)
+	r.mu.Unlock()
+	r.push(updateMsg(r.id, opCAS, object, block.NilNum, committed, nil))
+}
+
+// CommitCAS implements Table: the per-commit table update of §5.4.1.
+func (r *Replicated) CommitCAS(object uint32, expect, next block.Num) block.Num {
+	r.mu.Lock()
+	got := r.local.CommitCAS(object, expect, next)
+	r.mu.Unlock()
+	r.push(updateMsg(r.id, opCAS, object, expect, next, nil))
+	return got
+}
+
+// MarkSuper implements Table.
+func (r *Replicated) MarkSuper(object uint32) {
+	r.mu.Lock()
+	r.local.MarkSuper(object)
+	r.mu.Unlock()
+	r.push(updateMsg(r.id, opSuper, object, block.NilNum, block.NilNum, nil))
+}
+
+// Remove implements Table. Deletion is tombstoned locally and pushed
+// best-effort; see the package doc for the known resurrect limit.
+func (r *Replicated) Remove(object uint32) {
+	r.mu.Lock()
+	r.dead[object] = true
+	delete(r.origin, object)
+	r.local.Remove(object)
+	r.ident.Forget(object)
+	r.mu.Unlock()
+	r.push(updateMsg(r.id, opDelete, object, block.NilNum, block.NilNum, nil))
+}
+
+// push sends one update to every live peer, in per-peer issue order. A
+// transport failure marks the peer down; it catches up by snapshot when
+// it heals (ours or its own).
+func (r *Replicated) push(req *rpc.Message) {
+	for _, p := range r.peers {
+		p.mu.Lock()
+		if p.down {
+			p.mu.Unlock()
+			continue
+		}
+		_, err := p.tr.Transact(p.port, req)
+		if err != nil {
+			p.down = true
+			r.Stat.PushFailures.Add(1)
+		} else {
+			r.Stat.Pushes.Add(1)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// --- apply side (remote updates) ---
+
+// resolveRoot picks the entry root two disagreeing observations converge
+// on: the storage head reached by chasing commit references. The local
+// root is chased first; when its block is gone (retired past the GC
+// horizon while this replica was down) the remote root — fresher by
+// construction — is chased instead, and adopted raw as a last resort.
+func (r *Replicated) resolveRoot(local, remote block.Num) block.Num {
+	if local == remote {
+		return local
+	}
+	if local != block.NilNum {
+		if h, err := occ.Current(r.st, local); err == nil {
+			return h
+		}
+	}
+	if remote != block.NilNum {
+		if h, err := occ.Current(r.st, remote); err == nil {
+			return h
+		}
+	}
+	return remote
+}
+
+// applyEntry installs or reconciles one replicated entry (a create
+// update or a snapshot row). Caller does not hold r.mu.
+func (r *Replicated) applyEntry(obj uint32, root block.Num, super bool, origin uint32, secret uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dead[obj] {
+		return // tombstoned locally: the delete wins
+	}
+	e, err := r.local.Get(obj)
+	if err != nil {
+		// Unknown here: adopt the entry and its secret wholesale. The
+		// chase absorbs commits whose CAS updates raced ahead of this
+		// create.
+		c := r.ident.Adopt(obj, secret)
+		r.local.Put(obj, file.Entry{Cap: c, Entry: r.resolveRoot(block.NilNum, root), Super: super})
+		r.origin[obj] = origin
+		r.Stat.Applied.Add(1)
+		return
+	}
+	curOrigin, known := r.origin[obj]
+	if !known {
+		curOrigin = r.id
+	}
+	changed := false
+	if sec, ok := r.ident.Secret(obj); !ok || sec != secret {
+		// Double mint (two servers raced the recovery scan): the secret
+		// minted by the lower server ID wins, on both sides. Equal
+		// origins happen too — a server that rebooted while partitioned
+		// re-mints its own band under the same ID — so the numerically
+		// smaller secret breaks that tie, again identically on both
+		// sides.
+		if origin < curOrigin || (origin == curOrigin && (!ok || secret < sec)) {
+			e.Cap = r.ident.Adopt(obj, secret)
+			r.origin[obj] = origin
+			r.Stat.TieBreaks.Add(1)
+			changed = true
+		}
+	} else if origin < curOrigin {
+		r.origin[obj] = origin
+	}
+	if super && !e.Super {
+		e.Super = true
+		changed = true
+	}
+	if root != e.Entry {
+		if head := r.resolveRoot(e.Entry, root); head != e.Entry {
+			e.Entry = head
+			r.Stat.Resolved.Add(1)
+			changed = true
+		}
+	}
+	if changed {
+		r.local.Put(obj, e)
+	}
+	r.Stat.Applied.Add(1)
+}
+
+// applyCAS applies a replicated commit: the CAS rule from the package
+// doc. Caller does not hold r.mu.
+func (r *Replicated) applyCAS(obj uint32, expect, next block.Num) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dead[obj] {
+		return
+	}
+	e, err := r.local.Get(obj)
+	if err != nil {
+		// Create not seen yet; when it arrives its chase finds next.
+		return
+	}
+	if e.Entry == next {
+		r.Stat.Applied.Add(1)
+		r.Stat.FastApplied.Add(1)
+		return
+	}
+	if expect == block.NilNum {
+		// An expect-less CAS is an explicit Advance — a lazy chase, or
+		// the garbage collector moving the entry point to the oldest
+		// RETAINED version, which is deliberately behind the head. It
+		// is adopted exactly (so the GC replica and its peers stay
+		// byte-equal), after checking next still names a live version
+		// page; chasing it forward here would undo the GC's move on
+		// every peer and leave the tables permanently divergent.
+		if _, err := occ.Current(r.st, next); err == nil {
+			r.local.Advance(obj, next)
+			r.Stat.Applied.Add(1)
+		}
+		return
+	}
+	if e.Entry == expect {
+		r.local.CommitCAS(obj, expect, next)
+		r.Stat.Applied.Add(1)
+		r.Stat.FastApplied.Add(1)
+		return
+	}
+	if head := r.resolveRoot(e.Entry, next); head != e.Entry {
+		r.local.Advance(obj, head)
+		r.Stat.Resolved.Add(1)
+	}
+	r.Stat.Applied.Add(1)
+}
+
+// applySuper applies a replicated super-file mark.
+func (r *Replicated) applySuper(obj uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dead[obj] {
+		return
+	}
+	r.local.MarkSuper(obj)
+	r.Stat.Applied.Add(1)
+}
+
+// applyDelete applies a replicated removal.
+func (r *Replicated) applyDelete(obj uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dead[obj] = true
+	delete(r.origin, obj)
+	r.local.Remove(obj)
+	r.ident.Forget(obj)
+	r.Stat.Applied.Add(1)
+}
+
+// --- identity agreement ---
+
+// identityLess orders candidate service identities: established state
+// (a table with files) always beats a fresh empty boot, then the lower
+// establishing server ID wins, then the lower port (the tiebreak for a
+// server re-established twice under the same ID).
+func identityLess(hasA bool, estA uint32, portA capability.Port, hasB bool, estB uint32, portB capability.Port) bool {
+	if hasA != hasB {
+		return hasA
+	}
+	if estA != estB {
+		return estA < estB
+	}
+	return portA < portB
+}
+
+// considerIdentity adopts the remote service identity when it wins the
+// deterministic order; both sides of any exchange apply the same rule,
+// so a mesh converges on one identity. Adoption re-mints every local
+// entry's owner capability under the new port (secrets are kept).
+func (r *Replicated) considerIdentity(rEst uint32, rPort capability.Port, rHasFiles bool) {
+	if rPort == capability.NilPort {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lPort := r.ident.Port()
+	if rPort == lPort {
+		if rEst < r.estID {
+			r.estID = rEst
+		}
+		return
+	}
+	lHas := r.local.Len() > 0
+	if !identityLess(rHasFiles, rEst, rPort, lHas, r.estID, lPort) {
+		return
+	}
+	r.ident.Reseat(rPort)
+	r.estID = rEst
+	for _, obj := range r.local.Objects() {
+		c, ok := r.ident.Owner(obj)
+		if !ok {
+			continue
+		}
+		e, err := r.local.Get(obj)
+		if err != nil {
+			continue
+		}
+		e.Cap = c
+		r.local.Put(obj, e)
+	}
+}
+
+// identity snapshots the local identity under r.mu.
+func (r *Replicated) identity() (estID uint32, port capability.Port, hasFiles bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.estID, r.ident.Port(), r.local.Len() > 0
+}
+
+// --- snapshot exchange ---
+
+// markPeerUp resumes pushing to peer id.
+func (r *Replicated) markPeerUp(id uint32) {
+	for _, p := range r.peers {
+		if p.id != id {
+			continue
+		}
+		p.mu.Lock()
+		p.down = false
+		p.mu.Unlock()
+		return
+	}
+}
+
+// snapshotRows collects up to maxPageRows rows (entries and tombstones)
+// with object numbers above after, in object order, under r.mu.
+func (r *Replicated) snapshotRows(after uint32) (rows []snapRow, more bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	objs := r.local.Objects()
+	all := make([]uint32, 0, len(objs)+len(r.dead))
+	for _, o := range objs {
+		if o > after {
+			all = append(all, o)
+		}
+	}
+	for o := range r.dead {
+		if o > after {
+			all = append(all, o)
+		}
+	}
+	sortU32(all)
+	for i, o := range all {
+		if i >= maxPageRows {
+			return rows, true
+		}
+		if r.dead[o] {
+			rows = append(rows, snapRow{obj: o, deleted: true})
+			continue
+		}
+		e, err := r.local.Get(o)
+		if err != nil {
+			continue
+		}
+		secret, _ := r.ident.Secret(o)
+		origin, ok := r.origin[o]
+		if !ok {
+			origin = r.id
+		}
+		rows = append(rows, snapRow{obj: o, root: e.Entry, super: e.Super, origin: origin, secret: secret})
+	}
+	return rows, false
+}
+
+// mergeRows applies one snapshot page.
+func (r *Replicated) mergeRows(rows []snapRow) {
+	for _, row := range rows {
+		if row.deleted {
+			r.applyDelete(row.obj)
+			continue
+		}
+		r.applyEntry(row.obj, row.root, row.super, row.origin, row.secret)
+	}
+}
+
+// pullFrom drains the peer's snapshot pages into the local table,
+// adopting its identity when it wins. It does not change the peer's
+// up/down state.
+func (r *Replicated) pullFrom(p *peer) error {
+	after := uint32(0)
+	for {
+		req := &rpc.Message{Command: cmdPull}
+		req.Args[0] = uint64(r.id)
+		req.Args[1] = uint64(after)
+		resp, err := p.tr.Transact(p.port, req)
+		if err != nil {
+			return err
+		}
+		if err := resp.Err(); err != nil {
+			return fmt.Errorf("ftab: pull from %d: %w", p.id, err)
+		}
+		rEst, rPort, more, hasFiles := decodePageArgs(resp)
+		r.considerIdentity(rEst, rPort, hasFiles)
+		rows, err := decodeRows(resp.Data)
+		if err != nil {
+			return fmt.Errorf("ftab: pull from %d: %w", p.id, err)
+		}
+		r.mergeRows(rows)
+		if !more || len(rows) == 0 {
+			return nil
+		}
+		after = rows[len(rows)-1].obj
+	}
+}
+
+// pushTo streams our snapshot pages to the peer (cmdPush).
+func (r *Replicated) pushTo(p *peer) error {
+	after := uint32(0)
+	for {
+		rows, more := r.snapshotRows(after)
+		est, port, has := r.identity()
+		req := &rpc.Message{Command: cmdPush, Data: encodeRows(rows)}
+		req.Args[0] = uint64(r.id)
+		encodePageArgs(req, est, port, more, has)
+		p.mu.Lock()
+		_, err := p.tr.Transact(p.port, req)
+		p.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if !more || len(rows) == 0 {
+			return nil
+		}
+		after = rows[len(rows)-1].obj
+	}
+}
+
+// Bootstrap pulls the table, secrets and service identity from every
+// answering peer; call it at process start, before or after the local
+// recovery scan (adoption is idempotent). It returns how many peers
+// answered; zero means this server establishes the service identity —
+// with the racing-establishment convergence described in the package
+// doc if a peer was in fact alive but unreachable.
+func (r *Replicated) Bootstrap() int {
+	n := 0
+	for _, p := range r.peers {
+		if err := r.pullFrom(p); err != nil {
+			continue
+		}
+		r.Stat.Resyncs.Add(1)
+		r.markPeerUp(p.id)
+		n++
+	}
+	return n
+}
+
+// Heal probes down peers and resyncs with those that answer: our pages
+// are pushed, theirs pulled, and pushing resumes. Run it periodically,
+// like the mirror heal loop.
+func (r *Replicated) Heal() (int, error) {
+	healed := 0
+	var first error
+	for _, p := range r.peers {
+		p.mu.Lock()
+		down := p.down
+		p.mu.Unlock()
+		if !down {
+			continue
+		}
+		hello := &rpc.Message{Command: cmdHello}
+		hello.Args[0] = uint64(r.id)
+		if _, err := p.tr.Transact(p.port, hello); err != nil {
+			continue // still down
+		}
+		// Mark up first so concurrent mutations push normally; the
+		// snapshot exchange below covers everything from before.
+		r.markPeerUp(p.id)
+		err := r.pushTo(p)
+		if err == nil {
+			err = r.pullFrom(p)
+		}
+		if err != nil {
+			p.mu.Lock()
+			p.down = true
+			p.mu.Unlock()
+			if first == nil {
+				first = fmt.Errorf("ftab: peer %d: %w", p.id, err)
+			}
+			continue
+		}
+		r.Stat.Resyncs.Add(1)
+		healed++
+	}
+	return healed, first
+}
+
+// PortAlive asks the live peers whether any of them serves the given
+// update-lock port: the cross-server half of the §5.3 "automatic
+// warning mechanism". The local registry answers for local ports; this
+// covers ports of updates owned by a sibling server.
+func (r *Replicated) PortAlive(port capability.Port) bool {
+	req := &rpc.Message{Command: cmdPortAlive}
+	req.Args[1] = uint64(port)
+	for _, p := range r.peers {
+		p.mu.Lock()
+		if p.down {
+			p.mu.Unlock()
+			continue
+		}
+		resp, err := p.tr.Transact(p.port, req)
+		if err != nil {
+			p.down = true
+			p.mu.Unlock()
+			continue
+		}
+		p.mu.Unlock()
+		if resp.Status == rpc.StatusOK && resp.Args[0] == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// PeerLive gathers EVERY peer's open version roots, for pinning in a
+// local garbage collection (a peer's uncommitted version must not have
+// its pages collected under it). It fails closed: peers marked down
+// are probed anyway, and any peer that does not answer makes ok false
+// — the caller must then skip the collection cycle, because an
+// unreachable-but-alive peer may hold open versions this process
+// cannot see, and sweeping without pinning them would free pages out
+// from under an in-flight update.
+func (r *Replicated) PeerLive() (roots []block.Num, ok bool) {
+	req := &rpc.Message{Command: cmdLive}
+	ok = true
+	for _, p := range r.peers {
+		p.mu.Lock()
+		resp, err := p.tr.Transact(p.port, req)
+		if err != nil {
+			p.down = true
+		}
+		p.mu.Unlock()
+		if err != nil || resp.Err() != nil {
+			ok = false
+			continue
+		}
+		ns, derr := decodeNums(resp.Data)
+		if derr != nil {
+			ok = false
+			continue
+		}
+		roots = append(roots, ns...)
+	}
+	return roots, ok
+}
+
+// DownPeers reports how many peers are currently marked down.
+func (r *Replicated) DownPeers() int {
+	n := 0
+	for _, p := range r.peers {
+		p.mu.Lock()
+		if p.down {
+			n++
+		}
+		p.mu.Unlock()
+	}
+	return n
+}
+
+var errUnknownOp = errors.New("ftab: unknown update op")
+
+var _ Table = (*Replicated)(nil)

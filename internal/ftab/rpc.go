@@ -1,0 +1,267 @@
+package ftab
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/rpc"
+)
+
+// The replication wire protocol. Every message carries the sender's
+// server ID in Args[0]; receiving a hello, pull or push proves the
+// sender is back in the mesh and resumes pushes to it (an update alone
+// does not — missed history must flow through a snapshot exchange
+// first, which those three commands are part of).
+const (
+	// cmdHello probes a peer (the heal loop's "are you back?").
+	cmdHello uint32 = 0xf7ab00 + iota
+	// cmdPull requests one snapshot page of entries with object numbers
+	// above Args[1]; the reply carries the page plus the sender's
+	// service identity.
+	cmdPull
+	// cmdPush delivers one snapshot page for merging (the healing
+	// side's catch-up stream).
+	cmdPush
+	// cmdUpdate delivers one incremental table update: Args[1]=op,
+	// Args[2]=object, Args[3]=expect<<32|next; create ops carry
+	// root/flags/origin/secret in Data.
+	cmdUpdate
+	// cmdPortAlive asks whether this process serves the update-lock
+	// port in Args[1] (cross-server §5.3 liveness probing).
+	cmdPortAlive
+	// cmdLive returns this process's open version roots (GC pinning).
+	cmdLive
+)
+
+// Update ops (cmdUpdate Args[1]).
+const (
+	opCreate uint64 = iota + 1
+	opCAS
+	opSuper
+	opDelete
+)
+
+// maxPageRows bounds one snapshot page: 21 bytes per row keeps the page
+// comfortably inside rpc.MaxData.
+const maxPageRows = 1200
+
+// snapRow is one snapshot row: an entry or a tombstone.
+type snapRow struct {
+	obj     uint32
+	root    block.Num
+	super   bool
+	deleted bool
+	origin  uint32
+	secret  uint64
+}
+
+// updateMsg builds one cmdUpdate message.
+func updateMsg(sender uint32, op uint64, obj uint32, expect, next block.Num, data []byte) *rpc.Message {
+	m := &rpc.Message{Command: cmdUpdate, Data: data}
+	m.Args[0] = uint64(sender)
+	m.Args[1] = op
+	m.Args[2] = uint64(obj)
+	m.Args[3] = uint64(expect)<<32 | uint64(next)
+	return m
+}
+
+// encodeCreate packs a create update's payload.
+func encodeCreate(root block.Num, super bool, origin uint32, secret uint64) []byte {
+	out := make([]byte, 0, 17)
+	out = appendU32(out, uint32(root))
+	if super {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = appendU32(out, origin)
+	out = appendU64(out, secret)
+	return out
+}
+
+// decodeCreate unpacks encodeCreate.
+func decodeCreate(data []byte) (root block.Num, super bool, origin uint32, secret uint64, err error) {
+	if len(data) != 17 {
+		return 0, false, 0, 0, fmt.Errorf("create payload of %d bytes: %w", len(data), rpc.ErrMalformed)
+	}
+	return block.Num(u32(data[0:])), data[4] != 0, u32(data[5:]), u64(data[9:]), nil
+}
+
+// encodePageArgs stamps a snapshot page's identity header: Args[1] the
+// establishing server ID, Args[2] the service port, Args[3] packs the
+// more flag (bit 0) and the sender-has-files flag (bit 1).
+func encodePageArgs(m *rpc.Message, est uint32, port capability.Port, more, hasFiles bool) {
+	m.Args[1] = uint64(est)
+	m.Args[2] = uint64(port)
+	var bits uint64
+	if more {
+		bits |= 1
+	}
+	if hasFiles {
+		bits |= 2
+	}
+	m.Args[3] = bits
+}
+
+// decodePageArgs unpacks encodePageArgs.
+func decodePageArgs(m *rpc.Message) (est uint32, port capability.Port, more, hasFiles bool) {
+	return uint32(m.Args[1]), capability.Port(m.Args[2]), m.Args[3]&1 != 0, m.Args[3]&2 != 0
+}
+
+// encodeRows packs snapshot rows: obj(4) root(4) flags(1) origin(4)
+// secret(8) each.
+func encodeRows(rows []snapRow) []byte {
+	out := make([]byte, 0, 21*len(rows))
+	for _, row := range rows {
+		out = appendU32(out, row.obj)
+		out = appendU32(out, uint32(row.root))
+		var f byte
+		if row.super {
+			f |= 1
+		}
+		if row.deleted {
+			f |= 2
+		}
+		out = append(out, f)
+		out = appendU32(out, row.origin)
+		out = appendU64(out, row.secret)
+	}
+	return out
+}
+
+// decodeRows unpacks encodeRows.
+func decodeRows(data []byte) ([]snapRow, error) {
+	if len(data)%21 != 0 {
+		return nil, fmt.Errorf("snapshot page of %d bytes: %w", len(data), rpc.ErrMalformed)
+	}
+	rows := make([]snapRow, 0, len(data)/21)
+	for len(data) > 0 {
+		rows = append(rows, snapRow{
+			obj:     u32(data[0:]),
+			root:    block.Num(u32(data[4:])),
+			super:   data[8]&1 != 0,
+			deleted: data[8]&2 != 0,
+			origin:  u32(data[9:]),
+			secret:  u64(data[13:]),
+		})
+		data = data[21:]
+	}
+	return rows, nil
+}
+
+// Handler serves this replica's well-known port (PortFor(ID)).
+func (r *Replicated) Handler() rpc.Handler {
+	return func(req *rpc.Message) *rpc.Message {
+		sender := uint32(req.Args[0])
+		switch req.Command {
+		case cmdHello:
+			r.markPeerUp(sender)
+			return req.Reply(rpc.StatusOK)
+
+		case cmdPull:
+			if uint32(req.Args[1]) == 0 {
+				// First page: resume pushing before the page is built,
+				// so no update can land between the snapshot and the
+				// push stream.
+				r.markPeerUp(sender)
+			}
+			rows, more := r.snapshotRows(uint32(req.Args[1]))
+			est, port, has := r.identity()
+			resp := req.Reply(rpc.StatusOK)
+			resp.Args[0] = uint64(r.id)
+			encodePageArgs(resp, est, port, more, has)
+			resp.Data = encodeRows(rows)
+			return resp
+
+		case cmdPush:
+			r.markPeerUp(sender)
+			est, port, _, hasFiles := decodePageArgs(req)
+			r.considerIdentity(est, port, hasFiles)
+			rows, err := decodeRows(req.Data)
+			if err != nil {
+				return req.Errorf(rpc.StatusBadArgument, "ftab: %v", err)
+			}
+			r.mergeRows(rows)
+			return req.Reply(rpc.StatusOK)
+
+		case cmdUpdate:
+			obj := uint32(req.Args[2])
+			expect := block.Num(req.Args[3] >> 32)
+			next := block.Num(req.Args[3] & 0xffffffff)
+			switch req.Args[1] {
+			case opCreate:
+				root, super, origin, secret, err := decodeCreate(req.Data)
+				if err != nil {
+					return req.Errorf(rpc.StatusBadArgument, "ftab: %v", err)
+				}
+				r.applyEntry(obj, root, super, origin, secret)
+			case opCAS:
+				r.applyCAS(obj, expect, next)
+			case opSuper:
+				r.applySuper(obj)
+			case opDelete:
+				r.applyDelete(obj)
+			default:
+				return req.Errorf(rpc.StatusBadCommand, "%v %d", errUnknownOp, req.Args[1])
+			}
+			return req.Reply(rpc.StatusOK)
+
+		case cmdPortAlive:
+			resp := req.Reply(rpc.StatusOK)
+			if r.portAlive != nil && r.portAlive(capability.Port(req.Args[1])) {
+				resp.Args[0] = 1
+			}
+			return resp
+
+		case cmdLive:
+			resp := req.Reply(rpc.StatusOK)
+			if r.live != nil {
+				for _, n := range r.live() {
+					resp.Data = appendU32(resp.Data, uint32(n))
+				}
+			}
+			return resp
+
+		default:
+			return req.Errorf(rpc.StatusBadCommand, "ftab: command %#x", req.Command)
+		}
+	}
+}
+
+// --- small codecs ---
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func u32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func u64(b []byte) uint64 {
+	return uint64(u32(b))<<32 | uint64(u32(b[4:]))
+}
+
+// decodeNums parses a packed block-number list.
+func decodeNums(data []byte) ([]block.Num, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("number list of %d bytes: %w", len(data), rpc.ErrMalformed)
+	}
+	out := make([]block.Num, 0, len(data)/4)
+	for len(data) > 0 {
+		out = append(out, block.Num(u32(data)))
+		data = data[4:]
+	}
+	return out, nil
+}
+
+func sortU32(v []uint32) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}

@@ -32,7 +32,7 @@ import (
 	"time"
 
 	"repro/internal/block"
-	"repro/internal/file"
+	"repro/internal/ftab"
 	"repro/internal/occ"
 	"repro/internal/page"
 	"repro/internal/version"
@@ -53,13 +53,19 @@ type Report struct {
 // Collector reclaims storage for one file service.
 type Collector struct {
 	St    *version.Store
-	Table *file.Table
+	Table ftab.Table
 	// Retain is how many committed versions (including the current one)
 	// each file keeps; minimum 1.
 	Retain int
 	// Live reports the root blocks of versions currently managed by
 	// servers (uncommitted updates); they and their pages are pinned.
 	Live func() []block.Num
+	// Gate, when set, is consulted at the start of every collection; a
+	// false return skips the cycle entirely. Multi-server deployments
+	// fail closed through it when a peer's open versions cannot be
+	// pinned (the peer is unreachable): sweeping without those pins
+	// could free pages under a sibling server's in-flight update.
+	Gate func() bool
 	// Reshare enables the §5.1 reshare optimisation.
 	Reshare bool
 
@@ -69,7 +75,7 @@ type Collector struct {
 
 // New creates a collector with resharing enabled and a retention of
 // keep committed versions per file.
-func New(st *version.Store, table *file.Table, keep int, live func() []block.Num) *Collector {
+func New(st *version.Store, table ftab.Table, keep int, live func() []block.Num) *Collector {
 	if keep < 1 {
 		keep = 1
 	}
@@ -87,6 +93,9 @@ func New(st *version.Store, table *file.Table, keep int, live func() []block.Num
 func (g *Collector) Collect() (Report, error) {
 	start := time.Now()
 	var rep Report
+	if g.Gate != nil && !g.Gate() {
+		return rep, nil
+	}
 
 	// Roots: retained committed versions per file, advancing the table
 	// entry to the oldest retained version.

@@ -1,0 +1,143 @@
+// Package metrics provides the minimal instrumentation primitives the
+// file service exposes in Prometheus text exposition format: a
+// lock-free fixed-bucket latency histogram and writers for counter,
+// gauge and histogram series. No client library — the exposition format
+// is a few lines of text, and depending on one would drag a tree of
+// transitive dependencies into a repo that otherwise has none.
+//
+// The commit path observes into a Histogram (occ.Stats.Latency); the
+// afs-server -debug-addr listener renders every layer's counters plus
+// the histograms on GET /metrics.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the finite bucket upper bounds, in seconds: spaced
+// for a commit path that costs tens of microseconds in-process and
+// single-digit milliseconds over TCP with fsyncs.
+var latencyBounds = [...]float64{
+	0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
+// nBuckets counts the finite buckets plus the +Inf overflow.
+const nBuckets = len(latencyBounds) + 1
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// Observe; the zero value is ready to use.
+type Histogram struct {
+	counts [nBuckets]atomic.Uint64
+	nanos  atomic.Uint64
+	count  atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBounds[:], s)
+	// SearchFloat64s finds the first bound >= s except when s sits
+	// exactly on a bound (bucket semantics are le, so equal belongs in
+	// that bucket; Search returns its index, which is correct) or s is
+	// beyond every bound (index == len, the +Inf bucket).
+	h.counts[i].Add(1)
+	h.nanos.Add(uint64(d.Nanoseconds()))
+	h.count.Add(1)
+}
+
+// BucketCount is one cumulative bucket of a snapshot.
+type BucketCount struct {
+	UpperBound float64 // math.Inf(1) for the overflow bucket
+	Count      uint64  // observations <= UpperBound
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Buckets    []BucketCount
+	Count      uint64
+	SumSeconds float64
+}
+
+// Snapshot copies the histogram. Buckets are cumulative, as the
+// exposition format requires.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:      h.count.Load(),
+		SumSeconds: float64(h.nanos.Load()) / 1e9,
+	}
+	cum := uint64(0)
+	for i := 0; i < nBuckets; i++ {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(latencyBounds) {
+			ub = latencyBounds[i]
+		}
+		s.Buckets = append(s.Buckets, BucketCount{UpperBound: ub, Count: cum})
+	}
+	return s
+}
+
+// WriteHelp writes the # HELP and # TYPE comment lines for a series.
+func WriteHelp(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteSample writes one sample line with optional labels (sorted by
+// key, so output is deterministic).
+func WriteSample(w io.Writer, name string, labels map[string]string, value float64) {
+	if len(labels) == 0 {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(value))
+		return
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "%s{", name)
+	for i, k := range keys {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		fmt.Fprintf(w, "%s=%q", k, labels[k])
+	}
+	fmt.Fprintf(w, "} %s\n", formatValue(value))
+}
+
+// Write renders the snapshot as the standard _bucket/_sum/_count
+// series under name, with extra labels merged into every sample.
+func (s HistogramSnapshot) Write(w io.Writer, name string, labels map[string]string) {
+	for _, b := range s.Buckets {
+		l := map[string]string{"le": formatBound(b.UpperBound)}
+		for k, v := range labels {
+			l[k] = v
+		}
+		WriteSample(w, name+"_bucket", l, float64(b.Count))
+	}
+	WriteSample(w, name+"_sum", labels, s.SumSeconds)
+	WriteSample(w, name+"_count", labels, float64(s.Count))
+}
+
+// formatBound renders a bucket bound ("+Inf" for the overflow bucket).
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return formatValue(v)
+}
+
+// formatValue renders a sample value the way the exposition format
+// expects.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Microsecond)  // below the first bound
+	h.Observe(50 * time.Microsecond)  // exactly on the first bound
+	h.Observe(300 * time.Microsecond) // between 0.25ms and 0.5ms
+	h.Observe(2 * time.Second)        // beyond every bound: +Inf
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count %d, want 4", s.Count)
+	}
+	if got := s.Buckets[0].Count; got != 2 {
+		t.Fatalf("le=0.00005 bucket %d, want 2 (exact bound counts as le)", got)
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) || last.Count != 4 {
+		t.Fatalf("+Inf bucket %+v, want cumulative 4", last)
+	}
+	// Cumulative monotonicity.
+	prev := uint64(0)
+	for _, b := range s.Buckets {
+		if b.Count < prev {
+			t.Fatalf("buckets not cumulative: %v", s.Buckets)
+		}
+		prev = b.Count
+	}
+	if s.SumSeconds < 2.0 || s.SumSeconds > 2.01 {
+		t.Fatalf("sum %v, want ~2.00036", s.SumSeconds)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	var sb strings.Builder
+	WriteHelp(&sb, "afs_commit_seconds", "histogram", "Commit path latency.")
+	h.Snapshot().Write(&sb, "afs_commit_seconds", nil)
+	WriteSample(&sb, "afs_block_reads_total", map[string]string{"shard": "0"}, 42)
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP afs_commit_seconds Commit path latency.",
+		"# TYPE afs_commit_seconds histogram",
+		`afs_commit_seconds_bucket{le="0.001"} 1`,
+		`afs_commit_seconds_bucket{le="+Inf"} 1`,
+		"afs_commit_seconds_count 1",
+		`afs_block_reads_total{shard="0"} 42`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

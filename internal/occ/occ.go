@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/block"
+	"repro/internal/metrics"
 	"repro/internal/page"
 	"repro/internal/version"
 )
@@ -75,6 +76,11 @@ type Stats struct {
 	// ChainRetries counts set-commit-reference attempts that lost the
 	// race to yet another committer and moved down the chain.
 	ChainRetries atomic.Uint64
+	// Latency is the commit-path latency histogram, observed by the
+	// file server around its whole Commit operation (validation, the
+	// critical section, sub-file commits, lock clearing and the
+	// replicated table CAS) and exposed on GET /metrics.
+	Latency metrics.Histogram
 }
 
 // Committer runs commits against one version store.

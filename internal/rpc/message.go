@@ -131,16 +131,31 @@ func (m *Message) Errorf(status Status, format string, args ...any) *Message {
 	return r
 }
 
-// Err converts a reply into a Go error: nil for StatusOK, otherwise an
-// error wrapping the status and any diagnostic in Data.
+// StatusError is the error a non-OK reply converts to: it carries the
+// wire status so callers can classify failures with errors.As instead of
+// re-parsing diagnostic text (the client's failover logic needs to tell
+// "unknown version" from "bad argument").
+type StatusError struct {
+	Status Status
+	// Detail is the diagnostic string from the reply's Data, if any.
+	Detail string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("%v: %s", e.Status, e.Detail)
+	}
+	return e.Status.String()
+}
+
+// Err converts a reply into a Go error: nil for StatusOK, otherwise a
+// *StatusError wrapping the status and any diagnostic in Data.
 func (m *Message) Err() error {
 	if m.Status == StatusOK {
 		return nil
 	}
-	if len(m.Data) > 0 {
-		return fmt.Errorf("%v: %s", m.Status, m.Data)
-	}
-	return fmt.Errorf("%v", m.Status)
+	return &StatusError{Status: m.Status, Detail: string(m.Data)}
 }
 
 // encodedLen computes the wire length of m.

@@ -216,15 +216,17 @@ type Store struct {
 
 	// mu guards the index, the pending table, the segment table, stats,
 	// and failure state.
-	mu     sync.Mutex
-	idx    *index
-	pend   map[block.Num]pendState
-	segs   map[uint64]*segment
-	active *segment
-	dirf   *os.File // for fsyncing directory entries
-	stats  Stats
-	failed error // sticky first append-path I/O error
-	closed bool
+	mu       sync.Mutex
+	idx      *index
+	pend     map[block.Num]pendState
+	segs     map[uint64]*segment
+	active   *segment
+	dirf     *os.File // for fsyncing directory entries
+	stats    Stats
+	epoch    uint64 // persisted block.EpochStore value (file "epoch")
+	epochBad bool   // epoch file present but unparsable: detection off
+	failed   error  // sticky first append-path I/O error
+	closed   bool
 
 	// seq is the next record sequence number; touched only by Open and
 	// the appender goroutine.
@@ -286,6 +288,11 @@ func Open(dir string, opt Options) (*Store, error) {
 		dirf.Close()
 		return nil, err
 	}
+	epoch, epochBad, err := loadEpoch(dir)
+	if err != nil {
+		dirf.Close()
+		return nil, err
+	}
 	s := &Store{
 		dir:        dir,
 		opt:        opt,
@@ -299,6 +306,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		sealed:     make(chan sealedBatch, 4),
 		syncerDone: make(chan struct{}),
 	}
+	s.epoch, s.epochBad = epoch, epochBad
 	if err := s.load(); err != nil {
 		s.closeFiles(false)
 		return nil, err
@@ -311,6 +319,84 @@ func Open(dir string, opt Options) (*Store, error) {
 		go s.compactLoop()
 	}
 	return s, nil
+}
+
+// epochName is the persisted epoch file (block.EpochStore): bumped by
+// the stable layer when this store's companion goes down, compared by a
+// fresh pair to spot boot-time divergence. One fsynced line.
+const epochName = "epoch"
+
+// loadEpoch reads the epoch file; a missing file is epoch zero. An
+// unparsable file must not brick an otherwise intact store, but it
+// must not report zero either — a survivor whose epoch file rotted
+// would then look OLDER than the stale half and be elected the
+// full-copy target, destroying the very writes the epoch protects. It
+// reports bad=true instead: Epoch() then errors, the pair skips
+// automatic divergence detection, and the operator's -stale override
+// is the fallback.
+func loadEpoch(dir string) (uint64, bool, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, epochName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	var e uint64
+	if _, err := fmt.Sscanf(string(raw), "epoch %d", &e); err != nil {
+		return 0, true, nil
+	}
+	return e, false, nil
+}
+
+// Epoch implements block.EpochStore.
+func (s *Store) Epoch() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.epochBad {
+		return 0, fmt.Errorf("segstore: %s file unparsable; divergence detection disabled (operator -stale override applies) until the next epoch write", epochName)
+	}
+	return s.epoch, nil
+}
+
+// SetEpoch implements block.EpochStore: the value is on disk before the
+// acknowledgement, like every other acknowledged mutation. The file is
+// replaced atomically (write-new, fsync, rename, fsync the directory),
+// so a crash at any point leaves either the old epoch or the new one —
+// never a torn file that would mask a divergence.
+func (s *Store) SetEpoch(e uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	tmp := filepath.Join(s.dir, epochName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "epoch %d\n", e); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, epochName)); err != nil {
+		return err
+	}
+	if err := s.dirf.Sync(); err != nil {
+		return err
+	}
+	s.epoch, s.epochBad = e, false
+	return nil
 }
 
 // metaName is the geometry pin file: one line of sizes written at store
@@ -1034,6 +1120,7 @@ func (s *Store) Recover(account block.Account) ([]block.Num, error) {
 
 var _ block.Store = (*Store)(nil)
 var _ block.MultiStore = (*Store)(nil)
+var _ block.EpochStore = (*Store)(nil)
 
 // --- block.MultiStore ---
 //

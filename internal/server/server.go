@@ -21,6 +21,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/capability"
 	"repro/internal/file"
+	"repro/internal/ftab"
 	"repro/internal/lock"
 	"repro/internal/occ"
 	"repro/internal/page"
@@ -83,17 +84,31 @@ func (r *MemRegistry) Alive(p capability.Port) bool {
 	return r.ports[p]
 }
 
+// objBandBits is how many of the 24 object-number bits carry the server
+// (replica) ID: object numbers minted by different servers of one
+// service can never collide, so object allocation needs no cross-server
+// coordination at all. 6 bits of ID (ftab.MaxID) leave 18 bits — 262143
+// objects — per server.
+const objBandBits = 6
+
+// objBandShift positions the ID band at the top of the 24-bit space.
+const objBandShift = 24 - objBandBits
+
 // Shared is the state common to all server processes of one file
-// service: the stand-in for the paper's replicated file table and shared
-// service identity.
+// service: the paper's replicated file table and shared service
+// identity.
 type Shared struct {
 	// Fact mints and checks capabilities; its port is the service's
-	// public identity, common to all servers.
+	// public identity, common to all servers. In a replicated service
+	// the per-object secrets travel with the file table (ftab), so a
+	// capability minted by any server verifies at every server.
 	Fact *capability.Factory
-	// Table is the (conceptually replicated) file table.
-	Table *file.Table
-	// Store is the block service underneath (a plain server or a
-	// stable pair).
+	// Table is the file table: a plain in-process *file.Table for a
+	// single-machine service, or an ftab.Replicated for a multi-server
+	// mesh (replace it before the service serves requests).
+	Table ftab.Table
+	// Store is the block service underneath (a plain server, a sharded
+	// facade or a stable pair).
 	Store block.Store
 	// Acct is the service's block account.
 	Acct block.Account
@@ -101,6 +116,7 @@ type Shared struct {
 	Ports PortRegistry
 
 	mu      sync.Mutex
+	id      uint32
 	nextObj uint32
 }
 
@@ -115,38 +131,95 @@ func NewShared(store block.Store, acct block.Account) *Shared {
 	}
 }
 
-// AdoptTable installs a rebuilt file table (file.Rebuild) into a fresh
-// service instance after a process restart. The old capability secrets
-// died with the crashed process, so each recovered file gets a fresh
-// owner capability minted under this service's factory; the object
-// counter advances past the recovered objects so new files cannot
-// collide. The returned map hands the new owner capabilities to whoever
-// drives the recovery (in Amoeba the secrets would live in the
-// replicated file table itself and capabilities would survive).
+// SetID assigns this service instance's replica ID (0..ftab.MaxID),
+// which bands its object numbers so sibling servers on other machines
+// can mint objects concurrently without coordination. Call it before
+// the service serves requests; the default ID is 0.
+func (sh *Shared) SetID(id uint32) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.id = id & ftab.MaxID
+}
+
+// ID returns the instance's replica ID.
+func (sh *Shared) ID() uint32 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.id
+}
+
+// AdoptTable installs a rebuilt file table (file.Rebuild) after a
+// process restart. Adoption is idempotent and guarded: an object the
+// live table already knows — because a sibling server replicated it to
+// us, or because an earlier adoption installed it — is left untouched,
+// so two servers racing the recovery scan over the same store converge
+// on one set of capabilities instead of double-minting. (Racing
+// adopters that were partitioned while both scanned still double-mint;
+// the replicated table resolves that deterministically — lower server
+// ID wins — when they meet.)
+//
+// A newly adopted file gets a fresh owner capability minted under this
+// service's factory (the old secrets died with the old process); the
+// object counter advances past the recovered objects of this server's
+// own band so new files cannot collide. The returned map hands the new
+// owner capabilities to whoever drives the recovery; files skipped
+// because they were already live are not in it.
 func (sh *Shared) AdoptTable(t *file.Table) map[uint32]capability.Capability {
 	out := make(map[uint32]capability.Capability)
 	for obj, e := range t.Entries() {
+		if _, err := sh.Table.Get(obj); err == nil {
+			continue // already live (replicated or previously adopted)
+		}
+		if _, ok := sh.Fact.Secret(obj); ok {
+			// Secret known but entry missing: a concurrent adopter got
+			// here between our check and theirs. Keep the registered
+			// secret; re-put the entry with its capability.
+			if c, ok := sh.Fact.Owner(obj); ok {
+				e.Cap = c
+				sh.Table.Put(obj, e)
+				continue
+			}
+		}
 		c := sh.Fact.Register(obj)
 		e.Cap = c
 		sh.Table.Put(obj, e)
 		out[obj] = c
-		sh.mu.Lock()
-		if obj > sh.nextObj {
-			sh.nextObj = obj
-		}
-		sh.mu.Unlock()
 	}
+	sh.syncObjects()
 	return out
 }
 
-// newObject reserves a fresh object number and mints its owner
-// capability.
-func (sh *Shared) newObject() (uint32, capability.Capability) {
+// syncObjects advances the object counter past every known object in
+// this server's own band — recovered by scan or adopted from a peer
+// snapshot — so newObject cannot re-issue a number.
+func (sh *Shared) syncObjects() {
 	sh.mu.Lock()
-	sh.nextObj++
-	obj := sh.nextObj
-	sh.mu.Unlock()
-	return obj, sh.Fact.Register(obj)
+	defer sh.mu.Unlock()
+	for _, obj := range sh.Table.Objects() {
+		if obj>>objBandShift != sh.id {
+			continue
+		}
+		if n := obj & (1<<objBandShift - 1); n > sh.nextObj {
+			sh.nextObj = n
+		}
+	}
+}
+
+// newObject reserves a fresh object number in this server's band and
+// mints its owner capability. Numbers whose secrets are already present
+// (adopted from a peer snapshot minted by this server's previous life)
+// are skipped.
+func (sh *Shared) newObject() (uint32, capability.Capability) {
+	for {
+		sh.mu.Lock()
+		sh.nextObj++
+		obj := sh.id<<objBandShift | sh.nextObj&(1<<objBandShift-1)
+		sh.mu.Unlock()
+		if _, taken := sh.Fact.Secret(obj); taken {
+			continue
+		}
+		return obj, sh.Fact.Register(obj)
+	}
 }
 
 // VersionState is the lifecycle of a version record.
@@ -655,6 +728,9 @@ func (s *Server) CreateSubFile(vcap capability.Capability, p page.Path, idx int,
 // must redo the update on a fresh version.
 func (s *Server) Commit(vcap capability.Capability) error {
 	return s.withVersion(vcap, capability.RightCommit, func(rec *verRec) error {
+		defer func(start time.Time) {
+			s.com.Stat.Latency.Observe(time.Since(start))
+		}(time.Now())
 		err := s.com.Commit(rec.tree)
 		if errors.Is(err, occ.ErrConflict) {
 			rec.state = StateAborted
@@ -676,7 +752,9 @@ func (s *Server) Commit(vcap capability.Capability) error {
 		rec.locks.Clear(rec.tree.Root, rec.locks.Port)
 		rec.state = StateCommitted
 		rec.closedAt = time.Now()
-		s.shared.Table.Advance(rec.fileObj, rec.tree.Root)
+		// The §5.4.1 table update: one CAS on the file's entry, pushed
+		// to every replica of the file table.
+		s.shared.Table.CommitCAS(rec.fileObj, rec.topBase, rec.tree.Root)
 		s.ports.Unregister(rec.locks.Port)
 		return nil
 	})

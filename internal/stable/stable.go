@@ -263,10 +263,14 @@ func (h *Half) note(account block.Account) {
 // (markDown) applies instead and keeps the wrapper's volatile state.
 func (h *Half) Crash() {
 	h.mu.Lock()
+	flipped := !h.down
 	h.down = true
 	h.intentions = nil
 	h.intentionsValid = false
 	h.mu.Unlock()
+	if flipped {
+		h.companion.bumpOwnEpoch()
+	}
 }
 
 // MarkStale takes the half down like Crash and additionally records
@@ -276,23 +280,84 @@ func (h *Half) Crash() {
 // full copy regardless of the companion's list.
 func (h *Half) MarkStale() {
 	h.mu.Lock()
+	flipped := !h.down
 	h.down = true
 	h.needsFullCopy = true
 	h.intentions = nil
 	h.intentionsValid = false
 	h.mu.Unlock()
+	if flipped {
+		h.companion.bumpOwnEpoch()
+	}
 }
 
 // markDown records a companion outage detected from a transport
 // failure: the backend is gone but this wrapper (and its intentions
-// list) lives on with the pair.
-func (h *Half) markDown() {
+// list) lives on with the pair. It reports whether this call flipped
+// the half down — the caller then bumps the survivor's epoch, once per
+// outage.
+func (h *Half) markDown() bool {
 	h.mu.Lock()
-	if !h.down {
+	flipped := !h.down
+	if flipped {
 		h.down = true
 		h.stats.AutoMarkdowns++
 	}
 	h.mu.Unlock()
+	return flipped
+}
+
+// bumpOwnEpoch advances this half's persisted epoch (block.EpochStore):
+// called on the surviving half at the moment its companion goes down,
+// so the two backends' epochs diverge exactly when their contents can
+// start to. A freshly constructed pair over the two backends — with no
+// memory of the outage — then spots the divergence by comparing epochs
+// (Pair.DetectStale). Best effort: a backend that does not track
+// epochs, or cannot persist right now, leaves boot-time divergence
+// detection to the operator (-stale).
+func (h *Half) bumpOwnEpoch() {
+	if h.Down() {
+		return
+	}
+	es, ok := h.st.(block.EpochStore)
+	if !ok {
+		return
+	}
+	e, err := es.Epoch()
+	if err != nil {
+		return
+	}
+	_ = es.SetEpoch(e + 1)
+}
+
+// alignEpochs levels both halves' epochs at their maximum after a
+// successful rejoin: the halves are identical again, so the next
+// divergence must start from equal numbers. Skipped (best effort) when
+// either backend is unreachable or does not track epochs — a
+// double-outage replay re-aligns when the other half rejoins.
+func (h *Half) alignEpochs(comp *Half) {
+	if comp.Down() {
+		return
+	}
+	hes, ok := h.st.(block.EpochStore)
+	if !ok {
+		return
+	}
+	ces, ok := comp.st.(block.EpochStore)
+	if !ok {
+		return
+	}
+	he, err := hes.Epoch()
+	if err != nil {
+		return
+	}
+	ce, err := ces.Epoch()
+	if err != nil {
+		return
+	}
+	e := max(he, ce)
+	_ = hes.SetEpoch(e)
+	_ = ces.SetEpoch(e)
 }
 
 // companionLost classifies a companion operation failure: a transport
@@ -303,7 +368,9 @@ func (h *Half) companionLost(comp *Half, err error) bool {
 	if !unreachable(err) {
 		return false
 	}
-	comp.markDown()
+	if comp.markDown() {
+		h.bumpOwnEpoch()
+	}
 	return true
 }
 
@@ -314,7 +381,9 @@ func (h *Half) companionLost(comp *Half, err error) bool {
 // respond". The error passes through either way.
 func (h *Half) selfCheck(err error) error {
 	if unreachable(err) {
-		h.markDown()
+		if h.markDown() {
+			h.companion.bumpOwnEpoch()
+		}
 	}
 	return err
 }
@@ -434,6 +503,7 @@ func (h *Half) Rejoin() error {
 			h.needsFullCopy = false
 			comp.intentionsValid = false
 			unlock()
+			h.alignEpochs(comp)
 			return nil
 		}
 		more := comp.intentions
@@ -540,7 +610,15 @@ func (h *Half) replay(comp *Half, intentions []intent) error {
 // for every tracked account, blocks the companion lacks are freed,
 // blocks it alone holds are claimed, and every companion block's
 // contents are copied over in batched reads and writes.
+//
+// With no accounts tracked yet a full copy would vacuously "succeed"
+// and mark a possibly stale half up without restoring anything, so it
+// refuses instead: the owner's recovery scan (or any traffic) through
+// the pair announces the accounts, and the next heal attempt proceeds.
 func (h *Half) fullCopy(comp *Half, accounts []block.Account) error {
+	if len(accounts) == 0 {
+		return fmt.Errorf("stable: half %s: no accounts seen since this pair started; run the recovery scan through the pair before a full-copy restore", h.name)
+	}
 	for _, acct := range accounts {
 		// The companion keeps serving while the copy runs, so the
 		// snapshot can go stale under concurrent frees (the GC loop):
@@ -1272,6 +1350,50 @@ func NewFailoverPairSeed(a, b block.PairStore, seed int64) *Pair {
 
 // Halves returns the two halves for fault injection.
 func (p *Pair) Halves() (*Half, *Half) { return p.a, p.b }
+
+// DetectStale compares the two halves' persisted epochs (the boot-time
+// divergence check): the §4 survivor bumped its epoch the moment its
+// companion went down, so after a service restart — when no process
+// remembers the outage — the half with the lower epoch is exactly the
+// half that missed writes. It is marked stale (down until the heal loop
+// restores it by full copy) and its name returned. An empty name means
+// the epochs agree, a half is already down (the degraded-mount path
+// handles it), or a backend does not track epochs — in which case the
+// operator's explicit -stale flag remains the fallback.
+func (p *Pair) DetectStale() (string, error) {
+	if p.a.Down() || p.b.Down() {
+		return "", nil
+	}
+	ea, okA := halfEpoch(p.a)
+	eb, okB := halfEpoch(p.b)
+	if !okA || !okB {
+		return "", nil
+	}
+	switch {
+	case ea == eb:
+		return "", nil
+	case ea < eb:
+		p.a.MarkStale()
+		return p.a.name, nil
+	default:
+		p.b.MarkStale()
+		return p.b.name, nil
+	}
+}
+
+// halfEpoch reads one half's persisted epoch, reporting false when the
+// backend does not track epochs or cannot be read.
+func halfEpoch(h *Half) (uint64, bool) {
+	es, ok := h.st.(block.EpochStore)
+	if !ok {
+		return 0, false
+	}
+	e, err := es.Epoch()
+	if err != nil {
+		return 0, false
+	}
+	return e, true
+}
 
 // Heal probes every down half and rejoins those whose backend answers
 // again, returning how many rejoined plus the first rejoin failure (a
