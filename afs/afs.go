@@ -31,6 +31,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/block"
 	"repro/internal/capability"
 	"repro/internal/client"
@@ -90,6 +91,16 @@ type Options struct {
 	// RetainVersions is how many committed versions of each file the
 	// garbage collector keeps (default 4).
 	RetainVersions int
+	// Archive enables the content-addressed archive tier on an
+	// in-memory backing store: committed versions the collector would
+	// delete are demoted into the archive instead — deduplicated,
+	// hash-verified on every read — and stay openable read-only with
+	// VersionAt.
+	Archive bool
+	// ArchiveDir, when set, backs the archive tier with a durable
+	// segment-log store in this directory (implies Archive): snapshots
+	// survive process restarts. Close the cluster when done.
+	ArchiveDir string
 	// NetworkLatency, DiskReadCost and DiskWriteCost inject service
 	// times for experiments.
 	NetworkLatency time.Duration
@@ -99,8 +110,9 @@ type Options struct {
 
 // Cluster is a running file service: servers, storage and collector.
 type Cluster struct {
-	inner *core.Cluster
-	store *segstore.Store // non-nil when backed by Options.Dir
+	inner   *core.Cluster
+	store   *segstore.Store // non-nil when backed by Options.Dir
+	archSeg *segstore.Store // non-nil when backed by Options.ArchiveDir
 }
 
 // Start brings up a file service.
@@ -111,19 +123,20 @@ func Start(o Options) (*Cluster, error) {
 		BlockSize:  o.BlockSize,
 		StablePair: o.StableStorage,
 		Retain:     o.RetainVersions,
+		Archive:    o.Archive,
 		NetLatency: o.NetworkLatency,
 		ReadCost:   o.DiskReadCost,
 		WriteCost:  o.DiskWriteCost,
 	}
+	mode := segstore.SyncGroup
+	if o.SyncMode != "" {
+		var err error
+		if mode, err = segstore.ParseSyncMode(o.SyncMode); err != nil {
+			return nil, err
+		}
+	}
 	var st *segstore.Store
 	if o.Dir != "" {
-		mode := segstore.SyncGroup
-		if o.SyncMode != "" {
-			var err error
-			if mode, err = segstore.ParseSyncMode(o.SyncMode); err != nil {
-				return nil, err
-			}
-		}
 		var err error
 		st, err = segstore.Open(o.Dir, segstore.Options{
 			BlockSize: o.BlockSize,
@@ -135,14 +148,39 @@ func Start(o Options) (*Cluster, error) {
 		}
 		cfg.Store = st
 	}
+	var archSeg *segstore.Store
+	if o.ArchiveDir != "" {
+		bsize := o.BlockSize
+		if bsize <= 0 {
+			bsize = 4096
+		}
+		var err error
+		archSeg, err = segstore.Open(o.ArchiveDir, segstore.Options{
+			// Framed: each archive block carries a kind, length and
+			// SHA-256 score around a front-tier-sized payload.
+			BlockSize: bsize + archive.FrameOverhead,
+			Capacity:  o.DiskBlocks,
+			Sync:      mode,
+		})
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return nil, err
+		}
+		cfg.ArchiveStore = archSeg
+	}
 	c, err := core.NewCluster(cfg)
 	if err != nil {
 		if st != nil {
 			st.Close()
 		}
+		if archSeg != nil {
+			archSeg.Close()
+		}
 		return nil, err
 	}
-	return &Cluster{inner: c, store: st}, nil
+	return &Cluster{inner: c, store: st, archSeg: archSeg}, nil
 }
 
 // RecoverFiles rebuilds the file table from the block store — the §4
@@ -168,10 +206,16 @@ func (c *Cluster) RecoverFiles() ([]Capability, error) {
 // writes are already on disk — which is what the crash-recovery
 // example demonstrates.
 func (c *Cluster) Close() error {
+	var first error
 	if c.store != nil {
-		return c.store.Close()
+		first = c.store.Close()
 	}
-	return nil
+	if c.archSeg != nil {
+		if err := c.archSeg.Close(); first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Abandon simulates a process crash for tests and demos that restart a
@@ -182,6 +226,9 @@ func (c *Cluster) Close() error {
 func (c *Cluster) Abandon() {
 	if c.store != nil {
 		c.store.Abandon()
+	}
+	if c.archSeg != nil {
+		c.archSeg.Abandon()
 	}
 }
 
@@ -276,6 +323,56 @@ func (c *Client) History(f Capability) ([]VersionID, error) {
 // ReadAt reads a page from a committed (possibly historical) version.
 func (c *Client) ReadAt(f Capability, id VersionID, p Path) ([]byte, int, error) {
 	return c.inner.ReadCommitted(f, block.Num(id), p)
+}
+
+// Snapshots lists the file's archived snapshot sequence numbers, oldest
+// first: the commits the collector demoted into the archive tier.
+// Unlike History, the list survives garbage collection and restarts
+// (with a durable ArchiveDir). Requires an archive-enabled cluster.
+func (c *Client) Snapshots(f Capability) ([]uint64, error) {
+	snaps, err := c.inner.Snapshots(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(snaps))
+	for i, e := range snaps {
+		out[i] = e.Seq
+	}
+	return out, nil
+}
+
+// VersionAt opens the file as of archived snapshot seq: a read-only
+// view served from the content-addressed archive tier, every block
+// re-hashed against its stored score as it is read. The returned
+// Snapshot stays readable however far the front tier moves on.
+func (c *Client) VersionAt(f Capability, seq uint64) (*Snapshot, error) {
+	// Probe the root so an unknown sequence (or a missing archive
+	// tier) fails here rather than on first read.
+	if _, _, err := c.inner.ReadSnapshot(f, seq, Root); err != nil {
+		return nil, err
+	}
+	return &Snapshot{c: c.inner, f: f, seq: seq}, nil
+}
+
+// Snapshot is a read-only view of one archived commit of a file.
+type Snapshot struct {
+	c   *client.Client
+	f   Capability
+	seq uint64
+}
+
+// Seq returns the snapshot's sequence number.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Read reads the page at path as of this snapshot.
+func (s *Snapshot) Read(p Path) (data []byte, children int, err error) {
+	return s.c.ReadSnapshot(s.f, s.seq, p)
+}
+
+// ReadFile reads the snapshot's whole root page.
+func (s *Snapshot) ReadFile() ([]byte, error) {
+	data, _, err := s.c.ReadSnapshot(s.f, s.seq, Root)
+	return data, err
 }
 
 // ReadFile is a convenience that reads the whole root page of the

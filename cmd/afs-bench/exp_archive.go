@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/version"
+)
+
+// runE15 prices the content-addressed archive tier (internal/archive):
+//
+//	(a) dedup ratio: successive committed versions share most of their
+//	    pages, so demoting a whole version chain stores far fewer
+//	    blocks than it presents — logical vs stored bytes;
+//	(b) demote throughput: the canonical tree rewrite plus the
+//	    content-addressed puts, in pages and megabytes per second;
+//	(c) snapshot-read latency: a page read through an archived
+//	    snapshot (frame parse + score verification on every block)
+//	    vs the same read against the mutable front tier, plus the
+//	    full-tree Merkle verification of one snapshot.
+func runE15() error {
+	const blockSize = 1024
+	groups, leaves := 16, 16 // two-level tree: 256 data pages per version
+	versions := 12
+	delta := 8 // leaves rewritten from one version to the next
+	reads := 4000
+	frontBlocks := 1 << 14
+	if *quick {
+		groups, leaves, versions, delta, reads = 4, 4, 3, 2, 50
+		frontBlocks = 1 << 10
+	}
+	npages := groups * leaves
+
+	front := version.NewStore(block.NewServer(disk.MustNew(disk.Geometry{
+		Blocks: frontBlocks, BlockSize: blockSize,
+	})), 1)
+	arch, err := archive.New(block.NewServer(disk.MustNew(disk.Geometry{
+		Blocks: frontBlocks, BlockSize: blockSize + archive.FrameOverhead,
+	})), 1)
+	if err != nil {
+		return err
+	}
+	a := &archive.Archiver{Front: front, Store: arch, Acct: 1}
+
+	// Version v rewrites delta leaves (round-robin over the file); every
+	// other leaf keeps the payload of the version that last touched it,
+	// which is what makes the chain dedup.
+	rev := make([]int, npages)
+	leafData := func(j int) []byte {
+		d := make([]byte, 200)
+		copy(d, fmt.Sprintf("leaf %d rev %d ", j, rev[j]))
+		for i := range d {
+			d[i] += byte(j)
+		}
+		return d
+	}
+	f := capability.NewFactory(capability.NewPort().Public())
+	build := func(v int) (*version.Tree, error) {
+		for k := 0; k < delta; k++ {
+			rev[(v*delta+k)%npages] = v + 1
+		}
+		tr, err := version.CreateFile(front, f.Register(uint32(2*v+1)), f.Register(uint32(2*v+2)), []byte("e15"))
+		if err != nil {
+			return nil, err
+		}
+		for g := 0; g < groups; g++ {
+			if err := tr.InsertPage(page.RootPath, g, nil); err != nil {
+				return nil, err
+			}
+			for l := 0; l < leaves; l++ {
+				if err := tr.InsertPage(page.Path{g}, l, leafData(g*leaves+l)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return tr, nil
+	}
+
+	var trees []*version.Tree
+	var entries []archive.Entry
+	var demoteTime time.Duration
+	for v := 0; v < versions; v++ {
+		tr, err := build(v)
+		if err != nil {
+			return err
+		}
+		trees = append(trees, tr)
+		t0 := time.Now()
+		e, wrote, err := a.Demote(1, tr.Root)
+		demoteTime += time.Since(t0)
+		if err != nil {
+			return err
+		}
+		if !wrote {
+			return fmt.Errorf("version %d: demote wrote nothing", v)
+		}
+		entries = append(entries, e)
+	}
+
+	st := arch.Stats()
+	as := a.Stats()
+	logicalMB := float64(st.BytesLogical) / (1 << 20)
+	storedMB := float64(st.BytesStored) / (1 << 20)
+	dedup := float64(st.BytesLogical) / float64(st.BytesStored)
+	fmt.Printf("(a) Dedup across %d versions of a %d-page file (%d leaves rewritten per version):\n", versions, npages, delta)
+	header("versions", "pages put", "logical MB", "stored MB", "dedup x")
+	row(versions, int(as.Pages), logicalMB, storedMB, dedup)
+	record("e15", "dedup_ratio", dedup)
+
+	pagesPerSec := float64(as.Pages) / demoteTime.Seconds()
+	mbPerSec := float64(as.Pages) * blockSize / (1 << 20) / demoteTime.Seconds()
+	fmt.Println("\n(b) Demote throughput (canonical rewrite + content-addressed puts):")
+	header("pages/s", "MB/s", "µs/page")
+	row(pagesPerSec, mbPerSec, demoteTime.Seconds()*1e6/float64(as.Pages))
+	record("e15", "demote_pages_per_sec", pagesPerSec)
+	record("e15", "demote_mb_per_sec", mbPerSec)
+
+	// Same logical page, read through each tier. PeekPage on both sides:
+	// snapshot trees refuse the access-flag writeback a plain ReadPage
+	// performs, and the comparison should not charge the front tier for
+	// it either.
+	last := trees[len(trees)-1]
+	snap := &version.Tree{St: version.NewStore(arch, 1), Root: entries[len(entries)-1].Root}
+	pathOf := func(i int) page.Path {
+		j := (i * 2654435761) % npages
+		return page.Path{j / leaves, j % leaves}
+	}
+	t0 := time.Now()
+	for i := 0; i < reads; i++ {
+		if _, err := last.PeekPage(pathOf(i)); err != nil {
+			return err
+		}
+	}
+	frontUS := time.Since(t0).Seconds() * 1e6 / float64(reads)
+	t0 = time.Now()
+	for i := 0; i < reads; i++ {
+		if _, err := snap.PeekPage(pathOf(i)); err != nil {
+			return err
+		}
+	}
+	snapUS := time.Since(t0).Seconds() * 1e6 / float64(reads)
+	t0 = time.Now()
+	if err := archive.VerifySnapshot(arch, 1, entries[len(entries)-1]); err != nil {
+		return err
+	}
+	verifyMS := time.Since(t0).Seconds() * 1e3
+
+	fmt.Println("\n(c) Page-read latency by tier, and full-tree Merkle verification:")
+	header("tier", "read µs")
+	row("front", frontUS)
+	row("snapshot", snapUS)
+	fmt.Printf("\nVerifySnapshot over %d pages: %.2f ms\n", npages+groups+1, verifyMS)
+	record("e15", "front_read_us", frontUS)
+	record("e15", "snapshot_read_us", snapUS)
+	record("e15", "verify_ms", verifyMS)
+	return nil
+}

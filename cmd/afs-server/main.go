@@ -23,6 +23,14 @@
 // behind the sharded facade exactly like -blocks mounts do: mirrored
 // shards, the RAID-10 topology.
 //
+// With -archive DIR (or -archive PORT@ADDR for a remote block service)
+// the server gains a content-addressed archive tier: the garbage
+// collector demotes committed versions falling past the -retain horizon
+// into it — deduplicated, framed with per-block SHA-256 scores, and
+// logged as snapshots — instead of deleting them. Archived versions
+// stay readable through the snapshot commands (afs snapshots / openat)
+// after any number of restarts.
+//
 // With a durable or remote store the server recovers on startup: it
 // scans its account's blocks (§4; with shards, one concurrent scan per
 // block server), rebuilds the file table from the version pages found,
@@ -54,6 +62,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/block"
 	"repro/internal/capability"
 	"repro/internal/disk"
@@ -85,6 +94,7 @@ func main() {
 		heal      = flag.Duration("heal", 2*time.Second, "probe interval for rejoining down mirror halves (0 disables)")
 		stale     = flag.String("stale", "", "mirror halves known to have missed writes, as PAIR:a|b[,PAIR:a|b...] (e.g. 0:b): mounted down and restored by full copy (usually unnecessary: epochs detect this)")
 		debugAddr = flag.String("debug-addr", "", "HTTP address serving expvar counters on /debug/vars and Prometheus text on /metrics (empty disables)")
+		archSpec  = flag.String("archive", "", "archive tier backing: a directory (durable segstore, sized by -nblocks) or PORT@ADDR (remote block service); the collector demotes retired versions here instead of deleting them")
 		gcEvery   = flag.Duration("gc", 5*time.Second, "garbage collection interval (0 disables; run the collector on ONE server of a -peers mesh)")
 		gcRetain  = flag.Int("retain", 4, "committed versions retained per file")
 		serverID  = flag.Uint("id", 0, "replica ID of this process, 0..63: bands its object numbers and names its file-table replication port (must be unique across a -peers mesh)")
@@ -205,8 +215,37 @@ func main() {
 		log.Fatalf("unknown -store %q (want mem or seg)", *backend)
 	}
 
+	var arch *archive.Store
+	var archiver *archive.Archiver
+	var closeArchive func()
+	if *archSpec != "" {
+		backing, closer, err := openArchiveBacking(*archSpec, store.BlockSize(), *nblocks, *sync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		closeArchive = closer
+		arch, err = archive.New(backing, 1)
+		if err != nil {
+			log.Fatalf("archive %s: %v", *archSpec, err)
+		}
+		u, _ := arch.Usage()
+		log.Printf("archive %s: %d/%d blocks, %d snapshots", *archSpec, u.InUse, u.Capacity, arch.Stats().Snapshots)
+	}
+
 	sh := server.NewShared(store, 1)
 	sh.SetID(uint32(*serverID))
+	if arch != nil {
+		// The servers answer the snapshot commands from the archive, and
+		// the collector's demote hook (below) rewrites retired versions
+		// into it.
+		sh.Archive = arch
+		archiver = &archive.Archiver{
+			Front: version.NewStore(store, sh.Acct),
+			Store: arch,
+			Acct:  sh.Acct,
+			Ratio: new(metrics.Histogram),
+		}
+	}
 
 	tcp, err := rpc.NewTCPServer(*listen)
 	if err != nil {
@@ -272,14 +311,14 @@ func main() {
 	log.Printf("file service up: %d servers at %s", *servers, tcp.Addr())
 
 	if *debugAddr != "" {
-		publishDebugVars(store, sharded, pairs, segStore, srvs, sh, rep)
+		publishDebugVars(store, sharded, pairs, segStore, srvs, sh, rep, arch, archiver)
 		// expvar self-registers on the default mux (GET /debug/vars);
 		// /metrics renders the same counters (plus the commit latency
 		// histogram) in Prometheus text exposition format, and /ftab
 		// dumps the replicated file table for convergence checks.
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			writeProm(w, store, sharded, pairs, segStore, srvs, sh, rep)
+			writeProm(w, store, sharded, pairs, segStore, srvs, sh, rep, arch, archiver)
 		})
 		http.HandleFunc("/ftab", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain")
@@ -344,6 +383,12 @@ func main() {
 			}
 			return out
 		})
+		if archiver != nil {
+			col.Demote = func(object uint32, root block.Num) error {
+				_, _, err := archiver.Demote(object, root)
+				return err
+			}
+		}
 		if rep != nil {
 			col.Gate = func() bool {
 				pins, ok := rep.PeerLive()
@@ -365,6 +410,15 @@ func main() {
 	tcp.Close()
 	if closeStore != nil {
 		closeStore()
+	}
+	if arch != nil {
+		st := arch.Stats()
+		as := archiver.Stats()
+		log.Printf("archive: %d puts (%d stored, %d dedup), %d reads (%d corrupt), %d snapshots; %d versions demoted (%d skipped)",
+			st.Puts, st.Stored, st.DedupHits, st.Reads, st.CorruptReads, st.Snapshots, as.Demotes, as.Skipped)
+	}
+	if closeArchive != nil {
+		closeArchive()
 	}
 	if sharded != nil {
 		for _, st := range sharded.ShardStats() {
@@ -613,10 +667,61 @@ func mirrorClient(m string) (*rpc.TCPClient, error) {
 	return cli, nil
 }
 
+// openArchiveBacking mounts the archive tier's backing store: a
+// directory opens a durable segstore, PORT@ADDR mounts a remote block
+// service (from afs-block). Either way the backing blocks must be large
+// enough to frame a front-tier block — payload plus the magic, kind,
+// length and score fields — so every framed page fits in one block.
+func openArchiveBacking(spec string, frontSize, capacity int, syncMode string) (block.Store, func(), error) {
+	need := frontSize + archive.FrameOverhead
+	if strings.ContainsRune(spec, '@') {
+		port, addr, err := splitMount(spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("archive %w", err)
+		}
+		res := rpc.NewResolver()
+		res.Set(port, addr)
+		remote, err := block.Dial(rpc.NewTCPClient(res), port)
+		if err != nil {
+			return nil, nil, fmt.Errorf("archive mount %s: %w", spec, err)
+		}
+		if remote.BlockSize() < need {
+			return nil, nil, fmt.Errorf("archive mount %s: blocks are %d bytes; framing %d-byte front blocks needs at least %d",
+				spec, remote.BlockSize(), frontSize, need)
+		}
+		return remote, nil, nil
+	}
+	mode, err := segstore.ParseSyncMode(syncMode)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Write-once tier: nothing is ever freed, so the compactor would
+	// never find a reclaimable segment — leave it off.
+	st, err := segstore.Open(spec, segstore.Options{
+		BlockSize: need,
+		Capacity:  capacity,
+		Sync:      mode,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("archive %s: %w", spec, err)
+	}
+	if st.BlockSize() < need {
+		st.Close()
+		return nil, nil, fmt.Errorf("archive %s: existing store has %d-byte blocks; framing %d-byte front blocks needs at least %d",
+			spec, st.BlockSize(), frontSize, need)
+	}
+	closer := func() {
+		if err := st.Close(); err != nil {
+			log.Printf("close archive: %v", err)
+		}
+	}
+	return st, closer, nil
+}
+
 // publishDebugVars exposes every layer's counters through expvar: the
 // slim first cut of uniform observability. Each variable is computed on
 // read, so GET /debug/vars always reflects live state.
-func publishDebugVars(store block.Store, sharded *shard.Store, pairs []*stable.Pair, seg *segstore.Store, srvs []*server.Server, sh *server.Shared, rep *ftab.Replicated) {
+func publishDebugVars(store block.Store, sharded *shard.Store, pairs []*stable.Pair, seg *segstore.Store, srvs []*server.Server, sh *server.Shared, rep *ftab.Replicated, arch *archive.Store, archiver *archive.Archiver) {
 	if rep != nil {
 		expvar.Publish("afs.ftab", expvar.Func(func() any { return rep.StatsSnapshot() }))
 	}
@@ -659,6 +764,14 @@ func publishDebugVars(store block.Store, sharded *shard.Store, pairs []*stable.P
 	}
 	if seg != nil {
 		expvar.Publish("afs.segstore", expvar.Func(func() any { return seg.Stats() }))
+	}
+	if arch != nil {
+		expvar.Publish("afs.archive", expvar.Func(func() any {
+			return struct {
+				Store    archive.Stats
+				Archiver archive.ArchiverStats
+			}{arch.Stats(), archiver.Stats()}
+		}))
 	}
 	if len(pairs) > 0 {
 		expvar.Publish("afs.mirror", expvar.Func(func() any {
@@ -724,7 +837,7 @@ func splitMount(s string) (capability.Port, string, error) {
 // exposition format (GET /metrics): the same live sources as the expvar
 // endpoint, plus the commit-path latency histogram aggregated across
 // this process's file servers.
-func writeProm(w io.Writer, store block.Store, sharded *shard.Store, pairs []*stable.Pair, seg *segstore.Store, srvs []*server.Server, sh *server.Shared, rep *ftab.Replicated) {
+func writeProm(w io.Writer, store block.Store, sharded *shard.Store, pairs []*stable.Pair, seg *segstore.Store, srvs []*server.Server, sh *server.Shared, rep *ftab.Replicated, arch *archive.Store, archiver *archive.Archiver) {
 	metrics.WriteHelp(w, "afs_files", "gauge", "Files in the table.")
 	metrics.WriteSample(w, "afs_files", nil, float64(sh.Table.Len()))
 
@@ -797,6 +910,36 @@ func writeProm(w io.Writer, store block.Store, sharded *shard.Store, pairs []*st
 				}
 			}
 		}
+	}
+
+	if arch != nil {
+		st := arch.Stats()
+		metrics.WriteHelp(w, "afs_archive_ops_total", "counter", "Archive-tier content-addressed store events by kind.")
+		for kind, v := range map[string]uint64{
+			"put": st.Puts, "stored": st.Stored, "dedup_hit": st.DedupHits,
+			"read": st.Reads, "corrupt_read": st.CorruptReads,
+		} {
+			metrics.WriteSample(w, "afs_archive_ops_total", map[string]string{"op": kind}, float64(v))
+		}
+		metrics.WriteHelp(w, "afs_archive_bytes", "gauge", "Archive payload bytes; dedup saves logical minus stored.")
+		metrics.WriteSample(w, "afs_archive_bytes", map[string]string{"form": "logical"}, float64(st.BytesLogical))
+		metrics.WriteSample(w, "afs_archive_bytes", map[string]string{"form": "stored"}, float64(st.BytesStored))
+		metrics.WriteHelp(w, "afs_archive_snapshots", "gauge", "Snapshot-log records held.")
+		metrics.WriteSample(w, "afs_archive_snapshots", nil, float64(st.Snapshots))
+		metrics.WriteHelp(w, "afs_archive_blocks", "gauge", "Archive blocks by kind.")
+		for kind, v := range st.BlocksByKind {
+			metrics.WriteSample(w, "afs_archive_blocks", map[string]string{"kind": kind}, float64(v))
+		}
+		as := archiver.Stats()
+		metrics.WriteHelp(w, "afs_archive_demote_total", "counter", "Archiver demotion events by kind.")
+		for kind, v := range map[string]uint64{
+			"demoted": as.Demotes, "skipped": as.Skipped,
+			"pages": as.Pages, "page_dedup": as.Deduped,
+		} {
+			metrics.WriteSample(w, "afs_archive_demote_total", map[string]string{"event": kind}, float64(v))
+		}
+		metrics.WriteHelp(w, "afs_archive_dedup_ratio", "histogram", "Per-demote fraction of pages answered by existing archive blocks.")
+		archiver.Ratio.Snapshot().Write(w, "afs_archive_dedup_ratio", nil)
 	}
 
 	// OCC counters plus the commit-path latency histogram, aggregated

@@ -1,0 +1,204 @@
+package archive_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/block"
+	"repro/internal/blocktest"
+	"repro/internal/disk"
+)
+
+// newPair builds an in-memory reference server and an archive store of
+// the same capacity and facade block size, so the contract harness can
+// drive both in lockstep over the write-once operation subset.
+func newPair(t *testing.T, capacity, blockSize int) (*block.Server, *archive.Store) {
+	t.Helper()
+	ref := block.NewServer(disk.MustNew(disk.Geometry{Blocks: capacity + 1, BlockSize: blockSize}))
+	backing := block.NewServer(disk.MustNew(disk.Geometry{Blocks: capacity + 1, BlockSize: blockSize + archive.FrameOverhead}))
+	dut, err := archive.New(backing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, dut
+}
+
+func wantErr(sentinel error) func(*testing.T, error) {
+	return func(t *testing.T, err error) {
+		t.Helper()
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want %v", err, sentinel)
+		}
+	}
+}
+
+// TestArchiveContractTable runs the write-once subset of the contract
+// script against the in-memory reference: everything the file-service
+// layers can observe short of mutation must be indistinguishable.
+func TestArchiveContractTable(t *testing.T) {
+	ref, dut := newPair(t, 64, 128)
+	blocktest.RunScript(t, ref, dut, []blocktest.Op{
+		{Op: "alloc", Acct: 1, Data: "alpha"},
+		{Op: "alloc", Acct: 1, Data: "beta"},
+		{Op: "alloc", Acct: 1, Data: "gamma"},
+		{Op: "read", Acct: 1, N: 0},
+		{Op: "read", Acct: 2, N: 0, Check: wantErr(block.ErrNotOwner)},
+		{Op: "read", Acct: 1, N: -1, Check: wantErr(block.ErrNotAllocated)},
+		{Op: "rewrite", Acct: 1, N: 0},
+		{Op: "rewrite", Acct: 1, N: 9, Check: wantErr(block.ErrNotAllocated)},
+		{Op: "read", Acct: 1, N: 0},
+		{Op: "lock", Acct: 1, N: 1},
+		{Op: "lock", Acct: 1, N: 1, Check: wantErr(block.ErrLocked)},
+		{Op: "lock", Acct: 2, N: 1, Check: wantErr(block.ErrNotOwner)},
+		{Op: "unlock", Acct: 1, N: 1},
+		{Op: "unlock", Acct: 1, N: 1, Check: wantErr(block.ErrNotLocked)},
+		{Op: "readmulti", Acct: 1, N: 0},
+		{Op: "allocmulti", Acct: 1, Data: "am"},
+		{Op: "recover", Acct: 1},
+		{Op: "recover", Acct: 2},
+	})
+}
+
+// TestArchiveContractExhaustion checks ErrNoSpace classifies the same
+// through the facade (unique payloads — duplicate content would dedup
+// on the archive and diverge from the reference by design).
+func TestArchiveContractExhaustion(t *testing.T) {
+	ref, dut := newPair(t, 6, 64)
+	var ops []blocktest.Op
+	for i := 0; i < 6; i++ {
+		ops = append(ops, blocktest.Op{Op: "alloc", Acct: 1, Data: fmt.Sprint(i)})
+	}
+	ops = append(ops,
+		blocktest.Op{Op: "alloc", Acct: 1, Data: "over", Check: wantErr(block.ErrNoSpace)},
+		blocktest.Op{Op: "recover", Acct: 1},
+	)
+	blocktest.RunScript(t, ref, dut, ops)
+}
+
+// TestArchiveWriteOnce drives the write-once suite: dedup on identical
+// Alloc, idempotent rewrite, and refusal of every destructive op.
+func TestArchiveWriteOnce(t *testing.T) {
+	_, dut := newPair(t, 16, 64)
+	blocktest.WriteOnceSuite(t, "archive", dut, archive.ErrImmutable)
+}
+
+// FuzzArchiveContract feeds random write-once scripts to the reference
+// store and the archive facade in lockstep.
+func FuzzArchiveContract(f *testing.F) {
+	for _, seed := range blocktest.FuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, script []byte) {
+		ref, dut := newPair(t, 600, 64)
+		blocktest.RunScript(t, ref, dut, blocktest.WriteOnceOps(script))
+	})
+}
+
+// TestArchiveDedupAccounting checks the content-addressed bookkeeping:
+// identical puts collapse into one stored block and the stats say so.
+func TestArchiveDedupAccounting(t *testing.T) {
+	_, st := newPair(t, 16, 64)
+	payload := []byte("the same content twice")
+	n1, hit1, err := st.Put(1, archive.KindData, payload)
+	if err != nil || hit1 {
+		t.Fatalf("first put: n=%d hit=%v err=%v", n1, hit1, err)
+	}
+	n2, hit2, err := st.Put(1, archive.KindData, payload)
+	if err != nil || !hit2 || n2 != n1 {
+		t.Fatalf("second put: n=%d hit=%v err=%v, want dedup onto %d", n2, hit2, err, n1)
+	}
+	// The kind is part of the address: same payload, different kind,
+	// different block.
+	n3, hit3, err := st.Put(1, archive.KindPointer, payload)
+	if err != nil || hit3 || n3 == n1 {
+		t.Fatalf("cross-kind put: n=%d hit=%v err=%v", n3, hit3, err)
+	}
+	stats := st.Stats()
+	if stats.Puts != 3 || stats.Stored != 2 || stats.DedupHits != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.BytesStored >= stats.BytesLogical {
+		t.Fatalf("dedup saved no bytes: logical %d, stored %d", stats.BytesLogical, stats.BytesStored)
+	}
+	if got, err := st.Read(1, n1); err != nil || !bytes.Equal(got[:len(payload)], payload) {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+}
+
+// TestArchiveCorruptRead flips one payload byte underneath the facade
+// and requires the read to fail with block.ErrCorrupt naming the exact
+// block.
+func TestArchiveCorruptRead(t *testing.T) {
+	_, st := newPair(t, 16, 64)
+	n, err := st.Alloc(1, []byte("soon to be damaged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := st.Backing().Read(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[archive.FrameOverhead] ^= 0x01
+	if err := st.Backing().Write(1, n, raw); err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Read(1, n)
+	if !errors.Is(err, block.ErrCorrupt) {
+		t.Fatalf("read of damaged block: %v, want ErrCorrupt", err)
+	}
+	if want := fmt.Sprintf("block %d", n); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name %q", err, want)
+	}
+	if st.Stats().CorruptReads != 1 {
+		t.Fatalf("corrupt reads = %d, want 1", st.Stats().CorruptReads)
+	}
+}
+
+// TestArchiveReopen rebuilds the indexes from the backing store alone:
+// content addresses, dedup, and the snapshot log must all survive.
+func TestArchiveReopen(t *testing.T) {
+	backing := block.NewServer(disk.MustNew(disk.Geometry{Blocks: 32, BlockSize: 64 + archive.FrameOverhead}))
+	st, err := archive.New(backing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("durable content")
+	n, err := st.Alloc(1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := archive.Entry{Object: 7, Seq: 1, Root: n, Score: archive.ScoreOf(archive.KindRaw, payload)}
+	if err := st.AppendSnapshot(1, e); err != nil {
+		t.Fatal(err)
+	}
+	// The same entry twice dedups into one record.
+	if err := st.AppendSnapshot(1, e); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := archive.New(backing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := st2.Read(1, n); err != nil || !bytes.Equal(got[:len(payload)], payload) {
+		t.Fatalf("read after reopen: %q, %v", got, err)
+	}
+	again, err := st2.Alloc(1, payload)
+	if err != nil || again != n {
+		t.Fatalf("dedup after reopen: block %d, %v, want %d", again, err, n)
+	}
+	snaps := st2.Snapshots(7)
+	if len(snaps) != 1 || snaps[0] != e {
+		t.Fatalf("snapshot log after reopen: %+v, want [%+v]", snaps, e)
+	}
+	if _, ok := st2.Snapshot(7, 2); ok {
+		t.Fatal("phantom snapshot after reopen")
+	}
+	if seq := st2.LastSeq(7); seq != 1 {
+		t.Fatalf("last seq = %d, want 1", seq)
+	}
+}

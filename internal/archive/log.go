@@ -1,0 +1,138 @@
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/block"
+)
+
+// The snapshot log records one entry per demoted commit: which file
+// object, its per-file snapshot sequence, the archive block holding the
+// canonical version page, and the snapshot score — a Merkle hash over
+// the whole archived tree (see Archiver). The log needs no file of its
+// own: each entry is stored as a KindSnap record in the archive itself,
+// so it is exactly as durable as the blocks it describes, it travels
+// with a remote archive mount, and appending the same entry twice
+// dedups into one record — which is what makes demotion idempotent
+// across servers sharing an archive. Open rebuilds the in-memory
+// per-object index from the same recovery scan that rebuilds the score
+// maps.
+
+// ErrUnknownSnapshot reports a snapshot lookup that matched nothing.
+var ErrUnknownSnapshot = errors.New("archive: unknown snapshot")
+
+// Entry is one snapshot-log record.
+type Entry struct {
+	// Object is the file-table object the snapshot belongs to.
+	Object uint32
+	// Seq is the per-file snapshot sequence, 1-based and ascending in
+	// commit order. It is the "commit N" a client opens with VersionAt.
+	Seq uint64
+	// Root is the archive block holding the canonical version page.
+	Root block.Num
+	// Score is the snapshot score: the Merkle hash covering the entire
+	// archived page tree, recomputable by VerifySnapshot.
+	Score Score
+}
+
+// entryWireSize is the fixed encoding: object(4) seq(8) root(4) score(32).
+const entryWireSize = 4 + 8 + 4 + 32
+
+// encodeEntry renders the entry's canonical record payload.
+func encodeEntry(e Entry) []byte {
+	out := make([]byte, entryWireSize)
+	binary.BigEndian.PutUint32(out[0:4], e.Object)
+	binary.BigEndian.PutUint64(out[4:12], e.Seq)
+	binary.BigEndian.PutUint32(out[12:16], uint32(e.Root))
+	copy(out[16:], e.Score[:])
+	return out
+}
+
+// decodeEntry parses a KindSnap payload (stored zero-padded to the
+// facade block size, so only the record prefix is read).
+func decodeEntry(payload []byte) (Entry, error) {
+	if len(payload) < entryWireSize {
+		return Entry{}, fmt.Errorf("archive: snapshot record is %d bytes, want %d", len(payload), entryWireSize)
+	}
+	var e Entry
+	e.Object = binary.BigEndian.Uint32(payload[0:4])
+	e.Seq = binary.BigEndian.Uint64(payload[4:12])
+	e.Root = block.Num(binary.BigEndian.Uint32(payload[12:16]))
+	copy(e.Score[:], payload[16:])
+	return e, nil
+}
+
+// insertEntryLocked adds e to the per-object index, keeping ascending
+// Seq order and dropping exact duplicates. Caller holds s.mu.
+func (s *Store) insertEntryLocked(e Entry) {
+	es := s.snaps[e.Object]
+	i := sort.Search(len(es), func(i int) bool { return es[i].Seq >= e.Seq })
+	if i < len(es) && es[i].Seq == e.Seq {
+		return
+	}
+	es = append(es, Entry{})
+	copy(es[i+1:], es[i:])
+	es[i] = e
+	s.snaps[e.Object] = es
+}
+
+// AppendSnapshot records one snapshot entry (idempotent: an identical
+// entry dedups onto the record already stored).
+func (s *Store) AppendSnapshot(account block.Account, e Entry) error {
+	if _, _, err := s.Put(account, KindSnap, encodeEntry(e)); err != nil {
+		return fmt.Errorf("archive: append snapshot: %w", err)
+	}
+	s.mu.Lock()
+	s.insertEntryLocked(e)
+	s.mu.Unlock()
+	return nil
+}
+
+// Snapshots lists the snapshot-log entries of one file object in
+// ascending Seq order.
+func (s *Store) Snapshots(object uint32) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Entry(nil), s.snaps[object]...)
+}
+
+// Snapshot returns the entry with the given sequence.
+func (s *Store) Snapshot(object uint32, seq uint64) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	es := s.snaps[object]
+	i := sort.Search(len(es), func(i int) bool { return es[i].Seq >= seq })
+	if i < len(es) && es[i].Seq == seq {
+		return es[i], true
+	}
+	return Entry{}, false
+}
+
+// SnapshotByScore returns the entry of one object whose snapshot score
+// matches — the archiver's idempotency check: re-demoting a version
+// reproduces the same score, so the existing entry answers.
+func (s *Store) SnapshotByScore(object uint32, score Score) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.snaps[object] {
+		if e.Score == score {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// LastSeq returns the highest snapshot sequence recorded for object, 0
+// when none is.
+func (s *Store) LastSeq(object uint32) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	es := s.snaps[object]
+	if len(es) == 0 {
+		return 0
+	}
+	return es[len(es)-1].Seq
+}

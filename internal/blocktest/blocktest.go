@@ -22,7 +22,7 @@ import (
 
 // Op is one step of a scripted sequence.
 type Op struct {
-	Op    string // alloc, write, read, free, lock, unlock, recover, *multi
+	Op    string // alloc, write, rewrite, read, free, lock, unlock, recover, *multi
 	Acct  block.Account
 	N     int    // index into previously allocated blocks (out of range: bogus block)
 	Data  string // payload for alloc/write
@@ -77,6 +77,20 @@ func RunScript(t *testing.T, ref, dut block.MultiStore, ops []Op) {
 		case "write":
 			refErr = ref.Write(op.Acct, pick(refBlocks, op.N), []byte(op.Data))
 			dutErr = dut.Write(op.Acct, pick(dutBlocks, op.N), []byte(op.Data))
+		case "rewrite":
+			// Write a block's current content back to it. On an ordinary
+			// store this is a plain overwrite; on a write-once store it
+			// is the only write that may succeed (an idempotent dedup
+			// hit), so both classify identically. The reference copy is
+			// the source of truth; if the block is unreadable (bogus or
+			// foreign) fall back to op.Data so both stores still see the
+			// same payload.
+			payload := []byte(op.Data)
+			if data, err := ref.Read(op.Acct, pick(refBlocks, op.N)); err == nil {
+				payload = data
+			}
+			refErr = ref.Write(op.Acct, pick(refBlocks, op.N), payload)
+			dutErr = dut.Write(op.Acct, pick(dutBlocks, op.N), payload)
 		case "read":
 			refData, refErr = ref.Read(op.Acct, pick(refBlocks, op.N))
 			dutData, dutErr = dut.Read(op.Acct, pick(dutBlocks, op.N))
@@ -191,6 +205,46 @@ func ScriptOps(script []byte) []Op {
 	return ops
 }
 
+// WriteOnceOps decodes a fuzz input into a script that stays within the
+// write-once subset of the contract, so an in-memory block.Server can
+// serve as the lockstep reference for a content-addressed store. The
+// differences from ScriptOps are forced by write-once semantics, not
+// convenience: every op runs as account 1 (a content-addressed store
+// dedups identical payloads across accounts, which would diverge from
+// per-account ownership on the reference); alloc payloads are unique
+// per op (duplicates dedup to one block on the archive but two on the
+// reference, diverging recover-scan sizes); and the mutating ops —
+// free, freemulti, write with fresh data, writemulti — are replaced by
+// rewrite, which both stores accept.
+func WriteOnceOps(script []byte) []Op {
+	if len(script) > 256 {
+		script = script[:256]
+	}
+	var ops []Op
+	for i, b := range script {
+		idx := int(b >> 4)
+		switch b & 0x0F {
+		case 0, 1, 2:
+			ops = append(ops, Op{Op: "alloc", Acct: 1, Data: fmt.Sprintf("p%d-%d", i, idx)})
+		case 3, 4:
+			ops = append(ops, Op{Op: "read", Acct: 1, N: idx})
+		case 5:
+			ops = append(ops, Op{Op: "lock", Acct: 1, N: idx})
+		case 6:
+			ops = append(ops, Op{Op: "unlock", Acct: 1, N: idx})
+		case 7:
+			ops = append(ops, Op{Op: "readmulti", Acct: 1, N: idx})
+		case 8, 9:
+			ops = append(ops, Op{Op: "rewrite", Acct: 1, N: idx, Data: fmt.Sprintf("r%d", i)})
+		case 10:
+			ops = append(ops, Op{Op: "allocmulti", Acct: 1, Data: fmt.Sprintf("b%d-%d", i, idx)})
+		default:
+			ops = append(ops, Op{Op: "recover", Acct: 1})
+		}
+	}
+	return ops
+}
+
 // FuzzSeeds returns the shared seed corpus for contract fuzzing.
 func FuzzSeeds() [][]byte {
 	return [][]byte{
@@ -291,5 +345,48 @@ func MultiOpSuite(t *testing.T, name string, st block.MultiStore, capacity int) 
 	after, _ := st.Recover(1)
 	if len(after) != len(before)-2 {
 		t.Fatalf("%s: recover(1) %d blocks after freeing 2 of %d", name, len(after), len(before))
+	}
+}
+
+// WriteOnceSuite checks the write-once contract of a content-addressed
+// store: allocating identical content twice dedups to the same block,
+// rewriting a block with its current content is an idempotent no-op,
+// and every destructive operation — a write with different content,
+// Free, FreeMulti — fails with the store's refusal sentinel (refuse,
+// e.g. archive.ErrImmutable) while leaving the content intact.
+func WriteOnceSuite(t *testing.T, name string, st block.MultiStore, refuse error) {
+	t.Helper()
+	payload := []byte("write-once payload")
+	n, err := st.Alloc(1, payload)
+	if err != nil {
+		t.Fatalf("%s: alloc: %v", name, err)
+	}
+	again, err := st.Alloc(1, payload)
+	if err != nil {
+		t.Fatalf("%s: realloc: %v", name, err)
+	}
+	if again != n {
+		t.Fatalf("%s: identical content allocated twice: block %d then %d", name, n, again)
+	}
+
+	if err := st.Write(1, n, payload); err != nil {
+		t.Fatalf("%s: idempotent rewrite refused: %v", name, err)
+	}
+	if err := st.Write(1, n, []byte("different content")); !errors.Is(err, refuse) {
+		t.Fatalf("%s: mutating write err = %v, want %v", name, err, refuse)
+	}
+	if err := st.Free(1, n); !errors.Is(err, refuse) {
+		t.Fatalf("%s: free err = %v, want %v", name, err, refuse)
+	}
+	if err := st.FreeMulti(1, []block.Num{n}); !errors.Is(err, refuse) {
+		t.Fatalf("%s: freemulti err = %v, want %v", name, err, refuse)
+	}
+
+	got, err := st.Read(1, n)
+	if err != nil {
+		t.Fatalf("%s: read after refused mutations: %v", name, err)
+	}
+	if len(got) < len(payload) || !bytes.Equal(got[:len(payload)], payload) {
+		t.Fatalf("%s: content changed despite write-once contract: %q", name, got)
 	}
 }

@@ -574,6 +574,68 @@ func (c *Client) ReadCommitted(fcap capability.Capability, root block.Num, p pag
 	return resp.Data, int(resp.Args[0]), nil
 }
 
+// SnapshotInfo is one archived snapshot of a file, as listed by the
+// archive tier's snapshot log.
+type SnapshotInfo struct {
+	// Seq is the per-file snapshot sequence ("the file as of commit N").
+	Seq uint64
+	// Root is the archive block holding the snapshot's version page.
+	Root block.Num
+	// Score is the snapshot's Merkle score over the archived tree.
+	Score [32]byte
+}
+
+// snapshotWireSize matches the CmdSnapshots record layout.
+const snapshotWireSize = 8 + 4 + 32
+
+// Snapshots lists the file's archived snapshots, oldest first. Unlike
+// History, the list survives garbage collection of the front tier.
+func (c *Client) Snapshots(fcap capability.Capability) ([]SnapshotInfo, error) {
+	req := &rpc.Message{Command: server.CmdSnapshots, Caps: []capability.Capability{fcap}}
+	resp, err := c.call(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Data)%snapshotWireSize != 0 {
+		return nil, errors.New("client: malformed snapshots reply")
+	}
+	out := make([]SnapshotInfo, 0, len(resp.Data)/snapshotWireSize)
+	for i := 0; i+snapshotWireSize <= len(resp.Data); i += snapshotWireSize {
+		var e SnapshotInfo
+		for j := 0; j < 8; j++ {
+			e.Seq = e.Seq<<8 | uint64(resp.Data[i+j])
+		}
+		e.Root = block.Num(uint32(resp.Data[i+8])<<24 | uint32(resp.Data[i+9])<<16 |
+			uint32(resp.Data[i+10])<<8 | uint32(resp.Data[i+11]))
+		copy(e.Score[:], resp.Data[i+12:i+snapshotWireSize])
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// ReadSnapshot reads the page at path of the file as of archived
+// snapshot seq: read-only time travel through the archive tier, every
+// block re-hashed against its stored score on the way.
+func (c *Client) ReadSnapshot(fcap capability.Capability, seq uint64, p page.Path) ([]byte, int, error) {
+	data, err := p.Encode(nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	req := &rpc.Message{Command: server.CmdOpenAt, Caps: []capability.Capability{fcap}, Data: data}
+	req.Args[0] = seq
+	resp, err := c.call(req)
+	if err != nil {
+		// Re-sentinel integrity failures across the wire: the status
+		// code travels, the error value does not.
+		var se *rpc.StatusError
+		if errors.As(err, &se) && se.Status == rpc.StatusCorrupt {
+			return nil, 0, fmt.Errorf("client: %s: %w", se.Detail, block.ErrCorrupt)
+		}
+		return nil, 0, err
+	}
+	return resp.Data, int(resp.Args[0]), nil
+}
+
 // Ping checks whether any server of the service answers.
 func (c *Client) Ping() error {
 	_, err := c.call(&rpc.Message{Command: server.CmdPing})

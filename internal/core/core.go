@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/block"
 	"repro/internal/capability"
 	"repro/internal/client"
@@ -58,6 +59,18 @@ type Config struct {
 	StablePair bool
 	// Retain is the GC's committed-version horizon per file (default 4).
 	Retain int
+	// Archive enables the content-addressed archive tier over a fresh
+	// in-memory backing store: committed versions falling past the
+	// retention horizon are demoted (rewritten hash-addressed,
+	// deduplicated, logged as snapshots) instead of deleted, and the
+	// servers answer the snapshot commands.
+	Archive bool
+	// ArchiveStore, when set, is a pre-built backing store for the
+	// archive tier (e.g. a durable segstore) and implies Archive. Its
+	// block size must be at least the front tier's plus
+	// archive.FrameOverhead so any demoted page fits its frame.
+	// Ownership stays with the caller, as with Store.
+	ArchiveStore block.Store
 	// NetLatency simulates transport delay per message leg.
 	NetLatency time.Duration
 	// ReadCost and WriteCost simulate disk service times.
@@ -106,6 +119,11 @@ type Cluster struct {
 	Tables  []*ftab.Replicated
 	Servers []*server.Server
 	GC      *gc.Collector
+	// Archive is the content-addressed archive tier (nil when the
+	// cluster runs without one), and Archiver the demote engine the
+	// collector feeds.
+	Archive  *archive.Store
+	Archiver *archive.Archiver
 
 	pair   *stable.Pair
 	nextID int
@@ -167,11 +185,41 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		store = block.NewServer(d)
 	}
 
+	var arch *archive.Store
+	var archiver *archive.Archiver
+	if cfg.Archive || cfg.ArchiveStore != nil {
+		backing := cfg.ArchiveStore
+		if backing == nil {
+			ad, err := disk.New(disk.Geometry{
+				Blocks:    cfg.DiskBlocks,
+				BlockSize: store.BlockSize() + archive.FrameOverhead,
+				ReadCost:  cfg.ReadCost,
+				WriteCost: cfg.WriteCost,
+			})
+			if err != nil {
+				return nil, err
+			}
+			backing = block.NewServer(ad)
+		}
+		if backing.BlockSize() < store.BlockSize()+archive.FrameOverhead {
+			return nil, fmt.Errorf("core: archive backing block size %d cannot frame front-tier %d-byte pages (need >= %d)",
+				backing.BlockSize(), store.BlockSize(), store.BlockSize()+archive.FrameOverhead)
+		}
+		var err error
+		arch, err = archive.New(backing, 1)
+		if err != nil {
+			return nil, err
+		}
+		archiver = &archive.Archiver{Front: version.NewStore(store, 1), Store: arch, Acct: 1}
+	}
+
 	net := rpc.NewNetwork()
 	net.SetLatency(cfg.NetLatency)
-	c := &Cluster{Cfg: cfg, Net: net, pair: pair}
+	c := &Cluster{Cfg: cfg, Net: net, pair: pair, Archive: arch, Archiver: archiver}
 	for i := 0; i < cfg.Peers; i++ {
-		c.Shareds = append(c.Shareds, server.NewShared(store, 1))
+		sh := server.NewShared(store, 1)
+		sh.Archive = arch
+		c.Shareds = append(c.Shareds, sh)
 	}
 	c.Shared = c.Shareds[0]
 	if cfg.Peers > 1 {
@@ -212,6 +260,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 	}
 	c.GC = gc.New(version.NewStore(store, c.Shared.Acct), c.Shared.Table, cfg.Retain, c.LiveVersions)
+	if archiver != nil {
+		c.GC.Demote = func(object uint32, root block.Num) error {
+			_, _, err := archiver.Demote(object, root)
+			return err
+		}
+	}
 	return c, nil
 }
 

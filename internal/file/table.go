@@ -158,7 +158,11 @@ func (t *Table) Entries() map[uint32]Entry {
 // A version page is provably committed when its commit reference is set,
 // when it has no base (the birth version), or when its base's commit
 // reference points back at it; uncommitted orphans are skipped — "clients
-// must be prepared to redo the updates in a version".
+// must be prepared to redo the updates in a version". A version whose
+// base vanished is committed too: an uncommitted version's base is the
+// file's retained entry point, which the collector never frees, so only
+// a committed version can outlive its base (the collector retires bases
+// once a successor commits).
 func Rebuild(st *version.Store) (*Table, error) {
 	nums, err := st.Blocks.Recover(st.Acct)
 	if err != nil {
@@ -195,7 +199,16 @@ func Rebuild(st *version.Store) (*Table, error) {
 			fcap = c.vp.FileCap
 			committed := c.vp.CommitRef != block.NilNum || c.vp.BaseRef == block.NilNum
 			if !committed {
-				if base, ok := pages[c.vp.BaseRef]; ok && base.CommitRef == c.blk {
+				if base, ok := pages[c.vp.BaseRef]; !ok {
+					// The base was retired and swept (or lost): only a
+					// committed version survives its base.
+					committed = true
+				} else if base.IsVersion && base.FileCap.Object == obj {
+					committed = base.CommitRef == c.blk
+				} else {
+					// The base's block was freed and recycled as
+					// something else entirely — same story as a swept
+					// base.
 					committed = true
 				}
 			}

@@ -118,6 +118,51 @@ func TestRebuildFindsCommittedChains(t *testing.T) {
 	}
 }
 
+// TestRebuildSurvivesSweptBase: after the collector retires and sweeps
+// a committed version's base, the survivor's base reference dangles.
+// Rebuild must still recognise it as committed — an uncommitted
+// version's base is the retained entry point, which the sweep never
+// frees, so only committed versions outlive their bases.
+func TestRebuildSurvivesSweptBase(t *testing.T) {
+	st := newStore(t)
+	f := capability.NewFactory(capability.NewPort().Public())
+
+	fa := f.Register(10)
+	v0, err := version.CreateFile(st, fa, f.Register(11), []byte("old"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := version.CreateVersion(st, v0.Root, f.Register(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.WritePage(page.RootPath, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	vp, _ := st.ReadPage(v0.Root)
+	vp.CommitRef = v1.Root
+	if err := st.WritePage(v0.Root, vp); err != nil {
+		t.Fatal(err)
+	}
+	// The collector retires v0 past the horizon and eventually frees it;
+	// v1.BaseRef now dangles.
+	if err := st.Blocks.Free(st.Acct, v0.Root); err != nil {
+		t.Fatal(err)
+	}
+
+	tb, err := Rebuild(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tb.Get(10)
+	if err != nil {
+		t.Fatalf("file with swept base dropped from rebuild: %v", err)
+	}
+	if e.Entry != v1.Root {
+		t.Fatalf("entry = %d, want the surviving committed version %d", e.Entry, v1.Root)
+	}
+}
+
 func TestRebuildDetectsSuperFiles(t *testing.T) {
 	st := newStore(t)
 	f := capability.NewFactory(capability.NewPort().Public())

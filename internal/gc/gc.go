@@ -46,6 +46,7 @@ type Report struct {
 	Freed     int // blocks returned to the block service
 	Reshared  int // page copies replaced by their base's page
 	Retired   int // committed versions dropped past the horizon
+	Demoted   int // retired versions rewritten into the archive tier
 	LiveRoots int // root versions marked (retained + uncommitted)
 	Duration  time.Duration
 }
@@ -68,6 +69,19 @@ type Collector struct {
 	Gate func() bool
 	// Reshare enables the §5.1 reshare optimisation.
 	Reshare bool
+	// Demote, when set, turns retirement into demote-instead-of-delete:
+	// every committed version about to fall past the retention horizon
+	// is handed to the archive tier (still fully readable — the sweep
+	// has not touched it) before the table advances past it. A version
+	// the archiver cannot take stays retained for this cycle, so
+	// nothing committed is ever freed unarchived. Demotion is
+	// idempotent (content-addressed, and the snapshot log refuses
+	// duplicates), which also defuses the multi-server hazard: a second
+	// server demoting the same retired root is a pure dedup no-op. The
+	// remaining constraint is unchanged — only one server may *sweep*
+	// (-gc on exactly one), because concurrent sweeps can still free a
+	// sibling's not-yet-linked shadow pages.
+	Demote func(object uint32, root block.Num) error
 
 	mu        sync.Mutex
 	condemned map[block.Num]bool
@@ -112,6 +126,31 @@ func (g *Collector) Collect() (Report, error) {
 		keepFrom := len(chain) - g.Retain
 		if keepFrom < 0 {
 			keepFrom = 0
+		}
+		if g.Demote != nil && keepFrom > 0 {
+			// Archive oldest-first; stop at the first failure and keep
+			// the remainder of the chain retained until a later cycle
+			// manages to demote it. A root that is already condemned was
+			// retired — and demoted — in an earlier cycle and merely
+			// awaits the sweep (History still reaches it through base
+			// references until its blocks are freed); skip it instead of
+			// demoting again.
+			handled := 0
+			for _, root := range chain[:keepFrom] {
+				g.mu.Lock()
+				already := g.condemned[root]
+				g.mu.Unlock()
+				if already {
+					handled++
+					continue
+				}
+				if err := g.Demote(obj, root); err != nil {
+					break
+				}
+				handled++
+				rep.Demoted++
+			}
+			keepFrom = handled
 		}
 		rep.Retired += keepFrom
 		if keepFrom > 0 {

@@ -5,10 +5,13 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/block"
 	"repro/internal/disk"
+	"repro/internal/occ"
 	"repro/internal/page"
 	"repro/internal/server"
+	"repro/internal/version"
 )
 
 // fixture builds a full service (server + table) so GC runs against real
@@ -44,7 +47,27 @@ func (f *fixture) collectTwice(t *testing.T) Report {
 	r2.Freed += r1.Freed
 	r2.Reshared += r1.Reshared
 	r2.Retired += r1.Retired
+	r2.Demoted += r1.Demoted
 	return r2
+}
+
+// withArchive attaches an archive tier to the fixture's collector:
+// retirement becomes demote-instead-of-delete.
+func (f *fixture) withArchive(t *testing.T) (*archive.Store, *archive.Archiver) {
+	t.Helper()
+	backing := block.NewServer(disk.MustNew(disk.Geometry{
+		Blocks: 1 << 14, BlockSize: 1024 + archive.FrameOverhead,
+	}))
+	st, err := archive.New(backing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := &archive.Archiver{Front: f.col.St, Store: st, Acct: 1}
+	f.col.Demote = func(object uint32, root block.Num) error {
+		_, _, err := arch.Demote(object, root)
+		return err
+	}
+	return st, arch
 }
 
 func TestAbortedVersionReclaimed(t *testing.T) {
@@ -306,5 +329,139 @@ func TestRunBackground(t *testing.T) {
 	}
 	if string(data) != "gen19" {
 		t.Fatalf("current after concurrent GC = %q", data)
+	}
+}
+
+// TestDemoteInsteadOfDelete commits five times over a retention of two:
+// the four retired versions must land in the archive as snapshots 1..4
+// — byte-identical and verifiable — before the sweep frees their
+// front-tier blocks.
+func TestDemoteInsteadOfDelete(t *testing.T) {
+	f := newFixture(t, 2)
+	st, _ := f.withArchive(t)
+	fcap, _ := f.srv.CreateFile([]byte("g0"))
+	for i := 1; i <= 5; i++ {
+		v, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+		f.srv.WritePage(v, page.RootPath, []byte(fmt.Sprintf("g%d", i)))
+		if err := f.srv.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := f.collectTwice(t)
+	if rep.Demoted != 4 || rep.Retired < 4 {
+		t.Fatalf("demoted %d retired %d, want 4 demoted", rep.Demoted, rep.Retired)
+	}
+	if rep.Freed == 0 {
+		t.Fatal("demotion must not keep the sweep from freeing")
+	}
+	hist, err := f.srv.History(fcap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("front history = %d, want 2", len(hist))
+	}
+	snaps := st.Snapshots(fcap.Object)
+	if len(snaps) != 4 {
+		t.Fatalf("snapshots = %d, want 4", len(snaps))
+	}
+	for i, e := range snaps {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("snapshot %d has seq %d", i, e.Seq)
+		}
+		if err := archive.VerifySnapshot(st, 1, e); err != nil {
+			t.Fatalf("verify snapshot %d: %v", e.Seq, err)
+		}
+		tr := &version.Tree{St: version.NewStore(st, 1), Root: e.Root}
+		pg, err := tr.PeekPage(page.RootPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("g%d", i); string(pg.Data) != want {
+			t.Fatalf("snapshot %d = %q, want %q", e.Seq, pg.Data, want)
+		}
+	}
+}
+
+// TestDemoteIdempotentAcrossSweepers simulates the multi-server race
+// the demote design defuses: a sibling server archives the retired
+// roots first; this server's own demote pass must be a pure dedup no-op
+// — no error, no duplicate snapshots — instead of the old double-free
+// hazard.
+func TestDemoteIdempotentAcrossSweepers(t *testing.T) {
+	f := newFixture(t, 1)
+	st, arch := f.withArchive(t)
+	fcap, _ := f.srv.CreateFile([]byte("g0"))
+	for i := 1; i <= 3; i++ {
+		v, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+		f.srv.WritePage(v, page.RootPath, []byte(fmt.Sprintf("g%d", i)))
+		if err := f.srv.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The sibling demotes the whole retired prefix first.
+	e, err := f.col.Table.Get(fcap.Object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := occ.History(f.col.St, e.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, root := range chain[:len(chain)-1] {
+		if _, _, err := arch.Demote(fcap.Object, root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := f.collectTwice(t)
+	if rep.Demoted != 3 {
+		t.Fatalf("demoted %d, want 3 (idempotent re-demotes)", rep.Demoted)
+	}
+	if got := st.Snapshots(fcap.Object); len(got) != 3 {
+		t.Fatalf("snapshots = %d, want 3 (no duplicates)", len(got))
+	}
+	if s := arch.Stats(); s.Skipped != 3 || s.Demotes != 3 {
+		t.Fatalf("archiver stats = %+v, want 3 demotes, 3 skips", s)
+	}
+}
+
+// TestDemoteFailureRetains keeps versions in the front tier when the
+// archive refuses them: nothing committed is freed unarchived.
+func TestDemoteFailureRetains(t *testing.T) {
+	f := newFixture(t, 1)
+	st, arch := f.withArchive(t)
+	broken := true
+	f.col.Demote = func(object uint32, root block.Num) error {
+		if broken {
+			return fmt.Errorf("archive offline")
+		}
+		_, _, err := arch.Demote(object, root)
+		return err
+	}
+	fcap, _ := f.srv.CreateFile([]byte("g0"))
+	for i := 1; i <= 3; i++ {
+		v, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+		f.srv.WritePage(v, page.RootPath, []byte(fmt.Sprintf("g%d", i)))
+		if err := f.srv.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := f.collectTwice(t)
+	if rep.Demoted != 0 || rep.Retired != 0 {
+		t.Fatalf("broken archive: demoted %d retired %d, want 0/0", rep.Demoted, rep.Retired)
+	}
+	if hist, _ := f.srv.History(fcap); len(hist) != 4 {
+		t.Fatalf("history shrank to %d with the archive down", len(hist))
+	}
+	broken = false
+	rep = f.collectTwice(t)
+	if rep.Demoted != 3 {
+		t.Fatalf("recovered archive: demoted %d, want 3", rep.Demoted)
+	}
+	if hist, _ := f.srv.History(fcap); len(hist) != 1 {
+		t.Fatalf("history = %d after recovery, want 1", len(hist))
+	}
+	if got := st.Snapshots(fcap.Object); len(got) != 3 {
+		t.Fatalf("snapshots = %d, want 3", len(got))
 	}
 }

@@ -52,6 +52,21 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.count.Add(1)
 }
 
+// ObserveValue records one dimensionless observation, matching the
+// value directly against the bucket bounds (which then read as plain
+// numbers rather than seconds). The archive tier uses this for
+// per-demote dedup-hit ratios in [0, 1]; the 0.00005…1 bounds double
+// as ratio buckets, with 1.0 landing in the last finite bucket.
+func (h *Histogram) ObserveValue(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	i := sort.SearchFloat64s(latencyBounds[:], v)
+	h.counts[i].Add(1)
+	h.nanos.Add(uint64(v * 1e9))
+	h.count.Add(1)
+}
+
 // BucketCount is one cumulative bucket of a snapshot.
 type BucketCount struct {
 	UpperBound float64 // math.Inf(1) for the overflow bucket

@@ -62,6 +62,10 @@ const (
 	// ErrDeadPort on the client side, so waiters discover crashed lock
 	// holders identically over TCP and in-proc.
 	StatusDeadPort
+	// StatusCorrupt reports a stored block that failed its integrity
+	// check (the archive tier's per-block score or the Merkle snapshot
+	// score); the diagnostic names the damaged block.
+	StatusCorrupt
 
 	// StatusServiceBase is the first status code available for
 	// service-specific use.
@@ -93,6 +97,8 @@ func (s Status) String() string {
 		return "collision"
 	case StatusDeadPort:
 		return "dead port"
+	case StatusCorrupt:
+		return "corrupt block"
 	default:
 		return fmt.Sprintf("status(%d)", uint32(s))
 	}

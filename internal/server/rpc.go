@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 
+	"repro/internal/archive"
 	"repro/internal/block"
 	"repro/internal/capability"
 	"repro/internal/disk"
@@ -69,6 +70,15 @@ const (
 	// client's flags-only confirm on first real use does that), so
 	// read-ahead never inflates an update's read set.
 	CmdPrefetch
+	// CmdSnapshots lists the file's archived snapshots, oldest first.
+	// Reply Data holds one 44-byte record per snapshot:
+	// seq(8) || archive root block(4) || snapshot score(32).
+	CmdSnapshots
+	// CmdOpenAt reads the page at path Data of the file as of archived
+	// snapshot Args[0] — the read-only time-travel path. Reply
+	// Args[0]=nrefs, Data=page data. A hash-check failure along the
+	// descent reports StatusIO naming the corrupt archive block.
+	CmdOpenAt
 )
 
 // Version-creation option bits for CmdCreateVersion Args[0].
@@ -98,12 +108,15 @@ func errReply(req *rpc.Message, err error) *rpc.Message {
 		status = rpc.StatusBadRights
 	case errors.Is(err, occ.ErrConflict):
 		status = rpc.StatusConflict
-	case errors.Is(err, ErrUnknownVersion), errors.Is(err, ErrVersionClosed):
+	case errors.Is(err, ErrUnknownVersion), errors.Is(err, ErrVersionClosed),
+		errors.Is(err, ErrNoArchive), errors.Is(err, archive.ErrUnknownSnapshot):
 		status = rpc.StatusNotFound
 	case errors.Is(err, version.ErrBadPath), errors.Is(err, version.ErrHole),
 		errors.Is(err, version.ErrNotHole), errors.Is(err, page.ErrBadIndex),
 		errors.Is(err, page.ErrPageFull):
 		status = rpc.StatusBadArgument
+	case errors.Is(err, block.ErrCorrupt):
+		status = rpc.StatusCorrupt
 	case errors.Is(err, block.ErrLocked):
 		status = rpc.StatusLocked
 	case errors.Is(err, disk.ErrOffline):
@@ -334,6 +347,44 @@ func (s *Server) dispatch(req *rpc.Message) (*rpc.Message, error) {
 			return nil, err
 		}
 		data, nrefs, err := s.ReadCommitted(block.Num(req.Args[0]), p)
+		if err != nil {
+			return nil, err
+		}
+		r := req.Reply(rpc.StatusOK)
+		r.Args[0] = uint64(nrefs)
+		r.Data = data
+		return r, nil
+
+	case CmdSnapshots:
+		fcap, err := reqCap(req)
+		if err != nil {
+			return nil, err
+		}
+		snaps, err := s.Snapshots(fcap)
+		if err != nil {
+			return nil, err
+		}
+		r := req.Reply(rpc.StatusOK)
+		r.Data = make([]byte, 0, 44*len(snaps))
+		for _, e := range snaps {
+			r.Data = append(r.Data,
+				byte(e.Seq>>56), byte(e.Seq>>48), byte(e.Seq>>40), byte(e.Seq>>32),
+				byte(e.Seq>>24), byte(e.Seq>>16), byte(e.Seq>>8), byte(e.Seq))
+			r.Data = append(r.Data, byte(e.Root>>24), byte(e.Root>>16), byte(e.Root>>8), byte(e.Root))
+			r.Data = append(r.Data, e.Score[:]...)
+		}
+		return r, nil
+
+	case CmdOpenAt:
+		fcap, err := reqCap(req)
+		if err != nil {
+			return nil, err
+		}
+		p, _, err := reqPath(req)
+		if err != nil {
+			return nil, err
+		}
+		data, nrefs, err := s.ReadSnapshot(fcap, req.Args[0], p)
 		if err != nil {
 			return nil, err
 		}

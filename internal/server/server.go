@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/block"
 	"repro/internal/capability"
 	"repro/internal/file"
@@ -36,6 +37,9 @@ var (
 	// ErrVersionClosed reports an operation on a committed or aborted
 	// version.
 	ErrVersionClosed = errors.New("server: version closed")
+	// ErrNoArchive reports a snapshot operation on a service with no
+	// archive tier configured.
+	ErrNoArchive = errors.New("server: no archive tier configured")
 )
 
 // PortRegistry tracks the liveness of update ports: every open update
@@ -114,6 +118,10 @@ type Shared struct {
 	Acct block.Account
 	// Ports answers lock-holder liveness across all servers.
 	Ports PortRegistry
+	// Archive is the content-addressed archive tier holding demoted
+	// snapshots; nil when the deployment runs without one, in which
+	// case the snapshot commands answer ErrNoArchive.
+	Archive *archive.Store
 
 	mu      sync.Mutex
 	id      uint32
@@ -817,6 +825,51 @@ func (s *Server) ReadCommitted(root block.Num, p page.Path) ([]byte, int, error)
 		return nil, 0, err
 	}
 	tr := &version.Tree{St: s.st, Root: root}
+	pg, err := tr.PeekPage(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return append([]byte(nil), pg.Data...), len(pg.Refs), nil
+}
+
+// Snapshots lists the archived snapshots of the file, oldest first:
+// the per-commit entries the archiver logged when demoting superseded
+// committed versions out of the front tier. Unlike History — which
+// walks the front tier's retained chain — the list survives the
+// garbage collector and server restarts, as long as the archive does.
+func (s *Server) Snapshots(fcap capability.Capability) ([]archive.Entry, error) {
+	if err := s.checkAlive(); err != nil {
+		return nil, err
+	}
+	if err := s.shared.Fact.Verify(fcap, capability.RightRead); err != nil {
+		return nil, err
+	}
+	if s.shared.Archive == nil {
+		return nil, ErrNoArchive
+	}
+	return s.shared.Archive.Snapshots(fcap.Object), nil
+}
+
+// ReadSnapshot reads one page of the file as of archived snapshot seq:
+// the read-only time-travel path. The page tree is read through the
+// archive facade, so every block is re-hashed against its stored score
+// on the way — damage surfaces as block.ErrCorrupt naming the block.
+func (s *Server) ReadSnapshot(fcap capability.Capability, seq uint64, p page.Path) ([]byte, int, error) {
+	if err := s.checkAlive(); err != nil {
+		return nil, 0, err
+	}
+	if err := s.shared.Fact.Verify(fcap, capability.RightRead); err != nil {
+		return nil, 0, err
+	}
+	arch := s.shared.Archive
+	if arch == nil {
+		return nil, 0, ErrNoArchive
+	}
+	e, ok := arch.Snapshot(fcap.Object, seq)
+	if !ok {
+		return nil, 0, fmt.Errorf("server: object %d snapshot %d: %w", fcap.Object, seq, archive.ErrUnknownSnapshot)
+	}
+	tr := &version.Tree{St: version.NewStore(arch, s.shared.Acct), Root: e.Root}
 	pg, err := tr.PeekPage(p)
 	if err != nil {
 		return nil, 0, err

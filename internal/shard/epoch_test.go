@@ -1,0 +1,68 @@
+package shard_test
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/disk"
+	"repro/internal/shard"
+	"repro/internal/stable"
+)
+
+func memStore(t *testing.T) *block.Server {
+	t.Helper()
+	return block.NewServer(disk.MustNew(disk.Geometry{Blocks: 64, BlockSize: 128}))
+}
+
+// TestShardEpochForwarding: the facade's epoch is the MINIMUM over its
+// backends — conservative, since a stale shard means the whole stripe
+// set missed writes — and SetEpoch fans out to every backend.
+func TestShardEpochForwarding(t *testing.T) {
+	b1, b2, b3 := memStore(t), memStore(t), memStore(t)
+	st, err := shard.New(b1, b2, b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetEpoch(5); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range []*block.Server{b1, b2, b3} {
+		if e, _ := b.Epoch(); e != 5 {
+			t.Fatalf("backend %d epoch %d, want 5", i, e)
+		}
+	}
+	// One backend lags: the facade must report the laggard.
+	if err := b2.SetEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	e, err := st.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 3 {
+		t.Fatalf("facade epoch %d, want min 3", e)
+	}
+}
+
+// TestShardOfPairsEpoch: mirrored pairs as shard backends — the other
+// nesting order of the composition story — forward epochs through both
+// layers.
+func TestShardOfPairsEpoch(t *testing.T) {
+	p1 := stable.NewFailoverPair(memStore(t), memStore(t))
+	p2 := stable.NewFailoverPair(memStore(t), memStore(t))
+	st, err := shard.New(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetEpoch(2); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []*stable.Pair{p1, p2} {
+		if e, err := p.Epoch(); err != nil || e != 2 {
+			t.Fatalf("pair %d epoch %d err %v, want 2", i, e, err)
+		}
+	}
+	if e, err := st.Epoch(); err != nil || e != 2 {
+		t.Fatalf("facade epoch %d err %v, want 2", e, err)
+	}
+}

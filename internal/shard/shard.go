@@ -335,12 +335,54 @@ func (s *Store) ClearLocks() {
 	}
 }
 
+// Epoch implements block.EpochStore so a sharded store can sit under a
+// stable-storage half (pairs-under-shards, RAID-10 style) and still
+// support boot-time stale detection. The facade's epoch is the minimum
+// over its backends: a write counted by the outer layer only counts if
+// every shard saw the bump, so a shard that missed writes drags the
+// whole side down to "stale" — the conservative answer, triggering a
+// full copy rather than trusting divergent data. Every backend must
+// track epochs; otherwise the composition cannot answer.
+func (s *Store) Epoch() (uint64, error) {
+	var e uint64
+	for sh, b := range s.backends {
+		es, ok := b.(block.EpochStore)
+		if !ok {
+			return 0, fmt.Errorf("shard %d: store does not track epochs", sh)
+		}
+		be, err := es.Epoch()
+		if err != nil {
+			return 0, shardErr(sh, err)
+		}
+		if sh == 0 || be < e {
+			e = be
+		}
+	}
+	return e, nil
+}
+
+// SetEpoch implements block.EpochStore, fanning the new epoch out to
+// every backend.
+func (s *Store) SetEpoch(e uint64) error {
+	for sh, b := range s.backends {
+		es, ok := b.(block.EpochStore)
+		if !ok {
+			return fmt.Errorf("shard %d: store does not track epochs", sh)
+		}
+		if err := es.SetEpoch(e); err != nil {
+			return shardErr(sh, err)
+		}
+	}
+	return nil
+}
+
 var _ block.Store = (*Store)(nil)
 var _ block.MultiStore = (*Store)(nil)
 var _ block.Claimer = (*Store)(nil)
 var _ block.PairStore = (*Store)(nil)
 var _ block.UsageReporter = (*Store)(nil)
 var _ block.StatsReporter = (*Store)(nil)
+var _ block.EpochStore = (*Store)(nil)
 
 // --- the multi-block operations ---
 

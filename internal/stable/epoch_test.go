@@ -140,3 +140,81 @@ func TestEpochAlignsAfterTransportRejoin(t *testing.T) {
 		t.Fatalf("epochs differ after rejoin: a=%d b=%d", ea, eb)
 	}
 }
+
+// TestNestedPairEpochForwarding composes a pair of pairs (RAID-10
+// style) and checks the ROADMAP leftover this closes: the outer layer's
+// survivor bump must reach persistent storage THROUGH the inner pairs,
+// and a freshly built outer pair must detect the stale side from the
+// forwarded epochs alone.
+func TestNestedPairEpochForwarding(t *testing.T) {
+	m1, m2 := newMemPairStore(t), newMemPairStore(t)
+	m3, m4 := newMemPairStore(t), newMemPairStore(t)
+	pa := stable.NewFailoverPair(m1, m2)
+	pb := stable.NewFailoverPair(m3, m4)
+	outer := stable.NewFailoverPair(pa, pb)
+	acct := block.Account(1)
+
+	if _, err := outer.Alloc(acct, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Outer half B (the whole second inner pair) goes down; the outer
+	// survivor bump must land on BOTH backends of inner pair A.
+	_, hb := outer.Halves()
+	hb.Crash()
+	if _, err := outer.Alloc(acct, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []*block.Server{m1, m2} {
+		if e, _ := m.Epoch(); e != 1 {
+			t.Fatalf("inner-A backend %d epoch %d, want 1", i, e)
+		}
+	}
+	for i, m := range []*block.Server{m3, m4} {
+		if e, _ := m.Epoch(); e != 0 {
+			t.Fatalf("inner-B backend %d epoch %d, want 0", i, e)
+		}
+	}
+	if e, err := pa.Epoch(); err != nil || e != 1 {
+		t.Fatalf("inner pair A epoch %d err %v, want 1", e, err)
+	}
+
+	// A restarted composition over the same stores: the fresh outer
+	// pair has no memory of the outage and must name B stale purely
+	// from the epochs the inner pairs forward up.
+	outer2 := stable.NewFailoverPair(stable.NewFailoverPair(m1, m2), stable.NewFailoverPair(m3, m4))
+	name, err := outer2.DetectStale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "B" {
+		t.Fatalf("detected stale half %q, want B", name)
+	}
+}
+
+// TestDegradedInnerPairEpoch: a pair's logical epoch is the max over
+// its serving halves, so an inner pair serving on one half does not
+// misreport the composition as stale.
+func TestDegradedInnerPairEpoch(t *testing.T) {
+	m1, m2 := newMemPairStore(t), newMemPairStore(t)
+	p := stable.NewFailoverPair(m1, m2)
+	if err := p.SetEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []*block.Server{m1, m2} {
+		if e, _ := m.Epoch(); e != 3 {
+			t.Fatalf("backend %d epoch %d, want 3", i, e)
+		}
+	}
+	_, hb := p.Halves()
+	hb.Crash()
+	// The internal markdown bump raises the survivor past 3; the pair
+	// reports the surviving half's view.
+	e, err := p.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, _ := m1.Epoch()
+	if e != ea || e < 3 {
+		t.Fatalf("degraded pair epoch %d, survivor holds %d", e, ea)
+	}
+}

@@ -1612,6 +1612,61 @@ func (p *Pair) BlockStats() (block.Stats, error) {
 	return block.Stats{}, fmt.Errorf("stable: backend does not report stats")
 }
 
+// Epoch implements block.EpochStore so nested mirror compositions
+// forward epochs: when a Pair is itself the backend of an outer Half (a
+// pair of pairs, RAID-10 style), the outer layer's survivor bump and
+// boot-time stale detection must reach persistent storage through this
+// layer. A pair's logical epoch is the maximum over its serving halves'
+// backends — the pair as a unit has seen a write if either half has —
+// so a degraded inner pair does not misreport the composition as stale.
+func (p *Pair) Epoch() (uint64, error) {
+	var e uint64
+	found := false
+	for _, h := range []*Half{p.a, p.b} {
+		if h.Down() {
+			continue
+		}
+		he, ok := halfEpoch(h)
+		if !ok {
+			continue
+		}
+		if !found || he > e {
+			e = he
+		}
+		found = true
+	}
+	if !found {
+		return 0, fmt.Errorf("stable: no serving backend tracks epochs")
+	}
+	return e, nil
+}
+
+// SetEpoch implements block.EpochStore, forwarding to every serving
+// half's backend so both sides of the pair agree with the outer layer.
+// Best effort on a degraded pair: the down half realigns during rejoin
+// (alignEpochs), exactly as with pair-internal bumps.
+func (p *Pair) SetEpoch(e uint64) error {
+	set := false
+	for _, h := range []*Half{p.a, p.b} {
+		if h.Down() {
+			continue
+		}
+		es, ok := h.st.(block.EpochStore)
+		if !ok {
+			continue
+		}
+		if err := es.SetEpoch(e); err != nil {
+			return err
+		}
+		set = true
+	}
+	if !set {
+		return fmt.Errorf("stable: no serving backend tracks epochs")
+	}
+	return nil
+}
+
 var _ block.Store = (*Pair)(nil)
 var _ block.MultiStore = (*Pair)(nil)
 var _ block.PairStore = (*Pair)(nil)
+var _ block.EpochStore = (*Pair)(nil)

@@ -1,0 +1,63 @@
+package version
+
+import (
+	"repro/internal/block"
+	"repro/internal/page"
+)
+
+// WalkArchive walks this version's page tree bottom-up — children
+// before parents — presenting every page in canonical archival form:
+// the fields that are volatile front-tier state (locks, the commit
+// reference, the parent and base links, and all CRWSM flags) are
+// cleared, so two versions that carry the same client data encode to
+// the same bytes and collapse in a content-addressed store. emit
+// receives each canonical page with its reference table already
+// rewritten to the block numbers emit assigned to the children
+// (holes stay holes), and returns the number the archival store
+// assigned to this page. WalkArchive returns the root's number.
+//
+// Committed versions are immutable, so the walk needs no access
+// tracking; like Walk it is depth-first but fetches breadth-batched
+// through one multi-block read per page.
+func (t *Tree) WalkArchive(emit func(p page.Path, canonical *page.Page) (block.Num, error)) (block.Num, error) {
+	root, err := t.St.ReadPage(t.Root)
+	if err != nil {
+		return block.NilNum, err
+	}
+	return t.walkArchive(page.RootPath, root, emit)
+}
+
+func (t *Tree) walkArchive(p page.Path, pg *page.Page, emit func(page.Path, *page.Page) (block.Num, error)) (block.Num, error) {
+	canon := pg.Clone()
+	canon.CommitRef = block.NilNum
+	canon.TopLock = 0
+	canon.InnerLock = 0
+	canon.ParentRef = block.NilNum
+	canon.RootFlags = 0
+	canon.BaseRef = block.NilNum
+	var idxs []int
+	var ns []block.Num
+	for i, r := range pg.Refs {
+		canon.Refs[i] = page.Ref{}
+		if r.IsNil() {
+			continue
+		}
+		idxs = append(idxs, i)
+		ns = append(ns, r.Block)
+	}
+	if len(ns) > 0 {
+		children, err := t.St.ReadPages(ns)
+		if err != nil {
+			return block.NilNum, err
+		}
+		for k, child := range children {
+			i := idxs[k]
+			n, err := t.walkArchive(p.Child(i), child, emit)
+			if err != nil {
+				return block.NilNum, err
+			}
+			canon.Refs[i] = page.Ref{Block: n}
+		}
+	}
+	return emit(p, canon)
+}
