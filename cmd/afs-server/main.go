@@ -400,7 +400,16 @@ func main() {
 				return true
 			}
 		}
-		go col.Run(*gcEvery, stop, nil)
+		// Surface collection failures — including demote failures, which
+		// stall retirement and let the front tier grow until the archive
+		// recovers — in the server log.
+		gcErrs := make(chan error, 1)
+		go func() {
+			for err := range gcErrs {
+				log.Printf("%v", err) // errors carry their gc: prefix
+			}
+		}()
+		go col.Run(*gcEvery, stop, gcErrs)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -135,6 +135,16 @@ type rec struct {
 	kind  byte
 }
 
+// pendingPut reserves a score while its backing allocation is in
+// flight, so the index lock is never held across backing I/O and
+// concurrent puts of the same content still converge on one block.
+// n and err are written before done is closed and read only after.
+type pendingPut struct {
+	done chan struct{}
+	n    block.Num
+	err  error
+}
+
 // Store is the content-addressed facade. All methods are safe for
 // concurrent use (assuming the backing store is).
 type Store struct {
@@ -145,6 +155,7 @@ type Store struct {
 	mu      sync.RWMutex
 	byScore map[Score]block.Num
 	byNum   map[block.Num]rec
+	pending map[Score]*pendingPut
 	snaps   map[uint32][]Entry // per file object, ascending Seq
 
 	puts         atomic.Uint64
@@ -177,6 +188,7 @@ func New(backing block.Store, acct block.Account) (*Store, error) {
 		size:    backing.BlockSize() - FrameOverhead,
 		byScore: make(map[Score]block.Num),
 		byNum:   make(map[block.Num]rec),
+		pending: make(map[Score]*pendingPut),
 		snaps:   make(map[uint32][]Entry),
 	}
 	ns, err := backing.Recover(acct)
@@ -197,17 +209,63 @@ func New(backing block.Store, acct block.Account) (*Store, error) {
 			// onto damage.
 			continue
 		}
-		s.byNum[n] = rec{score: score, kind: kind}
-		if _, dup := s.byScore[score]; !dup {
-			s.byScore[score] = n
-		}
-		if kind == KindSnap {
-			if e, err := decodeEntry(payload); err == nil {
-				s.insertEntryLocked(e)
-			}
-		}
+		s.indexLocked(n, kind, payload, score)
 	}
 	return s, nil
+}
+
+// indexLocked adds one parsed frame to the score maps (and, for a
+// snapshot record, the snapshot log index). Caller holds s.mu.
+func (s *Store) indexLocked(n block.Num, kind byte, payload []byte, score Score) {
+	s.byNum[n] = rec{score: score, kind: kind}
+	if _, dup := s.byScore[score]; !dup {
+		s.byScore[score] = n
+	}
+	if kind == KindSnap {
+		if e, err := decodeEntry(payload); err == nil {
+			s.insertEntryLocked(e)
+		}
+	}
+}
+
+// Refresh re-runs the recovery scan and indexes blocks that another
+// process sharing the backing store has appended since New (or the
+// previous Refresh): the archiver calls it before assigning a snapshot
+// sequence, so sibling servers demoting into one shared archive see
+// each other's snapshots and dedup onto each other's blocks instead of
+// duplicating them. Backing reads happen with the lock released; a
+// block that fails the frame check is withheld from the dedup index,
+// exactly as in New.
+func (s *Store) Refresh() error {
+	ns, err := s.backing.Recover(s.acct)
+	if err != nil {
+		return fmt.Errorf("archive: refresh scan: %w", err)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	var fresh []block.Num
+	s.mu.RLock()
+	for _, n := range ns {
+		if _, ok := s.byNum[n]; !ok {
+			fresh = append(fresh, n)
+		}
+	}
+	s.mu.RUnlock()
+	for _, n := range fresh {
+		raw, err := s.backing.Read(s.acct, n)
+		if err != nil {
+			return fmt.Errorf("archive: refresh read block %d: %w", n, err)
+		}
+		kind, payload, score, err := parseFrame(n, raw)
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		if _, ok := s.byNum[n]; !ok {
+			s.indexLocked(n, kind, payload, score)
+		}
+		s.mu.Unlock()
+	}
+	return nil
 }
 
 // Backing returns the store underneath the facade (tests and the
@@ -302,28 +360,53 @@ func parseFrame(n block.Num, raw []byte) (kind byte, payload []byte, score Score
 // hit). A block is a fixed-size unit, so payloads shorter than the
 // facade block size are zero-padded before scoring — the stored (and
 // addressed) form is always exactly BlockSize bytes, which is also what
-// every read hands back. Put serialises against itself so concurrent
-// puts of the same content converge on one block.
+// every read hands back. Concurrent puts of the same content converge
+// on one block: the first reserves the score in the index, allocates
+// from the backing store with the lock released (so a slow backing
+// medium never blocks index reads or puts of other content), and the
+// rest wait for the reservation to resolve into a dedup hit.
 func (s *Store) Put(account block.Account, kind byte, payload []byte) (block.Num, bool, error) {
 	payload = s.pad(payload)
 	score := ScoreOf(kind, payload)
 	s.puts.Add(1)
 	s.bytesLogical.Add(uint64(len(payload)))
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n, ok := s.byScore[score]; ok {
-		s.dedupHits.Add(1)
-		return n, true, nil
+	for {
+		s.mu.Lock()
+		if n, ok := s.byScore[score]; ok {
+			s.mu.Unlock()
+			s.dedupHits.Add(1)
+			return n, true, nil
+		}
+		if p, ok := s.pending[score]; ok {
+			s.mu.Unlock()
+			<-p.done
+			if p.err == nil {
+				s.dedupHits.Add(1)
+				return p.n, true, nil
+			}
+			continue // the reservation failed; race for our own
+		}
+		p := &pendingPut{done: make(chan struct{})}
+		s.pending[score] = p
+		s.mu.Unlock()
+
+		n, err := s.backing.Alloc(account, frame(kind, payload, score))
+		s.mu.Lock()
+		delete(s.pending, score)
+		if err == nil {
+			s.byScore[score] = n
+			s.byNum[n] = rec{score: score, kind: kind}
+		}
+		s.mu.Unlock()
+		p.n, p.err = n, err
+		close(p.done)
+		if err != nil {
+			return block.NilNum, false, err
+		}
+		s.stored.Add(1)
+		s.bytesStored.Add(uint64(len(payload)))
+		return n, false, nil
 	}
-	n, err := s.backing.Alloc(account, frame(kind, payload, score))
-	if err != nil {
-		return block.NilNum, false, err
-	}
-	s.byScore[score] = n
-	s.byNum[n] = rec{score: score, kind: kind}
-	s.stored.Add(1)
-	s.bytesStored.Add(uint64(len(payload)))
-	return n, false, nil
 }
 
 // ScoreFor returns the stored score of block n.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/archive"
@@ -201,4 +202,107 @@ func TestArchiveReopen(t *testing.T) {
 	if seq := st2.LastSeq(7); seq != 1 {
 		t.Fatalf("last seq = %d, want 1", seq)
 	}
+}
+
+// TestPutConcurrentSameContent races many puts of one payload: the
+// reservation protocol must converge them on a single stored block —
+// one winner stores, every loser reports a dedup hit — without holding
+// the index lock across the backing allocation.
+func TestPutConcurrentSameContent(t *testing.T) {
+	_, st := newPair(t, 64, 128)
+	const n = 16
+	payload := []byte("raced content")
+	var wg sync.WaitGroup
+	got := make([]block.Num, n)
+	hits := make([]bool, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], hits[i], errs[i] = st.Put(1, archive.KindRaw, payload)
+		}(i)
+	}
+	wg.Wait()
+	stores := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("put %d: %v", i, errs[i])
+		}
+		if got[i] != got[0] {
+			t.Fatalf("put %d landed on block %d, put 0 on %d", i, got[i], got[0])
+		}
+		if !hits[i] {
+			stores++
+		}
+	}
+	if stores != 1 {
+		t.Fatalf("%d puts stored, want exactly 1", stores)
+	}
+	s := st.Stats()
+	if s.Stored != 1 || s.DedupHits != n-1 {
+		t.Fatalf("stats = %+v, want 1 stored, %d dedup hits", s, n-1)
+	}
+}
+
+// TestRefreshSeesSiblingAppends opens two stores over one backing — two
+// live server processes sharing an archive — and requires Refresh to
+// pick up blocks and snapshot records the sibling appended after this
+// store's index was built.
+func TestRefreshSeesSiblingAppends(t *testing.T) {
+	backing := block.NewServer(disk.MustNew(disk.Geometry{Blocks: 64, BlockSize: 128 + archive.FrameOverhead}))
+	a, err := archive.New(backing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := archive.New(backing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload := []byte("shared content")
+	n, err := a.Alloc(1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AppendSnapshot(1, archive.Entry{Object: 7, Seq: 1, Root: n}); err != nil {
+		t.Fatal(err)
+	}
+
+	// B's stale index misses both until it refreshes.
+	if _, ok := b.Lookup(archive.ScoreOf(archive.KindRaw, pad(payload, b.BlockSize()))); ok {
+		t.Fatal("stale index already sees the sibling's block")
+	}
+	if seq := b.LastSeq(7); seq != 0 {
+		t.Fatalf("stale LastSeq = %d, want 0", seq)
+	}
+	if err := b.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := b.Lookup(archive.ScoreOf(archive.KindRaw, pad(payload, b.BlockSize()))); !ok || got != n {
+		t.Fatalf("Lookup after refresh = %d, %v, want %d", got, ok, n)
+	}
+	if seq := b.LastSeq(7); seq != 1 {
+		t.Fatalf("LastSeq after refresh = %d, want 1", seq)
+	}
+	// A re-put on B dedups onto A's block instead of storing again.
+	stored := b.Stats().Stored
+	again, err := b.Alloc(1, payload)
+	if err != nil || again != n {
+		t.Fatalf("alloc after refresh: block %d, %v, want %d", again, err, n)
+	}
+	if b.Stats().Stored != stored {
+		t.Fatal("refresh-visible content stored a duplicate block")
+	}
+}
+
+// pad mirrors the store's zero-padding so tests can compute the score
+// of a stored (padded) payload.
+func pad(p []byte, size int) []byte {
+	if len(p) >= size {
+		return p
+	}
+	out := make([]byte, size)
+	copy(out, p)
+	return out
 }

@@ -22,7 +22,14 @@ import (
 // pass that reproduces the same snapshot score, and the log refuses
 // duplicates — so two servers demoting the same retired root (the
 // multi-server GC hazard) converge on one snapshot instead of
-// conflicting.
+// conflicting. Because a sibling process sharing the archive appends
+// behind this process's back, Demote refreshes the store's index from
+// the backing medium before checking the log and assigning a sequence.
+// The refresh closes the window for sequential demoters (the common
+// crash-and-takeover case); two servers demoting the same root at the
+// same instant can still each append a record — same score, different
+// Seq — which is harmless: the blocks dedup and either record opens
+// the same tree.
 type Archiver struct {
 	// Front reads the mutable tier the versions are demoted from.
 	Front *version.Store
@@ -105,6 +112,13 @@ func kindOf(p page.Path, pg *page.Page) byte {
 // log entry was written — false means the version (or a byte-identical
 // one) was already archived, which is a harmless no-op.
 func (a *Archiver) Demote(object uint32, root block.Num) (Entry, bool, error) {
+	// Pick up anything a sibling process demoted into the shared
+	// archive since our index was built, so the idempotency check and
+	// the Seq assignment below see its snapshots (and the rewrite
+	// dedups onto its blocks).
+	if err := a.Store.Refresh(); err != nil {
+		return Entry{}, false, fmt.Errorf("archive: demote object %d: %w", object, err)
+	}
 	tree := &version.Tree{St: a.Front, Root: root}
 	vscores := make(map[block.Num]Score)
 	var pages, dedup uint64

@@ -258,3 +258,65 @@ func TestSnapshotSurvivesReopen(t *testing.T) {
 		}
 	}
 }
+
+// TestDemoteAcrossLiveProcesses runs two archiver processes (two Store
+// facades over one backing medium) against the same front tier — the
+// shared-archive deployment the demote path must survive. A sibling
+// that demotes a root the first process already archived must converge
+// on the existing snapshot (no duplicate record, no stale Seq), because
+// Demote refreshes its index from the backing store first.
+func TestDemoteAcrossLiveProcesses(t *testing.T) {
+	front, stA, a := newTier(t)
+	stB, err := archive.New(stA.Backing(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &archive.Archiver{Front: front, Store: stB, Acct: 1}
+
+	tr1 := buildFile(t, front, 1, "v1")
+	eA, wrote, err := a.Demote(7, tr1.Root)
+	if err != nil || !wrote {
+		t.Fatalf("A demote: wrote=%v err=%v", wrote, err)
+	}
+
+	// B opened before A's demote; its stale index would have assigned
+	// Seq 1 again. The refresh inside Demote must surface A's snapshot.
+	eB, wrote, err := b.Demote(7, tr1.Root)
+	if err != nil || wrote {
+		t.Fatalf("B re-demote: wrote=%v err=%v", wrote, err)
+	}
+	if eB != eA {
+		t.Fatalf("B converged on %+v, want A's %+v", eB, eA)
+	}
+	if snaps := stB.Snapshots(7); len(snaps) != 1 {
+		t.Fatalf("B sees %d snapshots, want 1", len(snaps))
+	}
+
+	// A fresh version demoted by B continues A's sequence, and A in
+	// turn converges on B's record.
+	tr2 := buildFile(t, front, 20, "v2")
+	eB2, wrote, err := b.Demote(7, tr2.Root)
+	if err != nil || !wrote {
+		t.Fatalf("B demote v2: wrote=%v err=%v", wrote, err)
+	}
+	if eB2.Seq != 2 {
+		t.Fatalf("B assigned seq %d, want 2", eB2.Seq)
+	}
+	eA2, wrote, err := a.Demote(7, tr2.Root)
+	if err != nil || wrote {
+		t.Fatalf("A re-demote v2: wrote=%v err=%v", wrote, err)
+	}
+	if eA2 != eB2 {
+		t.Fatalf("A converged on %+v, want B's %+v", eA2, eB2)
+	}
+	for _, st := range []*archive.Store{stA, stB} {
+		if snaps := st.Snapshots(7); len(snaps) != 2 {
+			t.Fatalf("%d snapshots, want 2", len(snaps))
+		}
+		for _, e := range st.Snapshots(7) {
+			if err := archive.VerifySnapshot(st, 1, e); err != nil {
+				t.Fatalf("verify seq %d: %v", e.Seq, err)
+			}
+		}
+	}
+}

@@ -16,10 +16,12 @@ import (
 // own: each entry is stored as a KindSnap record in the archive itself,
 // so it is exactly as durable as the blocks it describes, it travels
 // with a remote archive mount, and appending the same entry twice
-// dedups into one record — which is what makes demotion idempotent
-// across servers sharing an archive. Open rebuilds the in-memory
-// per-object index from the same recovery scan that rebuilds the score
-// maps.
+// dedups into one record. New rebuilds the in-memory per-object index
+// from the same recovery scan that rebuilds the score maps, and
+// Refresh re-runs that scan so a live process sees records a sibling
+// appended after it opened — which is what makes demotion idempotent
+// across servers sharing an archive (see Archiver for the residual
+// same-instant race, which duplicates a record harmlessly).
 
 // ErrUnknownSnapshot reports a snapshot lookup that matched nothing.
 var ErrUnknownSnapshot = errors.New("archive: unknown snapshot")

@@ -159,10 +159,21 @@ func (t *Table) Entries() map[uint32]Entry {
 // when it has no base (the birth version), or when its base's commit
 // reference points back at it; uncommitted orphans are skipped — "clients
 // must be prepared to redo the updates in a version". A version whose
-// base vanished is committed too: an uncommitted version's base is the
-// file's retained entry point, which the collector never frees, so only
-// a committed version can outlive its base (the collector retires bases
-// once a successor commits).
+// base vanished is *inferred* committed: the collector retires bases only
+// once a successor commits, and it pins the bases of live uncommitted
+// versions, so normally only a committed version outlives its base. But
+// the pin lapses when the server holding the orphan open crashes, so the
+// inference can be wrong — Rebuild therefore prefers a provably committed
+// candidate and falls back to the inferred ones only when the file has no
+// provable entry, lest a crashed client's abandoned orphan shadow the
+// file's real committed content.
+//
+// The entry must also restore the table invariant that the commit chain
+// forward of it is fully alive (retirement advances the table before the
+// sweep frees anything). A candidate kept alive out of chain order — a
+// pinned base of a live update, say — can have a commit reference into
+// swept blocks; a candidate whose forward chain survives in full is
+// preferred over one whose chain is broken, within each certainty class.
 func Rebuild(st *version.Store) (*Table, error) {
 	nums, err := st.Blocks.Recover(st.Acct)
 	if err != nil {
@@ -191,29 +202,55 @@ func Rebuild(st *version.Store) (*Table, error) {
 		}
 	}
 
+	// chainIntact reports whether the commit chain forward of vp stays
+	// within the surviving version pages of obj all the way to a current
+	// (commit-reference-free) version.
+	chainIntact := func(obj uint32, vp *page.Page) bool {
+		cur := vp
+		for steps := 0; cur.CommitRef != block.NilNum; steps++ {
+			next, ok := pages[cur.CommitRef]
+			if !ok || !next.IsVersion || next.FileCap.Object != obj || steps > len(pages) {
+				return false
+			}
+			cur = next
+		}
+		return true
+	}
+
 	t := NewTable()
 	for obj, cands := range byFile {
+		// Rank 0: provable, intact chain — 1: inferred, intact chain —
+		// 2: provable, broken chain — 3: inferred, broken chain.
+		const worst = 4
+		best := worst
 		var entry block.Num
 		var fcap capability.Capability
 		for _, c := range cands {
 			fcap = c.vp.FileCap
-			committed := c.vp.CommitRef != block.NilNum || c.vp.BaseRef == block.NilNum
-			if !committed {
-				if base, ok := pages[c.vp.BaseRef]; !ok {
-					// The base was retired and swept (or lost): only a
-					// committed version survives its base.
-					committed = true
-				} else if base.IsVersion && base.FileCap.Object == obj {
-					committed = base.CommitRef == c.blk
-				} else {
-					// The base's block was freed and recycled as
-					// something else entirely — same story as a swept
-					// base.
-					committed = true
+			proven := c.vp.CommitRef != block.NilNum || c.vp.BaseRef == block.NilNum
+			if !proven {
+				if base, ok := pages[c.vp.BaseRef]; ok && base.IsVersion && base.FileCap.Object == obj {
+					if base.CommitRef != c.blk {
+						continue // an uncommitted orphan: skipped
+					}
+					// The base's commit reference points back: provable.
+					proven = true
 				}
+				// Otherwise the base was swept, lost, or its block
+				// recycled as something else entirely. Usually that
+				// means this version committed, but a crashed server's
+				// orphan can outlive its base too — inference, not
+				// proof (see above).
 			}
-			if committed && entry == block.NilNum {
-				entry = c.blk
+			rank := 0
+			if !proven {
+				rank = 1
+			}
+			if !chainIntact(obj, c.vp) {
+				rank += 2
+			}
+			if rank < best {
+				best, entry = rank, c.blk
 			}
 		}
 		if entry == block.NilNum {

@@ -238,3 +238,79 @@ func TestHasSubFilesDeep(t *testing.T) {
 		t.Fatal("plain file reported sub-files")
 	}
 }
+
+// TestRebuildPrefersProvenCommitted reproduces the crashed-client
+// resurrection hazard: an uncommitted orphan whose base was retired and
+// swept looks "committed" to the vanished-base inference, but the file
+// also has provably committed versions — and those must win, no matter
+// what order the recovery scan visits candidates in. Otherwise a crash
+// recovery would surface abandoned uncommitted data as the file's
+// current content.
+func TestRebuildPrefersProvenCommitted(t *testing.T) {
+	st := newStore(t)
+	f := capability.NewFactory(capability.NewPort().Public())
+
+	fa := f.Register(10)
+	v0, err := version.CreateFile(st, fa, f.Register(11), []byte("g0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A client opens an update of v0 and crashes: the orphan lives on.
+	orphan, err := version.CreateVersion(st, v0.Root, f.Register(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orphan.WritePage(page.RootPath, []byte("abandoned")); err != nil {
+		t.Fatal(err)
+	}
+	// Meanwhile v1 and v2 commit over v0.
+	v1, err := version.CreateVersion(st, v0.Root, f.Register(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.WritePage(page.RootPath, []byte("g1")); err != nil {
+		t.Fatal(err)
+	}
+	vp, _ := st.ReadPage(v0.Root)
+	vp.CommitRef = v1.Root
+	if err := st.WritePage(v0.Root, vp); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := version.CreateVersion(st, v1.Root, f.Register(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.WritePage(page.RootPath, []byte("g2")); err != nil {
+		t.Fatal(err)
+	}
+	vp, _ = st.ReadPage(v1.Root)
+	vp.CommitRef = v2.Root
+	if err := st.WritePage(v1.Root, vp); err != nil {
+		t.Fatal(err)
+	}
+	// The collector retires v0 past the horizon and sweeps it — the
+	// orphan's base vanishes, so the orphan now *infers* committed,
+	// while v1 (commit ref set) and v2 (v1 points back) stay provable.
+	if err := st.Blocks.Free(st.Acct, v0.Root); err != nil {
+		t.Fatal(err)
+	}
+
+	// Candidate order is map-iteration order; several rounds guard
+	// against a lucky pass.
+	for i := 0; i < 10; i++ {
+		tb, err := Rebuild(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := tb.Get(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Entry == orphan.Root {
+			t.Fatal("rebuild resurrected the abandoned orphan as the entry")
+		}
+		if e.Entry != v1.Root && e.Entry != v2.Root {
+			t.Fatalf("entry = %d, want a proven committed version (%d or %d)", e.Entry, v1.Root, v2.Root)
+		}
+	}
+}

@@ -47,8 +47,15 @@ type Report struct {
 	Reshared  int // page copies replaced by their base's page
 	Retired   int // committed versions dropped past the horizon
 	Demoted   int // retired versions rewritten into the archive tier
-	LiveRoots int // root versions marked (retained + uncommitted)
-	Duration  time.Duration
+	// DemoteErrors counts demote attempts that failed this cycle; the
+	// versions stay retained (nothing committed is freed unarchived),
+	// so a persistently failing archive shows up here — and through the
+	// Run errs channel — instead of silently halting retirement while
+	// the front tier grows.
+	DemoteErrors int
+	DemoteErr    error // last demote failure, nil when DemoteErrors is 0
+	LiveRoots    int   // root versions marked (retained + uncommitted + pinned bases)
+	Duration     time.Duration
 }
 
 // Collector reclaims storage for one file service.
@@ -74,12 +81,18 @@ type Collector struct {
 	// is handed to the archive tier (still fully readable — the sweep
 	// has not touched it) before the table advances past it. A version
 	// the archiver cannot take stays retained for this cycle, so
-	// nothing committed is ever freed unarchived. Demotion is
-	// idempotent (content-addressed, and the snapshot log refuses
-	// duplicates), which also defuses the multi-server hazard: a second
-	// server demoting the same retired root is a pure dedup no-op. The
-	// remaining constraint is unchanged — only one server may *sweep*
-	// (-gc on exactly one), because concurrent sweeps can still free a
+	// nothing committed is ever freed unarchived; failures are counted
+	// in Report.DemoteErrors and surfaced through Run's errs channel.
+	// Demotion is idempotent (content-addressed, the snapshot log
+	// refuses duplicates, and the archiver refreshes its index from the
+	// shared backing store first), which also defuses the multi-server
+	// hazard: a second server demoting the same retired root converges
+	// on the sibling's snapshot instead of double-freeing. Two servers
+	// demoting the same root at the same instant can still each append
+	// a log record (same score, different Seq) — harmless, the blocks
+	// dedup and either record opens the same tree. The remaining
+	// constraint is unchanged — only one server may *sweep* (-gc on
+	// exactly one), because concurrent sweeps can still free a
 	// sibling's not-yet-linked shadow pages.
 	Demote func(object uint32, root block.Num) error
 
@@ -145,6 +158,8 @@ func (g *Collector) Collect() (Report, error) {
 					continue
 				}
 				if err := g.Demote(obj, root); err != nil {
+					rep.DemoteErrors++
+					rep.DemoteErr = fmt.Errorf("gc: demote object %d root %d: %w", obj, root, err)
 					break
 				}
 				handled++
@@ -171,7 +186,19 @@ func (g *Collector) Collect() (Report, error) {
 		roots = append(roots, retained...)
 	}
 	if g.Live != nil {
-		roots = append(roots, g.Live()...)
+		live := g.Live()
+		roots = append(roots, live...)
+		// Pin each live uncommitted version's base as well. Retirement
+		// follows only the committed chain from the table entry, so an
+		// old base kept alive solely by an in-flight update would
+		// otherwise be retired and swept under it — and a crash-recovery
+		// Rebuild relies on "an uncommitted version's base survives" to
+		// tell abandoned orphans from committed survivors.
+		for _, n := range live {
+			if pg, err := g.St.ReadPage(n); err == nil && pg.BaseRef != block.NilNum {
+				roots = append(roots, pg.BaseRef)
+			}
+		}
 	}
 	rep.LiveRoots = len(roots)
 
@@ -390,7 +417,14 @@ func (g *Collector) Run(interval time.Duration, stop <-chan struct{}, errs chan<
 		case <-stop:
 			return
 		case <-t.C:
-			if _, err := g.Collect(); err != nil && errs != nil {
+			rep, err := g.Collect()
+			if err == nil {
+				// A cycle that completed but could not demote is a
+				// degraded success: retirement is stalled until the
+				// archive recovers, which the operator must hear about.
+				err = rep.DemoteErr
+			}
+			if err != nil && errs != nil {
 				select {
 				case errs <- err:
 				default:

@@ -8,6 +8,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/block"
 	"repro/internal/disk"
+	"repro/internal/file"
 	"repro/internal/occ"
 	"repro/internal/page"
 	"repro/internal/server"
@@ -48,6 +49,10 @@ func (f *fixture) collectTwice(t *testing.T) Report {
 	r2.Reshared += r1.Reshared
 	r2.Retired += r1.Retired
 	r2.Demoted += r1.Demoted
+	r2.DemoteErrors += r1.DemoteErrors
+	if r2.DemoteErr == nil {
+		r2.DemoteErr = r1.DemoteErr
+	}
 	return r2
 }
 
@@ -450,6 +455,10 @@ func TestDemoteFailureRetains(t *testing.T) {
 	if rep.Demoted != 0 || rep.Retired != 0 {
 		t.Fatalf("broken archive: demoted %d retired %d, want 0/0", rep.Demoted, rep.Retired)
 	}
+	// The failure must be visible in the report, not silently swallowed.
+	if rep.DemoteErrors == 0 || rep.DemoteErr == nil {
+		t.Fatalf("broken archive: DemoteErrors=%d DemoteErr=%v, want the failure surfaced", rep.DemoteErrors, rep.DemoteErr)
+	}
 	if hist, _ := f.srv.History(fcap); len(hist) != 4 {
 		t.Fatalf("history shrank to %d with the archive down", len(hist))
 	}
@@ -458,10 +467,88 @@ func TestDemoteFailureRetains(t *testing.T) {
 	if rep.Demoted != 3 {
 		t.Fatalf("recovered archive: demoted %d, want 3", rep.Demoted)
 	}
+	if rep.DemoteErrors != 0 || rep.DemoteErr != nil {
+		t.Fatalf("recovered archive still reports DemoteErrors=%d DemoteErr=%v", rep.DemoteErrors, rep.DemoteErr)
+	}
 	if hist, _ := f.srv.History(fcap); len(hist) != 1 {
 		t.Fatalf("history = %d after recovery, want 1", len(hist))
 	}
 	if got := st.Snapshots(fcap.Object); len(got) != 3 {
 		t.Fatalf("snapshots = %d, want 3", len(got))
+	}
+}
+
+// TestLiveVersionBasePinned: a client opens an update on a sibling
+// server and stalls while newer commits land; retention retires the
+// orphan's base, but the collector must pin it — the base is what lets
+// a later crash-recovery Rebuild tell the abandoned orphan from a
+// committed survivor (and what the orphan would redo its updates from).
+func TestLiveVersionBasePinned(t *testing.T) {
+	f := newFixture(t, 1)
+	sib := server.New(f.srv.Shared(), nil)
+	f.col.Live = func() []block.Num {
+		return append(f.srv.LiveVersions(), sib.LiveVersions()...)
+	}
+
+	fcap, _ := f.srv.CreateFile([]byte("g0"))
+	if _, err := sib.CreateVersion(fcap, server.CreateVersionOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	live := sib.LiveVersions()
+	if len(live) != 1 {
+		t.Fatalf("live versions = %d, want 1", len(live))
+	}
+	orphanRoot := live[0]
+	opg, err := f.col.St.ReadPage(orphanRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := opg.BaseRef
+	if base == block.NilNum {
+		t.Fatal("orphan has no base")
+	}
+
+	for i := 1; i <= 3; i++ {
+		v, _ := f.srv.CreateVersion(fcap, server.CreateVersionOpts{})
+		f.srv.WritePage(v, page.RootPath, []byte(fmt.Sprintf("g%d", i)))
+		if err := f.srv.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := f.collectTwice(t)
+	if rep.Freed == 0 {
+		t.Fatal("retention freed nothing")
+	}
+	// The orphan's base survived retirement and two sweep cycles.
+	bp, err := f.col.St.ReadPage(base)
+	if err != nil {
+		t.Fatalf("live orphan's base swept: %v", err)
+	}
+	if bp.CommitRef == block.NilNum {
+		t.Fatal("base lost its commit reference")
+	}
+	// Crash recovery now classifies the orphan correctly: its base is
+	// present and points at the committed successor, not at it.
+	tb, err := file.Rebuild(f.col.St)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tb.Get(fcap.Object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Entry == orphanRoot {
+		t.Fatal("rebuild resurrected the live orphan as the entry")
+	}
+	chain, err := occ.History(f.col.St, e.Entry)
+	if err != nil || len(chain) == 0 {
+		t.Fatalf("history from rebuilt entry: %v", err)
+	}
+	cur, err := f.col.St.ReadPage(chain[len(chain)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cur.Data) != "g3" {
+		t.Fatalf("rebuilt current content = %q, want g3", cur.Data)
 	}
 }

@@ -77,7 +77,7 @@ const (
 	// CmdOpenAt reads the page at path Data of the file as of archived
 	// snapshot Args[0] — the read-only time-travel path. Reply
 	// Args[0]=nrefs, Data=page data. A hash-check failure along the
-	// descent reports StatusIO naming the corrupt archive block.
+	// descent reports StatusCorrupt naming the corrupt archive block.
 	CmdOpenAt
 )
 
