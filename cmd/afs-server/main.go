@@ -95,10 +95,12 @@ func main() {
 		stale     = flag.String("stale", "", "mirror halves known to have missed writes, as PAIR:a|b[,PAIR:a|b...] (e.g. 0:b): mounted down and restored by full copy (usually unnecessary: epochs detect this)")
 		debugAddr = flag.String("debug-addr", "", "HTTP address serving expvar counters on /debug/vars and Prometheus text on /metrics (empty disables)")
 		archSpec  = flag.String("archive", "", "archive tier backing: a directory (durable segstore, sized by -nblocks) or PORT@ADDR (remote block service); the collector demotes retired versions here instead of deleting them")
-		gcEvery   = flag.Duration("gc", 5*time.Second, "garbage collection interval (0 disables; run the collector on ONE server of a -peers mesh)")
+		gcEvery   = flag.Duration("gc", 5*time.Second, "garbage collection interval (0 disables; safe to leave on everywhere in a -peers mesh — the lowest-ID replica is elected sweeper)")
 		gcRetain  = flag.Int("retain", 4, "committed versions retained per file")
 		serverID  = flag.Uint("id", 0, "replica ID of this process, 0..63: bands its object numbers and names its file-table replication port (must be unique across a -peers mesh)")
 		peers     = flag.String("peers", "", "sibling afs-server processes as ID@ADDR[,ID@ADDR...]: replicates the file table (and capability secrets) so all of them serve one file system over one shared block store")
+		pushBatch = flag.Int("push-batch", ftab.DefaultPushBatch, "file-table updates carried per replication frame: the per-peer streams coalesce up to this many pending pushes into one wire round trip")
+		pushWin   = flag.Duration("push-window", 0, "how long a below-batch-size replication frame waits for company before it is sent (0 sends immediately; raise to trade propagation lag for larger batches)")
 	)
 	flag.Parse()
 	if *serverID > ftab.MaxID {
@@ -259,7 +261,7 @@ func main() {
 	var rep *ftab.Replicated
 	var liveSrvs atomic.Value // holds []*server.Server for the ftab handler
 	if *peers != "" {
-		rep = buildFtab(sh, store, uint32(*serverID), *peers, &liveSrvs)
+		rep = buildFtab(sh, store, uint32(*serverID), *peers, *pushBatch, *pushWin, &liveSrvs)
 		sh.Table = rep
 		tcp.Register(ftab.PortFor(uint32(*serverID)), rep.Handler())
 		if n := rep.Bootstrap(); n > 0 {
@@ -270,7 +272,11 @@ func main() {
 				*serverID, sh.Fact.Port())
 		}
 		if *gcEvery > 0 {
-			log.Printf("ftab: collector enabled on this replica; run it on exactly ONE server of the mesh (-gc=0 on the others)")
+			if rep.SweepLeader() {
+				log.Printf("ftab: replica %d is the elected sweeper (lowest configured ID); siblings' collectors stand by", *serverID)
+			} else {
+				log.Printf("ftab: collector standing by; a lower-ID replica is the elected sweeper")
+			}
 		}
 	}
 
@@ -391,6 +397,12 @@ func main() {
 		}
 		if rep != nil {
 			col.Gate = func() bool {
+				// Election first: every server may run the collector, but
+				// only the lowest-ID replica sweeps (concurrent sweeps
+				// could free a sibling's not-yet-linked shadow pages).
+				if !rep.SweepLeader() {
+					return false
+				}
 				pins, ok := rep.PeerLive()
 				if !ok {
 					log.Printf("gc: cycle skipped: a file-table peer is unreachable and its open versions cannot be pinned")
@@ -416,6 +428,15 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	close(stop)
+	if rep != nil {
+		// Drain the push streams before tearing anything down: updates
+		// already acknowledged to clients may still be queued for peers.
+		// A timeout is not data loss — peers that missed the tail catch
+		// up by snapshot when they next heal against a live replica.
+		if !rep.Close(5 * time.Second) {
+			log.Printf("ftab: shutdown flush timed out; unreached peers catch up by snapshot resync")
+		}
+	}
 	tcp.Close()
 	if closeStore != nil {
 		closeStore()
@@ -445,8 +466,8 @@ func main() {
 	}
 	if rep != nil {
 		s := rep.StatsSnapshot()
-		log.Printf("ftab: %d pushes (%d failed), %d applied (%d fast), %d resolved from storage, %d tie-breaks, %d resyncs, peers %d up / %d down",
-			s.Pushes, s.PushFailures, s.Applied, s.FastApplied, s.Resolved, s.TieBreaks, s.Resyncs, s.PeersUp, s.PeersDown)
+		log.Printf("ftab: %d pushes in %d frames (%d coalesced, %d overflows, %d failed), %d applied (%d fast), %d resolved from storage, %d tie-breaks, %d resyncs, peers %d up / %d down",
+			s.Pushes, s.Batches, s.Coalesced, s.Overflows, s.PushFailures, s.Applied, s.FastApplied, s.Resolved, s.TieBreaks, s.Resyncs, s.PeersUp, s.PeersDown)
 	}
 	log.Printf("file service down: %d files", sh.Table.Len())
 }
@@ -456,17 +477,19 @@ func main() {
 // rides along (secrets travel with entries), and each ID@ADDR peer is
 // dialled lazily with a fail-fast retry policy so a dead sibling never
 // stalls the commit path.
-func buildFtab(sh *server.Shared, store block.Store, id uint32, peerList string, liveSrvs *atomic.Value) *ftab.Replicated {
+func buildFtab(sh *server.Shared, store block.Store, id uint32, peerList string, pushBatch int, pushWin time.Duration, liveSrvs *atomic.Value) *ftab.Replicated {
 	local, ok := sh.Table.(*file.Table)
 	if !ok {
 		log.Fatal("ftab: shared table already replaced")
 	}
 	rep := ftab.NewReplicated(ftab.Options{
-		ID:        id,
-		Local:     local,
-		Store:     version.NewStore(store, sh.Acct),
-		Ident:     sh.Fact,
-		PortAlive: sh.Ports.Alive,
+		ID:         id,
+		Local:      local,
+		Store:      version.NewStore(store, sh.Acct),
+		Ident:      sh.Fact,
+		PortAlive:  sh.Ports.Alive,
+		PushBatch:  pushBatch,
+		PushWindow: pushWin,
 		Live: func() []block.Num {
 			srvs, _ := liveSrvs.Load().([]*server.Server)
 			var out []block.Num
@@ -995,12 +1018,19 @@ func writeProm(w io.Writer, store block.Store, sharded *shard.Store, pairs []*st
 		for kind, v := range map[string]uint64{
 			"pushes": s.Pushes, "push_failures": s.PushFailures, "applied": s.Applied,
 			"fast_applied": s.FastApplied, "resolved": s.Resolved, "tie_breaks": s.TieBreaks,
-			"resyncs": s.Resyncs,
+			"resyncs": s.Resyncs, "batches": s.Batches, "coalesced": s.Coalesced,
+			"overflows": s.Overflows,
 		} {
 			metrics.WriteSample(w, "afs_ftab_total", map[string]string{"event": kind}, float64(v))
 		}
 		metrics.WriteHelp(w, "afs_ftab_peers", "gauge", "File-table peers by state.")
 		metrics.WriteSample(w, "afs_ftab_peers", map[string]string{"state": "up"}, float64(s.PeersUp))
 		metrics.WriteSample(w, "afs_ftab_peers", map[string]string{"state": "down"}, float64(s.PeersDown))
+		metrics.WriteHelp(w, "afs_ftab_queue_depth", "gauge", "Updates pending across the per-peer push streams.")
+		metrics.WriteSample(w, "afs_ftab_queue_depth", nil, float64(s.QueueDepth))
+		metrics.WriteHelp(w, "afs_ftab_batch_size", "histogram", "Updates carried per replication frame.")
+		rep.BatchSizes.Snapshot().Write(w, "afs_ftab_batch_size", nil)
+		metrics.WriteHelp(w, "afs_ftab_push_seconds", "histogram", "Wire round-trip latency per replication frame.")
+		rep.PushLatency.Snapshot().Write(w, "afs_ftab_push_seconds", nil)
 	}
 }

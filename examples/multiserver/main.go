@@ -7,9 +7,11 @@
 //
 // The demo walks the availability story end to end:
 //
-//  1. A file created through machine 0 is immediately updatable through
-//     machine 1: the entry, and the capability secret that makes the
-//     capability verify there, replicated at create time.
+//  1. A file created through machine 0 is updatable through machine 1
+//     as soon as the asynchronous push streams deliver it: the entry,
+//     and the capability secret that makes the capability verify there,
+//     ride the same batched stream every table update does (the demo
+//     drains the stream with Flush — a real client simply retries).
 //  2. Concurrent clients commit through BOTH machines at once. Every
 //     table update is an OCC CAS serialised by the storage-level commit
 //     reference, so no update is lost — verified against a
@@ -43,6 +45,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/capability"
@@ -369,6 +372,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The create was acknowledged after local durability only; drain
+	// machine 0's push streams so machine 1 holds the entry (and the
+	// secret that verifies the capability) before we present it there.
+	m0.rep.Flush(10 * time.Second)
 	v, err := c1.Update(fcap, client.UpdateOpts{})
 	if err != nil {
 		log.Fatalf("machine 1 refuses the capability machine 0 minted: %v", err)

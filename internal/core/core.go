@@ -269,6 +269,37 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// FlushTables drains the replicated tables' asynchronous push streams:
+// when it returns true, every table mutation made so far has reached
+// every peer instance that is up. Mutations are acknowledged before
+// they propagate (ack after local durability), so anything that writes
+// through one instance and immediately reads through another — tests,
+// orchestration — quiesces here first. A no-op on single-instance
+// clusters.
+func (c *Cluster) FlushTables(timeout time.Duration) bool {
+	ok := true
+	for _, rep := range c.Tables {
+		if !rep.Flush(timeout) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Close shuts down the replicated tables' push streams, flushing
+// pending updates for at most the given timeout per instance
+// (non-positive waits indefinitely). It reports whether everything
+// drained; on false, peers resync by snapshot on their next heal.
+func (c *Cluster) Close(timeout time.Duration) bool {
+	ok := true
+	for _, rep := range c.Tables {
+		if !rep.Close(timeout) {
+			ok = false
+		}
+	}
+	return ok
+}
+
 // group names a server's process group on the network.
 func (c *Cluster) group(id int) string { return fmt.Sprintf("afs-%d", id) }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/ftab"
@@ -36,6 +37,9 @@ func TestPeersClusterEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The create is acknowledged before it propagates; drain the async
+	// push streams so instance 1 holds the entry and its secret.
+	c.FlushTables(30 * time.Second)
 	// Update through the OTHER machine: the replicated secret makes the
 	// capability verify there, and the replicated entry finds the file.
 	v, err := cli1.Update(fcap, client.UpdateOpts{})
@@ -68,6 +72,7 @@ func TestPeersClusterEndToEnd(t *testing.T) {
 	if string(got) != "updated on machine 1" {
 		t.Fatalf("instance 0 read %q", got)
 	}
+	c.FlushTables(30 * time.Second)
 	if a, b := ftab.Fingerprint(c.Shareds[0].Table), ftab.Fingerprint(c.Shareds[1].Table); a != b {
 		t.Fatalf("tables diverged: %s vs %s", a, b)
 	}
@@ -86,6 +91,7 @@ func TestPeersVersionLostRedo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	c.FlushTables(30 * time.Second)
 	v, err := cli.Update(fcap, client.UpdateOpts{})
 	if err != nil {
 		t.Fatal(err)
@@ -155,6 +161,7 @@ func TestAdoptTableIdempotent(t *testing.T) {
 	if len(caps0) != 1 {
 		t.Fatalf("first adopter recovered %d files, want 1", len(caps0))
 	}
+	c.FlushTables(30 * time.Second)
 	// The second instance runs the same recovery; replication already
 	// delivered the entry, so it must adopt nothing new.
 	caps1, err := c.RecoverTableOn(1)
@@ -164,6 +171,7 @@ func TestAdoptTableIdempotent(t *testing.T) {
 	if len(caps1) != 0 {
 		t.Fatalf("second adopter minted %d capabilities, want 0 (idempotent adoption)", len(caps1))
 	}
+	c.FlushTables(30 * time.Second)
 	if a, b := ftab.Fingerprint(c.Shareds[0].Table), ftab.Fingerprint(c.Shareds[1].Table); a != b {
 		t.Fatalf("tables diverged after racing adoption: %s vs %s", a, b)
 	}

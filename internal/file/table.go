@@ -103,6 +103,14 @@ func (t *Table) CommitCAS(object uint32, expect, next block.Num) block.Num {
 	return next
 }
 
+// Retire moves the entry point to an older retained version: the
+// garbage collector's retention move. On the in-process table it is
+// exactly Advance; the replication layer distinguishes the two because
+// peers must adopt a retention move verbatim but chase a lazy Advance.
+func (t *Table) Retire(object uint32, committed block.Num) {
+	t.Advance(object, committed)
+}
+
 // MarkSuper flags the file as a super-file.
 func (t *Table) MarkSuper(object uint32) {
 	t.mu.Lock()
@@ -174,6 +182,11 @@ func (t *Table) Entries() map[uint32]Entry {
 // pinned base of a live update, say — can have a commit reference into
 // swept blocks; a candidate whose forward chain survives in full is
 // preferred over one whose chain is broken, within each certainty class.
+//
+// A removed file's chain head carries the Deleted tombstone flag (ftab's
+// Remove stamps it durably before the collector sweeps the chain);
+// candidates that are, or provably lead to, a tombstone are not
+// resurrected.
 func Rebuild(st *version.Store) (*Table, error) {
 	nums, err := st.Blocks.Recover(st.Acct)
 	if err != nil {
@@ -202,19 +215,20 @@ func Rebuild(st *version.Store) (*Table, error) {
 		}
 	}
 
-	// chainIntact reports whether the commit chain forward of vp stays
-	// within the surviving version pages of obj all the way to a current
-	// (commit-reference-free) version.
-	chainIntact := func(obj uint32, vp *page.Page) bool {
+	// chainHead follows the commit chain forward of vp while it stays
+	// within the surviving version pages of obj; it returns the current
+	// (commit-reference-free) version page, or nil when the chain leaves
+	// the surviving set (a broken chain).
+	chainHead := func(obj uint32, vp *page.Page) *page.Page {
 		cur := vp
 		for steps := 0; cur.CommitRef != block.NilNum; steps++ {
 			next, ok := pages[cur.CommitRef]
 			if !ok || !next.IsVersion || next.FileCap.Object != obj || steps > len(pages) {
-				return false
+				return nil
 			}
 			cur = next
 		}
-		return true
+		return cur
 	}
 
 	t := NewTable()
@@ -226,6 +240,17 @@ func Rebuild(st *version.Store) (*Table, error) {
 		var entry block.Num
 		var fcap capability.Capability
 		for _, c := range cands {
+			// A Deleted version page is the durable tombstone the
+			// replicated table stamps on the chain head when the file is
+			// removed: a candidate that is (or provably leads to) a
+			// tombstone must not resurrect the file. The tombstone sits
+			// at the head, so any candidate with an intact chain sees it.
+			if c.vp.Deleted {
+				continue
+			}
+			if h := chainHead(obj, c.vp); h != nil && h.Deleted {
+				continue
+			}
 			fcap = c.vp.FileCap
 			proven := c.vp.CommitRef != block.NilNum || c.vp.BaseRef == block.NilNum
 			if !proven {
@@ -246,7 +271,7 @@ func Rebuild(st *version.Store) (*Table, error) {
 			if !proven {
 				rank = 1
 			}
-			if !chainIntact(obj, c.vp) {
+			if chainHead(obj, c.vp) == nil {
 				rank += 2
 			}
 			if rank < best {

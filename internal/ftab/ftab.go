@@ -32,6 +32,24 @@
 // and a replica that was down converges by pulling a snapshot and letting
 // the chase rule absorb whatever it missed.
 //
+// # Propagation is asynchronous
+//
+// Because the apply rule tolerates late, reordered and missing updates,
+// propagation need not sit on the commit path. A mutation is
+// acknowledged as soon as it lands in the local table — durability is
+// already guaranteed by the storage-level commit reference — and each
+// peer has a bounded, ordered stream (one goroutine, one pending
+// queue) that coalesces the backlog into batched wire frames
+// (cmdUpdateBatch). Ordering holds per origin per peer: updates leave
+// one replica toward one peer in issue order. Backpressure never
+// blocks a commit: a full queue first merges same-object CAS updates
+// (newest wins; an adjacent pair merges losslessly), and a peer too
+// far behind to follow the stream at all is dropped to the snapshot
+// catch-up path — exactly the resync a crashed peer uses, so falling
+// behind and crashing are the same, already-handled case. Flush
+// quiesces the streams (tests, clean shutdown); Close flushes with a
+// timeout and stops them.
+//
 // # Capabilities travel with the table
 //
 // In Amoeba the per-object secrets that make check fields unforgeable
@@ -60,11 +78,16 @@
 // the client library turns a failed-over version operation into a redo
 // signal rather than asking a peer about state it cannot have.
 //
-// Known limit: entry deletion replicates as a best-effort tombstone; a
-// replica that was down across a Remove and never resyncs against a
-// replica that saw it can resurrect the entry from its own snapshot.
-// File deletion is not part of the paper's service surface, so this
-// trade keeps the protocol small.
+// Entry deletion replicates as a tombstone with a durable anchor:
+// Remove stamps the Deleted flag on the chain's storage head, so a
+// replica that was down across the Remove — or rebuilt from a §4
+// recovery scan — finds the tombstone when it chases the chain and
+// does not resurrect the file. Object numbers may be reused after a
+// Remove; a chain whose head is not tombstoned is recognised as a
+// legitimate re-create. Known limit: a commit racing the Remove on
+// another replica can still attach a successor past the stamped head;
+// file deletion is not part of the paper's service surface, so this
+// narrow window keeps the protocol small.
 package ftab
 
 import (
@@ -92,8 +115,14 @@ type Table interface {
 	Put(object uint32, e file.Entry)
 	// Advance records a newer committed version as the entry point: the
 	// lazy chase a read performs when it finds the entry behind the
-	// storage head.
+	// storage head. It is monotonic — replicas chase on mismatch, so a
+	// late Advance can never regress a fresher entry.
 	Advance(object uint32, committed block.Num)
+	// Retire moves the entry point to the oldest retained version: the
+	// garbage collector's retention move, deliberately behind the
+	// storage head. Replicas adopt it exactly (no chase), so the
+	// collector's replica and its peers stay byte-equal.
+	Retire(object uint32, committed block.Num)
 	// CommitCAS records a commit as a compare-and-swap on the entry:
 	// the caller observed expect and committed next after it. It
 	// returns the entry's new value (NilNum when the file is unknown).
@@ -144,10 +173,16 @@ func PortFor(id uint32) capability.Port {
 
 // Stats counts replication work.
 type Stats struct {
-	// Pushes counts update messages sent to peers; PushFailures counts
-	// sends that found the peer dead (it is then marked down until a
-	// resync).
+	// Pushes counts updates delivered to peers; PushFailures counts
+	// batch frames that found the peer dead (it is then marked down
+	// until a resync).
 	Pushes, PushFailures atomic.Uint64
+	// Batches counts wire frames sent by the per-peer streams (Pushes /
+	// Batches is the realised batching factor); Coalesced counts
+	// updates absorbed into an already-queued CAS under backpressure;
+	// Overflows counts peers dropped to snapshot catch-up because their
+	// queue filled with nothing to coalesce.
+	Batches, Coalesced, Overflows atomic.Uint64
 	// Applied counts remote updates applied; FastApplied the subset
 	// that matched their expectation and needed no storage I/O.
 	Applied, FastApplied atomic.Uint64
@@ -158,13 +193,16 @@ type Stats struct {
 	Resyncs atomic.Uint64
 }
 
-// StatsSnapshot is the plain-value form of Stats, for expvar.
+// StatsSnapshot is the plain-value form of Stats, for expvar, plus the
+// instantaneous depth of the pending stream queues.
 type StatsSnapshot struct {
-	Pushes, PushFailures uint64
-	Applied, FastApplied uint64
-	Resolved, TieBreaks  uint64
-	Resyncs              uint64
-	PeersUp, PeersDown   int
+	Pushes, PushFailures          uint64
+	Batches, Coalesced, Overflows uint64
+	Applied, FastApplied          uint64
+	Resolved, TieBreaks           uint64
+	Resyncs                       uint64
+	PeersUp, PeersDown            int
+	QueueDepth                    int
 }
 
 // Fingerprint hashes a table snapshot deterministically: object, entry

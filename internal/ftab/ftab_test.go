@@ -24,6 +24,7 @@ func TestReplicationBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	m.FlushAll(t)
 	e0, err := m.Replicas[0].Rep.Get(obj)
 	if err != nil {
 		t.Fatal(err)
@@ -44,6 +45,7 @@ func TestReplicationBasics(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("commit: ok=%v err=%v", ok, err)
 	}
+	m.FlushAll(t)
 	e0b, _ := m.Replicas[0].Rep.Get(obj)
 	e1b, _ := m.Replicas[1].Rep.Get(obj)
 	if e0b.Entry != e1b.Entry || e0b.Entry == e0.Entry {
@@ -66,6 +68,7 @@ func TestCrashCatchUp(t *testing.T) {
 		}
 		objs = append(objs, obj)
 	}
+	m.FlushAll(t)
 	m.Crash(2)
 	// Commits (and a create) land while replica 2 is down.
 	for i, obj := range objs {
@@ -177,6 +180,7 @@ func TestEqualOriginRemintConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	m.FlushAll(t)
 	if _, err := m.Replicas[1].Rep.Get(obj); err != nil {
 		t.Fatal(err)
 	}
@@ -217,11 +221,11 @@ func TestEqualOriginRemintConverges(t *testing.T) {
 	}
 }
 
-// TestAdvanceReplicatesExactly: an explicit Advance — the GC moving a
-// file's entry point to the oldest RETAINED version, deliberately
-// behind the head — must land as-is on every replica, not be chased
-// forward, or the tables diverge on every collection cycle.
-func TestAdvanceReplicatesExactly(t *testing.T) {
+// TestRetireReplicatesExactly: a Retire — the GC moving a file's entry
+// point to the oldest RETAINED version, deliberately behind the head —
+// must land as-is on every replica, not be chased forward, or the
+// tables diverge on every collection cycle.
+func TestRetireReplicatesExactly(t *testing.T) {
 	m := ftabtest.New(t, 2)
 	obj, err := m.CreateFile(t, 0, []byte("v0"))
 	if err != nil {
@@ -234,13 +238,15 @@ func TestAdvanceReplicatesExactly(t *testing.T) {
 			t.Fatalf("commit %d: ok=%v err=%v", i, ok, err)
 		}
 	}
+	m.FlushAll(t)
 	head, _ := m.Replicas[0].Rep.Get(obj)
 	if head.Entry == birth {
 		t.Fatal("no chain built")
 	}
 	// The collector on replica 0 moves the entry back to the birth
 	// version (still committed, still on the chain).
-	m.Replicas[0].Rep.Advance(obj, birth)
+	m.Replicas[0].Rep.Retire(obj, birth)
+	m.FlushAll(t)
 	for i, r := range m.Replicas {
 		e, _ := r.Rep.Get(obj)
 		if e.Entry != birth {
@@ -260,10 +266,12 @@ func TestRemoveReplicates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	m.FlushAll(t)
 	if _, err := m.Replicas[1].Rep.Get(obj); err != nil {
 		t.Fatal(err)
 	}
 	m.Replicas[0].Rep.Remove(obj)
+	m.FlushAll(t)
 	if _, err := m.Replicas[1].Rep.Get(obj); !errors.Is(err, file.ErrUnknownFile) {
 		t.Fatalf("want unknown after replicated remove, got %v", err)
 	}

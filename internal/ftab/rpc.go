@@ -33,14 +33,22 @@ const (
 	cmdPortAlive
 	// cmdLive returns this process's open version roots (GC pinning).
 	cmdLive
+	// cmdUpdateBatch delivers Args[1] incremental updates in one frame:
+	// the asynchronous per-peer stream's unit. Data is a sequence of
+	// op(1) obj(4) expect(4) next(4) plen(2) payload items; each item
+	// applies exactly as the matching cmdUpdate would.
+	cmdUpdateBatch
 )
 
-// Update ops (cmdUpdate Args[1]).
+// Update ops (cmdUpdate Args[1] / cmdUpdateBatch items).
 const (
 	opCreate uint64 = iota + 1
 	opCAS
 	opSuper
 	opDelete
+	// opRetire is the garbage collector's retention move: peers adopt
+	// the entry exactly instead of chasing (see applyRetire).
+	opRetire
 )
 
 // maxPageRows bounds one snapshot page: 21 bytes per row keeps the page
@@ -57,14 +65,54 @@ type snapRow struct {
 	secret  uint64
 }
 
-// updateMsg builds one cmdUpdate message.
-func updateMsg(sender uint32, op uint64, obj uint32, expect, next block.Num, data []byte) *rpc.Message {
-	m := &rpc.Message{Command: cmdUpdate, Data: data}
+// batchMsg builds one cmdUpdateBatch message from pending updates.
+func batchMsg(sender uint32, batch []upd) *rpc.Message {
+	m := &rpc.Message{Command: cmdUpdateBatch, Data: encodeBatch(batch)}
 	m.Args[0] = uint64(sender)
-	m.Args[1] = op
-	m.Args[2] = uint64(obj)
-	m.Args[3] = uint64(expect)<<32 | uint64(next)
+	m.Args[1] = uint64(len(batch))
 	return m
+}
+
+// encodeBatch packs updates for a cmdUpdateBatch frame: op(1) obj(4)
+// expect(4) next(4) plen(2) payload each.
+func encodeBatch(batch []upd) []byte {
+	out := make([]byte, 0, 15*len(batch))
+	for _, u := range batch {
+		out = append(out, byte(u.op))
+		out = appendU32(out, u.obj)
+		out = appendU32(out, uint32(u.expect))
+		out = appendU32(out, uint32(u.next))
+		out = append(out, byte(len(u.data)>>8), byte(len(u.data)))
+		out = append(out, u.data...)
+	}
+	return out
+}
+
+// decodeBatch unpacks encodeBatch.
+func decodeBatch(data []byte) ([]upd, error) {
+	var out []upd
+	for len(data) > 0 {
+		if len(data) < 15 {
+			return nil, fmt.Errorf("batch item of %d trailing bytes: %w", len(data), rpc.ErrMalformed)
+		}
+		u := upd{
+			op:     uint64(data[0]),
+			obj:    u32(data[1:]),
+			expect: block.Num(u32(data[5:])),
+			next:   block.Num(u32(data[9:])),
+		}
+		plen := int(data[13])<<8 | int(data[14])
+		data = data[15:]
+		if len(data) < plen {
+			return nil, fmt.Errorf("batch payload of %d bytes with %d left: %w", plen, len(data), rpc.ErrMalformed)
+		}
+		if plen > 0 {
+			u.data = append([]byte(nil), data[:plen]...)
+			data = data[plen:]
+		}
+		out = append(out, u)
+	}
+	return out, nil
 }
 
 // encodeCreate packs a create update's payload.
@@ -187,24 +235,30 @@ func (r *Replicated) Handler() rpc.Handler {
 			return req.Reply(rpc.StatusOK)
 
 		case cmdUpdate:
-			obj := uint32(req.Args[2])
-			expect := block.Num(req.Args[3] >> 32)
-			next := block.Num(req.Args[3] & 0xffffffff)
-			switch req.Args[1] {
-			case opCreate:
-				root, super, origin, secret, err := decodeCreate(req.Data)
-				if err != nil {
+			u := upd{
+				op:     req.Args[1],
+				obj:    uint32(req.Args[2]),
+				expect: block.Num(req.Args[3] >> 32),
+				next:   block.Num(req.Args[3] & 0xffffffff),
+				data:   req.Data,
+			}
+			if err := r.applyUpdate(u); err != nil {
+				return req.Errorf(rpc.StatusBadArgument, "ftab: %v", err)
+			}
+			return req.Reply(rpc.StatusOK)
+
+		case cmdUpdateBatch:
+			batch, err := decodeBatch(req.Data)
+			if err != nil {
+				return req.Errorf(rpc.StatusBadArgument, "ftab: %v", err)
+			}
+			if uint64(len(batch)) != req.Args[1] {
+				return req.Errorf(rpc.StatusBadArgument, "ftab: batch of %d items, header says %d", len(batch), req.Args[1])
+			}
+			for _, u := range batch {
+				if err := r.applyUpdate(u); err != nil {
 					return req.Errorf(rpc.StatusBadArgument, "ftab: %v", err)
 				}
-				r.applyEntry(obj, root, super, origin, secret)
-			case opCAS:
-				r.applyCAS(obj, expect, next)
-			case opSuper:
-				r.applySuper(obj)
-			case opDelete:
-				r.applyDelete(obj)
-			default:
-				return req.Errorf(rpc.StatusBadCommand, "%v %d", errUnknownOp, req.Args[1])
 			}
 			return req.Reply(rpc.StatusOK)
 

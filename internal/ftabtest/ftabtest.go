@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/capability"
@@ -59,23 +60,61 @@ type Mesh struct {
 	Store    block.Store
 	Acct     block.Account
 	Replicas []*Replica
+	tune     Tune
 }
 
-// New builds an n-replica mesh (all replicas up and bootstrapped).
-func New(tb TB, n int) *Mesh {
+// Tune shapes the replicas' asynchronous push streams, exercising the
+// edge cases the defaults rarely hit: tiny queues force the coalescing
+// and overflow paths, Delay injects wire latency (and with it
+// cross-origin reordering), PushWindow exercises frame accumulation.
+type Tune struct {
+	PushBatch  int
+	PushQueue  int
+	PushWindow time.Duration
+	// Delay, when set, is slept before every outbound peer transact.
+	Delay func() time.Duration
+}
+
+// delayed wraps a Transactor with the tune's injected wire latency.
+type delayed struct {
+	tr    rpc.Transactor
+	delay func() time.Duration
+}
+
+func (d delayed) Transact(port capability.Port, req *rpc.Message) (*rpc.Message, error) {
+	if dl := d.delay(); dl > 0 {
+		time.Sleep(dl)
+	}
+	return d.tr.Transact(port, req)
+}
+
+// peerTransactor returns the transactor replicas reach peers through.
+func (m *Mesh) peerTransactor() rpc.Transactor {
+	if m.tune.Delay != nil {
+		return delayed{tr: m.Net, delay: m.tune.Delay}
+	}
+	return m.Net
+}
+
+// New builds an n-replica mesh (all replicas up and bootstrapped) with
+// default stream tuning.
+func New(tb TB, n int) *Mesh { return NewTuned(tb, n, Tune{}) }
+
+// NewTuned builds an n-replica mesh with the given stream tuning.
+func NewTuned(tb TB, n int, tu Tune) *Mesh {
 	tb.Helper()
 	d, err := disk.New(disk.Geometry{Blocks: 1 << 14, BlockSize: 512})
 	if err != nil {
 		tb.Fatalf("disk: %v", err)
 	}
-	m := &Mesh{Net: rpc.NewNetwork(), Store: block.NewServer(d), Acct: 1}
+	m := &Mesh{Net: rpc.NewNetwork(), Store: block.NewServer(d), Acct: 1, tune: tu}
 	for i := 0; i < n; i++ {
 		m.Replicas = append(m.Replicas, m.newReplica(tb, uint32(i)))
 	}
 	for _, r := range m.Replicas {
 		for _, o := range m.Replicas {
 			if o.ID != r.ID {
-				r.Rep.AddPeer(o.ID, m.Net)
+				r.Rep.AddPeer(o.ID, m.peerTransactor())
 			}
 		}
 	}
@@ -99,6 +138,7 @@ func (m *Mesh) newReplica(tb TB, id uint32) *Replica {
 	fact := capability.NewFactory(capability.NewPort().Public())
 	rep := ftab.NewReplicated(ftab.Options{
 		ID: id, Local: tab, Store: st, Ident: fact,
+		PushBatch: m.tune.PushBatch, PushQueue: m.tune.PushQueue, PushWindow: m.tune.PushWindow,
 	})
 	return &Replica{ID: id, Tab: tab, Fact: fact, Rep: rep, St: st, Com: occ.NewCommitter(st)}
 }
@@ -163,9 +203,12 @@ func (m *Mesh) Commit(tb TB, i int, obj uint32, data []byte) (bool, error) {
 	return true, nil
 }
 
-// Crash kills replica i: its handler leaves the network (peers mark it
-// down on their next push) and its in-memory table state is dropped.
+// Crash kills replica i: its push streams die with their queues (a
+// dead process sends nothing more), its handler leaves the network
+// (peers mark it down on their next push) and its in-memory table
+// state is dropped.
 func (m *Mesh) Crash(i int) {
+	m.Replicas[i].Rep.Kill()
 	m.Net.Crash(m.group(i))
 	m.Replicas[i].crashed = true
 }
@@ -178,7 +221,7 @@ func (m *Mesh) Reboot(tb TB, i int) {
 	r := m.newReplica(tb, m.Replicas[i].ID)
 	for _, o := range m.Replicas {
 		if o.ID != r.ID {
-			r.Rep.AddPeer(o.ID, m.Net)
+			r.Rep.AddPeer(o.ID, m.peerTransactor())
 		}
 	}
 	m.Replicas[i] = r
@@ -199,7 +242,9 @@ func (m *Mesh) Reboot(tb TB, i int) {
 }
 
 // Uncrash re-registers replica i's existing state on the network: a
-// healed partition rather than a reboot (Reboot starts empty).
+// healed partition rather than a reboot (Reboot starts empty). The
+// replica's own push streams died with Crash; it converges through the
+// synchronous snapshot exchange (Heal), not by streaming.
 func (m *Mesh) Uncrash(tb TB, i int) {
 	tb.Helper()
 	r := m.Replicas[i]
@@ -212,10 +257,32 @@ func (m *Mesh) Uncrash(tb TB, i int) {
 	r.crashed = false
 }
 
-// HealAll runs every live replica's heal pass (rejoining down peers) —
-// the quiesce step before convergence checks.
+// Remove deletes obj through replica i (tombstone + durable stamp).
+func (m *Mesh) Remove(i int, obj uint32) {
+	m.Replicas[i].Rep.Remove(obj)
+}
+
+// FlushAll drains every live replica's asynchronous push streams.
+func (m *Mesh) FlushAll(tb TB) {
+	tb.Helper()
+	for _, r := range m.Replicas {
+		if r.crashed {
+			continue
+		}
+		if !r.Rep.Flush(30 * time.Second) {
+			tb.Errorf("replica %d: push streams did not drain", r.ID)
+		}
+	}
+}
+
+// HealAll quiesces the mesh before convergence checks: the async push
+// streams are flushed (so nothing is still on the wire), every live
+// replica runs its heal pass (rejoining down peers by snapshot
+// exchange), and the streams are flushed again (heal marks peers up,
+// so mutations that raced the heal may have queued behind it).
 func (m *Mesh) HealAll(tb TB) {
 	tb.Helper()
+	m.FlushAll(tb)
 	for _, r := range m.Replicas {
 		if r.crashed {
 			continue
@@ -224,6 +291,7 @@ func (m *Mesh) HealAll(tb TB) {
 			tb.Logf("heal: %v", err)
 		}
 	}
+	m.FlushAll(tb)
 }
 
 // CheckConverged asserts the convergence contract described in the
@@ -288,10 +356,32 @@ func (m *Mesh) CheckConverged(tb TB) {
 // Fuzz drives one seeded, concurrent scenario against a mesh: workers
 // (one per replica) create and commit against a shared file set, one
 // replica optionally crashes and reboots mid-stream, and the mesh must
-// converge after quiesce. Used by both the table-driven test and the
-// fuzz target.
+// converge after quiesce. The seed also picks the stream tuning, so
+// the corpus exercises backpressure coalescing and overflow (tiny
+// queues), injected wire delays (cross-origin reordering), and frame
+// accumulation windows alongside the default shape. Used by both the
+// table-driven test and the fuzz target.
 func Fuzz(tb TB, seed int64, replicas, files, steps int, crash bool) {
-	m := New(tb, replicas)
+	var tu Tune
+	switch seed & 3 {
+	case 1:
+		// Tiny queue and batch: every worker burst overflows, forcing
+		// per-object CAS coalescing and drop-to-snapshot catch-up.
+		tu.PushBatch, tu.PushQueue = 2, 4
+	case 2:
+		// Injected wire latency: frames from different origins overtake
+		// each other freely.
+		var mu sync.Mutex
+		rng := rand.New(rand.NewSource(seed))
+		tu.Delay = func() time.Duration {
+			mu.Lock()
+			defer mu.Unlock()
+			return time.Duration(rng.Intn(200)) * time.Microsecond
+		}
+	case 3:
+		tu.PushWindow = 100 * time.Microsecond
+	}
+	m := NewTuned(tb, replicas, tu)
 	// A shared file set, created through different replicas.
 	var objs []uint32
 	for f := 0; f < files; f++ {

@@ -90,10 +90,12 @@ type Collector struct {
 	// on the sibling's snapshot instead of double-freeing. Two servers
 	// demoting the same root at the same instant can still each append
 	// a log record (same score, different Seq) — harmless, the blocks
-	// dedup and either record opens the same tree. The remaining
-	// constraint is unchanged — only one server may *sweep* (-gc on
-	// exactly one), because concurrent sweeps can still free a
-	// sibling's not-yet-linked shadow pages.
+	// dedup and either record opens the same tree. Sweeping remains
+	// single-writer — concurrent sweeps could free a sibling's
+	// not-yet-linked shadow pages — but the constraint is enforced by
+	// election now, not configuration: every server may run the
+	// collector, and ftab.Replicated.SweepLeader picks exactly one
+	// (the lowest configured server ID) to actually sweep.
 	Demote func(object uint32, root block.Num) error
 
 	mu        sync.Mutex
@@ -169,7 +171,7 @@ func (g *Collector) Collect() (Report, error) {
 		}
 		rep.Retired += keepFrom
 		if keepFrom > 0 {
-			g.Table.Advance(obj, chain[keepFrom])
+			g.Table.Retire(obj, chain[keepFrom])
 		}
 		retained := chain[keepFrom:]
 		if g.Reshare {

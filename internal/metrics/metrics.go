@@ -32,17 +32,40 @@ var latencyBounds = [...]float64{
 const nBuckets = len(latencyBounds) + 1
 
 // Histogram is a fixed-bucket latency histogram safe for concurrent
-// Observe; the zero value is ready to use.
+// Observe; the zero value is ready to use and buckets by latencyBounds.
+// NewHistogram builds one with custom bounds instead (batch sizes,
+// queue depths — anything that is not a latency).
 type Histogram struct {
+	bounds []float64 // nil means latencyBounds
 	counts [nBuckets]atomic.Uint64
 	nanos  atomic.Uint64
 	count  atomic.Uint64
 }
 
+// NewHistogram builds a histogram over custom finite bucket bounds
+// (ascending; at most len(latencyBounds) of them — the count array is
+// fixed so the zero value stays allocation-free). A +Inf overflow
+// bucket is always appended.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) > len(latencyBounds) {
+		bounds = bounds[:len(latencyBounds)]
+	}
+	return &Histogram{bounds: append([]float64(nil), bounds...)}
+}
+
+// bucketBounds returns the finite bounds in effect.
+func (h *Histogram) bucketBounds() []float64 {
+	if h.bounds != nil {
+		return h.bounds
+	}
+	return latencyBounds[:]
+}
+
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	s := d.Seconds()
-	i := sort.SearchFloat64s(latencyBounds[:], s)
+	b := h.bucketBounds()
+	i := sort.SearchFloat64s(b, s)
 	// SearchFloat64s finds the first bound >= s except when s sits
 	// exactly on a bound (bucket semantics are le, so equal belongs in
 	// that bucket; Search returns its index, which is correct) or s is
@@ -61,7 +84,7 @@ func (h *Histogram) ObserveValue(v float64) {
 	if v < 0 || math.IsNaN(v) {
 		v = 0
 	}
-	i := sort.SearchFloat64s(latencyBounds[:], v)
+	i := sort.SearchFloat64s(h.bucketBounds(), v)
 	h.counts[i].Add(1)
 	h.nanos.Add(uint64(v * 1e9))
 	h.count.Add(1)
@@ -87,12 +110,13 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Count:      h.count.Load(),
 		SumSeconds: float64(h.nanos.Load()) / 1e9,
 	}
+	bounds := h.bucketBounds()
 	cum := uint64(0)
-	for i := 0; i < nBuckets; i++ {
+	for i := 0; i <= len(bounds); i++ {
 		cum += h.counts[i].Load()
 		ub := math.Inf(1)
-		if i < len(latencyBounds) {
-			ub = latencyBounds[i]
+		if i < len(bounds) {
+			ub = bounds[i]
 		}
 		s.Buckets = append(s.Buckets, BucketCount{UpperBound: ub, Count: cum})
 	}

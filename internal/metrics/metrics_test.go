@@ -38,6 +38,40 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramCustomBounds(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	for _, v := range []float64{0.5, 1, 3, 100} {
+		h.ObserveValue(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count %d, want 4", s.Count)
+	}
+	if got := len(s.Buckets); got != 5 {
+		t.Fatalf("%d buckets for 4 bounds, want 5 (incl. +Inf)", got)
+	}
+	// le=1 holds 0.5 and the exact bound 1; le=4 adds 3; +Inf adds 100.
+	if got := s.Buckets[0].Count; got != 2 {
+		t.Fatalf("le=1 bucket %d, want 2", got)
+	}
+	if got := s.Buckets[2].Count; got != 3 {
+		t.Fatalf("le=4 bucket %d, want 3", got)
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) || last.Count != 4 {
+		t.Fatalf("+Inf bucket %+v, want cumulative 4", last)
+	}
+	if s.SumSeconds != 104.5 {
+		t.Fatalf("sum %v, want 104.5", s.SumSeconds)
+	}
+	// The zero value keeps the latency bounds: 14 finite + Inf.
+	var lat Histogram
+	lat.ObserveValue(1)
+	if got := len(lat.Snapshot().Buckets); got != 15 {
+		t.Fatalf("zero-value histogram has %d buckets, want 15", got)
+	}
+}
+
 func TestExpositionFormat(t *testing.T) {
 	var h Histogram
 	h.Observe(time.Millisecond)

@@ -80,6 +80,12 @@ type Page struct {
 	// they carry the six header fields below; on other pages those
 	// fields are absent ("or ignored").
 	IsVersion bool
+	// Deleted marks a version page as the durable tombstone of a
+	// removed file: the replicated file table stamps the chain head
+	// when the file's entry is removed, so a §4 recovery scan (or a
+	// rebooted replica chasing the chain) does not resurrect the file
+	// before the collector sweeps its blocks.
+	Deleted bool
 
 	// FileCap is the capability of the file whose root this page is.
 	FileCap capability.Capability
@@ -117,6 +123,7 @@ type Page struct {
 const (
 	pageMagic       = 0xAF // "Amoeba File"
 	flagIsVersion   = 0x01
+	flagDeleted     = 0x02
 	headerFixedSize = 1 /*magic*/ + 1 /*flags*/ + 4 /*baseRef*/ + 2 /*nrefs*/ + 2                       /*dsize*/
 	versionHdrSize  = 2*capability.EncodedLen + 4 /*commitRef*/ + 8 + 8 /*locks*/ + 4 /*parentRef*/ + 1 /*rootFlags*/
 )
@@ -171,6 +178,9 @@ func (p *Page) Encode(blockSize int) ([]byte, error) {
 	if p.IsVersion {
 		hdr[1] |= flagIsVersion
 	}
+	if p.Deleted {
+		hdr[1] |= flagDeleted
+	}
 	out = append(out, hdr[:]...)
 	if p.IsVersion {
 		out = p.FileCap.Encode(out)
@@ -208,7 +218,7 @@ func Decode(src []byte) (*Page, error) {
 	if src[0] != pageMagic {
 		return nil, fmt.Errorf("bad magic %#x: %w", src[0], ErrCorrupt)
 	}
-	p := &Page{IsVersion: src[1]&flagIsVersion != 0}
+	p := &Page{IsVersion: src[1]&flagIsVersion != 0, Deleted: src[1]&flagDeleted != 0}
 	rest := src[2:]
 	if p.IsVersion {
 		if len(rest) < versionHdrSize {

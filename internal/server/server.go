@@ -760,8 +760,12 @@ func (s *Server) Commit(vcap capability.Capability) error {
 		rec.locks.Clear(rec.tree.Root, rec.locks.Port)
 		rec.state = StateCommitted
 		rec.closedAt = time.Now()
-		// The §5.4.1 table update: one CAS on the file's entry, pushed
-		// to every replica of the file table.
+		// The §5.4.1 table update: one CAS on the file's entry. This is
+		// the client's ack point — the commit is already durable through
+		// the storage-level commit reference set above, so the CAS only
+		// needs to land in the local table; propagation to peer replicas
+		// rides ftab's asynchronous batched streams, and late or lost
+		// deliveries self-heal through the chase rule.
 		s.shared.Table.CommitCAS(rec.fileObj, rec.topBase, rec.tree.Root)
 		s.ports.Unregister(rec.locks.Port)
 		return nil
