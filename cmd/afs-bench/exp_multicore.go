@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/segstore"
+)
+
+// runE16 prices the multicore segment log: write throughput across a
+// writers × log-lanes sweep. One lane serialises every append through a
+// single appender/fsync pipeline; K lanes stripe blocks across K
+// independent pipelines, so concurrent writers stop queueing behind one
+// fsync. No figure in the paper — the paper's block servers are
+// single-spindle machines; this table is what the same log design buys
+// on a multicore box with a parallel-capable device.
+func runE16() error {
+	writesPerWriter := 512
+	writerCounts := []int{1, 16, 64}
+	shardCounts := []int{1, 2, 4, 8}
+	if *quick {
+		writesPerWriter = 32
+		writerCounts = []int{1, 16}
+		shardCounts = []int{1, 4}
+	}
+
+	fmt.Printf("\nSequential 4K block writes (sync=group), writers x log lanes (GOMAXPROCS=%d):\n",
+		runtime.GOMAXPROCS(0))
+	header("writers", "lanes", "thpt w/s", "µs/write", "f/batch", "allocs/w")
+	thpt := map[[2]int]float64{}
+	for _, writers := range writerCounts {
+		for _, shards := range shardCounts {
+			// Best of two trials, as in E10: small boxes are at the
+			// mercy of GC pauses and leftover writeback.
+			var best, perWrite, fsyncsPerBatch, allocsPerWrite float64
+			for trial := 0; trial < 2; trial++ {
+				runtime.GC()
+				dir, err := os.MkdirTemp("", "afs-bench-seg-")
+				if err != nil {
+					return err
+				}
+				st, err := segstore.Open(dir, segstore.Options{
+					BlockSize: 4096,
+					Capacity:  1 << 20,
+					Sync:      segstore.SyncGroup,
+					LogShards: shards,
+				})
+				if err != nil {
+					os.RemoveAll(dir)
+					return err
+				}
+				t, p, fb, aw, err := laneWriteBench(st, writers, writesPerWriter)
+				st.Close()
+				os.RemoveAll(dir)
+				if err != nil {
+					return err
+				}
+				if t > best {
+					best, perWrite, fsyncsPerBatch, allocsPerWrite = t, p, fb, aw
+				}
+			}
+			row(writers, shards, best, perWrite, fsyncsPerBatch, allocsPerWrite)
+			record("e16", fmt.Sprintf("seg_writes_per_sec_%dw_%dshard", writers, shards), best)
+			record("e16", fmt.Sprintf("fsyncs_per_batch_%dw_%dshard", writers, shards), fsyncsPerBatch)
+			record("e16", fmt.Sprintf("allocs_per_write_%dw_%dshard", writers, shards), allocsPerWrite)
+			thpt[[2]int{writers, shards}] = best
+		}
+		exec.Command("sync").Run()
+	}
+	for _, writers := range writerCounts {
+		base := thpt[[2]int{writers, 1}]
+		for _, shards := range shardCounts {
+			if shards == 1 || base == 0 {
+				continue
+			}
+			ratio := thpt[[2]int{writers, shards}] / base
+			fmt.Printf("scaling at %2d writers, %d lanes over 1: %.2fx\n", writers, shards, ratio)
+			record("e16", fmt.Sprintf("scaling_%dw_%dshard_vs_1shard", writers, shards), ratio)
+		}
+	}
+	fmt.Println("\nOne lane is the old design: every writer funnels into one append")
+	fmt.Println("pipeline and one fsync stream. Striping blocks over per-CPU lanes")
+	fmt.Println("multiplies both, so throughput under concurrency scales with lanes")
+	fmt.Println("until the device or the core count runs out. Single-writer rows")
+	fmt.Println("stay flat: one block maps to one lane regardless of K.")
+
+	// Reopen a populated 4-lane store and verify every block back
+	// byte-for-byte: the concurrent per-lane recovery scans must merge
+	// into exactly the index the writers left behind.
+	nblocks := 1024
+	if *quick {
+		nblocks = 64
+	}
+	dir, err := os.MkdirTemp("", "afs-bench-seg-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := segstore.Open(dir, segstore.Options{
+		BlockSize: 4096, Capacity: 1 << 20, Sync: segstore.SyncNone, LogShards: 4,
+	})
+	if err != nil {
+		return err
+	}
+	payload := func(i int) []byte {
+		return bytes.Repeat([]byte{byte(i), byte(i >> 8)}, 2048)
+	}
+	nums := make([]block.Num, nblocks)
+	for i := 0; i < nblocks; i++ {
+		if nums[i], err = st.Alloc(1, payload(i)); err != nil {
+			st.Close()
+			return err
+		}
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	start := time.Now()
+	st2, err := segstore.Open(dir, segstore.Options{BlockSize: 4096, Capacity: 1 << 20})
+	if err != nil {
+		return err
+	}
+	defer st2.Close()
+	elapsed := time.Since(start)
+	for i := 0; i < nblocks; i++ {
+		got, err := st2.Read(1, nums[i])
+		if err != nil {
+			return fmt.Errorf("reopen read block %d: %v", nums[i], err)
+		}
+		if !bytes.Equal(got, payload(i)) {
+			return fmt.Errorf("reopen read block %d: payload mismatch", nums[i])
+		}
+	}
+	fmt.Printf("\n4-lane reopen: %d blocks byte-equal after concurrent lane recovery, %0.1f ms\n",
+		nblocks, float64(elapsed.Microseconds())/1000)
+	record("e16", "reopen_ms_4shard", float64(elapsed.Microseconds())/1000)
+	return nil
+}
+
+// laneWriteBench is writeBench plus per-batch fsync and per-write
+// allocation accounting, for the lanes sweep.
+func laneWriteBench(st *segstore.Store, writers, n int) (thpt, perWrite, fsyncsPerBatch, allocsPerWrite float64, err error) {
+	nums := make([]block.Num, writers)
+	payload := make([]byte, 4096)
+	for i := range nums {
+		if nums[i], err = st.Alloc(1, payload); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	before := st.Stats()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := st.Write(1, nums[w], payload); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	select {
+	case err = <-errs:
+		return 0, 0, 0, 0, err
+	default:
+	}
+	after := st.Stats()
+	total := writers * n
+	if batches := after.Batches - before.Batches; batches > 0 {
+		fsyncsPerBatch = float64(after.Syncs-before.Syncs) / float64(batches)
+	}
+	allocsPerWrite = float64(ms1.Mallocs-ms0.Mallocs) / float64(total)
+	return float64(total) / elapsed.Seconds(),
+		float64(elapsed.Microseconds()) / float64(total), fsyncsPerBatch, allocsPerWrite, nil
+}

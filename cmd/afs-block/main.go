@@ -60,6 +60,8 @@ func main() {
 		blocks  = flag.Int("nblocks", 1<<16, "number of blocks (per shard)")
 		bsize   = flag.Int("bsize", 4096, "block size in bytes")
 		sync    = flag.String("sync", "group", "seg durability: group, each or none")
+		lanes   = flag.Int("log-shards", 0, "seg log lanes writes are striped over (0 = one per CPU, capped at 8; pinned at store creation)")
+		syncWin = flag.Duration("sync-window", 0, "cap on the seg adaptive group-commit window (0 = 2ms default; negative disables the window)")
 		compact = flag.Duration("compact", time.Minute, "seg compaction interval (0 disables)")
 		shards  = flag.Int("shards", 1, "independent block stores to serve, one port each")
 		pair    = flag.Bool("pair", false, "serve each store as a pre-joined §4 companion pair over two backends")
@@ -91,7 +93,7 @@ func main() {
 		if *shards > 1 && shardDir != "" {
 			shardDir = filepath.Join(shardDir, fmt.Sprintf("shard-%02d", i))
 		}
-		store, served, closeStore, err := openServed(*backend, shardDir, *blocks, *bsize, *sync, *compact, *pair)
+		store, served, closeStore, err := openServed(*backend, shardDir, *blocks, *bsize, *sync, *lanes, *syncWin, *compact, *pair)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -167,9 +169,9 @@ func main() {
 // openServed builds one served store: a single backend, or a pre-joined
 // companion pair of two of them (mem: two simulated disks; seg: the
 // half-a and half-b subdirectories).
-func openServed(backend, dir string, blocks, bsize int, sync string, compact time.Duration, pair bool) (block.Store, *stable.Pair, func(), error) {
+func openServed(backend, dir string, blocks, bsize int, sync string, lanes int, syncWin, compact time.Duration, pair bool) (block.Store, *stable.Pair, func(), error) {
 	if !pair {
-		st, closer, err := openStore(backend, dir, blocks, bsize, sync, compact)
+		st, closer, err := openStore(backend, dir, blocks, bsize, sync, lanes, syncWin, compact)
 		return st, nil, closer, err
 	}
 	var halves [2]block.PairStore
@@ -179,7 +181,7 @@ func openServed(backend, dir string, blocks, bsize int, sync string, compact tim
 		if halfDir != "" {
 			halfDir = filepath.Join(dir, sub)
 		}
-		st, closeStore, err := openStore(backend, halfDir, blocks, bsize, sync, compact)
+		st, closeStore, err := openStore(backend, halfDir, blocks, bsize, sync, lanes, syncWin, compact)
 		if err != nil {
 			for j := 0; j < i; j++ {
 				closers[j]()
@@ -212,7 +214,7 @@ func openServed(backend, dir string, blocks, bsize int, sync string, compact tim
 }
 
 // openStore builds one backend instance.
-func openStore(backend, dir string, blocks, bsize int, sync string, compact time.Duration) (block.Store, func(), error) {
+func openStore(backend, dir string, blocks, bsize int, sync string, lanes int, syncWin, compact time.Duration) (block.Store, func(), error) {
 	switch backend {
 	case "mem":
 		d, err := disk.New(disk.Geometry{Blocks: blocks, BlockSize: bsize})
@@ -233,13 +235,15 @@ func openStore(backend, dir string, blocks, bsize int, sync string, compact time
 			BlockSize:    bsize,
 			Capacity:     blocks,
 			Sync:         mode,
+			LogShards:    lanes,
+			SyncWindow:   syncWin,
 			CompactEvery: compact,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
-		log.Printf("segstore %s: recovered %d blocks from %d segments (truncated %d torn bytes)",
-			dir, st.InUse(), st.Segments(), st.Stats().TruncatedBytes)
+		log.Printf("segstore %s: recovered %d blocks from %d segments across %d log lanes (truncated %d torn bytes)",
+			dir, st.InUse(), st.Segments(), st.Lanes(), st.Stats().TruncatedBytes)
 		return st, func() {
 			log.Printf("shutting down: %d blocks in use", st.InUse())
 			if err := st.Close(); err != nil {

@@ -87,6 +87,8 @@ func main() {
 		nblocks   = flag.Int("nblocks", 1<<16, "blocks of the in-process store (ignored with -blocks)")
 		bsize     = flag.Int("bsize", 4096, "block size of the in-process store (ignored with -blocks)")
 		sync      = flag.String("sync", "group", "seg durability: group, each or none")
+		shards    = flag.Int("log-shards", 0, "seg log lanes writes are striped over (0 = one per CPU, capped at 8; pinned at store creation)")
+		syncWin   = flag.Duration("sync-window", 0, "cap on the seg adaptive group-commit window (0 = 2ms default; negative disables the window)")
 		compact   = flag.Duration("compact", time.Minute, "seg compaction interval (0 disables)")
 		mounts    = flag.String("blocks", "", "remote block services as PORT@ADDR[,PORT@ADDR...] (from afs-block); two or more are sharded")
 		mount     = flag.String("block", "", "single remote block service as PORT@ADDR (alias for -blocks)")
@@ -193,6 +195,8 @@ func main() {
 			BlockSize:    *bsize,
 			Capacity:     *nblocks,
 			Sync:         mode,
+			LogShards:    *shards,
+			SyncWindow:   *syncWin,
 			CompactEvery: *compact,
 		})
 		if err != nil {
@@ -206,7 +210,7 @@ func main() {
 				log.Printf("close store: %v", err)
 			}
 		}
-		log.Printf("segstore %s: %d blocks in %d segments", *dir, st.InUse(), st.Segments())
+		log.Printf("segstore %s: %d blocks in %d segments across %d log lanes", *dir, st.InUse(), st.Segments(), st.Lanes())
 	case *backend == "mem":
 		d, err := disk.New(disk.Geometry{Blocks: *nblocks, BlockSize: *bsize})
 		if err != nil {
@@ -438,6 +442,16 @@ func main() {
 		}
 	}
 	tcp.Close()
+	if segStore != nil {
+		st := segStore.Stats()
+		log.Printf("segstore: %d batches (%d records, %d fsyncs), adaptive window %d grows / %d shrinks, %d compactions (%d segments reclaimed, %d files recycled)",
+			st.Batches, st.BatchRecords, st.Syncs, st.WindowGrows, st.WindowShrinks,
+			st.Compactions, st.SegmentsReclaimed, st.Recycles)
+		for _, ls := range segStore.LaneStats() {
+			log.Printf("segstore lane %d: %d segments, %d pooled, window %v, queue %d",
+				ls.Lane, ls.Segments, ls.PoolFree, ls.Window, ls.QueueDepth)
+		}
+	}
 	if closeStore != nil {
 		closeStore()
 	}
@@ -796,6 +810,7 @@ func publishDebugVars(store block.Store, sharded *shard.Store, pairs []*stable.P
 	}
 	if seg != nil {
 		expvar.Publish("afs.segstore", expvar.Func(func() any { return seg.Stats() }))
+		expvar.Publish("afs.segstore.lanes", expvar.Func(func() any { return seg.LaneStats() }))
 	}
 	if arch != nil {
 		expvar.Publish("afs.archive", expvar.Func(func() any {
@@ -914,8 +929,29 @@ func writeProm(w io.Writer, store block.Store, sharded *shard.Store, pairs []*st
 		for kind, v := range map[string]uint64{
 			"batches": st.Batches, "batch_records": st.BatchRecords, "fsyncs": st.Syncs,
 			"compactions": st.Compactions, "relocations": st.Relocations, "segments_reclaimed": st.SegmentsReclaimed,
+			"recycles": st.Recycles, "window_grows": st.WindowGrows, "window_shrinks": st.WindowShrinks,
 		} {
 			metrics.WriteSample(w, "afs_segstore_total", map[string]string{"event": kind}, float64(v))
+		}
+		h := seg.Histograms()
+		metrics.WriteHelp(w, "afs_segstore_append_seconds", "histogram", "Client-visible append latency, submit to durable acknowledgement.")
+		h.Append.Snapshot().Write(w, "afs_segstore_append_seconds", nil)
+		metrics.WriteHelp(w, "afs_segstore_flush_seconds", "histogram", "Duration of each segment-log fsync.")
+		h.Flush.Snapshot().Write(w, "afs_segstore_flush_seconds", nil)
+		metrics.WriteHelp(w, "afs_segstore_batch_pages", "histogram", "Records carried per group-commit batch.")
+		h.BatchPages.Snapshot().Write(w, "afs_segstore_batch_pages", nil)
+		metrics.WriteHelp(w, "afs_segstore_window_seconds", "histogram", "Adaptive group-commit window in force at each batch.")
+		h.Window.Snapshot().Write(w, "afs_segstore_window_seconds", nil)
+		metrics.WriteHelp(w, "afs_segstore_lane_queue_depth", "gauge", "Request groups waiting per log lane.")
+		metrics.WriteHelp(w, "afs_segstore_lane_window_seconds", "gauge", "Current adaptive commit window per log lane.")
+		metrics.WriteHelp(w, "afs_segstore_lane_segments", "gauge", "Live segment files per log lane.")
+		metrics.WriteHelp(w, "afs_segstore_lane_pool_free", "gauge", "Recycled segment files awaiting reuse per log lane.")
+		for _, ls := range seg.LaneStats() {
+			l := map[string]string{"lane": fmt.Sprint(ls.Lane)}
+			metrics.WriteSample(w, "afs_segstore_lane_queue_depth", l, float64(ls.QueueDepth))
+			metrics.WriteSample(w, "afs_segstore_lane_window_seconds", l, ls.Window.Seconds())
+			metrics.WriteSample(w, "afs_segstore_lane_segments", l, float64(ls.Segments))
+			metrics.WriteSample(w, "afs_segstore_lane_pool_free", l, float64(ls.PoolFree))
 		}
 	}
 	if len(pairs) > 0 {

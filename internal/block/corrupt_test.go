@@ -45,7 +45,7 @@ func TestCorruptUnification(t *testing.T) {
 	}
 	newSeg := func(t *testing.T) (block.Store, func(n block.Num)) {
 		dir := t.TempDir()
-		st, err := segstore.Open(dir, segstore.Options{BlockSize: 64, Capacity: 16})
+		st, err := segstore.Open(dir, segstore.Options{BlockSize: 64, Capacity: 16, LogShards: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +54,7 @@ func TestCorruptUnification(t *testing.T) {
 			// The store holds exactly one record (the alloc below), at
 			// the head of the first segment; flipping a payload byte
 			// behind the store's back is media rot that fails the CRC.
-			f, err := os.OpenFile(filepath.Join(dir, "seg-00000001.log"), os.O_RDWR, 0)
+			f, err := os.OpenFile(filepath.Join(dir, "log-00", "seg-00000001.log"), os.O_RDWR, 0)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -245,6 +245,12 @@ func WriteOnceOps(script []byte) []Op {
 	return ops
 }
 
+// ShardCounts is the set of log-lane counts a sharded-log backend's
+// contract tests run the whole suite at: the single-lane degenerate
+// case (the old layout), a two-lane split, and a wider spread. The
+// contract must be invisible to lane count.
+func ShardCounts() []int { return []int{1, 2, 4} }
+
 // FuzzSeeds returns the shared seed corpus for contract fuzzing.
 func FuzzSeeds() [][]byte {
 	return [][]byte{

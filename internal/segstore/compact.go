@@ -11,17 +11,23 @@ import (
 // The compactor reclaims the space of superseded records. Like the
 // paper's §5.4 garbage collector it runs "independent of, and in
 // parallel with" normal operation: it never blocks the write path,
-// because relocations travel through the same writer goroutine as
+// because relocations travel through the owning lane's appender like
 // ordinary writes and carry a location guard — if a client write
-// supersedes a record between the compactor reading it and the writer
-// appending the copy, the guard no longer matches and the stale copy is
-// simply skipped.
+// supersedes a record between the compactor reading it and the appender
+// copying it, the guard no longer matches and the stale copy is simply
+// skipped. Reclaimed segment files are not deleted but recycled into
+// the lane's free pool (up to maxPool), so a steady-state workload
+// reuses the same few files via pwrite at offset 0 instead of paying
+// file creation and extension metadata churn for every segment.
 
-// compactLoop runs CompactOnce at the configured interval until Close.
+// compactLoop runs a compaction pass at the configured interval until
+// Close, round-robining across lanes so every lane's garbage gets
+// attention even when one lane is the churn hotspot.
 func (s *Store) compactLoop() {
 	defer s.compactWG.Done()
 	t := time.NewTicker(s.opt.CompactEvery)
 	defer t.Stop()
+	next := 0
 	for {
 		select {
 		case <-s.stopCompact:
@@ -30,16 +36,32 @@ func (s *Store) compactLoop() {
 			// Errors are sticky in s.failed when they matter (append
 			// path); a read error here leaves the victim in place for
 			// the next round.
-			_, _ = s.CompactOnce()
+			for i := 0; i < len(s.lanes); i++ {
+				li := (next + i) % len(s.lanes)
+				did, _ := s.compact(li)
+				if did {
+					next = (li + 1) % len(s.lanes)
+					break
+				}
+			}
 		}
 	}
 }
 
-// CompactOnce picks the sealed segment with the most garbage (dead
-// records ≥ CompactMinGarbage of its records), copies its live records
-// to the log tail, and deletes the file. It reports whether a segment
-// was reclaimed.
-func (s *Store) CompactOnce() (bool, error) {
+// CompactOnce picks the sealed segment with the most garbage across all
+// lanes (dead records ≥ CompactMinGarbage of its records), copies its
+// live records to the owning lane's log tail, and recycles the file
+// into that lane's free pool. It reports whether a segment was
+// reclaimed.
+func (s *Store) CompactOnce() (bool, error) { return s.compact(-1) }
+
+// compact runs one compaction pass over lane laneIdx, or over every
+// lane when laneIdx is negative. Passes are serialised: two concurrent
+// passes could elect the same victim and reclaim it twice.
+func (s *Store) compact(laneIdx int) (bool, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
 	type liveRec struct {
 		num  uint32
 		at   loc
@@ -52,17 +74,23 @@ func (s *Store) CompactOnce() (bool, error) {
 		return false, s.failed
 	}
 	var victim *segment
+	var victimLane *lane
 	var garbage int
-	for id, seg := range s.segs {
-		if seg == s.active || seg.records == 0 {
+	for _, l := range s.lanes {
+		if laneIdx >= 0 && l.id != laneIdx {
 			continue
 		}
-		g := seg.records - s.idx.live[id]
-		if g == 0 || float64(g) < float64(seg.records)*s.opt.CompactMinGarbage {
-			continue
-		}
-		if victim == nil || g > garbage {
-			victim, garbage = seg, g
+		for id, seg := range l.segs {
+			if seg == l.active || seg.records == 0 {
+				continue
+			}
+			g := seg.records - s.idx.live[segKey{lane: l.id, seg: id}]
+			if g == 0 || float64(g) < float64(seg.records)*s.opt.CompactMinGarbage {
+				continue
+			}
+			if victim == nil || g > garbage {
+				victim, victimLane, garbage = seg, l, g
+			}
 		}
 	}
 	if victim == nil {
@@ -70,56 +98,86 @@ func (s *Store) CompactOnce() (bool, error) {
 		return false, nil
 	}
 	// Snapshot the victim's live records while holding the lock: the
-	// writer cannot move the index under us here, so data and guard
-	// location are consistent.
+	// lane syncers cannot move the index under us here, so data and
+	// guard location are consistent.
 	var lives []liveRec
 	for n, e := range s.idx.entries {
-		if e.loc.seg != victim.id {
+		if e.loc.lane != victimLane.id || e.loc.seg != victim.id {
 			continue
 		}
 		data, err := s.readRecord(n, e.loc)
 		if err != nil {
 			s.mu.Unlock()
-			return false, fmt.Errorf("compact segment %d: %w", victim.id, err)
+			return false, fmt.Errorf("compact lane %d segment %d: %w", victimLane.id, victim.id, err)
 		}
 		lives = append(lives, liveRec{num: uint32(n), at: e.loc, data: data})
 	}
 	s.mu.Unlock()
 
-	// Relocate through the writer (guarded), as batched request groups
-	// so group commit folds them into few fsyncs.
+	// Relocate through the owning lane's appender (guarded), as batched
+	// request groups so group commit folds them into few fsyncs. The
+	// block numbers all hash to victimLane, so the whole relocation
+	// rides that one lane's pipeline.
 	reqs := make([]*writeReq, len(lives))
 	for i, lr := range lives {
 		at := lr.at
-		reqs[i] = &writeReq{kind: recData, num: block.Num(lr.num), onlyIf: &at, data: lr.data}
+		r := getReq()
+		r.kind, r.num, r.onlyIf, r.data = recData, block.Num(lr.num), &at, lr.data
+		reqs[i] = r
 	}
-	if _, err := s.submitMany(reqs); err != nil {
+	_, err := s.submitMany(reqs)
+	for _, r := range reqs {
+		putReq(r)
+	}
+	if err != nil {
 		return false, err
 	}
 
+	// Retire the victim. Everything — including the file operations —
+	// happens under s.mu so Close cannot close the file out from under
+	// the rename, and a pool insert cannot race closeFiles.
+	key := segKey{lane: victimLane.id, seg: victim.id}
 	s.mu.Lock()
-	if s.closed || s.idx.live[victim.id] != 0 {
-		// A relocation was skipped because a concurrent write raced us
-		// into the victim? Impossible — writes only append to the
-		// active segment — so a nonzero count means a guard skipped a
-		// record that was superseded, and its replacement lives
-		// elsewhere. Either way nothing references the victim unless
-		// the count says so; leave it for the next round.
-		s.mu.Unlock()
+	defer s.mu.Unlock()
+	if s.closed || s.idx.live[key] != 0 {
+		// A nonzero live count means a guard skipped a record that was
+		// superseded mid-flight and its replacement lives elsewhere —
+		// or genuinely still here. Leave the victim for the next round.
 		return false, nil
 	}
-	delete(s.segs, victim.id)
-	delete(s.idx.live, victim.id)
+	delete(victimLane.segs, victim.id)
+	delete(s.idx.live, key)
 	s.stats.Compactions++
 	s.stats.SegmentsReclaimed++
-	s.mu.Unlock()
 
+	if len(victimLane.pool) < maxPool {
+		// Recycle: park the file under a pool- name, keeping its id so
+		// pool names never collide (segment ids are never reused while
+		// the file exists — nextSeg accounts for pool ids too). The
+		// stale bytes inside are harmless: reuse pwrites from offset 0
+		// and truncates, and the on-open scan's sequence-monotonicity
+		// rule cuts any remnant of a crash-orphaned pool file.
+		if err := os.Rename(segPath(victimLane.dir, victim.id), poolPath(victimLane.dir, victim.id)); err != nil {
+			victim.f.Close()
+			return false, err
+		}
+		if s.opt.Sync != SyncNone {
+			if err := victimLane.dirf.Sync(); err != nil {
+				victim.f.Close()
+				return false, err
+			}
+		}
+		victim.records = 0
+		victimLane.pool = append(victimLane.pool, victim)
+		return true, nil
+	}
+	// Pool full: actually delete.
 	victim.f.Close()
-	if err := os.Remove(segPath(s.dir, victim.id)); err != nil {
+	if err := os.Remove(segPath(victimLane.dir, victim.id)); err != nil {
 		return false, err
 	}
 	if s.opt.Sync != SyncNone {
-		if err := s.dirf.Sync(); err != nil {
+		if err := victimLane.dirf.Sync(); err != nil {
 			return false, err
 		}
 	}

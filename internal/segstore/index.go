@@ -7,13 +7,27 @@ import (
 	"repro/internal/block"
 )
 
-// loc names a record's position: which segment, and the byte offset of
-// the record within it. The zero loc means "no durable record yet" (a
-// reservation made by an in-flight Alloc or Claim).
+// loc names a record's position: which lane, which segment within the
+// lane, and the byte offset of the record within it. The zero loc means
+// "no durable record yet" (a reservation made by an in-flight Alloc or
+// Claim) — real records always have seg >= 1, so the zero value cannot
+// collide with a location in lane 0.
 type loc struct {
-	seg uint64
-	off int64
+	lane int
+	seg  uint64
+	off  int64
 }
+
+// segKey names one segment file globally: segment ids are per-lane
+// counters, so the pair is the unit the live-record accounting (and the
+// compactor's victim choice) works in.
+type segKey struct {
+	lane int
+	seg  uint64
+}
+
+// key is the segment the loc points into.
+func (l loc) key() segKey { return segKey{lane: l.lane, seg: l.seg} }
 
 // entry is one allocated block's index row. Lock bits are volatile
 // commit-section state (§5.2) and are deliberately NOT persisted: a
@@ -35,7 +49,7 @@ type index struct {
 	// live counts the index-referenced (i.e. not yet superseded)
 	// records per segment; records-minus-live is a segment's garbage,
 	// which drives compaction victim choice.
-	live map[uint64]int
+	live map[segKey]int
 	// nextHint speeds allocation scans; correctness does not depend on it.
 	nextHint block.Num
 }
@@ -43,7 +57,7 @@ type index struct {
 func newIndex() *index {
 	return &index{
 		entries:  make(map[block.Num]entry),
-		live:     make(map[uint64]int),
+		live:     make(map[segKey]int),
 		nextHint: 1,
 	}
 }
@@ -95,12 +109,12 @@ func (x *index) checkOwner(account block.Account, n block.Num) error {
 func (x *index) place(n block.Num, account block.Account, at loc) {
 	e := x.entries[n]
 	if e.loc != (loc{}) {
-		x.live[e.loc.seg]--
+		x.live[e.loc.key()]--
 	}
 	e.owner = account
 	e.loc = at
 	x.entries[n] = e
-	x.live[at.seg]++
+	x.live[at.key()]++
 }
 
 // drop removes n's row (a durable free).
@@ -110,7 +124,7 @@ func (x *index) drop(n block.Num) {
 		return
 	}
 	if e.loc != (loc{}) {
-		x.live[e.loc.seg]--
+		x.live[e.loc.key()]--
 	}
 	delete(x.entries, n)
 }

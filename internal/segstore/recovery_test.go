@@ -110,7 +110,7 @@ func TestReopenPreservesState(t *testing.T) {
 
 func TestTornTailTruncated(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, Options{BlockSize: 32, SegmentRecords: 128})
+	s, err := Open(dir, Options{BlockSize: 32, SegmentRecords: 128, LogShards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestTornTailTruncated(t *testing.T) {
 
 	// Tear the log tail: damage the last record and append half of
 	// another, as a crash mid-write would.
-	path := segPath(dir, 1)
+	path := segPath(laneDir(dir, 0), 1)
 	info, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)
@@ -177,7 +177,7 @@ func TestTornTailTruncated(t *testing.T) {
 
 func TestMidLogCorruptionRefused(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, Options{BlockSize: 32, SegmentRecords: 4})
+	s, err := Open(dir, Options{BlockSize: 32, SegmentRecords: 4, LogShards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestMidLogCorruptionRefused(t *testing.T) {
 	s.Close()
 	// Damage a record in the FIRST segment: not a torn tail, and not
 	// silently truncatable — open must refuse.
-	f, err := os.OpenFile(segPath(dir, 1), os.O_RDWR, 0)
+	f, err := os.OpenFile(segPath(laneDir(dir, 0), 1), os.O_RDWR, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

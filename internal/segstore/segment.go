@@ -128,6 +128,52 @@ func segName(id uint64) string { return fmt.Sprintf("seg-%08d.log", id) }
 // segPath is the full path of segment id under dir.
 func segPath(dir string, id uint64) string { return filepath.Join(dir, segName(id)) }
 
+// laneDirName is the directory one log lane lives in ("log-00", ...).
+func laneDirName(lane int) string { return fmt.Sprintf("log-%02d", lane) }
+
+// laneDir is the full path of a lane's directory.
+func laneDir(dir string, lane int) string { return filepath.Join(dir, laneDirName(lane)) }
+
+// poolName is the file name a compacted segment parks under while it
+// waits in the lane's free pool to be reused ("pool-00000007.log"). The
+// id is whatever the segment's id was when it was recycled; the file is
+// renamed back to a fresh seg- name on reuse.
+func poolName(id uint64) string { return fmt.Sprintf("pool-%08d.log", id) }
+
+// poolPath is the full path of pool file id under dir.
+func poolPath(dir string, id uint64) string { return filepath.Join(dir, poolName(id)) }
+
+// parsePoolName extracts the id from a pool file name.
+func parsePoolName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "pool-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "pool-"), ".log"), 10, 64)
+	if err != nil || id == 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+// listPool returns the ids of all pool files in dir, ascending.
+func listPool(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []uint64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := parsePoolName(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
 // parseSegName extracts the id from a segment file name.
 func parseSegName(name string) (uint64, bool) {
 	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {

@@ -3,36 +3,46 @@
 // filesystem, in the style of Plan 9's venti and other append-only
 // checksummed block logs.
 //
-// Layout: a store directory holds numbered segment files
-// (seg-00000001.log, ...) of fixed-size records, each framed with the
-// block number, owning account, an append sequence number, the payload
-// and a CRC32 (see segment.go). Every mutation — allocate-and-write,
-// write, claim, free — appends one record; nothing is ever updated in
-// place, so a block write is exactly the paper's §4 "atomic action,
-// with an acknowledgement that is returned after the block has been
-// stored on disk": the acknowledgement is returned after fsync.
+// Layout: a store directory holds K log lanes (log-00/, log-01/, ...,
+// one per CPU by default), each holding numbered segment files
+// (seg-00000001.log, ...) of fixed-size records, each record framed
+// with the block number, owning account, an append sequence number, the
+// payload and a CRC32 (see segment.go). Every mutation — allocate-and-
+// write, write, claim, free — appends one record; nothing is ever
+// updated in place, so a block write is exactly the paper's §4 "atomic
+// action, with an acknowledgement that is returned after the block has
+// been stored on disk": the acknowledgement is returned after fsync.
+// Writes are routed to lanes by a hash of the block number, so all of a
+// block's records live in one lane and lane order is the block's
+// mutation order; the sequence counter is shared, so a merge of the
+// lanes by sequence number reproduces total mutation order.
 //
-// Open rebuilds the whole in-memory index (block → segment/offset,
-// owner) by scanning the segments in append order; there is no separate
+// Open rebuilds the whole in-memory index (block → lane/segment/offset,
+// owner) by scanning every lane concurrently; there is no separate
 // metadata file to lose or to keep consistent, and the §4 "list blocks
 // owned by an account" recovery scan falls out of the same pass. A
-// record at the tail of the last segment that fails its CRC is a torn
-// write from a crash and is truncated away — the write was never
-// acknowledged, so discarding it mirrors the simulated disk's
-// lost-unacked-write semantics (disk.Crash).
+// record at the tail of a lane's last segment that fails its CRC — or
+// that fails to advance the lane's sequence numbers, the signature of a
+// recycled file's stale remnant — is a torn write from a crash and is
+// truncated away: the write was never acknowledged, so discarding it
+// mirrors the simulated disk's lost-unacked-write semantics
+// (disk.Crash).
 //
-// Durability is group-committed: concurrent writers' records are
-// batched by a single writer goroutine and made durable with one fsync
-// per batch, so the per-write fsync cost is amortised across however
-// many writers are in flight (the AsyncFS observation: make the sync
-// path batch-friendly and the hot path stays fast). SyncEach gives
-// strict one-fsync-per-record semantics instead, and SyncNone none at
-// all, for benchmarks.
+// Durability is group-committed per lane: concurrent writers' records
+// are batched by the lane's appender goroutine and made durable with
+// one fsync per batch, so the per-write fsync cost is amortised across
+// however many writers hashed into the lane (the AsyncFS observation:
+// make the sync path batch-friendly and the hot path stays fast). The
+// commit window adapts to the arrival rate — zero for a lone writer,
+// growing toward Options.SyncWindow under load. SyncEach gives strict
+// one-fsync-per-record semantics instead, and SyncNone none at all, for
+// benchmarks.
 //
 // Garbage from superseded records is reclaimed by a compactor that
-// copies a segment's few live records to the log tail and deletes the
-// segment file, running — like the paper's §5.4 garbage collector —
-// "independent of, and in parallel with" normal operation.
+// copies a segment's few live records to its lane's tail and recycles
+// the segment file into the lane's free pool for reuse, running — like
+// the paper's §5.4 garbage collector — "independent of, and in
+// parallel with" normal operation.
 package segstore
 
 import (
@@ -42,9 +52,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/metrics"
 )
 
 // Store errors, in addition to the block package's sentinel errors
@@ -107,6 +119,10 @@ func ParseSyncMode(s string) (SyncMode, error) {
 	return 0, fmt.Errorf("segstore: unknown sync mode %q (want group, each or none)", s)
 }
 
+// maxShards bounds Options.LogShards; far above any plausible CPU
+// count this store will meet, it only guards the meta file parse.
+const maxShards = 64
+
 // Options configures Open. The zero value is usable.
 type Options struct {
 	// BlockSize is the payload size in bytes (default 4096). Pinned in
@@ -120,8 +136,21 @@ type Options struct {
 	// 1<<20). A runtime policy, not persisted: it may grow between
 	// opens.
 	Capacity int
+	// LogShards is the number of log lanes writes are striped over
+	// (default runtime.GOMAXPROCS, capped at 8). Pinned in the meta
+	// file at creation like BlockSize — the routing hash must stay
+	// stable — so reopening an existing store adopts its stored value
+	// and ignores this field. A store written with the old flat layout
+	// adopts LogShards when it is upgraded on first open.
+	LogShards int
 	// Sync is the durability mode (default SyncGroup).
 	Sync SyncMode
+	// SyncWindow caps the adaptive group-commit window: how long a
+	// lane's commit may stay open for stragglers once concurrency has
+	// been observed (default 2ms; negative disables the window
+	// entirely). The window actually used starts at zero and adapts
+	// per lane between 0 and this cap. A runtime knob, not persisted.
+	SyncWindow time.Duration
 	// CompactEvery runs the background compactor at this interval; zero
 	// disables it (CompactOnce still works on demand).
 	CompactEvery time.Duration
@@ -142,6 +171,20 @@ func (o Options) withDefaults() Options {
 	if o.Capacity <= 0 {
 		o.Capacity = 1 << 20
 	}
+	if o.LogShards <= 0 {
+		o.LogShards = runtime.GOMAXPROCS(0)
+		if o.LogShards > 8 {
+			o.LogShards = 8
+		}
+	}
+	if o.LogShards > maxShards {
+		o.LogShards = maxShards
+	}
+	if o.SyncWindow == 0 {
+		o.SyncWindow = 2 * time.Millisecond
+	} else if o.SyncWindow < 0 {
+		o.SyncWindow = 0
+	}
 	if o.CompactMinGarbage <= 0 {
 		o.CompactMinGarbage = 0.5
 	}
@@ -158,17 +201,22 @@ type Stats struct {
 	// BatchRecords records in total, with Syncs actual fsyncs issued.
 	Batches, BatchRecords, Syncs uint64
 
-	// Compaction counters.
-	Compactions, Relocations, SegmentsReclaimed uint64
+	// Adaptive-window counters: how often any lane widened or narrowed
+	// its group-commit window.
+	WindowGrows, WindowShrinks uint64
+
+	// Compaction counters. Recycles counts segment files reused from a
+	// lane's free pool instead of being created fresh.
+	Compactions, Relocations, SegmentsReclaimed, Recycles uint64
 
 	// TruncatedBytes is how much torn tail the last Open cut off.
 	TruncatedBytes uint64
 }
 
-// writeReq is one mutation queued to the writer goroutine.
+// writeReq is one mutation queued to a lane's appender.
 type writeReq struct {
 	kind    byte // recData or recFree
-	alloc   bool // writer picks the block number
+	alloc   bool // block number was reserved for a fresh allocation
 	onlyIf  *loc // relocation: append only if the index still points here
 	num     block.Num
 	account block.Account
@@ -176,11 +224,38 @@ type writeReq struct {
 
 	err     error
 	skipped bool // relocation guard failed; not an error
-	done    chan struct{}
+	queued  bool // reached a lane; the pipeline owns its completion
+	// done is buffered and reused across pool generations: finish
+	// sends rather than closes, so the request can go back to reqPool.
+	done chan struct{}
+	// self is the preallocated single-request group, so submitting one
+	// request sends no freshly allocated slice.
+	self [1]*writeReq
+}
+
+// reqPool recycles writeReqs so the steady-state append path allocates
+// nothing per operation: the request, its done channel and its group
+// slice all come back for the next call.
+var reqPool = sync.Pool{New: func() any {
+	r := &writeReq{done: make(chan struct{}, 1)}
+	r.self[0] = r
+	return r
+}}
+
+// getReq takes a clean request from the pool.
+func getReq() *writeReq { return reqPool.Get().(*writeReq) }
+
+// putReq returns a request to the pool. The caller must own it again:
+// its completion delivered and consumed, or the request never queued.
+func putReq(r *writeReq) {
+	r.kind, r.alloc, r.onlyIf = 0, false, nil
+	r.num, r.account, r.data = 0, 0, nil
+	r.err, r.skipped, r.queued = nil, false, false
+	reqPool.Put(r)
 }
 
 // pendState tracks records that are admitted to the log but not yet
-// applied to the index (they sit in the appender→syncer pipeline).
+// applied to the index (they sit in a lane's appender→syncer pipeline).
 // Admission decisions consult it so that in-flight, unapplied mutations
 // behave as if already serialised: a write after an in-flight free
 // fails, and a compactor relocation never runs ahead of an in-flight
@@ -197,14 +272,14 @@ type placement struct {
 	at  loc
 }
 
-// sealedBatch travels from the appender to the syncer: records already
-// written (but not yet fsynced) to the segments in syncSegs. A barrier
-// batch carries no records; the syncer just signals that everything
-// before it has been processed.
+// sealedBatch travels from a lane's appender to its syncer: records
+// already written (but not yet fsynced) to syncSeg. A barrier batch
+// carries no records; the syncer just signals that everything before it
+// has been processed.
 type sealedBatch struct {
-	placed   []placement
-	syncSegs []*segment
-	barrier  chan struct{}
+	placed  []placement
+	syncSeg *segment
+	barrier chan struct{}
 }
 
 // Store is a durable block store rooted in one directory. It implements
@@ -214,41 +289,46 @@ type Store struct {
 	opt     Options
 	recSize int
 
-	// mu guards the index, the pending table, the segment table, stats,
-	// and failure state.
+	// mu guards the index, the pending table, the lanes' segment
+	// tables, stats, and failure state.
 	mu       sync.Mutex
 	idx      *index
 	pend     map[block.Num]pendState
-	segs     map[uint64]*segment
-	active   *segment
-	dirf     *os.File // for fsyncing directory entries
+	lanes    []*lane
+	dirf     *os.File // for fsyncing top-level directory entries
 	stats    Stats
 	epoch    uint64 // persisted block.EpochStore value (file "epoch")
 	epochBad bool   // epoch file present but unparsable: detection off
 	failed   error  // sticky first append-path I/O error
 	closed   bool
 
-	// seq is the next record sequence number; touched only by Open and
-	// the appender goroutine.
-	seq uint64
-	// lastBatch remembers the previous batch size (appender-only): a
-	// recent multi-writer batch is the signal to hold the next commit
-	// open briefly for stragglers.
-	lastBatch int
-	// pendingBuf is the reused batch encode buffer (appender-only).
-	pendingBuf []byte
+	// seq issues record sequence numbers: globally monotonic across
+	// lanes, so a by-sequence merge of the lanes is total mutation
+	// order, and a recycled file's stale remnants (always older than
+	// anything fresh) are detectable on scan.
+	seq atomic.Uint64
 
-	// sendMu guards sends against channel close. Mutations flow
-	// reqs → appender → sealed → syncer; the syncer's exit closes
-	// syncerDone. The channel carries request groups: a multi-block
-	// operation's records travel as one group and therefore land in one
-	// group-commit batch (one fsync), instead of making N independent
-	// trips through the pipeline.
-	sendMu     sync.RWMutex
-	reqs       chan []*writeReq
-	sealed     chan sealedBatch
-	syncerDone chan struct{}
+	// sendMu guards lane-channel sends against channel close.
+	// Mutations flow l.reqs → appender → l.sealed → syncer; each
+	// syncer's exit closes its lane's syncerDone. The channels carry
+	// request groups: a multi-block operation's records travel as one
+	// group per lane and therefore land in one group-commit batch (one
+	// fsync per lane), instead of making N independent trips through
+	// the pipelines.
+	sendMu sync.RWMutex
 
+	// Always-on instrumentation (see Histograms).
+	appendHist *metrics.Histogram
+	flushHist  *metrics.Histogram
+	batchHist  *metrics.Histogram
+	windowHist *metrics.Histogram
+
+	windowGrows   atomic.Uint64
+	windowShrinks atomic.Uint64
+
+	// compactMu serialises compaction passes: two concurrent passes
+	// could elect the same victim and recycle it twice.
+	compactMu   sync.Mutex
 	stopCompact chan struct{}
 	compactWG   sync.WaitGroup
 	closeOnce   sync.Once
@@ -257,14 +337,8 @@ type Store struct {
 // maxBatch bounds how many queued requests one fsync batch absorbs.
 const maxBatch = 128
 
-// groupWindow is how long a group commit stays open for stragglers
-// once concurrency has been observed. An fsync costs ~100-500µs, so a
-// sub-fsync wait that doubles the batch size is a clear win; a lone
-// sequential writer never pays it (no concurrency signal).
-const groupWindow = 200 * time.Microsecond
-
 // Open opens (creating if necessary) the store in dir and rebuilds the
-// index from the segment files.
+// index by scanning every lane's segment files concurrently.
 func Open(dir string, opt Options) (*Store, error) {
 	opt = opt.withDefaults()
 	if opt.Capacity > int(block.MaxNum) {
@@ -277,14 +351,14 @@ func Open(dir string, opt Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	// One process per store: two appenders computing tail offsets
-	// independently would shred the log. The flock dies with the
-	// process, so a crashed owner never wedges the store.
+	// The top-level flock covers the meta and epoch files; each lane
+	// carries its own for its segments.
 	if err := lockDir(dirf); err != nil {
 		dirf.Close()
 		return nil, fmt.Errorf("segstore: %s: %w", dir, err)
 	}
-	if err := loadMeta(dir, &opt); err != nil {
+	shards, legacy, err := loadMeta(dir, &opt)
+	if err != nil {
 		dirf.Close()
 		return nil, err
 	}
@@ -299,20 +373,33 @@ func Open(dir string, opt Options) (*Store, error) {
 		recSize:    recordSize(opt.BlockSize),
 		idx:        newIndex(),
 		pend:       make(map[block.Num]pendState),
-		segs:       make(map[uint64]*segment),
 		dirf:       dirf,
-		seq:        1,
-		reqs:       make(chan []*writeReq, 16),
-		sealed:     make(chan sealedBatch, 4),
-		syncerDone: make(chan struct{}),
+		appendHist: new(metrics.Histogram),
+		flushHist:  new(metrics.Histogram),
+		batchHist:  metrics.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128),
+		windowHist: metrics.NewHistogram(0, 10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 2e-3, 5e-3),
 	}
 	s.epoch, s.epochBad = epoch, epochBad
+	for i := 0; i < shards; i++ {
+		l, err := openLane(s, i)
+		if err != nil {
+			s.closeFiles(false)
+			return nil, err
+		}
+		s.lanes = append(s.lanes, l)
+	}
+	if err := s.migrateFlat(legacy); err != nil {
+		s.closeFiles(false)
+		return nil, err
+	}
 	if err := s.load(); err != nil {
 		s.closeFiles(false)
 		return nil, err
 	}
-	go s.runAppender()
-	go s.runSyncer()
+	for _, l := range s.lanes {
+		go l.runAppender()
+		go l.runSyncer()
+	}
 	if opt.CompactEvery > 0 {
 		s.stopCompact = make(chan struct{})
 		s.compactWG.Add(1)
@@ -402,239 +489,185 @@ func (s *Store) SetEpoch(e uint64) error {
 // metaName is the geometry pin file: one line of sizes written at store
 // creation. It is not needed for recovery — the index is rebuilt purely
 // from the segments — it only guards against reopening with the wrong
-// record geometry, which would misparse every offset.
+// record geometry (which would misparse every offset) or the wrong lane
+// count (which would re-route every block).
 const metaName = "meta"
 
+// writeMeta atomically writes the version-2 meta line.
+func writeMeta(dir string, opt Options, shards int) error {
+	line := fmt.Sprintf("segstore 2 blocksize %d segrecords %d shards %d\n", opt.BlockSize, opt.SegmentRecords, shards)
+	tmp := filepath.Join(dir, metaName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(line); err != nil {
+		f.Close()
+		return err
+	}
+	// Fsync the meta content: losing it to a power cut would leave the
+	// store's intact, acknowledged segments unopenable.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, metaName))
+}
+
 // loadMeta validates opt against an existing store's meta file, or
-// writes one for a fresh store.
-func loadMeta(dir string, opt *Options) error {
+// writes one for a fresh store. It reports the lane count to run with,
+// and whether the directory is an old flat-layout (version 1) store
+// that still needs its upgrade finished.
+func loadMeta(dir string, opt *Options) (shards int, legacy bool, err error) {
 	raw, err := os.ReadFile(filepath.Join(dir, metaName))
 	if errors.Is(err, os.ErrNotExist) {
 		ids, err := listSegments(dir)
 		if err != nil {
-			return err
+			return 0, false, err
 		}
 		if len(ids) > 0 {
-			return fmt.Errorf("segstore: %s has segments but no %s file: %w", dir, metaName, ErrCorrupt)
+			return 0, false, fmt.Errorf("segstore: %s has segments but no %s file: %w", dir, metaName, ErrCorrupt)
 		}
-		line := fmt.Sprintf("segstore 1 blocksize %d segrecords %d\n", opt.BlockSize, opt.SegmentRecords)
-		// Fsync the meta content: losing it to a power cut would leave
-		// the store's intact, acknowledged segments unopenable.
-		f, err := os.OpenFile(filepath.Join(dir, metaName), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
-		if err != nil {
-			return err
+		if err := writeMeta(dir, *opt, opt.LogShards); err != nil {
+			return 0, false, err
 		}
-		if _, err := f.WriteString(line); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		return opt.LogShards, false, nil
 	}
 	if err != nil {
-		return err
+		return 0, false, err
 	}
-	var version, bsize, srecs int
-	if _, err := fmt.Sscanf(string(raw), "segstore %d blocksize %d segrecords %d", &version, &bsize, &srecs); err != nil {
-		return fmt.Errorf("segstore: bad %s file: %w", metaName, err)
+	var version int
+	if _, err := fmt.Sscanf(string(raw), "segstore %d", &version); err != nil {
+		return 0, false, fmt.Errorf("segstore: bad %s file: %w", metaName, err)
 	}
-	if version != 1 {
-		return fmt.Errorf("segstore: %s version %d not supported", metaName, version)
+	var bsize, srecs int
+	switch version {
+	case 1:
+		// The old flat layout: segments in the top-level directory, no
+		// lane count. Adopt the requested LogShards; Open moves the
+		// files into lane 0 and rewrites the meta.
+		if _, err := fmt.Sscanf(string(raw), "segstore 1 blocksize %d segrecords %d", &bsize, &srecs); err != nil {
+			return 0, false, fmt.Errorf("segstore: bad %s file: %w", metaName, err)
+		}
+		shards, legacy = opt.LogShards, true
+	case 2:
+		if _, err := fmt.Sscanf(string(raw), "segstore 2 blocksize %d segrecords %d shards %d", &bsize, &srecs, &shards); err != nil {
+			return 0, false, fmt.Errorf("segstore: bad %s file: %w", metaName, err)
+		}
+		if shards < 1 || shards > maxShards {
+			return 0, false, fmt.Errorf("segstore: %s names %d shards (want 1..%d): %w", metaName, shards, maxShards, ErrCorrupt)
+		}
+	default:
+		return 0, false, fmt.Errorf("segstore: %s version %d not supported", metaName, version)
 	}
 	if bsize != opt.BlockSize || srecs != opt.SegmentRecords {
-		return fmt.Errorf("store has blocksize %d segrecords %d, opened with %d and %d: %w",
+		return 0, false, fmt.Errorf("store has blocksize %d segrecords %d, opened with %d and %d: %w",
 			bsize, srecs, opt.BlockSize, opt.SegmentRecords, ErrGeometry)
 	}
-	return nil
+	return shards, legacy, nil
 }
 
-// load scans every segment in append order, rebuilding the index, and
-// truncates a torn tail. Only the last segment may legitimately be
-// partial or torn: the writer never appends to segment n+1 before
-// segment n is full and (outside SyncNone) synced.
-func (s *Store) load() error {
+// migrateFlat sweeps any top-level segment files into lane 0: the whole
+// of an old flat-layout store on its first open under this version, or
+// the un-fsynced stragglers of an upgrade a crash interrupted. The
+// records keep their ids and sequence numbers — lane 0 simply starts
+// life with history in it, and blocks whose hash says another lane
+// migrate there naturally as compaction relocates their records. Once
+// the files are in place (and durably so), the meta is rewritten as
+// version 2, pinning the lane count.
+func (s *Store) migrateFlat(legacy bool) error {
 	ids, err := listSegments(s.dir)
 	if err != nil {
 		return err
 	}
-	if len(ids) == 0 {
-		return s.createSegment(1)
+	if len(ids) == 0 && !legacy {
+		return nil
 	}
-	for i, id := range ids {
-		f, err := os.OpenFile(segPath(s.dir, id), os.O_RDWR, 0o666)
-		if err != nil {
-			return err
-		}
-		seg := &segment{id: id, f: f}
-		s.segs[id] = seg
-		if err := s.scanSegment(seg, i == len(ids)-1); err != nil {
+	l0 := s.lanes[0]
+	for _, id := range ids {
+		if err := os.Rename(segPath(s.dir, id), segPath(l0.dir, id)); err != nil {
 			return err
 		}
 	}
-	s.active = s.segs[ids[len(ids)-1]]
-	return nil
-}
-
-// scanSegment replays one segment into the index. isTail marks the last
-// (highest-numbered) segment, where a decode failure is a torn write to
-// truncate rather than corruption.
-func (s *Store) scanSegment(seg *segment, isTail bool) error {
-	info, err := seg.f.Stat()
-	if err != nil {
-		return err
-	}
-	size := info.Size()
-	buf := make([]byte, s.recSize)
-	var off int64
-	for off = 0; off+int64(s.recSize) <= size; off += int64(s.recSize) {
-		if _, err := seg.f.ReadAt(buf, off); err != nil {
-			return fmt.Errorf("segment %d offset %d: %w", seg.id, off, err)
-		}
-		rec, err := decodeRecord(buf, s.opt.BlockSize)
-		if err != nil {
-			if isTail {
-				break
-			}
-			return fmt.Errorf("segment %d offset %d: %v: %w", seg.id, off, err, ErrCorrupt)
-		}
-		switch rec.kind {
-		case recData:
-			s.idx.place(block.Num(rec.num), block.Account(rec.account), loc{seg: seg.id, off: off})
-		case recFree:
-			s.idx.drop(block.Num(rec.num))
-		}
-		if rec.seq >= s.seq {
-			s.seq = rec.seq + 1
-		}
-		seg.records++
-	}
-	if torn := size - off; torn > 0 {
-		if !isTail {
-			return fmt.Errorf("segment %d: %d trailing bytes mid-log: %w", seg.id, torn, ErrCorrupt)
-		}
-		// Everything from the first bad record to EOF is dropped, even
-		// if later slots would decode: the appender writes batch n+1
-		// while batch n is still being fsynced, and a crash can
-		// persist the later batch's pages but not the earlier one's —
-		// so a valid record after a torn one is expected, and nothing
-		// past the tear was ever acknowledged. (The residual risk is
-		// media rot inside the newest segment masquerading as a tear
-		// and silently shortening it; rot in any sealed segment is
-		// caught above.)
-		if err := seg.f.Truncate(off); err != nil {
+	if len(ids) > 0 {
+		if err := l0.dirf.Sync(); err != nil {
 			return err
 		}
-		s.stats.TruncatedBytes += uint64(torn)
-	}
-	return nil
-}
-
-// createSegment makes segment id the active segment.
-func (s *Store) createSegment(id uint64) error {
-	f, err := os.OpenFile(segPath(s.dir, id), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
-	if err != nil {
-		return err
-	}
-	if s.opt.Sync != SyncNone {
 		if err := s.dirf.Sync(); err != nil {
-			f.Close()
 			return err
 		}
 	}
-	seg := &segment{id: id, f: f}
-	s.mu.Lock()
-	s.segs[id] = seg
-	s.active = seg
-	s.mu.Unlock()
+	if legacy {
+		if err := writeMeta(s.dir, s.opt, len(s.lanes)); err != nil {
+			return err
+		}
+		if err := s.dirf.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// load scans every lane concurrently, merging their records into the
+// shared index by sequence number.
+func (s *Store) load() error {
+	ls := &loadState{lastSeq: make(map[block.Num]uint64)}
+	errs := make([]error, len(s.lanes))
+	var wg sync.WaitGroup
+	for _, l := range s.lanes {
+		wg.Add(1)
+		go func(l *lane) {
+			defer wg.Done()
+			errs[l.id] = l.load(ls)
+		}(l)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	s.seq.Store(ls.maxSeq)
+	s.stats.TruncatedBytes = ls.truncated
 	return nil
 }
 
 // --- the write pipeline ---
 //
-// Mutations flow through two goroutines so the fsync of one batch
-// overlaps the collection and encoding of the next:
+// Mutations flow through two goroutines per lane so the fsync of one
+// batch overlaps the collection and encoding of the next:
 //
-//	clients → reqs → appender (admit, encode, write) → sealed →
+//	clients → l.reqs → appender (admit, encode, write) → l.sealed →
 //	syncer (fsync, apply to index, acknowledge)
 //
-// The appender is the sole admission point and the sole log writer, so
-// checks and appends are atomic in log order; the syncer applies
-// batches to the index in that same order, so the in-memory state
-// always equals what a replay of the durable log would rebuild, and a
-// request is acknowledged only after its record is fsynced.
+// Each lane's appender is the sole admission point and sole log writer
+// for its lane, so checks and appends are atomic in lane order; the
+// lane's syncer applies batches to the index in that same order. A
+// block's records all live in one lane (the routing hash is per block
+// number), so per-block the in-memory state always equals what a replay
+// of the durable log would rebuild, and a request is acknowledged only
+// after its record is fsynced.
 
-// runAppender collects request groups into group-commit batches and
-// appends their records to the log.
-func (s *Store) runAppender() {
-	defer close(s.sealed)
-	var batch []*writeReq
-	for {
-		group, ok := <-s.reqs
-		if !ok {
-			return
-		}
-		batch = append(batch[:0], group...)
-	fill:
-		for len(batch) < maxBatch {
-			select {
-			case group, ok := <-s.reqs:
-				if !ok {
-					break fill
-				}
-				batch = append(batch, group...)
-			default:
-				break fill
-			}
-		}
-		// Group-commit window: if the last batch was bigger than what
-		// the drain caught, some of those writers are still waking
-		// from their acknowledgement — hold the commit open while
-		// their requests are still arriving, so they make this fsync
-		// instead of forcing their own. The wait is arrival-driven: a
-		// yield lets waking writers run and enqueue; once a few
-		// consecutive yields bring nothing new, everyone still out
-		// there is genuinely idle and the batch commits immediately.
-		// (A timer would put a fixed floor under every commit, and
-		// runtime timers are about a millisecond coarse — several
-		// times the fsync this window is trying to amortise.)
-		if s.opt.Sync == SyncGroup && len(batch) < s.lastBatch && len(batch) < maxBatch {
-			deadline := time.Now().Add(groupWindow)
-			idle, spins := 0, 0
-		window:
-			for len(batch) < maxBatch && idle < 32 {
-				select {
-				case group, ok := <-s.reqs:
-					if !ok {
-						break window
-					}
-					batch = append(batch, group...)
-					idle = 0
-				default:
-					idle++
-					// The deadline caps the wait when the scheduler
-					// is busy with long-running goroutines; probe the
-					// clock sparsely so the spin does not burn the
-					// CPU the waking writers need.
-					spins++
-					if spins%16 == 0 && !time.Now().Before(deadline) {
-						break window
-					}
-					runtime.Gosched()
-				}
-			}
-		}
-		s.lastBatch = len(batch)
-		s.appendBatch(batch)
+// laneIndex routes a block number to its lane: a multiplicative hash so
+// neighbouring block numbers (one file's blocks, typically allocated
+// together) spread across lanes instead of convoying in one.
+func (s *Store) laneIndex(n block.Num) int {
+	if len(s.lanes) == 1 {
+		return 0
 	}
+	return int((uint64(n) * 0x9e3779b97f4a7c15 >> 32) % uint64(len(s.lanes)))
 }
+
+// laneFor is laneIndex returning the lane itself.
+func (s *Store) laneFor(n block.Num) *lane { return s.lanes[s.laneIndex(n)] }
 
 // finish completes one request.
 func finish(r *writeReq, err error) {
 	r.err = err
-	close(r.done)
+	r.done <- struct{}{}
 }
 
 // pendDone retires one in-flight record. Caller holds s.mu.
@@ -658,12 +691,9 @@ func (s *Store) pendDone(r *writeReq) {
 func (s *Store) admit(r *writeReq) bool {
 	switch {
 	case r.alloc:
-		n, err := s.idx.allocNum(r.account, s.opt.Capacity)
-		if err != nil {
-			finish(r, err)
-			return false
-		}
-		r.num = n
+		// The block number was already reserved at submission — the
+		// request had to be routed to its lane by number — so only the
+		// size check below remains.
 	case r.onlyIf != nil:
 		// Relocation: only while the index still points at the guarded
 		// record AND nothing newer is in flight for the block.
@@ -702,264 +732,117 @@ func (s *Store) admit(r *writeReq) bool {
 	return true
 }
 
-// appendBatch admits one batch and appends its records, sealing them to
-// the syncer. In SyncEach mode every record seals (and so fsyncs)
-// individually; otherwise the whole batch seals at once.
-func (s *Store) appendBatch(batch []*writeReq) {
-	s.mu.Lock()
-	if err := s.failed; err != nil {
-		s.mu.Unlock()
-		for _, r := range batch {
-			finish(r, err)
-		}
-		return
-	}
-	admitted := batch[:0]
-	for _, r := range batch {
-		if s.admit(r) {
-			admitted = append(admitted, r)
-		}
-	}
-	s.mu.Unlock()
-	if len(admitted) == 0 {
-		return
-	}
-
-	// A batch can exceed maxBatch when whole request groups straddle the
-	// drain limit; size the encode buffer for the real batch.
-	if need := len(admitted) * s.recSize; cap(s.pendingBuf) < need {
-		s.pendingBuf = make([]byte, 0, need)
-	}
-	pending := s.pendingBuf[:0]
-	var placed []placement
-	sealUpTo := 0 // records handed to the syncer so far
-	// fail rolls back and finishes everything not yet sealed; sealed
-	// records are the syncer's to finish.
-	fail := func(err error) {
-		s.mu.Lock()
-		if s.failed == nil {
-			s.failed = err
-		}
-		for _, p := range placed[sealUpTo:] {
-			s.pendDone(p.req)
-			if p.req.alloc {
-				s.idx.drop(p.req.num)
-			}
-		}
-		rest := admitted[len(placed):]
-		for _, r := range rest {
-			s.pendDone(r)
-			if r.alloc {
-				s.idx.drop(r.num)
-			}
-		}
-		s.mu.Unlock()
-		for _, p := range placed[sealUpTo:] {
-			finish(p.req, err)
-		}
-		for _, r := range rest {
-			finish(r, err)
-		}
-	}
-	flush := func() error {
-		if len(pending) == 0 {
-			return nil
-		}
-		if _, err := s.active.f.WriteAt(pending, s.active.tail(s.recSize)); err != nil {
-			return err
-		}
-		s.active.records += len(pending) / s.recSize
-		pending = pending[:0]
-		return nil
-	}
-	seal := func() {
-		if len(placed) == sealUpTo {
-			return
-		}
-		s.sealed <- sealedBatch{
-			placed:   placed[sealUpTo:len(placed):len(placed)],
-			syncSegs: []*segment{s.active},
-		}
-		sealUpTo = len(placed)
-	}
-	for _, r := range admitted {
-		if s.active.records+len(pending)/s.recSize >= s.opt.SegmentRecords {
-			// Rotate. The invariant load() depends on — segment n+1
-			// has no records unless segment n is full and durable —
-			// requires draining the pipeline and syncing the old
-			// segment before the new one takes its first record.
-			if err := flush(); err != nil {
-				fail(err)
-				return
-			}
-			seal()
-			barrier := make(chan struct{})
-			s.sealed <- sealedBatch{barrier: barrier}
-			<-barrier
-			if s.opt.Sync != SyncNone {
-				if err := s.active.f.Sync(); err != nil {
-					fail(err)
-					return
-				}
-				s.mu.Lock()
-				s.stats.Syncs++
-				s.mu.Unlock()
-			}
-			if err := s.createSegment(s.active.id + 1); err != nil {
-				fail(err)
-				return
-			}
-		}
-		at := loc{seg: s.active.id, off: s.active.tail(s.recSize) + int64(len(pending))}
-		rec := record{kind: r.kind, num: uint32(r.num), account: uint32(r.account), seq: s.seq, data: r.data}
-		s.seq++
-		start := len(pending)
-		pending = pending[:start+s.recSize]
-		encodeRecord(pending[start:], s.opt.BlockSize, rec)
-		placed = append(placed, placement{req: r, at: at})
-		if s.opt.Sync == SyncEach {
-			if err := flush(); err != nil {
-				fail(err)
-				return
-			}
-			seal()
-		}
-	}
-	if err := flush(); err != nil {
-		fail(err)
-		return
-	}
-	seal()
-}
-
-// runSyncer makes sealed batches durable, applies them to the index in
-// log order, and acknowledges their requests.
-func (s *Store) runSyncer() {
-	defer close(s.syncerDone)
-	for sb := range s.sealed {
-		if sb.barrier != nil {
-			close(sb.barrier)
-			continue
-		}
-		s.mu.Lock()
-		err := s.failed
-		s.mu.Unlock()
-		if err == nil && s.opt.Sync != SyncNone {
-			for _, seg := range sb.syncSegs {
-				if serr := seg.f.Sync(); serr != nil {
-					err = serr
-					break
-				}
-			}
-		}
-		if err != nil {
-			s.mu.Lock()
-			if s.failed == nil {
-				s.failed = err
-			}
-			for _, p := range sb.placed {
-				s.pendDone(p.req)
-				if p.req.alloc {
-					s.idx.drop(p.req.num)
-				}
-			}
-			s.mu.Unlock()
-			for _, p := range sb.placed {
-				finish(p.req, err)
-			}
-			continue
-		}
-		s.mu.Lock()
-		for _, p := range sb.placed {
-			switch {
-			case p.req.kind == recFree:
-				s.idx.drop(p.req.num)
-				s.stats.Frees++
-			case p.req.alloc:
-				s.idx.place(p.req.num, p.req.account, p.at)
-				s.stats.Allocs++
-			case p.req.onlyIf != nil:
-				s.idx.place(p.req.num, p.req.account, p.at)
-				s.stats.Relocations++
-			default:
-				s.idx.place(p.req.num, p.req.account, p.at)
-				s.stats.Writes++
-			}
-			s.pendDone(p.req)
-		}
-		s.stats.Batches++
-		s.stats.BatchRecords += uint64(len(sb.placed))
-		if s.opt.Sync != SyncNone {
-			s.stats.Syncs += uint64(len(sb.syncSegs))
-		}
-		s.mu.Unlock()
-		for _, p := range sb.placed {
-			finish(p.req, nil)
-		}
-	}
-}
-
-// send queues one request group to the writer; wait for each request's
+// send queues one request group to a lane; wait for each request's
 // done before reading its err. A group always lands in a single
 // appender batch (and so at most one fsync), which is what makes the
-// multi-block operations one trip through the pipeline.
-func (s *Store) send(group ...*writeReq) error {
+// multi-block operations one trip through the pipeline per lane.
+func (s *Store) send(l *lane, group []*writeReq) error {
 	s.sendMu.RLock()
 	defer s.sendMu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
-	s.reqs <- group
+	l.reqs <- group
 	return nil
 }
 
-// submit queues r and waits for its outcome.
+// submit queues r on its block's lane and waits for its outcome.
 func (s *Store) submit(r *writeReq) error {
-	r.done = make(chan struct{})
-	if err := s.send(r); err != nil {
+	start := time.Now()
+	if err := s.send(s.laneFor(r.num), r.self[:]); err != nil {
 		return err
 	}
+	r.queued = true
 	<-r.done
+	s.appendHist.Observe(time.Since(start))
 	return r.err
 }
 
-// submitMany queues a multi-block operation's requests in maxBatch-sized
-// groups and waits for all of them, returning the first (lowest-index)
-// error and its index. Each request's own outcome stays readable in
+// submitMany splits a multi-block operation's requests across their
+// lanes (order-preserving within each lane, in maxBatch-sized groups)
+// and waits for all of them, returning the first (lowest-index) error
+// and its index. Each request's own outcome stays readable in
 // r.err/r.skipped.
 func (s *Store) submitMany(reqs []*writeReq) (int, error) {
-	for _, r := range reqs {
-		r.done = make(chan struct{})
-	}
-	sent := 0
-	var sendErr error
-	for sent < len(reqs) {
-		end := sent + maxBatch
-		if end > len(reqs) {
-			end = len(reqs)
+	if len(s.lanes) == 1 {
+		s.sendChunks(s.lanes[0], reqs)
+	} else {
+		perLane := make([][]*writeReq, len(s.lanes))
+		for _, r := range reqs {
+			li := s.laneIndex(r.num)
+			perLane[li] = append(perLane[li], r)
 		}
-		if err := s.send(reqs[sent:end]...); err != nil {
-			sendErr = err
-			break
+		for li, group := range perLane {
+			if len(group) == 0 {
+				continue
+			}
+			if !s.sendChunks(s.lanes[li], group) {
+				break
+			}
 		}
-		sent = end
 	}
 	firstIdx := -1
 	var first error
-	for i, r := range reqs[:sent] {
-		<-r.done
+	for i, r := range reqs {
+		if r.queued {
+			<-r.done
+		} else {
+			// Never enqueued (store closed mid-operation): fail
+			// uniformly, and roll back a reservation the pipeline
+			// never saw.
+			r.err = ErrClosed
+			if r.alloc {
+				s.dropReservation(r.num)
+			}
+		}
 		if r.err != nil && first == nil {
 			firstIdx, first = i, r.err
 		}
 	}
-	if first == nil && sendErr != nil {
-		firstIdx, first = sent, sendErr
-	}
-	// Requests never enqueued (store closed mid-loop) fail uniformly.
-	for _, r := range reqs[sent:] {
-		r.err = ErrClosed
-	}
 	return firstIdx, first
+}
+
+// sendChunks queues one lane's share of a multi-block operation in
+// maxBatch-sized groups, reporting whether every group was accepted.
+func (s *Store) sendChunks(l *lane, group []*writeReq) bool {
+	for start := 0; start < len(group); start += maxBatch {
+		end := start + maxBatch
+		if end > len(group) {
+			end = len(group)
+		}
+		if err := s.send(l, group[start:end]); err != nil {
+			return false
+		}
+		for _, r := range group[start:end] {
+			r.queued = true
+		}
+	}
+	return true
+}
+
+// reserveAlloc picks and reserves a fresh block number, so the request
+// can be routed to the number's lane before any record exists.
+func (s *Store) reserveAlloc(account block.Account) (block.Num, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return block.NilNum, ErrClosed
+	}
+	if s.failed != nil {
+		return block.NilNum, s.failed
+	}
+	return s.idx.allocNum(account, s.opt.Capacity)
+}
+
+// dropReservation rolls back a reservation whose request never reached
+// the pipeline (the pipeline's own failure paths roll back the ones
+// that did).
+func (s *Store) dropReservation(n block.Num) {
+	s.mu.Lock()
+	if e, ok := s.idx.entries[n]; ok && e.loc == (loc{}) {
+		s.idx.drop(n)
+	}
+	s.mu.Unlock()
 }
 
 // --- block.Store ---
@@ -981,11 +864,21 @@ func (s *Store) Alloc(account block.Account, data []byte) (block.Num, error) {
 	if err := s.checkData(data); err != nil {
 		return block.NilNum, err
 	}
-	r := &writeReq{kind: recData, alloc: true, account: account, data: data}
-	if err := s.submit(r); err != nil {
+	n, err := s.reserveAlloc(account)
+	if err != nil {
 		return block.NilNum, err
 	}
-	return r.num, nil
+	r := getReq()
+	r.kind, r.alloc, r.num, r.account, r.data = recData, true, n, account, data
+	err = s.submit(r)
+	if err != nil && !r.queued {
+		s.dropReservation(n)
+	}
+	putReq(r)
+	if err != nil {
+		return block.NilNum, err
+	}
+	return n, nil
 }
 
 // Claim allocates a specific block number, failing if it is taken — the
@@ -1005,12 +898,12 @@ func (s *Store) Claim(account block.Account, n block.Num) error {
 		return err
 	}
 	s.mu.Unlock()
-	if err := s.submit(&writeReq{kind: recData, num: n, account: account}); err != nil {
-		s.mu.Lock()
-		if e, ok := s.idx.entries[n]; ok && e.loc == (loc{}) {
-			s.idx.drop(n)
-		}
-		s.mu.Unlock()
+	r := getReq()
+	r.kind, r.num, r.account = recData, n, account
+	err := s.submit(r)
+	putReq(r)
+	if err != nil {
+		s.dropReservation(n)
 		return err
 	}
 	return nil
@@ -1018,7 +911,11 @@ func (s *Store) Claim(account block.Account, n block.Num) error {
 
 // Free implements block.Store: durable once the free record is synced.
 func (s *Store) Free(account block.Account, n block.Num) error {
-	return s.submit(&writeReq{kind: recFree, num: n, account: account})
+	r := getReq()
+	r.kind, r.num, r.account = recFree, n, account
+	err := s.submit(r)
+	putReq(r)
+	return err
 }
 
 // Read implements block.Store. The payload is CRC-checked on every
@@ -1046,9 +943,12 @@ func (s *Store) Read(account block.Account, n block.Num) ([]byte, error) {
 
 // readRecord loads and verifies the record at l; caller holds s.mu.
 func (s *Store) readRecord(n block.Num, l loc) ([]byte, error) {
-	seg, ok := s.segs[l.seg]
+	if l.lane < 0 || l.lane >= len(s.lanes) {
+		return nil, fmt.Errorf("block %d: lane %d out of range: %w", n, l.lane, ErrCorrupt)
+	}
+	seg, ok := s.lanes[l.lane].segs[l.seg]
 	if !ok {
-		return nil, fmt.Errorf("block %d: segment %d missing: %w", n, l.seg, ErrCorrupt)
+		return nil, fmt.Errorf("block %d: lane %d segment %d missing: %w", n, l.lane, l.seg, ErrCorrupt)
 	}
 	buf := make([]byte, s.recSize)
 	if _, err := seg.f.ReadAt(buf, l.off); err != nil {
@@ -1056,10 +956,10 @@ func (s *Store) readRecord(n block.Num, l loc) ([]byte, error) {
 	}
 	rec, err := decodeRecord(buf, s.opt.BlockSize)
 	if err != nil {
-		return nil, fmt.Errorf("block %d (segment %d offset %d): %v: %w", n, l.seg, l.off, err, ErrCorrupt)
+		return nil, fmt.Errorf("block %d (lane %d segment %d offset %d): %v: %w", n, l.lane, l.seg, l.off, err, ErrCorrupt)
 	}
 	if block.Num(rec.num) != n || rec.kind != recData {
-		return nil, fmt.Errorf("block %d (segment %d offset %d): record names block %d: %w", n, l.seg, l.off, rec.num, ErrCorrupt)
+		return nil, fmt.Errorf("block %d (lane %d segment %d offset %d): record names block %d: %w", n, l.lane, l.seg, l.off, rec.num, ErrCorrupt)
 	}
 	return rec.data, nil
 }
@@ -1070,7 +970,11 @@ func (s *Store) Write(account block.Account, n block.Num, data []byte) error {
 	if err := s.checkData(data); err != nil {
 		return err
 	}
-	return s.submit(&writeReq{kind: recData, num: n, account: account, data: data})
+	r := getReq()
+	r.kind, r.num, r.account, r.data = recData, n, account, data
+	err := s.submit(r)
+	putReq(r)
+	return err
 }
 
 // Lock implements block.Store. Lock bits are volatile (§5.2 commit
@@ -1125,9 +1029,10 @@ var _ block.EpochStore = (*Store)(nil)
 // --- block.MultiStore ---
 //
 // The multi-block operations follow the contract documented on
-// block.MultiStore. Their records travel as one request group through
-// the appender, so an N-block batch rides one group-commit window —
-// one fsync — instead of N independent trips through the pipeline.
+// block.MultiStore. Their records travel as one request group per lane,
+// so an N-block batch rides one group-commit window per lane it touches
+// — at most K fsyncs — instead of N independent trips through the
+// pipelines.
 
 // ReadMulti implements block.MultiStore: one index-lock acquisition for
 // the whole batch (all-or-nothing; reads modify nothing).
@@ -1158,16 +1063,22 @@ func (s *Store) ReadMulti(account block.Account, ns []block.Num) ([][]byte, erro
 }
 
 // WriteMulti implements block.MultiStore: per-block independence, all
-// records in one group (one fsync), first error returned.
+// records in one group per lane (one fsync each), first error returned.
 func (s *Store) WriteMulti(account block.Account, ns []block.Num, data [][]byte) error {
 	if len(ns) != len(data) {
 		return fmt.Errorf("segstore: multi write with %d blocks, %d payloads", len(ns), len(data))
 	}
 	reqs := make([]*writeReq, len(ns))
 	for i := range ns {
-		reqs[i] = &writeReq{kind: recData, num: ns[i], account: account, data: data[i]}
+		r := getReq()
+		r.kind, r.num, r.account, r.data = recData, ns[i], account, data[i]
+		reqs[i] = r
 	}
-	if idx, err := s.submitMany(reqs); err != nil {
+	idx, err := s.submitMany(reqs)
+	for _, r := range reqs {
+		putReq(r)
+	}
+	if err != nil {
 		return &block.MultiError{Op: "write", Index: idx, N: len(ns), Err: err}
 	}
 	return nil
@@ -1175,18 +1086,39 @@ func (s *Store) WriteMulti(account block.Account, ns []block.Num, data [][]byte)
 
 // AllocMulti implements block.MultiStore: all-or-nothing — on any
 // failure the blocks that were allocated are freed again before the
-// error returns.
+// error returns. All the numbers are reserved under one lock
+// acquisition, then routed to their lanes.
 func (s *Store) AllocMulti(account block.Account, data [][]byte) ([]block.Num, error) {
 	reqs := make([]*writeReq, len(data))
-	for i := range data {
-		reqs[i] = &writeReq{kind: recData, alloc: true, account: account, data: data[i]}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, &block.MultiError{Op: "alloc", Index: 0, N: len(data), Err: ErrClosed}
 	}
+	for i := range data {
+		n, err := s.idx.allocNum(account, s.opt.Capacity)
+		if err != nil {
+			for _, r := range reqs[:i] {
+				s.idx.drop(r.num)
+				putReq(r)
+			}
+			s.mu.Unlock()
+			return nil, &block.MultiError{Op: "alloc", Index: i, N: len(data), Err: err}
+		}
+		r := getReq()
+		r.kind, r.alloc, r.num, r.account, r.data = recData, true, n, account, data[i]
+		reqs[i] = r
+	}
+	s.mu.Unlock()
 	if idx, err := s.submitMany(reqs); err != nil {
 		var got []block.Num
 		for _, r := range reqs {
 			if r.err == nil {
 				got = append(got, r.num)
 			}
+		}
+		for _, r := range reqs {
+			putReq(r)
 		}
 		if len(got) > 0 {
 			_ = s.FreeMulti(account, got) // best-effort rollback
@@ -1196,18 +1128,25 @@ func (s *Store) AllocMulti(account block.Account, data [][]byte) ([]block.Num, e
 	out := make([]block.Num, len(reqs))
 	for i, r := range reqs {
 		out[i] = r.num
+		putReq(r)
 	}
 	return out, nil
 }
 
 // FreeMulti implements block.MultiStore: per-block independence, all
-// free records in one group, first error returned.
+// free records in one group per lane, first error returned.
 func (s *Store) FreeMulti(account block.Account, ns []block.Num) error {
 	reqs := make([]*writeReq, len(ns))
 	for i, n := range ns {
-		reqs[i] = &writeReq{kind: recFree, num: n, account: account}
+		r := getReq()
+		r.kind, r.num, r.account = recFree, n, account
+		reqs[i] = r
 	}
-	if idx, err := s.submitMany(reqs); err != nil {
+	idx, err := s.submitMany(reqs)
+	for _, r := range reqs {
+		putReq(r)
+	}
+	if err != nil {
 		return &block.MultiError{Op: "free", Index: idx, N: len(ns), Err: err}
 	}
 	return nil
@@ -1221,6 +1160,10 @@ func (s *Store) Dir() string { return s.dir }
 // Capacity returns the number of allocatable blocks.
 func (s *Store) Capacity() int { return s.opt.Capacity }
 
+// Lanes returns the number of log lanes the store runs with, pinned at
+// creation.
+func (s *Store) Lanes() int { return len(s.lanes) }
+
 // InUse returns the number of currently allocated blocks.
 func (s *Store) InUse() int {
 	s.mu.Lock()
@@ -1228,18 +1171,73 @@ func (s *Store) InUse() int {
 	return len(s.idx.entries)
 }
 
-// Segments returns the number of live segment files.
+// Segments returns the number of live segment files across all lanes
+// (free-pool files not included).
 func (s *Store) Segments() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.segs)
+	n := 0
+	for _, l := range s.lanes {
+		n += len(l.segs)
+	}
+	return n
 }
 
 // Stats returns a snapshot of the operation counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	st.WindowGrows = s.windowGrows.Load()
+	st.WindowShrinks = s.windowShrinks.Load()
+	return st
+}
+
+// LaneStat is one lane's point-in-time load picture, for the per-lane
+// queue-depth gauges on /metrics and for shutdown stats.
+type LaneStat struct {
+	Lane       int
+	QueueDepth int           // request groups waiting for the appender
+	Window     time.Duration // current adaptive group-commit window
+	Segments   int           // live segment files
+	PoolFree   int           // recycled segment files awaiting reuse
+}
+
+// LaneStats snapshots every lane.
+func (s *Store) LaneStats() []LaneStat {
+	out := make([]LaneStat, len(s.lanes))
+	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	for i, l := range s.lanes {
+		out[i] = LaneStat{
+			Lane:       i,
+			QueueDepth: len(l.reqs),
+			Window:     time.Duration(l.windowNs.Load()),
+			Segments:   len(l.segs),
+			PoolFree:   len(l.pool),
+		}
+	}
+	return out
+}
+
+// Histograms is the store's always-on instrumentation, in the shape
+// the /metrics endpoint renders.
+type Histograms struct {
+	// Append is the client-visible append latency: submit to
+	// acknowledgement, fsync included.
+	Append *metrics.Histogram
+	// Flush is the duration of each individual fsync.
+	Flush *metrics.Histogram
+	// BatchPages is how many records each group-commit batch carried.
+	BatchPages *metrics.Histogram
+	// Window is the adaptive group-commit window in force at each
+	// batch, in seconds.
+	Window *metrics.Histogram
+}
+
+// Histograms returns the store's instrumentation histograms.
+func (s *Store) Histograms() Histograms {
+	return Histograms{Append: s.appendHist, Flush: s.flushHist, BatchPages: s.batchHist, Window: s.windowHist}
 }
 
 // Usage implements block.UsageReporter, so a sharding facade (or a
@@ -1275,8 +1273,8 @@ func (s *Store) ClearLocks() {
 	s.idx.clearLocks()
 }
 
-// Close stops the compactor and the writer, syncs and closes every
-// segment file. Acknowledged writes are already durable (outside
+// Close stops the compactor and every lane's pipeline, syncs and closes
+// every file. Acknowledged writes are already durable (outside
 // SyncNone), so Close after a crash is unnecessary — that is the point
 // of the store.
 func (s *Store) Close() error {
@@ -1287,7 +1285,9 @@ func (s *Store) Close() error {
 			s.compactWG.Wait()
 		}
 		s.markClosed()
-		<-s.syncerDone
+		for _, l := range s.lanes {
+			<-l.syncerDone
+		}
 		err = s.closeFiles(true)
 	})
 	return err
@@ -1295,7 +1295,7 @@ func (s *Store) Close() error {
 
 // Abandon simulates a process crash, for tests and demos that reopen
 // the directory in the same process: every file handle is closed
-// immediately — releasing the directory lock — with no flush, no
+// immediately — releasing the directory locks — with no flush, no
 // drain, no goodbye. In-flight unacknowledged operations fail as they
 // would in a real crash; acknowledged writes are already on disk. (A
 // genuinely killed process needs no call at all.)
@@ -1309,7 +1309,7 @@ func (s *Store) Abandon() {
 	})
 }
 
-// markClosed rejects new work and stops the pipeline. closed is read
+// markClosed rejects new work and stops the pipelines. closed is read
 // under sendMu by send and under mu by everything else, so the write
 // holds both.
 func (s *Store) markClosed() {
@@ -1317,29 +1317,41 @@ func (s *Store) markClosed() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
-	close(s.reqs)
+	for _, l := range s.lanes {
+		close(l.reqs)
+	}
 	s.sendMu.Unlock()
 }
 
-// closeFiles closes all file handles, syncing first if asked.
+// closeFiles closes all file handles, syncing first if asked. It also
+// marks the store closed, for Open's error paths, which come here
+// without going through markClosed.
 func (s *Store) closeFiles(sync bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closed = true
 	var first error
-	for _, seg := range s.segs {
-		if sync {
-			if err := seg.f.Sync(); err != nil && first == nil {
-				first = err
-			}
-		}
-		if err := seg.f.Close(); err != nil && first == nil {
+	note := func(err error) {
+		if err != nil && first == nil {
 			first = err
 		}
 	}
-	if s.dirf != nil {
-		if err := s.dirf.Close(); err != nil && first == nil {
-			first = err
+	for _, l := range s.lanes {
+		for _, seg := range l.segs {
+			if sync {
+				note(seg.f.Sync())
+			}
+			note(seg.f.Close())
 		}
+		for _, seg := range l.pool {
+			note(seg.f.Close())
+		}
+		if l.dirf != nil {
+			note(l.dirf.Close())
+		}
+	}
+	if s.dirf != nil {
+		note(s.dirf.Close())
 	}
 	return first
 }

@@ -187,7 +187,8 @@ func TestRecoverScan(t *testing.T) {
 }
 
 func TestSegmentRotation(t *testing.T) {
-	s := openTest(t, Options{BlockSize: 32, SegmentRecords: 4})
+	// One lane, so the segment count is exactly records/SegmentRecords.
+	s := openTest(t, Options{BlockSize: 32, SegmentRecords: 4, LogShards: 1})
 	for i := 0; i < 20; i++ {
 		if _, err := s.Alloc(1, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
@@ -384,7 +385,7 @@ func TestCompactionUnderLoad(t *testing.T) {
 
 func TestReadDetectsCorruption(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, Options{BlockSize: 32})
+	s, err := Open(dir, Options{BlockSize: 32, LogShards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +395,7 @@ func TestReadDetectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Flip a payload byte on disk behind the store's back.
-	f, err := os.OpenFile(segPath(dir, 1), os.O_RDWR, 0)
+	f, err := os.OpenFile(segPath(laneDir(dir, 0), 1), os.O_RDWR, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -493,7 +494,7 @@ func TestMultiOpsRideOneGroupCommit(t *testing.T) {
 	// The point of the batch append: an N-block multi operation makes
 	// one trip through the appender→syncer pipeline — one fsync — where
 	// N sequential single writes pay one fsync each.
-	st, err := Open(t.TempDir(), Options{BlockSize: 512, Capacity: 4096, SegmentRecords: 4096, Sync: SyncGroup})
+	st, err := Open(t.TempDir(), Options{BlockSize: 512, Capacity: 4096, SegmentRecords: 4096, Sync: SyncGroup, LogShards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,7 @@ type tcpHalf struct {
 
 func (h *tcpHalf) start(t *testing.T) {
 	t.Helper()
-	st, err := segstore.Open(h.dir, segstore.Options{BlockSize: 256, Capacity: 1 << 10, SegmentRecords: 32})
+	st, err := segstore.Open(h.dir, segstore.Options{BlockSize: 256, Capacity: 1 << 10, SegmentRecords: 32, LogShards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestRemotePairOverTCP(t *testing.T) {
 	// is the 32-byte header plus the 256-byte payload; see segment.go).
 	// The pair read must fall back to B over the wire (block.ErrCorrupt
 	// crosses it) and repair A's copy.
-	f, err := os.OpenFile(filepath.Join(machines[0].dir, "seg-00000001.log"), os.O_RDWR, 0)
+	f, err := os.OpenFile(filepath.Join(machines[0].dir, "log-00", "seg-00000001.log"), os.O_RDWR, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
