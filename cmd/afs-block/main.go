@@ -244,6 +244,9 @@ func openStore(backend, dir string, blocks, bsize int, sync string, lanes int, s
 		}
 		log.Printf("segstore %s: recovered %d blocks from %d segments across %d log lanes (truncated %d torn bytes)",
 			dir, st.InUse(), st.Segments(), st.Lanes(), st.Stats().TruncatedBytes)
+		if rl := st.RecreatedLanes(); len(rl) > 0 {
+			log.Printf("segstore %s: WARNING: lane directories %v were missing and recreated empty; their acknowledged blocks read as unallocated — restore from a replica if the loss matters", dir, rl)
+		}
 		return st, func() {
 			log.Printf("shutting down: %d blocks in use", st.InUse())
 			if err := st.Close(); err != nil {

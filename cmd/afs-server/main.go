@@ -211,6 +211,9 @@ func main() {
 			}
 		}
 		log.Printf("segstore %s: %d blocks in %d segments across %d log lanes", *dir, st.InUse(), st.Segments(), st.Lanes())
+		if rl := st.RecreatedLanes(); len(rl) > 0 {
+			log.Printf("segstore %s: WARNING: lane directories %v were missing and recreated empty; their acknowledged blocks read as unallocated — restore from a replica if the loss matters", *dir, rl)
+		}
 	case *backend == "mem":
 		d, err := disk.New(disk.Geometry{Blocks: *nblocks, BlockSize: *bsize})
 		if err != nil {
@@ -447,6 +450,9 @@ func main() {
 		log.Printf("segstore: %d batches (%d records, %d fsyncs), adaptive window %d grows / %d shrinks, %d compactions (%d segments reclaimed, %d files recycled)",
 			st.Batches, st.BatchRecords, st.Syncs, st.WindowGrows, st.WindowShrinks,
 			st.Compactions, st.SegmentsReclaimed, st.Recycles)
+		if st.CompactErrors > 0 {
+			log.Printf("segstore: %d background compaction errors, last: %v", st.CompactErrors, segStore.LastCompactError())
+		}
 		for _, ls := range segStore.LaneStats() {
 			log.Printf("segstore lane %d: %d segments, %d pooled, window %v, queue %d",
 				ls.Lane, ls.Segments, ls.PoolFree, ls.Window, ls.QueueDepth)
@@ -756,6 +762,9 @@ func openArchiveBacking(spec string, frontSize, capacity int, syncMode string) (
 		return nil, nil, fmt.Errorf("archive %s: existing store has %d-byte blocks; framing %d-byte front blocks needs at least %d",
 			spec, st.BlockSize(), frontSize, need)
 	}
+	if rl := st.RecreatedLanes(); len(rl) > 0 {
+		log.Printf("archive %s: WARNING: lane directories %v were missing and recreated empty; their acknowledged blocks read as unallocated", spec, rl)
+	}
 	closer := func() {
 		if err := st.Close(); err != nil {
 			log.Printf("close archive: %v", err)
@@ -930,6 +939,7 @@ func writeProm(w io.Writer, store block.Store, sharded *shard.Store, pairs []*st
 			"batches": st.Batches, "batch_records": st.BatchRecords, "fsyncs": st.Syncs,
 			"compactions": st.Compactions, "relocations": st.Relocations, "segments_reclaimed": st.SegmentsReclaimed,
 			"recycles": st.Recycles, "window_grows": st.WindowGrows, "window_shrinks": st.WindowShrinks,
+			"compact_errors": st.CompactErrors, "lanes_recreated": st.LanesRecreated,
 		} {
 			metrics.WriteSample(w, "afs_segstore_total", map[string]string{"event": kind}, float64(v))
 		}

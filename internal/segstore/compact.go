@@ -33,19 +33,34 @@ func (s *Store) compactLoop() {
 		case <-s.stopCompact:
 			return
 		case <-t.C:
-			// Errors are sticky in s.failed when they matter (append
-			// path); a read error here leaves the victim in place for
-			// the next round.
 			for i := 0; i < len(s.lanes); i++ {
 				li := (next + i) % len(s.lanes)
-				did, _ := s.compact(li)
-				if did {
+				if s.compactLane(li) {
 					next = (li + 1) % len(s.lanes)
 					break
 				}
 			}
 		}
 	}
+}
+
+// compactLane runs one background pass over a lane, recording the
+// outcome: the loop has no caller to return an error to, and a read
+// error during victim snapshotting leaves the victim in place — the
+// compactor would otherwise retry forever in silence. The error lands
+// in Stats().CompactErrors and LastCompactError, cleared again by the
+// next pass that reclaims a segment.
+func (s *Store) compactLane(li int) bool {
+	did, err := s.compact(li)
+	s.mu.Lock()
+	if err != nil {
+		s.stats.CompactErrors++
+		s.compactErr = err
+	} else if did {
+		s.compactErr = nil
+	}
+	s.mu.Unlock()
+	return did
 }
 
 // CompactOnce picks the sealed segment with the most garbage across all

@@ -1,6 +1,7 @@
 package segstore
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -24,6 +25,11 @@ type lane struct {
 	s   *Store
 	id  int
 	dir string
+
+	// created records that openLane had to make the lane directory: a
+	// fresh store, or — on a store that already holds data — a lost
+	// lane, which Open surfaces (see RecreatedLanes).
+	created bool
 
 	// dirf fsyncs the lane directory and carries the lane's flock.
 	dirf *os.File
@@ -59,6 +65,10 @@ const windowStep = 25 * time.Microsecond
 // openLane creates (if necessary) and locks one lane directory.
 func openLane(s *Store, id int) (*lane, error) {
 	dir := laneDir(s.dir, id)
+	created := false
+	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
+		created = true
+	}
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, err
 	}
@@ -78,6 +88,7 @@ func openLane(s *Store, id int) (*lane, error) {
 		s:          s,
 		id:         id,
 		dir:        dir,
+		created:    created,
 		dirf:       dirf,
 		segs:       make(map[uint64]*segment),
 		nextSeg:    1,

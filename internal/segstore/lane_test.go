@@ -79,6 +79,9 @@ func lastSegPath(t *testing.T, dir string, lane int) string {
 func TestFourLaneReopenByteEqual(t *testing.T) {
 	dir, want, _ := fourLaneStore(t)
 	s := reopenFour(t, dir)
+	if rl := s.RecreatedLanes(); len(rl) != 0 {
+		t.Fatalf("healthy reopen reports recreated lanes %v", rl)
+	}
 	for n, data := range want {
 		got, err := s.Read(1, n)
 		if err != nil {
@@ -130,6 +133,15 @@ func TestFourLaneMissingLaneDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := reopenFour(t, dir)
+	// The loss is surfaced, not silent: the recreated lane shows up in
+	// stats and in RecreatedLanes so an operator can restore from a
+	// replica instead of writing on.
+	if st := s.Stats(); st.LanesRecreated != 1 {
+		t.Fatalf("LanesRecreated = %d, want 1", st.LanesRecreated)
+	}
+	if rl := s.RecreatedLanes(); len(rl) != 1 || rl[0] != 2 {
+		t.Fatalf("RecreatedLanes() = %v, want [2]", rl)
+	}
 	for n, data := range want {
 		got, err := s.Read(1, n)
 		if laneOf[n] == 2 {
@@ -166,6 +178,21 @@ func TestFourLaneMidLogCorruptionRefused(t *testing.T) {
 	f.Close()
 	if _, err := Open(dir, Options{BlockSize: 64, SegmentRecords: 4}); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("open over mid-log corruption in lane 2: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestMissingMetaWithLanesRefused loses the meta file while lane
+// directories full of data survive. The open must refuse: writing a
+// fresh meta would re-pin the shard count from this process's defaults,
+// changing the routing hash and silently orphaning acknowledged records
+// in lanes beyond the new count.
+func TestMissingMetaWithLanesRefused(t *testing.T) {
+	dir, _, _ := fourLaneStore(t)
+	if err := os.Remove(filepath.Join(dir, metaName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{BlockSize: 64, SegmentRecords: 4, LogShards: 4}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with lane data but no meta: err = %v, want ErrCorrupt", err)
 	}
 }
 
@@ -412,6 +439,77 @@ func TestCloseDuringCompaction(t *testing.T) {
 			t.Fatalf("iter %d: block reads %v (err %v), want 60", iter, data[:1], err)
 		}
 		s2.Close()
+	}
+}
+
+// --- background compaction error surfacing ---
+
+// TestCompactErrorSurfaced corrupts the only live record of a
+// compaction victim: the background pass must record the failure in
+// CompactErrors/LastCompactError instead of retrying forever in
+// silence, and a later successful pass must clear it again.
+func TestCompactErrorSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{BlockSize: 32, SegmentRecords: 4, LogShards: 1, Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, err := s.Alloc(1, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Alloc(1, []byte{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two more writes seal segment 1 (a's alloc, b's alloc, two of a's
+	// rewrites); a third rolls to segment 2, leaving b's record the only
+	// live one in the sealed victim.
+	for i := 0; i < 3; i++ {
+		if err := s.Write(1, a, []byte{byte(3 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := segPath(laneDir(dir, 0), 1)
+	off := int64(recordSize(32) + headerSize) // first payload byte of b's record
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := make([]byte, 1)
+	if _, err := f.ReadAt(orig, off); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{orig[0] ^ 0xFF}, off); err != nil {
+		t.Fatal(err)
+	}
+	if did := s.compactLane(0); did {
+		t.Fatal("compaction reclaimed a segment whose live record is corrupt")
+	}
+	if st := s.Stats(); st.CompactErrors != 1 {
+		t.Fatalf("CompactErrors = %d, want 1", st.CompactErrors)
+	}
+	if err := s.LastCompactError(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("LastCompactError() = %v, want ErrCorrupt", err)
+	}
+	// Heal the record: the next pass reclaims the victim and clears the
+	// sticky error.
+	if _, err := f.WriteAt(orig, off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if did := s.compactLane(0); !did {
+		t.Fatal("compaction did not reclaim the healed victim")
+	}
+	if err := s.LastCompactError(); err != nil {
+		t.Fatalf("LastCompactError() after successful pass = %v, want nil", err)
+	}
+	if st := s.Stats(); st.CompactErrors != 1 {
+		t.Fatalf("CompactErrors after successful pass = %d, want still 1", st.CompactErrors)
+	}
+	if data, err := s.Read(1, b); err != nil || data[0] != 2 {
+		t.Fatalf("block b reads %v (err %v) after relocation, want 2", data[:1], err)
 	}
 }
 

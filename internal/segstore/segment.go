@@ -134,6 +134,38 @@ func laneDirName(lane int) string { return fmt.Sprintf("log-%02d", lane) }
 // laneDir is the full path of a lane's directory.
 func laneDir(dir string, lane int) string { return filepath.Join(dir, laneDirName(lane)) }
 
+// parseLaneDirName extracts the lane number from a lane directory name.
+func parseLaneDirName(name string) (int, bool) {
+	if !strings.HasPrefix(name, "log-") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(name, "log-"))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listLaneDirs returns the lane numbers of all lane directories in dir,
+// ascending.
+func listLaneDirs(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var lanes []int
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		if n, ok := parseLaneDirName(e.Name()); ok {
+			lanes = append(lanes, n)
+		}
+	}
+	sort.Ints(lanes)
+	return lanes, nil
+}
+
 // poolName is the file name a compacted segment parks under while it
 // waits in the lane's free pool to be reused ("pool-00000007.log"). The
 // id is whatever the segment's id was when it was recycled; the file is

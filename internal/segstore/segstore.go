@@ -206,11 +206,20 @@ type Stats struct {
 	WindowGrows, WindowShrinks uint64
 
 	// Compaction counters. Recycles counts segment files reused from a
-	// lane's free pool instead of being created fresh.
+	// lane's free pool instead of being created fresh. CompactErrors
+	// counts background compaction passes that failed (see
+	// LastCompactError for the most recent failure).
 	Compactions, Relocations, SegmentsReclaimed, Recycles uint64
+	CompactErrors                                         uint64
 
 	// TruncatedBytes is how much torn tail the last Open cut off.
 	TruncatedBytes uint64
+
+	// LanesRecreated is how many lane directories the last Open found
+	// missing from a store that already held data and recreated empty
+	// (see RecreatedLanes). Acknowledged blocks routed to a recreated
+	// lane read as never-allocated.
+	LanesRecreated uint64
 }
 
 // writeReq is one mutation queued to a lane's appender.
@@ -302,6 +311,14 @@ type Store struct {
 	failed   error  // sticky first append-path I/O error
 	closed   bool
 
+	// recreated lists lanes whose directories Open had to recreate
+	// empty on a store that already held data: lost acknowledged blocks
+	// (see RecreatedLanes). Written once by Open, read-only after.
+	recreated []int
+	// compactErr is the most recent background-compaction failure,
+	// cleared by the next successful pass.
+	compactErr error
+
 	// seq issues record sequence numbers: globally monotonic across
 	// lanes, so a by-sequence merge of the lanes is total mutation
 	// order, and a recycled file's stale remnants (always older than
@@ -357,7 +374,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		dirf.Close()
 		return nil, fmt.Errorf("segstore: %s: %w", dir, err)
 	}
-	shards, legacy, err := loadMeta(dir, &opt)
+	shards, legacy, fresh, err := loadMeta(dir, &opt)
 	if err != nil {
 		dirf.Close()
 		return nil, err
@@ -395,6 +412,37 @@ func Open(dir string, opt Options) (*Store, error) {
 	if err := s.load(); err != nil {
 		s.closeFiles(false)
 		return nil, err
+	}
+	createdAny := false
+	for _, l := range s.lanes {
+		if l.created {
+			createdAny = true
+		}
+	}
+	if fresh || createdAny {
+		// The lane directory entries (and a fresh meta file) must be
+		// durable before any write is acknowledged: each lane fsyncs its
+		// own directory, but the lane dirs and the meta are entries in
+		// the top-level directory, and losing one to a power cut would
+		// silently drop a whole lane's acknowledged records on the next
+		// open.
+		if err := s.dirf.Sync(); err != nil {
+			s.closeFiles(false)
+			return nil, err
+		}
+	}
+	if !fresh && !legacy && s.seq.Load() > 0 {
+		// A lane directory that had to be recreated on a store that
+		// already held data is a lost lane (dead disk stripe, errant
+		// rm): its acknowledged blocks now read as never-allocated. The
+		// store still opens — the surviving lanes are intact — but the
+		// loss is surfaced rather than silent.
+		for _, l := range s.lanes {
+			if l.created {
+				s.recreated = append(s.recreated, l.id)
+			}
+		}
+		s.stats.LanesRecreated = uint64(len(s.recreated))
 	}
 	for _, l := range s.lanes {
 		go l.runAppender()
@@ -519,29 +567,40 @@ func writeMeta(dir string, opt Options, shards int) error {
 
 // loadMeta validates opt against an existing store's meta file, or
 // writes one for a fresh store. It reports the lane count to run with,
-// and whether the directory is an old flat-layout (version 1) store
-// that still needs its upgrade finished.
-func loadMeta(dir string, opt *Options) (shards int, legacy bool, err error) {
+// whether the directory is an old flat-layout (version 1) store that
+// still needs its upgrade finished, and whether the meta was written
+// fresh just now (a brand-new store).
+func loadMeta(dir string, opt *Options) (shards int, legacy, fresh bool, err error) {
 	raw, err := os.ReadFile(filepath.Join(dir, metaName))
 	if errors.Is(err, os.ErrNotExist) {
+		// No meta: only a genuinely empty directory may be initialised
+		// as a new store. Top-level segments (flat layout) or lane
+		// directories with a lost meta must refuse — writing a fresh
+		// meta would re-pin LogShards from this process's defaults,
+		// changing the routing hash and silently orphaning every
+		// acknowledged record in lanes beyond the new count.
 		ids, err := listSegments(dir)
 		if err != nil {
-			return 0, false, err
+			return 0, false, false, err
 		}
-		if len(ids) > 0 {
-			return 0, false, fmt.Errorf("segstore: %s has segments but no %s file: %w", dir, metaName, ErrCorrupt)
+		lanes, err := listLaneDirs(dir)
+		if err != nil {
+			return 0, false, false, err
+		}
+		if len(ids) > 0 || len(lanes) > 0 {
+			return 0, false, false, fmt.Errorf("segstore: %s has log data but no %s file: %w", dir, metaName, ErrCorrupt)
 		}
 		if err := writeMeta(dir, *opt, opt.LogShards); err != nil {
-			return 0, false, err
+			return 0, false, false, err
 		}
-		return opt.LogShards, false, nil
+		return opt.LogShards, false, true, nil
 	}
 	if err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
 	var version int
 	if _, err := fmt.Sscanf(string(raw), "segstore %d", &version); err != nil {
-		return 0, false, fmt.Errorf("segstore: bad %s file: %w", metaName, err)
+		return 0, false, false, fmt.Errorf("segstore: bad %s file: %w", metaName, err)
 	}
 	var bsize, srecs int
 	switch version {
@@ -550,24 +609,24 @@ func loadMeta(dir string, opt *Options) (shards int, legacy bool, err error) {
 		// lane count. Adopt the requested LogShards; Open moves the
 		// files into lane 0 and rewrites the meta.
 		if _, err := fmt.Sscanf(string(raw), "segstore 1 blocksize %d segrecords %d", &bsize, &srecs); err != nil {
-			return 0, false, fmt.Errorf("segstore: bad %s file: %w", metaName, err)
+			return 0, false, false, fmt.Errorf("segstore: bad %s file: %w", metaName, err)
 		}
 		shards, legacy = opt.LogShards, true
 	case 2:
 		if _, err := fmt.Sscanf(string(raw), "segstore 2 blocksize %d segrecords %d shards %d", &bsize, &srecs, &shards); err != nil {
-			return 0, false, fmt.Errorf("segstore: bad %s file: %w", metaName, err)
+			return 0, false, false, fmt.Errorf("segstore: bad %s file: %w", metaName, err)
 		}
 		if shards < 1 || shards > maxShards {
-			return 0, false, fmt.Errorf("segstore: %s names %d shards (want 1..%d): %w", metaName, shards, maxShards, ErrCorrupt)
+			return 0, false, false, fmt.Errorf("segstore: %s names %d shards (want 1..%d): %w", metaName, shards, maxShards, ErrCorrupt)
 		}
 	default:
-		return 0, false, fmt.Errorf("segstore: %s version %d not supported", metaName, version)
+		return 0, false, false, fmt.Errorf("segstore: %s version %d not supported", metaName, version)
 	}
 	if bsize != opt.BlockSize || srecs != opt.SegmentRecords {
-		return 0, false, fmt.Errorf("store has blocksize %d segrecords %d, opened with %d and %d: %w",
+		return 0, false, false, fmt.Errorf("store has blocksize %d segrecords %d, opened with %d and %d: %w",
 			bsize, srecs, opt.BlockSize, opt.SegmentRecords, ErrGeometry)
 	}
-	return shards, legacy, nil
+	return shards, legacy, false, nil
 }
 
 // migrateFlat sweeps any top-level segment files into lane 0: the whole
@@ -1163,6 +1222,27 @@ func (s *Store) Capacity() int { return s.opt.Capacity }
 // Lanes returns the number of log lanes the store runs with, pinned at
 // creation.
 func (s *Store) Lanes() int { return len(s.lanes) }
+
+// RecreatedLanes reports which lane directories Open found missing from
+// a store that already held data and recreated empty: a lost lane
+// (dead disk stripe, errant rm) whose acknowledged blocks now read as
+// never-allocated. Empty on a healthy open. Callers that cannot
+// tolerate the loss should close the store and restore the lane from a
+// replica instead of writing on.
+func (s *Store) RecreatedLanes() []int {
+	out := make([]int, len(s.recreated))
+	copy(out, s.recreated)
+	return out
+}
+
+// LastCompactError returns the most recent background-compaction
+// failure, or nil if the last pass that reclaimed anything succeeded.
+// Stats().CompactErrors counts how many passes have failed in total.
+func (s *Store) LastCompactError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactErr
+}
 
 // InUse returns the number of currently allocated blocks.
 func (s *Store) InUse() int {
