@@ -40,6 +40,7 @@ import (
 	"repro/internal/occ"
 	"repro/internal/page"
 	"repro/internal/segstore"
+	"repro/internal/trace"
 )
 
 // Capability names a file or version and carries the rights to use it.
@@ -106,6 +107,14 @@ type Options struct {
 	NetworkLatency time.Duration
 	DiskReadCost   time.Duration
 	DiskWriteCost  time.Duration
+	// TraceSample, when positive, turns on distributed tracing: that
+	// ratio ([0,1]) of client operations is sampled into span trees
+	// covering every layer the operation crossed (client, server, OCC,
+	// shard, mirror, segstore ...) and reported back to the service,
+	// where Tracer exposes them. TraceSlow marks traces at least that
+	// long as slow.
+	TraceSample float64
+	TraceSlow   time.Duration
 }
 
 // Cluster is a running file service: servers, storage and collector.
@@ -118,15 +127,17 @@ type Cluster struct {
 // Start brings up a file service.
 func Start(o Options) (*Cluster, error) {
 	cfg := core.Config{
-		Servers:    o.Servers,
-		DiskBlocks: o.DiskBlocks,
-		BlockSize:  o.BlockSize,
-		StablePair: o.StableStorage,
-		Retain:     o.RetainVersions,
-		Archive:    o.Archive,
-		NetLatency: o.NetworkLatency,
-		ReadCost:   o.DiskReadCost,
-		WriteCost:  o.DiskWriteCost,
+		Servers:     o.Servers,
+		DiskBlocks:  o.DiskBlocks,
+		BlockSize:   o.BlockSize,
+		StablePair:  o.StableStorage,
+		Retain:      o.RetainVersions,
+		Archive:     o.Archive,
+		NetLatency:  o.NetworkLatency,
+		ReadCost:    o.DiskReadCost,
+		WriteCost:   o.DiskWriteCost,
+		TraceSample: o.TraceSample,
+		TraceSlow:   o.TraceSlow,
 	}
 	mode := segstore.SyncGroup
 	if o.SyncMode != "" {
@@ -269,6 +280,11 @@ func (c *Cluster) RebuildFileTable() error { return c.inner.RebuildTable() }
 // raw access (benchmark harness, fault injection).
 func (c *Cluster) Internal() *core.Cluster { return c.inner }
 
+// Tracer returns the service-side trace sink — the ring of completed
+// traces clients reported — or nil when the cluster was started without
+// TraceSample.
+func (c *Cluster) Tracer() *trace.Tracer { return c.inner.Tracer }
+
 // Client talks to the file service, maintaining the §5.4 page cache.
 type Client struct {
 	inner *client.Client
@@ -405,6 +421,11 @@ func (c *Client) Validate(f Capability) error { return c.inner.Validate(f) }
 
 // Stats returns transport/caching counters.
 func (c *Client) Stats() client.Stats { return c.inner.Stats() }
+
+// Tracer returns this client's sampling tracer (nil when the cluster
+// runs without tracing): its ring holds the client's own completed
+// traces without waiting for the asynchronous report to the service.
+func (c *Client) Tracer() *trace.Tracer { return c.inner.Tracer() }
 
 // CacheStats returns page-cache counters.
 func (c *Client) CacheStats() CacheStats {

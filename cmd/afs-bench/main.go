@@ -42,6 +42,7 @@ var experiments = []experiment{
 	{"e14", "E14 (§5.4.1): replicated file table — multi-server commit throughput, conflicts, catch-up", runE14},
 	{"e15", "E15: content-addressed archive tier — dedup ratio, demote throughput, snapshot reads", runE15},
 	{"e16", "E16: multicore segment log — writers × log lanes sweep", runE16},
+	{"e17", "E17: tracing overhead — commit throughput off / sampled / full", runE17},
 	{"fig2", "Fig. 2: the file system is a tree of trees", runFig2},
 	{"fig4", "Fig. 4: the family tree of a file", runFig4},
 }
@@ -65,7 +66,7 @@ func record(exp, key string, v float64) {
 var quick *bool
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e16, fig2, fig4, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e17, fig2, fig4, all)")
 	jsonOut := flag.Bool("json", false, "write recorded per-experiment numbers to BENCH.json")
 	quick = flag.Bool("quick", false, "tiny sizes for smoke runs; numbers are meaningless")
 	flag.Parse()

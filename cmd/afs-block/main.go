@@ -29,15 +29,26 @@
 // afs-server — it sees one ordinary block service per endpoint. Use
 // afs-server -mirror instead when the two halves must live on
 // different machines.
+//
+// With -debug-addr the process serves expvar counters on /debug/vars,
+// Prometheus text on /metrics (per-command afs_rpc_seconds and
+// afs_rpc_errors_total for the block commands it answers, plus store
+// usage) and the Go profiling endpoints under /debug/pprof/ (enable
+// contention profiles with -mutex-profile-fraction and
+// -block-profile-rate).
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -debug-addr mux
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -45,10 +56,32 @@ import (
 	"repro/internal/block"
 	"repro/internal/capability"
 	"repro/internal/disk"
+	"repro/internal/metrics"
 	"repro/internal/rpc"
 	"repro/internal/segstore"
 	"repro/internal/stable"
 )
+
+// rpcMetrics observes the block commands this process serves, rendered
+// on /metrics with side="server".
+var rpcMetrics = &rpc.Metrics{Name: block.CmdName}
+
+// setupLog replaces the default logger with a structured slog handler
+// at the requested level.
+func setupLog(level string) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		fmt.Fprintf(os.Stderr, "bad -log-level %q (want debug, info, warn or error)\n", level)
+		os.Exit(2)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+}
+
+// fatal logs the structured message and exits.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -69,25 +102,37 @@ func main() {
 		// rebooted block machine come back at the endpoint its mounters
 		// already hold — which is what afs-server's mirror heal loop
 		// probes. Without it every restart mints a fresh random port.
-		portFlag = flag.String("port", "", "fixed service port (16 hex digits); empty mints a random one; needs -shards=1")
+		portFlag  = flag.String("port", "", "fixed service port (16 hex digits); empty mints a random one; needs -shards=1")
+		debugAddr = flag.String("debug-addr", "", "HTTP address serving expvar counters on /debug/vars, Prometheus text on /metrics and profiling on /debug/pprof/ (empty disables)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		mutexFrac = flag.Int("mutex-profile-fraction", 0, "runtime mutex-contention sampling fraction for /debug/pprof/mutex (0 disables)")
+		blockRate = flag.Int("block-profile-rate", 0, "runtime blocking-event sampling rate in ns for /debug/pprof/block (0 disables)")
 	)
 	flag.Parse()
+	setupLog(*logLevel)
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 
 	if *shards < 1 {
-		log.Fatalf("-shards %d: need at least 1", *shards)
+		fatal("-shards needs at least 1", "shards", *shards)
 	}
 	if *portFlag != "" && *shards != 1 {
-		log.Fatal("-port needs -shards=1 (each shard needs its own port)")
+		fatal("-port needs -shards=1 (each shard needs its own port)")
 	}
 
 	tcp, err := rpc.NewTCPServer(*listen)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", "addr", *listen, "err", err)
 	}
 
 	var endpoints []string
 	var closers []func()
 	var pairs []*stable.Pair
+	var stores []block.Store
 	for i := 0; i < *shards; i++ {
 		shardDir := *dir
 		if *shards > 1 && shardDir != "" {
@@ -95,9 +140,10 @@ func main() {
 		}
 		store, served, closeStore, err := openServed(*backend, shardDir, *blocks, *bsize, *sync, *lanes, *syncWin, *compact, *pair)
 		if err != nil {
-			log.Fatal(err)
+			fatal("open store", "shard", i, "err", err)
 		}
 		closers = append(closers, closeStore)
+		stores = append(stores, store)
 		if served != nil {
 			pairs = append(pairs, served)
 		}
@@ -108,13 +154,13 @@ func main() {
 			// mounters hold.
 			p, err := strconv.ParseUint(*portFlag, 16, 64)
 			if err != nil {
-				log.Fatalf("-port %q: %v", *portFlag, err)
+				fatal("bad -port", "port", *portFlag, "err", err)
 			}
 			port = capability.Port(p)
 		} else {
 			port = capability.NewPort().Public()
 		}
-		tcp.Register(port, block.Serve(store))
+		tcp.Register(port, rpc.Instrument(rpcMetrics, block.Serve(store)))
 		endpoints = append(endpoints, fmt.Sprintf("%s@%s", port, tcp.Addr()))
 	}
 
@@ -125,8 +171,48 @@ func main() {
 	if *pair {
 		kind += " mirrored pair"
 	}
-	log.Printf("block server (%s): %d shard(s) x %d x %d bytes at %s",
-		kind, *shards, *blocks, *bsize, tcp.Addr())
+	slog.Info("block server up", "component", "block", "backend", kind,
+		"shards", *shards, "nblocks", *blocks, "bsize", *bsize, "addr", tcp.Addr())
+
+	if *debugAddr != "" {
+		expvar.Publish("afs.block.usage", expvar.Func(func() any {
+			type shardUsage struct {
+				Shard int
+				Usage block.Usage
+			}
+			var out []shardUsage
+			for i, st := range stores {
+				if ur, ok := st.(block.UsageReporter); ok {
+					if u, err := ur.Usage(); err == nil {
+						out = append(out, shardUsage{Shard: i, Usage: u})
+					}
+				}
+			}
+			return out
+		}))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			rpc.WriteMetricsHeaders(w)
+			rpcMetrics.Write(w, map[string]string{"side": "server"})
+			metrics.WriteHelp(w, "afs_blocks_capacity", "gauge", "Allocatable blocks per served shard.")
+			metrics.WriteHelp(w, "afs_blocks_in_use", "gauge", "Allocated blocks per served shard.")
+			for i, st := range stores {
+				if ur, ok := st.(block.UsageReporter); ok {
+					if u, err := ur.Usage(); err == nil {
+						l := map[string]string{"shard": fmt.Sprint(i)}
+						metrics.WriteSample(w, "afs_blocks_capacity", l, float64(u.Capacity))
+						metrics.WriteSample(w, "afs_blocks_in_use", l, float64(u.InUse))
+					}
+				}
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				slog.Error("debug listener", "err", err)
+			}
+		}()
+		slog.Info("debug endpoints up", "addr", *debugAddr, "paths", "/debug/vars /metrics /debug/pprof/")
+	}
 
 	stop := make(chan struct{})
 	if len(pairs) > 0 {
@@ -145,10 +231,10 @@ func main() {
 					for i, p := range pairs {
 						n, err := p.Heal()
 						if n > 0 {
-							log.Printf("pair %d: %d half(s) restored", i, n)
+							slog.Info("halves restored", "component", "pair", "pair", i, "count", n)
 						}
 						if err != nil {
-							log.Printf("pair %d: restore pending: %v", i, err)
+							slog.Warn("restore pending", "component", "pair", "pair", i, "err", err)
 						}
 					}
 				}
@@ -199,14 +285,16 @@ func openServed(backend, dir string, blocks, bsize int, sync string, lanes int, 
 	// writes while no pair process was alive), it is marked stale and
 	// the pair comes up degraded until the stale half is restored.
 	if name, err := p.DetectStale(); err == nil && name != "" {
-		log.Printf("pair %s: half %s has a lower epoch (missed writes); marked stale, restore by full copy before it serves", dir, name)
+		slog.Warn("pair half has a lower epoch (missed writes); marked stale, restore by full copy before it serves",
+			"component", "pair", "dir", dir, "half", name)
 	}
 	return p, p, func() {
 		a, b := p.Halves()
 		for _, h := range []*stable.Half{a, b} {
 			s := h.Stats()
-			log.Printf("half %s: %d companion writes, %d collisions, %d corrupt fallbacks",
-				h.Name(), s.CompanionWrites, s.Collisions, s.CorruptFallbacks)
+			slog.Info("pair half totals", "component", "pair", "half", h.Name(),
+				"companion_writes", s.CompanionWrites, "collisions", s.Collisions,
+				"corrupt_fallbacks", s.CorruptFallbacks)
 		}
 		closers[0]()
 		closers[1]()
@@ -222,7 +310,9 @@ func openStore(backend, dir string, blocks, bsize int, sync string, lanes int, s
 			return nil, nil, err
 		}
 		srv := block.NewServer(d)
-		return srv, func() { log.Printf("shutting down: %d blocks in use", srv.InUse()) }, nil
+		return srv, func() {
+			slog.Info("shutting down", "component", "block", "in_use", srv.InUse())
+		}, nil
 	case "seg":
 		if dir == "" {
 			return nil, nil, fmt.Errorf("-store=seg needs -dir")
@@ -242,15 +332,21 @@ func openStore(backend, dir string, blocks, bsize int, sync string, lanes int, s
 		if err != nil {
 			return nil, nil, err
 		}
-		log.Printf("segstore %s: recovered %d blocks from %d segments across %d log lanes (truncated %d torn bytes)",
-			dir, st.InUse(), st.Segments(), st.Lanes(), st.Stats().TruncatedBytes)
+		slog.Info("segstore recovered", "component", "segstore", "dir", dir,
+			"blocks", st.InUse(), "segments", st.Segments(), "lanes", st.Lanes(),
+			"truncated_bytes", st.Stats().TruncatedBytes)
 		if rl := st.RecreatedLanes(); len(rl) > 0 {
-			log.Printf("segstore %s: WARNING: lane directories %v were missing and recreated empty; their acknowledged blocks read as unallocated — restore from a replica if the loss matters", dir, rl)
+			slog.Warn("lane directories were missing and recreated empty; their acknowledged blocks read as unallocated — restore from a replica if the loss matters",
+				"component", "segstore", "dir", dir, "lanes", fmt.Sprint(rl))
 		}
 		return st, func() {
-			log.Printf("shutting down: %d blocks in use", st.InUse())
+			slog.Info("shutting down", "component", "segstore", "in_use", st.InUse())
+			if cs := st.Stats(); cs.CompactErrors > 0 {
+				slog.Warn("background compaction errors", "component", "segstore",
+					"count", cs.CompactErrors, "last", st.LastCompactError())
+			}
 			if err := st.Close(); err != nil {
-				log.Printf("close: %v", err)
+				slog.Error("close", "component", "segstore", "err", err)
 			}
 		}, nil
 	default:

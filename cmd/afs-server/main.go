@@ -40,7 +40,21 @@
 // With -debug-addr the server exposes every layer's counters over HTTP
 // expvar (GET /debug/vars): block-store operation and fsync counts,
 // per-shard and per-mirror-half snapshots, segstore group-commit and
-// compaction counters, and the OCC commit/validation counters.
+// compaction counters, and the OCC commit/validation counters. The same
+// listener serves Prometheus text on /metrics (including the
+// per-command afs_rpc_seconds/afs_rpc_errors_total families for both
+// the commands this process serves and the block commands it issues),
+// the Go profiling endpoints under /debug/pprof/ (enable contention
+// profiles with -mutex-profile-fraction and -block-profile-rate), and
+// recent and slowest distributed traces on /debug/traces.
+//
+// With -trace-sample R the server samples that ratio of requests into
+// distributed traces: span trees covering command dispatch, OCC
+// validate/commit, shard fan-out legs, mirror halves and segstore
+// lanes, crossing the RPC to remote block services. Clients that mint
+// their own traces (the in-proc harness, afs.Options.TraceSample)
+// report them here too over CmdTraceReport. Traces at least
+// -trace-slow long are kept in a slowest-N list and logged.
 //
 // The service line printed on stdout (comma-separated PORT@ADDR pairs,
 // one per file server; the service capability secret is kept
@@ -52,10 +66,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -debug-addr mux
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -75,38 +91,76 @@ import (
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/stable"
+	"repro/internal/trace"
 	"repro/internal/version"
 )
 
+// rpcMetrics observes the file-service commands this process serves
+// (side="server" on /metrics); blockMetrics observes the block-service
+// commands it issues to mounted remote stores (side="client").
+var (
+	rpcMetrics   = &rpc.Metrics{Name: server.CmdName}
+	blockMetrics = &rpc.Metrics{Name: block.CmdName}
+)
+
+// setupLog replaces the default logger with a structured slog handler
+// at the requested level.
+func setupLog(level string) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		fmt.Fprintf(os.Stderr, "bad -log-level %q (want debug, info, warn or error)\n", level)
+		os.Exit(2)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+}
+
+// fatal logs the structured message and exits.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
+
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
-		servers   = flag.Int("servers", 2, "number of file server processes")
-		backend   = flag.String("store", "mem", "block store backend: mem or seg (ignored with -blocks)")
-		dir       = flag.String("dir", "", "store directory (required with -store=seg)")
-		nblocks   = flag.Int("nblocks", 1<<16, "blocks of the in-process store (ignored with -blocks)")
-		bsize     = flag.Int("bsize", 4096, "block size of the in-process store (ignored with -blocks)")
-		sync      = flag.String("sync", "group", "seg durability: group, each or none")
-		shards    = flag.Int("log-shards", 0, "seg log lanes writes are striped over (0 = one per CPU, capped at 8; pinned at store creation)")
-		syncWin   = flag.Duration("sync-window", 0, "cap on the seg adaptive group-commit window (0 = 2ms default; negative disables the window)")
-		compact   = flag.Duration("compact", time.Minute, "seg compaction interval (0 disables)")
-		mounts    = flag.String("blocks", "", "remote block services as PORT@ADDR[,PORT@ADDR...] (from afs-block); two or more are sharded")
-		mount     = flag.String("block", "", "single remote block service as PORT@ADDR (alias for -blocks)")
-		mirrors   = flag.String("mirror", "", "mirrored block services as PORT@ADDR+PORT@ADDR[,PORT@ADDR+PORT@ADDR...]: each element is a §4 companion pair; several pairs are sharded")
-		heal      = flag.Duration("heal", 2*time.Second, "probe interval for rejoining down mirror halves (0 disables)")
-		stale     = flag.String("stale", "", "mirror halves known to have missed writes, as PAIR:a|b[,PAIR:a|b...] (e.g. 0:b): mounted down and restored by full copy (usually unnecessary: epochs detect this)")
-		debugAddr = flag.String("debug-addr", "", "HTTP address serving expvar counters on /debug/vars and Prometheus text on /metrics (empty disables)")
-		archSpec  = flag.String("archive", "", "archive tier backing: a directory (durable segstore, sized by -nblocks) or PORT@ADDR (remote block service); the collector demotes retired versions here instead of deleting them")
-		gcEvery   = flag.Duration("gc", 5*time.Second, "garbage collection interval (0 disables; safe to leave on everywhere in a -peers mesh — the lowest-ID replica is elected sweeper)")
-		gcRetain  = flag.Int("retain", 4, "committed versions retained per file")
-		serverID  = flag.Uint("id", 0, "replica ID of this process, 0..63: bands its object numbers and names its file-table replication port (must be unique across a -peers mesh)")
-		peers     = flag.String("peers", "", "sibling afs-server processes as ID@ADDR[,ID@ADDR...]: replicates the file table (and capability secrets) so all of them serve one file system over one shared block store")
-		pushBatch = flag.Int("push-batch", ftab.DefaultPushBatch, "file-table updates carried per replication frame: the per-peer streams coalesce up to this many pending pushes into one wire round trip")
-		pushWin   = flag.Duration("push-window", 0, "how long a below-batch-size replication frame waits for company before it is sent (0 sends immediately; raise to trade propagation lag for larger batches)")
+		listen      = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+		servers     = flag.Int("servers", 2, "number of file server processes")
+		backend     = flag.String("store", "mem", "block store backend: mem or seg (ignored with -blocks)")
+		dir         = flag.String("dir", "", "store directory (required with -store=seg)")
+		nblocks     = flag.Int("nblocks", 1<<16, "blocks of the in-process store (ignored with -blocks)")
+		bsize       = flag.Int("bsize", 4096, "block size of the in-process store (ignored with -blocks)")
+		sync        = flag.String("sync", "group", "seg durability: group, each or none")
+		shards      = flag.Int("log-shards", 0, "seg log lanes writes are striped over (0 = one per CPU, capped at 8; pinned at store creation)")
+		syncWin     = flag.Duration("sync-window", 0, "cap on the seg adaptive group-commit window (0 = 2ms default; negative disables the window)")
+		compact     = flag.Duration("compact", time.Minute, "seg compaction interval (0 disables)")
+		mounts      = flag.String("blocks", "", "remote block services as PORT@ADDR[,PORT@ADDR...] (from afs-block); two or more are sharded")
+		mount       = flag.String("block", "", "single remote block service as PORT@ADDR (alias for -blocks)")
+		mirrors     = flag.String("mirror", "", "mirrored block services as PORT@ADDR+PORT@ADDR[,PORT@ADDR+PORT@ADDR...]: each element is a §4 companion pair; several pairs are sharded")
+		heal        = flag.Duration("heal", 2*time.Second, "probe interval for rejoining down mirror halves (0 disables)")
+		stale       = flag.String("stale", "", "mirror halves known to have missed writes, as PAIR:a|b[,PAIR:a|b...] (e.g. 0:b): mounted down and restored by full copy (usually unnecessary: epochs detect this)")
+		debugAddr   = flag.String("debug-addr", "", "HTTP address serving expvar counters on /debug/vars and Prometheus text on /metrics (empty disables)")
+		archSpec    = flag.String("archive", "", "archive tier backing: a directory (durable segstore, sized by -nblocks) or PORT@ADDR (remote block service); the collector demotes retired versions here instead of deleting them")
+		gcEvery     = flag.Duration("gc", 5*time.Second, "garbage collection interval (0 disables; safe to leave on everywhere in a -peers mesh — the lowest-ID replica is elected sweeper)")
+		gcRetain    = flag.Int("retain", 4, "committed versions retained per file")
+		serverID    = flag.Uint("id", 0, "replica ID of this process, 0..63: bands its object numbers and names its file-table replication port (must be unique across a -peers mesh)")
+		peers       = flag.String("peers", "", "sibling afs-server processes as ID@ADDR[,ID@ADDR...]: replicates the file table (and capability secrets) so all of them serve one file system over one shared block store")
+		pushBatch   = flag.Int("push-batch", ftab.DefaultPushBatch, "file-table updates carried per replication frame: the per-peer streams coalesce up to this many pending pushes into one wire round trip")
+		pushWin     = flag.Duration("push-window", 0, "how long a below-batch-size replication frame waits for company before it is sent (0 sends immediately; raise to trade propagation lag for larger batches)")
+		traceSample = flag.Float64("trace-sample", 0, "ratio of requests sampled into distributed traces, 0..1 (0 disables server-side sampling; client-reported traces are accepted regardless)")
+		traceSlow   = flag.Duration("trace-slow", 100*time.Millisecond, "traces at least this long are kept in the slowest list and logged as warnings")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		mutexFrac   = flag.Int("mutex-profile-fraction", 0, "runtime mutex-contention sampling fraction for /debug/pprof/mutex (0 disables)")
+		blockRate   = flag.Int("block-profile-rate", 0, "runtime blocking-event sampling rate in ns for /debug/pprof/block (0 disables)")
 	)
 	flag.Parse()
+	setupLog(*logLevel)
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 	if *serverID > ftab.MaxID {
-		log.Fatalf("-id %d: replica IDs are 0..%d", *serverID, ftab.MaxID)
+		fatal("-id out of range", "id", *serverID, "max", ftab.MaxID)
 	}
 
 	mountList := *mounts
@@ -114,7 +168,7 @@ func main() {
 		mountList = *mount
 	}
 	if *mirrors != "" && mountList != "" {
-		log.Fatal("-mirror and -blocks are mutually exclusive (a -mirror element is itself a mount)")
+		fatal("-mirror and -blocks are mutually exclusive (a -mirror element is itself a mount)")
 	}
 
 	var store block.Store
@@ -128,14 +182,14 @@ func main() {
 		var err error
 		pairs, err = dialMirrors(*mirrors)
 		if err != nil {
-			log.Fatal(err)
+			fatal("mount mirrors", "err", err)
 		}
 		// Halves the operator knows diverged (the pair ran degraded
 		// under a previous server process, so no intentions record
 		// exists anymore) are mounted stale: the heal loop restores
 		// them by full copy before they serve anything.
 		if err := markStale(pairs, *stale); err != nil {
-			log.Fatal(err)
+			fatal("mark stale halves", "err", err)
 		}
 		// And the halves the pair can tell diverged by itself: the §4
 		// survivor bumps its persisted epoch at every companion
@@ -144,12 +198,13 @@ func main() {
 		// flag needed when both backends track epochs.
 		for i, p := range pairs {
 			if name, err := p.DetectStale(); err == nil && name != "" {
-				log.Printf("mirror %d: half %s has a lower epoch (missed writes while no pair was alive); marked stale, heal loop will restore it by full copy", i, name)
+				slog.Warn("mirror half has a lower epoch (missed writes while no pair was alive); marked stale, heal loop will restore it by full copy",
+					"component", "mirror", "pair", i, "half", name)
 			}
 		}
 		if len(pairs) == 1 {
 			store = pairs[0]
-			log.Printf("mounted mirrored pair %s", *mirrors)
+			slog.Info("mounted mirrored pair", "component", "store", "mounts", *mirrors)
 		} else {
 			backends := make([]block.Store, len(pairs))
 			for i, p := range pairs {
@@ -157,39 +212,40 @@ func main() {
 			}
 			sharded, err = shard.New(backends...)
 			if err != nil {
-				log.Fatalf("shard %s: %v", *mirrors, err)
+				fatal("shard mirrored pairs", "mounts", *mirrors, "err", err)
 			}
 			store = sharded
-			log.Printf("mounted %d mirrored pairs behind the sharded facade", len(pairs))
+			slog.Info("mounted mirrored pairs behind the sharded facade", "component", "store", "pairs", len(pairs))
 		}
 		durable = true
 	case mountList != "":
 		remotes, err := dialMounts(mountList)
 		if err != nil {
-			log.Fatal(err)
+			fatal("mount block services", "err", err)
 		}
 		if len(remotes) == 1 {
 			store = remotes[0]
-			log.Printf("mounted remote block service %s", mountList)
+			slog.Info("mounted remote block service", "component", "store", "mount", mountList)
 		} else {
 			sharded, err = shard.New(remotes...)
 			if err != nil {
-				log.Fatalf("shard %s: %v", mountList, err)
+				fatal("shard block services", "mounts", mountList, "err", err)
 			}
 			store = sharded
 			for _, st := range sharded.ShardStats() {
-				log.Printf("  shard %d: %d/%d blocks in use", st.Shard, st.Usage.InUse, st.Usage.Capacity)
+				slog.Info("shard usage", "component", "shard", "shard", st.Shard,
+					"in_use", st.Usage.InUse, "capacity", st.Usage.Capacity)
 			}
-			log.Printf("mounted %d block services behind the sharded facade", len(remotes))
+			slog.Info("mounted block services behind the sharded facade", "component", "store", "count", len(remotes))
 		}
 		durable = true
 	case *backend == "seg":
 		if *dir == "" {
-			log.Fatal("-store=seg needs -dir")
+			fatal("-store=seg needs -dir")
 		}
 		mode, err := segstore.ParseSyncMode(*sync)
 		if err != nil {
-			log.Fatal(err)
+			fatal("bad -sync", "err", err)
 		}
 		st, err := segstore.Open(*dir, segstore.Options{
 			BlockSize:    *bsize,
@@ -200,28 +256,30 @@ func main() {
 			CompactEvery: *compact,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("open segstore", "dir", *dir, "err", err)
 		}
 		store = st
 		segStore = st
 		durable = true
 		closeStore = func() {
 			if err := st.Close(); err != nil {
-				log.Printf("close store: %v", err)
+				slog.Error("close store", "component", "segstore", "err", err)
 			}
 		}
-		log.Printf("segstore %s: %d blocks in %d segments across %d log lanes", *dir, st.InUse(), st.Segments(), st.Lanes())
+		slog.Info("segstore recovered", "component", "segstore", "dir", *dir,
+			"blocks", st.InUse(), "segments", st.Segments(), "lanes", st.Lanes())
 		if rl := st.RecreatedLanes(); len(rl) > 0 {
-			log.Printf("segstore %s: WARNING: lane directories %v were missing and recreated empty; their acknowledged blocks read as unallocated — restore from a replica if the loss matters", *dir, rl)
+			slog.Warn("lane directories were missing and recreated empty; their acknowledged blocks read as unallocated — restore from a replica if the loss matters",
+				"component", "segstore", "dir", *dir, "lanes", fmt.Sprint(rl))
 		}
 	case *backend == "mem":
 		d, err := disk.New(disk.Geometry{Blocks: *nblocks, BlockSize: *bsize})
 		if err != nil {
-			log.Fatal(err)
+			fatal("create simulated disk", "err", err)
 		}
 		store = block.NewServer(d)
 	default:
-		log.Fatalf("unknown -store %q (want mem or seg)", *backend)
+		fatal("unknown -store (want mem or seg)", "store", *backend)
 	}
 
 	var arch *archive.Store
@@ -230,19 +288,32 @@ func main() {
 	if *archSpec != "" {
 		backing, closer, err := openArchiveBacking(*archSpec, store.BlockSize(), *nblocks, *sync)
 		if err != nil {
-			log.Fatal(err)
+			fatal("open archive backing", "err", err)
 		}
 		closeArchive = closer
 		arch, err = archive.New(backing, 1)
 		if err != nil {
-			log.Fatalf("archive %s: %v", *archSpec, err)
+			fatal("open archive", "backing", *archSpec, "err", err)
 		}
 		u, _ := arch.Usage()
-		log.Printf("archive %s: %d/%d blocks, %d snapshots", *archSpec, u.InUse, u.Capacity, arch.Stats().Snapshots)
+		slog.Info("archive mounted", "component", "archive", "backing", *archSpec,
+			"in_use", u.InUse, "capacity", u.Capacity, "snapshots", arch.Stats().Snapshots)
 	}
 
 	sh := server.NewShared(store, 1)
 	sh.SetID(uint32(*serverID))
+
+	// The tracer samples requests into distributed traces (-trace-sample)
+	// and is the sink for traces clients assemble and report; either way
+	// they show up on /debug/traces. Slow traces are logged.
+	tracer := trace.New(*traceSample, *traceSlow, 512)
+	tracer.OnSlow = func(tr *trace.Trace) {
+		root := tr.Root()
+		slog.Warn("slow trace", "component", "trace",
+			"trace", fmt.Sprintf("%016x", tr.ID), "op", root.Name,
+			"dur", tr.Duration(), "spans", len(tr.Spans))
+	}
+	sh.Tracer = tracer
 	if arch != nil {
 		// The servers answer the snapshot commands from the archive, and
 		// the collector's demote hook (below) rewrites retired versions
@@ -258,7 +329,7 @@ func main() {
 
 	tcp, err := rpc.NewTCPServer(*listen)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", "addr", *listen, "err", err)
 	}
 
 	// Replicated file table (-peers): register this replica's
@@ -272,17 +343,19 @@ func main() {
 		sh.Table = rep
 		tcp.Register(ftab.PortFor(uint32(*serverID)), rep.Handler())
 		if n := rep.Bootstrap(); n > 0 {
-			log.Printf("ftab: joined mesh as replica %d: %d peer snapshot(s) pulled, %d files, service identity %s",
-				*serverID, n, sh.Table.Len(), sh.Fact.Port())
+			slog.Info("joined replication mesh", "component", "ftab", "replica", *serverID,
+				"snapshots_pulled", n, "files", sh.Table.Len(), "identity", sh.Fact.Port().String())
 		} else {
-			log.Printf("ftab: replica %d: no peer answered; establishing service identity %s (peers join via heal)",
-				*serverID, sh.Fact.Port())
+			slog.Info("no peer answered; establishing service identity (peers join via heal)",
+				"component", "ftab", "replica", *serverID, "identity", sh.Fact.Port().String())
 		}
 		if *gcEvery > 0 {
 			if rep.SweepLeader() {
-				log.Printf("ftab: replica %d is the elected sweeper (lowest configured ID); siblings' collectors stand by", *serverID)
+				slog.Info("elected sweeper (lowest configured ID); siblings' collectors stand by",
+					"component", "ftab", "replica", *serverID)
 			} else {
-				log.Printf("ftab: collector standing by; a lower-ID replica is the elected sweeper")
+				slog.Info("collector standing by; a lower-ID replica is the elected sweeper",
+					"component", "ftab", "replica", *serverID)
 			}
 		}
 	}
@@ -299,14 +372,15 @@ func main() {
 		if err != nil {
 			// Starting empty over a store we cannot read would leave
 			// the old files allocated but unreachable.
-			log.Fatalf("recover file table: %v", err)
+			fatal("recover file table", "err", err)
 		}
 		if t.Len() > 0 {
 			caps := sh.AdoptTable(t)
-			log.Printf("recovered %d files from block store (%d already live via peers)", len(caps), t.Len()-len(caps))
+			slog.Info("recovered files from block store", "component", "recovery",
+				"files", len(caps), "already_live", t.Len()-len(caps))
 			for obj, c := range caps {
 				// The text form is what the afs CLI accepts.
-				log.Printf("  file %d: %s", obj, c.Text())
+				slog.Info("recovered file", "component", "recovery", "object", obj, "cap", c.Text())
 			}
 		}
 	}
@@ -315,20 +389,23 @@ func main() {
 	var endpoints []string
 	for i := 0; i < *servers; i++ {
 		s := server.New(sh, proberFor(sh, rep))
-		tcp.Register(s.Port(), s.Handler())
+		tcp.Register(s.Port(), rpc.Instrument(rpcMetrics, s.Handler()))
 		srvs = append(srvs, s)
 		endpoints = append(endpoints, fmt.Sprintf("%s@%s", s.Port(), tcp.Addr()))
 	}
 	liveSrvs.Store(srvs)
 	fmt.Println(strings.Join(endpoints, ","))
-	log.Printf("file service up: %d servers at %s", *servers, tcp.Addr())
+	slog.Info("file service up", "component", "server", "servers", *servers, "addr", tcp.Addr())
 
 	if *debugAddr != "" {
 		publishDebugVars(store, sharded, pairs, segStore, srvs, sh, rep, arch, archiver)
-		// expvar self-registers on the default mux (GET /debug/vars);
+		// expvar self-registers on the default mux (GET /debug/vars), as
+		// do the net/http/pprof profiling endpoints (/debug/pprof/);
 		// /metrics renders the same counters (plus the commit latency
-		// histogram) in Prometheus text exposition format, and /ftab
-		// dumps the replicated file table for convergence checks.
+		// histogram and the per-command RPC families) in Prometheus text
+		// exposition format, /ftab dumps the replicated file table for
+		// convergence checks, and /debug/traces the recent and slowest
+		// distributed traces.
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			writeProm(w, store, sharded, pairs, segStore, srvs, sh, rep, arch, archiver)
@@ -337,12 +414,17 @@ func main() {
 			w.Header().Set("Content-Type", "text/plain")
 			writeTableDump(w, sh)
 		})
+		http.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeTraces(w, tracer, r.URL.Query().Get("n"))
+		})
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				log.Printf("debug listener: %v", err)
+				slog.Error("debug listener", "err", err)
 			}
 		}()
-		log.Printf("expvar at http://%s/debug/vars, Prometheus at /metrics, table dump at /ftab", *debugAddr)
+		slog.Info("debug endpoints up", "addr", *debugAddr,
+			"paths", "/debug/vars /metrics /ftab /debug/traces /debug/pprof/")
 	}
 
 	stop := make(chan struct{})
@@ -361,19 +443,19 @@ func main() {
 					for i, p := range pairs {
 						n, err := p.Heal()
 						if n > 0 {
-							log.Printf("mirror %d: %d half(s) rejoined", i, n)
+							slog.Info("halves rejoined", "component", "mirror", "pair", i, "count", n)
 						}
 						if err != nil {
-							log.Printf("mirror %d: rejoin failed (will retry): %v", i, err)
+							slog.Warn("rejoin failed (will retry)", "component", "mirror", "pair", i, "err", err)
 						}
 					}
 					if rep != nil {
 						n, err := rep.Heal()
 						if n > 0 {
-							log.Printf("ftab: %d peer(s) resynced", n)
+							slog.Info("peers resynced", "component", "ftab", "count", n)
 						}
 						if err != nil {
-							log.Printf("ftab: resync failed (will retry): %v", err)
+							slog.Warn("resync failed (will retry)", "component", "ftab", "err", err)
 						}
 					}
 				}
@@ -412,7 +494,8 @@ func main() {
 				}
 				pins, ok := rep.PeerLive()
 				if !ok {
-					log.Printf("gc: cycle skipped: a file-table peer is unreachable and its open versions cannot be pinned")
+					slog.Warn("cycle skipped: a file-table peer is unreachable and its open versions cannot be pinned",
+						"component", "gc")
 					return false
 				}
 				peerPins.Store(pins)
@@ -425,7 +508,7 @@ func main() {
 		gcErrs := make(chan error, 1)
 		go func() {
 			for err := range gcErrs {
-				log.Printf("%v", err) // errors carry their gc: prefix
+				slog.Error("collection error", "component", "gc", "err", err)
 			}
 		}()
 		go col.Run(*gcEvery, stop, gcErrs)
@@ -441,21 +524,26 @@ func main() {
 		// A timeout is not data loss — peers that missed the tail catch
 		// up by snapshot when they next heal against a live replica.
 		if !rep.Close(5 * time.Second) {
-			log.Printf("ftab: shutdown flush timed out; unreached peers catch up by snapshot resync")
+			slog.Warn("shutdown flush timed out; unreached peers catch up by snapshot resync",
+				"component", "ftab")
 		}
 	}
 	tcp.Close()
 	if segStore != nil {
 		st := segStore.Stats()
-		log.Printf("segstore: %d batches (%d records, %d fsyncs), adaptive window %d grows / %d shrinks, %d compactions (%d segments reclaimed, %d files recycled)",
-			st.Batches, st.BatchRecords, st.Syncs, st.WindowGrows, st.WindowShrinks,
-			st.Compactions, st.SegmentsReclaimed, st.Recycles)
+		slog.Info("segstore totals", "component", "segstore",
+			"batches", st.Batches, "records", st.BatchRecords, "fsyncs", st.Syncs,
+			"window_grows", st.WindowGrows, "window_shrinks", st.WindowShrinks,
+			"compactions", st.Compactions, "segments_reclaimed", st.SegmentsReclaimed,
+			"recycles", st.Recycles)
 		if st.CompactErrors > 0 {
-			log.Printf("segstore: %d background compaction errors, last: %v", st.CompactErrors, segStore.LastCompactError())
+			slog.Warn("background compaction errors", "component", "segstore",
+				"count", st.CompactErrors, "last", segStore.LastCompactError())
 		}
 		for _, ls := range segStore.LaneStats() {
-			log.Printf("segstore lane %d: %d segments, %d pooled, window %v, queue %d",
-				ls.Lane, ls.Segments, ls.PoolFree, ls.Window, ls.QueueDepth)
+			slog.Info("lane totals", "component", "segstore", "lane", ls.Lane,
+				"segments", ls.Segments, "pooled", ls.PoolFree, "window", ls.Window,
+				"queue", ls.QueueDepth)
 		}
 	}
 	if closeStore != nil {
@@ -464,32 +552,65 @@ func main() {
 	if arch != nil {
 		st := arch.Stats()
 		as := archiver.Stats()
-		log.Printf("archive: %d puts (%d stored, %d dedup), %d reads (%d corrupt), %d snapshots; %d versions demoted (%d skipped)",
-			st.Puts, st.Stored, st.DedupHits, st.Reads, st.CorruptReads, st.Snapshots, as.Demotes, as.Skipped)
+		slog.Info("archive totals", "component", "archive",
+			"puts", st.Puts, "stored", st.Stored, "dedup_hits", st.DedupHits,
+			"reads", st.Reads, "corrupt_reads", st.CorruptReads, "snapshots", st.Snapshots,
+			"demoted", as.Demotes, "skipped", as.Skipped)
 	}
 	if closeArchive != nil {
 		closeArchive()
 	}
 	if sharded != nil {
 		for _, st := range sharded.ShardStats() {
-			log.Printf("shard %d: %d reads, %d writes, %d allocs, %d frees, %d fsyncs",
-				st.Shard, st.Stats.Reads, st.Stats.Writes, st.Stats.Allocs, st.Stats.Frees, st.Stats.Syncs)
+			slog.Info("shard totals", "component", "shard", "shard", st.Shard,
+				"reads", st.Stats.Reads, "writes", st.Stats.Writes, "allocs", st.Stats.Allocs,
+				"frees", st.Stats.Frees, "fsyncs", st.Stats.Syncs)
 		}
 	}
 	for i, p := range pairs {
 		a, b := p.Halves()
 		for _, h := range []*stable.Half{a, b} {
 			s := h.Stats()
-			log.Printf("mirror %d half %s: %d companion writes, %d collisions, %d corrupt fallbacks, %d intents, %d replayed, %d full-copied",
-				i, h.Name(), s.CompanionWrites, s.Collisions, s.CorruptFallbacks, s.IntentionsKept, s.Replayed, s.FullCopied)
+			slog.Info("mirror half totals", "component", "mirror", "pair", i, "half", h.Name(),
+				"companion_writes", s.CompanionWrites, "collisions", s.Collisions,
+				"corrupt_fallbacks", s.CorruptFallbacks, "intents", s.IntentionsKept,
+				"replayed", s.Replayed, "full_copied", s.FullCopied)
 		}
 	}
 	if rep != nil {
 		s := rep.StatsSnapshot()
-		log.Printf("ftab: %d pushes in %d frames (%d coalesced, %d overflows, %d failed), %d applied (%d fast), %d resolved from storage, %d tie-breaks, %d resyncs, peers %d up / %d down",
-			s.Pushes, s.Batches, s.Coalesced, s.Overflows, s.PushFailures, s.Applied, s.FastApplied, s.Resolved, s.TieBreaks, s.Resyncs, s.PeersUp, s.PeersDown)
+		slog.Info("ftab totals", "component", "ftab",
+			"pushes", s.Pushes, "frames", s.Batches, "coalesced", s.Coalesced,
+			"overflows", s.Overflows, "push_failures", s.PushFailures,
+			"applied", s.Applied, "fast_applied", s.FastApplied, "resolved", s.Resolved,
+			"tie_breaks", s.TieBreaks, "resyncs", s.Resyncs,
+			"peers_up", s.PeersUp, "peers_down", s.PeersDown)
 	}
-	log.Printf("file service down: %d files", sh.Table.Len())
+	slog.Info("file service down", "component", "server", "files", sh.Table.Len())
+}
+
+// writeTraces renders the tracer's recent and slowest traces as
+// per-span waterfalls for GET /debug/traces (?n= caps the recent list,
+// default 20).
+func writeTraces(w io.Writer, tracer *trace.Tracer, nParam string) {
+	n := 20
+	if nParam != "" {
+		if v, err := strconv.Atoi(nParam); err == nil && v > 0 {
+			n = v
+		}
+	}
+	recent := tracer.Recent(n)
+	fmt.Fprintf(w, "%d recent traces (newest first):\n\n", len(recent))
+	for _, tr := range recent {
+		trace.WriteWaterfall(w, tr)
+		fmt.Fprintln(w)
+	}
+	slowest := tracer.Slowest()
+	fmt.Fprintf(w, "%d slowest traces (threshold %s):\n\n", len(slowest), tracer.Slow)
+	for _, tr := range slowest {
+		trace.WriteWaterfall(w, tr)
+		fmt.Fprintln(w)
+	}
 }
 
 // buildFtab assembles the replicated file table for a -peers mesh: the
@@ -500,7 +621,7 @@ func main() {
 func buildFtab(sh *server.Shared, store block.Store, id uint32, peerList string, pushBatch int, pushWin time.Duration, liveSrvs *atomic.Value) *ftab.Replicated {
 	local, ok := sh.Table.(*file.Table)
 	if !ok {
-		log.Fatal("ftab: shared table already replaced")
+		fatal("shared table already replaced", "component", "ftab")
 	}
 	rep := ftab.NewReplicated(ftab.Options{
 		ID:         id,
@@ -527,14 +648,14 @@ func buildFtab(sh *server.Shared, store block.Store, id uint32, peerList string,
 		}
 		i := strings.IndexByte(ep, '@')
 		if i < 0 {
-			log.Fatalf("peer %q: want ID@ADDR", ep)
+			fatal("bad peer (want ID@ADDR)", "component", "ftab", "peer", ep)
 		}
 		pid, err := strconv.ParseUint(ep[:i], 10, 32)
 		if err != nil || pid > ftab.MaxID {
-			log.Fatalf("peer %q: replica ID must be 0..%d", ep, ftab.MaxID)
+			fatal("bad peer replica ID", "component", "ftab", "peer", ep, "max", ftab.MaxID)
 		}
 		if seen[pid] {
-			log.Fatalf("peer %q: replica ID %d repeated (our own is %d)", ep, pid, id)
+			fatal("peer replica ID repeated", "component", "ftab", "peer", ep, "id", pid, "own", id)
 		}
 		seen[pid] = true
 		res := rpc.NewResolver()
@@ -625,8 +746,8 @@ func dialMirrors(list string) ([]*stable.Pair, error) {
 				// outage begin, so the heal rejoin must restore the
 				// half by full copy, never by intentions replay.
 				h.MarkStale()
-				log.Printf("mirror half %s (%s) unreachable; mounted degraded (block size assumed from companion), heal loop will rejoin it by full copy: %v",
-					h.Name(), strings.TrimSpace(halves[i]), errs[i])
+				slog.Warn("mirror half unreachable; mounted degraded (block size assumed from companion), heal loop will rejoin it by full copy",
+					"component", "mirror", "half", h.Name(), "mount", strings.TrimSpace(halves[i]), "err", errs[i])
 			}
 		}
 		out = append(out, p)
@@ -662,7 +783,8 @@ func markStale(pairs []*stable.Pair, list string) error {
 			h = b
 		}
 		h.MarkStale()
-		log.Printf("mirror %d half %s marked stale; heal loop will restore it by full copy", idx, h.Name())
+		slog.Warn("mirror half marked stale; heal loop will restore it by full copy",
+			"component", "mirror", "pair", idx, "half", h.Name())
 	}
 	return nil
 }
@@ -716,6 +838,7 @@ func mirrorClient(m string) (*rpc.TCPClient, error) {
 	res.Set(port, addr)
 	cli := rpc.NewTCPClient(res)
 	cli.SetRetryPolicy(rpc.RetryPolicy{Attempts: 2})
+	cli.SetMetrics(blockMetrics)
 	return cli, nil
 }
 
@@ -733,7 +856,9 @@ func openArchiveBacking(spec string, frontSize, capacity int, syncMode string) (
 		}
 		res := rpc.NewResolver()
 		res.Set(port, addr)
-		remote, err := block.Dial(rpc.NewTCPClient(res), port)
+		cli := rpc.NewTCPClient(res)
+		cli.SetMetrics(blockMetrics)
+		remote, err := block.Dial(cli, port)
 		if err != nil {
 			return nil, nil, fmt.Errorf("archive mount %s: %w", spec, err)
 		}
@@ -763,11 +888,12 @@ func openArchiveBacking(spec string, frontSize, capacity int, syncMode string) (
 			spec, st.BlockSize(), frontSize, need)
 	}
 	if rl := st.RecreatedLanes(); len(rl) > 0 {
-		log.Printf("archive %s: WARNING: lane directories %v were missing and recreated empty; their acknowledged blocks read as unallocated", spec, rl)
+		slog.Warn("lane directories were missing and recreated empty; their acknowledged blocks read as unallocated",
+			"component", "archive", "dir", spec, "lanes", fmt.Sprint(rl))
 	}
 	closer := func() {
 		if err := st.Close(); err != nil {
-			log.Printf("close archive: %v", err)
+			slog.Error("close archive", "component", "archive", "err", err)
 		}
 	}
 	return st, closer, nil
@@ -864,7 +990,9 @@ func dialMounts(list string) ([]block.Store, error) {
 		}
 		res := rpc.NewResolver()
 		res.Set(port, addr)
-		remote, err := block.Dial(rpc.NewTCPClient(res), port)
+		cli := rpc.NewTCPClient(res)
+		cli.SetMetrics(blockMetrics)
+		remote, err := block.Dial(cli, port)
 		if err != nil {
 			return nil, fmt.Errorf("mount %s: %w", m, err)
 		}
@@ -896,6 +1024,13 @@ func splitMount(s string) (capability.Port, string, error) {
 func writeProm(w io.Writer, store block.Store, sharded *shard.Store, pairs []*stable.Pair, seg *segstore.Store, srvs []*server.Server, sh *server.Shared, rep *ftab.Replicated, arch *archive.Store, archiver *archive.Archiver) {
 	metrics.WriteHelp(w, "afs_files", "gauge", "Files in the table.")
 	metrics.WriteSample(w, "afs_files", nil, float64(sh.Table.Len()))
+
+	// Per-command RPC latency and error families: the file-service
+	// commands this process serves, and the block commands it issues to
+	// remote mounts (empty without -blocks/-mirror/-archive mounts).
+	rpc.WriteMetricsHeaders(w)
+	rpcMetrics.Write(w, map[string]string{"side": "server"})
+	blockMetrics.Write(w, map[string]string{"side": "client"})
 
 	if sr, ok := store.(block.StatsReporter); ok {
 		if st, err := sr.BlockStats(); err == nil {

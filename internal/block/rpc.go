@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/capability"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 // The block service wire protocol: the §4 commands (allocate, deallocate,
@@ -70,11 +71,78 @@ type Claimer interface {
 	Claim(account Account, n Num) error
 }
 
+// CmdName names a block service command for spans and metrics.
+func CmdName(cmd uint32) string {
+	switch cmd {
+	case cmdAlloc:
+		return "alloc"
+	case cmdFree:
+		return "free"
+	case cmdRead:
+		return "read"
+	case cmdWrite:
+		return "write"
+	case cmdLock:
+		return "lock"
+	case cmdUnlock:
+		return "unlock"
+	case cmdClaim:
+		return "claim"
+	case cmdRecover:
+		return "recover"
+	case cmdBlockSize:
+		return "blockSize"
+	case cmdReadMulti:
+		return "readMulti"
+	case cmdWriteMulti:
+		return "writeMulti"
+	case cmdAllocMulti:
+		return "allocMulti"
+	case cmdFreeMulti:
+		return "freeMulti"
+	case cmdUsage:
+		return "usage"
+	case cmdStats:
+		return "stats"
+	case cmdClearLocks:
+		return "clearLocks"
+	case cmdEpoch:
+		return "epoch"
+	case cmdSetEpoch:
+		return "setEpoch"
+	default:
+		return ""
+	}
+}
+
 // Serve returns an rpc.Handler exposing s. Any Store implementation can
 // be served: the in-memory Server, a stable pair, or the durable
-// segstore backend.
+// segstore backend. A request carrying a sampled trace context runs
+// under a span and against a trace-bound view of s, and the reply
+// trailer carries the spans home.
 func Serve(s Store) rpc.Handler {
+	serve := serveFunc(s)
 	return func(req *rpc.Message) *rpc.Message {
+		tc, finish := trace.Join(req.Trace)
+		if !tc.Sampled() {
+			return serve(s, req)
+		}
+		sp, ctx := tc.Start("block", CmdName(req.Command))
+		resp := serve(BindTrace(s, ctx), req)
+		sp.End(resp.Err())
+		if enc := finish(); len(enc) > 0 {
+			resp.Spans = enc
+		}
+		return resp
+	}
+}
+
+// serveFunc returns the command dispatcher over a per-request store
+// view. The optional-interface commands (claim, usage, stats, epochs,
+// lock clearing) always consult the original store: a trace-bound view
+// does not re-implement them, and they need no spans.
+func serveFunc(orig Store) func(Store, *rpc.Message) *rpc.Message {
+	return func(s Store, req *rpc.Message) *rpc.Message {
 		acct := Account(req.Args[0])
 		n := Num(req.Args[1])
 		switch req.Command {
@@ -119,7 +187,7 @@ func Serve(s Store) rpc.Handler {
 			}
 			return req.Reply(rpc.StatusOK)
 		case cmdClaim:
-			cl, ok := s.(Claimer)
+			cl, ok := orig.(Claimer)
 			if !ok {
 				return req.Errorf(rpc.StatusBadCommand, "block: store does not support claim")
 			}
@@ -136,7 +204,7 @@ func Serve(s Store) rpc.Handler {
 			r.Data = appendNums(make([]byte, 0, 4*len(nums)), nums)
 			return r
 		case cmdUsage:
-			ur, ok := s.(UsageReporter)
+			ur, ok := orig.(UsageReporter)
 			if !ok {
 				return req.Errorf(rpc.StatusBadCommand, "block: store does not report usage")
 			}
@@ -149,14 +217,14 @@ func Serve(s Store) rpc.Handler {
 			r.Args[1] = uint64(u.InUse)
 			return r
 		case cmdClearLocks:
-			cl, ok := s.(interface{ ClearLocks() })
+			cl, ok := orig.(interface{ ClearLocks() })
 			if !ok {
 				return req.Errorf(rpc.StatusBadCommand, "block: store does not support clearing locks")
 			}
 			cl.ClearLocks()
 			return req.Reply(rpc.StatusOK)
 		case cmdEpoch:
-			es, ok := s.(EpochStore)
+			es, ok := orig.(EpochStore)
 			if !ok {
 				return req.Errorf(rpc.StatusBadCommand, "block: store does not track epochs")
 			}
@@ -168,7 +236,7 @@ func Serve(s Store) rpc.Handler {
 			r.Args[0] = e
 			return r
 		case cmdSetEpoch:
-			es, ok := s.(EpochStore)
+			es, ok := orig.(EpochStore)
 			if !ok {
 				return req.Errorf(rpc.StatusBadCommand, "block: store does not track epochs")
 			}
@@ -177,7 +245,7 @@ func Serve(s Store) rpc.Handler {
 			}
 			return req.Reply(rpc.StatusOK)
 		case cmdStats:
-			sr, ok := s.(StatsReporter)
+			sr, ok := orig.(StatsReporter)
 			if !ok {
 				return req.Errorf(rpc.StatusBadCommand, "block: store does not report stats")
 			}
@@ -314,6 +382,32 @@ type remoteStore struct {
 	tr   rpc.Transactor
 	port capability.Port
 	size int
+	tc   trace.Context
+}
+
+// BindTrace implements TraceBinder: the bound proxy attaches the trace
+// context to every wire message, so the trace continues on the far
+// machine and its spans ride home in the reply trailer.
+func (r *remoteStore) BindTrace(tc trace.Context) Store {
+	v := *r
+	v.tc = tc
+	return &v
+}
+
+// transact sends req over the transport under an rpc-layer span when a
+// trace context is bound, adopting whatever spans the far side returns.
+func (r *remoteStore) transact(req *rpc.Message) (*rpc.Message, error) {
+	if !r.tc.Sampled() {
+		return r.tr.Transact(r.port, req)
+	}
+	sp, ctx := r.tc.Start("rpc", "block "+CmdName(req.Command))
+	req.Trace = ctx
+	resp, err := r.tr.Transact(r.port, req)
+	if resp != nil {
+		sp.Adopt(resp.Spans)
+	}
+	sp.End(err)
+	return resp, err
 }
 
 // Dial connects to a block service on port via tr and learns its block
@@ -341,7 +435,7 @@ func Remote(tr rpc.Transactor, port capability.Port, blockSize int) Store {
 }
 
 func (r *remoteStore) call(req *rpc.Message) (*rpc.Message, error) {
-	resp, err := r.tr.Transact(r.port, req)
+	resp, err := r.transact(req)
 	if err != nil {
 		return nil, err
 	}
@@ -583,7 +677,7 @@ func decodeNumPayloads(data []byte, count int) ([]Num, [][]byte, error) {
 // offset by chunkStart here. A transport-level failure (server
 // unreachable) is attributed to the chunk's first block.
 func (r *remoteStore) multiCall(op string, req *rpc.Message, chunkStart, chunkLen, total int) (*rpc.Message, error) {
-	resp, err := r.tr.Transact(r.port, req)
+	resp, err := r.transact(req)
 	if err != nil {
 		return nil, multiErr(op, chunkStart, total, err)
 	}

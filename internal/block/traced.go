@@ -1,0 +1,151 @@
+package block
+
+import (
+	"repro/internal/trace"
+)
+
+// TraceBinder is implemented by stores that can produce a per-request
+// view bound to a trace context: operations on the view record spans
+// attributed to that request's trace. The sharded facade binds each
+// backend as a fan-out leg, the stable pair binds each half, the
+// segstore binds its lane append+fsync, and the remote proxy attaches
+// the context to its wire messages so the spans continue on the far
+// machine.
+//
+// Binding is only done on sampled requests; the unbound store remains
+// the shared, uninstrumented hot path.
+type TraceBinder interface {
+	BindTrace(tc trace.Context) Store
+}
+
+// BindTrace returns s bound to tc when s supports it and tc is sampled;
+// otherwise s unchanged. The cheap no-op path is what keeps tracing
+// free when disabled.
+func BindTrace(s Store, tc trace.Context) Store {
+	if !tc.Sampled() {
+		return s
+	}
+	if b, ok := s.(TraceBinder); ok {
+		return b.BindTrace(tc)
+	}
+	return s
+}
+
+// Traced wraps inner so every operation runs under a span (layer, with
+// tag prefixed to the operation name) and — when inner supports further
+// binding — continues the trace below with the span as parent. This is
+// how a shard fan-out leg's span becomes the parent of the mirror-half
+// and segstore spans beneath it.
+func Traced(inner Store, tc trace.Context, layer, tag string) Store {
+	return &traced{inner: inner, tc: tc, layer: layer, tag: tag, rebind: true}
+}
+
+// TracedLeaf is Traced without downward rebinding: for stores whose
+// internals are not trace-aware (or that would rebind to themselves).
+func TracedLeaf(inner Store, tc trace.Context, layer, tag string) Store {
+	return &traced{inner: inner, tc: tc, layer: layer, tag: tag}
+}
+
+type traced struct {
+	inner      Store
+	tc         trace.Context
+	layer, tag string
+	rebind     bool
+}
+
+// span opens the operation's span and resolves the store to run it on.
+func (t *traced) span(op string) (*trace.Span, Store) {
+	sp, ctx := t.tc.Start(t.layer, t.tag+" "+op)
+	inner := t.inner
+	if t.rebind {
+		inner = BindTrace(inner, ctx)
+	}
+	return sp, inner
+}
+
+func (t *traced) BlockSize() int { return t.inner.BlockSize() }
+
+func (t *traced) Alloc(account Account, data []byte) (Num, error) {
+	sp, st := t.span("alloc")
+	n, err := st.Alloc(account, data)
+	sp.End(err)
+	return n, err
+}
+
+func (t *traced) Free(account Account, n Num) error {
+	sp, st := t.span("free")
+	err := st.Free(account, n)
+	sp.End(err)
+	return err
+}
+
+func (t *traced) Read(account Account, n Num) ([]byte, error) {
+	sp, st := t.span("read")
+	data, err := st.Read(account, n)
+	sp.End(err)
+	return data, err
+}
+
+func (t *traced) Write(account Account, n Num, data []byte) error {
+	sp, st := t.span("write")
+	err := st.Write(account, n, data)
+	sp.End(err)
+	return err
+}
+
+func (t *traced) Lock(account Account, n Num) error {
+	sp, st := t.span("lock")
+	err := st.Lock(account, n)
+	sp.End(err)
+	return err
+}
+
+func (t *traced) Unlock(account Account, n Num) error {
+	sp, st := t.span("unlock")
+	err := st.Unlock(account, n)
+	sp.End(err)
+	return err
+}
+
+func (t *traced) Recover(account Account) ([]Num, error) {
+	sp, st := t.span("recover")
+	ns, err := st.Recover(account)
+	sp.End(err)
+	return ns, err
+}
+
+// The multi operations go through the package helpers, which exploit
+// the bound store's MultiStore implementation when it has one and fall
+// back to per-block loops otherwise — so wrapping never changes
+// batching behaviour, only adds the span.
+
+func (t *traced) ReadMulti(account Account, ns []Num) ([][]byte, error) {
+	sp, st := t.span("readMulti")
+	data, err := ReadMulti(st, account, ns)
+	sp.End(err)
+	return data, err
+}
+
+func (t *traced) WriteMulti(account Account, ns []Num, data [][]byte) error {
+	sp, st := t.span("writeMulti")
+	err := WriteMulti(st, account, ns, data)
+	sp.End(err)
+	return err
+}
+
+func (t *traced) AllocMulti(account Account, data [][]byte) ([]Num, error) {
+	sp, st := t.span("allocMulti")
+	ns, err := AllocMulti(st, account, data)
+	sp.End(err)
+	return ns, err
+}
+
+func (t *traced) FreeMulti(account Account, ns []Num) error {
+	sp, st := t.span("freeMulti")
+	err := FreeMulti(st, account, ns)
+	sp.End(err)
+	return err
+}
+
+var _ Store = (*traced)(nil)
+var _ MultiStore = (*traced)(nil)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/page"
 	"repro/internal/rpc"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // ErrNoServers reports that every known server port is dead.
@@ -50,6 +51,12 @@ type Client struct {
 	tr    rpc.Transactor
 	Cache *cache.Cache
 
+	// tracer, when set, mints a trace root for each sampled operation;
+	// the context rides the request trailer so server-side spans nest
+	// under the client's. Nil means tracing off (the default): the hot
+	// path then allocates nothing extra.
+	tracer *trace.Tracer
+
 	mu        sync.Mutex
 	ports     []capability.Port
 	preferred int
@@ -67,6 +74,28 @@ func (c *Client) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// SetTracer installs the tracer that decides per-operation sampling.
+// Must be called before the client is shared between goroutines.
+func (c *Client) SetTracer(t *trace.Tracer) { c.tracer = t }
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (c *Client) Tracer() *trace.Tracer { return c.tracer }
+
+// ReportTrace ships an assembled trace to a server so it appears on the
+// server's /debug/traces endpoint. The report itself is never traced.
+// Intended for use from a Tracer's OnTrace hook (in a goroutine: the
+// hook runs inside the traced operation's call path).
+func (c *Client) ReportTrace(tr *trace.Trace) error {
+	if tr == nil || len(tr.Spans) == 0 {
+		return nil
+	}
+	resp, err := c.transact(&rpc.Message{Command: server.CmdTraceReport, Data: trace.EncodeTrace(tr)})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
 }
 
 // transact sends req to the preferred server, failing over through the
@@ -102,18 +131,30 @@ func (c *Client) transact(req *rpc.Message) (*rpc.Message, error) {
 	return nil, fmt.Errorf("client: all %d servers unreachable: %w (%v)", n, ErrNoServers, lastErr)
 }
 
-// call sends req and converts an error status to a Go error.
+// call sends req and converts an error status to a Go error. When the
+// operation is sampled, this is where the trace root is minted: the
+// derived context rides the request trailer, the reply's span records
+// are adopted, and ending the root finalises the trace into the tracer.
 func (c *Client) call(req *rpc.Message) (*rpc.Message, error) {
+	root, ctx := c.tracer.Start("client", server.CmdName(req.Command))
+	if root != nil {
+		req.Trace = ctx
+	}
 	resp, err := c.transact(req)
 	if err != nil {
+		root.End(err)
 		return nil, err
 	}
+	root.Adopt(resp.Spans)
 	if resp.Status == rpc.StatusConflict {
+		root.End(ErrConflict)
 		return nil, ErrConflict
 	}
 	if err := resp.Err(); err != nil {
+		root.End(err)
 		return nil, err
 	}
+	root.End(nil)
 	return resp, nil
 }
 

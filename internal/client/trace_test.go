@@ -1,0 +1,164 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/capability"
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/rpc"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// TestTraceAcrossTCPHops runs the three-machine TCP deployment with
+// sampling on and checks that one commit trace stitches spans from all
+// machines: the client root, the file server's dispatch and OCC spans
+// (returned over the client<->server TCP hop), and the block service's
+// spans (returned over the server<->block TCP hop and re-parented under
+// the server's rpc spans).
+func TestTraceAcrossTCPHops(t *testing.T) {
+	// Machine 1: the block service.
+	blockSrv := block.NewServer(disk.MustNew(disk.Geometry{Blocks: 1 << 14, BlockSize: 1024}))
+	blockTCP, err := rpc.NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blockTCP.Close()
+	blockPort := capability.NewPort().Public()
+	blockTCP.Register(blockPort, block.Serve(blockSrv))
+
+	// Machine 2: the file service, mounting the remote block store.
+	res := rpc.NewResolver()
+	res.Set(blockPort, blockTCP.Addr())
+	mountCli := rpc.NewTCPClient(res)
+	defer mountCli.Close()
+	remote, err := block.Dial(mountCli, blockPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := server.NewShared(remote, 1)
+	fsTCP, err := rpc.NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsTCP.Close()
+	s := server.New(sh, nil)
+	fsTCP.Register(s.Port(), s.Handler())
+
+	// Machine 3: the client, sampling every operation.
+	cliRes := rpc.NewResolver()
+	cliRes.Set(s.Port(), fsTCP.Addr())
+	tcpCli := rpc.NewTCPClient(cliRes)
+	defer tcpCli.Close()
+	c := New(tcpCli, s.Port())
+	c.SetTracer(trace.New(1, time.Hour, 16))
+
+	fcap, err := c.CreateFile([]byte("traced over tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Update(fcap, UpdateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Write(page.RootPath, []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var tr *trace.Trace
+	for _, cand := range c.Tracer().Recent(16) {
+		if cand.Root().Name == "commit" {
+			tr = cand
+			break
+		}
+	}
+	if tr == nil {
+		t.Fatal("no commit trace in client ring")
+	}
+
+	byID := make(map[uint64]trace.SpanRecord, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		byID[sp.ID] = sp
+	}
+	root := tr.Root()
+	if root.Layer != "client" || root.Name != "commit" {
+		t.Fatalf("root = %s/%s, want client/commit", root.Layer, root.Name)
+	}
+	layers := make(map[string]bool)
+	for _, sp := range tr.Spans {
+		layers[sp.Layer] = true
+		if sp.ID == root.ID {
+			continue
+		}
+		if _, ok := byID[sp.Parent]; !ok {
+			t.Fatalf("span %s/%s arrived over TCP with dangling parent %016x",
+				sp.Layer, sp.Name, sp.Parent)
+		}
+	}
+	// client and server machines contribute their own layers; the block
+	// machine's spans ("block") crossed two wire hops to get here, and
+	// the server's caller-side "rpc" spans bracket them.
+	for _, want := range []string{"client", "server", "occ", "rpc", "block"} {
+		if !layers[want] {
+			t.Fatalf("trace layers %v missing %q", tr.Layers(), want)
+		}
+	}
+	// Every block-machine span must hang under a server-side rpc span:
+	// that is the re-parenting contract for the second hop.
+	for _, sp := range tr.Spans {
+		if sp.Layer != "block" {
+			continue
+		}
+		cur := sp
+		for {
+			p, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("block span %q not nested under an rpc span (chain broke at %s/%s)",
+					sp.Name, cur.Layer, cur.Name)
+			}
+			if p.Layer == "rpc" {
+				break
+			}
+			cur = p
+		}
+	}
+}
+
+// TestUntracedClientTCP pins the compatibility contract: a client with
+// no tracer against the same traced-capable server works and sends no
+// trace context (the server sees an untraced request).
+func TestUntracedClientTCP(t *testing.T) {
+	blockSrv := block.NewServer(disk.MustNew(disk.Geometry{Blocks: 1 << 12, BlockSize: 1024}))
+	sh := server.NewShared(blockSrv, 1)
+	fsTCP, err := rpc.NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsTCP.Close()
+	s := server.New(sh, nil)
+	fsTCP.Register(s.Port(), s.Handler())
+
+	cliRes := rpc.NewResolver()
+	cliRes.Set(s.Port(), fsTCP.Addr())
+	tcpCli := rpc.NewTCPClient(cliRes)
+	defer tcpCli.Close()
+	c := New(tcpCli, s.Port())
+
+	fcap, err := c.CreateFile([]byte("plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Update(fcap, UpdateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

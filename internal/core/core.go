@@ -20,6 +20,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/server"
 	"repro/internal/stable"
+	"repro/internal/trace"
 	"repro/internal/version"
 )
 
@@ -80,6 +81,13 @@ type Config struct {
 	// tests; zero keeps the server defaults).
 	LockPoll     time.Duration
 	LockPatience time.Duration
+	// TraceSample, when positive, turns on distributed tracing: clients
+	// made with Client() sample that ratio of operations ([0,1]) into
+	// span trees and report them back to the service, where they land in
+	// the cluster Tracer's ring. TraceSlow marks traces at least that
+	// long as slow (kept in the slowest-N list).
+	TraceSample float64
+	TraceSlow   time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -124,6 +132,10 @@ type Cluster struct {
 	// collector feeds.
 	Archive  *archive.Store
 	Archiver *archive.Archiver
+	// Tracer is the service-side trace sink (nil unless Cfg.TraceSample
+	// is positive): client-assembled traces reported over CmdTraceReport
+	// land here, for /debug/traces-style inspection.
+	Tracer *trace.Tracer
 
 	pair   *stable.Pair
 	nextID int
@@ -216,9 +228,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	net := rpc.NewNetwork()
 	net.SetLatency(cfg.NetLatency)
 	c := &Cluster{Cfg: cfg, Net: net, pair: pair, Archive: arch, Archiver: archiver}
+	if cfg.TraceSample > 0 {
+		// The sink's own sampling ratio is irrelevant — clients sample;
+		// it only ingests reported traces.
+		c.Tracer = trace.New(0, cfg.TraceSlow, 256)
+	}
 	for i := 0; i < cfg.Peers; i++ {
 		sh := server.NewShared(store, 1)
 		sh.Archive = arch
+		sh.Tracer = c.Tracer
 		c.Shareds = append(c.Shareds, sh)
 	}
 	c.Shared = c.Shareds[0]
@@ -384,9 +402,18 @@ func (c *Cluster) AllPorts() []capability.Port {
 	return out
 }
 
-// Client creates a client connected to all servers.
+// Client creates a client connected to all servers. With tracing
+// configured, each client gets its own sampling tracer and ships every
+// assembled trace back to the service (fire-and-forget) so cross-layer
+// traces are inspectable in one place.
 func (c *Cluster) Client() *client.Client {
-	return client.New(c.Net, c.AllPorts()...)
+	cl := client.New(c.Net, c.AllPorts()...)
+	if c.Cfg.TraceSample > 0 {
+		t := trace.New(c.Cfg.TraceSample, c.Cfg.TraceSlow, 64)
+		t.OnTrace = func(tr *trace.Trace) { go cl.ReportTrace(tr) }
+		cl.SetTracer(t)
+	}
+	return cl
 }
 
 // LiveVersions aggregates the live version roots of every live server,

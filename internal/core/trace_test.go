@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/page"
+	"repro/internal/segstore"
+	"repro/internal/shard"
+	"repro/internal/stable"
+	"repro/internal/trace"
+)
+
+// traceTestStore builds the deepest storage stack the service supports:
+// a 3-way sharded store whose every leg is a mirrored pair of durable
+// segstores. Any block write must then cross shard -> mirror ->
+// segstore, so a traced commit is guaranteed to produce spans in all
+// three storage layers.
+func traceTestStore(t *testing.T) *shard.Store {
+	t.Helper()
+	leg := func() *stable.Pair {
+		open := func() *segstore.Store {
+			s, err := segstore.Open(t.TempDir(), segstore.Options{
+				BlockSize: 1024,
+				Capacity:  1 << 12,
+				Sync:      segstore.SyncNone,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+			return s
+		}
+		return stable.NewFailoverPair(open(), open())
+	}
+	st, err := shard.New(leg(), leg(), leg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// findTrace returns the newest trace whose root span has the given
+// name, or nil.
+func findTrace(traces []*trace.Trace, rootName string) *trace.Trace {
+	for _, tr := range traces {
+		if tr.Root().Name == rootName {
+			return tr
+		}
+	}
+	return nil
+}
+
+// TestTraceSpansAcrossShardsAndMirrors drives a commit through the full
+// stack with sampling at 1.0 and checks the resulting span tree: every
+// layer present, every span parented inside the trace, and the
+// storage-layer spans nested server -> shard -> mirror -> segstore.
+func TestTraceSpansAcrossShardsAndMirrors(t *testing.T) {
+	cfg := testConfig()
+	cfg.Servers = 2
+	cfg.Store = traceTestStore(t)
+	cfg.TraceSample = 1
+	cfg.TraceSlow = time.Nanosecond // everything is "slow": exercises the slowest list
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client()
+	if cl.Tracer() == nil {
+		t.Fatal("TraceSample=1 cluster handed out an untraced client")
+	}
+
+	fcap, err := cl.CreateFile([]byte("traced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.Update(fcap, client.UpdateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Write(page.RootPath, []byte("traced-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := findTrace(cl.Tracer().Recent(32), "commit")
+	if tr == nil {
+		t.Fatal("no commit trace in client ring")
+	}
+	assertTraceShape(t, tr)
+
+	// The slow threshold is 1ns, so the commit must also sit in the
+	// client tracer's slowest list.
+	if findTrace(cl.Tracer().Slowest(), "commit") == nil {
+		t.Fatal("commit trace missing from slowest list despite 1ns threshold")
+	}
+
+	// The client reports completed traces back to the service
+	// asynchronously; the same trace must land in the cluster sink.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sunk := findTrace(c.Tracer.Recent(64), "commit")
+		if sunk != nil && sunk.ID == tr.ID {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("commit trace never reached the cluster sink tracer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// assertTraceShape checks layer coverage and parent/child structure of
+// a commit trace against the full shard+mirror+segstore deployment.
+func assertTraceShape(t *testing.T, tr *trace.Trace) {
+	t.Helper()
+	byID := make(map[uint64]trace.SpanRecord, len(tr.Spans))
+	for _, s := range tr.Spans {
+		byID[s.ID] = s
+	}
+	root := tr.Root()
+	if root.Layer != "client" {
+		t.Fatalf("root layer = %q, want client", root.Layer)
+	}
+	for _, s := range tr.Spans {
+		if s.ID == root.ID {
+			continue
+		}
+		if _, ok := byID[s.Parent]; !ok {
+			t.Fatalf("span %s/%s has dangling parent %016x", s.Layer, s.Name, s.Parent)
+		}
+	}
+
+	layers := make(map[string]bool)
+	for _, l := range tr.Layers() {
+		layers[l] = true
+	}
+	for _, want := range []string{"client", "server", "occ", "shard", "mirror", "segstore"} {
+		if !layers[want] {
+			t.Fatalf("commit trace layers = %v, missing %q (spans: %v)",
+				tr.Layers(), want, spanSummary(tr))
+		}
+	}
+
+	// Walk a segstore leaf up to the root: the ancestry must pass
+	// through mirror, shard, and server in that order.
+	for _, s := range tr.Spans {
+		if s.Layer != "segstore" {
+			continue
+		}
+		var chain []string
+		for cur := s; ; {
+			chain = append(chain, cur.Layer)
+			p, ok := byID[cur.Parent]
+			if !ok {
+				break
+			}
+			cur = p
+		}
+		if !subsequence(chain, []string{"segstore", "mirror", "shard", "server", "client"}) {
+			t.Fatalf("segstore span ancestry %v does not nest segstore < mirror < shard < server < client", chain)
+		}
+		return
+	}
+	t.Fatal("no segstore span found")
+}
+
+// subsequence reports whether want appears in order within chain.
+func subsequence(chain, want []string) bool {
+	i := 0
+	for _, l := range chain {
+		if i < len(want) && l == want[i] {
+			i++
+		}
+	}
+	return i == len(want)
+}
+
+func spanSummary(tr *trace.Trace) []string {
+	var out []string
+	for _, s := range tr.Spans {
+		out = append(out, fmt.Sprintf("%s/%s", s.Layer, s.Name))
+	}
+	return out
+}
+
+// TestTraceSamplingOff checks the other side of the knob: with
+// TraceSample zero the cluster mints no tracer and clients run
+// untraced.
+func TestTraceSamplingOff(t *testing.T) {
+	c, err := NewCluster(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tracer != nil {
+		t.Fatal("TraceSample=0 cluster built a sink tracer")
+	}
+	cl := c.Client()
+	if cl.Tracer() != nil {
+		t.Fatal("TraceSample=0 cluster handed out a traced client")
+	}
+	fcap, err := cl.CreateFile([]byte("untraced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.Update(fcap, client.UpdateOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

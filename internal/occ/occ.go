@@ -49,6 +49,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/metrics"
 	"repro/internal/page"
+	"repro/internal/trace"
 	"repro/internal/version"
 )
 
@@ -88,11 +89,26 @@ type Committer struct {
 	St *version.Store
 	// Stat is optional shared instrumentation.
 	Stat *Stats
+	// tc, when sampled, runs Commit under an occ-layer span against
+	// trace-bound storage (see BindTrace).
+	tc trace.Context
 }
 
 // NewCommitter creates a Committer with its own stats.
 func NewCommitter(st *version.Store) *Committer {
 	return &Committer{St: st, Stat: &Stats{}}
+}
+
+// BindTrace returns a committer whose Commit runs under an occ-layer
+// span, with the validation pass's page reads and the critical
+// section's lock/read/write/unlock issued against the trace-bound block
+// stack — so shard, mirror and segstore spans nest beneath the
+// commit's. Stats stay shared with the original.
+func (c *Committer) BindTrace(tc trace.Context) *Committer {
+	if !tc.Sampled() {
+		return c
+	}
+	return &Committer{St: c.St, Stat: c.Stat, tc: tc}
 }
 
 // TestAndSetCommitRef atomically sets the commit reference of the version
@@ -134,6 +150,20 @@ func (c *Committer) TestAndSetCommitRef(base, succ block.Num) (block.Num, error)
 // for the same version page) surfaces as block.ErrLocked; callers retry,
 // mirroring servers re-sending the set-commit-reference request.
 func (c *Committer) Commit(b *version.Tree) error {
+	if !c.tc.Sampled() {
+		return c.commit(b)
+	}
+	sp, ctx := c.tc.Start("occ", "commit")
+	bound := &Committer{
+		St:   version.NewStore(block.BindTrace(c.St.Blocks, ctx), c.St.Acct),
+		Stat: c.Stat,
+	}
+	err := bound.commit(b)
+	sp.End(err)
+	return err
+}
+
+func (c *Committer) commit(b *version.Tree) error {
 	vp, err := b.VersionPage()
 	if err != nil {
 		return err

@@ -25,6 +25,8 @@ type Network struct {
 
 	statMu sync.Mutex
 	stats  NetStats
+
+	metrics *Metrics
 }
 
 // NetStats counts traffic through a Network.
@@ -104,6 +106,14 @@ func (n *Network) Stats() NetStats {
 	return n.stats
 }
 
+// SetMetrics installs a caller-side per-command metrics family; every
+// Transact observes into it.
+func (n *Network) SetMetrics(m *Metrics) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.metrics = m
+}
+
 // Transact implements Transactor.
 func (n *Network) Transact(port capability.Port, req *Message) (*Message, error) {
 	if len(req.Data) > MaxData {
@@ -112,8 +122,11 @@ func (n *Network) Transact(port capability.Port, req *Message) (*Message, error)
 	n.mu.RLock()
 	h, ok := n.handlers[port]
 	latency := n.latency
+	met := n.metrics
 	n.mu.RUnlock()
+	start := time.Now()
 	if !ok {
+		met.Observe(req.Command, time.Since(start), StatusOK, true)
 		n.statMu.Lock()
 		n.stats.DeadPort++
 		n.statMu.Unlock()
@@ -126,6 +139,7 @@ func (n *Network) Transact(port capability.Port, req *Message) (*Message, error)
 	if resp == nil {
 		resp = req.Reply(StatusBadCommand)
 	}
+	met.Observe(req.Command, time.Since(start), resp.Status, false)
 	if latency > 0 {
 		time.Sleep(latency)
 	}

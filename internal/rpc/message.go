@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/capability"
+	"repro/internal/trace"
 )
 
 // MaxData is the maximum payload of a transaction message: 32 KiB, the
@@ -123,6 +124,18 @@ type Message struct {
 	Caps []capability.Capability
 	// Data is the bulk payload, at most MaxData bytes.
 	Data []byte
+
+	// Trace is the request's trace context. On the wire it rides an
+	// optional trailer after Data (tag 1), attached only when the trace
+	// is sampled — untraced traffic is byte-identical to the pre-trailer
+	// wire format. Decoders that predate the trailer still parse the
+	// header and data of an untraced message; decoders from this version
+	// on skip unknown trailer tags, so the trailer can grow.
+	Trace trace.Context
+	// Spans carries encoded span records back to the caller on a reply
+	// (trailer tag 2): how a traced request's server-side spans flow up
+	// across the wire to the process assembling the trace.
+	Spans []byte
 }
 
 // Reply builds a reply to m with the given status, echoing the command.
@@ -164,9 +177,23 @@ func (m *Message) Err() error {
 	return &StatusError{Status: m.Status, Detail: string(m.Data)}
 }
 
+// Trailer tags. A trailer block is tag(1) || len(2, big endian) ||
+// payload; blocks follow the data section and unknown tags are skipped.
+const (
+	trailerTrace byte = 1 // request trace context (trace.ContextWireLen bytes)
+	trailerSpans byte = 2 // reply span records (bounded by trace.MaxWireSpans)
+)
+
 // encodedLen computes the wire length of m.
 func (m *Message) encodedLen() int {
-	return 4 + 4 + 8*4 + 1 + len(m.Caps)*capability.EncodedLen + 4 + len(m.Data)
+	n := 4 + 4 + 8*4 + 1 + len(m.Caps)*capability.EncodedLen + 4 + len(m.Data)
+	if m.Trace.Sampled() {
+		n += 3 + trace.ContextWireLen
+	}
+	if len(m.Spans) > 0 {
+		n += 3 + len(m.Spans)
+	}
+	return n
 }
 
 // Encode appends the wire form of m to dst.
@@ -192,6 +219,18 @@ func (m *Message) Encode(dst []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(dl[:], uint32(len(m.Data)))
 	dst = append(dst, dl[:]...)
 	dst = append(dst, m.Data...)
+	if m.Trace.Sampled() {
+		w := m.Trace.Wire()
+		dst = append(dst, trailerTrace, 0, trace.ContextWireLen)
+		dst = append(dst, w[:]...)
+	}
+	if n := len(m.Spans); n > 0 {
+		if n > trace.MaxWireSpans {
+			return nil, fmt.Errorf("%d span bytes: %w", n, ErrTooLarge)
+		}
+		dst = append(dst, trailerSpans, byte(n>>8), byte(n))
+		dst = append(dst, m.Spans...)
+	}
 	return dst, nil
 }
 
@@ -225,12 +264,36 @@ func DecodeMessage(src []byte) (*Message, error) {
 	}
 	dlen := int(binary.BigEndian.Uint32(rest[0:4]))
 	rest = rest[4:]
-	if dlen > MaxData || dlen != len(rest) {
+	if dlen > MaxData || dlen > len(rest) {
 		return nil, fmt.Errorf("data length %d with %d remaining: %w", dlen, len(rest), ErrMalformed)
 	}
 	if dlen > 0 {
 		m.Data = make([]byte, dlen)
 		copy(m.Data, rest)
+	}
+	// Anything after the data section is the trailer: tagged blocks a
+	// peer may attach (trace context, span records). Handlers that know
+	// nothing of a tag simply never look at the decoded field; tags this
+	// decoder does not know are skipped, so the trailer can grow without
+	// another wire revision.
+	rest = rest[dlen:]
+	for len(rest) > 0 {
+		if len(rest) < 3 {
+			return nil, fmt.Errorf("truncated trailer (%d bytes): %w", len(rest), ErrMalformed)
+		}
+		tag := rest[0]
+		n := int(rest[1])<<8 | int(rest[2])
+		rest = rest[3:]
+		if n > len(rest) {
+			return nil, fmt.Errorf("trailer tag %d length %d with %d remaining: %w", tag, n, len(rest), ErrMalformed)
+		}
+		switch tag {
+		case trailerTrace:
+			m.Trace = trace.ContextFromWire(rest[:n])
+		case trailerSpans:
+			m.Spans = append([]byte(nil), rest[:n]...)
+		}
+		rest = rest[n:]
 	}
 	return m, nil
 }

@@ -248,9 +248,10 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 type TCPClient struct {
 	resolver *Resolver
 
-	mu    sync.Mutex
-	retry RetryPolicy
-	conns map[string]*clientConn
+	mu      sync.Mutex
+	retry   RetryPolicy
+	conns   map[string]*clientConn
+	metrics *Metrics
 }
 
 type clientConn struct {
@@ -271,6 +272,14 @@ func (c *TCPClient) SetRetryPolicy(p RetryPolicy) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.retry = p.withDefaults()
+}
+
+// SetMetrics installs a caller-side per-command metrics family; every
+// Transact observes into it.
+func (c *TCPClient) SetMetrics(m *Metrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = m
 }
 
 // Close drops all pooled connections.
@@ -315,13 +324,28 @@ func (c *TCPClient) dropConn(addr string, cc *clientConn) {
 // answering for an unregistered port replies StatusDeadPort, which is
 // final (no retry): the process is up, the service is not.
 func (c *TCPClient) Transact(port capability.Port, req *Message) (*Message, error) {
+	c.mu.Lock()
+	pol := c.retry.withDefaults()
+	met := c.metrics
+	c.mu.Unlock()
+	if met == nil {
+		return c.transact(port, req, pol)
+	}
+	start := time.Now()
+	resp, err := c.transact(port, req, pol)
+	status := StatusOK
+	if resp != nil {
+		status = resp.Status
+	}
+	met.Observe(req.Command, time.Since(start), status, err != nil)
+	return resp, err
+}
+
+func (c *TCPClient) transact(port capability.Port, req *Message, pol RetryPolicy) (*Message, error) {
 	addr, ok := c.resolver.Lookup(port)
 	if !ok {
 		return nil, fmt.Errorf("port %v unresolved: %w", port, ErrDeadPort)
 	}
-	c.mu.Lock()
-	pol := c.retry.withDefaults()
-	c.mu.Unlock()
 	backoff := pol.Backoff
 	var lastErr error
 	for attempt := 0; attempt < pol.Attempts; attempt++ {

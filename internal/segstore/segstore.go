@@ -57,6 +57,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Store errors, in addition to the block package's sentinel errors
@@ -905,6 +906,13 @@ func (s *Store) dropReservation(n block.Num) {
 }
 
 // --- block.Store ---
+
+// BindTrace implements block.TraceBinder: segstore operations run under
+// leaf spans (layer "segstore") covering the full lane append + group
+// commit fsync wait; the store's internals are not trace-aware.
+func (s *Store) BindTrace(tc trace.Context) block.Store {
+	return block.TracedLeaf(s, tc, "segstore", "lane")
+}
 
 // BlockSize implements block.Store.
 func (s *Store) BlockSize() int { return s.opt.BlockSize }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/occ"
 	"repro/internal/page"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 	"repro/internal/version"
 )
 
@@ -79,7 +80,67 @@ const (
 	// Args[0]=nrefs, Data=page data. A hash-check failure along the
 	// descent reports StatusCorrupt naming the corrupt archive block.
 	CmdOpenAt
+	// CmdTraceReport delivers a completed, client-assembled trace
+	// (trace.EncodeTrace in Data) for ingestion into the server's trace
+	// ring: the client minted the root span, so only it holds the whole
+	// tree once the reply trailers come home. Ignored (OK) when the
+	// server runs without a tracer. The report itself is never traced.
+	CmdTraceReport
 )
+
+// CmdName names a file service command for spans and metrics.
+func CmdName(cmd uint32) string {
+	switch cmd {
+	case CmdPing:
+		return "ping"
+	case CmdCreateFile:
+		return "createFile"
+	case CmdCreateVersion:
+		return "createVersion"
+	case CmdReadPage:
+		return "readPage"
+	case CmdWritePage:
+		return "writePage"
+	case CmdInsertPage:
+		return "insertPage"
+	case CmdRemovePage:
+		return "removePage"
+	case CmdMakeHole:
+		return "makeHole"
+	case CmdFillHole:
+		return "fillHole"
+	case CmdRemoveHole:
+		return "removeHole"
+	case CmdSplitPage:
+		return "splitPage"
+	case CmdMoveSubtree:
+		return "moveSubtree"
+	case CmdCreateSubFile:
+		return "createSubFile"
+	case CmdCommit:
+		return "commit"
+	case CmdAbort:
+		return "abort"
+	case CmdCurrentVersion:
+		return "currentVersion"
+	case CmdHistory:
+		return "history"
+	case CmdReadCommitted:
+		return "readCommitted"
+	case CmdValidateCache:
+		return "validateCache"
+	case CmdPrefetch:
+		return "prefetch"
+	case CmdSnapshots:
+		return "snapshots"
+	case CmdOpenAt:
+		return "openAt"
+	case CmdTraceReport:
+		return "traceReport"
+	default:
+		return ""
+	}
+}
 
 // Version-creation option bits for CmdCreateVersion Args[0].
 const (
@@ -87,12 +148,43 @@ const (
 	OptRelaxSuperLock
 )
 
-// Handler returns the rpc.Handler serving this server's port.
+// Handler returns the rpc.Handler serving this server's port. A request
+// carrying a sampled trace context runs its dispatch under a
+// server-layer span; the accumulated spans (dispatch, occ, shard,
+// mirror, segstore, nested rpc hops) travel back in the reply trailer
+// for the root-minting client to assemble.
 func (s *Server) Handler() rpc.Handler {
 	return func(req *rpc.Message) *rpc.Message {
-		resp, err := s.dispatch(req)
+		tc, finish := trace.Join(req.Trace)
+		if !tc.Sampled() {
+			// No client-minted trace: the service's own tracer may still
+			// sample this request into a server-rooted trace (operators
+			// get traces without client cooperation). Trace reports are
+			// never themselves traced.
+			if t := s.shared.Tracer; t != nil && req.Command != CmdTraceReport {
+				if root, ctx := t.Start("server", CmdName(req.Command)); root != nil {
+					resp, err := s.dispatch(req, ctx)
+					root.End(err)
+					if err != nil {
+						return errReply(req, err)
+					}
+					return resp
+				}
+			}
+			resp, err := s.dispatch(req, trace.Context{})
+			if err != nil {
+				return errReply(req, err)
+			}
+			return resp
+		}
+		sp, ctx := tc.Start("server", CmdName(req.Command))
+		resp, err := s.dispatch(req, ctx)
+		sp.End(err)
 		if err != nil {
-			return errReply(req, err)
+			resp = errReply(req, err)
+		}
+		if enc := finish(); len(enc) > 0 {
+			resp.Spans = enc
 		}
 		return resp
 	}
@@ -138,9 +230,19 @@ func reqPath(req *rpc.Message) (page.Path, []byte, error) {
 	return page.DecodePath(req.Data)
 }
 
-func (s *Server) dispatch(req *rpc.Message) (*rpc.Message, error) {
+func (s *Server) dispatch(req *rpc.Message, tc trace.Context) (*rpc.Message, error) {
 	switch req.Command {
 	case CmdPing:
+		return req.Reply(rpc.StatusOK), nil
+
+	case CmdTraceReport:
+		if tr := s.shared.Tracer; tr != nil {
+			if t, err := trace.DecodeTrace(req.Data); err == nil {
+				tr.Ingest(t)
+			} else {
+				return nil, err
+			}
+		}
 		return req.Reply(rpc.StatusOK), nil
 
 	case CmdCreateFile:
@@ -285,7 +387,7 @@ func (s *Server) dispatch(req *rpc.Message) (*rpc.Message, error) {
 			return nil, err
 		}
 		before := s.com.Stat.Validations.Load()
-		if err := s.Commit(vcap); err != nil {
+		if err := s.commitT(tc, vcap); err != nil {
 			return nil, err
 		}
 		root, err := s.VersionRoot(vcap)

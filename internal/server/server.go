@@ -26,6 +26,7 @@ import (
 	"repro/internal/lock"
 	"repro/internal/occ"
 	"repro/internal/page"
+	"repro/internal/trace"
 	"repro/internal/version"
 )
 
@@ -122,6 +123,10 @@ type Shared struct {
 	// snapshots; nil when the deployment runs without one, in which
 	// case the snapshot commands answer ErrNoArchive.
 	Archive *archive.Store
+	// Tracer, when set, receives completed traces reported by clients
+	// via CmdTraceReport and serves them on the debug endpoints. Nil
+	// disables ingestion (reports are acknowledged and dropped).
+	Tracer *trace.Tracer
 
 	mu      sync.Mutex
 	id      uint32
@@ -735,11 +740,18 @@ func (s *Server) CreateSubFile(vcap capability.Capability, p page.Path, idx int,
 // conflict aborts the version and surfaces occ.ErrConflict: the client
 // must redo the update on a fresh version.
 func (s *Server) Commit(vcap capability.Capability) error {
+	return s.commitT(trace.Context{}, vcap)
+}
+
+// commitT is Commit bound to a trace context: on a sampled request the
+// OCC engine runs under an occ-layer span against trace-bound storage,
+// so the commit's storage fan-out is visible span by span.
+func (s *Server) commitT(tc trace.Context, vcap capability.Capability) error {
 	return s.withVersion(vcap, capability.RightCommit, func(rec *verRec) error {
 		defer func(start time.Time) {
 			s.com.Stat.Latency.Observe(time.Since(start))
 		}(time.Now())
-		err := s.com.Commit(rec.tree)
+		err := s.com.BindTrace(tc).Commit(rec.tree)
 		if errors.Is(err, occ.ErrConflict) {
 			rec.state = StateAborted
 			rec.closedAt = time.Now()

@@ -72,6 +72,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/block"
+	"repro/internal/trace"
 )
 
 // defaultFreeEstimate seeds the advisory free count of a backend that
@@ -116,6 +117,19 @@ func New(backends ...block.Store) (*Store, error) {
 		s.free[i].Store(est)
 	}
 	return s, nil
+}
+
+// BindTrace implements block.TraceBinder: a per-request view whose
+// backends each record a fan-out-leg span per operation and pass the
+// trace context onward, so a leg's span becomes the parent of the
+// mirror-half and segstore spans beneath it. The view shares the
+// facade's free estimates — only the span plumbing differs.
+func (s *Store) BindTrace(tc trace.Context) block.Store {
+	v := &Store{backends: make([]block.Store, len(s.backends)), size: s.size, free: s.free}
+	for i, b := range s.backends {
+		v.backends[i] = block.Traced(b, tc, "shard", fmt.Sprintf("leg-%d", i))
+	}
+	return v
 }
 
 // NumShards returns the number of backends.

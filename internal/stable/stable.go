@@ -60,6 +60,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 // ErrCollision reports a simultaneous allocate or write detected at the
@@ -699,6 +700,19 @@ func (h *Half) copyAccount(comp *Half, acct block.Account) error {
 // BlockSize implements block.Store.
 func (h *Half) BlockSize() int { return h.st.BlockSize() }
 
+// legStore resolves one backend leg of the pair protocol: on a sampled
+// trace it opens a mirror-layer span named for this half and returns the
+// backend bound to the span's context (so segstore spans nest beneath
+// it); otherwise it returns the raw backend and a nil span, costing
+// nothing. Callers end the span with the leg's error.
+func (h *Half) legStore(tc trace.Context, op string) (*trace.Span, block.Store) {
+	if !tc.Sampled() {
+		return nil, h.st
+	}
+	sp, ctx := tc.Start("mirror", "half-"+h.name+" "+op)
+	return sp, block.BindTrace(h.st, ctx)
+}
+
 // companionUp returns the companion if it is serving.
 func (h *Half) companionUp() *Half {
 	c := h.companion
@@ -761,12 +775,18 @@ func copyData(data []byte) []byte {
 
 // Alloc implements block.Store with the companion-first write protocol.
 func (h *Half) Alloc(account block.Account, data []byte) (block.Num, error) {
+	return h.allocT(trace.Context{}, account, data)
+}
+
+func (h *Half) allocT(tc trace.Context, account block.Account, data []byte) (block.Num, error) {
 	if h.Down() {
 		return block.NilNum, h.downErr()
 	}
 	h.note(account)
 	// Step 1: allocate locally (chooses the block number).
-	n, err := h.st.Alloc(account, data)
+	sp, st := h.legStore(tc, "alloc")
+	n, err := st.Alloc(account, data)
+	sp.End(err)
 	if err != nil {
 		return block.NilNum, h.selfCheck(err)
 	}
@@ -782,7 +802,7 @@ func (h *Half) Alloc(account block.Account, data []byte) (block.Num, error) {
 			}
 			continue
 		}
-		if err := comp.acceptCompanionAlloc(account, n, data); err != nil {
+		if err := comp.acceptCompanionAlloc(tc, account, n, data); err != nil {
 			if h.companionLost(comp, err) {
 				continue
 			}
@@ -807,7 +827,7 @@ func (h *Half) Alloc(account block.Account, data []byte) (block.Num, error) {
 // acceptCompanionAlloc is the companion side of Alloc: claim the same
 // block number and write the data. A claim that fails because the number
 // is taken is exactly the paper's allocate collision.
-func (h *Half) acceptCompanionAlloc(account block.Account, n block.Num, data []byte) error {
+func (h *Half) acceptCompanionAlloc(tc trace.Context, account block.Account, n block.Num, data []byte) error {
 	if h.Down() {
 		return h.downErr()
 	}
@@ -818,7 +838,10 @@ func (h *Half) acceptCompanionAlloc(account block.Account, n block.Num, data []b
 		}
 		return fmt.Errorf("block %d: %v: %w", n, err, ErrCollision)
 	}
-	if err := h.st.Write(account, n, data); err != nil {
+	sp, st := h.legStore(tc, "mirror-alloc")
+	err := st.Write(account, n, data)
+	sp.End(err)
+	if err != nil {
 		if !unreachable(err) {
 			_ = h.st.Free(account, n)
 		}
@@ -879,11 +902,18 @@ func (h *Half) acceptCompanionClaim(account block.Account, n block.Num) error {
 
 // Free implements block.Store.
 func (h *Half) Free(account block.Account, n block.Num) error {
+	return h.freeT(trace.Context{}, account, n)
+}
+
+func (h *Half) freeT(tc trace.Context, account block.Account, n block.Num) error {
 	if h.Down() {
 		return h.downErr()
 	}
 	h.note(account)
-	if err := h.st.Free(account, n); err != nil {
+	sp, st := h.legStore(tc, "free")
+	err := st.Free(account, n)
+	sp.End(err)
+	if err != nil {
 		return h.selfCheck(err)
 	}
 	for {
@@ -894,7 +924,7 @@ func (h *Half) Free(account block.Account, n block.Num) error {
 			}
 			continue
 		}
-		if err := comp.acceptCompanionFree(account, n); err != nil && h.companionLost(comp, err) {
+		if err := comp.acceptCompanionFree(tc, account, n); err != nil && h.companionLost(comp, err) {
 			continue
 		}
 		// Semantic companion failures are best-effort; recovery
@@ -904,22 +934,31 @@ func (h *Half) Free(account block.Account, n block.Num) error {
 }
 
 // acceptCompanionFree mirrors a free on the companion side.
-func (h *Half) acceptCompanionFree(account block.Account, n block.Num) error {
+func (h *Half) acceptCompanionFree(tc trace.Context, account block.Account, n block.Num) error {
 	if h.Down() {
 		return h.downErr()
 	}
 	h.note(account)
-	return h.st.Free(account, n)
+	sp, st := h.legStore(tc, "mirror-free")
+	err := st.Free(account, n)
+	sp.End(err)
+	return err
 }
 
 // Read implements block.Store. Per §4, "For reads, the block server need
 // not consult its companion server, except when the block on its disk is
 // corrupted." The corrupt local copy is repaired from the good one.
 func (h *Half) Read(account block.Account, n block.Num) ([]byte, error) {
+	return h.readT(trace.Context{}, account, n)
+}
+
+func (h *Half) readT(tc trace.Context, account block.Account, n block.Num) ([]byte, error) {
 	if h.Down() {
 		return nil, h.downErr()
 	}
-	data, err := h.st.Read(account, n)
+	sp, st := h.legStore(tc, "read")
+	data, err := st.Read(account, n)
+	sp.End(err)
 	if err == nil {
 		return data, nil
 	}
@@ -955,6 +994,10 @@ func (h *Half) Read(account block.Account, n block.Num) ([]byte, error) {
 // write collisions detectable before damage is done: the companion
 // serialises both clients' writes on its latch table.
 func (h *Half) Write(account block.Account, n block.Num, data []byte) error {
+	return h.writeT(trace.Context{}, account, n, data)
+}
+
+func (h *Half) writeT(tc trace.Context, account block.Account, n block.Num, data []byte) error {
 	if h.Down() {
 		return h.downErr()
 	}
@@ -970,9 +1013,12 @@ func (h *Half) Write(account block.Account, n block.Num, data []byte) error {
 			if !h.keepIntentsFor(h.companion, intent{op: 'w', n: n, account: account, data: copyData(data)}) {
 				continue
 			}
-			return h.selfCheck(h.st.Write(account, n, data))
+			sp, st := h.legStore(tc, "write")
+			err := st.Write(account, n, data)
+			sp.End(err)
+			return h.selfCheck(err)
 		}
-		if err := comp.acceptCompanionWrite(account, n, data); err != nil {
+		if err := comp.acceptCompanionWrite(tc, account, n, data); err != nil {
 			if h.companionLost(comp, err) {
 				continue
 			}
@@ -986,14 +1032,17 @@ func (h *Half) Write(account block.Account, n block.Num, data []byte) error {
 		h.mu.Lock()
 		h.stats.CompanionWrites++
 		h.mu.Unlock()
-		return h.selfCheck(h.st.Write(account, n, data))
+		sp, st := h.legStore(tc, "write")
+		err := st.Write(account, n, data)
+		sp.End(err)
+		return h.selfCheck(err)
 	}
 }
 
 // acceptCompanionWrite performs the companion-first write under the
 // block's write latch so concurrent writers of the same block via
 // different halves collide here instead of interleaving.
-func (h *Half) acceptCompanionWrite(account block.Account, n block.Num, data []byte) error {
+func (h *Half) acceptCompanionWrite(tc trace.Context, account block.Account, n block.Num, data []byte) error {
 	if h.Down() {
 		return h.downErr()
 	}
@@ -1002,22 +1051,32 @@ func (h *Half) acceptCompanionWrite(account block.Account, n block.Num, data []b
 		return fmt.Errorf("block %d write: %w", n, ErrCollision)
 	}
 	defer h.Unlatch(n)
-	return h.st.Write(account, n, data)
+	sp, st := h.legStore(tc, "mirror-write")
+	err := st.Write(account, n, data)
+	sp.End(err)
+	return err
 }
 
 // Lock implements block.Store; the lock lives on whichever half receives
 // it plus its companion, so the commit critical section holds across the
 // pair.
 func (h *Half) Lock(account block.Account, n block.Num) error {
+	return h.lockT(trace.Context{}, account, n)
+}
+
+func (h *Half) lockT(tc trace.Context, account block.Account, n block.Num) error {
 	if h.Down() {
 		return h.downErr()
 	}
 	h.note(account)
-	if err := h.st.Lock(account, n); err != nil {
+	sp, st := h.legStore(tc, "lock")
+	err := st.Lock(account, n)
+	sp.End(err)
+	if err != nil {
 		return h.selfCheck(err)
 	}
 	if comp := h.companionUp(); comp != nil {
-		if err := comp.acceptCompanionLock(account, n); err != nil && !h.companionLost(comp, err) {
+		if err := comp.acceptCompanionLock(tc, account, n); err != nil && !h.companionLost(comp, err) {
 			_ = h.st.Unlock(account, n)
 			return err
 		}
@@ -1025,31 +1084,44 @@ func (h *Half) Lock(account block.Account, n block.Num) error {
 	return nil
 }
 
-func (h *Half) acceptCompanionLock(account block.Account, n block.Num) error {
+func (h *Half) acceptCompanionLock(tc trace.Context, account block.Account, n block.Num) error {
 	if h.Down() {
 		return h.downErr()
 	}
-	return h.st.Lock(account, n)
+	sp, st := h.legStore(tc, "mirror-lock")
+	err := st.Lock(account, n)
+	sp.End(err)
+	return err
 }
 
 // Unlock implements block.Store.
 func (h *Half) Unlock(account block.Account, n block.Num) error {
+	return h.unlockT(trace.Context{}, account, n)
+}
+
+func (h *Half) unlockT(tc trace.Context, account block.Account, n block.Num) error {
 	if h.Down() {
 		return h.downErr()
 	}
 	if comp := h.companionUp(); comp != nil {
-		if err := comp.acceptCompanionUnlock(account, n); err != nil {
+		if err := comp.acceptCompanionUnlock(tc, account, n); err != nil {
 			_ = h.companionLost(comp, err) // best-effort; locks are volatile
 		}
 	}
-	return h.selfCheck(h.st.Unlock(account, n))
+	sp, st := h.legStore(tc, "unlock")
+	err := st.Unlock(account, n)
+	sp.End(err)
+	return h.selfCheck(err)
 }
 
-func (h *Half) acceptCompanionUnlock(account block.Account, n block.Num) error {
+func (h *Half) acceptCompanionUnlock(tc trace.Context, account block.Account, n block.Num) error {
 	if h.Down() {
 		return h.downErr()
 	}
-	return h.st.Unlock(account, n)
+	sp, st := h.legStore(tc, "mirror-unlock")
+	err := st.Unlock(account, n)
+	sp.End(err)
+	return err
 }
 
 // Recover implements block.Store.
@@ -1091,11 +1163,17 @@ var _ block.PairStore = (*Half)(nil)
 // the whole batch; only when it reports corruption does the half fall
 // back to the per-block path, which repairs from the companion.
 func (h *Half) ReadMulti(account block.Account, ns []block.Num) ([][]byte, error) {
+	return h.readMultiT(trace.Context{}, account, ns)
+}
+
+func (h *Half) readMultiT(tc trace.Context, account block.Account, ns []block.Num) ([][]byte, error) {
 	if h.Down() {
 		return nil, h.downErr()
 	}
 	h.note(account)
-	out, err := block.ReadMulti(h.st, account, ns)
+	sp, st := h.legStore(tc, "readMulti")
+	out, err := block.ReadMulti(st, account, ns)
+	sp.End(err)
 	if err == nil || !errors.Is(err, block.ErrCorrupt) {
 		return out, h.selfCheck(err)
 	}
@@ -1103,7 +1181,7 @@ func (h *Half) ReadMulti(account block.Account, ns []block.Num) ([][]byte, error
 	// block is fetched from (and repaired from) the companion.
 	out = make([][]byte, len(ns))
 	for i, n := range ns {
-		data, rerr := h.Read(account, n)
+		data, rerr := h.readT(tc, account, n)
 		if rerr != nil {
 			return nil, &block.MultiError{Op: "read", Index: i, N: len(ns), Err: rerr}
 		}
@@ -1119,6 +1197,10 @@ func (h *Half) ReadMulti(account block.Account, ns []block.Num) ([][]byte, error
 // the first semantic failure is returned after both legs have applied
 // what they individually could, exactly as N lone Writes would have.
 func (h *Half) WriteMulti(account block.Account, ns []block.Num, data [][]byte) error {
+	return h.writeMultiT(trace.Context{}, account, ns, data)
+}
+
+func (h *Half) writeMultiT(tc trace.Context, account block.Account, ns []block.Num, data [][]byte) error {
 	if len(ns) != len(data) {
 		return fmt.Errorf("stable: multi write with %d blocks, %d payloads", len(ns), len(data))
 	}
@@ -1139,13 +1221,15 @@ func (h *Half) WriteMulti(account block.Account, ns []block.Num, data [][]byte) 
 			if !h.keepIntentsFor(h.companion, its...) {
 				continue
 			}
-			err := block.WriteMulti(h.st, account, ns, data)
+			sp, st := h.legStore(tc, "writeMulti")
+			err := block.WriteMulti(st, account, ns, data)
+			sp.End(err)
 			if err != nil && !isPerBlock(err) {
 				return h.selfCheck(err)
 			}
 			return err
 		}
-		if err := comp.acceptCompanionWriteMulti(account, ns, data); err != nil {
+		if err := comp.acceptCompanionWriteMulti(tc, account, ns, data); err != nil {
 			switch {
 			case h.companionLost(comp, err):
 				continue
@@ -1163,7 +1247,7 @@ func (h *Half) WriteMulti(account block.Account, ns []block.Num, data [][]byte) 
 				// local leg exactly where the companion refuses.
 				var first error
 				for i := range ns {
-					if werr := h.Write(account, ns[i], data[i]); werr != nil && first == nil {
+					if werr := h.writeT(tc, account, ns[i], data[i]); werr != nil && first == nil {
 						first = &block.MultiError{Op: "write", Index: i, N: len(ns), Err: werr}
 					}
 				}
@@ -1173,14 +1257,17 @@ func (h *Half) WriteMulti(account block.Account, ns []block.Num, data [][]byte) 
 		h.mu.Lock()
 		h.stats.CompanionWrites += uint64(len(ns))
 		h.mu.Unlock()
-		return h.selfCheck(block.WriteMulti(h.st, account, ns, data))
+		sp, st := h.legStore(tc, "writeMulti")
+		err := block.WriteMulti(st, account, ns, data)
+		sp.End(err)
+		return h.selfCheck(err)
 	}
 }
 
 // acceptCompanionWriteMulti is the companion leg of WriteMulti: all
 // latches or none (a busy latch is a write collision, detected before
 // any damage), then one batched write.
-func (h *Half) acceptCompanionWriteMulti(account block.Account, ns []block.Num, data [][]byte) error {
+func (h *Half) acceptCompanionWriteMulti(tc trace.Context, account block.Account, ns []block.Num, data [][]byte) error {
 	if h.Down() {
 		return h.downErr()
 	}
@@ -1191,7 +1278,10 @@ func (h *Half) acceptCompanionWriteMulti(account block.Account, ns []block.Num, 
 			Err: fmt.Errorf("block %d write: %w", ns[collidedAt], ErrCollision)}
 	}
 	defer release()
-	return block.WriteMulti(h.st, account, ns, data)
+	sp, st := h.legStore(tc, "mirror-writeMulti")
+	err := block.WriteMulti(st, account, ns, data)
+	sp.End(err)
+	return err
 }
 
 // AllocMulti implements block.MultiStore: the local backend chooses all
@@ -1200,11 +1290,17 @@ func (h *Half) acceptCompanionWriteMulti(account block.Account, ns []block.Num, 
 // claim refused at the companion rolls everything back and reports
 // ErrCollision for the pair front to retry.
 func (h *Half) AllocMulti(account block.Account, data [][]byte) ([]block.Num, error) {
+	return h.allocMultiT(trace.Context{}, account, data)
+}
+
+func (h *Half) allocMultiT(tc trace.Context, account block.Account, data [][]byte) ([]block.Num, error) {
 	if h.Down() {
 		return nil, h.downErr()
 	}
 	h.note(account)
-	ns, err := block.AllocMulti(h.st, account, data)
+	sp, st := h.legStore(tc, "allocMulti")
+	ns, err := block.AllocMulti(st, account, data)
+	sp.End(err)
 	if err != nil {
 		return nil, h.selfCheck(err)
 	}
@@ -1216,7 +1312,7 @@ func (h *Half) AllocMulti(account block.Account, data [][]byte) ([]block.Num, er
 			}
 			continue
 		}
-		if err := comp.acceptCompanionAllocMulti(account, ns, data); err != nil {
+		if err := comp.acceptCompanionAllocMulti(tc, account, ns, data); err != nil {
 			if h.companionLost(comp, err) {
 				continue
 			}
@@ -1246,7 +1342,7 @@ func allocIntents(ns []block.Num, account block.Account, data [][]byte) []intent
 
 // acceptCompanionAllocMulti mirrors a batch of allocations: claim every
 // number (all or nothing), then write the payloads with one call.
-func (h *Half) acceptCompanionAllocMulti(account block.Account, ns []block.Num, data [][]byte) error {
+func (h *Half) acceptCompanionAllocMulti(tc trace.Context, account block.Account, ns []block.Num, data [][]byte) error {
 	if h.Down() {
 		return h.downErr()
 	}
@@ -1261,7 +1357,10 @@ func (h *Half) acceptCompanionAllocMulti(account block.Account, ns []block.Num, 
 				Err: fmt.Errorf("block %d: %v: %w", n, err, ErrCollision)}
 		}
 	}
-	if err := block.WriteMulti(h.st, account, ns, data); err != nil {
+	sp, st := h.legStore(tc, "mirror-allocMulti")
+	err := block.WriteMulti(st, account, ns, data)
+	sp.End(err)
+	if err != nil {
 		if !unreachable(err) {
 			_ = block.FreeMulti(h.st, account, ns)
 		}
@@ -1273,11 +1372,17 @@ func (h *Half) acceptCompanionAllocMulti(account block.Account, ns []block.Num, 
 // FreeMulti implements block.MultiStore: one batched free per half,
 // per-block independence as the contract requires.
 func (h *Half) FreeMulti(account block.Account, ns []block.Num) error {
+	return h.freeMultiT(trace.Context{}, account, ns)
+}
+
+func (h *Half) freeMultiT(tc trace.Context, account block.Account, ns []block.Num) error {
 	if h.Down() {
 		return h.downErr()
 	}
 	h.note(account)
-	err := block.FreeMulti(h.st, account, ns)
+	sp, st := h.legStore(tc, "freeMulti")
+	err := block.FreeMulti(st, account, ns)
+	sp.End(err)
 	if err != nil && !isPerBlock(err) {
 		return h.selfCheck(err)
 	}
@@ -1289,7 +1394,7 @@ func (h *Half) FreeMulti(account block.Account, ns []block.Num) error {
 			}
 			continue
 		}
-		if cerr := comp.acceptCompanionFreeMulti(account, ns); cerr != nil && h.companionLost(comp, cerr) {
+		if cerr := comp.acceptCompanionFreeMulti(tc, account, ns); cerr != nil && h.companionLost(comp, cerr) {
 			continue
 		}
 		return err
@@ -1305,12 +1410,15 @@ func freeIntents(ns []block.Num, account block.Account) []intent {
 	return its
 }
 
-func (h *Half) acceptCompanionFreeMulti(account block.Account, ns []block.Num) error {
+func (h *Half) acceptCompanionFreeMulti(tc trace.Context, account block.Account, ns []block.Num) error {
 	if h.Down() {
 		return h.downErr()
 	}
 	h.note(account)
-	return block.FreeMulti(h.st, account, ns)
+	sp, st := h.legStore(tc, "mirror-freeMulti")
+	err := block.FreeMulti(st, account, ns)
+	sp.End(err)
+	return err
 }
 
 // isPerBlock reports whether a multi-op error is a per-block semantic
@@ -1584,6 +1692,101 @@ func (p *Pair) AllocMulti(account block.Account, data [][]byte) ([]block.Num, er
 func (p *Pair) FreeMulti(account block.Account, ns []block.Num) error {
 	return p.retryCollision(func(h *Half) error { return h.FreeMulti(account, ns) })
 }
+
+// BindTrace implements block.TraceBinder: operations on the bound view
+// run the same failover pair protocol, but each backend leg — the
+// serving half's own write and the companion-first mirror write —
+// records a mirror-layer span and passes the trace context down to its
+// backend (so segstore lane spans nest under the half that issued them).
+func (p *Pair) BindTrace(tc trace.Context) block.Store {
+	return &pairView{p: p, tc: tc}
+}
+
+// pairView is the per-request traced front over a Pair.
+type pairView struct {
+	p  *Pair
+	tc trace.Context
+}
+
+func (v *pairView) BlockSize() int { return v.p.BlockSize() }
+
+func (v *pairView) Alloc(account block.Account, data []byte) (block.Num, error) {
+	var n block.Num
+	err := v.p.retryCollision(func(h *Half) error {
+		var e error
+		n, e = h.allocT(v.tc, account, data)
+		return e
+	})
+	return n, err
+}
+
+func (v *pairView) Free(account block.Account, n block.Num) error {
+	return v.p.retryCollision(func(h *Half) error { return h.freeT(v.tc, account, n) })
+}
+
+func (v *pairView) Read(account block.Account, n block.Num) ([]byte, error) {
+	var data []byte
+	err := v.p.retryCollision(func(h *Half) error {
+		var e error
+		data, e = h.readT(v.tc, account, n)
+		return e
+	})
+	return data, err
+}
+
+func (v *pairView) Write(account block.Account, n block.Num, data []byte) error {
+	return v.p.retryCollision(func(h *Half) error { return h.writeT(v.tc, account, n, data) })
+}
+
+func (v *pairView) Lock(account block.Account, n block.Num) error {
+	return v.p.retryCollision(func(h *Half) error { return h.lockT(v.tc, account, n) })
+}
+
+func (v *pairView) Unlock(account block.Account, n block.Num) error {
+	return v.p.retryCollision(func(h *Half) error { return h.unlockT(v.tc, account, n) })
+}
+
+func (v *pairView) Recover(account block.Account) ([]block.Num, error) {
+	return v.p.Recover(account)
+}
+
+func (v *pairView) ReadMulti(account block.Account, ns []block.Num) ([][]byte, error) {
+	var out [][]byte
+	err := v.p.retryCollision(func(h *Half) error {
+		var e error
+		out, e = h.readMultiT(v.tc, account, ns)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (v *pairView) WriteMulti(account block.Account, ns []block.Num, data [][]byte) error {
+	return v.p.retryCollision(func(h *Half) error { return h.writeMultiT(v.tc, account, ns, data) })
+}
+
+func (v *pairView) AllocMulti(account block.Account, data [][]byte) ([]block.Num, error) {
+	var ns []block.Num
+	err := v.p.retryCollision(func(h *Half) error {
+		var e error
+		ns, e = h.allocMultiT(v.tc, account, data)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ns, nil
+}
+
+func (v *pairView) FreeMulti(account block.Account, ns []block.Num) error {
+	return v.p.retryCollision(func(h *Half) error { return h.freeMultiT(v.tc, account, ns) })
+}
+
+var _ block.Store = (*pairView)(nil)
+var _ block.MultiStore = (*pairView)(nil)
+var _ block.TraceBinder = (*Pair)(nil)
 
 // Usage implements block.UsageReporter when the serving half's backend
 // does: a mirrored pair's headroom is its primary's (both halves hold

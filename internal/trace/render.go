@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteWaterfall renders one trace as a plain-text per-span waterfall:
+// each span indented under its parent with layer, name, offset from the
+// trace start, duration and status. The /debug/traces endpoint serves
+// this for each recent and slowest trace.
+func WriteWaterfall(w io.Writer, tr *Trace) {
+	root := tr.Root()
+	fmt.Fprintf(w, "trace %016x  %s  %d spans\n", tr.ID, root.Dur, len(tr.Spans))
+
+	children := make(map[uint64][]SpanRecord, len(tr.Spans))
+	ids := make(map[uint64]bool, len(tr.Spans))
+	for _, s := range tr.Spans {
+		ids[s.ID] = true
+	}
+	var roots []SpanRecord
+	for _, s := range tr.Spans {
+		if ids[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	byStart := func(ss []SpanRecord) {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start.Before(ss[j].Start) })
+	}
+	byStart(roots)
+	for _, ss := range children {
+		byStart(ss)
+	}
+
+	t0 := root.Start
+	var walk func(s SpanRecord, depth int)
+	walk = func(s SpanRecord, depth int) {
+		status := "ok"
+		if s.Err != "" {
+			status = "error: " + s.Err
+		}
+		off := s.Start.Sub(t0)
+		if off < 0 {
+			off = 0
+		}
+		fmt.Fprintf(w, "  %s%-10s %-24s +%-12s %-12s %s\n",
+			strings.Repeat("  ", depth), s.Layer, s.Name,
+			round(off), round(s.Dur), status)
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// round trims durations to a readable precision.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d.Round(time.Nanosecond)
+	}
+}

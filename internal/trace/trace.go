@@ -1,0 +1,541 @@
+// Package trace is the file service's zero-dependency distributed
+// tracing layer. A trace is a tree of spans describing where one client
+// operation spent its time as it crossed the stack: client op → server
+// command dispatch → OCC validate/commit → per-shard fan-out legs →
+// mirror halves → segstore lane append+fsync — including hops over the
+// bespoke RPC to remote block servers.
+//
+// The design mirrors the system's own philosophy: no third-party
+// dependencies, no goroutine-local magic, and a hot path that costs
+// nothing when tracing is off. A Context is an explicit value threaded
+// through call chains (and, across the wire, through the rpc.Message
+// trailer); when the trace is not sampled the Context is the zero value,
+// Start returns a nil *Span, and every method on both is a no-op — the
+// untraced hot path allocates nothing.
+//
+// # Span flow
+//
+// Spans always flow *up* toward the trace root. In one process they
+// record directly into the root's collector. Across an RPC hop the
+// callee runs its spans in a local collector (Join) and returns the
+// encoded records in the reply trailer; the caller adopts them into its
+// own collector (Span.Adopt). The process that minted the root — the
+// client — therefore ends up holding the complete tree, finalises it
+// into its Tracer's ring, and (via the OnTrace hook) can report it to a
+// server so operators see whole cross-machine traces on one
+// /debug/traces endpoint.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlagSampled marks a context whose trace is being recorded; it is the
+// only flag bit defined so far. Unknown bits propagate untouched.
+const FlagSampled uint8 = 1 << 0
+
+// ContextWireLen is the encoded size of a Context in the rpc trailer:
+// trace ID (8) || parent span ID (8) || flags (1).
+const ContextWireLen = 17
+
+// MaxWireSpans bounds the encoded span records one reply trailer may
+// carry; whole records past the cap are dropped (never truncated
+// mid-record) and counted in the collector.
+const MaxWireSpans = 2048
+
+// Context identifies a position in a trace: the trace, the span that is
+// the parent of whatever work comes next, and the flags. The zero value
+// means "not traced" and makes every derived operation free.
+type Context struct {
+	TraceID uint64
+	SpanID  uint64
+	Flags   uint8
+
+	col *collector
+}
+
+// Sampled reports whether work under this context should record spans.
+func (c Context) Sampled() bool { return c.Flags&FlagSampled != 0 }
+
+// local reports whether the context is attached to an in-process
+// collector (false for a context freshly decoded off the wire).
+func (c Context) local() bool { return c.col != nil }
+
+// Start opens a child span under c. It returns the span and the derived
+// context for work nested inside it. On an unsampled or wire-detached
+// context it returns (nil, Context{}): the nil *Span is safe to use and
+// records nothing.
+func (c Context) Start(layer, name string) (*Span, Context) {
+	if !c.Sampled() || c.col == nil {
+		return nil, Context{}
+	}
+	s := &Span{
+		col:    c.col,
+		id:     c.col.nextSpanID(),
+		parent: c.SpanID,
+		layer:  layer,
+		name:   name,
+		start:  time.Now(),
+	}
+	return s, Context{TraceID: c.TraceID, SpanID: s.id, Flags: c.Flags, col: c.col}
+}
+
+// Wire returns the 17-byte wire form of c for the rpc trailer.
+func (c Context) Wire() [ContextWireLen]byte {
+	var b [ContextWireLen]byte
+	binary.BigEndian.PutUint64(b[0:8], c.TraceID)
+	binary.BigEndian.PutUint64(b[8:16], c.SpanID)
+	b[16] = c.Flags
+	return b
+}
+
+// ContextFromWire rebuilds a Context from its wire form. The result is
+// wire-detached: Join attaches a collector before spans can start.
+func ContextFromWire(b []byte) Context {
+	if len(b) < ContextWireLen {
+		return Context{}
+	}
+	return Context{
+		TraceID: binary.BigEndian.Uint64(b[0:8]),
+		SpanID:  binary.BigEndian.Uint64(b[8:16]),
+		Flags:   b[16],
+	}
+}
+
+// Join attaches a context received from a peer to this process. If the
+// context already has a local collector (the in-process transport passes
+// the message by pointer) it is returned unchanged and finish returns
+// nil. If it is sampled but wire-detached, a fresh collector is created:
+// spans started under the returned context record into it, and finish
+// encodes them for the reply trailer. An unsampled context yields no-ops.
+func Join(c Context) (Context, func() []byte) {
+	if !c.Sampled() || c.col != nil {
+		return c, func() []byte { return nil }
+	}
+	col := &collector{traceID: c.TraceID, spanIDs: rand.Uint64() | 1}
+	c.col = col
+	return c, col.encodeAll
+}
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64
+	Layer  string
+	Name   string
+	Start  time.Time
+	Dur    time.Duration
+	Err    string // empty on success
+}
+
+// Span is an open span. A nil *Span is valid and inert.
+type Span struct {
+	col    *collector
+	id     uint64
+	parent uint64
+	layer  string
+	name   string
+	start  time.Time
+	ended  atomic.Bool
+}
+
+// End closes the span, recording err (nil for success). Ending twice is
+// harmless; the first wins.
+func (s *Span) End(err error) {
+	if s == nil || s.ended.Swap(true) {
+		return
+	}
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Layer:  s.layer,
+		Name:   s.name,
+		Start:  s.start,
+		Dur:    time.Since(s.start),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	s.col.add(rec)
+	s.col.maybeFinish(s)
+}
+
+// Adopt merges span records returned by a peer (a reply trailer) into
+// this span's trace. Undecodable input is dropped; tracing must never
+// fail an operation.
+func (s *Span) Adopt(encoded []byte) {
+	if s == nil || len(encoded) == 0 {
+		return
+	}
+	recs, _ := DecodeRecords(encoded)
+	if len(recs) > 0 {
+		s.col.addAll(recs)
+	}
+}
+
+// collector accumulates the spans of one trace.
+type collector struct {
+	traceID uint64
+	spanIDs uint64 // atomic; pre-seeded, odd so IDs never collide with 0
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int
+
+	// root and tracer are set only in the process that minted the trace:
+	// when the root span ends, the trace finalises into the tracer.
+	root   *Span
+	tracer *Tracer
+}
+
+func (c *collector) nextSpanID() uint64 {
+	return atomic.AddUint64(&c.spanIDs, 2)
+}
+
+func (c *collector) add(r SpanRecord) {
+	c.mu.Lock()
+	c.spans = append(c.spans, r)
+	c.mu.Unlock()
+}
+
+func (c *collector) addAll(rs []SpanRecord) {
+	c.mu.Lock()
+	c.spans = append(c.spans, rs...)
+	c.mu.Unlock()
+}
+
+// maybeFinish finalises the trace when the ending span is the local
+// root and a tracer owns it.
+func (c *collector) maybeFinish(s *Span) {
+	c.mu.Lock()
+	isRoot := c.root == s && c.tracer != nil
+	var spans []SpanRecord
+	if isRoot {
+		spans = append([]SpanRecord(nil), c.spans...)
+	}
+	c.mu.Unlock()
+	if isRoot {
+		c.tracer.finish(&Trace{ID: c.traceID, Spans: spans})
+	}
+}
+
+// encodeAll snapshots and encodes the collected records for a reply
+// trailer, bounded by MaxWireSpans.
+func (c *collector) encodeAll() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]byte, 0, 64*len(c.spans))
+	for _, r := range c.spans {
+		enc := appendRecord(nil, r)
+		if len(out)+len(enc) > MaxWireSpans {
+			c.dropped++
+			continue
+		}
+		out = append(out, enc...)
+	}
+	return out
+}
+
+// Trace is one completed trace.
+type Trace struct {
+	ID    uint64
+	Spans []SpanRecord
+}
+
+// Root returns the root span record (parent not present among the
+// spans), or a zero record when the trace is empty.
+func (t *Trace) Root() SpanRecord {
+	ids := make(map[uint64]bool, len(t.Spans))
+	for _, s := range t.Spans {
+		ids[s.ID] = true
+	}
+	for _, s := range t.Spans {
+		if !ids[s.Parent] {
+			return s
+		}
+	}
+	if len(t.Spans) > 0 {
+		return t.Spans[0]
+	}
+	return SpanRecord{}
+}
+
+// Duration is the root span's duration.
+func (t *Trace) Duration() time.Duration { return t.Root().Dur }
+
+// Layers returns the distinct span layers in the trace, in first-seen
+// order: the smoke test's "a commit trace covers ≥ N layers" check.
+func (t *Trace) Layers() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range t.Spans {
+		if !seen[s.Layer] {
+			seen[s.Layer] = true
+			out = append(out, s.Layer)
+		}
+	}
+	return out
+}
+
+// Tracer owns the sampling decision and the completed-trace ring.
+type Tracer struct {
+	// Slow, when positive, marks traces at least this long as slow:
+	// they are kept in the slowest-N list and reported through OnSlow.
+	Slow time.Duration
+	// OnTrace, when set, is called with every completed trace (after it
+	// is in the ring). The afs client uses it to report assembled traces
+	// to a server's /debug/traces.
+	OnTrace func(*Trace)
+	// OnSlow, when set, is called for traces slower than Slow (the
+	// afs-server logs these through slog with the trace ID attached).
+	OnSlow func(*Trace)
+
+	sample uint64 // sampling threshold in [0, 1<<63]; atomic
+	seed   atomic.Uint64
+
+	ring    []atomic.Pointer[Trace]
+	ringPos atomic.Uint64
+
+	slowMu  sync.Mutex
+	slowest []*Trace
+}
+
+// slowestN bounds the slowest-traces list.
+const slowestN = 32
+
+// sampleScale maps a [0,1] ratio onto the uint64 threshold space.
+const sampleScale = 1 << 62
+
+// New creates a Tracer sampling the given ratio of roots ([0, 1]) into
+// a ring of ringSize completed traces (minimum 16).
+func New(sample float64, slow time.Duration, ringSize int) *Tracer {
+	if ringSize < 16 {
+		ringSize = 16
+	}
+	t := &Tracer{Slow: slow, ring: make([]atomic.Pointer[Trace], ringSize)}
+	t.SetSample(sample)
+	t.seed.Store(rand.Uint64() | 1)
+	return t
+}
+
+// SetSample replaces the sampling ratio ([0, 1]).
+func (t *Tracer) SetSample(ratio float64) {
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	atomic.StoreUint64(&t.sample, uint64(ratio*float64(sampleScale)))
+}
+
+// sampled draws one sampling decision. A cheap xorshift on an atomic
+// seed: no locks, no allocation, good enough for sampling.
+func (t *Tracer) sampled() bool {
+	thr := atomic.LoadUint64(&t.sample)
+	if thr == 0 {
+		return false
+	}
+	if thr >= sampleScale {
+		return true
+	}
+	x := t.seed.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
+	return x%sampleScale < thr
+}
+
+// Start mints a trace root if this operation is sampled, returning the
+// root span and the context for nested work. When not sampled (or t is
+// nil) it returns (nil, Context{}) without allocating.
+func (t *Tracer) Start(layer, name string) (*Span, Context) {
+	if t == nil || !t.sampled() {
+		return nil, Context{}
+	}
+	col := &collector{
+		traceID: rand.Uint64() | 1,
+		spanIDs: rand.Uint64() | 1,
+		tracer:  t,
+	}
+	s := &Span{
+		col:   col,
+		id:    col.nextSpanID(),
+		layer: layer,
+		name:  name,
+		start: time.Now(),
+	}
+	col.root = s
+	return s, Context{TraceID: col.traceID, SpanID: s.id, Flags: FlagSampled, col: col}
+}
+
+// finish lands a completed trace in the ring and the slow list.
+func (t *Tracer) finish(tr *Trace) {
+	t.Ingest(tr)
+	if t.OnTrace != nil {
+		t.OnTrace(tr)
+	}
+}
+
+// Ingest adds an externally assembled trace (e.g. one reported by a
+// client over CmdTraceReport) to the ring and slow list.
+func (t *Tracer) Ingest(tr *Trace) {
+	if t == nil || tr == nil || len(tr.Spans) == 0 {
+		return
+	}
+	// Lock-free ring write: claim a slot, publish the pointer.
+	i := t.ringPos.Add(1) - 1
+	t.ring[i%uint64(len(t.ring))].Store(tr)
+
+	if t.Slow > 0 && tr.Duration() >= t.Slow {
+		t.noteSlow(tr)
+		if t.OnSlow != nil {
+			t.OnSlow(tr)
+		}
+	}
+}
+
+func (t *Tracer) noteSlow(tr *Trace) {
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	t.slowest = append(t.slowest, tr)
+	sort.Slice(t.slowest, func(i, j int) bool {
+		return t.slowest[i].Duration() > t.slowest[j].Duration()
+	})
+	if len(t.slowest) > slowestN {
+		t.slowest = t.slowest[:slowestN]
+	}
+}
+
+// Recent returns up to n most recently completed traces, newest first.
+func (t *Tracer) Recent(n int) []*Trace {
+	if t == nil {
+		return nil
+	}
+	pos := t.ringPos.Load()
+	size := uint64(len(t.ring))
+	if n <= 0 || uint64(n) > size {
+		n = len(t.ring)
+	}
+	out := make([]*Trace, 0, n)
+	for k := uint64(0); k < size && len(out) < n; k++ {
+		if pos < k+1 {
+			break
+		}
+		if tr := t.ring[(pos-k-1)%size].Load(); tr != nil {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// Slowest returns the slowest traces seen, slowest first.
+func (t *Tracer) Slowest() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	return append([]*Trace(nil), t.slowest...)
+}
+
+// --- span record wire encoding ---
+//
+//	record := id(8) parent(8) startUnixNano(8) durNano(8)
+//	          layerLen(1) layer nameLen(1) name errLen(2) err
+
+// appendRecord appends the wire form of r.
+func appendRecord(dst []byte, r SpanRecord) []byte {
+	layer, name, errs := r.Layer, r.Name, r.Err
+	if len(layer) > 255 {
+		layer = layer[:255]
+	}
+	if len(name) > 255 {
+		name = name[:255]
+	}
+	if len(errs) > 512 {
+		errs = errs[:512]
+	}
+	dst = binary.BigEndian.AppendUint64(dst, r.ID)
+	dst = binary.BigEndian.AppendUint64(dst, r.Parent)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Start.UnixNano()))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Dur))
+	dst = append(dst, byte(len(layer)))
+	dst = append(dst, layer...)
+	dst = append(dst, byte(len(name)))
+	dst = append(dst, name...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(errs)))
+	dst = append(dst, errs...)
+	return dst
+}
+
+// EncodeRecords encodes records for the wire (a reply trailer or a
+// CmdTraceReport payload).
+func EncodeRecords(rs []SpanRecord) []byte {
+	var out []byte
+	for _, r := range rs {
+		out = appendRecord(out, r)
+	}
+	return out
+}
+
+// DecodeRecords parses encoded span records, returning those that
+// decode cleanly plus an error describing the first malformed one.
+func DecodeRecords(b []byte) ([]SpanRecord, error) {
+	var out []SpanRecord
+	for len(b) > 0 {
+		if len(b) < 34 {
+			return out, fmt.Errorf("trace: truncated span record (%d bytes left)", len(b))
+		}
+		var r SpanRecord
+		r.ID = binary.BigEndian.Uint64(b[0:8])
+		r.Parent = binary.BigEndian.Uint64(b[8:16])
+		r.Start = time.Unix(0, int64(binary.BigEndian.Uint64(b[16:24])))
+		r.Dur = time.Duration(binary.BigEndian.Uint64(b[24:32]))
+		b = b[32:]
+		ln := int(b[0])
+		if len(b) < 1+ln+1 {
+			return out, fmt.Errorf("trace: truncated span layer")
+		}
+		r.Layer = string(b[1 : 1+ln])
+		b = b[1+ln:]
+		ln = int(b[0])
+		if len(b) < 1+ln+2 {
+			return out, fmt.Errorf("trace: truncated span name")
+		}
+		r.Name = string(b[1 : 1+ln])
+		b = b[1+ln:]
+		ln = int(binary.BigEndian.Uint16(b[0:2]))
+		if len(b) < 2+ln {
+			return out, fmt.Errorf("trace: truncated span error")
+		}
+		r.Err = string(b[2 : 2+ln])
+		b = b[2+ln:]
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// EncodeTrace packs a complete trace (ID + records) for CmdTraceReport.
+func EncodeTrace(tr *Trace) []byte {
+	out := binary.BigEndian.AppendUint64(nil, tr.ID)
+	return append(out, EncodeRecords(tr.Spans)...)
+}
+
+// DecodeTrace unpacks EncodeTrace's layout.
+func DecodeTrace(b []byte) (*Trace, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("trace: report of %d bytes", len(b))
+	}
+	recs, err := DecodeRecords(b[8:])
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{ID: binary.BigEndian.Uint64(b[0:8]), Spans: recs}, nil
+}

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// always returns a tracer that samples everything.
+func always(slow time.Duration) *Tracer { return New(1, slow, 64) }
+
+func TestUnsampledIsFree(t *testing.T) {
+	tr := New(0, 0, 16)
+	sp, ctx := tr.Start("client", "commit")
+	if sp != nil || ctx.Sampled() {
+		t.Fatalf("unsampled Start: span=%v ctx=%+v", sp, ctx)
+	}
+	// Every derived operation must be inert.
+	child, cctx := ctx.Start("server", "dispatch")
+	child.End(nil)
+	child.Adopt([]byte{1, 2, 3})
+	if child != nil || cctx.Sampled() {
+		t.Fatalf("derived span from unsampled context: %v %+v", child, cctx)
+	}
+	var nilTracer *Tracer
+	if sp, _ := nilTracer.Start("x", "y"); sp != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	if got := tr.Recent(10); len(got) != 0 {
+		t.Fatalf("ring has %d traces, want 0", len(got))
+	}
+}
+
+func TestSpanTreeAndFinish(t *testing.T) {
+	tr := always(0)
+	var done []*Trace
+	tr.OnTrace = func(x *Trace) { done = append(done, x) }
+
+	root, ctx := tr.Start("client", "commit")
+	if root == nil {
+		t.Fatal("sampled Start returned nil")
+	}
+	disp, dctx := ctx.Start("server", "dispatch")
+	occ, _ := dctx.Start("occ", "commit")
+	occ.End(nil)
+	disp.End(nil)
+	root.End(errors.New("boom"))
+
+	if len(done) != 1 {
+		t.Fatalf("OnTrace fired %d times, want 1", len(done))
+	}
+	got := done[0]
+	if len(got.Spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(got.Spans))
+	}
+	r := got.Root()
+	if r.Layer != "client" || r.Err != "boom" {
+		t.Fatalf("root = %+v", r)
+	}
+	byLayer := make(map[string]SpanRecord)
+	for _, s := range got.Spans {
+		byLayer[s.Layer] = s
+	}
+	if byLayer["server"].Parent != r.ID {
+		t.Fatalf("dispatch parent %d, want root %d", byLayer["server"].Parent, r.ID)
+	}
+	if byLayer["occ"].Parent != byLayer["server"].ID {
+		t.Fatalf("occ parent %d, want dispatch %d", byLayer["occ"].Parent, byLayer["server"].ID)
+	}
+	if got := tr.Recent(5); len(got) != 1 || got[0] != done[0] {
+		t.Fatalf("ring contents: %v", got)
+	}
+	layers := done[0].Layers()
+	if len(layers) != 3 {
+		t.Fatalf("layers = %v", layers)
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	tr := always(0)
+	root, ctx := tr.Start("client", "write")
+
+	// Simulate the wire: the peer sees only the 17 bytes.
+	wire := ctx.Wire()
+	remote := ContextFromWire(wire[:])
+	if remote.TraceID != ctx.TraceID || remote.SpanID != ctx.SpanID || !remote.Sampled() {
+		t.Fatalf("wire round trip: %+v vs %+v", remote, ctx)
+	}
+	if remote.local() {
+		t.Fatal("wire context should be detached")
+	}
+
+	joined, finish := Join(remote)
+	sp, jctx := joined.Start("server", "dispatch")
+	leg, _ := jctx.Start("shard", "leg-0")
+	leg.End(nil)
+	sp.End(nil)
+	enc := finish()
+	if len(enc) == 0 {
+		t.Fatal("finish returned no records")
+	}
+
+	// Caller side: adopt and finish the root.
+	root.Adopt(enc)
+	root.End(nil)
+
+	got := tr.Recent(1)[0]
+	if len(got.Spans) != 3 {
+		t.Fatalf("assembled trace has %d spans, want 3", len(got.Spans))
+	}
+	var disp SpanRecord
+	for _, s := range got.Spans {
+		if s.Layer == "server" {
+			disp = s
+		}
+	}
+	if disp.Parent != got.Root().ID {
+		t.Fatalf("remote dispatch parent %d, want %d (root)", disp.Parent, got.Root().ID)
+	}
+}
+
+func TestJoinLocalPassthrough(t *testing.T) {
+	tr := always(0)
+	root, ctx := tr.Start("client", "op")
+	j, finish := Join(ctx)
+	if !j.local() || j.col != ctx.col {
+		t.Fatal("local context should pass through Join unchanged")
+	}
+	if finish() != nil {
+		t.Fatal("local join must not re-encode spans")
+	}
+	root.End(nil)
+}
+
+func TestRecordCodec(t *testing.T) {
+	in := []SpanRecord{
+		{ID: 1, Parent: 0, Layer: "client", Name: "commit", Start: time.Unix(0, 12345), Dur: 99, Err: ""},
+		{ID: 2, Parent: 1, Layer: "segstore", Name: "append+fsync", Start: time.Unix(1, 0), Dur: time.Millisecond, Err: "lane closed"},
+	}
+	out, err := DecodeRecords(EncodeRecords(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip: %+v", out)
+	}
+	if _, err := DecodeRecords([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated input decoded cleanly")
+	}
+
+	tr := &Trace{ID: 77, Spans: in}
+	back, err := DecodeTrace(EncodeTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 77 || len(back.Spans) != 2 {
+		t.Fatalf("trace round trip: %+v", back)
+	}
+}
+
+func TestRingEvictionConcurrent(t *testing.T) {
+	tr := New(1, 0, 32)
+	const workers = 8
+	const each = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				root, ctx := tr.Start("client", "op")
+				sp, _ := ctx.Start("server", "dispatch")
+				sp.End(nil)
+				root.End(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	got := tr.Recent(0)
+	if len(got) != 32 {
+		t.Fatalf("ring holds %d traces, want full 32", len(got))
+	}
+	for _, x := range got {
+		if x == nil || len(x.Spans) != 2 {
+			t.Fatalf("evicted ring returned damaged trace: %+v", x)
+		}
+	}
+}
+
+func TestSlowest(t *testing.T) {
+	tr := New(1, time.Nanosecond, 16)
+	var slow []*Trace
+	tr.OnSlow = func(x *Trace) { slow = append(slow, x) }
+	root, _ := tr.Start("client", "op")
+	time.Sleep(time.Microsecond)
+	root.End(nil)
+	if len(slow) != 1 || len(tr.Slowest()) != 1 {
+		t.Fatalf("slow hooks: OnSlow=%d Slowest=%d", len(slow), len(tr.Slowest()))
+	}
+}
+
+func TestWaterfallRender(t *testing.T) {
+	tr := always(0)
+	root, ctx := tr.Start("client", "commit")
+	sp, _ := ctx.Start("server", "dispatch")
+	sp.End(errors.New("conflict"))
+	root.End(nil)
+	var b strings.Builder
+	WriteWaterfall(&b, tr.Recent(1)[0])
+	out := b.String()
+	for _, want := range []string{"client", "server", "dispatch", "error: conflict", "2 spans"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSampleRatio(t *testing.T) {
+	tr := New(0.5, 0, 16)
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		if sp, _ := tr.Start("c", "o"); sp != nil {
+			sp.End(nil)
+			hits++
+		}
+	}
+	if hits < 700 || hits > 1300 {
+		t.Fatalf("0.5 sampling hit %d/2000", hits)
+	}
+}
